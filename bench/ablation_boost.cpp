@@ -1,0 +1,44 @@
+// Ablation: body-bias boost (Section III-B / reference [6]).
+//
+// PULP's FD-SOI cores can be forward-body-biased for extra frequency at a
+// leakage penalty; the paper integrates the knob "directly in the thread
+// creation/destruction routine". This bench shows where boost pays off:
+// for each power budget, the best nominal and best boosted operating
+// points and the resulting matmul throughput.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ulp;
+  bench::print_header("Ablation: forward body bias vs power budget",
+                      "best operating point and matmul throughput per mode");
+
+  const auto m = bench::measure_kernel(kernels::all_kernels()[0]);
+  const auto chi = power::ActivityFactors::from_stats(m.stats_cluster_4);
+  power::PulpPowerModel pm;
+
+  std::printf("%10s | %22s | %22s | %7s\n", "budget", "nominal (V / MHz)",
+              "with FBB (V / MHz / b)", "gain");
+  for (double budget : {mw(0.5), mw(1), mw(2), mw(5), mw(10), mw(20),
+                        mw(50), mw(100)}) {
+    const auto plain = pm.max_performance_point(budget, chi, false);
+    const auto boost = pm.max_performance_point(budget, chi, true);
+    if (!plain || !boost) {
+      std::printf("%8.1fmW | %22s | %22s |\n", budget * 1e3, "--", "--");
+      continue;
+    }
+    std::printf("%8.1fmW |        %4.2fV / %5.1fM |  %4.2fV / %5.1fM %s |  %5.2fx\n",
+                budget * 1e3, plain->vdd, plain->freq_hz / 1e6, boost->vdd,
+                boost->freq_hz / 1e6,
+                boost->bias == power::BiasMode::kForwardBias ? "FBB" : "   ",
+                boost->freq_hz / plain->freq_hz);
+  }
+  std::printf(
+      "\nReading: under tight (leakage-dominated) budgets the 3x leakage\n"
+      "penalty of forward bias buys nothing; once the budget is dynamic-\n"
+      "power-dominated the 1.3x frequency headroom becomes nearly free.\n"
+      "Within the paper's 10 mW envelope the knob is mostly neutral, which\n"
+      "is why the runtime can toggle it per-thread without a policy.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: double buffering inside the cluster (simulated, not analytic).
+//
+// The streamed tiled matmul runs twice — eager (wait for every transfer)
+// and ping-pong double-buffered — on the same data. The cycle difference
+// is the measured overlap win; Figure 5b's rightmost panel models the same
+// effect at the host-link level.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ulp;
+  bench::print_header(
+      "Ablation: DMA double buffering in the cluster",
+      "tiled matmul, 8 tiles streamed through ping-pong TCDM buffers");
+
+  const auto cfg = core::or10n_config();
+  std::printf("%-8s %14s %14s %10s %14s\n", "cores", "sequential", "dbuf",
+              "saved", "dma busy (db)");
+  for (u32 nc : {1u, 2u, 4u}) {
+    const auto seq = kernels::make_matmul_tiled(cfg.features, nc, 1, false);
+    const auto db = kernels::make_matmul_tiled(cfg.features, nc, 1, true);
+    const auto rs = kernels::run_on_cluster(seq, cfg, nc);
+    const auto rd = kernels::run_on_cluster(db, cfg, nc);
+    if (!rs.matches(seq) || !rd.matches(db)) {
+      std::printf("OUTPUT MISMATCH\n");
+      return 1;
+    }
+    std::printf("%-8u %14llu %14llu %9.1f%% %14llu\n", nc,
+                static_cast<unsigned long long>(rs.cycles),
+                static_cast<unsigned long long>(rd.cycles),
+                100.0 * (1.0 - static_cast<double>(rd.cycles) /
+                                   static_cast<double>(rs.cycles)),
+                static_cast<unsigned long long>(rd.stats.dma.busy_cycles));
+  }
+  std::printf(
+      "\nReading: the win equals the transfer time that hides behind\n"
+      "compute. With more cores the compute per tile shrinks, so the same\n"
+      "transfers are a larger fraction and the relative saving grows.\n");
+  return 0;
+}

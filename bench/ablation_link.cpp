@@ -1,0 +1,73 @@
+// Ablation: coupling-link variants (Discussion section).
+//
+// The paper observes that the SPI bottleneck "can be lifted by temporarily
+// raising the MCU frequency when performing a data transfer" and that a
+// link clock decoupled from the MCU core clock "completely removes the
+// bottleneck". This bench compares, at each MCU frequency:
+//   * single-bit SPI tied to the MCU clock (the physical prototype),
+//   * QSPI tied to the MCU clock (the paper's Figure 5b assumption),
+//   * QSPI with a decoupled 24 MHz link clock (the proposed variation).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ulp;
+  bench::print_header("Ablation: coupling-link variants",
+                      "asymptotic offload efficiency (matmul, 0.5 V point)");
+
+  const auto& matmul = kernels::all_kernels()[0];
+  const auto cfg = core::or10n_config();
+  const auto kc =
+      matmul.factory(cfg.features, 4, kernels::Target::kCluster, 1);
+  power::PulpPowerModel pm;
+  const power::OperatingPoint op{0.5, pm.fmax_hz(0.5)};
+
+  struct Variant {
+    const char* name;
+    link::SpiLinkConfig cfg;
+  };
+  const Variant variants[] = {
+      {"SPI x1 (proto)", {.lanes = 1, .max_freq_hz = mhz(24)}},
+      {"QSPI x4", {.lanes = 4, .max_freq_hz = mhz(48)}},
+      {"QSPI decoupled",
+       {.lanes = 4, .max_freq_hz = mhz(48), .decoupled_clock_hz = mhz(24)}},
+  };
+
+  std::printf("%-16s |", "link \\ f_mcu");
+  const std::vector<double> freqs = {mhz(2), mhz(8), mhz(16), mhz(26)};
+  for (double f : freqs) std::printf(" %7.0fM", f / 1e6);
+  std::printf("\n");
+  for (const auto& v : variants) {
+    std::printf("%-16s |", v.name);
+    for (double f : freqs) {
+      runtime::OffloadSession session(host::stm32l476(), f,
+                                      link::SpiLink(v.cfg));
+      const auto o = session.run(kc.offload_request(), op);
+      std::printf("  %7.3f", o.timing.efficiency(1u << 14, true));
+    }
+    std::printf("\n");
+  }
+  // The Discussion's second variation: the sensor writes its data directly
+  // into the accelerator's memory through a dedicated interface; the
+  // coupling link only carries results and control. Model: t_in vanishes.
+  std::printf("%-16s |", "sensor-direct");
+  for (double f : freqs) {
+    runtime::OffloadSession session(host::stm32l476(), f,
+                                    link::SpiLink(variants[0].cfg));
+    auto o = session.run(kc.offload_request(), op);
+    runtime::OffloadTiming t = o.timing;
+    t.t_in_s = 0;  // inputs no longer cross the host link
+    std::printf("  %7.3f", t.efficiency(1u << 14, true));
+  }
+  std::printf("\n");
+
+  std::printf(
+      "\nReading: values are double-buffered efficiency with the code\n"
+      "offload fully amortised. The decoupled link is frequency-flat: the\n"
+      "MCU can idle at 2 MHz and the accelerator still runs unstarved —\n"
+      "the Discussion section's proposed improvement. 'sensor-direct'\n"
+      "removes the input stream from the (single-bit) host link entirely:\n"
+      "even the slowest prototype link then only limits result readout.\n");
+  return 0;
+}

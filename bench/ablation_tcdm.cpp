@@ -1,0 +1,65 @@
+// Ablation: TCDM banking factor vs. parallel efficiency.
+//
+// The word-level interleaved multi-banked TCDM (Section III-B, [30]) exists
+// to keep 4 cores + DMA fed without per-core caches. This bench sweeps the
+// bank count and reports 4-core cycles and conflict counts on the two most
+// memory-hungry kernels — demonstrating why the design point is 8 banks.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ulp;
+  bench::print_header("Ablation: TCDM bank count vs 4-core performance",
+                      "cycles and bank conflicts, matmul and hog");
+
+  const auto cfg = core::or10n_config();
+  // The two most load/store-intensive kernels (hog is compute-bound and
+  // insensitive to banking; the matmul family stresses the interconnect).
+  for (const char* name : {"matmul", "matmul (short)"}) {
+    const kernels::KernelInfo* info = nullptr;
+    for (const auto& k : kernels::all_kernels()) {
+      if (k.name == name) info = &k;
+    }
+    std::printf("\n%-16s %8s %14s %14s %10s\n", name, "banks", "cycles",
+                "conflicts", "vs 8");
+    std::vector<std::pair<u32, u64>> rows;
+    for (u32 banks : {1u, 2u, 4u, 8u, 16u}) {
+      cluster::ClusterParams params;
+      params.num_cores = 4;
+      params.core_config = cfg;
+      params.tcdm_banks = banks;
+      params.tcdm_bank_bytes = 64 * 1024 / banks;  // constant total size
+      cluster::Cluster cl(params);
+      const auto kc =
+          info->factory(cfg.features, 4, kernels::Target::kCluster, 1);
+      cl.load_program(kc.program);
+      for (size_t i = 0; i < kc.input.size(); ++i) {
+        cl.bus().debug_store(kc.input_addr + static_cast<Addr>(i), 1,
+                             kc.input[i]);
+      }
+      const u64 cycles = cl.run();
+      rows.emplace_back(banks, cycles);
+      std::printf("%-16s %8u %14llu %14llu", "", banks,
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(
+                      cl.tcdm().total_conflicts()));
+      std::printf("\n");
+    }
+    u64 ref = 0;
+    for (const auto& [banks, cycles] : rows) {
+      if (banks == 8) ref = cycles;
+    }
+    std::printf("%-16s slowdown vs 8 banks:", "");
+    for (const auto& [banks, cycles] : rows) {
+      std::printf("  %ub=%.2fx", banks,
+                  static_cast<double>(cycles) / static_cast<double>(ref));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading: with few banks the four cores serialise on the\n"
+      "interconnect; at 8 banks (the PULP design point) conflicts are a\n"
+      "small fraction and further banking shows diminishing returns.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared helpers for the reproduction benches: measurement wrappers around
+// the kernel suite and small table-printing utilities. Every bench binary
+// prints the rows/series of one paper table or figure, with the paper's
+// published values alongside where the paper states them.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "host/mcu.hpp"
+#include "kernels/kernel.hpp"
+#include "kernels/runner.hpp"
+#include "link/spi_link.hpp"
+#include "power/pulp_power.hpp"
+#include "runtime/offload.hpp"
+
+namespace ulp::bench {
+
+inline constexpr u64 kSeed = 1;
+
+/// Cycle counts of one kernel on every platform the figures need.
+struct KernelMeasurement {
+  kernels::KernelInfo info;
+  u64 risc_ops = 0;
+  u64 cycles_m4 = 0;
+  u64 cycles_m3 = 0;
+  u64 cycles_or10n_1 = 0;  ///< Single OR10N core, flat memory.
+  u64 cycles_cluster_1 = 0;
+  u64 cycles_cluster_2 = 0;
+  u64 cycles_cluster_4 = 0;
+  cluster::ClusterStats stats_cluster_4;
+  size_t input_bytes = 0;
+  size_t output_bytes = 0;
+  size_t binary_bytes = 0;
+};
+
+inline KernelMeasurement measure_kernel(const kernels::KernelInfo& info) {
+  using kernels::Target;
+  KernelMeasurement m;
+  m.info = info;
+  m.risc_ops = kernels::measure_risc_ops(info, kSeed);
+
+  const auto m4 = core::cortex_m4_config();
+  const auto m3 = core::cortex_m3_config();
+  const auto oc = core::or10n_config();
+
+  auto flat = [&](const core::CoreConfig& cfg) {
+    const auto kc = info.factory(cfg.features, 1, Target::kFlat, kSeed);
+    return kernels::run_on_flat(kc, cfg).cycles;
+  };
+  m.cycles_m4 = flat(m4);
+  m.cycles_m3 = flat(m3);
+  m.cycles_or10n_1 = flat(oc);
+
+  for (u32 nc : {1u, 2u, 4u}) {
+    const auto kc = info.factory(oc.features, nc, Target::kCluster, kSeed);
+    const auto run = kernels::run_on_cluster(kc, oc, nc);
+    if (nc == 1) m.cycles_cluster_1 = run.cycles;
+    if (nc == 2) m.cycles_cluster_2 = run.cycles;
+    if (nc == 4) {
+      m.cycles_cluster_4 = run.cycles;
+      m.stats_cluster_4 = run.stats;
+      m.input_bytes = kc.input.size();
+      m.output_bytes = kc.output_bytes;
+      m.binary_bytes = kc.binary_bytes();
+    }
+  }
+  return m;
+}
+
+inline void print_header(const char* title, const char* what) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n%s\n", title, what);
+  std::printf("================================================================================\n");
+}
+
+/// An offload session configured like the prototype: L476 host, QSPI link.
+inline runtime::OffloadSession make_prototype_session(double mcu_freq_hz) {
+  const host::McuSpec& mcu = host::stm32l476();
+  link::SpiLinkConfig lcfg;
+  lcfg.lanes = mcu.spi_lanes;
+  lcfg.max_freq_hz = mcu.spi_max_hz;
+  return runtime::OffloadSession(mcu, mcu_freq_hz, link::SpiLink(lcfg));
+}
+
+}  // namespace ulp::bench

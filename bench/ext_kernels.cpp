@@ -1,0 +1,40 @@
+// Extension-kernel characterisation (beyond the paper's Table I/Figure 4):
+// the intro's remaining application classes — voice front-end (FFT) and
+// biomedical DSP (FIR bank) — measured with the same methodology as the
+// Table I kernels.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ulp;
+  bench::print_header("Extension kernels: FFT (voice) and FIR bank (biomed)",
+                      "same methodology as Figure 4; not part of Table I");
+
+  std::printf("%-16s %10s %10s %10s | %7s %7s | %7s %7s\n", "Kernel",
+              "RISCops", "M4 cyc", "OR10N", "archM4", "archM3", "par x4",
+              "ops/cyc");
+  for (const auto& info : kernels::extension_kernels()) {
+    const auto m = bench::measure_kernel(info);
+    std::printf("%-16s %10llu %10llu %10llu | %6.2fx %6.2fx | %6.2fx %7.2f\n",
+                m.info.name.c_str(),
+                static_cast<unsigned long long>(m.risc_ops),
+                static_cast<unsigned long long>(m.cycles_m4),
+                static_cast<unsigned long long>(m.cycles_or10n_1),
+                static_cast<double>(m.cycles_m4) /
+                    static_cast<double>(m.cycles_or10n_1),
+                static_cast<double>(m.cycles_m3) /
+                    static_cast<double>(m.cycles_or10n_1),
+                static_cast<double>(m.cycles_cluster_1) /
+                    static_cast<double>(m.cycles_cluster_4),
+                static_cast<double>(m.risc_ops) /
+                    static_cast<double>(m.cycles_cluster_4));
+  }
+  std::printf(
+      "\nReading: both are fixed-point kernels (per-product shifts), so —\n"
+      "exactly like the paper's fixed-point group — their architectural\n"
+      "speedup comes from hardware loops and post-increment only. The FFT's\n"
+      "nine barrier-separated stages cost it a few points of parallel\n"
+      "efficiency relative to the embarrassingly parallel FIR bank.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 5b reproduction: efficiency w.r.t. the ideal speedup when scaling
+// the number of benchmark iterations per offload.
+//
+// One code offload (binary over SPI) is followed by n iterations, each with
+// its input/output data exchange. The SPI clock is tied to the MCU clock
+// (f_spi = f_mcu/2, QSPI x4 lanes), so at low MCU frequencies the link
+// starves the accelerator and efficiency plateaus below 1 — the paper's
+// central observation. At the faster MCU settings (16/26 MHz) full
+// efficiency is reached "after as few as 32 iterations". The rightmost
+// paper plot — double buffering overlapping transfers with compute — is the
+// third panel.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ulp;
+  bench::print_header(
+      "Figure 5b: offload efficiency vs iterations per offload",
+      "matmul; PULP at the 0.5 V envelope point; QSPI tied to the MCU clock");
+
+  const auto cfg = core::or10n_config();
+  power::PulpPowerModel pm;
+  const power::OperatingPoint op{0.5, pm.fmax_hz(0.5)};
+  const std::vector<double> mcu_freqs = {mhz(2), mhz(4), mhz(8), mhz(16),
+                                         mhz(26)};
+  const std::vector<u32> iterations = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+
+  for (const char* kernel_name : {"matmul", "cnn"}) {
+    const kernels::KernelInfo* info = nullptr;
+    for (const auto& k : kernels::all_kernels()) {
+      if (k.name == kernel_name) info = &k;
+    }
+    const auto kc = info->factory(cfg.features, 4, kernels::Target::kCluster,
+                                  bench::kSeed);
+    for (const bool double_buffered : {false, true}) {
+      std::printf("\n-- %s, %s --\n", kernel_name,
+                  double_buffered
+                      ? "double-buffered (transfers overlap compute)"
+                      : "sequential offload");
+      std::printf("%-9s", "f_mcu");
+      for (u32 n : iterations) std::printf(" %6u", n);
+      std::printf("  plateau\n");
+      for (double f : mcu_freqs) {
+        auto session = bench::make_prototype_session(f);
+        const auto outcome = session.run(kc.offload_request(), op);
+        std::printf("%6.0fMHz", f / 1e6);
+        for (u32 n : iterations) {
+          std::printf(" %6.3f",
+                      outcome.timing.efficiency(n, double_buffered));
+        }
+        // Asymptotic efficiency (binary fully amortised).
+        const double t_xfer = outcome.timing.t_in_s + outcome.timing.t_out_s;
+        const double tc = outcome.timing.t_compute_s;
+        const double plateau =
+            double_buffered ? tc / std::max(tc, t_xfer) : tc / (tc + t_xfer);
+        std::printf("  %6.3f\n", plateau);
+      }
+    }
+  }
+
+  std::printf(
+      "\nShape check (paper): the 16/26 MHz rows approach full efficiency\n"
+      "within ~32 iterations; the low-frequency rows plateau early because\n"
+      "the MCU-derived SPI clock bounds the data exchange. Double buffering\n"
+      "recovers efficiency wherever compute time covers the transfers.\n");
+  return 0;
+}

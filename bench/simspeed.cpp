@@ -1,0 +1,69 @@
+// Simulator throughput micro-benchmarks (google-benchmark).
+//
+// Not a paper figure: this measures the reproduction itself — simulated
+// MIPS of the single-core ISS and the 4-core cluster, and the codegen /
+// serialisation paths — so regressions in the simulator's own performance
+// are visible.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace ulp;
+
+void BM_SingleCoreIss(benchmark::State& state) {
+  const auto cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(cfg.features, 1,
+                                            kernels::Target::kFlat, 1);
+  u64 instrs = 0;
+  for (auto _ : state) {
+    const auto out = kernels::run_on_flat(kc, cfg);
+    instrs += out.stats.total_instrs();
+    benchmark::DoNotOptimize(out.cycles);
+  }
+  state.counters["sim_MIPS"] = benchmark::Counter(
+      static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SingleCoreIss)->Unit(benchmark::kMillisecond);
+
+void BM_Cluster4Cores(benchmark::State& state) {
+  const auto cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(cfg.features, 4,
+                                            kernels::Target::kCluster, 1);
+  u64 cycles = 0;
+  for (auto _ : state) {
+    const auto out = kernels::run_on_cluster(kc, cfg, 4);
+    cycles += out.cycles;
+    benchmark::DoNotOptimize(out.cycles);
+  }
+  state.counters["sim_Mcycles"] = benchmark::Counter(
+      static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Cluster4Cores)->Unit(benchmark::kMillisecond);
+
+void BM_KernelCodegen(benchmark::State& state) {
+  const auto cfg = core::or10n_config();
+  for (auto _ : state) {
+    const auto kc = kernels::make_cnn(cfg.features, 4,
+                                      kernels::Target::kCluster, 1);
+    benchmark::DoNotOptimize(kc.program.code.size());
+  }
+}
+BENCHMARK(BM_KernelCodegen)->Unit(benchmark::kMillisecond);
+
+void BM_ImageSerialisation(benchmark::State& state) {
+  const auto cfg = core::or10n_config();
+  const auto kc = kernels::make_cnn(cfg.features, 4,
+                                    kernels::Target::kCluster, 1);
+  for (auto _ : state) {
+    const auto image = isa::serialize(kc.program);
+    const auto back = isa::deserialize(image);
+    benchmark::DoNotOptimize(back.code.size());
+  }
+}
+BENCHMARK(BM_ImageSerialisation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

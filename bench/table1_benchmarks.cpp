@@ -1,0 +1,67 @@
+// Table I reproduction: summary of the benchmark kernels.
+//
+// Prints, per kernel: field, input size, output size, binary size and
+// "RISC ops" (instructions retired on the plain-RISC baseline core), with
+// the paper's published values alongside. Sizes match the paper where the
+// workload is fully specified (matmul family, cnn input/output, hog input);
+// deltas are called out in EXPERIMENTS.md.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct PaperRow {
+  double input_kb, output_kb, binary_kb, risc_mops;
+};
+
+const std::map<std::string, PaperRow>& paper_rows() {
+  static const std::map<std::string, PaperRow> rows = {
+      {"matmul", {8, 4, 11, 2.4}},
+      {"matmul (short)", {16, 8, 11, 2.4}},
+      {"matmul (fixed)", {16, 8, 13, 2.7}},
+      {"strassen", {8, 4, 6.7, 2.3}},
+      {"svm (linear)", {6.9, 1.6, 11.4, 0.65}},
+      {"svm (poly)", {6.9, 1.6, 11.5, 0.684}},
+      {"svm (RBF)", {6.9, 1.6, 11.6, 0.781}},
+      {"cnn", {2, 0.04, 48.1, 3.3}},
+      {"cnn (approx)", {2, 0.04, 48.1, 2.6}},
+      {"hog", {16, 36, 31.2, 31}},
+  };
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ulp;
+  bench::print_header(
+      "Table I: Summary of the benchmark kernels",
+      "measured on this reproduction vs. the paper's published values");
+
+  std::printf(
+      "%-16s %-18s | %8s %8s %8s %9s | %8s %8s %8s %9s\n",
+      "Benchmark", "Field", "in kB", "out kB", "bin kB", "RISCops",
+      "p:in", "p:out", "p:bin", "p:ops");
+  std::printf(
+      "%-16s %-18s | %38s | %36s\n", "", "", "measured", "paper");
+  for (const auto& info : kernels::all_kernels()) {
+    const auto m = bench::measure_kernel(info);
+    const PaperRow& p = paper_rows().at(info.name);
+    std::printf(
+        "%-16s %-18s | %8.1f %8.2f %8.1f %8.2fM | %8.1f %8.2f %8.1f %8.2fM\n",
+        info.name.c_str(), info.field.c_str(),
+        static_cast<double>(m.input_bytes) / 1024.0,
+        static_cast<double>(m.output_bytes) / 1024.0,
+        static_cast<double>(m.binary_bytes) / 1024.0,
+        static_cast<double>(m.risc_ops) / 1e6, p.input_kb, p.output_kb,
+        p.binary_kb, p.risc_mops);
+  }
+  std::printf(
+      "\nNotes: RISC ops are retired instructions on the baseline core\n"
+      "(all OR10N enhancements deactivated), per the paper's footnote 1.\n"
+      "Binary sizes are serialised image bytes (code + weights/LUT segments);\n"
+      "the paper's binaries also carry libc/runtime overhead of the GNU\n"
+      "toolchain, ours carry none.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: offload one kernel from the host MCU to the PULP accelerator.
+//
+// This walks the whole heterogeneous path the paper describes:
+//   1. pick a kernel (matmul on char data) and generate its accelerator
+//      program for the 4-core cluster,
+//   2. open an offload session: STM32-L476 host at 16 MHz, QSPI link,
+//      accelerator at the 0.5 V near-threshold operating point,
+//   3. run the offload: binary + input over the link, cluster executes,
+//      results come back,
+//   4. verify bit-exactness against the golden reference and print the
+//      timing/energy/power budget breakdown.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "kernels/kernel.hpp"
+#include "kernels/runner.hpp"
+#include "runtime/offload.hpp"
+
+int main() {
+  using namespace ulp;
+
+  // 1. Generate the kernel for the accelerator target.
+  const core::CoreConfig accel_cfg = core::or10n_config();
+  const kernels::KernelCase kc = kernels::make_matmul_char(
+      accel_cfg.features, /*num_cores=*/4, kernels::Target::kCluster,
+      /*seed=*/42);
+  std::printf("kernel:        %s\n", kc.name.c_str());
+  std::printf("input:         %zu bytes   output: %zu bytes\n",
+              kc.input.size(), kc.output_bytes);
+  std::printf("binary image:  %zu bytes (%zu instructions)\n",
+              kc.binary_bytes(), kc.program.code.size());
+
+  // 2. Offload session: host at 16 MHz, accelerator at the 0.5 V point.
+  const double mcu_freq = mhz(16);
+  const host::McuSpec& mcu = host::stm32l476();
+  link::SpiLinkConfig link_cfg;
+  link_cfg.lanes = mcu.spi_lanes;  // QSPI
+  link_cfg.max_freq_hz = mcu.spi_max_hz;
+  runtime::OffloadSession session(mcu, mcu_freq, link::SpiLink(link_cfg));
+  const power::PulpPowerModel& pm = session.power_model();
+  const power::OperatingPoint op{0.5, pm.fmax_hz(0.5)};
+
+  // 3. Run the full offload.
+  const runtime::OffloadOutcome outcome =
+      session.run(kc.offload_request(), op);
+
+  // 4. Verify and report.
+  if (outcome.output != kc.expected) {
+    std::printf("FAIL: accelerator output does not match the reference!\n");
+    return 1;
+  }
+  std::printf("result:        bit-exact match with the golden reference\n\n");
+
+  const auto& t = outcome.timing;
+  std::printf("-- timing (one offload, one iteration) --\n");
+  std::printf("code offload:  %8.1f us  (%zu bytes over the link)\n",
+              t.t_binary_s * 1e6, t.binary_bytes);
+  std::printf("input in:      %8.1f us\n", t.t_in_s * 1e6);
+  std::printf("compute:       %8.1f us  (%llu cluster cycles @ %.0f MHz)\n",
+              t.t_compute_s * 1e6,
+              static_cast<unsigned long long>(t.accel_cycles),
+              op.freq_hz / 1e6);
+  std::printf("output back:   %8.1f us\n", t.t_out_s * 1e6);
+  std::printf("total:         %8.1f us\n", t.total_s(1, false) * 1e6);
+
+  std::printf("\n-- power --\n");
+  std::printf("MCU active:    %6.2f mW @ %.0f MHz\n",
+              mcu.active_power_w(mcu_freq) * 1e3, mcu_freq / 1e6);
+  std::printf("PULP compute:  %6.2f mW @ %.2f V (chi_run=%.2f)\n",
+              pm.total_w(outcome.activity, op) * 1e3, op.vdd,
+              outcome.activity.cores_run);
+  std::printf("steady system: %6.2f mW (double-buffered iteration stream)\n",
+              session.steady_power_w(outcome, op, true) * 1e3);
+
+  const auto e = session.energy(outcome, op, 1, false);
+  std::printf("\n-- energy (one iteration) --\n");
+  std::printf("MCU: %.2f uJ   PULP: %.2f uJ   link: %.2f uJ   total: %.2f uJ\n",
+              e.mcu_j * 1e6, e.pulp_j * 1e6, e.link_j * 1e6,
+              e.total_j() * 1e6);
+
+  // Comparison point: the same kernel on the MCU alone.
+  const auto mcu_cfg = mcu.core_config();
+  const auto kc_mcu = kernels::make_matmul_char(
+      mcu_cfg.features, 1, kernels::Target::kFlat, 42);
+  const auto mcu_run = kernels::run_on_flat(kc_mcu, mcu_cfg);
+  const double t_mcu = static_cast<double>(mcu_run.cycles) / mcu_freq;
+  std::printf("\n-- vs MCU alone @ %.0f MHz --\n", mcu_freq / 1e6);
+  std::printf("MCU compute:   %8.1f us  ->  offloaded speedup %.1fx\n",
+              t_mcu * 1e6, t_mcu / t.t_compute_s);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Biomedical/sensor classifier node: the paper's second motivating domain
+// ("compressed sensing ... biomedical applications", SVM benchmarks from
+// wearable-class workloads).
+//
+// A sensor produces windows of samples; each window is classified with an
+// RBF SVM. The node is battery powered, so the figure of merit is energy
+// per classification and the resulting battery life at a given duty cycle.
+// The example compares running the classifier on the MCU against
+// offloading it, both inside the same power envelope.
+//
+// Build & run:  ./build/examples/sensor_classifier
+#include <cstdio>
+
+#include "kernels/kernel.hpp"
+#include "kernels/runner.hpp"
+#include "runtime/offload.hpp"
+
+int main() {
+  using namespace ulp;
+  // A CR2032 coin cell: ~225 mAh at 3 V.
+  constexpr double kBatteryJoules = 0.225 * 3600.0 * 3.0;
+  constexpr double kWindowsPerSecond = 2.0;  // sensor duty cycle
+
+  const host::McuSpec& mcu = host::stm32l476();
+  const double f_mcu = mhz(8);
+
+  // --- On-MCU classification ---------------------------------------
+  const auto mcu_cfg = mcu.core_config();
+  const auto kc_mcu = kernels::make_svm_rbf(mcu_cfg.features, 1,
+                                            kernels::Target::kFlat, 7);
+  const auto run_mcu = kernels::run_on_flat(kc_mcu, mcu_cfg);
+  const double t_mcu = static_cast<double>(run_mcu.cycles) / f_mcu;
+  const double e_mcu = t_mcu * mcu.active_power_w(f_mcu);
+
+  // --- Offloaded classification ------------------------------------
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_svm_rbf(accel_cfg.features, 4,
+                                        kernels::Target::kCluster, 7);
+  link::SpiLinkConfig lcfg;
+  lcfg.lanes = mcu.spi_lanes;
+  lcfg.max_freq_hz = mcu.spi_max_hz;
+  runtime::OffloadSession session(mcu, f_mcu, link::SpiLink(lcfg));
+  power::PulpPowerModel pm;
+  const power::OperatingPoint op{0.5, pm.fmax_hz(0.5)};
+  const auto outcome = session.run(kc.offload_request(), op);
+  if (outcome.output != kc.expected) {
+    std::printf("classification mismatch!\n");
+    return 1;
+  }
+  // The model stays resident on the accelerator: the binary (with the
+  // support vectors) is offloaded once, then each window is one iteration.
+  const u32 n = 1000;
+  const auto e_off_total = session.energy(outcome, op, n, true);
+  const double e_off = e_off_total.total_j() / n;
+  const double t_off = outcome.timing.t_in_s + outcome.timing.t_compute_s +
+                       outcome.timing.t_out_s;
+
+  std::printf("RBF-SVM window classification @ MCU %.0f MHz\n", f_mcu / 1e6);
+  std::printf("\n%-24s %14s %14s\n", "", "MCU only", "heterogeneous");
+  std::printf("%-24s %11.2f ms %11.2f ms\n", "latency / window", t_mcu * 1e3,
+              t_off * 1e3);
+  std::printf("%-24s %11.2f uJ %11.2f uJ\n", "energy / window", e_mcu * 1e6,
+              e_off * 1e6);
+  std::printf("%-24s %11.1fx %13s\n", "energy advantage", e_mcu / e_off, "");
+
+  // Battery life at the duty cycle (classification energy only; both
+  // variants share the same sensor/sleep floor, so the delta is what the
+  // architecture buys).
+  const double life_mcu =
+      kBatteryJoules / (e_mcu * kWindowsPerSecond) / 86400.0;
+  const double life_off =
+      kBatteryJoules / (e_off * kWindowsPerSecond) / 86400.0;
+  std::printf("\nCR2032 budget at %.0f windows/s (compute share only):\n",
+              kWindowsPerSecond);
+  std::printf("%-24s %11.0f days\n", "MCU only", life_mcu);
+  std::printf("%-24s %11.0f days\n", "heterogeneous", life_off);
+
+  std::printf(
+      "\nReading: the accelerator classifies the window faster at lower\n"
+      "energy, then clock-gates; the MCU sleeps through the compute. This\n"
+      "is the paper's point that the ULP accelerator must be *much* more\n"
+      "energy-efficient than its host to be worth the coupling.\n");
+  return 0;
+}

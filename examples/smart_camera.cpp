@@ -1,0 +1,90 @@
+// Smart camera node: the paper's motivating IoT scenario (Section I —
+// "embedded machine vision").
+//
+// A low-power camera produces frames; the MCU wants a CNN classification
+// per frame inside a sub-10 mW system budget. This example sweeps the MCU
+// frequency, gives the accelerator whatever power is left, and reports the
+// achievable frame rate three ways:
+//   * MCU alone (no accelerator),
+//   * heterogeneous, sequential offload per frame,
+//   * heterogeneous, double-buffered (next frame streams in while the
+//     current one is classified — the paper's "traditional double
+//     buffering schemes").
+//
+// Build & run:  ./build/examples/smart_camera
+#include <cstdio>
+
+#include "kernels/kernel.hpp"
+#include "kernels/runner.hpp"
+#include "runtime/offload.hpp"
+
+int main() {
+  using namespace ulp;
+  constexpr double kBudget = mw(10);
+
+  const core::CoreConfig accel_cfg = core::or10n_config();
+  const kernels::KernelCase frame_kernel = kernels::make_cnn(
+      accel_cfg.features, 4, kernels::Target::kCluster, 2026);
+
+  const host::McuSpec& mcu = host::stm32l476();
+  const auto mcu_cfg = mcu.core_config();
+  const auto kc_mcu =
+      kernels::make_cnn(mcu_cfg.features, 1, kernels::Target::kFlat, 2026);
+  const u64 mcu_cycles = kernels::run_on_flat(kc_mcu, mcu_cfg).cycles;
+
+  power::PulpPowerModel pm;
+
+  std::printf("Smart camera: CNN classification per frame, %.0f mW budget\n",
+              kBudget * 1e3);
+  std::printf("%8s | %10s | %12s %12s | %10s %8s\n", "f_mcu", "MCU-only",
+              "seq fps", "dblbuf fps", "PULP op", "P total");
+  std::printf("%8s | %10s | %12s %12s | %10s %8s\n", "", "fps", "", "",
+              "V / MHz", "mW");
+
+  for (double f_mcu : {mhz(2), mhz(4), mhz(8), mhz(16), mhz(26), mhz(32)}) {
+    // MCU alone: full budget check, frame rate from its own cycles.
+    const double p_mcu = mcu.active_power_w(f_mcu);
+    const double fps_mcu_only =
+        p_mcu <= kBudget ? f_mcu / static_cast<double>(mcu_cycles) : 0.0;
+
+    // Heterogeneous: residual power to the accelerator.
+    link::SpiLinkConfig lcfg;
+    lcfg.lanes = mcu.spi_lanes;
+    lcfg.max_freq_hz = mcu.spi_max_hz;
+    runtime::OffloadSession session(mcu, f_mcu, link::SpiLink(lcfg));
+
+    // Activity factors for the budget search come from a reference run.
+    const auto probe = session.run(frame_kernel.offload_request(),
+                                   power::OperatingPoint{0.6, pm.fmax_hz(0.6)});
+    const double residual =
+        kBudget - p_mcu - session.link().idle_power_w();
+    const auto op = pm.max_performance_point(residual, probe.activity);
+    if (!op) {
+      std::printf("%5.0fMHz | %10.1f | %12s %12s | %10s %8s\n", f_mcu / 1e6,
+                  fps_mcu_only, "--", "--", "--", "--");
+      continue;
+    }
+    const auto outcome = session.run(frame_kernel.offload_request(), *op);
+    if (outcome.output != frame_kernel.expected) {
+      std::printf("classification mismatch!\n");
+      return 1;
+    }
+    // Steady-state frame period with the code offload amortised.
+    const auto& t = outcome.timing;
+    const double seq_period = t.t_in_s + t.t_compute_s + t.t_out_s;
+    const double dbl_period =
+        std::max(t.t_compute_s, t.t_in_s + t.t_out_s);
+    const double p_total = session.steady_power_w(outcome, *op, true);
+    std::printf(
+        "%5.0fMHz | %10.1f | %12.1f %12.1f | %4.2fV/%3.0fM %8.2f\n",
+        f_mcu / 1e6, fps_mcu_only, 1.0 / seq_period, 1.0 / dbl_period,
+        op->vdd, op->freq_hz / 1e6, p_total * 1e3);
+  }
+
+  std::printf(
+      "\nReading: the MCU alone cannot exceed a few frames/s inside the\n"
+      "budget; handing the freed-up power to the accelerator buys an order\n"
+      "of magnitude, and double buffering hides the QSPI transfer time\n"
+      "whenever classification dominates.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// vr1k_run: assemble and execute a VR1K assembly file on the single-core
+// ISS — the repository's "simulator binary" for hand-written programs.
+//
+// Usage:
+//   ./build/examples/vr1k_run program.s [--config or10n|m4|m3|baseline]
+//                                       [--trace] [--reg rN=VALUE ...]
+//
+// Prints the retired-instruction trace (with --trace), the final register
+// file (non-zero registers) and the performance counters. With no file
+// argument a built-in demo program runs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/assembler.hpp"
+#include "core/core.hpp"
+#include "isa/disasm.hpp"
+#include "mem/bus.hpp"
+
+namespace {
+
+constexpr const char* kDemo = R"(
+    ; demo: sum of the first 100 integers
+    addi r1, r0, 100
+    addi r2, r0, 0
+top:
+    add  r2, r2, r1
+    addi r1, r1, -1
+    bne  r1, r0, top
+    halt
+)";
+
+ulp::core::CoreConfig pick_config(const char* name) {
+  using namespace ulp::core;
+  if (std::strcmp(name, "or10n") == 0) return or10n_config();
+  if (std::strcmp(name, "m4") == 0) return cortex_m4_config();
+  if (std::strcmp(name, "m3") == 0) return cortex_m3_config();
+  if (std::strcmp(name, "baseline") == 0) return baseline_config();
+  std::fprintf(stderr, "unknown config '%s'\n", name);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ulp;
+  std::string source = kDemo;
+  core::CoreConfig cfg = core::or10n_config();
+  bool trace = false;
+  std::vector<std::pair<u32, u32>> presets;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      cfg = pick_config(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--reg") == 0 && i + 1 < argc) {
+      u32 r = 0, v = 0;
+      if (std::sscanf(argv[++i], "r%u=%i", &r,
+                      reinterpret_cast<int*>(&v)) == 2 &&
+          r < 32) {
+        presets.emplace_back(r, v);
+      } else {
+        std::fprintf(stderr, "bad --reg argument '%s'\n", argv[i]);
+        return 1;
+      }
+    } else {
+      std::ifstream file(argv[i]);
+      if (!file) {
+        std::fprintf(stderr, "cannot open '%s'\n", argv[i]);
+        return 1;
+      }
+      std::ostringstream ss;
+      ss << file.rdbuf();
+      source = ss.str();
+    }
+  }
+
+  isa::Program prog;
+  try {
+    prog = codegen::assemble(source);
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "assembly error: %s\n", e.what());
+    return 1;
+  }
+
+  mem::Sram sram(0, 256 * 1024);
+  mem::SimpleBus bus(&sram, 1);
+  core::Core cpu(0, 1, cfg, &bus);
+  cpu.reset(&prog);
+  for (const auto& [r, v] : presets) cpu.set_reg(r, v);
+  if (trace) {
+    cpu.set_retire_hook([](u32 pc, const isa::Instr& in) {
+      std::printf("  %4u: %s\n", pc, isa::disassemble(in).c_str());
+    });
+  }
+
+  try {
+    cpu.run_to_halt();
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "runtime fault: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("config: %s   %zu instructions assembled\n", cfg.name.c_str(),
+              prog.code.size());
+  std::printf("registers (non-zero):\n");
+  for (u32 r = 1; r < 32; ++r) {
+    if (cpu.reg(r) != 0) {
+      std::printf("  r%-2u = %10u  (0x%08x / %d)\n", r, cpu.reg(r),
+                  cpu.reg(r), static_cast<i32>(cpu.reg(r)));
+    }
+  }
+  const auto& p = cpu.perf();
+  std::printf("perf: %llu cycles, %llu instrs (%.2f IPC), "
+              "%llu loads, %llu stores, %llu branches (%llu taken)\n",
+              static_cast<unsigned long long>(p.cycles),
+              static_cast<unsigned long long>(p.instrs),
+              static_cast<double>(p.instrs) / static_cast<double>(p.cycles),
+              static_cast<unsigned long long>(p.loads),
+              static_cast<unsigned long long>(p.stores),
+              static_cast<unsigned long long>(p.branches),
+              static_cast<unsigned long long>(p.branches_taken));
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "cluster/cluster.hpp"
+
+#include "common/status.hpp"
+
+namespace ulp::cluster {
+
+Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
+  ULP_CHECK(params_.num_cores >= 1, "cluster needs at least one core");
+  tcdm_ = std::make_unique<mem::Tcdm>(kTcdmBase, params_.tcdm_banks,
+                                      params_.tcdm_bank_bytes);
+  l2_ = std::make_unique<mem::Sram>(kL2Base, params_.l2_bytes);
+  bus_ = std::make_unique<mem::ClusterBus>(tcdm_.get(), l2_.get(),
+                                           params_.l2_latency);
+  icache_ = std::make_unique<mem::SharedICache>(params_.icache_line_instrs,
+                                                params_.icache_miss_penalty);
+  events_ = std::make_unique<EventUnit>(params_.num_cores);
+  // The DMA is bus initiator N (after cores 0..N-1).
+  dma_ = std::make_unique<dma::Dma>(bus_.get(), params_.num_cores);
+  dma_->set_event_unit(events_.get());
+  bus_->add_peripheral(kPeriphBase + kDmaOffset, 0x20, dma_.get());
+
+  for (u32 i = 0; i < params_.num_cores; ++i) {
+    cores_.push_back(std::make_unique<core::Core>(
+        i, params_.num_cores, params_.core_config, bus_.get(), icache_.get(),
+        events_.get()));
+  }
+}
+
+void Cluster::load_program(const isa::Program& program) {
+  program_ = program;
+  for (const isa::Segment& seg : program_.data) {
+    for (size_t i = 0; i < seg.bytes.size(); ++i) {
+      bus_->debug_store(seg.addr + static_cast<Addr>(i), 1, seg.bytes[i]);
+    }
+  }
+  icache_->reset(program_.code.size());
+  events_->clear_eoc();
+  dma_->reset_stats();
+  tcdm_->reset_stats();
+  for (auto& c : cores_) c->reset(&program_);
+  cycles_ = 0;
+}
+
+void Cluster::step() {
+  bus_->begin_cycle();
+  // Rotating priority: the core that goes first changes every cycle, so
+  // TCDM conflict losses spread evenly (round-robin arbitration).
+  const u32 n = params_.num_cores;
+  const u32 first = static_cast<u32>(cycles_ % n);
+  for (u32 k = 0; k < n; ++k) {
+    cores_[(first + k) % n]->step();
+  }
+  dma_->step();
+  ++cycles_;
+}
+
+bool Cluster::all_halted() const {
+  for (const auto& c : cores_) {
+    if (!c->halted()) return false;
+  }
+  return true;
+}
+
+u64 Cluster::run(u64 max_cycles) {
+  while (!all_halted()) {
+    ULP_CHECK(cycles_ < max_cycles, "cluster run exceeded cycle budget");
+    step();
+  }
+  // Drain any DMA work still in flight (e.g. a final writeback started just
+  // before EOC; well-formed kernels wait, but keep timing honest anyway).
+  while (!dma_->idle()) {
+    ULP_CHECK(cycles_ < max_cycles, "cluster DMA drain exceeded cycle budget");
+    step();
+  }
+  return cycles_;
+}
+
+ClusterStats Cluster::stats() const {
+  ClusterStats s;
+  s.cycles = cycles_;
+  for (const auto& c : cores_) s.cores.push_back(c->perf());
+  s.dma = dma_->stats();
+  s.tcdm_conflicts = tcdm_->total_conflicts();
+  s.icache_misses = icache_->misses();
+  return s;
+}
+
+}  // namespace ulp::cluster

@@ -1,0 +1,106 @@
+// The PULP cluster: four OR10N-class cores, shared I$, banked TCDM behind a
+// single-cycle log-interconnect, lightweight DMA and the HW synchronizer.
+//
+// Execution model is SPMD, as on the real cluster: every core starts at the
+// program's entry point and differentiates its work through the core-id CSR
+// (the runtime's generated prologue computes per-core loop chunks from it).
+// The cluster is cycle-stepped; per-cycle bank arbitration rotates the core
+// priority order so no core is systematically favoured.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/event_unit.hpp"
+#include "common/memmap.hpp"
+#include "core/core.hpp"
+#include "dma/dma.hpp"
+#include "mem/bus.hpp"
+#include "mem/icache.hpp"
+#include "mem/tcdm.hpp"
+
+namespace ulp::cluster {
+
+// Memory map re-exported from common/memmap.hpp (one source of truth).
+inline constexpr Addr kTcdmBase = memmap::kTcdmBase;
+inline constexpr Addr kPeriphBase = memmap::kPeriphBase;
+inline constexpr Addr kDmaOffset = memmap::kDmaBase - memmap::kPeriphBase;
+inline constexpr Addr kL2Base = memmap::kL2Base;
+
+struct ClusterParams {
+  u32 num_cores = 4;
+  core::CoreConfig core_config = core::or10n_config();
+
+  u32 tcdm_banks = 8;
+  u32 tcdm_bank_bytes = 8 * 1024;  ///< 8 banks x 8 KiB = 64 KiB TCDM.
+  u32 l2_bytes = 128 * 1024;
+  u32 l2_latency = 4;
+
+  u32 icache_line_instrs = 4;
+  u32 icache_miss_penalty = 8;
+};
+
+/// Aggregated cluster activity, the input to the power model's chi factors.
+struct ClusterStats {
+  u64 cycles = 0;
+  std::vector<core::PerfCounters> cores;
+  dma::DmaStats dma;
+  u64 tcdm_conflicts = 0;
+  u64 icache_misses = 0;
+
+  /// Total instructions retired across all cores.
+  [[nodiscard]] u64 total_instrs() const {
+    u64 n = 0;
+    for (const auto& c : cores) n += c.instrs;
+    return n;
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterParams params = {});
+
+  // Not movable: cores hold stable pointers into this object.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Installs a program: data segments are written to TCDM/L2, the I$ is
+  /// cold, all cores are reset to the entry point. Statistics restart.
+  void load_program(const isa::Program& program);
+
+  /// Advance one cluster clock cycle.
+  void step();
+
+  /// Run until every core has halted (EOC/HALT). Returns elapsed cycles
+  /// since load_program. Throws if `max_cycles` is exceeded.
+  u64 run(u64 max_cycles = 4'000'000'000ull);
+
+  [[nodiscard]] bool all_halted() const;
+  [[nodiscard]] u64 cycles() const { return cycles_; }
+
+  [[nodiscard]] const ClusterParams& params() const { return params_; }
+  [[nodiscard]] core::Core& core(u32 i) { return *cores_[i]; }
+  [[nodiscard]] mem::ClusterBus& bus() { return *bus_; }
+  [[nodiscard]] mem::Tcdm& tcdm() { return *tcdm_; }
+  [[nodiscard]] mem::Sram& l2() { return *l2_; }
+  [[nodiscard]] dma::Dma& dma() { return *dma_; }
+  [[nodiscard]] EventUnit& events() { return *events_; }
+  [[nodiscard]] const EventUnit& events() const { return *events_; }
+
+  [[nodiscard]] ClusterStats stats() const;
+
+ private:
+  ClusterParams params_;
+  std::unique_ptr<mem::Tcdm> tcdm_;
+  std::unique_ptr<mem::Sram> l2_;
+  std::unique_ptr<mem::ClusterBus> bus_;
+  std::unique_ptr<mem::SharedICache> icache_;
+  std::unique_ptr<EventUnit> events_;
+  std::unique_ptr<dma::Dma> dma_;
+  std::vector<std::unique_ptr<core::Core>> cores_;
+
+  isa::Program program_;
+  u64 cycles_ = 0;
+};
+
+}  // namespace ulp::cluster

@@ -1,0 +1,82 @@
+// Cluster event unit / hardware synchronizer.
+//
+// PULP's cluster contains a small hardware block that implements barriers
+// and events so cores "can be put to sleep and woken up in just a few
+// cycles" (Section III-B). The core-side cost (sleep entry, wake latency)
+// lives in core::Core; this class is the shared state: barrier arrival
+// bitmask, per-core wake flags split by wake kind, the end-of-computation
+// flag wired to the host GPIO, and DMA-completion events.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/core.hpp"
+
+namespace ulp::cluster {
+
+class EventUnit final : public core::SyncUnit {
+ public:
+  explicit EventUnit(u32 num_cores)
+      : num_cores_(num_cores),
+        arrived_(num_cores, false),
+        barrier_release_(num_cores, false),
+        event_pending_(num_cores, false) {
+    ULP_CHECK(num_cores > 0, "event unit needs at least one core");
+  }
+
+  bool barrier_arrive(u32 core_id) override {
+    ULP_CHECK(core_id < num_cores_, "bad core id");
+    ULP_CHECK(!arrived_[core_id], "double barrier arrival");
+    arrived_[core_id] = true;
+    ++arrival_count_;
+    if (arrival_count_ < num_cores_) return false;
+    // Barrier complete: release every *other* core; the caller proceeds.
+    arrival_count_ = 0;
+    for (u32 i = 0; i < num_cores_; ++i) {
+      arrived_[i] = false;
+      if (i != core_id) barrier_release_[i] = true;
+    }
+    ++barriers_completed_;
+    return true;
+  }
+
+  bool check_wake(u32 core_id, core::WakeKind kind) override {
+    ULP_CHECK(core_id < num_cores_, "bad core id");
+    auto& mask = kind == core::WakeKind::kBarrier ? barrier_release_
+                                                  : event_pending_;
+    if (!mask[core_id]) return false;
+    mask[core_id] = false;
+    return true;
+  }
+
+  void send_event(u32 /*event_id*/) override {
+    // Broadcast: WFE wake-ups are re-checked in software, so event identity
+    // does not need to be tracked per id.
+    event_pending_.assign(num_cores_, true);
+  }
+
+  void signal_eoc(u32 flag) override {
+    eoc_ = true;
+    eoc_flag_ = flag;
+  }
+
+  /// The "end of computation" GPIO level seen by the host MCU.
+  [[nodiscard]] bool eoc() const { return eoc_; }
+  [[nodiscard]] u32 eoc_flag() const { return eoc_flag_; }
+  void clear_eoc() { eoc_ = false; }
+
+  [[nodiscard]] u64 barriers_completed() const { return barriers_completed_; }
+
+ private:
+  u32 num_cores_;
+  u32 arrival_count_ = 0;
+  std::vector<bool> arrived_;
+  std::vector<bool> barrier_release_;
+  std::vector<bool> event_pending_;
+  bool eoc_ = false;
+  u32 eoc_flag_ = 0;
+  u64 barriers_completed_ = 0;
+};
+
+}  // namespace ulp::cluster

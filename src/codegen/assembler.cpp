@@ -1,0 +1,250 @@
+#include "codegen/assembler.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulp::codegen {
+
+using isa::Fmt;
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+struct PendingLabel {
+  u32 instr_index;
+  std::string name;
+  int line;
+  bool is_lpsetup;  // lp.setup resolves to (target - (setup+1)), branches
+                    // to (target - branch).
+};
+
+[[noreturn]] void syntax_error(int line, const std::string& msg) {
+  throw SimError("asm line " + std::to_string(line) + ": " + msg);
+}
+
+/// Splits an instruction's operand text into tokens, treating ',', '(' and
+/// ')' as separators; "4(r3)" becomes ["4", "r3"].
+std::vector<std::string> operand_tokens(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == ',' || c == '(' || c == ')' || std::isspace(
+                                                static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool parse_int(const std::string& tok, i64* out) {
+  int base = 10;
+  size_t start = 0;
+  bool neg = false;
+  if (start < tok.size() && (tok[start] == '-' || tok[start] == '+')) {
+    neg = tok[start] == '-';
+    ++start;
+  }
+  if (tok.size() >= start + 2 && tok[start] == '0' &&
+      (tok[start + 1] == 'x' || tok[start + 1] == 'X')) {
+    base = 16;
+    start += 2;
+  }
+  i64 v = 0;
+  const auto* first = tok.data() + start;
+  const auto* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v, base);
+  if (ec != std::errc{} || ptr != last) return false;
+  *out = neg ? -v : v;
+  return true;
+}
+
+u8 parse_reg(const std::string& tok, int line) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    syntax_error(line, "expected register, got '" + tok + "'");
+  }
+  i64 n = 0;
+  if (!parse_int(tok.substr(1), &n) || n < 0 || n >= isa::kNumRegs) {
+    syntax_error(line, "bad register '" + tok + "'");
+  }
+  return static_cast<u8>(n);
+}
+
+const std::map<std::string, Opcode, std::less<>>& mnemonic_map() {
+  static const auto* map = [] {
+    auto* m = new std::map<std::string, Opcode, std::less<>>();
+    for (size_t i = 0; i < isa::kNumOpcodes; ++i) {
+      const auto op = static_cast<Opcode>(i);
+      (*m)[std::string(isa::op_info(op).mnemonic)] = op;
+    }
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+isa::Program assemble(std::string_view source) {
+  std::map<std::string, u32, std::less<>> labels;
+  std::vector<PendingLabel> pending;
+  std::vector<Instr> code;
+
+  std::istringstream stream{std::string(source)};
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    // Strip comments.
+    for (const char marker : {';', '#'}) {
+      if (const size_t p = raw_line.find(marker); p != std::string::npos) {
+        raw_line.erase(p);
+      }
+    }
+    // Leading label(s).
+    std::string text = raw_line;
+    while (true) {
+      const size_t colon = text.find(':');
+      if (colon == std::string::npos) break;
+      std::string name = text.substr(0, colon);
+      // Trim whitespace.
+      while (!name.empty() && std::isspace(static_cast<unsigned char>(
+                                  name.front()))) {
+        name.erase(name.begin());
+      }
+      while (!name.empty() &&
+             std::isspace(static_cast<unsigned char>(name.back()))) {
+        name.pop_back();
+      }
+      if (name.empty() || name.find(' ') != std::string::npos) break;
+      ULP_CHECK(!labels.contains(name),
+                "asm line " + std::to_string(line_no) + ": duplicate label '" +
+                    name + "'");
+      labels[name] = static_cast<u32>(code.size());
+      text = text.substr(colon + 1);
+    }
+    // Mnemonic.
+    std::istringstream ls(text);
+    std::string mnemonic;
+    if (!(ls >> mnemonic)) continue;  // empty line
+    const auto& mm = mnemonic_map();
+    const auto it = mm.find(mnemonic);
+    if (it == mm.end()) syntax_error(line_no, "unknown mnemonic '" + mnemonic + "'");
+    const Opcode op = it->second;
+    const Fmt fmt = isa::op_info(op).fmt;
+
+    std::string rest;
+    std::getline(ls, rest);
+    const std::vector<std::string> ops = operand_tokens(rest);
+
+    auto need = [&](size_t n) {
+      if (ops.size() != n) {
+        syntax_error(line_no, "expected " + std::to_string(n) +
+                                  " operands for '" + mnemonic + "', got " +
+                                  std::to_string(ops.size()));
+      }
+    };
+    auto imm_or_label = [&](const std::string& tok, bool lpsetup) -> i32 {
+      i64 v = 0;
+      if (parse_int(tok, &v)) return static_cast<i32>(v);
+      pending.push_back(
+          {static_cast<u32>(code.size()), tok, line_no, lpsetup});
+      return 0;
+    };
+
+    Instr in;
+    in.op = op;
+    switch (fmt) {
+      case Fmt::kR:
+        need(3);
+        in.rd = parse_reg(ops[0], line_no);
+        in.ra = parse_reg(ops[1], line_no);
+        in.rb = parse_reg(ops[2], line_no);
+        break;
+      case Fmt::kI:
+        need(3);
+        in.rd = parse_reg(ops[0], line_no);
+        in.ra = parse_reg(ops[1], line_no);
+        in.imm = imm_or_label(ops[2], false);
+        break;
+      case Fmt::kMem:
+        need(3);  // "lw rd, imm(ra)" tokenises to rd, imm, ra
+        in.rd = parse_reg(ops[0], line_no);
+        in.imm = imm_or_label(ops[1], false);
+        in.ra = parse_reg(ops[2], line_no);
+        break;
+      case Fmt::kB:
+        need(3);
+        in.ra = parse_reg(ops[0], line_no);
+        in.rb = parse_reg(ops[1], line_no);
+        in.imm = imm_or_label(ops[2], false);
+        break;
+      case Fmt::kLui:
+      case Fmt::kJ:
+        need(2);
+        in.rd = parse_reg(ops[0], line_no);
+        in.imm = imm_or_label(ops[1], false);
+        break;
+      case Fmt::kLp: {
+        need(3);
+        i64 id = 0;
+        if (!parse_int(ops[0], &id) || id < 0 || id > 1) {
+          syntax_error(line_no, "lp.setup id must be 0 or 1");
+        }
+        in.rd = static_cast<u8>(id);
+        in.ra = parse_reg(ops[1], line_no);
+        in.imm = imm_or_label(ops[2], true);
+        break;
+      }
+      case Fmt::kSys:
+        if (op == Opcode::kCsrr) {
+          need(2);
+          in.rd = parse_reg(ops[0], line_no);
+          in.imm = imm_or_label(ops[1], false);
+        } else if (op == Opcode::kSev || op == Opcode::kEoc) {
+          if (ops.size() == 1) in.imm = imm_or_label(ops[0], false);
+          else need(0);
+        } else {
+          need(0);
+        }
+        break;
+    }
+    code.push_back(in);
+  }
+
+  for (const PendingLabel& p : pending) {
+    const auto it = labels.find(p.name);
+    if (it == labels.end()) {
+      syntax_error(p.line, "undefined label '" + p.name + "'");
+    }
+    Instr& in = code[p.instr_index];
+    if (p.is_lpsetup) {
+      const i64 body = static_cast<i64>(it->second) - (p.instr_index + 1);
+      if (body <= 0) syntax_error(p.line, "lp.setup end label before body");
+      in.imm = static_cast<i32>(body);
+    } else {
+      in.imm = static_cast<i32>(static_cast<i64>(it->second) - p.instr_index);
+    }
+    ULP_CHECK(isa::imm_fits(in.op, in.imm), "asm line " +
+                                                std::to_string(p.line) +
+                                                ": offset out of range");
+  }
+
+  isa::Program prog;
+  prog.code = std::move(code);
+  return prog;
+}
+
+}  // namespace ulp::codegen

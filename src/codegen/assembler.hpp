@@ -1,0 +1,30 @@
+// A small textual assembler for VR1K.
+//
+// Complements the Builder (which kernels use programmatically): tests and
+// examples can write readable assembly directly. Syntax follows the
+// disassembler's output, one instruction per line:
+//
+//     ; comment (also '#')
+//     start:
+//         addi  r1, r0, 64
+//         lp.setup 0, r1, body_end     ; label or literal body length
+//         lw!   r2, 4(r3)              ; post-increment load
+//     body_end:
+//         beq   r1, r0, start          ; branch targets are labels
+//         halt
+//
+// assemble() resolves labels and returns an isa::Program (no data
+// segments; callers attach those separately).
+#pragma once
+
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace ulp::codegen {
+
+/// Assembles `source`; throws SimError with a line number on syntax errors
+/// or unresolved labels.
+[[nodiscard]] isa::Program assemble(std::string_view source);
+
+}  // namespace ulp::codegen

@@ -1,0 +1,247 @@
+#include "codegen/builder.hpp"
+
+#include "common/memmap.hpp"
+#include "common/status.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulp::codegen {
+
+using isa::Opcode;
+
+u32 Builder::emit(Opcode op, u8 rd, u8 ra, u8 rb, i32 imm) {
+  const u32 index = here();
+  code_.push_back(isa::Instr{op, rd, ra, rb, imm});
+  return index;
+}
+
+Builder::Label Builder::make_label() {
+  label_pos_.push_back(-1);
+  return static_cast<Label>(label_pos_.size() - 1);
+}
+
+void Builder::bind(Label label) {
+  ULP_CHECK(label < label_pos_.size(), "unknown label");
+  ULP_CHECK(label_pos_[label] < 0, "label bound twice");
+  label_pos_[label] = here();
+}
+
+void Builder::branch(Opcode op, u8 ra, u8 rb, Label target) {
+  ULP_CHECK(isa::is_branch(op), "branch() requires a branch opcode");
+  fixups_.push_back({emit(op, 0, ra, rb, 0), target});
+}
+
+void Builder::jal(u8 rd, Label target) {
+  fixups_.push_back({emit(Opcode::kJal, rd, 0, 0, 0), target});
+}
+
+void Builder::li(u8 rd, u32 value) {
+  const i32 sval = static_cast<i32>(value);
+  if (sval >= -(1 << 14) && sval < (1 << 14)) {
+    emit(Opcode::kAddi, rd, zero, 0, sval);
+    return;
+  }
+  // lui covers bits [31:12]; ori fills in the low 12 (always non-negative).
+  emit(Opcode::kLui, rd, 0, 0, static_cast<i32>(value >> 12));
+  if ((value & 0xFFF) != 0) {
+    emit(Opcode::kOri, rd, rd, 0, static_cast<i32>(value & 0xFFF));
+  }
+}
+
+void Builder::loop(u8 count, u8 scratch, const std::function<void()>& body) {
+  if (feat_.has_hwloops && hwloop_depth_ < 2) {
+    // Outer loops take slot 0, the innermost takes slot 1 (checked first by
+    // the core, so nesting resolves correctly).
+    const u8 slot = static_cast<u8>(hwloop_depth_);
+    ++hwloop_depth_;
+    const u32 setup = emit(Opcode::kLpSetup, slot, count, 0, /*imm=*/1);
+    const u32 body_start = here();
+    body();
+    const u32 body_len = here() - body_start;
+    ULP_CHECK(body_len > 0, "hardware loop body is empty");
+    code_[setup].imm = static_cast<i32>(body_len);
+    --hwloop_depth_;
+    return;
+  }
+  // Software down-counter.
+  mv(scratch, count);
+  const Label done = make_label();
+  const Label top = make_label();
+  branch(Opcode::kBeq, scratch, zero, done);
+  bind(top);
+  body();
+  emit(Opcode::kAddi, scratch, scratch, 0, -1);
+  branch(Opcode::kBne, scratch, zero, top);
+  bind(done);
+}
+
+void Builder::loop_hot(u32 count, u8 scratch, const std::function<void()>& body,
+                       u32 unroll) {
+  ULP_CHECK(count > 0, "loop_hot requires a positive trip count");
+  if (feat_.has_hwloops && hwloop_depth_ < 2) {
+    li(scratch, count);
+    loop(scratch, scratch, body);
+    return;
+  }
+  const u32 factor = feat_.unroll_hot ? unroll : 1;
+  ULP_CHECK(factor > 0 && count % factor == 0,
+            "loop_hot trip count must be a multiple of the unroll factor");
+  li(scratch, count / factor);
+  const Label top = make_label();
+  bind(top);
+  for (u32 u = 0; u < factor; ++u) body();
+  emit(Opcode::kAddi, scratch, scratch, 0, -1);
+  branch(Opcode::kBne, scratch, zero, top);
+}
+
+void Builder::mac(u8 rd, u8 ra, u8 rb, u8 scratch) {
+  if (feat_.has_mac) {
+    emit(Opcode::kMac, rd, ra, rb);
+    return;
+  }
+  emit(Opcode::kMul, scratch, ra, rb);
+  emit(Opcode::kAdd, rd, rd, scratch);
+}
+
+void Builder::access_pi(Opcode op, u8 rd, u8 ra, i32 step) {
+  if (feat_.has_postinc) {
+    emit(op, rd, ra, 0, step);
+    return;
+  }
+  emit(strip_postinc(op), rd, ra, 0, 0);
+  emit(Opcode::kAddi, ra, ra, 0, step);
+}
+
+isa::Opcode Builder::strip_postinc(Opcode op) {
+  switch (op) {
+    case Opcode::kLwpi: return Opcode::kLw;
+    case Opcode::kLhpi: return Opcode::kLh;
+    case Opcode::kLhupi: return Opcode::kLhu;
+    case Opcode::kLbpi: return Opcode::kLb;
+    case Opcode::kLbupi: return Opcode::kLbu;
+    case Opcode::kSwpi: return Opcode::kSw;
+    case Opcode::kShpi: return Opcode::kSh;
+    case Opcode::kSbpi: return Opcode::kSb;
+    default:
+      ULP_CHECK(false, "not a post-increment opcode");
+  }
+}
+
+void Builder::mulh_signed(u8 rd, u8 ra, u8 rb, u8 t0, u8 t1, u8 t2, u8 t3) {
+  if (feat_.has_mul64) {
+    emit(Opcode::kMulhs, rd, ra, rb);
+    return;
+  }
+  // 16x16 partial products with exact carry propagation. With a = ah:al and
+  // b = bh:bl (al/bl unsigned, ah/bh signed):
+  //   hi = ah*bh + (ah*bl)>>16 + (al*bh)>>16
+  //      + ((al*bl)>>16 + (ah*bl & 0xFFFF) + (al*bh & 0xFFFF)) >> 16.
+  // The middle products are split into high/low halves so their sum can
+  // never wrap (the classic mulh emulation). rd may not alias the sources
+  // or scratch registers; the kernels respect this.
+  emit(Opcode::kSlli, t0, ra, 0, 16);
+  emit(Opcode::kSrli, t0, t0, 0, 16);  // al
+  emit(Opcode::kSrai, t1, ra, 0, 16);  // ah
+  emit(Opcode::kSlli, t2, rb, 0, 16);
+  emit(Opcode::kSrli, t2, t2, 0, 16);  // bl
+  emit(Opcode::kSrai, t3, rb, 0, 16);  // bh
+  emit(Opcode::kMul, rd, t1, t3);      // ah*bh
+  emit(Opcode::kMul, t3, t0, t3);      // al*bh
+  emit(Opcode::kMul, t1, t1, t2);      // ah*bl
+  emit(Opcode::kMul, t0, t0, t2);      // al*bl
+  emit(Opcode::kSrli, t0, t0, 0, 16);  // carry word u = (al*bl) >> 16
+  emit(Opcode::kSlli, t2, t1, 0, 16);
+  emit(Opcode::kSrli, t2, t2, 0, 16);  // (ah*bl) & 0xFFFF
+  emit(Opcode::kAdd, t0, t0, t2);      // u += low(ah*bl)
+  emit(Opcode::kSlli, t2, t3, 0, 16);
+  emit(Opcode::kSrli, t2, t2, 0, 16);  // (al*bh) & 0xFFFF
+  emit(Opcode::kAdd, t0, t0, t2);      // u += low(al*bh)
+  emit(Opcode::kSrli, t0, t0, 0, 16);  // u >> 16: carry into the high word
+  emit(Opcode::kAdd, rd, rd, t0);
+  emit(Opcode::kSrai, t1, t1, 0, 16);  // high(ah*bl), signed
+  emit(Opcode::kAdd, rd, rd, t1);
+  emit(Opcode::kSrai, t3, t3, 0, 16);  // high(al*bh), signed
+  emit(Opcode::kAdd, rd, rd, t3);
+}
+
+void Builder::q32_mul(u8 rd, u8 ra, u8 rb, u8 t0, u8 t1, u8 t2, u8 t3) {
+  if (feat_.has_mul64) {
+    // (hi << 16) | (lo >> 16): three extra ALU ops around mulhs/mul.
+    emit(Opcode::kMulhs, t0, ra, rb);
+    emit(Opcode::kMul, t1, ra, rb);
+    emit(Opcode::kSlli, t0, t0, 0, 16);
+    emit(Opcode::kSrli, t1, t1, 0, 16);
+    emit(Opcode::kOr, rd, t0, t1);
+    return;
+  }
+  // Software path: compute hi into t2' via mulh_signed-style partials, but
+  // we also need the low word; reuse the partial products directly.
+  // a = ah:al, b = bh:bl. product>>16 (bits 47:16) =
+  //   (ah*bh)<<16 + ah*bl + al*bh + ((al*bl)>>16).
+  emit(Opcode::kSlli, t0, ra, 0, 16);
+  emit(Opcode::kSrli, t0, t0, 0, 16);  // al
+  emit(Opcode::kSrai, t1, ra, 0, 16);  // ah
+  emit(Opcode::kSlli, t2, rb, 0, 16);
+  emit(Opcode::kSrli, t2, t2, 0, 16);  // bl
+  emit(Opcode::kSrai, t3, rb, 0, 16);  // bh
+  emit(Opcode::kMul, rd, t1, t3);      // ah*bh
+  emit(Opcode::kSlli, rd, rd, 0, 16);
+  emit(Opcode::kMul, t3, t0, t3);      // al*bh
+  emit(Opcode::kMul, t1, t1, t2);      // ah*bl
+  emit(Opcode::kMul, t0, t0, t2);      // al*bl
+  emit(Opcode::kSrli, t0, t0, 0, 16);
+  emit(Opcode::kAdd, rd, rd, t3);
+  emit(Opcode::kAdd, rd, rd, t1);
+  emit(Opcode::kAdd, rd, rd, t0);
+}
+
+void Builder::add64(u8 lo_d, u8 hi_d, u8 lo_s, u8 hi_s, u8 scratch) {
+  emit(Opcode::kAdd, lo_d, lo_d, lo_s);
+  emit(Opcode::kSltu, scratch, lo_d, lo_s);  // carry out of the low word
+  emit(Opcode::kAdd, hi_d, hi_d, hi_s);
+  emit(Opcode::kAdd, hi_d, hi_d, scratch);
+}
+
+void Builder::dma_start(u8 base, u8 src, u8 dst, u8 len) {
+  li(base, memmap::kDmaBase);
+  emit(Opcode::kSw, src, base, 0, 0x00);
+  emit(Opcode::kSw, dst, base, 0, 0x04);
+  emit(Opcode::kSw, len, base, 0, 0x08);
+  emit(Opcode::kSw, zero, base, 0, 0x0C);  // CMD: enqueue
+}
+
+void Builder::dma_wait(u8 base, u8 tmp) {
+  const Label top = make_label();
+  bind(top);
+  emit(Opcode::kLw, tmp, base, 0, 0x10);  // STATUS
+  branch(Opcode::kBne, tmp, zero, top);
+}
+
+void Builder::add_data(Addr addr, std::vector<u8> bytes) {
+  data_.push_back(isa::Segment{addr, std::move(bytes)});
+}
+
+isa::Program Builder::finalize(u32 entry) {
+  for (const Fixup& fx : fixups_) {
+    ULP_CHECK(fx.label < label_pos_.size() && label_pos_[fx.label] >= 0,
+              "unbound label at finalize");
+    const i64 offset =
+        label_pos_[fx.label] - static_cast<i64>(fx.instr_index);
+    code_[fx.instr_index].imm = static_cast<i32>(offset);
+    ULP_CHECK(isa::imm_fits(code_[fx.instr_index].op,
+                            code_[fx.instr_index].imm),
+              "branch offset out of range");
+  }
+  isa::Program p;
+  p.code = std::move(code_);
+  p.data = std::move(data_);
+  p.entry = entry;
+  ULP_CHECK(entry <= p.code.size(), "entry out of range");
+  // Re-arm the builder as empty so accidental reuse is caught by tests.
+  code_.clear();
+  data_.clear();
+  fixups_.clear();
+  label_pos_.clear();
+  return p;
+}
+
+}  // namespace ulp::codegen

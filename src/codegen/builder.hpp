@@ -1,0 +1,139 @@
+// Feature-directed program builder: the repository's "compiler back-end".
+//
+// Kernels are written once against this builder; the builder receives the
+// target's CoreFeatures and selects instructions exactly the way the paper
+// describes -O3 doing for each target:
+//   * loop()        -> lp.setup on cores with hardware loops, an
+//                      addi/bne down-counter otherwise;
+//   * *_pi() access -> post-increment addressing when available, otherwise
+//                      the load/store plus an explicit addi;
+//   * mac()         -> the MAC instruction (OR10N mac / ARM MLA) when
+//                      available, otherwise mul+add through a scratch reg;
+//   * mul32x32_hi/q32 helpers -> hardware mulhs/mulhu (Cortex smull/umull)
+//                      when available, otherwise the 16x16 partial-product
+//                      software emulation — the exact effect behind hog's
+//                      architectural slowdown on OR10N (Figure 4).
+//
+// Branch targets use labels with backpatching; finalize() resolves fixups
+// and returns an isa::Program.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/features.hpp"
+#include "isa/program.hpp"
+
+namespace ulp::codegen {
+
+/// Register conventions used by the generated kernels (pure convention; the
+/// hardware only fixes r0 = zero).
+inline constexpr u8 zero = 0;
+
+class Builder {
+ public:
+  using Label = u32;
+
+  explicit Builder(core::CoreFeatures features) : feat_(features) {}
+
+  [[nodiscard]] const core::CoreFeatures& features() const { return feat_; }
+
+  // ---- raw emission -------------------------------------------------
+  /// Emits one instruction; returns its index.
+  u32 emit(isa::Opcode op, u8 rd = 0, u8 ra = 0, u8 rb = 0, i32 imm = 0);
+
+  /// Current instruction count (the next emitted index).
+  [[nodiscard]] u32 here() const { return static_cast<u32>(code_.size()); }
+
+  // ---- labels --------------------------------------------------------
+  [[nodiscard]] Label make_label();
+  void bind(Label label);
+  /// Branch/jal to a label (imm backpatched at finalize()).
+  void branch(isa::Opcode op, u8 ra, u8 rb, Label target);
+  void jal(u8 rd, Label target);
+
+  // ---- common idioms ---------------------------------------------------
+  /// Load an arbitrary 32-bit constant (addi, or lui+ori when wide).
+  void li(u8 rd, u32 value);
+  void mv(u8 rd, u8 ra) { emit(isa::Opcode::kAdd, rd, ra, zero); }
+  void nop() { emit(isa::Opcode::kNop); }
+
+  // ---- feature-directed selections ------------------------------------
+  /// Counted loop over `body`, executed reg[count] times (count >= 0; zero
+  /// skips the body). `scratch` is clobbered on targets without hardware
+  /// loops. Nest freely: two hardware-loop levels, software beyond that.
+  void loop(u8 count, u8 scratch, const std::function<void()>& body);
+
+  /// Hot inner loop with a build-time trip count. On hardware-loop targets
+  /// this is lp.setup (zero overhead, no need to unroll); on the others the
+  /// body is unrolled `unroll`-fold, the way -O3 treats hot innermost loops
+  /// on Cortex-M. `count` must be a multiple of `unroll`. The body callback
+  /// is invoked per emission, so it must be re-entrant (pure pointer-walk
+  /// bodies are). Clobbers `scratch` on non-hardware-loop targets.
+  void loop_hot(u32 count, u8 scratch, const std::function<void()>& body,
+                u32 unroll = 4);
+
+  /// rd += ra * rb. `scratch` is clobbered on targets without MAC.
+  void mac(u8 rd, u8 ra, u8 rb, u8 scratch);
+
+  /// Post-increment memory access: performs the access at reg[ra], then
+  /// ra += step. One instruction with has_postinc, two otherwise.
+  void lw_pi(u8 rd, u8 ra, i32 step) { access_pi(isa::Opcode::kLwpi, rd, ra, step); }
+  void lh_pi(u8 rd, u8 ra, i32 step) { access_pi(isa::Opcode::kLhpi, rd, ra, step); }
+  void lhu_pi(u8 rd, u8 ra, i32 step) { access_pi(isa::Opcode::kLhupi, rd, ra, step); }
+  void lb_pi(u8 rd, u8 ra, i32 step) { access_pi(isa::Opcode::kLbpi, rd, ra, step); }
+  void lbu_pi(u8 rd, u8 ra, i32 step) { access_pi(isa::Opcode::kLbupi, rd, ra, step); }
+  void sw_pi(u8 rd, u8 ra, i32 step) { access_pi(isa::Opcode::kSwpi, rd, ra, step); }
+  void sh_pi(u8 rd, u8 ra, i32 step) { access_pi(isa::Opcode::kShpi, rd, ra, step); }
+  void sb_pi(u8 rd, u8 ra, i32 step) { access_pi(isa::Opcode::kSbpi, rd, ra, step); }
+
+  /// rd = high 32 bits of the signed 64-bit product ra*rb.
+  /// Uses mulhs when available; otherwise emits the 16x16 partial-product
+  /// emulation (clobbers t0..t3).
+  void mulh_signed(u8 rd, u8 ra, u8 rb, u8 t0, u8 t1, u8 t2, u8 t3);
+
+  /// Fixed-point Q·16 multiply: rd = (i64(ra)*rb) >> 16, the hog work-horse.
+  /// Clobbers t0..t3 on targets without mulhs.
+  void q32_mul(u8 rd, u8 ra, u8 rb, u8 t0, u8 t1, u8 t2, u8 t3);
+
+  /// 64-bit accumulate: (hi_d:lo_d) += (hi_s:lo_s); clobbers `scratch`.
+  /// Software carry chain (sltu) everywhere — the ISA has no add-with-carry,
+  /// matching the paper's "SW-emulated 64-bit variables for accumulation".
+  void add64(u8 lo_d, u8 hi_d, u8 lo_s, u8 hi_s, u8 scratch);
+
+  // ---- cluster services ------------------------------------------------
+  void barrier() { emit(isa::Opcode::kBarrier); }
+  void eoc(u32 flag = 1) { emit(isa::Opcode::kEoc, 0, 0, 0, static_cast<i32>(flag)); }
+  void halt() { emit(isa::Opcode::kHalt); }
+  void csr_coreid(u8 rd) { emit(isa::Opcode::kCsrr, rd, 0, 0, 0); }
+  void csr_numcores(u8 rd) { emit(isa::Opcode::kCsrr, rd, 0, 0, 1); }
+
+  /// Program a DMA transfer with the operands already in registers; `base`
+  /// is a scratch register that receives the DMA peripheral base address.
+  void dma_start(u8 base, u8 src, u8 dst, u8 len);
+  /// Spin until the DMA queue drains (clobbers `tmp`).
+  void dma_wait(u8 base, u8 tmp);
+
+  // ---- data segments & finalization -------------------------------------
+  void add_data(Addr addr, std::vector<u8> bytes);
+
+  /// Resolves label fixups and returns the finished program.
+  [[nodiscard]] isa::Program finalize(u32 entry = 0);
+
+ private:
+  void access_pi(isa::Opcode op, u8 rd, u8 ra, i32 step);
+  [[nodiscard]] static isa::Opcode strip_postinc(isa::Opcode op);
+
+  core::CoreFeatures feat_;
+  std::vector<isa::Instr> code_;
+  std::vector<isa::Segment> data_;
+  std::vector<i64> label_pos_;  // -1 while unbound
+  struct Fixup {
+    u32 instr_index;
+    Label label;
+  };
+  std::vector<Fixup> fixups_;
+  int hwloop_depth_ = 0;
+};
+
+}  // namespace ulp::codegen

@@ -1,0 +1,99 @@
+// Q-format fixed-point arithmetic.
+//
+// The paper's benchmarks use 16-bit fixed point (svm, cnn, matmul-fixed) and
+// 32-bit fixed point with software-emulated 64-bit accumulation (hog). The
+// golden references in src/kernels use these helpers; the ISS kernels must
+// produce bit-identical results, so rounding behaviour is pinned down here:
+// multiplication keeps the full double-width product and performs an
+// arithmetic right shift (truncation toward -inf), matching what the
+// generated mul+srai instruction sequence computes.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace ulp {
+
+/// Saturate a wide integer to the range of a narrower signed type.
+template <typename Narrow, typename Wide>
+[[nodiscard]] constexpr Narrow saturate(Wide v) {
+  constexpr Wide lo = static_cast<Wide>(std::numeric_limits<Narrow>::min());
+  constexpr Wide hi = static_cast<Wide>(std::numeric_limits<Narrow>::max());
+  return static_cast<Narrow>(std::clamp(v, lo, hi));
+}
+
+/// 16-bit fixed point with FRAC fractional bits (Q(15-FRAC).FRAC).
+template <int FRAC>
+struct Fix16 {
+  static_assert(FRAC > 0 && FRAC < 16);
+  i16 raw = 0;
+
+  constexpr Fix16() = default;
+  constexpr explicit Fix16(i16 r) : raw(r) {}
+
+  [[nodiscard]] static constexpr Fix16 from_raw(i16 r) { return Fix16(r); }
+  [[nodiscard]] static constexpr Fix16 from_double(double v) {
+    return Fix16(saturate<i16, i64>(static_cast<i64>(v * (1 << FRAC))));
+  }
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(raw) / (1 << FRAC);
+  }
+
+  friend constexpr Fix16 operator+(Fix16 a, Fix16 b) {
+    return Fix16(static_cast<i16>(a.raw + b.raw));  // wraps, like the ISS add
+  }
+  friend constexpr Fix16 operator-(Fix16 a, Fix16 b) {
+    return Fix16(static_cast<i16>(a.raw - b.raw));
+  }
+  /// Full-precision product, arithmetic shift back: (a*b) >> FRAC.
+  friend constexpr Fix16 operator*(Fix16 a, Fix16 b) {
+    const i32 p = static_cast<i32>(a.raw) * static_cast<i32>(b.raw);
+    return Fix16(static_cast<i16>(p >> FRAC));
+  }
+  friend constexpr bool operator==(Fix16 a, Fix16 b) { return a.raw == b.raw; }
+  friend constexpr bool operator<(Fix16 a, Fix16 b) { return a.raw < b.raw; }
+};
+
+/// The benchmarks' 16-bit format: Q4.11 with one sign bit (range ±16).
+using q16_t = Fix16<11>;
+
+/// 32-bit fixed point used by hog (high dynamic range), Q(31-FRAC).FRAC.
+template <int FRAC>
+struct Fix32 {
+  static_assert(FRAC > 0 && FRAC < 32);
+  i32 raw = 0;
+
+  constexpr Fix32() = default;
+  constexpr explicit Fix32(i32 r) : raw(r) {}
+
+  [[nodiscard]] static constexpr Fix32 from_raw(i32 r) { return Fix32(r); }
+  [[nodiscard]] static constexpr Fix32 from_double(double v) {
+    return Fix32(saturate<i32, i64>(static_cast<i64>(v * (i64{1} << FRAC))));
+  }
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(raw) / (i64{1} << FRAC);
+  }
+
+  friend constexpr Fix32 operator+(Fix32 a, Fix32 b) {
+    return Fix32(static_cast<i32>(static_cast<u32>(a.raw) +
+                                  static_cast<u32>(b.raw)));
+  }
+  friend constexpr Fix32 operator-(Fix32 a, Fix32 b) {
+    return Fix32(static_cast<i32>(static_cast<u32>(a.raw) -
+                                  static_cast<u32>(b.raw)));
+  }
+  /// 32x32 -> 64-bit product then shift: this is the operation hog must
+  /// SW-emulate on OR10N (no umull) and gets in hardware on Cortex-M.
+  friend constexpr Fix32 operator*(Fix32 a, Fix32 b) {
+    const i64 p = static_cast<i64>(a.raw) * static_cast<i64>(b.raw);
+    return Fix32(static_cast<i32>(p >> FRAC));
+  }
+  friend constexpr bool operator==(Fix32 a, Fix32 b) { return a.raw == b.raw; }
+};
+
+/// The hog format: Q15.16.
+using q32_t = Fix32<16>;
+
+}  // namespace ulp

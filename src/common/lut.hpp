@@ -1,0 +1,96 @@
+// Fixed-point function tables (LUTs).
+//
+// Non-linear functions in the benchmarks (exp for the RBF SVM kernel, tanh
+// for the CNN activation) are evaluated on the embedded targets through
+// direct-indexed lookup tables placed in data memory — the standard ULP
+// fixed-point idiom. The table *contents* and the *indexing rule* are defined
+// once here and shared by the golden references and by the kernel generators
+// (which emit the same shift/clamp/load sequence), so results are
+// bit-identical between reference and simulated execution.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp {
+
+/// A direct-indexed LUT over non-negative q16 inputs:
+///   index = min(x_raw >> index_shift, size-1), y = table[index].
+/// Negative inputs are handled by the caller (sign symmetry).
+struct Lut16 {
+  std::vector<i16> table;
+  int index_shift = 0;
+
+  [[nodiscard]] i16 lookup(i32 x_raw) const {
+    ULP_CHECK(x_raw >= 0, "Lut16::lookup requires non-negative input");
+    auto idx = static_cast<size_t>(x_raw >> index_shift);
+    if (idx >= table.size()) idx = table.size() - 1;
+    return table[idx];
+  }
+
+  /// Bytes the table occupies in the accelerator binary image.
+  [[nodiscard]] size_t size_bytes() const { return table.size() * sizeof(i16); }
+};
+
+/// exp(-x) for x in Q4.11, domain [0, size << shift raw) i.e. ~[0, 8.0).
+/// Used by the RBF SVM kernel: K(a,b) = exp(-gamma * ||a-b||^2).
+[[nodiscard]] inline Lut16 make_exp_neg_lut(int index_shift = 5,
+                                            size_t size = 512) {
+  Lut16 lut;
+  lut.index_shift = index_shift;
+  lut.table.resize(size);
+  for (size_t i = 0; i < size; ++i) {
+    // Representative input: midpoint of the bucket, in q16.
+    const double x =
+        (static_cast<double>(i << index_shift) + (1 << index_shift) / 2.0) /
+        (1 << 11);
+    lut.table[i] = q16_t::from_double(std::exp(-x)).raw;
+  }
+  return lut;
+}
+
+/// tanh(x) for x >= 0 in Q4.11; callers apply tanh(-x) = -tanh(x).
+/// Used by the CNN activation layers.
+[[nodiscard]] inline Lut16 make_tanh_lut(int index_shift = 4,
+                                         size_t size = 512) {
+  Lut16 lut;
+  lut.index_shift = index_shift;
+  lut.table.resize(size);
+  for (size_t i = 0; i < size; ++i) {
+    const double x =
+        (static_cast<double>(i << index_shift) + (1 << index_shift) / 2.0) /
+        (1 << 11);
+    lut.table[i] = q16_t::from_double(std::tanh(x)).raw;
+  }
+  return lut;
+}
+
+/// Signed tanh via the symmetric LUT rule shared with the generated kernels.
+[[nodiscard]] inline i16 tanh_lut_signed(const Lut16& lut, i32 x_raw) {
+  if (x_raw >= 0) return lut.lookup(x_raw);
+  return static_cast<i16>(-lut.lookup(-x_raw));
+}
+
+/// Integer square root of a 64-bit value (returns floor(sqrt(v))).
+/// hog block normalisation uses this exact bit-by-bit routine; the kernel
+/// generator emits the same algorithm, so results match bit-for-bit.
+[[nodiscard]] constexpr u32 isqrt64(u64 v) {
+  u64 rem = 0;
+  u64 root = 0;
+  for (int i = 0; i < 32; ++i) {
+    root <<= 1;
+    rem = (rem << 2) | (v >> 62);
+    v <<= 2;
+    if (root < rem) {
+      rem -= root + 1;
+      root += 2;
+    }
+  }
+  return static_cast<u32>(root >> 1);
+}
+
+}  // namespace ulp

@@ -1,0 +1,21 @@
+// Platform memory map shared by the cluster model, the code generator and
+// the offload runtime. One header so generated code and simulated hardware
+// can never disagree about where things live.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ulp::memmap {
+
+inline constexpr Addr kTcdmBase = 0x10000000;   ///< Cluster L1 scratchpad.
+inline constexpr Addr kPeriphBase = 0x10200000; ///< Cluster peripherals.
+inline constexpr Addr kDmaBase = kPeriphBase + 0x0000;
+inline constexpr Addr kL2Base = 0x1C000000;     ///< SoC L2 memory.
+
+/// L2 staging convention shared by the offload runtime and the kernels:
+/// the host deposits map(to:) payloads at kL2Input, map(from:) results
+/// appear at kL2Output; the first 32 KiB stay free for boot images.
+inline constexpr Addr kL2Input = kL2Base + 0x8000;
+inline constexpr Addr kL2Output = kL2Base + 0x18000;
+
+}  // namespace ulp::memmap

@@ -1,0 +1,35 @@
+// Error handling for the simulator.
+//
+// Configuration/usage errors (bad addresses, malformed programs, invalid
+// operating points) throw SimError: they indicate a broken model setup, not a
+// recoverable condition, and the tests assert on them. Hot simulation paths
+// never throw; they are validated up front.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ulp {
+
+/// Raised on invalid simulator configuration or on behaviour that a real
+/// platform would treat as a hard fault (bus error, illegal instruction).
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  throw SimError(std::string(file) + ":" + std::to_string(line) +
+                 ": check failed (" + cond + "): " + msg);
+}
+}  // namespace detail
+
+}  // namespace ulp
+
+/// Precondition check that survives in release builds; throws SimError.
+#define ULP_CHECK(cond, msg)                                       \
+  do {                                                             \
+    if (!(cond)) ::ulp::detail::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,24 @@
+// Fundamental scalar aliases shared by every module of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ulp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated time, measured in clock cycles of the component's own domain.
+using Cycle = std::uint64_t;
+
+/// Byte address in a 32-bit physical address space.
+using Addr = std::uint32_t;
+
+}  // namespace ulp

@@ -1,0 +1,32 @@
+// Thin physical-unit helpers.
+//
+// Power/energy bookkeeping mixes quantities from the PULP power model
+// (milliwatts, megahertz) and MCU datasheets (µA/MHz at a supply voltage);
+// everything is normalised here to SI base units (Hz, V, W, J, s) stored in
+// doubles, with named constructors so call sites read like the datasheets.
+#pragma once
+
+namespace ulp {
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+constexpr double kNano = 1e-9;
+
+[[nodiscard]] constexpr double mhz(double v) { return v * kMega; }
+[[nodiscard]] constexpr double khz(double v) { return v * kKilo; }
+[[nodiscard]] constexpr double mw(double v) { return v * kMilli; }
+[[nodiscard]] constexpr double uw(double v) { return v * kMicro; }
+[[nodiscard]] constexpr double ua(double v) { return v * kMicro; }
+
+/// MCU datasheet idiom: dynamic current of c µA/MHz at supply vdd gives
+/// power = c * 1e-6 [A/MHz] * f[MHz] * vdd [V].
+[[nodiscard]] constexpr double ua_per_mhz_to_watts(double ua_per_mhz,
+                                                   double freq_hz,
+                                                   double vdd) {
+  return ua_per_mhz * kMicro * (freq_hz / kMega) * vdd;
+}
+
+}  // namespace ulp

@@ -1,0 +1,490 @@
+#include "core/core.hpp"
+
+#include "common/status.hpp"
+#include "isa/disasm.hpp"
+
+namespace ulp::core {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+i32 as_i32(u32 v) { return static_cast<i32>(v); }
+u32 as_u32(i32 v) { return static_cast<u32>(v); }
+
+/// Lane-wise helpers for the sub-word SIMD extensions.
+i32 lane16(u32 v, int lane) {
+  return static_cast<i16>((v >> (16 * lane)) & 0xFFFF);
+}
+i32 lane8(u32 v, int lane) {
+  return static_cast<i8>((v >> (8 * lane)) & 0xFF);
+}
+
+}  // namespace
+
+Core::Core(u32 core_id, u32 num_cores, CoreConfig config, mem::DataBus* bus,
+           mem::SharedICache* icache, SyncUnit* sync)
+    : id_(core_id),
+      num_cores_(num_cores),
+      cfg_(std::move(config)),
+      bus_(bus),
+      icache_(icache),
+      sync_(sync) {
+  ULP_CHECK(bus != nullptr, "core needs a data bus");
+  ULP_CHECK(core_id < num_cores, "core id out of range");
+}
+
+void Core::reset(const isa::Program* program) {
+  ULP_CHECK(program != nullptr, "null program");
+  prog_ = program;
+  regs_.fill(0);
+  pc_ = program->entry;
+  loops_ = {};
+  halted_ = false;
+  sleeping_ = false;
+  busy_ = 0;
+  memop_ = {};
+  perf_.reset();
+}
+
+void Core::set_reg(u32 index, u32 value) {
+  ULP_CHECK(index < isa::kNumRegs, "register index out of range");
+  if (index != 0) regs_[index] = value;
+}
+
+void Core::write_reg(u32 index, u32 value) {
+  if (index != 0) regs_[index] = value;
+}
+
+u32 Core::read_csr(i32 index) const {
+  switch (static_cast<isa::Csr>(index)) {
+    case isa::Csr::kCoreId:
+      return id_;
+    case isa::Csr::kNumCores:
+      return num_cores_;
+    case isa::Csr::kCycle:
+      return static_cast<u32>(perf_.cycles);
+  }
+  ULP_CHECK(false, "unknown CSR " + std::to_string(index));
+}
+
+void Core::go_to_sleep(WakeKind kind) {
+  sleeping_ = true;
+  sleep_kind_ = kind;
+}
+
+void Core::step() {
+  ++perf_.cycles;
+  if (halted_) {
+    ++perf_.halted_cycles;
+    return;
+  }
+  if (sleeping_) {
+    if (sync_ != nullptr && sync_->check_wake(id_, sleep_kind_)) {
+      sleeping_ = false;
+      // "Woken up in just a few cycles" — HW synchronizer wake latency.
+      busy_ = kWakeLatency;
+      ++perf_.active_cycles;
+    } else {
+      ++perf_.sleep_cycles;
+    }
+    return;
+  }
+  ++perf_.active_cycles;
+  if (busy_ > 0) {
+    --busy_;
+    return;
+  }
+  if (memop_.active) {
+    retry_mem();
+    return;
+  }
+  issue();
+}
+
+void Core::run_to_halt(u64 max_cycles) {
+  for (u64 i = 0; i < max_cycles; ++i) {
+    if (halted_) return;
+    step();
+  }
+  ULP_CHECK(halted_, "program did not halt within cycle budget at pc " +
+                         std::to_string(pc_));
+}
+
+void Core::issue() {
+  ULP_CHECK(pc_ < prog_->code.size(),
+            "pc ran past program end (missing halt?)");
+  if (icache_ != nullptr) {
+    const u32 penalty = icache_->fetch(pc_);
+    if (penalty > 0) {
+      perf_.stall_icache += penalty;
+      busy_ = penalty;  // refill; the instruction issues afterwards
+      return;
+    }
+  }
+  const Instr& in = prog_->code[pc_];
+  if (isa::is_load(in.op) || isa::is_store(in.op)) {
+    start_mem(in);
+    return;
+  }
+  execute(in);
+}
+
+void Core::advance_pc_sequential() {
+  u32 next = pc_ + 1;
+  if (cfg_.features.has_hwloops) {
+    // Innermost loop (slot 1) is checked first so nesting works. When the
+    // inner loop expires we keep checking the outer slot: the two bodies may
+    // legally end on the same instruction.
+    for (int slot = 1; slot >= 0; --slot) {
+      HwLoop& lp = loops_[static_cast<size_t>(slot)];
+      if (lp.count > 0 && next == lp.end) {
+        if (lp.count > 1) {
+          --lp.count;
+          next = lp.start;
+          break;
+        }
+        lp.count = 0;  // final iteration: fall through, deactivate
+      }
+    }
+  }
+  pc_ = next;
+}
+
+void Core::execute(const Instr& in) {
+  ++perf_.instrs;
+  if (retire_hook_) retire_hook_(pc_, in);
+  const u32 a = regs_[in.ra];
+  const u32 b = regs_[in.rb];
+  const u32 d = regs_[in.rd];
+  const CoreFeatures& f = cfg_.features;
+  const CoreCosts& c = cfg_.costs;
+  u32 cost = 1;
+  bool sequential = true;
+
+  switch (in.op) {
+    case Opcode::kAdd: write_reg(in.rd, a + b); break;
+    case Opcode::kSub: write_reg(in.rd, a - b); break;
+    case Opcode::kAnd: write_reg(in.rd, a & b); break;
+    case Opcode::kOr: write_reg(in.rd, a | b); break;
+    case Opcode::kXor: write_reg(in.rd, a ^ b); break;
+    case Opcode::kSll: write_reg(in.rd, a << (b & 31)); break;
+    case Opcode::kSrl: write_reg(in.rd, a >> (b & 31)); break;
+    case Opcode::kSra: write_reg(in.rd, as_u32(as_i32(a) >> (b & 31))); break;
+    case Opcode::kSlt: write_reg(in.rd, as_i32(a) < as_i32(b) ? 1 : 0); break;
+    case Opcode::kSltu: write_reg(in.rd, a < b ? 1 : 0); break;
+
+    case Opcode::kMul:
+      write_reg(in.rd, a * b);
+      cost = c.mul_cycles;
+      ++perf_.mults;
+      break;
+    case Opcode::kMulhs:
+      ULP_CHECK(f.has_mul64, cfg_.name + " has no mulhs");
+      write_reg(in.rd, static_cast<u32>(
+                           (static_cast<i64>(as_i32(a)) * as_i32(b)) >> 32));
+      cost = c.mul64_cycles;
+      ++perf_.mults;
+      break;
+    case Opcode::kMulhu:
+      ULP_CHECK(f.has_mul64, cfg_.name + " has no mulhu");
+      write_reg(in.rd, static_cast<u32>(
+                           (static_cast<u64>(a) * static_cast<u64>(b)) >> 32));
+      cost = c.mul64_cycles;
+      ++perf_.mults;
+      break;
+    case Opcode::kDiv:
+      ULP_CHECK(f.has_div, cfg_.name + " has no divide");
+      if (b == 0) {
+        write_reg(in.rd, 0xFFFFFFFFu);
+      } else if (a == 0x80000000u && b == 0xFFFFFFFFu) {
+        write_reg(in.rd, 0x80000000u);  // INT_MIN / -1 overflow convention
+      } else {
+        write_reg(in.rd, as_u32(as_i32(a) / as_i32(b)));
+      }
+      cost = c.div_cycles;
+      ++perf_.divs;
+      break;
+    case Opcode::kDivu:
+      ULP_CHECK(f.has_div, cfg_.name + " has no divide");
+      write_reg(in.rd, b == 0 ? 0xFFFFFFFFu : a / b);
+      cost = c.div_cycles;
+      ++perf_.divs;
+      break;
+    case Opcode::kRem:
+      ULP_CHECK(f.has_div, cfg_.name + " has no divide");
+      if (b == 0) {
+        write_reg(in.rd, a);
+      } else if (a == 0x80000000u && b == 0xFFFFFFFFu) {
+        write_reg(in.rd, 0);  // INT_MIN % -1
+      } else {
+        write_reg(in.rd, as_u32(as_i32(a) % as_i32(b)));
+      }
+      cost = c.div_cycles;
+      ++perf_.divs;
+      break;
+    case Opcode::kRemu:
+      ULP_CHECK(f.has_div, cfg_.name + " has no divide");
+      write_reg(in.rd, b == 0 ? a : a % b);
+      cost = c.div_cycles;
+      ++perf_.divs;
+      break;
+
+    case Opcode::kMac:
+      ULP_CHECK(f.has_mac, cfg_.name + " has no MAC");
+      write_reg(in.rd, d + a * b);
+      cost = c.mul_cycles;
+      ++perf_.mults;
+      break;
+    case Opcode::kDotp2h:
+      ULP_CHECK(f.has_simd, cfg_.name + " has no sub-word SIMD");
+      write_reg(in.rd, d + as_u32(lane16(a, 0) * lane16(b, 0) +
+                                  lane16(a, 1) * lane16(b, 1)));
+      cost = c.dotp2_cycles;
+      ++perf_.mults;
+      break;
+    case Opcode::kDotp4b: {
+      ULP_CHECK(f.has_simd, cfg_.name + " has no sub-word SIMD");
+      i32 acc = 0;
+      for (int l = 0; l < 4; ++l) acc += lane8(a, l) * lane8(b, l);
+      write_reg(in.rd, d + as_u32(acc));
+      cost = c.dotp4_cycles;
+      ++perf_.mults;
+      break;
+    }
+    case Opcode::kAdd2h:
+    case Opcode::kSub2h: {
+      ULP_CHECK(f.has_simd, cfg_.name + " has no sub-word SIMD");
+      const int sign = in.op == Opcode::kAdd2h ? 1 : -1;
+      u32 out = 0;
+      for (int l = 0; l < 2; ++l) {
+        const u32 r = static_cast<u32>(lane16(a, l) + sign * lane16(b, l));
+        out |= (r & 0xFFFF) << (16 * l);
+      }
+      write_reg(in.rd, out);
+      break;
+    }
+    case Opcode::kAdd4b:
+    case Opcode::kSub4b: {
+      ULP_CHECK(f.has_simd, cfg_.name + " has no sub-word SIMD");
+      const int sign = in.op == Opcode::kAdd4b ? 1 : -1;
+      u32 out = 0;
+      for (int l = 0; l < 4; ++l) {
+        const u32 r = static_cast<u32>(lane8(a, l) + sign * lane8(b, l));
+        out |= (r & 0xFF) << (8 * l);
+      }
+      write_reg(in.rd, out);
+      break;
+    }
+
+    case Opcode::kAddi: write_reg(in.rd, a + as_u32(in.imm)); break;
+    case Opcode::kAndi: write_reg(in.rd, a & as_u32(in.imm)); break;
+    case Opcode::kOri: write_reg(in.rd, a | as_u32(in.imm)); break;
+    case Opcode::kXori: write_reg(in.rd, a ^ as_u32(in.imm)); break;
+    case Opcode::kSlli: write_reg(in.rd, a << (in.imm & 31)); break;
+    case Opcode::kSrli: write_reg(in.rd, a >> (in.imm & 31)); break;
+    case Opcode::kSrai:
+      write_reg(in.rd, as_u32(as_i32(a) >> (in.imm & 31)));
+      break;
+    case Opcode::kSlti:
+      write_reg(in.rd, as_i32(a) < in.imm ? 1 : 0);
+      break;
+    case Opcode::kSltiu:
+      write_reg(in.rd, a < as_u32(in.imm) ? 1 : 0);
+      break;
+    case Opcode::kLui:
+      write_reg(in.rd, as_u32(in.imm) << 12);
+      break;
+
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      ++perf_.branches;
+      bool taken = false;
+      switch (in.op) {
+        case Opcode::kBeq: taken = a == b; break;
+        case Opcode::kBne: taken = a != b; break;
+        case Opcode::kBlt: taken = as_i32(a) < as_i32(b); break;
+        case Opcode::kBge: taken = as_i32(a) >= as_i32(b); break;
+        case Opcode::kBltu: taken = a < b; break;
+        case Opcode::kBgeu: taken = a >= b; break;
+        default: break;
+      }
+      if (taken) {
+        ++perf_.branches_taken;
+        pc_ = static_cast<u32>(static_cast<i64>(pc_) + in.imm);
+        cost = 1 + c.branch_taken_penalty;
+        sequential = false;
+      }
+      break;
+    }
+    case Opcode::kJal:
+      write_reg(in.rd, pc_ + 1);
+      pc_ = static_cast<u32>(static_cast<i64>(pc_) + in.imm);
+      cost = 1 + c.jump_penalty;
+      sequential = false;
+      break;
+    case Opcode::kJalr: {
+      const u32 target = a;
+      write_reg(in.rd, pc_ + 1);
+      pc_ = target;
+      cost = 1 + c.jump_penalty;
+      sequential = false;
+      break;
+    }
+
+    case Opcode::kLpSetup: {
+      ULP_CHECK(f.has_hwloops, cfg_.name + " has no hardware loops");
+      ULP_CHECK(in.rd < 2, "hardware loop id must be 0 or 1");
+      ULP_CHECK(in.imm > 0, "hardware loop body must be non-empty");
+      HwLoop& lp = loops_[in.rd];
+      lp.start = pc_ + 1;
+      lp.end = pc_ + 1 + static_cast<u32>(in.imm);
+      lp.count = a;
+      // A zero trip count skips the body entirely.
+      if (lp.count == 0) {
+        pc_ = lp.end;
+        sequential = false;
+      }
+      break;
+    }
+
+    case Opcode::kCsrr:
+      write_reg(in.rd, read_csr(in.imm));
+      break;
+    case Opcode::kBarrier: {
+      ULP_CHECK(sync_ != nullptr, "barrier without a cluster event unit");
+      ++perf_.barriers;
+      const bool last = sync_->barrier_arrive(id_);
+      if (!last) {
+        advance_pc_sequential();
+        go_to_sleep(WakeKind::kBarrier);
+        return;  // pc already advanced; sleep until released
+      }
+      break;
+    }
+    case Opcode::kWfe:
+      ULP_CHECK(sync_ != nullptr, "wfe without a cluster event unit");
+      advance_pc_sequential();
+      go_to_sleep(WakeKind::kEvent);
+      return;
+    case Opcode::kSev:
+      ULP_CHECK(sync_ != nullptr, "sev without a cluster event unit");
+      sync_->send_event(as_u32(in.imm));
+      break;
+    case Opcode::kEoc:
+      if (sync_ != nullptr) sync_->signal_eoc(as_u32(in.imm));
+      halted_ = true;
+      break;
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      halted_ = true;
+      break;
+
+    default:
+      ULP_CHECK(false, "unhandled opcode: " + isa::disassemble(in));
+  }
+
+  if (sequential) advance_pc_sequential();
+  busy_ = cost - 1;
+}
+
+void Core::start_mem(const Instr& in) {
+  const CoreFeatures& f = cfg_.features;
+  if (isa::is_postinc(in.op)) {
+    ULP_CHECK(f.has_postinc, cfg_.name + " has no post-increment addressing");
+  }
+  const int size = isa::access_size(in.op);
+  // Post-increment addressing uses the *pre-increment* base address.
+  const Addr addr = isa::is_postinc(in.op)
+                        ? regs_[in.ra]
+                        : regs_[in.ra] + static_cast<u32>(in.imm);
+
+  memop_ = MemOp{};
+  memop_.active = true;
+  memop_.instr = in;
+  const Addr boundary = (addr | 3) + 1;  // next word boundary above addr
+  if (addr % static_cast<Addr>(size) == 0) {
+    // Naturally aligned: one transaction.
+    memop_.parts[0] = {addr, size, 0};
+    memop_.num_parts = 1;
+  } else {
+    ULP_CHECK(f.has_unaligned,
+              cfg_.name + " has no unaligned access support (addr " +
+                  std::to_string(addr) + ", size " + std::to_string(size) + ")");
+    if (addr + static_cast<Addr>(size) <= boundary) {
+      // Unaligned but within one word: the byte-lane rotator handles it in
+      // a single transaction.
+      memop_.parts[0] = {addr, size, 0};
+      memop_.num_parts = 1;
+    } else {
+      // Straddles a word boundary: two transactions, one per word.
+      const int first = static_cast<int>(boundary - addr);
+      memop_.parts[0] = {addr, first, 0};
+      memop_.parts[1] = {boundary, size - first, first};
+      memop_.num_parts = 2;
+    }
+  }
+  retry_mem();
+}
+
+void Core::retry_mem() {
+  const Instr& in = memop_.instr;
+  const bool store = isa::is_store(in.op);
+  const MemPart& part = memop_.parts[static_cast<size_t>(memop_.next_part)];
+
+  u32 store_value = 0;
+  if (store) store_value = regs_[in.rd] >> (8 * part.byte_offset);
+
+  const mem::BusResult r =
+      bus_->access(part.addr, part.size, store, store_value,
+                   /*sign_extend=*/false, id_);
+  if (!r.granted) {
+    ++perf_.stall_mem;
+    return;  // retry next cycle
+  }
+  if (!store) {
+    const u32 mask = part.size == 4 ? 0xFFFFFFFFu
+                                    : ((1u << (part.size * 8)) - 1);
+    memop_.assembled |= (r.data & mask) << (8 * part.byte_offset);
+  }
+  const CoreCosts& c = cfg_.costs;
+  const u32 extra = store ? c.store_extra : c.load_extra;
+  busy_ += r.latency - 1 + extra;
+
+  ++memop_.next_part;
+  if (memop_.next_part == memop_.num_parts) finish_mem();
+}
+
+void Core::finish_mem() {
+  const Instr& in = memop_.instr;
+  ++perf_.instrs;
+  if (retire_hook_) retire_hook_(pc_, in);
+  if (isa::is_store(in.op)) {
+    ++perf_.stores;
+  } else {
+    ++perf_.loads;
+    u32 v = memop_.assembled;
+    const int size = isa::access_size(in.op);
+    // Sign-extend loads (lh/lb and their post-increment forms).
+    const bool sign = in.op == Opcode::kLh || in.op == Opcode::kLhpi ||
+                      in.op == Opcode::kLb || in.op == Opcode::kLbpi;
+    if (sign && size < 4) {
+      const u32 sign_bit = 1u << (size * 8 - 1);
+      if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+    }
+    write_reg(in.rd, v);
+  }
+  if (isa::is_postinc(in.op)) {
+    write_reg(in.ra, regs_[in.ra] + static_cast<u32>(in.imm));
+  }
+  memop_ = MemOp{};
+  advance_pc_sequential();
+}
+
+}  // namespace ulp::core

@@ -1,0 +1,137 @@
+// The instruction-set simulator core.
+//
+// Cycle-stepped: the owner (cluster or single-core harness) calls step()
+// once per clock cycle. The core executes functionally and charges cycles
+// per the CoreConfig cost model; memory operations go through a DataBus and
+// stall on denied grants (TCDM bank conflicts, busy L2 port), which is how
+// multi-core contention appears in the results.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "core/features.hpp"
+#include "core/perf.hpp"
+#include "isa/program.hpp"
+#include "mem/bus.hpp"
+#include "mem/icache.hpp"
+
+namespace ulp::core {
+
+/// What a sleeping core is waiting for. Barrier releases and software/DMA
+/// events are tracked separately so a DMA-completion event can never release
+/// a core that is parked inside a barrier.
+enum class WakeKind : u8 { kBarrier, kEvent };
+
+/// Cluster synchronization services the core reaches through BARRIER / WFE /
+/// SEV / EOC. Implemented by cluster::EventUnit; null for single-core hosts.
+class SyncUnit {
+ public:
+  virtual ~SyncUnit() = default;
+
+  /// Core `core_id` arrives at the cluster barrier. Returns true if this
+  /// arrival completed the barrier (the caller proceeds without sleeping).
+  virtual bool barrier_arrive(u32 core_id) = 0;
+
+  /// Polls (and consumes) a pending wake of the given kind for `core_id`.
+  virtual bool check_wake(u32 core_id, WakeKind kind) = 0;
+
+  /// SEV: broadcast a software event.
+  virtual void send_event(u32 event_id) = 0;
+
+  /// EOC: end-of-computation flag, wired to the host-visible GPIO.
+  virtual void signal_eoc(u32 flag) = 0;
+};
+
+class Core {
+ public:
+  /// `icache` may be null (ideal fetch); `sync` may be null (single core).
+  Core(u32 core_id, u32 num_cores, CoreConfig config, mem::DataBus* bus,
+       mem::SharedICache* icache = nullptr, SyncUnit* sync = nullptr);
+
+  /// Points the core at a program and resets architectural state (registers,
+  /// pc=entry, hardware loops) and performance counters.
+  void reset(const isa::Program* program);
+
+  /// Advance one clock cycle.
+  void step();
+
+  /// Convenience for single-core runs: steps until HALT/EOC. Throws if the
+  /// program does not finish within `max_cycles`.
+  void run_to_halt(u64 max_cycles = 2'000'000'000ull);
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] bool sleeping() const { return sleeping_; }
+  [[nodiscard]] u32 pc() const { return pc_; }
+  [[nodiscard]] u32 core_id() const { return id_; }
+  [[nodiscard]] const CoreConfig& config() const { return cfg_; }
+
+  [[nodiscard]] u32 reg(u32 index) const { return regs_[index]; }
+  void set_reg(u32 index, u32 value);
+
+  [[nodiscard]] const PerfCounters& perf() const { return perf_; }
+  [[nodiscard]] PerfCounters& perf() { return perf_; }
+
+  /// Observer invoked at every instruction retirement with the pc it
+  /// executed at (instruction tracing / debugging). Null disables; the
+  /// fast path pays one branch.
+  using RetireHook = std::function<void(u32 pc, const isa::Instr& instr)>;
+  void set_retire_hook(RetireHook hook) { retire_hook_ = std::move(hook); }
+
+ private:
+  struct HwLoop {
+    u32 start = 0;
+    u32 end = 0;  ///< Index one past the last body instruction.
+    u32 count = 0;
+  };
+
+  struct MemPart {
+    Addr addr = 0;
+    int size = 0;
+    int byte_offset = 0;  ///< Offset of this part in the access's bytes.
+  };
+
+  struct MemOp {
+    bool active = false;
+    isa::Instr instr;
+    std::array<MemPart, 2> parts;
+    int num_parts = 0;
+    int next_part = 0;
+    u32 assembled = 0;  ///< Load data assembled across parts.
+  };
+
+  void issue();                       // fetch + decode + execute
+  void execute(const isa::Instr& in); // non-memory instructions
+  void start_mem(const isa::Instr& in);
+  void retry_mem();
+  void finish_mem();
+  void advance_pc_sequential();
+  void write_reg(u32 index, u32 value);
+  [[nodiscard]] u32 read_csr(i32 index) const;
+  void go_to_sleep(WakeKind kind);
+
+  u32 id_;
+  u32 num_cores_;
+  CoreConfig cfg_;
+  mem::DataBus* bus_;
+  mem::SharedICache* icache_;
+  SyncUnit* sync_;
+
+  const isa::Program* prog_ = nullptr;
+  std::array<u32, isa::kNumRegs> regs_{};
+  u32 pc_ = 0;
+  std::array<HwLoop, 2> loops_{};
+
+  bool halted_ = true;
+  bool sleeping_ = false;
+  WakeKind sleep_kind_ = WakeKind::kEvent;
+  u32 busy_ = 0;  ///< Remaining stall cycles of the current instruction.
+  MemOp memop_;
+
+  PerfCounters perf_;
+  RetireHook retire_hook_;
+
+  static constexpr u32 kWakeLatency = 2;  ///< HW synchronizer wake cost.
+};
+
+}  // namespace ulp::core

@@ -1,0 +1,87 @@
+#include "core/features.hpp"
+
+namespace ulp::core {
+
+CoreConfig baseline_config() {
+  CoreConfig cfg;
+  cfg.name = "baseline-risc";
+  cfg.features = CoreFeatures{
+      .has_mac = false,
+      .has_simd = false,
+      .has_hwloops = false,
+      .has_postinc = false,
+      .has_unaligned = false,
+      .has_mul64 = false,
+      .has_div = true,
+      .unroll_hot = false,
+  };
+  cfg.costs = CoreCosts{
+      .mul_cycles = 2,
+      .mul64_cycles = 4,
+      .div_cycles = 32,
+      // No branch prediction on a plain 5-stage pipeline.
+      .branch_taken_penalty = 2,
+      .jump_penalty = 2,
+  };
+  return cfg;
+}
+
+CoreConfig or10n_config() {
+  CoreConfig cfg;
+  cfg.name = "or10n";
+  cfg.features = CoreFeatures{
+      .has_mac = true,
+      .has_simd = true,
+      .has_hwloops = true,
+      .has_postinc = true,
+      .has_unaligned = true,
+      .has_mul64 = false,
+      .has_div = true,
+  };
+  cfg.costs = CoreCosts{
+      .mul_cycles = 1,
+      .dotp2_cycles = 1,
+      .dotp4_cycles = 2,
+      .div_cycles = 16,
+      // Taken branches flush the front-end like on the M-class parts; the
+      // hardware loops exist precisely to avoid paying this in hot loops.
+      .branch_taken_penalty = 2,
+      .jump_penalty = 2,
+  };
+  return cfg;
+}
+
+CoreConfig cortex_m4_config() {
+  CoreConfig cfg;
+  cfg.name = "cortex-m4";
+  cfg.features = CoreFeatures{
+      .has_mac = true,  // MLA
+      .has_simd = false,
+      .has_hwloops = false,
+      .has_postinc = true,
+      .has_unaligned = true,
+      .has_mul64 = true,  // UMULL/SMULL
+      .has_div = true,    // UDIV/SDIV
+  };
+  cfg.costs = CoreCosts{
+      .mul_cycles = 1,
+      .mul64_cycles = 1,
+      .div_cycles = 5,
+      .branch_taken_penalty = 2,
+      .jump_penalty = 2,
+  };
+  return cfg;
+}
+
+CoreConfig cortex_m3_config() {
+  // The paper's M3 methodology: the M4 core with M4-specific capabilities
+  // turned down. The visible deltas are long multiply and divide timing.
+  CoreConfig cfg = cortex_m4_config();
+  cfg.name = "cortex-m3";
+  cfg.costs.mul64_cycles = 4;  // UMULL is 3-5 cycles on Cortex-M3
+  cfg.costs.div_cycles = 7;
+  cfg.costs.load_extra = 1;  // no M4-style back-to-back load pipelining
+  return cfg;
+}
+
+}  // namespace ulp::core

@@ -1,0 +1,71 @@
+// Core feature sets and cycle-cost models.
+//
+// One instruction-set simulator plays every processor in the paper by
+// swapping CoreConfig:
+//  * baseline  — OR10N with "all microarchitectural improvements
+//                deactivated": plain 5-stage RISC, the unit in which the
+//                paper counts "RISC ops" (Table I, footnote 1).
+//  * or10n     — the PULP3 cluster core: register-register MAC, sub-word
+//                pseudo-SIMD, two hardware loops, post-increment and
+//                unaligned load/store. No 32x32->64 multiply (the cause of
+//                hog's architectural slowdown).
+//  * cortex_m4 / cortex_m3 — the MCU-class cores: MLA-style MAC, hardware
+//                umull/sdiv, post-increment addressing and unaligned
+//                support, but no hardware loops and no sub-word SIMD
+//                reachable from portable C. The paper derives its M3
+//                numbers from the M4 with M4-specific flags off, so the two
+//                configs differ only in multiply/divide timings.
+//
+// Costs are cycles charged per instruction class, on top of (bus latency)
+// for memory operations. They are drawn from the respective TRMs/datasheets
+// at the granularity this study needs; EXPERIMENTS.md discusses the
+// sensitivity.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ulp::core {
+
+struct CoreFeatures {
+  bool has_mac = false;        ///< Register-register MAC (or ARM MLA).
+  bool has_simd = false;       ///< Sub-word dotp / vector add-sub.
+  bool has_hwloops = false;    ///< Two zero-overhead hardware loops.
+  bool has_postinc = false;    ///< Post-increment addressing modes.
+  bool has_unaligned = false;  ///< HW support for unaligned accesses.
+  bool has_mul64 = false;      ///< mulhs/mulhu (32x32 -> high word).
+  bool has_div = true;         ///< Hardware integer divide.
+  /// Code-generation property: -O3 unrolls hot innermost loops on targets
+  /// without hardware loops. Off for the plain-RISC baseline so the
+  /// "RISC ops" work metric stays canonical (one op per algorithmic step).
+  bool unroll_hot = true;
+};
+
+struct CoreCosts {
+  u32 mul_cycles = 1;       ///< mul and mac.
+  u32 dotp2_cycles = 1;     ///< 2x16 dot product.
+  u32 dotp4_cycles = 2;     ///< 4x8 dot product.
+  u32 mul64_cycles = 1;     ///< mulhs/mulhu when available.
+  u32 div_cycles = 16;
+  u32 load_extra = 0;       ///< Added to bus latency for loads.
+  u32 store_extra = 0;      ///< Added to bus latency for stores.
+  u32 branch_taken_penalty = 1;
+  u32 jump_penalty = 1;
+};
+
+struct CoreConfig {
+  std::string name;
+  CoreFeatures features;
+  CoreCosts costs;
+};
+
+/// Plain-RISC baseline: the "RISC ops" measuring stick.
+[[nodiscard]] CoreConfig baseline_config();
+/// PULP3 cluster core.
+[[nodiscard]] CoreConfig or10n_config();
+/// MCU-class cores.
+[[nodiscard]] CoreConfig cortex_m4_config();
+[[nodiscard]] CoreConfig cortex_m3_config();
+
+}  // namespace ulp::core

@@ -1,0 +1,59 @@
+// Per-core performance counters.
+//
+// These mirror the performance monitoring unit the authors added to their
+// FPGA platform: active/idle cycle ratios per component feed the power
+// model's activity factors, and retired-instruction counts on the baseline
+// configuration define the "RISC ops" of Table I.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ulp::core {
+
+struct PerfCounters {
+  u64 cycles = 0;         ///< Total cycles observed by this core's clock.
+  u64 active_cycles = 0;  ///< Cycles not sleeping/halted (incl. stalls).
+  u64 sleep_cycles = 0;   ///< Clock-gated (WFE / barrier wait).
+  u64 halted_cycles = 0;  ///< After HALT/EOC.
+  u64 stall_mem = 0;      ///< Cycles lost to denied bus grants (contention).
+  u64 stall_icache = 0;   ///< Cycles lost to I$ refills.
+
+  u64 instrs = 0;  ///< Instructions retired.
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 branches = 0;
+  u64 branches_taken = 0;
+  u64 mults = 0;  ///< mul/mac/dotp-class instructions.
+  u64 divs = 0;
+  u64 barriers = 0;
+
+  void reset() { *this = PerfCounters{}; }
+
+  /// Fraction of cycles the core was clocked and doing work (the power
+  /// model's chi_run for the core component).
+  [[nodiscard]] double activity() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(active_cycles) /
+                             static_cast<double>(cycles);
+  }
+
+  PerfCounters& operator+=(const PerfCounters& o) {
+    cycles += o.cycles;
+    active_cycles += o.active_cycles;
+    sleep_cycles += o.sleep_cycles;
+    halted_cycles += o.halted_cycles;
+    stall_mem += o.stall_mem;
+    stall_icache += o.stall_icache;
+    instrs += o.instrs;
+    loads += o.loads;
+    stores += o.stores;
+    branches += o.branches;
+    branches_taken += o.branches_taken;
+    mults += o.mults;
+    divs += o.divs;
+    barriers += o.barriers;
+    return *this;
+  }
+};
+
+}  // namespace ulp::core

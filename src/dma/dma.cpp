@@ -1,0 +1,110 @@
+#include "dma/dma.hpp"
+
+#include "cluster/event_unit.hpp"
+#include "common/status.hpp"
+
+namespace ulp::dma {
+
+Dma::Dma(mem::DataBus* bus, u32 initiator_id, u32 max_channels)
+    : bus_(bus), initiator_id_(initiator_id), max_channels_(max_channels) {
+  ULP_CHECK(bus != nullptr, "DMA needs a bus");
+  ULP_CHECK(max_channels > 0, "DMA needs at least one channel");
+}
+
+u32 Dma::read32(Addr offset) {
+  switch (offset) {
+    case kRegSrc: return reg_src_;
+    case kRegDst: return reg_dst_;
+    case kRegLen: return reg_len_;
+    case kRegStatus: return outstanding();
+    default:
+      ULP_CHECK(false, "DMA read from invalid register offset " +
+                           std::to_string(offset));
+  }
+}
+
+void Dma::write32(Addr offset, u32 value) {
+  switch (offset) {
+    case kRegSrc: reg_src_ = value; return;
+    case kRegDst: reg_dst_ = value; return;
+    case kRegLen: reg_len_ = value; return;
+    case kRegCmd: enqueue(reg_src_, reg_dst_, reg_len_); return;
+    default:
+      ULP_CHECK(false, "DMA write to invalid register offset " +
+                           std::to_string(offset));
+  }
+}
+
+void Dma::enqueue(Addr src, Addr dst, u32 len_bytes) {
+  ULP_CHECK(queue_.size() < max_channels_, "DMA channel queue overflow");
+  ULP_CHECK(src % 4 == 0 && dst % 4 == 0,
+            "DMA transfers must be word-aligned");
+  if (len_bytes == 0) return;
+  queue_.push_back({src, dst, len_bytes});
+}
+
+int Dma::beat_size(const Transfer& t) {
+  if (t.remaining >= 4) return 4;
+  if (t.remaining >= 2) return 2;
+  return 1;
+}
+
+void Dma::step() {
+  if (idle()) return;
+  ++stats_.busy_cycles;
+
+  // A beat that was read but could not be written last cycle retries first.
+  if (pending_write_) {
+    const mem::BusResult w =
+        bus_->access(pending_dst_, pending_size_, /*is_store=*/true,
+                     pending_data_, /*sign_extend=*/false, initiator_id_);
+    if (!w.granted) {
+      ++stats_.stall_cycles;
+      return;
+    }
+    stats_.bytes_moved += static_cast<u64>(pending_size_);
+    pending_write_ = false;
+    if (pending_is_last_) {
+      pending_is_last_ = false;
+      ++stats_.transfers_completed;
+      if (events_ != nullptr) events_->send_event(0);
+    }
+    return;
+  }
+
+  Transfer& t = queue_.front();
+  const int size = beat_size(t);
+
+  const mem::BusResult r = bus_->access(t.src, size, /*is_store=*/false, 0,
+                                        /*sign_extend=*/false, initiator_id_);
+  if (!r.granted) {
+    ++stats_.stall_cycles;
+    return;
+  }
+  const mem::BusResult w = bus_->access(t.dst, size, /*is_store=*/true,
+                                        r.data, /*sign_extend=*/false,
+                                        initiator_id_);
+  const Addr dst = t.dst;
+  t.src += static_cast<Addr>(size);
+  t.dst += static_cast<Addr>(size);
+  t.remaining -= static_cast<u32>(size);
+  const bool last_beat = t.remaining == 0;
+  if (last_beat) queue_.pop_front();
+
+  if (!w.granted) {
+    // Destination port busy this cycle: hold the beat, write it next cycle.
+    pending_write_ = true;
+    pending_is_last_ = last_beat;
+    pending_data_ = r.data;
+    pending_size_ = size;
+    pending_dst_ = dst;
+    return;
+  }
+  stats_.bytes_moved += static_cast<u64>(size);
+  if (last_beat) {
+    ++stats_.transfers_completed;
+    if (events_ != nullptr) events_->send_event(0);
+  }
+}
+
+}  // namespace ulp::dma

@@ -1,0 +1,60 @@
+#include "host/mcu.hpp"
+
+#include "common/status.hpp"
+
+namespace ulp::host {
+
+core::CoreConfig McuSpec::core_config() const {
+  switch (core_kind) {
+    case CoreKind::kCortexM4:
+      return core::cortex_m4_config();
+    case CoreKind::kCortexM3:
+      return core::cortex_m3_config();
+    case CoreKind::kSimple16Bit:
+      return core::baseline_config();
+  }
+  ULP_CHECK(false, "unknown core kind");
+}
+
+const std::vector<McuSpec>& mcu_catalog() {
+  // Sources: typical-range run-mode currents from the respective family
+  // datasheets the paper cites ([7][8][9][10][11][4][12]). Currents are the
+  // "all peripherals off, code from flash" typical numbers.
+  static const std::vector<McuSpec> kCatalog = {
+      // STM32F407 (Cortex-M4, 168 MHz, ~238 µA/MHz @ 3.3 V).
+      {"STM32F407", McuSpec::CoreKind::kCortexM4,
+       {mhz(16), mhz(30), mhz(60), mhz(120), mhz(168)},
+       3.3, 238, uw(250), mhz(42), 1},
+      // STM32F446 (Cortex-M4, 180 MHz, ~200 µA/MHz @ 3.3 V).
+      {"STM32F446", McuSpec::CoreKind::kCortexM4,
+       {mhz(16), mhz(30), mhz(60), mhz(120), mhz(180)},
+       3.3, 200, uw(220), mhz(45), 1},
+      // NXP LPC1800 (Cortex-M3, 180 MHz, ~250 µA/MHz @ 3.3 V).
+      {"LPC1800", McuSpec::CoreKind::kCortexM3,
+       {mhz(12), mhz(24), mhz(60), mhz(120), mhz(180)},
+       3.3, 250, uw(300), mhz(30), 1},
+      // SiliconLabs EFM32 Giant Gecko (Cortex-M3, 48 MHz, ~200 µA/MHz @ 3 V).
+      {"EFM32", McuSpec::CoreKind::kCortexM3,
+       {mhz(1), mhz(7), mhz(14), mhz(28), mhz(48)},
+       3.0, 200, uw(2), mhz(24), 1},
+      // TI MSP430 (16-bit, 25 MHz, ~265 µA/MHz @ 3 V).
+      {"MSP430", McuSpec::CoreKind::kSimple16Bit,
+       {mhz(1), mhz(8), mhz(16), mhz(25)},
+       3.0, 265, uw(1.2), mhz(12), 1},
+      // Ambiq Apollo (Cortex-M4, 24 MHz, ~35 µA/MHz @ 3.3 V, subthreshold).
+      {"Ambiq Apollo", McuSpec::CoreKind::kCortexM4,
+       {mhz(1), mhz(12), mhz(24)},
+       3.3, 35, uw(0.5), mhz(12), 1},
+      // STM32L476 (Cortex-M4, 80 MHz, ~100 µA/MHz @ 3 V), the host MCU.
+      {"STM32L476", McuSpec::CoreKind::kCortexM4,
+       {mhz(2), mhz(4), mhz(8), mhz(16), mhz(26), mhz(32), mhz(48), mhz(80)},
+       3.0, 100, uw(1.1), mhz(48), 4},  // exposes QSPI
+  };
+  return kCatalog;
+}
+
+const McuSpec& stm32l476() {
+  return mcu_catalog().back();
+}
+
+}  // namespace ulp::host

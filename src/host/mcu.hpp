@@ -1,0 +1,52 @@
+// Host MCU models: the commercial microcontrollers of Figure 3 plus the
+// prototype's STM32-L476 host.
+//
+// Each entry carries the datasheet-derived facts the experiments use:
+// which Cortex-M cost model executes the portable-C kernels, the listed
+// operating points (clock frequencies), the typical-range active current
+// in µA/MHz at the nominal supply, the deep-sleep floor, and the SPI
+// controller capabilities. Values are "typical" datasheet numbers for the
+// families the paper cites; sources are noted per entry in mcu.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "common/units.hpp"
+
+namespace ulp::host {
+
+struct McuSpec {
+  std::string name;
+  enum class CoreKind { kCortexM4, kCortexM3, kSimple16Bit } core_kind;
+
+  std::vector<double> op_freqs_hz;  ///< Datasheet operating points.
+  double vdd = 3.0;                 ///< Nominal supply.
+  double active_ua_per_mhz = 100;   ///< Typical run-mode current density.
+  double sleep_w = uw(2);           ///< Stop/deep-sleep floor.
+
+  double spi_max_hz = mhz(24);      ///< SPI controller frequency cap.
+  u32 spi_lanes = 1;                ///< 4 for MCUs exposing QSPI.
+
+  /// Cost model used to execute kernels on this MCU. The paper estimates
+  /// Cortex-M3 parts by "running the code on the STM32-L476 with all
+  /// Cortex-M4 specific flags deactivated"; the 16-bit MSP430 is
+  /// approximated by the plain-RISC baseline core (documented deviation).
+  [[nodiscard]] core::CoreConfig core_config() const;
+
+  /// Active power at clock `freq_hz` (datasheet idiom: µA/MHz * V_DD).
+  [[nodiscard]] double active_power_w(double freq_hz) const {
+    return ua_per_mhz_to_watts(active_ua_per_mhz, freq_hz, vdd);
+  }
+
+  [[nodiscard]] double max_freq_hz() const { return op_freqs_hz.back(); }
+};
+
+/// All MCUs compared in Figure 3, in the paper's reference order.
+[[nodiscard]] const std::vector<McuSpec>& mcu_catalog();
+
+/// The prototype host (STM32 Nucleo L476, Cortex-M4).
+[[nodiscard]] const McuSpec& stm32l476();
+
+}  // namespace ulp::host

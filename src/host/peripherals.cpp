@@ -1,0 +1,60 @@
+#include "host/peripherals.hpp"
+
+namespace ulp::host {
+
+u32 SpiMasterPeripheral::read32(Addr offset) {
+  switch (offset) {
+    case 0x00: return remote_addr_;
+    case 0x04: return local_addr_;
+    case 0x08: return len_;
+    case 0x10: return wire_->busy() ? 1 : 0;
+    default:
+      ULP_CHECK(false, "SPI master: invalid register read");
+  }
+}
+
+void SpiMasterPeripheral::write32(Addr offset, u32 value) {
+  switch (offset) {
+    case 0x00: remote_addr_ = value; return;
+    case 0x04: local_addr_ = value; return;
+    case 0x08: len_ = value; return;
+    case 0x0C: {
+      ULP_CHECK(value == 1 || value == 2, "SPI master: bad command");
+      const bool tx = value == 1;
+      mem::Sram* local = local_;
+      wire_->start(
+          tx, local_addr_, remote_addr_, len_,
+          [local](Addr a) { return static_cast<u8>(local->load(a, 1, false)); },
+          [local](Addr a, u8 b) { local->store(a, 1, b); });
+      return;
+    }
+    default:
+      ULP_CHECK(false, "SPI master: invalid register write");
+  }
+}
+
+u32 GpioPeripheral::read32(Addr offset) {
+  switch (offset) {
+    case 0x00: return out_;
+    case 0x04: return eoc_level_() ? 1 : 0;
+    case 0x08: return img_len_;
+    default:
+      ULP_CHECK(false, "GPIO: invalid register read");
+  }
+}
+
+void GpioPeripheral::write32(Addr offset, u32 value) {
+  switch (offset) {
+    case 0x00: {
+      const bool rising = (value & 1) != 0 && (out_ & 1) == 0;
+      out_ = value;
+      if (rising) on_fetch_enable_(img_len_);
+      return;
+    }
+    case 0x08: img_len_ = value; return;
+    default:
+      ULP_CHECK(false, "GPIO: invalid register write");
+  }
+}
+
+}  // namespace ulp::host

@@ -1,0 +1,83 @@
+// Host MCU peripherals for full-system simulation: the SPI master
+// controller (with its MCU-side DMA semantics) and the GPIO block carrying
+// the fetch-enable / end-of-computation handshake of the prototype
+// (Section III-C: "Two additional STM32 GPIOs are hooked to the PULP
+// emulator").
+//
+// Register maps (word offsets):
+//   SPI master:                       GPIO:
+//     0x00 REMOTE_ADDR                  0x00 OUT  (bit0 = fetch enable)
+//     0x04 LOCAL_ADDR                   0x04 IN   (bit0 = EOC level)
+//     0x08 LEN                          0x08 IMG_LEN (boot image length)
+//     0x0C CMD  (1 = TX, 2 = RX)
+//     0x10 STATUS (1 while busy)
+#pragma once
+
+#include <functional>
+
+#include "core/core.hpp"
+#include "link/spi_wire.hpp"
+#include "mem/mem.hpp"
+
+namespace ulp::host {
+
+class SpiMasterPeripheral final : public mem::Peripheral {
+ public:
+  /// `local` is the host SRAM the controller's DMA reads/writes.
+  SpiMasterPeripheral(link::SpiWire* wire, mem::Sram* local)
+      : wire_(wire), local_(local) {
+    ULP_CHECK(wire != nullptr && local != nullptr, "null wiring");
+  }
+
+  u32 read32(Addr offset) override;
+  void write32(Addr offset, u32 value) override;
+
+ private:
+  link::SpiWire* wire_;
+  mem::Sram* local_;
+  u32 remote_addr_ = 0;
+  u32 local_addr_ = 0;
+  u32 len_ = 0;
+};
+
+/// Wake controller for the host core: lets the driver use WFE and sleep —
+/// clock-gated, like the real MCU's WFI + EXTI on the EOC line — instead
+/// of burning active power in a polling loop. Level-triggered on EOC.
+class HostWakeUnit final : public core::SyncUnit {
+ public:
+  explicit HostWakeUnit(std::function<bool()> eoc_level)
+      : eoc_level_(std::move(eoc_level)) {}
+
+  bool barrier_arrive(u32 /*core_id*/) override {
+    ULP_CHECK(false, "the host MCU has no cluster barrier");
+  }
+  bool check_wake(u32 /*core_id*/, core::WakeKind kind) override {
+    return kind == core::WakeKind::kEvent && eoc_level_();
+  }
+  void send_event(u32 /*event_id*/) override {}
+  void signal_eoc(u32 /*flag*/) override {}
+
+ private:
+  std::function<bool()> eoc_level_;
+};
+
+class GpioPeripheral final : public mem::Peripheral {
+ public:
+  /// `eoc_level` samples the accelerator's EOC line; `on_fetch_enable`
+  /// fires on the rising edge of OUT bit0 with the staged image length.
+  GpioPeripheral(std::function<bool()> eoc_level,
+                 std::function<void(u32 image_len)> on_fetch_enable)
+      : eoc_level_(std::move(eoc_level)),
+        on_fetch_enable_(std::move(on_fetch_enable)) {}
+
+  u32 read32(Addr offset) override;
+  void write32(Addr offset, u32 value) override;
+
+ private:
+  std::function<bool()> eoc_level_;
+  std::function<void(u32)> on_fetch_enable_;
+  u32 out_ = 0;
+  u32 img_len_ = 0;
+};
+
+}  // namespace ulp::host

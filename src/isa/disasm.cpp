@@ -1,0 +1,55 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+namespace ulp::isa {
+
+namespace {
+std::string reg(u8 r) { return "r" + std::to_string(r); }
+}  // namespace
+
+std::string disassemble(const Instr& in) {
+  const OpInfo& info = op_info(in.op);
+  std::ostringstream os;
+  os << info.mnemonic;
+  switch (info.fmt) {
+    case Fmt::kR:
+      os << ' ' << reg(in.rd) << ", " << reg(in.ra) << ", " << reg(in.rb);
+      break;
+    case Fmt::kI:
+      os << ' ' << reg(in.rd) << ", " << reg(in.ra) << ", " << in.imm;
+      break;
+    case Fmt::kMem:
+      os << ' ' << reg(in.rd) << ", " << in.imm << '(' << reg(in.ra) << ')';
+      break;
+    case Fmt::kB:
+      os << ' ' << reg(in.ra) << ", " << reg(in.rb) << ", " << in.imm;
+      break;
+    case Fmt::kLui:
+    case Fmt::kJ:
+      os << ' ' << reg(in.rd) << ", " << in.imm;
+      break;
+    case Fmt::kLp:
+      os << ' ' << static_cast<int>(in.rd) << ", " << reg(in.ra) << ", "
+         << in.imm;
+      break;
+    case Fmt::kSys:
+      if (in.op == Opcode::kCsrr) {
+        os << ' ' << reg(in.rd) << ", " << in.imm;
+      } else if (in.op == Opcode::kSev || in.op == Opcode::kEoc) {
+        os << ' ' << in.imm;
+      }
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble_listing(const std::vector<Instr>& code) {
+  std::ostringstream os;
+  for (size_t i = 0; i < code.size(); ++i) {
+    os << i << ":\t" << disassemble(code[i]) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ulp::isa

@@ -1,0 +1,17 @@
+// Human-readable disassembly, used by traces, error messages and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace ulp::isa {
+
+/// "mac r3, r4, r5" / "lw r1, 8(r2)" / "beq r1, r2, -12" style text.
+[[nodiscard]] std::string disassemble(const Instr& instr);
+
+/// Full listing with instruction indices, one line per instruction.
+[[nodiscard]] std::string disassemble_listing(const std::vector<Instr>& code);
+
+}  // namespace ulp::isa

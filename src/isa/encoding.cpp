@@ -1,0 +1,127 @@
+#include "isa/encoding.hpp"
+
+#include "common/status.hpp"
+
+namespace ulp::isa {
+
+namespace {
+
+constexpr i32 kImm15Min = -(1 << 14);
+constexpr i32 kImm15Max = (1 << 14) - 1;
+constexpr i32 kImm20Min = -(1 << 19);
+constexpr i32 kImm20Max = (1 << 19) - 1;
+constexpr u32 kLuiMax = (1u << 20) - 1;
+
+void check_reg(u8 r) { ULP_CHECK(r < kNumRegs, "register out of range"); }
+
+u32 field(u32 v, int shift) { return v << shift; }
+
+i32 sext(u32 v, int bits) {
+  const u32 m = 1u << (bits - 1);
+  return static_cast<i32>((v ^ m) - m);
+}
+
+}  // namespace
+
+bool imm_fits(Opcode op, i32 imm) {
+  switch (op_info(op).fmt) {
+    case Fmt::kR:
+      return imm == 0;
+    case Fmt::kLui:
+      return imm >= 0 && static_cast<u32>(imm) <= kLuiMax;
+    case Fmt::kJ:
+      return imm >= kImm20Min && imm <= kImm20Max;
+    default:
+      return imm >= kImm15Min && imm <= kImm15Max;
+  }
+}
+
+u32 encode(const Instr& in) {
+  const OpInfo& info = op_info(in.op);
+  check_reg(in.rd);
+  check_reg(in.ra);
+  check_reg(in.rb);
+  ULP_CHECK(imm_fits(in.op, in.imm),
+            std::string("immediate out of range for ") +
+                std::string(info.mnemonic));
+  u32 w = field(static_cast<u32>(in.op), 25);
+  switch (info.fmt) {
+    case Fmt::kR:
+      w |= field(in.rd, 20) | field(in.ra, 15) | field(in.rb, 10);
+      break;
+    case Fmt::kI:
+    case Fmt::kMem:
+    case Fmt::kLp:
+      w |= field(in.rd, 20) | field(in.ra, 15) |
+           (static_cast<u32>(in.imm) & 0x7FFF);
+      break;
+    case Fmt::kB:
+      w |= field(in.ra, 20) | field(in.rb, 15) |
+           (static_cast<u32>(in.imm) & 0x7FFF);
+      break;
+    case Fmt::kLui:
+    case Fmt::kJ:
+      w |= field(in.rd, 20) | (static_cast<u32>(in.imm) & 0xFFFFF);
+      break;
+    case Fmt::kSys:
+      w |= field(in.rd, 20) | (static_cast<u32>(in.imm) & 0x7FFF);
+      break;
+  }
+  return w;
+}
+
+Instr decode(u32 w) {
+  const u32 opc = w >> 25;
+  ULP_CHECK(opc < kNumOpcodes, "invalid opcode in instruction word");
+  Instr in;
+  in.op = static_cast<Opcode>(opc);
+  const Fmt fmt = op_info(in.op).fmt;
+  switch (fmt) {
+    case Fmt::kR:
+      in.rd = (w >> 20) & 0x1F;
+      in.ra = (w >> 15) & 0x1F;
+      in.rb = (w >> 10) & 0x1F;
+      break;
+    case Fmt::kI:
+    case Fmt::kMem:
+    case Fmt::kLp:
+      in.rd = (w >> 20) & 0x1F;
+      in.ra = (w >> 15) & 0x1F;
+      in.imm = sext(w & 0x7FFF, 15);
+      break;
+    case Fmt::kB:
+      in.ra = (w >> 20) & 0x1F;
+      in.rb = (w >> 15) & 0x1F;
+      in.imm = sext(w & 0x7FFF, 15);
+      break;
+    case Fmt::kLui:
+      in.rd = (w >> 20) & 0x1F;
+      in.imm = static_cast<i32>(w & 0xFFFFF);
+      break;
+    case Fmt::kJ:
+      in.rd = (w >> 20) & 0x1F;
+      in.imm = sext(w & 0xFFFFF, 20);
+      break;
+    case Fmt::kSys:
+      in.rd = (w >> 20) & 0x1F;
+      in.imm = sext(w & 0x7FFF, 15);
+      break;
+  }
+  return in;
+}
+
+std::vector<u32> encode_all(const std::vector<Instr>& code) {
+  std::vector<u32> out;
+  out.reserve(code.size());
+  for (const Instr& i : code) out.push_back(encode(i));
+  return out;
+}
+
+std::vector<Instr> decode_all(const std::vector<u32>& words) {
+  std::vector<Instr> out;
+  out.reserve(words.size());
+  for (u32 w : words) out.push_back(decode(w));
+  return out;
+}
+
+}  // namespace ulp::isa

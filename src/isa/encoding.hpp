@@ -1,0 +1,36 @@
+// Binary encoding of VR1K instructions.
+//
+// Layout of the 32-bit instruction word (fields by format, opcode always in
+// bits [31:25]):
+//   R:    | op7 | rd5 | ra5 | rb5 | 0...           |
+//   I/Mem:| op7 | rd5 | ra5 | imm15 (signed)       |
+//   B:    | op7 | ra5 | rb5 | imm15 (signed)       |
+//   Lui/J:| op7 | rd5 | imm20 (J: signed)          |
+//   Lp:   | op7 | id5 | ra5 | imm15                |
+//   Sys:  | op7 | rd5 | imm15                      |
+//
+// Encoding exists so that (a) Table I binary sizes are measured on a real
+// image, (b) the offload runtime ships real bytes over the simulated SPI
+// link, and (c) decode(encode(i)) == i is testable by fuzzing.
+#pragma once
+
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace ulp::isa {
+
+/// Encodes one instruction; throws SimError if a field is out of range
+/// (e.g. an immediate that does not fit its format).
+[[nodiscard]] u32 encode(const Instr& instr);
+
+/// Decodes one instruction word; throws SimError on an invalid opcode.
+[[nodiscard]] Instr decode(u32 word);
+
+/// True if `imm` is representable in the (signed) immediate field of `op`.
+[[nodiscard]] bool imm_fits(Opcode op, i32 imm);
+
+[[nodiscard]] std::vector<u32> encode_all(const std::vector<Instr>& code);
+[[nodiscard]] std::vector<Instr> decode_all(const std::vector<u32>& words);
+
+}  // namespace ulp::isa

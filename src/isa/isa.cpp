@@ -1,0 +1,88 @@
+#include "isa/isa.hpp"
+
+#include "common/status.hpp"
+
+namespace ulp::isa {
+
+namespace {
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+    {"add", Fmt::kR},     {"sub", Fmt::kR},    {"and", Fmt::kR},
+    {"or", Fmt::kR},      {"xor", Fmt::kR},    {"sll", Fmt::kR},
+    {"srl", Fmt::kR},     {"sra", Fmt::kR},    {"slt", Fmt::kR},
+    {"sltu", Fmt::kR},    {"mul", Fmt::kR},    {"mulhs", Fmt::kR},
+    {"mulhu", Fmt::kR},   {"div", Fmt::kR},    {"divu", Fmt::kR},
+    {"rem", Fmt::kR},     {"remu", Fmt::kR},   {"mac", Fmt::kR},
+    {"dotp2.h", Fmt::kR}, {"dotp4.b", Fmt::kR},
+    {"add2.h", Fmt::kR},  {"sub2.h", Fmt::kR}, {"add4.b", Fmt::kR},
+    {"sub4.b", Fmt::kR},  {"addi", Fmt::kI},   {"andi", Fmt::kI},
+    {"ori", Fmt::kI},     {"xori", Fmt::kI},   {"slli", Fmt::kI},
+    {"srli", Fmt::kI},    {"srai", Fmt::kI},   {"slti", Fmt::kI},
+    {"sltiu", Fmt::kI},   {"lui", Fmt::kLui},  {"lw", Fmt::kMem},
+    {"lh", Fmt::kMem},    {"lhu", Fmt::kMem},  {"lb", Fmt::kMem},
+    {"lbu", Fmt::kMem},   {"lw!", Fmt::kMem},  {"lh!", Fmt::kMem},
+    {"lhu!", Fmt::kMem},  {"lb!", Fmt::kMem},  {"lbu!", Fmt::kMem},
+    {"sw", Fmt::kMem},    {"sh", Fmt::kMem},   {"sb", Fmt::kMem},
+    {"sw!", Fmt::kMem},   {"sh!", Fmt::kMem},  {"sb!", Fmt::kMem},
+    {"beq", Fmt::kB},     {"bne", Fmt::kB},    {"blt", Fmt::kB},
+    {"bge", Fmt::kB},     {"bltu", Fmt::kB},   {"bgeu", Fmt::kB},
+    {"jal", Fmt::kJ},     {"jalr", Fmt::kR},   {"lp.setup", Fmt::kLp},
+    {"csrr", Fmt::kSys},  {"barrier", Fmt::kSys}, {"wfe", Fmt::kSys},
+    {"sev", Fmt::kSys},   {"eoc", Fmt::kSys},  {"nop", Fmt::kSys},
+    {"halt", Fmt::kSys},
+}};
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  const auto idx = static_cast<size_t>(op);
+  ULP_CHECK(idx < kNumOpcodes, "invalid opcode");
+  return kOpTable[idx];
+}
+
+bool is_load(Opcode op) {
+  return op >= Opcode::kLw && op <= Opcode::kLbupi;
+}
+
+bool is_store(Opcode op) {
+  return op >= Opcode::kSw && op <= Opcode::kSbpi;
+}
+
+bool is_postinc(Opcode op) {
+  return (op >= Opcode::kLwpi && op <= Opcode::kLbupi) ||
+         (op >= Opcode::kSwpi && op <= Opcode::kSbpi);
+}
+
+bool is_branch(Opcode op) {
+  return op >= Opcode::kBeq && op <= Opcode::kBgeu;
+}
+
+int access_size(Opcode op) {
+  switch (op) {
+    case Opcode::kLw:
+    case Opcode::kLwpi:
+    case Opcode::kSw:
+    case Opcode::kSwpi:
+      return 4;
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kLhpi:
+    case Opcode::kLhupi:
+    case Opcode::kSh:
+    case Opcode::kShpi:
+      return 2;
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kLbpi:
+    case Opcode::kLbupi:
+    case Opcode::kSb:
+    case Opcode::kSbpi:
+      return 1;
+    default:
+      ULP_CHECK(false, "access_size on non-memory opcode");
+  }
+}
+
+bool is_simd(Opcode op) {
+  return op >= Opcode::kDotp2h && op <= Opcode::kSub4b;
+}
+
+}  // namespace ulp::isa

@@ -1,0 +1,114 @@
+// VR1K: the 32-bit RISC instruction set used by the simulator.
+//
+// The ISA is OpenRISC-inspired (32 GPRs, r0 hardwired to zero) and carries
+// the OR10N extensions the paper's Section III-B describes: a
+// register-register multiply-accumulate, sub-word pseudo-SIMD (2x16 / 4x8
+// dot products and vector add/sub), two zero-overhead hardware loops,
+// post-increment addressing, and unaligned load/store support. Whether a
+// given *core* may execute each extension is decided by core::CoreFeatures;
+// the ISA itself just defines semantics and encodings.
+//
+// Branch/jump offsets are measured in instructions (not bytes); the program
+// counter is an instruction index. Encoded images still account 4 bytes per
+// instruction for binary-size purposes (Table I).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace ulp::isa {
+
+inline constexpr int kNumRegs = 32;
+
+/// Control/status registers readable through CSRR.
+enum class Csr : u16 {
+  kCoreId = 0,    ///< Index of this core within its cluster.
+  kNumCores = 1,  ///< Number of cores in the cluster.
+  kCycle = 2,     ///< Free-running cycle counter (low 32 bits).
+};
+
+enum class Opcode : u8 {
+  // ALU register-register.
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu,
+  // Multiply / divide.
+  kMul,    ///< 32x32 -> low 32 bits.
+  kMulhs,  ///< 32x32 -> high 32 bits, signed   (Cortex-M smull-class).
+  kMulhu,  ///< 32x32 -> high 32 bits, unsigned (Cortex-M umull-class).
+  kDiv, kDivu, kRem, kRemu,
+  // OR10N extensions (feature-gated).
+  kMac,     ///< rd += ra * rb (register-register MAC).
+  kDotp2h,  ///< rd += a.h0*b.h0 + a.h1*b.h1 (2x16-bit lanes, signed).
+  kDotp4b,  ///< rd += sum(a.b[i]*b.b[i])    (4x8-bit lanes, signed).
+  kAdd2h, kSub2h, kAdd4b, kSub4b,  ///< lane-wise vector add/sub.
+  // ALU register-immediate.
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti, kSltiu,
+  kLui,  ///< rd = imm << 12.
+  // Loads (rd <- mem[ra + imm]); PI variants post-increment ra by imm.
+  kLw, kLh, kLhu, kLb, kLbu,
+  kLwpi, kLhpi, kLhupi, kLbpi, kLbupi,
+  // Stores (mem[ra + imm] <- rd); PI variants post-increment ra by imm.
+  kSw, kSh, kSb,
+  kSwpi, kShpi, kSbpi,
+  // Control flow. Branch compares ra, rb; target = pc + imm.
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kJal,   ///< rd = pc + 1; pc += imm.
+  kJalr,  ///< rd = pc + 1; pc = ra.
+  // Hardware loops: id = rd (0/1), trip count = reg[ra], body = imm instrs
+  // starting at the next pc.
+  kLpSetup,
+  // System.
+  kCsrr,     ///< rd = csr[imm].
+  kBarrier,  ///< Rendezvous of all cluster cores via the HW synchronizer.
+  kWfe,      ///< Sleep (clock-gated) until an event is signalled.
+  kSev,      ///< Signal event imm to the cluster event unit.
+  kEoc,      ///< End of computation: raises the host-visible event GPIO.
+  kNop,
+  kHalt,
+  kCount,  // sentinel
+};
+
+inline constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::kCount);
+
+/// Instruction formats, used by the binary encoder and the disassembler.
+enum class Fmt : u8 {
+  kR,    ///< op rd, ra, rb
+  kI,    ///< op rd, ra, imm15
+  kLui,  ///< op rd, imm20
+  kMem,  ///< op rd, imm15(ra)          (loads and stores)
+  kB,    ///< op ra, rb, imm15          (branches)
+  kJ,    ///< op rd, imm20              (jal)
+  kLp,   ///< op id(rd), ra, imm15      (lp.setup)
+  kSys,  ///< op [rd,] imm15            (csrr/sev/eoc/barrier/wfe/nop/halt)
+};
+
+struct OpInfo {
+  std::string_view mnemonic;
+  Fmt fmt;
+};
+
+[[nodiscard]] const OpInfo& op_info(Opcode op);
+
+/// One decoded instruction. `imm` is already sign-extended.
+struct Instr {
+  Opcode op = Opcode::kNop;
+  u8 rd = 0;
+  u8 ra = 0;
+  u8 rb = 0;
+  i32 imm = 0;
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+[[nodiscard]] bool is_load(Opcode op);
+[[nodiscard]] bool is_store(Opcode op);
+[[nodiscard]] bool is_postinc(Opcode op);
+[[nodiscard]] bool is_branch(Opcode op);
+/// Bytes accessed by a load/store opcode (1, 2 or 4).
+[[nodiscard]] int access_size(Opcode op);
+/// True for the OR10N sub-word SIMD opcodes (dotp / vector add/sub).
+[[nodiscard]] bool is_simd(Opcode op);
+
+}  // namespace ulp::isa

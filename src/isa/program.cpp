@@ -1,0 +1,98 @@
+#include "isa/program.hpp"
+
+#include "common/status.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulp::isa {
+
+namespace {
+
+constexpr u32 kMagic = 0x50554C50;  // "PULP"
+
+void put_u32(std::vector<u8>& out, u32 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 24));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<u8>& buf) : buf_(buf) {}
+
+  u32 u32_at() {
+    ULP_CHECK(pos_ + 4 <= buf_.size(), "truncated program image");
+    const u32 v = static_cast<u32>(buf_[pos_]) |
+                  static_cast<u32>(buf_[pos_ + 1]) << 8 |
+                  static_cast<u32>(buf_[pos_ + 2]) << 16 |
+                  static_cast<u32>(buf_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::vector<u8> bytes(size_t n) {
+    ULP_CHECK(pos_ + n <= buf_.size(), "truncated program image");
+    std::vector<u8> out(buf_.begin() + static_cast<long>(pos_),
+                        buf_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<u8>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+size_t Program::image_size_bytes() const {
+  size_t sz = 4 * 4;  // magic, entry, code count, segment count
+  sz += code.size() * 4;
+  for (const Segment& s : data) {
+    sz += 8 + ((s.bytes.size() + 3) & ~size_t{3});
+  }
+  return sz;
+}
+
+std::vector<u8> serialize(const Program& program) {
+  std::vector<u8> out;
+  out.reserve(program.image_size_bytes());
+  put_u32(out, kMagic);
+  put_u32(out, program.entry);
+  put_u32(out, static_cast<u32>(program.code.size()));
+  put_u32(out, static_cast<u32>(program.data.size()));
+  for (const Instr& i : program.code) put_u32(out, encode(i));
+  for (const Segment& s : program.data) {
+    put_u32(out, s.addr);
+    put_u32(out, static_cast<u32>(s.bytes.size()));
+    for (u8 b : s.bytes) out.push_back(b);
+    while (out.size() % 4 != 0) out.push_back(0);  // word padding
+  }
+  return out;
+}
+
+Program deserialize(const std::vector<u8>& image) {
+  Reader r(image);
+  ULP_CHECK(r.u32_at() == kMagic, "bad program image magic");
+  Program p;
+  p.entry = r.u32_at();
+  const u32 ninstr = r.u32_at();
+  const u32 nseg = r.u32_at();
+  p.code.reserve(ninstr);
+  for (u32 i = 0; i < ninstr; ++i) p.code.push_back(decode(r.u32_at()));
+  ULP_CHECK(p.entry <= p.code.size(), "entry point outside code");
+  for (u32 s = 0; s < nseg; ++s) {
+    Segment seg;
+    seg.addr = r.u32_at();
+    const u32 len = r.u32_at();
+    seg.bytes = r.bytes(len);
+    if (len % 4 != 0) (void)r.bytes(4 - len % 4);  // skip padding
+    p.data.push_back(std::move(seg));
+  }
+  ULP_CHECK(r.done(), "trailing bytes in program image");
+  return p;
+}
+
+}  // namespace ulp::isa

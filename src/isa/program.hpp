@@ -1,0 +1,40 @@
+// Program image: code + initialised data segments.
+//
+// This is the unit the host offloads to the accelerator: the runtime
+// serialises a Program to bytes (serialize/deserialize below), ships it over
+// the SPI link into L2, and the accelerator boot stub loads the segments.
+// Its serialised size is the "Binary Size" column of Table I.
+#pragma once
+
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace ulp::isa {
+
+/// A block of initialised data placed at a fixed address (LUTs, weights,
+/// constants — anything the kernel needs besides its code and I/O buffers).
+struct Segment {
+  Addr addr = 0;
+  std::vector<u8> bytes;
+};
+
+struct Program {
+  std::vector<Instr> code;
+  std::vector<Segment> data;
+  u32 entry = 0;  ///< Instruction index where execution starts.
+
+  /// Size of the serialised image in bytes (code + data + headers), i.e.
+  /// what must cross the host-accelerator link during a code offload.
+  [[nodiscard]] size_t image_size_bytes() const;
+
+  /// Bytes of code alone (4 per instruction).
+  [[nodiscard]] size_t code_size_bytes() const { return code.size() * 4; }
+};
+
+/// Binary wire format (little-endian u32 header + payload). Round-trips via
+/// deserialize; malformed images throw SimError.
+[[nodiscard]] std::vector<u8> serialize(const Program& program);
+[[nodiscard]] Program deserialize(const std::vector<u8>& image);
+
+}  // namespace ulp::isa

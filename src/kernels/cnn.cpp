@@ -1,0 +1,489 @@
+// Convolutional Neural Network kernels (Table I rows 8-9).
+//
+// A from-scratch fixed-point (Q4.11) ConvNet in the spirit of the paper's
+// CConvNet-based benchmark: 32x32 input image, two 5x5 convolution layers
+// with tanh activations and 2x2 average pooling, and a fully connected
+// layer producing 10 raw 32-bit scores (the paper's 40 B output).
+//
+//   cnn:          conv1(1->4, 5x5) -> tanh -> pool2x2
+//                 conv2(4->8, 5x5) -> tanh -> pool2x2
+//                 fc(200 -> 10)
+//   cnn (approx): the "approximated" variant — stride-2 convolutions fuse
+//                 the pooling, and activations become a cheap hard clamp to
+//                 [-1, 1]; fewer operations, same interface (the paper's
+//                 2.6M vs 3.3M RISC-op ratio).
+//
+// All multiplies carry the per-product Q4.11 shift (fixed-point group of
+// Figure 4). Weights ship as initialised data segments of the binary; the
+// tanh LUT is shared with common/lut.hpp so golden and generated code agree
+// bit-for-bit.
+//
+// Parallelisation: output feature maps round-robin across cores for the
+// conv layers, output neurons chunked for the FC layer, with cluster
+// barriers between layers.
+#include "kernels/kernel.hpp"
+
+#include "codegen/builder.hpp"
+#include "common/lut.hpp"
+#include "common/rng.hpp"
+#include "runtime/outliner.hpp"
+
+namespace ulp::kernels {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+using runtime::OutlineRegs;
+
+constexpr u32 kIn = 32;    // input image side
+constexpr u32 kK = 5;      // kernel side
+constexpr u32 kC1 = 4;     // conv1 output maps
+constexpr u32 kC2 = 8;     // conv2 output maps
+constexpr u32 kOut = 10;   // classes
+
+// Standard variant geometry.
+constexpr u32 kConv1Side = kIn - kK + 1;        // 28
+constexpr u32 kPool1Side = kConv1Side / 2;      // 14
+constexpr u32 kConv2Side = kPool1Side - kK + 1; // 10
+constexpr u32 kPool2Side = kConv2Side / 2;      // 5
+// Approx variant: stride-2 convolutions produce the pooled sizes directly.
+constexpr u32 kApprox1Side = (kIn - kK) / 2 + 1;          // 14
+constexpr u32 kApprox2Side = (kApprox1Side - kK) / 2 + 1; // 5
+
+constexpr u32 kFcInputs = kC2 * kPool2Side * kPool2Side;  // 200
+
+struct Layout {
+  Addr image = 0;    // kIn^2 q16
+  Addr maps1 = 0;    // conv1 activations (28^2 or 14^2 per map)
+  Addr pool1 = 0;    // 14^2 per map (standard only)
+  Addr maps2 = 0;    // 10^2 per map (standard only)
+  Addr pool2 = 0;    // 5^2 per map
+  Addr out = 0;      // 10 x i32
+  Addr w1 = 0;       // conv1 weights: kC1 x 25 + kC1 bias
+  Addr w2 = 0;       // conv2 weights: kC2 x kC1 x 25 + kC2 bias
+  Addr wfc = 0;      // fc weights: kOut x 200 + kOut bias
+  Addr lut = 0;      // tanh LUT
+};
+
+// Register map: r3..r19 kernel locals, r20..r22 loop scratch.
+constexpr u8 rAcc = 3, rPin = 4, rPw = 5, rPout = 6, rX = 7, rW = 8, rT = 9,
+             rKy = 10, rOx = 11, rOy = 12, rT2 = 13, rLut = 14, rBias = 15,
+             rLo = 16, rHi = 17, rCnt = 18, rT3 = 19;
+
+/// acc (raw q16 sum, i32) -> activation in rAcc.
+/// tanh: symmetric LUT lookup; approx: hard clamp to [-2048, 2047].
+void emit_activation(Builder& bld, bool approx) {
+  if (approx) {
+    const auto not_high = bld.make_label();
+    const auto done = bld.make_label();
+    bld.li(rT, 2047);
+    bld.branch(Opcode::kBge, rT, rAcc, not_high);
+    bld.mv(rAcc, rT);
+    bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, done);
+    bld.bind(not_high);
+    bld.li(rT, -2048);
+    bld.branch(Opcode::kBge, rAcc, rT, done);
+    bld.mv(rAcc, rT);
+    bld.bind(done);
+    return;
+  }
+  // Signed tanh LUT: index = min(|acc| >> 4, 511), negate for acc < 0.
+  const auto nonneg = bld.make_label();
+  const auto lookup = bld.make_label();
+  const auto done = bld.make_label();
+  bld.branch(Opcode::kBge, rAcc, codegen::zero, nonneg);
+  bld.emit(Opcode::kSub, rAcc, codegen::zero, rAcc);
+  bld.li(rT2, 1);  // negate flag
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, lookup);
+  bld.bind(nonneg);
+  bld.li(rT2, 0);
+  bld.bind(lookup);
+  bld.emit(Opcode::kSrai, rAcc, rAcc, 0, 4);
+  bld.li(rT, 511);
+  const auto in_range = bld.make_label();
+  bld.branch(Opcode::kBge, rT, rAcc, in_range);
+  bld.mv(rAcc, rT);
+  bld.bind(in_range);
+  bld.emit(Opcode::kSlli, rAcc, rAcc, 0, 1);
+  bld.emit(Opcode::kAdd, rAcc, rAcc, rLut);
+  bld.emit(Opcode::kLh, rAcc, rAcc, 0, 0);
+  bld.branch(Opcode::kBeq, rT2, codegen::zero, done);
+  bld.emit(Opcode::kSub, rAcc, codegen::zero, rAcc);
+  bld.bind(done);
+}
+
+/// One convolution layer: out maps assigned round-robin to cores.
+/// in: `num_in` maps of `in_side`^2 at in_base (contiguous maps);
+/// out: `num_out` maps of out_side^2 at out_base; weights at w_base:
+/// per out map: num_in * 25 q16 taps, then all biases at the tail.
+void emit_conv_layer(Builder& bld, const OutlineRegs& regs, u32 num_cores,
+                     Addr in_base, u32 in_side, u32 num_in, Addr out_base,
+                     u32 num_out, Addr w_base, u32 stride, bool approx) {
+  const u32 out_side = (in_side - kK) / stride + 1;
+  const u32 taps = num_in * kK * kK;
+  const Addr bias_base = w_base + num_out * taps * 2;
+
+  for (u32 m = 0; m < num_out; ++m) {
+    const auto skip = bld.make_label();
+    bld.li(rT, m % num_cores);
+    bld.branch(Opcode::kBne, regs.core_id, rT, skip);
+
+    // Load this map's bias once.
+    bld.li(rT, bias_base + m * 2);
+    bld.emit(Opcode::kLh, rBias, rT, 0, 0);
+    bld.li(rPout, out_base + m * out_side * out_side * 2);
+
+    // oy and ox are explicit software loops whose down-counters double as
+    // coordinates (hardware-loop counters are architecturally invisible);
+    // the hot 5x5 tap loop gets hardware slot 0.
+    bld.li(rOy, out_side);
+    const auto oy_top = bld.make_label();
+    bld.bind(oy_top);
+    bld.li(rOx, out_side);
+    const auto ox_top = bld.make_label();
+    bld.bind(ox_top);
+    bld.mv(rAcc, rBias);
+    // pW for this out map; pIn positioned per (im, oy, ox) below.
+    bld.li(rPw, w_base + m * taps * 2);
+    for (u32 im = 0; im < num_in; ++im) {
+      // pIn = in_base + im*in_side^2*2 + ((out_side - oy)*stride*in_side
+      //       + (out_side - ox)*stride)*2 ; oy/ox count DOWN from out_side.
+      bld.li(rT, out_side);
+      bld.emit(Opcode::kSub, rT, rT, rOy);  // row index
+      if (stride == 2) bld.emit(Opcode::kSlli, rT, rT, 0, 1);
+      bld.li(rT2, in_side * 2);
+      bld.emit(Opcode::kMul, rT, rT, rT2);
+      bld.li(rT2, out_side);
+      bld.emit(Opcode::kSub, rT2, rT2, rOx);  // col index
+      if (stride == 2) bld.emit(Opcode::kSlli, rT2, rT2, 0, 1);
+      bld.emit(Opcode::kSlli, rT2, rT2, 0, 1);
+      bld.emit(Opcode::kAdd, rT, rT, rT2);
+      bld.li(rPin, in_base + im * in_side * in_side * 2);
+      bld.emit(Opcode::kAdd, rPin, rPin, rT);
+      bld.loop_hot(kK, 20, [&] {
+        for (u32 kx = 0; kx < kK; ++kx) {
+          bld.lh_pi(rX, rPin, 2);
+          bld.lh_pi(rW, rPw, 2);
+          bld.emit(Opcode::kMul, rT, rX, rW);
+          bld.emit(Opcode::kSrai, rT, rT, 0, 11);
+          bld.emit(Opcode::kAdd, rAcc, rAcc, rT);
+        }
+        bld.emit(Opcode::kAddi, rPin, rPin, 0,
+                 static_cast<i32>((in_side - kK) * 2));
+      }, /*unroll=*/kK);
+    }
+    emit_activation(bld, approx);
+    bld.sh_pi(rAcc, rPout, 2);
+    bld.emit(Opcode::kAddi, rOx, rOx, 0, -1);
+    bld.branch(Opcode::kBne, rOx, codegen::zero, ox_top);
+    bld.emit(Opcode::kAddi, rOy, rOy, 0, -1);
+    bld.branch(Opcode::kBne, rOy, codegen::zero, oy_top);
+    bld.bind(skip);
+  }
+}
+
+/// 2x2 average pooling, maps round-robin across cores.
+void emit_pool_layer(Builder& bld, const OutlineRegs& regs, u32 num_cores,
+                     Addr in_base, u32 in_side, Addr out_base, u32 num_maps) {
+  const u32 out_side = in_side / 2;
+  for (u32 m = 0; m < num_maps; ++m) {
+    const auto skip = bld.make_label();
+    bld.li(rT, m % num_cores);
+    bld.branch(Opcode::kBne, regs.core_id, rT, skip);
+    bld.li(rPout, out_base + m * out_side * out_side * 2);
+    bld.li(rOy, out_side);
+    const auto oy_top = bld.make_label();
+    bld.bind(oy_top);
+    // pIn = in + m*in_side^2*2 + (out_side-oy)*2*in_side*2.
+    bld.li(rT, out_side);
+    bld.emit(Opcode::kSub, rT, rT, rOy);
+    bld.li(rT2, in_side * 4);
+    bld.emit(Opcode::kMul, rT, rT, rT2);
+    bld.li(rPin, in_base + m * in_side * in_side * 2);
+    bld.emit(Opcode::kAdd, rPin, rPin, rT);
+    bld.li(rOx, out_side);
+    bld.loop(rOx, 20, [&] {
+      bld.lh_pi(rX, rPin, 2);
+      bld.lh_pi(rW, rPin, static_cast<i32>(in_side * 2) - 2);
+      bld.emit(Opcode::kAdd, rAcc, rX, rW);
+      bld.lh_pi(rX, rPin, 2);
+      bld.lh_pi(rW, rPin, -static_cast<i32>(in_side * 2) + 2);
+      bld.emit(Opcode::kAdd, rX, rX, rW);
+      bld.emit(Opcode::kAdd, rAcc, rAcc, rX);
+      bld.emit(Opcode::kSrai, rAcc, rAcc, 0, 2);
+      bld.sh_pi(rAcc, rPout, 2);
+    });
+    bld.emit(Opcode::kAddi, rOy, rOy, 0, -1);
+    bld.branch(Opcode::kBne, rOy, codegen::zero, oy_top);
+    bld.bind(skip);
+  }
+}
+
+/// Fully connected layer: neurons chunked across cores; i32 raw outputs.
+void emit_fc_layer(Builder& bld, const OutlineRegs& regs, u32 num_cores,
+                   Addr in_base, Addr out_base, Addr w_base) {
+  const Addr bias_base = w_base + kOut * kFcInputs * 2;
+  runtime::emit_static_bounds(bld, rLo, rHi, regs.core_id, kOut, num_cores,
+                              20);
+  const auto done = bld.make_label();
+  bld.branch(Opcode::kBge, rLo, rHi, done);
+  bld.emit(Opcode::kSub, rCnt, rHi, rLo);
+  // pW = w + lo*200*2; pOut = out + lo*4; pBias = bias + lo*2.
+  bld.li(rT, kFcInputs * 2);
+  bld.emit(Opcode::kMul, rT, rLo, rT);
+  bld.li(rPw, w_base);
+  bld.emit(Opcode::kAdd, rPw, rPw, rT);
+  bld.emit(Opcode::kSlli, rT, rLo, 0, 2);
+  bld.li(rPout, out_base);
+  bld.emit(Opcode::kAdd, rPout, rPout, rT);
+  bld.emit(Opcode::kSlli, rT, rLo, 0, 1);
+  bld.li(rT3, bias_base);
+  bld.emit(Opcode::kAdd, rT3, rT3, rT);
+
+  const auto o_top = bld.make_label();
+  bld.bind(o_top);
+  bld.emit(Opcode::kLh, rAcc, rT3, 0, 0);
+  bld.emit(Opcode::kAddi, rT3, rT3, 0, 2);
+  bld.li(rPin, in_base);
+  bld.loop_hot(kFcInputs, 20, [&] {
+    bld.lh_pi(rX, rPin, 2);
+    bld.lh_pi(rW, rPw, 2);
+    bld.emit(Opcode::kMul, rT, rX, rW);
+    bld.emit(Opcode::kSrai, rT, rT, 0, 11);
+    bld.emit(Opcode::kAdd, rAcc, rAcc, rT);
+  });
+  bld.sw_pi(rAcc, rPout, 4);
+  bld.emit(Opcode::kAddi, rCnt, rCnt, 0, -1);
+  bld.branch(Opcode::kBne, rCnt, codegen::zero, o_top);
+  bld.bind(done);
+}
+
+void emit_cnn_compute(Builder& bld, const OutlineRegs& regs,
+                      const Layout& lay, bool approx, u32 num_cores,
+                      bool cluster) {
+  if (!approx) bld.li(rLut, lay.lut);
+  if (approx) {
+    emit_conv_layer(bld, regs, num_cores, lay.image, kIn, 1, lay.pool1, kC1,
+                    lay.w1, /*stride=*/2, approx);
+    if (cluster) bld.barrier();
+    emit_conv_layer(bld, regs, num_cores, lay.pool1, kApprox1Side, kC1,
+                    lay.pool2, kC2, lay.w2, /*stride=*/2, approx);
+    if (cluster) bld.barrier();
+  } else {
+    emit_conv_layer(bld, regs, num_cores, lay.image, kIn, 1, lay.maps1, kC1,
+                    lay.w1, /*stride=*/1, approx);
+    if (cluster) bld.barrier();
+    emit_pool_layer(bld, regs, num_cores, lay.maps1, kConv1Side, lay.pool1,
+                    kC1);
+    if (cluster) bld.barrier();
+    emit_conv_layer(bld, regs, num_cores, lay.pool1, kPool1Side, kC1,
+                    lay.maps2, kC2, lay.w2, /*stride=*/1, approx);
+    if (cluster) bld.barrier();
+    emit_pool_layer(bld, regs, num_cores, lay.maps2, kConv2Side, lay.pool2,
+                    kC2);
+    if (cluster) bld.barrier();
+  }
+  emit_fc_layer(bld, regs, num_cores, lay.pool2, lay.out, lay.wfc);
+}
+
+// ---------------------------------------------------------------------
+// Golden reference (bit-exact mirror of the generated arithmetic).
+// ---------------------------------------------------------------------
+
+struct Weights {
+  std::vector<i16> w1, b1, w2, b2, wfc, bfc;
+};
+
+Weights make_weights(u64 seed) {
+  Rng rng(seed ^ 0xC0FFEE);
+  Weights w;
+  auto fill = [&](std::vector<i16>& v, size_t n, i32 lim) {
+    v.resize(n);
+    for (auto& x : v) x = static_cast<i16>(rng.uniform(-lim, lim));
+  };
+  fill(w.w1, kC1 * kK * kK, 600);
+  fill(w.b1, kC1, 400);
+  fill(w.w2, kC2 * kC1 * kK * kK, 300);
+  fill(w.b2, kC2, 400);
+  fill(w.wfc, kOut * kFcInputs, 300);
+  fill(w.bfc, kOut, 400);
+  return w;
+}
+
+i16 activate_ref(i32 acc, bool approx, const Lut16& lut) {
+  if (approx) return static_cast<i16>(std::clamp<i32>(acc, -2048, 2047));
+  return tanh_lut_signed(lut, acc);
+}
+
+/// Reference convolution identical in structure to the emitted one.
+std::vector<i16> conv_ref(const std::vector<i16>& in, u32 in_side, u32 num_in,
+                          const std::vector<i16>& w, const std::vector<i16>& b,
+                          u32 num_out, u32 stride, bool approx,
+                          const Lut16& lut) {
+  const u32 out_side = (in_side - kK) / stride + 1;
+  std::vector<i16> out(num_out * out_side * out_side);
+  for (u32 m = 0; m < num_out; ++m) {
+    for (u32 oy = 0; oy < out_side; ++oy) {
+      for (u32 ox = 0; ox < out_side; ++ox) {
+        i32 acc = b[m];
+        for (u32 im = 0; im < num_in; ++im) {
+          for (u32 ky = 0; ky < kK; ++ky) {
+            for (u32 kx = 0; kx < kK; ++kx) {
+              const i32 x = in[im * in_side * in_side +
+                               (oy * stride + ky) * in_side + ox * stride +
+                               kx];
+              const i32 ww =
+                  w[(m * num_in + im) * kK * kK + ky * kK + kx];
+              acc += (x * ww) >> 11;
+            }
+          }
+        }
+        out[m * out_side * out_side + oy * out_side + ox] =
+            activate_ref(acc, approx, lut);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<i16> pool_ref(const std::vector<i16>& in, u32 in_side,
+                          u32 num_maps) {
+  const u32 out_side = in_side / 2;
+  std::vector<i16> out(num_maps * out_side * out_side);
+  for (u32 m = 0; m < num_maps; ++m) {
+    for (u32 oy = 0; oy < out_side; ++oy) {
+      for (u32 ox = 0; ox < out_side; ++ox) {
+        const auto at = [&](u32 dy, u32 dx) -> i32 {
+          return in[m * in_side * in_side + (2 * oy + dy) * in_side +
+                    2 * ox + dx];
+        };
+        const i32 sum = at(0, 0) + at(0, 1) + at(1, 0) + at(1, 1);
+        out[m * out_side * out_side + oy * out_side + ox] =
+            static_cast<i16>(sum >> 2);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<u8> golden(const std::vector<u8>& input, const Weights& w,
+                       bool approx, const Lut16& lut) {
+  std::vector<i16> img(kIn * kIn);
+  for (size_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<i16>(static_cast<u16>(input[2 * i]) |
+                              static_cast<u16>(input[2 * i + 1]) << 8);
+  }
+  std::vector<i16> pooled2;
+  if (approx) {
+    const auto l1 = conv_ref(img, kIn, 1, w.w1, w.b1, kC1, 2, true, lut);
+    pooled2 = conv_ref(l1, kApprox1Side, kC1, w.w2, w.b2, kC2, 2, true, lut);
+  } else {
+    const auto l1 = conv_ref(img, kIn, 1, w.w1, w.b1, kC1, 1, false, lut);
+    const auto p1 = pool_ref(l1, kConv1Side, kC1);
+    const auto l2 = conv_ref(p1, kPool1Side, kC1, w.w2, w.b2, kC2, 1, false,
+                             lut);
+    pooled2 = pool_ref(l2, kConv2Side, kC2);
+  }
+  std::vector<u8> out(kOut * 4);
+  for (u32 o = 0; o < kOut; ++o) {
+    i32 acc = w.bfc[o];
+    for (u32 k = 0; k < kFcInputs; ++k) {
+      acc += (static_cast<i32>(pooled2[k]) * w.wfc[o * kFcInputs + k]) >> 11;
+    }
+    for (int b = 0; b < 4; ++b) {
+      out[o * 4 + static_cast<u32>(b)] = static_cast<u8>(acc >> (8 * b));
+    }
+  }
+  return out;
+}
+
+std::vector<u8> to_bytes(const std::vector<i16>& v) {
+  std::vector<u8> out(v.size() * 2);
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[2 * i] = static_cast<u8>(v[i]);
+    out[2 * i + 1] = static_cast<u8>(v[i] >> 8);
+  }
+  return out;
+}
+
+KernelCase make_cnn_impl(bool approx, const char* name,
+                         const core::CoreFeatures& features, u32 num_cores,
+                         Target target, u64 seed) {
+  const Lut16 lut = make_tanh_lut();
+  const Weights w = make_weights(seed);
+
+  KernelCase kc;
+  kc.name = name;
+  Rng rng(seed);
+  kc.input.resize(kIn * kIn * 2);
+  for (size_t i = 0; i < kc.input.size(); i += 2) {
+    const i32 v = rng.uniform(-2000, 2000);
+    kc.input[i] = static_cast<u8>(v);
+    kc.input[i + 1] = static_cast<u8>(v >> 8);
+  }
+  kc.expected = golden(kc.input, w, approx, lut);
+  kc.output_bytes = kOut * 4;
+
+  const bool cluster = target == Target::kCluster;
+  Layout lay;
+  Addr p = cluster ? memmap::kTcdmBase : kFlatInputAddr;
+  auto alloc = [&](u32 bytes) {
+    const Addr a = p;
+    p += (bytes + 3) & ~3u;
+    return a;
+  };
+  lay.image = alloc(kIn * kIn * 2);
+  lay.maps1 = alloc(kC1 * kConv1Side * kConv1Side * 2);
+  lay.pool1 = alloc(kC1 * kPool1Side * kPool1Side * 2);
+  lay.maps2 = alloc(kC2 * kConv2Side * kConv2Side * 2);
+  lay.pool2 = alloc(kC2 * kPool2Side * kPool2Side * 2);
+  lay.out = cluster ? alloc(kOut * 4) : kFlatOutputAddr;
+  lay.w1 = alloc((kC1 * kK * kK + kC1) * 2);
+  lay.w2 = alloc((kC2 * kC1 * kK * kK + kC2) * 2);
+  lay.wfc = alloc((kOut * kFcInputs + kOut) * 2);
+  lay.lut = alloc(static_cast<u32>(lut.size_bytes()));
+
+  auto compute = [&](Builder& bld, const OutlineRegs& regs) {
+    emit_cnn_compute(bld, regs, lay, approx, cluster ? num_cores : 1,
+                     cluster);
+  };
+
+  if (cluster) {
+    kc.input_addr = kL2InputAddr;
+    kc.output_addr = kL2OutputAddr;
+    kc.program = runtime::outline_target(
+        features, {{kL2InputAddr, lay.image, kIn * kIn * 2}},
+        {{lay.out, kL2OutputAddr, kOut * 4}}, compute);
+  } else {
+    kc.input_addr = lay.image;
+    kc.output_addr = lay.out;
+    kc.program = runtime::outline_flat(features, compute);
+  }
+
+  // Weights + biases + LUT ship as data segments (part of the binary).
+  auto concat = [&](const std::vector<i16>& a, const std::vector<i16>& b) {
+    std::vector<i16> v = a;
+    v.insert(v.end(), b.begin(), b.end());
+    return to_bytes(v);
+  };
+  kc.program.data.push_back({lay.w1, concat(w.w1, w.b1)});
+  kc.program.data.push_back({lay.w2, concat(w.w2, w.b2)});
+  kc.program.data.push_back({lay.wfc, concat(w.wfc, w.bfc)});
+  if (!approx) {
+    std::vector<i16> lt(lut.table.begin(), lut.table.end());
+    kc.program.data.push_back({lay.lut, to_bytes(lt)});
+  }
+  return kc;
+}
+
+}  // namespace
+
+KernelCase make_cnn(const core::CoreFeatures& f, u32 nc, Target t, u64 seed) {
+  return make_cnn_impl(false, "cnn", f, nc, t, seed);
+}
+KernelCase make_cnn_approx(const core::CoreFeatures& f, u32 nc, Target t,
+                           u64 seed) {
+  return make_cnn_impl(true, "cnn (approx)", f, nc, t, seed);
+}
+
+}  // namespace ulp::kernels

@@ -1,0 +1,396 @@
+// Histogram of Oriented Gradients feature descriptor (Table I row 10).
+//
+// A fixed-point port in the spirit of the paper's VLFeat-based hog: the
+// benchmark needs "a very high dynamic range ... 32-bit fixed-point numbers
+// and SW-emulated 64-bit variables for accumulation", which is exactly what
+// makes it the one kernel with an architectural *slowdown* on OR10N
+// (Figure 4): Cortex-M cores have 32x32->64 multiply hardware, OR10N does
+// not and emulates it with 16x16 partial products (Builder::q32_mul).
+//
+// Pipeline over a 128x128 8-bit image (16 kB input):
+//   1. per pixel (borders excluded): central-difference gradients, gradient
+//      magnitude via bit-by-bit integer sqrt, orientation assignment by
+//      maximum projection onto 9 orientation vectors (VLFeat-style),
+//      accumulation into 16x16 cells x 9 bins;
+//   2. per 2x2-cell block (15x15 blocks): L2 normalisation with the sum of
+//      squares accumulated in software 64-bit, inverse-norm division, and a
+//      Q·16 multiply per descriptor element -> 15*15*36 i32 outputs (~32 kB,
+//      the paper's 36 kB output).
+//
+// Parallelisation: cell rows (phase 1) and block rows (phase 2) chunked
+// across cores, separated by a barrier.
+#include "kernels/kernel.hpp"
+
+#include <cmath>
+
+#include "codegen/builder.hpp"
+#include "common/lut.hpp"
+#include "common/rng.hpp"
+#include "runtime/outliner.hpp"
+
+namespace ulp::kernels {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+using runtime::OutlineRegs;
+
+constexpr u32 kSide = 128;     // image side, 8-bit pixels
+constexpr u32 kCell = 8;       // cell side in pixels
+constexpr u32 kCells = 16;     // cells per side
+constexpr u32 kBins = 9;
+constexpr u32 kBlocks = 15;    // blocks per side (2x2 cells, stride 1 cell)
+constexpr u32 kBlockDims = 4 * kBins;  // 36
+
+constexpr u32 kImgBytes = kSide * kSide;
+constexpr u32 kHistBytes = kCells * kCells * kBins * 4;
+constexpr u32 kOutBytes = kBlocks * kBlocks * kBlockDims * 4;
+
+struct Layout {
+  Addr img = 0;
+  Addr hist = 0;
+  Addr out = 0;
+};
+
+/// Orientation vectors (cos, sin) of k*pi/9 in Q2.14 — compile-time table
+/// shared (via this function) by codegen and reference.
+struct OrientVec {
+  i32 c, s;
+};
+const std::array<OrientVec, kBins>& orient_vectors() {
+  static const auto table = [] {
+    std::array<OrientVec, kBins> t{};
+    for (u32 k = 0; k < kBins; ++k) {
+      const double a = static_cast<double>(k) * M_PI / kBins;
+      t[k] = {static_cast<i32>(std::lround(std::cos(a) * 16384)),
+              static_cast<i32>(std::lround(std::sin(a) * 16384))};
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Register conventions for the kernel body.
+constexpr u8 rY = 3, rX = 4, rGx = 5, rGy = 6, rV = 7, rBest = 8, rBin = 9,
+             rT0 = 10, rT1 = 11, rT2 = 12, rT3 = 13, rInv = 14, rImg = 15,
+             rHist = 16, rLo5 = 5, rHi6 = 6, rPh = 17, rPo = 18, rCnt = 19,
+             rLoB = 20, rHiB = 21;
+
+/// Subroutine: rV = floor(sqrt(rV)) for a non-negative 32-bit value.
+/// Bit-by-bit method, 16 software iterations (no hardware loop: callers may
+/// hold both loop slots). Clobbers rT0..rT3.
+Builder::Label emit_isqrt32(Builder& bld) {
+  const auto entry = bld.make_label();
+  bld.bind(entry);
+  bld.li(rT0, 0);   // root
+  bld.li(rT1, 0);   // rem
+  bld.li(rT2, 16);  // iterations
+  const auto top = bld.make_label();
+  bld.bind(top);
+  bld.emit(Opcode::kSlli, rT0, rT0, 0, 1);   // root <<= 1
+  bld.emit(Opcode::kSlli, rT1, rT1, 0, 2);   // rem <<= 2
+  bld.emit(Opcode::kSrli, rT3, rV, 0, 30);   // top 2 bits of v
+  bld.emit(Opcode::kOr, rT1, rT1, rT3);
+  bld.emit(Opcode::kSlli, rV, rV, 0, 2);     // v <<= 2
+  const auto no_bit = bld.make_label();
+  bld.branch(Opcode::kBgeu, rT0, rT1, no_bit);  // skip unless root < rem
+  bld.emit(Opcode::kAddi, rT3, rT0, 0, 1);
+  bld.emit(Opcode::kSub, rT1, rT1, rT3);     // rem -= root + 1
+  bld.emit(Opcode::kAddi, rT0, rT0, 0, 2);   // root += 2
+  bld.bind(no_bit);
+  bld.emit(Opcode::kAddi, rT2, rT2, 0, -1);
+  bld.branch(Opcode::kBne, rT2, codegen::zero, top);
+  bld.emit(Opcode::kSrli, rV, rT0, 0, 1);    // result = root >> 1
+  bld.emit(Opcode::kJalr, 0, 31, 0);
+  return entry;
+}
+
+void emit_hog_compute(Builder& bld, const OutlineRegs& regs,
+                      const Layout& lay, u32 num_cores, bool cluster) {
+  const auto after_subs = bld.make_label();
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, after_subs);
+  const auto isqrt = emit_isqrt32(bld);
+  bld.bind(after_subs);
+
+  bld.li(rImg, lay.img);
+  bld.li(rHist, lay.hist);
+
+  // ---- Phase 1: gradient histograms, cell rows chunked across cores.
+  runtime::emit_static_bounds(bld, rLoB, rHiB, regs.core_id, kCells,
+                              num_cores, rT0);
+  const auto phase1_done = bld.make_label();
+  bld.branch(Opcode::kBge, rLoB, rHiB, phase1_done);
+  // y = max(8*lo, 1); ylim register holds min(8*hi, 127) recomputed below.
+  bld.emit(Opcode::kSlli, rY, rLoB, 0, 3);
+  const auto y_ok = bld.make_label();
+  bld.branch(Opcode::kBne, rY, codegen::zero, y_ok);
+  bld.li(rY, 1);
+  bld.bind(y_ok);
+  bld.emit(Opcode::kSlli, rHiB, rHiB, 0, 3);  // yend = 8*hi
+  bld.li(rT0, 127);
+  const auto yend_ok = bld.make_label();
+  bld.branch(Opcode::kBge, rT0, rHiB, yend_ok);
+  bld.mv(rHiB, rT0);
+  bld.bind(yend_ok);
+
+  const auto y_top = bld.make_label();
+  bld.bind(y_top);
+  bld.li(rX, 1);
+  const auto x_top = bld.make_label();
+  bld.bind(x_top);
+  {
+    // p = img + y*128 + x.
+    bld.emit(Opcode::kSlli, rT0, rY, 0, 7);
+    bld.emit(Opcode::kAdd, rT0, rT0, rX);
+    bld.emit(Opcode::kAdd, rT0, rT0, rImg);
+    bld.emit(Opcode::kLbu, rGx, rT0, 0, 1);      // img[y][x+1]
+    bld.emit(Opcode::kLbu, rT1, rT0, 0, -1);     // img[y][x-1]
+    bld.emit(Opcode::kSub, rGx, rGx, rT1);
+    bld.emit(Opcode::kLbu, rGy, rT0, 0, kSide);  // img[y+1][x]
+    bld.emit(Opcode::kLbu, rT1, rT0, 0, -static_cast<i32>(kSide));
+    bld.emit(Opcode::kSub, rGy, rGy, rT1);
+
+    // Orientation: bin = argmax_k |gx*cos_k + gy*sin_k| (unrolled).
+    for (u32 k = 0; k < kBins; ++k) {
+      const OrientVec& o = orient_vectors()[k];
+      bld.li(rT0, static_cast<u32>(o.c));
+      bld.emit(Opcode::kMul, rT0, rGx, rT0);
+      bld.li(rT1, static_cast<u32>(o.s));
+      bld.emit(Opcode::kMul, rT1, rGy, rT1);
+      bld.emit(Opcode::kAdd, rT0, rT0, rT1);
+      // |p|: t1 = p >> 31; p = (p ^ t1) - t1.
+      bld.emit(Opcode::kSrai, rT1, rT0, 0, 31);
+      bld.emit(Opcode::kXor, rT0, rT0, rT1);
+      bld.emit(Opcode::kSub, rT0, rT0, rT1);
+      if (k == 0) {
+        bld.mv(rBest, rT0);
+        bld.li(rBin, 0);
+      } else {
+        const auto not_better = bld.make_label();
+        bld.branch(Opcode::kBge, rBest, rT0, not_better);
+        bld.mv(rBest, rT0);
+        bld.li(rBin, static_cast<u32>(k));
+        bld.bind(not_better);
+      }
+    }
+
+    // Magnitude = isqrt(gx^2 + gy^2).
+    bld.emit(Opcode::kMul, rV, rGx, rGx);
+    bld.emit(Opcode::kMul, rT0, rGy, rGy);
+    bld.emit(Opcode::kAdd, rV, rV, rT0);
+    bld.jal(31, isqrt);
+
+    // hist[((y>>3)*16 + (x>>3))*9 + bin] += mag.
+    bld.emit(Opcode::kSrai, rT0, rY, 0, 3);
+    bld.emit(Opcode::kSlli, rT0, rT0, 0, 4);
+    bld.emit(Opcode::kSrai, rT1, rX, 0, 3);
+    bld.emit(Opcode::kAdd, rT0, rT0, rT1);
+    bld.li(rT1, kBins);
+    bld.emit(Opcode::kMul, rT0, rT0, rT1);
+    bld.emit(Opcode::kAdd, rT0, rT0, rBin);
+    bld.emit(Opcode::kSlli, rT0, rT0, 0, 2);
+    bld.emit(Opcode::kAdd, rT0, rT0, rHist);
+    bld.emit(Opcode::kLw, rT1, rT0, 0, 0);
+    bld.emit(Opcode::kAdd, rT1, rT1, rV);
+    bld.emit(Opcode::kSw, rT1, rT0, 0, 0);
+  }
+  bld.emit(Opcode::kAddi, rX, rX, 0, 1);
+  bld.li(rT0, kSide - 1);
+  bld.branch(Opcode::kBlt, rX, rT0, x_top);
+  bld.emit(Opcode::kAddi, rY, rY, 0, 1);
+  bld.branch(Opcode::kBlt, rY, rHiB, y_top);
+  bld.bind(phase1_done);
+
+  if (cluster) bld.barrier();
+
+  // ---- Phase 2: block normalisation, block rows chunked across cores.
+  runtime::emit_static_bounds(bld, rLoB, rHiB, regs.core_id, kBlocks,
+                              num_cores, rT0);
+  const auto phase2_done = bld.make_label();
+  bld.branch(Opcode::kBge, rLoB, rHiB, phase2_done);
+  bld.mv(rY, rLoB);  // by
+  const auto by_top = bld.make_label();
+  bld.bind(by_top);
+  bld.li(rX, 0);  // bx
+  const auto bx_top = bld.make_label();
+  bld.bind(bx_top);
+  {
+    // 64-bit sum of squares over the four cells (software 64-bit: the
+    // paper's "SW-emulated 64-bit variables for accumulation").
+    bld.li(rLo5, 0);
+    bld.li(rHi6, 0);
+    for (u32 dy = 0; dy < 2; ++dy) {
+      for (u32 dx = 0; dx < 2; ++dx) {
+        // pH = hist + (((by+dy)*16 + bx+dx)*9)*4.
+        bld.emit(Opcode::kAddi, rT0, rY, 0, static_cast<i32>(dy));
+        bld.emit(Opcode::kSlli, rT0, rT0, 0, 4);
+        bld.emit(Opcode::kAdd, rT0, rT0, rX);
+        bld.emit(Opcode::kAddi, rT0, rT0, 0, static_cast<i32>(dx));
+        bld.li(rT1, kBins * 4);
+        bld.emit(Opcode::kMul, rT0, rT0, rT1);
+        bld.emit(Opcode::kAdd, rPh, rT0, rHist);
+        bld.li(rCnt, kBins);
+        const auto sq_top = bld.make_label();
+        bld.bind(sq_top);
+        bld.lw_pi(rV, rPh, 4);
+        bld.emit(Opcode::kMul, rT0, rV, rV);
+        bld.add64(rLo5, rHi6, rT0, codegen::zero, rT1);
+        bld.emit(Opcode::kAddi, rCnt, rCnt, 0, -1);
+        bld.branch(Opcode::kBne, rCnt, codegen::zero, sq_top);
+      }
+    }
+    // n = (isqrt((hi << 28) | (lo >> 4)) << 2) + 1; inv = 2^28 / n.
+    bld.emit(Opcode::kSlli, rV, rHi6, 0, 28);
+    bld.emit(Opcode::kSrli, rT0, rLo5, 0, 4);
+    bld.emit(Opcode::kOr, rV, rV, rT0);
+    bld.jal(31, isqrt);
+    bld.emit(Opcode::kSlli, rV, rV, 0, 2);
+    bld.emit(Opcode::kAddi, rV, rV, 0, 1);
+    bld.li(rT0, 1 << 28);
+    bld.emit(Opcode::kDivu, rInv, rT0, rV);
+
+    // Emit the 36 normalised q32 values: out = q32_mul(v << 16, inv).
+    // pOut = out + ((by*15 + bx)*36)*4.
+    bld.li(rT0, kBlocks);
+    bld.emit(Opcode::kMul, rT0, rY, rT0);
+    bld.emit(Opcode::kAdd, rT0, rT0, rX);
+    bld.li(rT1, kBlockDims * 4);
+    bld.emit(Opcode::kMul, rT0, rT0, rT1);
+    bld.li(rPo, lay.out);
+    bld.emit(Opcode::kAdd, rPo, rPo, rT0);
+    for (u32 dy = 0; dy < 2; ++dy) {
+      for (u32 dx = 0; dx < 2; ++dx) {
+        bld.emit(Opcode::kAddi, rT0, rY, 0, static_cast<i32>(dy));
+        bld.emit(Opcode::kSlli, rT0, rT0, 0, 4);
+        bld.emit(Opcode::kAdd, rT0, rT0, rX);
+        bld.emit(Opcode::kAddi, rT0, rT0, 0, static_cast<i32>(dx));
+        bld.li(rT1, kBins * 4);
+        bld.emit(Opcode::kMul, rT0, rT0, rT1);
+        bld.emit(Opcode::kAdd, rPh, rT0, rHist);
+        bld.li(rCnt, kBins);
+        const auto out_top = bld.make_label();
+        bld.bind(out_top);
+        bld.lw_pi(rV, rPh, 4);
+        bld.emit(Opcode::kSlli, rV, rV, 0, 16);
+        bld.q32_mul(rT0, rV, rInv, rT1, rT2, rT3, rGx);
+        bld.sw_pi(rT0, rPo, 4);
+        bld.emit(Opcode::kAddi, rCnt, rCnt, 0, -1);
+        bld.branch(Opcode::kBne, rCnt, codegen::zero, out_top);
+      }
+    }
+  }
+  bld.emit(Opcode::kAddi, rX, rX, 0, 1);
+  bld.li(rT0, kBlocks);
+  bld.branch(Opcode::kBlt, rX, rT0, bx_top);
+  bld.emit(Opcode::kAddi, rY, rY, 0, 1);
+  bld.branch(Opcode::kBlt, rY, rHiB, by_top);
+  bld.bind(phase2_done);
+}
+
+// ---------------------------------------------------------------------
+// Golden reference.
+// ---------------------------------------------------------------------
+
+std::vector<u8> golden(const std::vector<u8>& img) {
+  std::vector<i32> hist(kCells * kCells * kBins, 0);
+  for (u32 y = 1; y < kSide - 1; ++y) {
+    for (u32 x = 1; x < kSide - 1; ++x) {
+      const i32 gx = static_cast<i32>(img[y * kSide + x + 1]) -
+                     static_cast<i32>(img[y * kSide + x - 1]);
+      const i32 gy = static_cast<i32>(img[(y + 1) * kSide + x]) -
+                     static_cast<i32>(img[(y - 1) * kSide + x]);
+      u32 bin = 0;
+      i32 best = -1;
+      for (u32 k = 0; k < kBins; ++k) {
+        const OrientVec& o = orient_vectors()[k];
+        const i32 p = gx * o.c + gy * o.s;
+        const i32 ap = p < 0 ? -p : p;
+        if (ap > best) {
+          best = ap;
+          bin = k;
+        }
+      }
+      const u32 mag =
+          isqrt64(static_cast<u64>(static_cast<i64>(gx) * gx + gy * gy));
+      hist[((y >> 3) * kCells + (x >> 3)) * kBins + bin] +=
+          static_cast<i32>(mag);
+    }
+  }
+  std::vector<u8> out(kOutBytes);
+  size_t oidx = 0;
+  for (u32 by = 0; by < kBlocks; ++by) {
+    for (u32 bx = 0; bx < kBlocks; ++bx) {
+      u64 norm2 = 0;
+      for (u32 dy = 0; dy < 2; ++dy) {
+        for (u32 dx = 0; dx < 2; ++dx) {
+          for (u32 b = 0; b < kBins; ++b) {
+            const u32 v = static_cast<u32>(
+                hist[((by + dy) * kCells + bx + dx) * kBins + b]);
+            norm2 += static_cast<u64>(v) * v;
+          }
+        }
+      }
+      const u32 ns2 = static_cast<u32>(norm2 >> 4);
+      const u32 n = (isqrt64(ns2) << 2) + 1;
+      const u32 inv = (1u << 28) / n;
+      for (u32 dy = 0; dy < 2; ++dy) {
+        for (u32 dx = 0; dx < 2; ++dx) {
+          for (u32 b = 0; b < kBins; ++b) {
+            const i32 v =
+                hist[((by + dy) * kCells + bx + dx) * kBins + b];
+            const i64 prod = static_cast<i64>(v << 16) *
+                             static_cast<i64>(static_cast<i32>(inv));
+            const i32 q = static_cast<i32>(prod >> 16);
+            for (int byi = 0; byi < 4; ++byi) {
+              out[oidx++] = static_cast<u8>(q >> (8 * byi));
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+KernelCase make_hog(const core::CoreFeatures& features, u32 num_cores,
+                    Target target, u64 seed) {
+  Rng rng(seed);
+  KernelCase kc;
+  kc.name = "hog";
+  kc.input.resize(kImgBytes);
+  for (auto& b : kc.input) b = static_cast<u8>(rng.next_u32());
+  kc.expected = golden(kc.input);
+  kc.output_bytes = kOutBytes;
+
+  const bool cluster = target == Target::kCluster;
+  Layout lay;
+  if (cluster) {
+    lay.img = memmap::kTcdmBase;
+    lay.hist = lay.img + kImgBytes;
+    lay.out = lay.hist + kHistBytes;
+  } else {
+    lay.img = kFlatInputAddr;
+    lay.hist = kFlatScratchAddr;
+    lay.out = kFlatOutputAddr;
+  }
+
+  auto compute = [&](Builder& bld, const OutlineRegs& regs) {
+    emit_hog_compute(bld, regs, lay, cluster ? num_cores : 1, cluster);
+  };
+  if (cluster) {
+    kc.input_addr = kL2InputAddr;
+    kc.output_addr = kL2OutputAddr;
+    kc.program = runtime::outline_target(
+        features, {{kL2InputAddr, lay.img, kImgBytes}},
+        {{lay.out, kL2OutputAddr, kOutBytes}}, compute);
+  } else {
+    kc.input_addr = lay.img;
+    kc.output_addr = lay.out;
+    kc.program = runtime::outline_flat(features, compute);
+  }
+  return kc;
+}
+
+}  // namespace ulp::kernels

@@ -1,0 +1,21 @@
+#include "kernels/kernel.hpp"
+
+namespace ulp::kernels {
+
+const std::vector<KernelInfo>& all_kernels() {
+  static const std::vector<KernelInfo> kTable = {
+      {"matmul", "linear algebra", &make_matmul_char},
+      {"matmul (short)", "linear algebra", &make_matmul_short},
+      {"matmul (fixed)", "linear algebra", &make_matmul_fixed},
+      {"strassen", "linear algebra", &make_strassen},
+      {"svm (linear)", "learning / vision", &make_svm_linear},
+      {"svm (poly)", "learning / vision", &make_svm_poly},
+      {"svm (RBF)", "learning / vision", &make_svm_rbf},
+      {"cnn", "learning / vision", &make_cnn},
+      {"cnn (approx)", "learning / vision", &make_cnn_approx},
+      {"hog", "vision", &make_hog},
+  };
+  return kTable;
+}
+
+}  // namespace ulp::kernels

@@ -1,0 +1,104 @@
+// Benchmark kernel infrastructure.
+//
+// Each of the paper's ten kernels (Table I) is provided as a factory that
+// returns a KernelCase: a generated program for the requested target, the
+// synthetic input bytes the host would ship from its sensor, and the golden
+// expected output computed by a plain C++ reference. Kernels are generated
+// for either:
+//   * Target::kCluster — the SPMD PULP-cluster program (DMA staging,
+//     barriers, per-core chunking) produced by runtime::outline_target, or
+//   * Target::kFlat    — a single-core flat-memory program used for the MCU
+//     baselines and the Figure 4 "architectural speedup" study.
+//
+// Outputs are bit-exact: fixed-point semantics are defined once (common/
+// fixed_point.hpp, common/lut.hpp) and shared between the references and
+// the generated code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/memmap.hpp"
+#include "core/features.hpp"
+#include "isa/program.hpp"
+#include "runtime/offload.hpp"
+
+namespace ulp::kernels {
+
+enum class Target {
+  kCluster,  ///< PULP cluster: TCDM + DMA staging + barriers.
+  kFlat,     ///< Single core, flat memory (MCU-side execution).
+};
+
+/// L2 staging area used by cluster kernels (where the host-side runtime
+/// deposits inputs / collects outputs over the SPI link).
+inline constexpr Addr kL2InputAddr = memmap::kL2Input;
+inline constexpr Addr kL2OutputAddr = memmap::kL2Output;
+
+/// Flat-memory layout for Target::kFlat (MCU address space).
+inline constexpr Addr kFlatInputAddr = 0x10000;
+inline constexpr Addr kFlatOutputAddr = 0x30000;
+inline constexpr Addr kFlatScratchAddr = 0x50000;
+
+struct KernelCase {
+  std::string name;
+  isa::Program program;
+
+  std::vector<u8> input;  ///< Host-provided bytes (the map(to:) payload).
+  Addr input_addr = 0;    ///< Where the harness/host deposits them.
+
+  size_t output_bytes = 0;
+  Addr output_addr = 0;  ///< Where results appear after EOC.
+  std::vector<u8> expected;  ///< Golden reference output.
+
+  /// Table I bookkeeping.
+  [[nodiscard]] size_t input_kb_x10() const { return input.size() * 10 / 1024; }
+  [[nodiscard]] size_t binary_bytes() const { return program.image_size_bytes(); }
+
+  /// View of this case as an offload runtime request (cluster targets).
+  [[nodiscard]] runtime::OffloadRequest offload_request() const {
+    return {&program, input, input_addr, output_bytes, output_addr};
+  }
+};
+
+/// Factory signature shared by all kernels. `num_cores` applies to cluster
+/// targets (build-time static chunking); flat targets ignore it.
+using KernelFactory = KernelCase (*)(const core::CoreFeatures&, u32 num_cores,
+                                     Target, u64 seed);
+
+struct KernelInfo {
+  std::string name;
+  std::string field;  ///< Table I "Field" column.
+  KernelFactory factory;
+};
+
+/// All ten Table I kernels, in the paper's order.
+[[nodiscard]] const std::vector<KernelInfo>& all_kernels();
+
+// Individual factories (defined across the kernel translation units).
+KernelCase make_matmul_char(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_matmul_short(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_matmul_fixed(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_strassen(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_svm_linear(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_svm_poly(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_svm_rbf(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_cnn(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_cnn_approx(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_hog(const core::CoreFeatures&, u32, Target, u64 seed);
+
+/// Beyond Table I: a DMA-streamed, tiled matmul (128x64 char rows stream
+/// through two ping-pong TCDM buffers) demonstrating the paper's double
+/// buffering inside the simulated cluster. Cluster target only.
+KernelCase make_matmul_tiled(const core::CoreFeatures&, u32 num_cores,
+                             u64 seed, bool double_buffered);
+
+/// Beyond Table I: kernels for the intro's remaining application classes
+/// (voice front-end FFT, biomedical FIR bank). Same factory contract as
+/// the Table I kernels; listed separately so the reproduction stays
+/// paper-faithful.
+KernelCase make_fir_bank(const core::CoreFeatures&, u32, Target, u64 seed);
+KernelCase make_fft(const core::CoreFeatures&, u32, Target, u64 seed);
+[[nodiscard]] const std::vector<KernelInfo>& extension_kernels();
+
+}  // namespace ulp::kernels

@@ -1,0 +1,232 @@
+// Matrix multiplication kernels (Table I rows 1-3).
+//
+// C = A x Bt' where Bt is stored transposed (the standard embedded layout:
+// both operands are then walked row-major, which keeps the inner product
+// contiguous and SIMD-friendly). Three data types, matching the paper:
+//   * char  (64x64 i8,  8 kB in / 4 kB out)  — integer, 4x8 dot products
+//   * short (64x64 i16, 16 kB in / 8 kB out) — integer, 2x16 dot products
+//   * fixed (64x64 Q4.11, 16 kB in / 8 kB out) — per-product rounding shift,
+//     which (as the paper explains) is incompatible with the MAC/dot-product
+//     units: there is no multiply-shift-accumulate instruction. The fixed
+//     variant therefore runs scalar mul+srai+add on every target.
+//
+// Accumulation is word-width and the store truncates to the element type,
+// i.e. results are exact in Z/2^8 / Z/2^16 — the property Strassen relies
+// on to be bit-identical with the direct product.
+#include "kernels/kernel.hpp"
+
+#include "codegen/builder.hpp"
+#include "common/rng.hpp"
+#include "runtime/outliner.hpp"
+
+namespace ulp::kernels {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+using runtime::OutlineRegs;
+
+enum class MatKind { kChar, kShort, kFixed };
+
+constexpr u32 kN = 64;
+
+struct MatLayout {
+  Addr a = 0;
+  Addr bt = 0;
+  Addr c = 0;
+};
+
+u32 elem_bytes(MatKind k) { return k == MatKind::kChar ? 1 : 2; }
+
+/// Emits the parallel compute section: rows [lo,hi) of C per core.
+void emit_matmul_compute(Builder& bld, const OutlineRegs& regs,
+                         const MatLayout& lay, MatKind kind, u32 num_cores) {
+  const u32 eb = elem_bytes(kind);
+  const u32 row_bytes = kN * eb;
+  const bool simd =
+      bld.features().has_simd && kind != MatKind::kFixed;
+
+  const u8 r_lo = 3, r_hi = 4, r_pa = 5, r_pb = 6, r_pc = 7, r_rows = 8,
+           r_j = 9, r_acc = 10, r_va = 12, r_vb = 13, r_t = 14;
+
+  runtime::emit_static_bounds(bld, r_lo, r_hi, regs.core_id, kN, num_cores,
+                              /*scratch=*/20);
+  const auto done = bld.make_label();
+  bld.branch(Opcode::kBge, r_lo, r_hi, done);
+
+  // pA = A + lo*row_bytes; pC = C + lo*row_bytes; rows = hi - lo.
+  bld.li(20, row_bytes);
+  bld.emit(Opcode::kMul, 21, r_lo, 20);
+  bld.li(r_pa, lay.a);
+  bld.emit(Opcode::kAdd, r_pa, r_pa, 21);
+  bld.li(r_pc, lay.c);
+  bld.emit(Opcode::kAdd, r_pc, r_pc, 21);
+  bld.emit(Opcode::kSub, r_rows, r_hi, r_lo);
+
+  const auto rows_top = bld.make_label();
+  bld.bind(rows_top);
+  bld.li(r_pb, lay.bt);
+  bld.li(r_j, kN);
+  bld.loop(r_j, /*scratch=*/21, [&] {
+    bld.li(r_acc, 0);
+    if (simd && kind == MatKind::kChar) {
+      bld.loop_hot(kN / 4, 22, [&] {
+        bld.lw_pi(r_va, r_pa, 4);
+        bld.lw_pi(r_vb, r_pb, 4);
+        bld.emit(Opcode::kDotp4b, r_acc, r_va, r_vb);
+      });
+    } else if (simd && kind == MatKind::kShort) {
+      bld.loop_hot(kN / 2, 22, [&] {
+        bld.lw_pi(r_va, r_pa, 4);
+        bld.lw_pi(r_vb, r_pb, 4);
+        bld.emit(Opcode::kDotp2h, r_acc, r_va, r_vb);
+      });
+    } else if (kind == MatKind::kFixed) {
+      bld.loop_hot(kN, 22, [&] {
+        bld.lh_pi(r_va, r_pa, 2);
+        bld.lh_pi(r_vb, r_pb, 2);
+        bld.emit(Opcode::kMul, r_t, r_va, r_vb);
+        bld.emit(Opcode::kSrai, r_t, r_t, 0, 11);  // Q4.11 rounding shift
+        bld.emit(Opcode::kAdd, r_acc, r_acc, r_t);
+      });
+    } else {
+      // Scalar integer path (Cortex-M / baseline).
+      bld.loop_hot(kN, 22, [&] {
+        if (kind == MatKind::kChar) {
+          bld.lb_pi(r_va, r_pa, 1);
+          bld.lb_pi(r_vb, r_pb, 1);
+        } else {
+          bld.lh_pi(r_va, r_pa, 2);
+          bld.lh_pi(r_vb, r_pb, 2);
+        }
+        bld.mac(r_acc, r_va, r_vb, r_t);
+      });
+    }
+    // Store C element, rewind the A row for the next column of Bt.
+    if (kind == MatKind::kChar) {
+      bld.sb_pi(r_acc, r_pc, 1);
+    } else {
+      bld.sh_pi(r_acc, r_pc, 2);
+    }
+    bld.emit(Opcode::kAddi, r_pa, r_pa, 0, -static_cast<i32>(row_bytes));
+  });
+  bld.emit(Opcode::kAddi, r_pa, r_pa, 0, static_cast<i32>(row_bytes));
+  bld.emit(Opcode::kAddi, r_rows, r_rows, 0, -1);
+  bld.branch(Opcode::kBne, r_rows, codegen::zero, rows_top);
+  bld.bind(done);
+}
+
+std::vector<u8> make_inputs(MatKind kind, u64 seed) {
+  Rng rng(seed);
+  const u32 eb = elem_bytes(kind);
+  std::vector<u8> bytes(2 * kN * kN * eb);
+  if (kind == MatKind::kChar) {
+    for (auto& b : bytes) b = static_cast<u8>(rng.uniform(-128, 127));
+  } else {
+    for (size_t i = 0; i < bytes.size(); i += 2) {
+      // shorts: full range; fixed: ~(-1, 1) in Q4.11 to stay representative.
+      const i32 v = kind == MatKind::kShort ? rng.uniform(-32768, 32767)
+                                            : rng.uniform(-2047, 2047);
+      bytes[i] = static_cast<u8>(v);
+      bytes[i + 1] = static_cast<u8>(v >> 8);
+    }
+  }
+  return bytes;
+}
+
+std::vector<u8> golden(MatKind kind, const std::vector<u8>& input) {
+  const u32 eb = elem_bytes(kind);
+  const u8* a = input.data();
+  const u8* bt = input.data() + kN * kN * eb;
+  std::vector<u8> out(kN * kN * eb);
+  for (u32 i = 0; i < kN; ++i) {
+    for (u32 j = 0; j < kN; ++j) {
+      // Unsigned accumulation: wraps mod 2^32 exactly like the ISS adder
+      // (short products can overflow 32 bits over 64 terms).
+      u32 acc = 0;
+      for (u32 k = 0; k < kN; ++k) {
+        if (kind == MatKind::kChar) {
+          const i32 av = static_cast<i8>(a[i * kN + k]);
+          const i32 bv = static_cast<i8>(bt[j * kN + k]);
+          acc += static_cast<u32>(av) * static_cast<u32>(bv);
+        } else {
+          const i32 av = static_cast<i16>(
+              static_cast<u16>(a[(i * kN + k) * 2]) |
+              static_cast<u16>(a[(i * kN + k) * 2 + 1]) << 8);
+          const i32 bv = static_cast<i16>(
+              static_cast<u16>(bt[(j * kN + k) * 2]) |
+              static_cast<u16>(bt[(j * kN + k) * 2 + 1]) << 8);
+          if (kind == MatKind::kFixed) {
+            acc += static_cast<u32>((av * bv) >> 11);
+          } else {
+            acc += static_cast<u32>(av) * static_cast<u32>(bv);
+          }
+        }
+      }
+      if (kind == MatKind::kChar) {
+        out[i * kN + j] = static_cast<u8>(acc);
+      } else {
+        out[(i * kN + j) * 2] = static_cast<u8>(acc);
+        out[(i * kN + j) * 2 + 1] = static_cast<u8>(acc >> 8);
+      }
+    }
+  }
+  return out;
+}
+
+KernelCase make_matmul(MatKind kind, const char* name,
+                       const core::CoreFeatures& features, u32 num_cores,
+                       Target target, u64 seed) {
+  const u32 eb = elem_bytes(kind);
+  const u32 in_bytes = 2 * kN * kN * eb;
+  const u32 out_bytes = kN * kN * eb;
+
+  KernelCase kc;
+  kc.name = name;
+  kc.input = make_inputs(kind, seed);
+  kc.expected = golden(kind, kc.input);
+  kc.output_bytes = out_bytes;
+
+  MatLayout lay;
+  if (target == Target::kCluster) {
+    lay.a = memmap::kTcdmBase;
+    lay.bt = lay.a + kN * kN * eb;
+    lay.c = lay.bt + kN * kN * eb;
+    kc.input_addr = kL2InputAddr;
+    kc.output_addr = kL2OutputAddr;
+    kc.program = runtime::outline_target(
+        features, {{kL2InputAddr, lay.a, in_bytes}},
+        {{lay.c, kL2OutputAddr, out_bytes}},
+        [&](Builder& bld, const OutlineRegs& regs) {
+          emit_matmul_compute(bld, regs, lay, kind, num_cores);
+        });
+  } else {
+    lay.a = kFlatInputAddr;
+    lay.bt = lay.a + kN * kN * eb;
+    lay.c = kFlatOutputAddr;
+    kc.input_addr = kFlatInputAddr;
+    kc.output_addr = kFlatOutputAddr;
+    kc.program = runtime::outline_flat(
+        features, [&](Builder& bld, const OutlineRegs& regs) {
+          emit_matmul_compute(bld, regs, lay, kind, /*num_cores=*/1);
+        });
+  }
+  return kc;
+}
+
+}  // namespace
+
+KernelCase make_matmul_char(const core::CoreFeatures& f, u32 nc, Target t,
+                            u64 seed) {
+  return make_matmul(MatKind::kChar, "matmul", f, nc, t, seed);
+}
+KernelCase make_matmul_short(const core::CoreFeatures& f, u32 nc, Target t,
+                             u64 seed) {
+  return make_matmul(MatKind::kShort, "matmul (short)", f, nc, t, seed);
+}
+KernelCase make_matmul_fixed(const core::CoreFeatures& f, u32 nc, Target t,
+                             u64 seed) {
+  return make_matmul(MatKind::kFixed, "matmul (fixed)", f, nc, t, seed);
+}
+
+}  // namespace ulp::kernels

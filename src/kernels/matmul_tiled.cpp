@@ -1,0 +1,212 @@
+// Tiled, DMA-streamed matrix multiplication with optional double buffering.
+//
+// The Table I kernels stage their whole working set once; this kernel
+// demonstrates the paper's "traditional double buffering schemes ... to
+// overlap data transfers with useful computation" (Section IV-B) *inside
+// the simulated cluster*, not just in the analytic offload model:
+//
+//   C[128x64] = A[128x64] x Bt[64x64]'   (char data)
+//
+// Bt is resident in TCDM; A streams through it in 8 tiles of 16 rows. Two
+// tile buffers ping-pong: while the cores compute tile t, the cluster DMA
+// prefetches tile t+1 from L2 and writes tile t-1's results back. The
+// sequential variant issues the same transfers but waits for them eagerly,
+// so the difference in measured cycles is exactly the overlap win.
+//
+// Flow per tile (core 0 drives the DMA, barriers rendezvous all cores):
+//   wait DMA idle            (tile t input ready, tile t-1 output flushed)
+//   start prefetch of t+1 and write-back of t-1   [double-buffered only]
+//   barrier; all cores compute tile t; barrier
+//   sequential only: start + await write-back of t
+#include "kernels/kernel.hpp"
+
+#include "codegen/builder.hpp"
+#include "common/rng.hpp"
+#include "runtime/outliner.hpp"
+
+namespace ulp::kernels {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+
+constexpr u32 kRows = 128;
+constexpr u32 kN = 64;        // columns of A / side of Bt
+constexpr u32 kTileRows = 16;
+constexpr u32 kTiles = kRows / kTileRows;
+constexpr u32 kTileBytes = kTileRows * kN;  // char elements
+
+struct Layout {
+  Addr bt = 0;       // resident Bt, kN*kN
+  Addr a_buf[2];     // ping-pong input tiles
+  Addr c_buf[2];     // ping-pong output tiles
+  Addr l2_a = 0;     // streamed source in L2
+  Addr l2_c = 0;     // streamed destination in L2
+};
+
+/// Compute subroutine: rows [r3, r4) of the current tile; r24 = A-tile
+/// base, r25 = C-tile base. Clobbers r5..r14, r20..r22. Returns via r31.
+Builder::Label emit_tile_compute(Builder& bld, const Layout& lay) {
+  const auto entry = bld.make_label();
+  bld.bind(entry);
+  const bool simd = bld.features().has_simd;
+  const u8 rPa = 5, rPb = 6, rPc = 7, rRows = 8, rJ = 9, rAcc = 10, rVa = 12,
+           rVb = 13, rT = 14;
+  const auto done = bld.make_label();
+  bld.branch(Opcode::kBge, 3, 4, done);
+  // pA = a_base + lo*kN ; pC = c_base + lo*kN ; rows = hi - lo.
+  bld.li(20, kN);
+  bld.emit(Opcode::kMul, 21, 3, 20);
+  bld.emit(Opcode::kAdd, rPa, 24, 21);
+  bld.emit(Opcode::kAdd, rPc, 25, 21);
+  bld.emit(Opcode::kSub, rRows, 4, 3);
+  const auto rows_top = bld.make_label();
+  bld.bind(rows_top);
+  bld.li(rPb, lay.bt);
+  bld.li(rJ, kN);
+  bld.loop(rJ, 21, [&] {
+    bld.li(rAcc, 0);
+    if (simd) {
+      bld.loop_hot(kN / 4, 22, [&] {
+        bld.lw_pi(rVa, rPa, 4);
+        bld.lw_pi(rVb, rPb, 4);
+        bld.emit(Opcode::kDotp4b, rAcc, rVa, rVb);
+      });
+    } else {
+      bld.loop_hot(kN, 22, [&] {
+        bld.lb_pi(rVa, rPa, 1);
+        bld.lb_pi(rVb, rPb, 1);
+        bld.mac(rAcc, rVa, rVb, rT);
+      });
+    }
+    bld.sb_pi(rAcc, rPc, 1);
+    bld.emit(Opcode::kAddi, rPa, rPa, 0, -static_cast<i32>(kN));
+  });
+  bld.emit(Opcode::kAddi, rPa, rPa, 0, kN);
+  bld.emit(Opcode::kAddi, rRows, rRows, 0, -1);
+  bld.branch(Opcode::kBne, rRows, codegen::zero, rows_top);
+  bld.bind(done);
+  bld.emit(Opcode::kJalr, 0, 30, 0);  // link register for this subroutine
+  return entry;
+}
+
+/// Core-0-only DMA helper: start src->dst of len bytes (immediates).
+void emit_dma(Builder& bld, Addr src, Addr dst, u32 len) {
+  bld.li(26, src);
+  bld.li(27, dst);
+  bld.li(28, len);
+  bld.dma_start(/*base=*/29, 26, 27, 28);
+}
+
+isa::Program build_tiled(const core::CoreFeatures& features, u32 num_cores,
+                         const Layout& lay, bool double_buffered) {
+  Builder bld(features);
+  const auto after_subs = bld.make_label();
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, after_subs);
+  const auto compute = emit_tile_compute(bld, lay);
+  bld.bind(after_subs);
+
+  bld.csr_coreid(1);
+  bld.csr_numcores(2);
+  // Static bounds over the tile's rows are tile-invariant.
+  runtime::emit_static_bounds(bld, 3, 4, 1, kTileRows, num_cores, 20);
+
+  const auto core0_skip0 = bld.make_label();
+  bld.branch(Opcode::kBne, 1, codegen::zero, core0_skip0);
+  // Resident Bt plus the first input tile.
+  emit_dma(bld, lay.l2_a + kRows * kN, lay.bt, kN * kN);
+  emit_dma(bld, lay.l2_a, lay.a_buf[0], kTileBytes);
+  bld.bind(core0_skip0);
+
+  for (u32 t = 0; t < kTiles; ++t) {
+    const u32 cur = t % 2;
+    const auto skip = bld.make_label();
+    bld.branch(Opcode::kBne, 1, codegen::zero, skip);
+    // Tile t's input (and t-1's writeback) must have landed.
+    bld.dma_wait(/*base=*/29, /*tmp=*/26);
+    if (double_buffered) {
+      // Kick the background transfers for the next round *before* compute.
+      if (t + 1 < kTiles) {
+        emit_dma(bld, lay.l2_a + (t + 1) * kTileBytes, lay.a_buf[1 - cur],
+                 kTileBytes);
+      }
+      if (t >= 1) {
+        emit_dma(bld, lay.c_buf[1 - cur], lay.l2_c + (t - 1) * kTileBytes,
+                 kTileBytes);
+      }
+    }
+    bld.bind(skip);
+    bld.barrier();
+    bld.li(24, lay.a_buf[cur]);
+    bld.li(25, lay.c_buf[cur]);
+    bld.jal(30, compute);
+    bld.barrier();
+    if (!double_buffered) {
+      const auto skip2 = bld.make_label();
+      bld.branch(Opcode::kBne, 1, codegen::zero, skip2);
+      emit_dma(bld, lay.c_buf[cur], lay.l2_c + t * kTileBytes, kTileBytes);
+      bld.dma_wait(/*base=*/29, /*tmp=*/26);
+      if (t + 1 < kTiles) {
+        emit_dma(bld, lay.l2_a + (t + 1) * kTileBytes, lay.a_buf[1 - cur],
+                 kTileBytes);
+      }
+      bld.bind(skip2);
+    }
+  }
+  // Flush the final tile (double-buffered path) and finish.
+  const auto not_zero = bld.make_label();
+  bld.branch(Opcode::kBne, 1, codegen::zero, not_zero);
+  if (double_buffered) {
+    bld.dma_wait(29, 26);
+    emit_dma(bld, lay.c_buf[(kTiles - 1) % 2],
+             lay.l2_c + (kTiles - 1) * kTileBytes, kTileBytes);
+  }
+  bld.dma_wait(29, 26);
+  bld.eoc();
+  bld.bind(not_zero);
+  bld.halt();
+  return bld.finalize();
+}
+
+}  // namespace
+
+KernelCase make_matmul_tiled(const core::CoreFeatures& features,
+                             u32 num_cores, u64 seed, bool double_buffered) {
+  Rng rng(seed);
+  KernelCase kc;
+  kc.name = double_buffered ? "matmul-tiled (dbuf)" : "matmul-tiled (seq)";
+  // Input layout in L2: A (kRows x kN) followed by Bt (kN x kN).
+  kc.input.resize(kRows * kN + kN * kN);
+  for (auto& b : kc.input) b = static_cast<u8>(rng.uniform(-128, 127));
+  kc.output_bytes = kRows * kN;
+
+  // Golden: plain char matmul with wrap-around accumulation.
+  kc.expected.resize(kc.output_bytes);
+  const u8* a = kc.input.data();
+  const u8* bt = kc.input.data() + kRows * kN;
+  for (u32 i = 0; i < kRows; ++i) {
+    for (u32 j = 0; j < kN; ++j) {
+      u32 acc = 0;
+      for (u32 k = 0; k < kN; ++k) {
+        acc += static_cast<u32>(static_cast<i8>(a[i * kN + k])) *
+               static_cast<u32>(static_cast<i8>(bt[j * kN + k]));
+      }
+      kc.expected[i * kN + j] = static_cast<u8>(acc);
+    }
+  }
+
+  Layout lay;
+  lay.bt = memmap::kTcdmBase;
+  lay.a_buf[0] = lay.bt + kN * kN;
+  lay.a_buf[1] = lay.a_buf[0] + kTileBytes;
+  lay.c_buf[0] = lay.a_buf[1] + kTileBytes;
+  lay.c_buf[1] = lay.c_buf[0] + kTileBytes;
+  lay.l2_a = kL2InputAddr;
+  lay.l2_c = kL2OutputAddr;
+  kc.input_addr = kL2InputAddr;
+  kc.output_addr = kL2OutputAddr;
+  kc.program = build_tiled(features, num_cores, lay, double_buffered);
+  return kc;
+}
+
+}  // namespace ulp::kernels

@@ -1,0 +1,80 @@
+#include "kernels/runner.hpp"
+
+#include "common/status.hpp"
+#include "mem/bus.hpp"
+
+namespace ulp::kernels {
+
+RunOutcome run_on_cluster(const KernelCase& kc,
+                          const core::CoreConfig& core_config, u32 num_cores) {
+  cluster::ClusterParams params;
+  params.num_cores = num_cores;
+  params.core_config = core_config;
+  cluster::Cluster cl(params);
+  cl.load_program(kc.program);
+  // Host-side deposit of the input payload into the L2 staging area (the
+  // timed SPI path is modelled separately by the offload runtime).
+  for (size_t i = 0; i < kc.input.size(); ++i) {
+    cl.bus().debug_store(kc.input_addr + static_cast<Addr>(i), 1,
+                         kc.input[i]);
+  }
+  RunOutcome out;
+  out.cycles = cl.run();
+  ULP_CHECK(cl.events().eoc(), "cluster kernel finished without EOC");
+  out.output.resize(kc.output_bytes);
+  for (size_t i = 0; i < kc.output_bytes; ++i) {
+    out.output[i] = static_cast<u8>(
+        cl.bus().debug_load(kc.output_addr + static_cast<Addr>(i), 1, false));
+  }
+  out.stats = cl.stats();
+  return out;
+}
+
+RunOutcome run_on_flat(const KernelCase& kc,
+                       const core::CoreConfig& core_config) {
+  mem::Sram sram(0, 512 * 1024);
+  mem::SimpleBus bus(&sram, /*latency=*/1);
+  core::Core cpu(0, 1, core_config, &bus);
+  // Data segments (weights, LUTs) and the input payload.
+  for (const isa::Segment& seg : kc.program.data) {
+    for (size_t i = 0; i < seg.bytes.size(); ++i) {
+      bus.debug_store(seg.addr + static_cast<Addr>(i), 1, seg.bytes[i]);
+    }
+  }
+  for (size_t i = 0; i < kc.input.size(); ++i) {
+    bus.debug_store(kc.input_addr + static_cast<Addr>(i), 1, kc.input[i]);
+  }
+  cpu.reset(&kc.program);
+  cpu.run_to_halt();
+  RunOutcome out;
+  out.cycles = cpu.perf().cycles;
+  out.output.resize(kc.output_bytes);
+  for (size_t i = 0; i < kc.output_bytes; ++i) {
+    out.output[i] = static_cast<u8>(
+        bus.debug_load(kc.output_addr + static_cast<Addr>(i), 1, false));
+  }
+  out.stats.cycles = out.cycles;
+  out.stats.cores.push_back(cpu.perf());
+  return out;
+}
+
+u64 measure_risc_ops(const KernelInfo& info, u64 seed) {
+  const core::CoreConfig cfg = core::baseline_config();
+  const KernelCase kc = info.factory(cfg.features, 1, Target::kFlat, seed);
+  mem::Sram sram(0, 512 * 1024);
+  mem::SimpleBus bus(&sram, 1);
+  core::Core cpu(0, 1, cfg, &bus);
+  for (const isa::Segment& seg : kc.program.data) {
+    for (size_t i = 0; i < seg.bytes.size(); ++i) {
+      bus.debug_store(seg.addr + static_cast<Addr>(i), 1, seg.bytes[i]);
+    }
+  }
+  for (size_t i = 0; i < kc.input.size(); ++i) {
+    bus.debug_store(kc.input_addr + static_cast<Addr>(i), 1, kc.input[i]);
+  }
+  cpu.reset(&kc.program);
+  cpu.run_to_halt();
+  return cpu.perf().instrs;
+}
+
+}  // namespace ulp::kernels

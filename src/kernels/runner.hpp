@@ -1,0 +1,37 @@
+// Executes a KernelCase on the matching simulated platform and collects
+// timing/activity. This is the measurement harness behind the Figure 4
+// studies and the verification tests; the full host+link offload flow lives
+// in runtime/offload.hpp.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "kernels/kernel.hpp"
+
+namespace ulp::kernels {
+
+struct RunOutcome {
+  u64 cycles = 0;
+  std::vector<u8> output;
+  cluster::ClusterStats stats;  ///< Cluster targets only.
+
+  /// Convenience: did the run reproduce the golden reference bit-exactly?
+  [[nodiscard]] bool matches(const KernelCase& kc) const {
+    return output == kc.expected;
+  }
+};
+
+/// Runs a Target::kCluster case on a cluster configured with `core_config`
+/// x `num_cores` (must match the values the case was generated for).
+[[nodiscard]] RunOutcome run_on_cluster(const KernelCase& kc,
+                                        const core::CoreConfig& core_config,
+                                        u32 num_cores);
+
+/// Runs a Target::kFlat case on a single core with flat memory.
+[[nodiscard]] RunOutcome run_on_flat(const KernelCase& kc,
+                                     const core::CoreConfig& core_config);
+
+/// Table I "RISC ops": instructions retired by the kernel on the baseline
+/// configuration (flat, single core, all enhancements off).
+[[nodiscard]] u64 measure_risc_ops(const KernelInfo& info, u64 seed = 1);
+
+}  // namespace ulp::kernels

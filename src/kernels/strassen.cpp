@@ -1,0 +1,308 @@
+// Strassen fast matrix multiplication (Table I row 4).
+//
+// One recursion level over a 64x64 char product: seven 32x32 block products
+// M1..M7 plus block additions. All arithmetic is 8-bit wrap-around (Z/256),
+// over which Strassen's identities are exact — the result is bit-identical
+// to the direct char matmul, which is what the golden reference computes.
+//
+// Parallelisation: the seven block products are distributed round-robin
+// across the cores (core c runs products p with p mod P == c), a barrier,
+// then the four output quadrants are assembled, again round-robin. This has
+// a real Amdahl component (7 products over 4 cores -> one core does two
+// while the rest idle), visible in Figure 4 (right).
+//
+// The generated code uses jal/jalr subroutines — the only kernel that
+// exercises the call path, deliberately.
+#include "kernels/kernel.hpp"
+
+#include "codegen/builder.hpp"
+#include "common/rng.hpp"
+#include "runtime/outliner.hpp"
+
+namespace ulp::kernels {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+using runtime::OutlineRegs;
+
+constexpr u32 kN = 64;   // full matrix
+constexpr u32 kH = 32;   // block size
+
+struct Layout {
+  Addr a = 0;
+  Addr bt = 0;
+  Addr c = 0;
+  Addr m = 0;   // M1..M7, compact 32x32, 1 KiB each
+  Addr t = 0;   // per-product temp pairs T1/T2, compact, 2 KiB per product
+};
+
+// Register conventions inside the kernel body (r1/r2 reserved by outliner):
+//   r3..r5  subroutine arguments, r31 link register,
+//   r10..r19 subroutine locals, r20..r27 driver locals.
+
+/// Subroutine: dst(compact) = srcA +/- srcB, 32x32 chars, sources with a
+/// 64-byte row stride (blocks of A or Bt). args: r3=dst, r4=srcA, r5=srcB.
+Builder::Label emit_addsub32(Builder& bld, bool subtract) {
+  const auto entry = bld.make_label();
+  bld.bind(entry);
+  const bool simd = bld.features().has_simd;
+  bld.li(10, kH);  // row counter
+  bld.loop(10, 16, [&] {
+    if (simd) {
+      bld.loop_hot(kH / 4, 17, [&] {
+        bld.lw_pi(12, 4, 4);
+        bld.lw_pi(13, 5, 4);
+        bld.emit(subtract ? Opcode::kSub4b : Opcode::kAdd4b, 14, 12, 13);
+        bld.sw_pi(14, 3, 4);
+      });
+    } else {
+      bld.loop_hot(kH, 17, [&] {
+        bld.lb_pi(12, 4, 1);
+        bld.lb_pi(13, 5, 1);
+        bld.emit(subtract ? Opcode::kSub : Opcode::kAdd, 14, 12, 13);
+        bld.sb_pi(14, 3, 1);
+      });
+    }
+    // Sources advance to the next 64-byte row (32 consumed + 32 skip).
+    bld.emit(Opcode::kAddi, 4, 4, 0, kH);
+    bld.emit(Opcode::kAddi, 5, 5, 0, kH);
+  });
+  bld.emit(Opcode::kJalr, 0, 31, 0);
+  return entry;
+}
+
+/// Subroutine: dst(compact) = src(strided 64), 32x32 chars. r3=dst, r4=src.
+Builder::Label emit_copy32(Builder& bld) {
+  const auto entry = bld.make_label();
+  bld.bind(entry);
+  bld.li(10, kH);
+  bld.loop(10, 16, [&] {
+    bld.loop_hot(kH / 4, 17, [&] {
+      bld.lw_pi(12, 4, 4);
+      bld.sw_pi(12, 3, 4);
+    });
+    bld.emit(Opcode::kAddi, 4, 4, 0, kH);
+  });
+  bld.emit(Opcode::kJalr, 0, 31, 0);
+  return entry;
+}
+
+/// Subroutine: M(compact) = X(compact) * Yt(compact)', 32x32 chars.
+/// r3=X, r4=Yt, r5=M.
+Builder::Label emit_mult32(Builder& bld) {
+  const auto entry = bld.make_label();
+  bld.bind(entry);
+  const bool simd = bld.features().has_simd;
+  // Outer i loop is an explicit software loop so the hot j/k loops get the
+  // two hardware-loop slots.
+  bld.li(10, kH);
+  const auto i_top = bld.make_label();
+  bld.bind(i_top);
+  bld.mv(15, 4);   // pB = Yt
+  bld.li(11, kH);  // j loop
+  bld.loop(11, 17, [&] {
+    bld.li(12, 0);  // acc
+    if (simd) {
+      bld.loop_hot(kH / 4, 18, [&] {
+        bld.lw_pi(14, 3, 4);
+        bld.lw_pi(19, 15, 4);
+        bld.emit(Opcode::kDotp4b, 12, 14, 19);
+      });
+    } else {
+      bld.loop_hot(kH, 18, [&] {
+        bld.lb_pi(14, 3, 1);
+        bld.lb_pi(19, 15, 1);
+        bld.mac(12, 14, 19, 9);
+      });
+    }
+    bld.sb_pi(12, 5, 1);
+    bld.emit(Opcode::kAddi, 3, 3, 0, -static_cast<i32>(kH));  // rewind X row
+  });
+  bld.emit(Opcode::kAddi, 3, 3, 0, kH);  // next X row
+  bld.emit(Opcode::kAddi, 10, 10, 0, -1);
+  bld.branch(Opcode::kBne, 10, codegen::zero, i_top);
+  bld.emit(Opcode::kJalr, 0, 31, 0);
+  return entry;
+}
+
+/// Block address helpers (row stride 64 bytes, char elements).
+Addr blk(Addr base, u32 br, u32 bc) { return base + br * kH * kN + bc * kH; }
+
+struct Subs {
+  Builder::Label add32, sub32, copy32, mult32;
+};
+
+/// Emits the driver for one product M[p]: prepares T1/T2 (or copies single
+/// blocks) and calls mult32. Operand spec: {sign, blocks} per side.
+struct Side {
+  // block0 +/- block1; if single is true only block0 (copied).
+  Addr block0 = 0;
+  Addr block1 = 0;
+  bool single = false;
+  bool subtract = false;
+};
+
+void emit_side(Builder& bld, const Subs& subs, const Side& s, Addr t_dst) {
+  bld.li(3, t_dst);
+  bld.li(4, s.block0);
+  if (s.single) {
+    bld.jal(31, subs.copy32);
+    return;
+  }
+  bld.li(5, s.block1);
+  bld.jal(31, s.subtract ? subs.sub32 : subs.add32);
+}
+
+/// Emits quadrant assembly: C[q] (strided) = sum of +/- M blocks (compact).
+/// `terms` = (M index, sign). Clobbers r3..r6, r10..r14.
+void emit_quadrant(Builder& bld, const Layout& lay, u32 br, u32 bc,
+                   const std::vector<std::pair<u32, int>>& terms) {
+  // Walk 32 rows; r3 = C row ptr, r4.. = M row ptrs kept in r20+.
+  bld.li(3, blk(lay.c, br, bc));
+  for (size_t i = 0; i < terms.size(); ++i) {
+    bld.li(static_cast<u8>(20 + i), lay.m + terms[i].first * kH * kH);
+  }
+  bld.li(10, kH);
+  bld.loop(10, 16, [&] {
+    bld.li(11, kH);
+    bld.loop(11, 17, [&] {
+      bld.li(12, 0);
+      for (size_t i = 0; i < terms.size(); ++i) {
+        bld.lb_pi(13, static_cast<u8>(20 + i), 1);
+        bld.emit(terms[i].second > 0 ? Opcode::kAdd : Opcode::kSub, 12, 12,
+                 13);
+      }
+      bld.sb_pi(12, 3, 1);
+    });
+    bld.emit(Opcode::kAddi, 3, 3, 0, kH);  // skip to next strided C row
+  });
+}
+
+void emit_strassen_compute(Builder& bld, const OutlineRegs& regs,
+                           const Layout& lay, u32 num_cores, bool cluster) {
+  // Skip over the subroutine bodies.
+  const auto after_subs = bld.make_label();
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, after_subs);
+  Subs subs;
+  subs.add32 = emit_addsub32(bld, /*subtract=*/false);
+  subs.sub32 = emit_addsub32(bld, /*subtract=*/true);
+  subs.copy32 = emit_copy32(bld);
+  subs.mult32 = emit_mult32(bld);
+  bld.bind(after_subs);
+
+  const Addr a11 = blk(lay.a, 0, 0), a12 = blk(lay.a, 0, 1),
+             a21 = blk(lay.a, 1, 0), a22 = blk(lay.a, 1, 1);
+  const Addr b11 = blk(lay.bt, 0, 0), b12 = blk(lay.bt, 0, 1),
+             b21 = blk(lay.bt, 1, 0), b22 = blk(lay.bt, 1, 1);
+  // Note: bNM here are blocks of Bt; the side specs below already encode the
+  // transposition (M3 uses Bt21-Bt22 for B12-B22, etc.).
+  struct Product {
+    Side x, y;
+  };
+  const Product products[7] = {
+      {{a11, a22, false, false}, {b11, b22, false, false}},  // M1
+      {{a21, a22, false, false}, {b11, 0, true, false}},     // M2
+      {{a11, 0, true, false}, {b21, b22, false, true}},      // M3
+      {{a22, 0, true, false}, {b12, b11, false, true}},      // M4
+      {{a11, a12, false, false}, {b22, 0, true, false}},     // M5
+      {{a21, a11, false, true}, {b11, b21, false, false}},   // M6
+      {{a12, a22, false, true}, {b12, b22, false, false}},   // M7
+  };
+
+  // Round-robin product ownership: core c runs products p == c (mod P).
+  for (u32 p = 0; p < 7; ++p) {
+    const auto skip = bld.make_label();
+    bld.li(27, p % num_cores);
+    bld.branch(Opcode::kBne, regs.core_id, 27, skip);
+    const Addr t1 = lay.t + p * 2 * kH * kH;
+    const Addr t2 = t1 + kH * kH;
+    emit_side(bld, subs, products[p].x, t1);
+    emit_side(bld, subs, products[p].y, t2);
+    bld.li(3, t1);
+    bld.li(4, t2);
+    bld.li(5, lay.m + p * kH * kH);
+    bld.jal(31, subs.mult32);
+    bld.bind(skip);
+  }
+
+  if (cluster) bld.barrier();
+
+  // Quadrant assembly (M indices are 0-based).
+  const std::vector<std::pair<u32, int>> quadrants[4] = {
+      {{0, 1}, {3, 1}, {4, -1}, {6, 1}},  // C11 = M1+M4-M5+M7
+      {{2, 1}, {4, 1}},                   // C12 = M3+M5
+      {{1, 1}, {3, 1}},                   // C21 = M2+M4
+      {{0, 1}, {1, -1}, {2, 1}, {5, 1}},  // C22 = M1-M2+M3+M6
+  };
+  for (u32 q = 0; q < 4; ++q) {
+    const auto skip = bld.make_label();
+    bld.li(27, q % num_cores);
+    bld.branch(Opcode::kBne, regs.core_id, 27, skip);
+    emit_quadrant(bld, lay, q / 2, q % 2, quadrants[q]);
+    bld.bind(skip);
+  }
+}
+
+std::vector<u8> golden_direct(const std::vector<u8>& input) {
+  const u8* a = input.data();
+  const u8* bt = input.data() + kN * kN;
+  std::vector<u8> out(kN * kN);
+  for (u32 i = 0; i < kN; ++i) {
+    for (u32 j = 0; j < kN; ++j) {
+      u32 acc = 0;
+      for (u32 k = 0; k < kN; ++k) {
+        acc += static_cast<u32>(static_cast<i8>(a[i * kN + k])) *
+               static_cast<u32>(static_cast<i8>(bt[j * kN + k]));
+      }
+      out[i * kN + j] = static_cast<u8>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+KernelCase make_strassen(const core::CoreFeatures& features, u32 num_cores,
+                         Target target, u64 seed) {
+  Rng rng(seed);
+  KernelCase kc;
+  kc.name = "strassen";
+  kc.input.resize(2 * kN * kN);
+  for (auto& b : kc.input) b = static_cast<u8>(rng.uniform(-128, 127));
+  kc.expected = golden_direct(kc.input);
+  kc.output_bytes = kN * kN;
+
+  Layout lay;
+  if (target == Target::kCluster) {
+    lay.a = memmap::kTcdmBase;
+    lay.bt = lay.a + kN * kN;
+    lay.c = lay.bt + kN * kN;
+    lay.m = lay.c + kN * kN;
+    lay.t = lay.m + 7 * kH * kH;
+    kc.input_addr = kL2InputAddr;
+    kc.output_addr = kL2OutputAddr;
+    kc.program = runtime::outline_target(
+        features, {{kL2InputAddr, lay.a, 2 * kN * kN}},
+        {{lay.c, kL2OutputAddr, kN * kN}},
+        [&](Builder& bld, const OutlineRegs& regs) {
+          emit_strassen_compute(bld, regs, lay, num_cores, /*cluster=*/true);
+        });
+  } else {
+    lay.a = kFlatInputAddr;
+    lay.bt = lay.a + kN * kN;
+    lay.c = kFlatOutputAddr;
+    lay.m = kFlatScratchAddr;
+    lay.t = lay.m + 7 * kH * kH;
+    kc.input_addr = kFlatInputAddr;
+    kc.output_addr = kFlatOutputAddr;
+    kc.program = runtime::outline_flat(
+        features, [&](Builder& bld, const OutlineRegs& regs) {
+          emit_strassen_compute(bld, regs, lay, /*num_cores=*/1,
+                                /*cluster=*/false);
+        });
+  }
+  return kc;
+}
+
+}  // namespace ulp::kernels

@@ -1,0 +1,272 @@
+// Support Vector Machine classifier kernels (Table I rows 5-7).
+//
+// A from-scratch port of the libsvm decision function to Q4.11 fixed point,
+// matching the paper's "C porting of libsvm working on 16-bit fixed-point
+// data". For each test vector x: score = b + sum_i alpha_i * K(x, sv_i),
+// with three kernels:
+//   linear: K = <x, sv>
+//   poly:   K = (gamma*<x, sv> + c)^3
+//   RBF:    K = exp(-gamma * ||x - sv||^2), via the shared exp LUT
+// Every multiply carries the Q4.11 per-product shift, so none of the MAC /
+// dot-product units apply (the paper's explanation for the lower
+// architectural speedup of the fixed-point group in Figure 4).
+//
+// Workload: 200 support vectors x 16 features, 32 test vectors, binary
+// decision scores (the paper's SVM is multiclass with a ~1.6 kB output; the
+// class count does not change the compute structure, only output size —
+// recorded in EXPERIMENTS.md).
+//
+// Parallelisation: test vectors are chunked across cores.
+#include "kernels/kernel.hpp"
+
+#include "codegen/builder.hpp"
+#include "common/lut.hpp"
+#include "common/rng.hpp"
+#include "runtime/outliner.hpp"
+
+namespace ulp::kernels {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+using runtime::OutlineRegs;
+
+enum class SvmKind { kLinear, kPoly, kRbf };
+
+constexpr u32 kNumSv = 200;
+constexpr u32 kDim = 16;
+constexpr u32 kNumTest = 32;
+constexpr i32 kGammaRaw = 128;   // 1/16 in Q4.11
+constexpr i32 kCoefRaw = 1024;   // 0.5
+constexpr i32 kBiasRaw = -217;   // arbitrary fixed bias
+
+constexpr u32 kSvBytes = kNumSv * kDim * 2;
+constexpr u32 kAlphaBytes = kNumSv * 2;
+constexpr u32 kTestBytes = kNumTest * kDim * 2;
+constexpr u32 kInBytes = kSvBytes + kAlphaBytes + kTestBytes;
+constexpr u32 kOutBytes = kNumTest * 2;
+
+struct Layout {
+  Addr sv = 0;
+  Addr alpha = 0;
+  Addr test = 0;
+  Addr out = 0;
+  Addr lut = 0;  // RBF only
+};
+
+i16 rd16(const std::vector<u8>& v, size_t idx) {
+  return static_cast<i16>(static_cast<u16>(v[2 * idx]) |
+                          static_cast<u16>(v[2 * idx + 1]) << 8);
+}
+
+void emit_svm_compute(Builder& bld, const OutlineRegs& regs,
+                      const Layout& lay, SvmKind kind, u32 num_cores) {
+  const u8 r_lo = 3, r_hi = 4, r_psv = 5, r_pa = 6, r_pt = 7, r_tc = 8,
+           r_ic = 9, r_score = 10, r_x = 12, r_s = 13, r_t = 14,
+           r_acc = 15, r_pout = 16, r_lut = 17, r_t2 = 18;
+
+  runtime::emit_static_bounds(bld, r_lo, r_hi, regs.core_id, kNumTest,
+                              num_cores, 20);
+  const auto done = bld.make_label();
+  bld.branch(Opcode::kBge, r_lo, r_hi, done);
+
+  // pT = test + lo*D*2, pOut = out + lo*2, tc = hi-lo.
+  bld.li(20, kDim * 2);
+  bld.emit(Opcode::kMul, 21, r_lo, 20);
+  bld.li(r_pt, lay.test);
+  bld.emit(Opcode::kAdd, r_pt, r_pt, 21);
+  bld.li(r_pout, lay.out);
+  bld.emit(Opcode::kSlli, 21, r_lo, 0, 1);
+  bld.emit(Opcode::kAdd, r_pout, r_pout, 21);
+  bld.emit(Opcode::kSub, r_tc, r_hi, r_lo);
+  if (kind == SvmKind::kRbf) bld.li(r_lut, lay.lut);
+
+  const auto test_top = bld.make_label();
+  bld.bind(test_top);
+  bld.li(r_score, kBiasRaw);
+  bld.li(r_psv, lay.sv);
+  bld.li(r_pa, lay.alpha);
+  bld.li(r_ic, kNumSv);
+  bld.loop(r_ic, 21, [&] {
+    // Inner accumulation over the 16 features.
+    bld.li(r_acc, 0);
+    bld.loop_hot(kDim, 22, [&] {
+      bld.lh_pi(r_x, r_pt, 2);
+      bld.lh_pi(r_s, r_psv, 2);
+      if (kind == SvmKind::kRbf) {
+        bld.emit(Opcode::kSub, r_t, r_x, r_s);
+        bld.emit(Opcode::kMul, r_t, r_t, r_t);  // (x-sv)^2 >= 0
+      } else {
+        bld.emit(Opcode::kMul, r_t, r_x, r_s);
+      }
+      bld.emit(Opcode::kSrai, r_t, r_t, 0, 11);
+      bld.emit(Opcode::kAdd, r_acc, r_acc, r_t);
+    });
+    bld.emit(Opcode::kAddi, r_pt, r_pt, 0, -static_cast<i32>(kDim * 2));
+
+    // Kernel transform: r_acc -> K in r_t.
+    switch (kind) {
+      case SvmKind::kLinear:
+        bld.mv(r_t, r_acc);
+        break;
+      case SvmKind::kPoly:
+        bld.li(r_t2, kGammaRaw);
+        bld.emit(Opcode::kMul, r_t, r_acc, r_t2);
+        bld.emit(Opcode::kSrai, r_t, r_t, 0, 11);
+        bld.emit(Opcode::kAddi, r_t, r_t, 0, kCoefRaw);  // k1
+        bld.emit(Opcode::kMul, r_t2, r_t, r_t);
+        bld.emit(Opcode::kSrai, r_t2, r_t2, 0, 11);      // k2 = k1^2
+        bld.emit(Opcode::kMul, r_t, r_t2, r_t);
+        bld.emit(Opcode::kSrai, r_t, r_t, 0, 11);        // k3 = k1^3
+        break;
+      case SvmKind::kRbf: {
+        bld.li(r_t2, kGammaRaw);
+        bld.emit(Opcode::kMul, r_t, r_acc, r_t2);
+        bld.emit(Opcode::kSrai, r_t, r_t, 0, 11);  // arg = gamma*s, >= 0
+        // LUT index = min(arg >> 5, 511); K = lut[index].
+        bld.emit(Opcode::kSrai, r_t, r_t, 0, 5);
+        bld.li(r_t2, 511);
+        const auto in_range = bld.make_label();
+        bld.branch(Opcode::kBge, r_t2, r_t, in_range);
+        bld.mv(r_t, r_t2);
+        bld.bind(in_range);
+        bld.emit(Opcode::kSlli, r_t, r_t, 0, 1);
+        bld.emit(Opcode::kAdd, r_t, r_t, r_lut);
+        bld.emit(Opcode::kLh, r_t, r_t, 0, 0);
+        break;
+      }
+    }
+    // score += (alpha * K) >> 11.
+    bld.lh_pi(r_t2, r_pa, 2);
+    bld.emit(Opcode::kMul, r_t, r_t, r_t2);
+    bld.emit(Opcode::kSrai, r_t, r_t, 0, 11);
+    bld.emit(Opcode::kAdd, r_score, r_score, r_t);
+  });
+  bld.sh_pi(r_score, r_pout, 2);
+  bld.emit(Opcode::kAddi, r_pt, r_pt, 0, kDim * 2);  // next test vector
+  bld.emit(Opcode::kAddi, r_tc, r_tc, 0, -1);
+  bld.branch(Opcode::kBne, r_tc, codegen::zero, test_top);
+  bld.bind(done);
+}
+
+std::vector<u8> make_inputs(u64 seed) {
+  Rng rng(seed);
+  std::vector<u8> in(kInBytes);
+  auto put = [&](size_t idx, i32 v) {
+    in[2 * idx] = static_cast<u8>(v);
+    in[2 * idx + 1] = static_cast<u8>(v >> 8);
+  };
+  size_t idx = 0;
+  // Support vectors and test vectors in ~(-1, 1); alphas in ~(-0.5, 0.5).
+  for (u32 i = 0; i < kNumSv * kDim; ++i) put(idx++, rng.uniform(-2000, 2000));
+  for (u32 i = 0; i < kNumSv; ++i) put(idx++, rng.uniform(-1024, 1024));
+  for (u32 i = 0; i < kNumTest * kDim; ++i) {
+    put(idx++, rng.uniform(-2000, 2000));
+  }
+  return in;
+}
+
+std::vector<u8> golden(SvmKind kind, const std::vector<u8>& in,
+                       const Lut16& lut) {
+  std::vector<u8> out(kOutBytes);
+  const size_t sv0 = 0;
+  const size_t a0 = kNumSv * kDim;
+  const size_t t0 = a0 + kNumSv;
+  for (u32 t = 0; t < kNumTest; ++t) {
+    i32 score = kBiasRaw;
+    for (u32 i = 0; i < kNumSv; ++i) {
+      i32 acc = 0;
+      for (u32 k = 0; k < kDim; ++k) {
+        const i32 x = rd16(in, t0 + t * kDim + k);
+        const i32 s = rd16(in, sv0 + i * kDim + k);
+        const i32 p = kind == SvmKind::kRbf ? (x - s) * (x - s) : x * s;
+        acc += p >> 11;
+      }
+      i32 kv = 0;
+      switch (kind) {
+        case SvmKind::kLinear:
+          kv = acc;
+          break;
+        case SvmKind::kPoly: {
+          const i32 k1 = ((acc * kGammaRaw) >> 11) + kCoefRaw;
+          const i32 k2 = (k1 * k1) >> 11;
+          kv = (k2 * k1) >> 11;
+          break;
+        }
+        case SvmKind::kRbf: {
+          const i32 arg = (acc * kGammaRaw) >> 11;
+          kv = lut.lookup(arg);
+          break;
+        }
+      }
+      score += (kv * static_cast<i32>(rd16(in, a0 + i))) >> 11;
+    }
+    out[2 * t] = static_cast<u8>(score);
+    out[2 * t + 1] = static_cast<u8>(score >> 8);
+  }
+  return out;
+}
+
+KernelCase make_svm(SvmKind kind, const char* name,
+                    const core::CoreFeatures& features, u32 num_cores,
+                    Target target, u64 seed) {
+  const Lut16 lut = make_exp_neg_lut();
+  KernelCase kc;
+  kc.name = name;
+  kc.input = make_inputs(seed);
+  kc.expected = golden(kind, kc.input, lut);
+  kc.output_bytes = kOutBytes;
+
+  Layout lay;
+  const bool cluster = target == Target::kCluster;
+  const Addr data_base = cluster ? memmap::kTcdmBase : kFlatInputAddr;
+  lay.sv = data_base;
+  lay.alpha = lay.sv + kSvBytes;
+  lay.test = lay.alpha + kAlphaBytes;
+  lay.out = cluster ? lay.test + kTestBytes : kFlatOutputAddr;
+  lay.lut = cluster ? lay.out + kOutBytes + 64 : kFlatScratchAddr;
+
+  std::vector<u8> lut_bytes(lut.size_bytes());
+  for (size_t i = 0; i < lut.table.size(); ++i) {
+    lut_bytes[2 * i] = static_cast<u8>(lut.table[i]);
+    lut_bytes[2 * i + 1] = static_cast<u8>(lut.table[i] >> 8);
+  }
+
+  auto compute = [&](Builder& bld, const OutlineRegs& regs) {
+    emit_svm_compute(bld, regs, lay, kind, cluster ? num_cores : 1);
+  };
+
+  if (cluster) {
+    kc.input_addr = kL2InputAddr;
+    kc.output_addr = kL2OutputAddr;
+    kc.program = runtime::outline_target(
+        features, {{kL2InputAddr, lay.sv, kInBytes}},
+        {{lay.out, kL2OutputAddr, kOutBytes}}, compute);
+  } else {
+    kc.input_addr = kFlatInputAddr;
+    kc.output_addr = kFlatOutputAddr;
+    kc.program = runtime::outline_flat(features, compute);
+  }
+  if (kind == SvmKind::kRbf) {
+    // The exp LUT ships with the binary as an initialised data segment.
+    kc.program.data.push_back({lay.lut, std::move(lut_bytes)});
+  }
+  return kc;
+}
+
+}  // namespace
+
+KernelCase make_svm_linear(const core::CoreFeatures& f, u32 nc, Target t,
+                           u64 seed) {
+  return make_svm(SvmKind::kLinear, "svm (linear)", f, nc, t, seed);
+}
+KernelCase make_svm_poly(const core::CoreFeatures& f, u32 nc, Target t,
+                         u64 seed) {
+  return make_svm(SvmKind::kPoly, "svm (poly)", f, nc, t, seed);
+}
+KernelCase make_svm_rbf(const core::CoreFeatures& f, u32 nc, Target t,
+                        u64 seed) {
+  return make_svm(SvmKind::kRbf, "svm (RBF)", f, nc, t, seed);
+}
+
+}  // namespace ulp::kernels

@@ -1,0 +1,82 @@
+// SPI / QSPI host-accelerator coupling link model.
+//
+// The paper's model (Sections III-A, IV-B): the MCU is the SPI master, so
+// the link clock is derived from — and bounded by — the MCU core clock
+// (f_spi = f_mcu / 2 on STM32-class parts, further capped by the
+// controller). QSPI quadruples the per-clock bit count. Every transfer pays
+// a fixed command/address framing overhead. This is exactly the mechanism
+// behind Figure 5b's efficiency plateaus: at low MCU frequencies the link,
+// not the accelerator, bounds the offload.
+//
+// The Discussion-section variation — a link clock decoupled from the MCU
+// clock — is modelled by `decoupled_clock_hz` (used by the ablation bench).
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "common/types.hpp"
+
+namespace ulp::link {
+
+struct SpiLinkConfig {
+  u32 lanes = 1;                    ///< 1 = classic SPI, 4 = quad.
+  double max_freq_hz = mhz(48);     ///< Controller cap.
+  u32 frame_overhead_bits = 40;     ///< Command + address per transfer.
+  double energy_per_bit = 25e-12;   ///< Joules/bit across the board wires.
+  double idle_power_w = uw(3);      ///< Both PHYs idle.
+  double decoupled_clock_hz = 0;    ///< >0: link clock independent of MCU.
+};
+
+class SpiLink {
+ public:
+  explicit SpiLink(SpiLinkConfig config) : cfg_(config) {
+    ULP_CHECK(cfg_.lanes == 1 || cfg_.lanes == 2 || cfg_.lanes == 4,
+              "SPI lanes must be 1, 2 or 4");
+  }
+
+  [[nodiscard]] const SpiLinkConfig& config() const { return cfg_; }
+
+  /// Effective SPI clock for a given MCU core clock.
+  [[nodiscard]] double clock_hz(double mcu_freq_hz) const {
+    if (cfg_.decoupled_clock_hz > 0) {
+      return std::min(cfg_.decoupled_clock_hz, cfg_.max_freq_hz);
+    }
+    return std::min(mcu_freq_hz / 2.0, cfg_.max_freq_hz);
+  }
+
+  /// Payload bandwidth in bits per second.
+  [[nodiscard]] double bandwidth_bps(double mcu_freq_hz) const {
+    return clock_hz(mcu_freq_hz) * cfg_.lanes;
+  }
+
+  /// Wall-clock seconds to move `bytes` (one framed transfer).
+  [[nodiscard]] double transfer_seconds(size_t bytes,
+                                        double mcu_freq_hz) const {
+    if (bytes == 0) return 0.0;
+    const double bits =
+        static_cast<double>(bytes) * 8.0 + cfg_.frame_overhead_bits;
+    return bits / bandwidth_bps(mcu_freq_hz);
+  }
+
+  /// Energy to move `bytes` over the wires.
+  [[nodiscard]] double transfer_energy_j(size_t bytes) const {
+    if (bytes == 0) return 0.0;
+    return (static_cast<double>(bytes) * 8.0 + cfg_.frame_overhead_bits) *
+           cfg_.energy_per_bit;
+  }
+
+  /// Average power while streaming continuously at `mcu_freq_hz`.
+  [[nodiscard]] double active_power_w(double mcu_freq_hz) const {
+    return bandwidth_bps(mcu_freq_hz) * cfg_.energy_per_bit +
+           cfg_.idle_power_w;
+  }
+
+  [[nodiscard]] double idle_power_w() const { return cfg_.idle_power_w; }
+
+ private:
+  SpiLinkConfig cfg_;
+};
+
+}  // namespace ulp::link

@@ -1,0 +1,41 @@
+#include "link/spi_wire.hpp"
+
+namespace ulp::link {
+
+void SpiWire::start(bool tx, Addr local, Addr remote, u32 len,
+                    std::function<u8(Addr)> local_read,
+                    std::function<void(Addr, u8)> local_write) {
+  ULP_CHECK(!busy(), "SPI wire already busy");
+  if (len == 0) return;
+  tx_ = tx;
+  local_ = local;
+  remote_ = remote;
+  remaining_ = len;
+  local_read_ = std::move(local_read);
+  local_write_ = std::move(local_write);
+  // Command/address framing preamble, then the first byte's serialisation.
+  cooldown_ = 2 * frame_overhead_bits_ / lanes_ + cycles_per_byte();
+}
+
+void SpiWire::step() {
+  if (!busy()) return;
+  ++busy_cycles_;
+  if (--cooldown_ > 0) return;
+  // One byte crosses the wire.
+  if (tx_) {
+    remote_write_(remote_, local_read_(local_));
+  } else {
+    local_write_(local_, remote_read_(remote_));
+  }
+  ++local_;
+  ++remote_;
+  ++bytes_moved_;
+  if (--remaining_ > 0) {
+    cooldown_ = cycles_per_byte();
+  } else {
+    local_read_ = nullptr;
+    local_write_ = nullptr;
+  }
+}
+
+}  // namespace ulp::link

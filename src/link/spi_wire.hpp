@@ -1,0 +1,70 @@
+// Cycle-stepped SPI/QSPI wire for full-system co-simulation.
+//
+// Where link::SpiLink computes transfer times analytically, SpiWire *moves
+// the bytes* while both processors run: the host's SPI master controller
+// pushes/pulls one byte every `cycles_per_byte` host cycles (SPI clock =
+// host clock / 2, `lanes` bits per SPI clock), with a framing preamble per
+// transfer. The remote side is abstracted as a byte sink/source (the PULP
+// SoC's QSPI slave in front of L2).
+#pragma once
+
+#include <functional>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp::link {
+
+class SpiWire {
+ public:
+  /// Remote-side byte access (the accelerator's QSPI slave).
+  using RemoteWrite = std::function<void(Addr, u8)>;
+  using RemoteRead = std::function<u8(Addr)>;
+
+  SpiWire(u32 lanes, RemoteWrite write, RemoteRead read,
+          u32 frame_overhead_bits = 40)
+      : lanes_(lanes),
+        remote_write_(std::move(write)),
+        remote_read_(std::move(read)),
+        frame_overhead_bits_(frame_overhead_bits) {
+    ULP_CHECK(lanes == 1 || lanes == 2 || lanes == 4, "bad lane count");
+  }
+
+  /// Host cycles per transferred byte: 8 bits / lanes SPI clocks, 2 host
+  /// cycles per SPI clock.
+  [[nodiscard]] u32 cycles_per_byte() const { return 2 * 8 / lanes_; }
+
+  [[nodiscard]] bool busy() const { return remaining_ > 0; }
+
+  /// Start host -> remote (tx=true) or remote -> host (tx=false). The
+  /// local side is accessed through the buffer callbacks the SPI master
+  /// peripheral provides per transfer.
+  void start(bool tx, Addr local, Addr remote, u32 len,
+             std::function<u8(Addr)> local_read,
+             std::function<void(Addr, u8)> local_write);
+
+  /// One host clock cycle of progress.
+  void step();
+
+  [[nodiscard]] u64 bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] u64 busy_cycles() const { return busy_cycles_; }
+
+ private:
+  u32 lanes_;
+  RemoteWrite remote_write_;
+  RemoteRead remote_read_;
+  u32 frame_overhead_bits_;
+
+  bool tx_ = false;
+  Addr local_ = 0;
+  Addr remote_ = 0;
+  u32 remaining_ = 0;
+  u32 cooldown_ = 0;
+  std::function<u8(Addr)> local_read_;
+  std::function<void(Addr, u8)> local_write_;
+
+  u64 bytes_moved_ = 0;
+  u64 busy_cycles_ = 0;
+};
+
+}  // namespace ulp::link

@@ -1,0 +1,125 @@
+#include "mem/bus.hpp"
+
+namespace ulp::mem {
+
+ClusterBus::ClusterBus(Tcdm* tcdm, Sram* l2, u32 l2_latency)
+    : tcdm_(tcdm), l2_(l2), l2_latency_(l2_latency) {
+  ULP_CHECK(tcdm != nullptr && l2 != nullptr, "ClusterBus needs TCDM and L2");
+  ULP_CHECK(l2_latency >= 1, "L2 latency must be >= 1");
+}
+
+void ClusterBus::add_peripheral(Addr base, u32 size, Peripheral* device) {
+  ULP_CHECK(device != nullptr, "null peripheral");
+  peripherals_.push_back({base, size, device});
+}
+
+void ClusterBus::begin_cycle() {
+  tcdm_->begin_cycle();
+  l2_port_busy_ = false;
+}
+
+Peripheral* ClusterBus::find_peripheral(Addr addr, Addr* offset) {
+  for (const PeripheralMapping& m : peripherals_) {
+    if (addr >= m.base && addr < m.base + m.size) {
+      *offset = addr - m.base;
+      return m.device;
+    }
+  }
+  return nullptr;
+}
+
+BusResult ClusterBus::access(Addr addr, int size, bool is_store,
+                             u32 store_value, bool sign_extend,
+                             u32 /*initiator*/) {
+  if (tcdm_->contains(addr, size)) {
+    if (!tcdm_->try_grant(addr)) return {};  // bank conflict: stall
+    BusResult r{.granted = true, .latency = 1, .data = 0};
+    if (is_store) {
+      tcdm_->store(addr, size, store_value);
+    } else {
+      r.data = tcdm_->load(addr, size, sign_extend);
+    }
+    return r;
+  }
+  if (l2_->contains(addr, size)) {
+    if (l2_port_busy_) return {};  // single L2 port
+    l2_port_busy_ = true;
+    BusResult r{.granted = true, .latency = l2_latency_, .data = 0};
+    if (is_store) {
+      l2_->store(addr, size, store_value);
+    } else {
+      r.data = l2_->load(addr, size, sign_extend);
+    }
+    return r;
+  }
+  Addr offset = 0;
+  if (Peripheral* p = find_peripheral(addr, &offset)) {
+    ULP_CHECK(size == 4 && addr % 4 == 0,
+              "peripheral access must be an aligned word");
+    BusResult r{.granted = true, .latency = 2, .data = 0};
+    if (is_store) {
+      p->write32(offset, store_value);
+    } else {
+      r.data = p->read32(offset);
+    }
+    return r;
+  }
+  ULP_CHECK(false, "bus access to unmapped address " + std::to_string(addr));
+}
+
+u32 ClusterBus::debug_load(Addr addr, int size, bool sign_extend) {
+  if (tcdm_->contains(addr, size)) return tcdm_->load(addr, size, sign_extend);
+  if (l2_->contains(addr, size)) return l2_->load(addr, size, sign_extend);
+  ULP_CHECK(false, "debug_load from unmapped address");
+}
+
+void ClusterBus::debug_store(Addr addr, int size, u32 value) {
+  if (tcdm_->contains(addr, size)) {
+    tcdm_->store(addr, size, value);
+    return;
+  }
+  if (l2_->contains(addr, size)) {
+    l2_->store(addr, size, value);
+    return;
+  }
+  ULP_CHECK(false, "debug_store to unmapped address");
+}
+
+BusResult SimpleBus::access(Addr addr, int size, bool is_store,
+                            u32 store_value, bool sign_extend,
+                            u32 /*initiator*/) {
+  if (sram_->contains(addr, size)) {
+    BusResult r{.granted = true, .latency = latency_, .data = 0};
+    if (is_store) {
+      sram_->store(addr, size, store_value);
+    } else {
+      r.data = sram_->load(addr, size, sign_extend);
+    }
+    return r;
+  }
+  for (const PeripheralMapping& m : peripherals_) {
+    if (addr >= m.base && addr < m.base + m.size) {
+      ULP_CHECK(size == 4 && addr % 4 == 0,
+                "peripheral access must be an aligned word");
+      BusResult r{.granted = true, .latency = 2, .data = 0};
+      if (is_store) {
+        m.device->write32(addr - m.base, store_value);
+      } else {
+        r.data = m.device->read32(addr - m.base);
+      }
+      return r;
+    }
+  }
+  ULP_CHECK(false,
+            "host bus access to unmapped address " + std::to_string(addr));
+}
+
+u32 SimpleBus::debug_load(Addr addr, int size, bool sign_extend) {
+  return sram_->load(addr, size, sign_extend);
+}
+
+void SimpleBus::debug_store(Addr addr, int size, u32 value) {
+  sram_->store(addr, size, value);
+}
+
+}  // namespace ulp::mem

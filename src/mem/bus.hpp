@@ -1,0 +1,98 @@
+// Data buses seen by bus masters (cores, DMA).
+//
+// A master presents one access per cycle; the bus answers with
+// granted/latency and performs the data movement on grant. Two concrete
+// buses exist:
+//  * ClusterBus — TCDM (banked, contended) + L2 (single-ported, slower) +
+//    memory-mapped peripherals. Models the PULP cluster interconnect.
+//  * SimpleBus — one flat SRAM with fixed latency, never contended. Models
+//    the single-master MCU host (and the "Cortex-M" baselines).
+#pragma once
+
+#include <vector>
+
+#include "mem/mem.hpp"
+#include "mem/tcdm.hpp"
+
+namespace ulp::mem {
+
+struct BusResult {
+  bool granted = false;
+  u32 latency = 0;  ///< Total cycles for the access when granted (>= 1).
+  u32 data = 0;     ///< Loaded value (loads only).
+};
+
+class DataBus {
+ public:
+  virtual ~DataBus() = default;
+
+  /// One timed access attempt. On grant the access has happened (including
+  /// any peripheral side effect). `initiator` identifies the master for
+  /// statistics and arbitration bookkeeping.
+  virtual BusResult access(Addr addr, int size, bool is_store, u32 store_value,
+                           bool sign_extend, u32 initiator) = 0;
+
+  // Untimed backdoor used for program loading and result readout.
+  [[nodiscard]] virtual u32 debug_load(Addr addr, int size,
+                                       bool sign_extend) = 0;
+  virtual void debug_store(Addr addr, int size, u32 value) = 0;
+};
+
+struct PeripheralMapping {
+  Addr base = 0;
+  u32 size = 0;
+  Peripheral* device = nullptr;
+};
+
+/// The PULP cluster interconnect: word-interleaved TCDM, single-port L2,
+/// peripheral region. Call begin_cycle() once per cluster cycle.
+class ClusterBus final : public DataBus {
+ public:
+  ClusterBus(Tcdm* tcdm, Sram* l2, u32 l2_latency);
+
+  void add_peripheral(Addr base, u32 size, Peripheral* device);
+  void begin_cycle();
+
+  BusResult access(Addr addr, int size, bool is_store, u32 store_value,
+                   bool sign_extend, u32 initiator) override;
+  u32 debug_load(Addr addr, int size, bool sign_extend) override;
+  void debug_store(Addr addr, int size, u32 value) override;
+
+  [[nodiscard]] Tcdm& tcdm() { return *tcdm_; }
+  [[nodiscard]] Sram& l2() { return *l2_; }
+
+ private:
+  [[nodiscard]] Peripheral* find_peripheral(Addr addr, Addr* offset);
+
+  Tcdm* tcdm_;
+  Sram* l2_;
+  u32 l2_latency_;
+  bool l2_port_busy_ = false;
+  std::vector<PeripheralMapping> peripherals_;
+};
+
+/// Flat single-master memory (MCU host model), with optional memory-mapped
+/// peripherals (SPI master controller, GPIO, timers).
+class SimpleBus final : public DataBus {
+ public:
+  SimpleBus(Sram* sram, u32 latency) : sram_(sram), latency_(latency) {
+    ULP_CHECK(latency >= 1, "bus latency must be >= 1");
+  }
+
+  void add_peripheral(Addr base, u32 size, Peripheral* device) {
+    ULP_CHECK(device != nullptr, "null peripheral");
+    peripherals_.push_back({base, size, device});
+  }
+
+  BusResult access(Addr addr, int size, bool is_store, u32 store_value,
+                   bool sign_extend, u32 initiator) override;
+  u32 debug_load(Addr addr, int size, bool sign_extend) override;
+  void debug_store(Addr addr, int size, u32 value) override;
+
+ private:
+  Sram* sram_;
+  u32 latency_;
+  std::vector<PeripheralMapping> peripherals_;
+};
+
+}  // namespace ulp::mem

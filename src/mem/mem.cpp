@@ -1,0 +1,32 @@
+#include "mem/mem.hpp"
+
+namespace ulp::mem {
+
+u32 load_le(std::span<const u8> bytes, size_t offset, int size,
+            bool sign_extend) {
+  // Sizes 1..4: size 3 occurs as the sub-word part of an unaligned access
+  // split at a word boundary (the hardware's byte-lane rotator).
+  ULP_CHECK(size >= 1 && size <= 4, "bad access size");
+  ULP_CHECK(offset + static_cast<size_t>(size) <= bytes.size(),
+            "load out of range");
+  u32 v = 0;
+  for (int i = size - 1; i >= 0; --i) {
+    v = (v << 8) | bytes[offset + static_cast<size_t>(i)];
+  }
+  if (sign_extend && size < 4) {
+    const u32 sign_bit = 1u << (size * 8 - 1);
+    if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  }
+  return v;
+}
+
+void store_le(std::span<u8> bytes, size_t offset, int size, u32 value) {
+  ULP_CHECK(size >= 1 && size <= 4, "bad access size");
+  ULP_CHECK(offset + static_cast<size_t>(size) <= bytes.size(),
+            "store out of range");
+  for (int i = 0; i < size; ++i) {
+    bytes[offset + static_cast<size_t>(i)] = static_cast<u8>(value >> (8 * i));
+  }
+}
+
+}  // namespace ulp::mem

@@ -1,0 +1,60 @@
+// Basic memory building blocks: little-endian scalar access over byte
+// arrays, the Sram device, and the Peripheral interface for memory-mapped
+// cluster devices (DMA controller, event unit, mailbox).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp::mem {
+
+/// Little-endian load of 1/2/4 bytes from `bytes` at `offset`.
+[[nodiscard]] u32 load_le(std::span<const u8> bytes, size_t offset, int size,
+                          bool sign_extend);
+
+/// Little-endian store of 1/2/4 bytes into `bytes` at `offset`.
+void store_le(std::span<u8> bytes, size_t offset, int size, u32 value);
+
+/// A flat RAM/ROM device mapped at a fixed base address.
+class Sram {
+ public:
+  Sram(Addr base, size_t size_bytes) : base_(base), mem_(size_bytes, 0) {}
+
+  [[nodiscard]] Addr base() const { return base_; }
+  [[nodiscard]] size_t size() const { return mem_.size(); }
+  [[nodiscard]] bool contains(Addr addr, int size) const {
+    return addr >= base_ && addr + static_cast<Addr>(size) <= base_ + mem_.size();
+  }
+
+  [[nodiscard]] u32 load(Addr addr, int size, bool sign_extend) const {
+    ULP_CHECK(contains(addr, size), "Sram load out of range");
+    return load_le(mem_, addr - base_, size, sign_extend);
+  }
+
+  void store(Addr addr, int size, u32 value) {
+    ULP_CHECK(contains(addr, size), "Sram store out of range");
+    store_le(mem_, addr - base_, size, value);
+  }
+
+  /// Raw backing bytes (testing / program loading / host marshaling).
+  [[nodiscard]] std::span<u8> bytes() { return mem_; }
+  [[nodiscard]] std::span<const u8> bytes() const { return mem_; }
+
+ private:
+  Addr base_;
+  std::vector<u8> mem_;
+};
+
+/// A memory-mapped device with word-granular registers and side effects.
+/// Offsets are relative to the peripheral's mapped base.
+class Peripheral {
+ public:
+  virtual ~Peripheral() = default;
+  [[nodiscard]] virtual u32 read32(Addr offset) = 0;
+  virtual void write32(Addr offset, u32 value) = 0;
+};
+
+}  // namespace ulp::mem

@@ -1,0 +1,41 @@
+#include "mem/tcdm.hpp"
+
+namespace ulp::mem {
+
+Tcdm::Tcdm(Addr base, u32 num_banks, u32 bank_bytes)
+    : base_(base),
+      num_banks_(num_banks),
+      mem_(static_cast<size_t>(num_banks) * bank_bytes, 0),
+      bank_busy_(num_banks, false) {
+  ULP_CHECK(num_banks > 0 && (num_banks & (num_banks - 1)) == 0,
+            "TCDM bank count must be a power of two");
+  ULP_CHECK(bank_bytes % 4 == 0, "TCDM bank size must be word-aligned");
+}
+
+void Tcdm::begin_cycle() {
+  bank_busy_.assign(bank_busy_.size(), false);
+}
+
+bool Tcdm::try_grant(Addr addr) {
+  ULP_CHECK(contains(addr, 1), "TCDM grant out of range");
+  const u32 bank = bank_of(addr);
+  if (bank_busy_[bank]) {
+    ++conflicts_;
+    return false;
+  }
+  bank_busy_[bank] = true;
+  ++accesses_;
+  return true;
+}
+
+u32 Tcdm::load(Addr addr, int size, bool sign_extend) const {
+  ULP_CHECK(contains(addr, size), "TCDM load out of range");
+  return load_le(mem_, addr - base_, size, sign_extend);
+}
+
+void Tcdm::store(Addr addr, int size, u32 value) {
+  ULP_CHECK(contains(addr, size), "TCDM store out of range");
+  store_le(mem_, addr - base_, size, value);
+}
+
+}  // namespace ulp::mem

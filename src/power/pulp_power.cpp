@@ -1,0 +1,152 @@
+#include "power/pulp_power.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace ulp::power {
+
+namespace {
+
+/// Characterised operating points: V_DD -> (f_max, leakage). The frequency
+/// curve follows the super-linear near-threshold behaviour of 28nm FD-SOI;
+/// leakage grows with V_DD (DIBL + body effect).
+struct OpRow {
+  double vdd;
+  double fmax_hz;
+  double leak_w;
+};
+constexpr std::array<OpRow, 6> kOpTable = {{
+    {0.5, mhz(16), mw(0.10)},
+    {0.6, mhz(50), mw(0.15)},
+    {0.7, mhz(120), mw(0.22)},
+    {0.8, mhz(230), mw(0.32)},
+    {0.9, mhz(350), mw(0.46)},
+    {1.0, mhz(450), mw(0.65)},
+}};
+
+// Dynamic power densities at V_DD = 1.0 V, in W/Hz; scaled by (vdd)^2.
+// CALIBRATION: chosen so the matmul benchmark reproduces the paper's
+// Figure 3 anchors (~304 GOPS/W peak at ~1.48 mW at the 0.5 V point).
+constexpr double kRhoCoreRun = 60e-12;   // per active core
+constexpr double kRhoCoreIdle = 4e-12;   // per clock-gated core
+constexpr double kRhoMem = 37e-12;       // per TCDM access/cycle
+constexpr double kRhoDma = 23e-12;       // DMA engine busy
+constexpr double kRhoIcache = 7.6e-12;   // per core-fetch/cycle
+constexpr double kRhoSoc = 19e-12;       // FLL, bus, always-on logic
+
+double lerp(double x0, double y0, double x1, double y1, double x) {
+  return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+template <typename F>
+double interp_table(double vdd, F&& field) {
+  ULP_CHECK(vdd >= PulpPowerModel::kVddMin - 1e-9 &&
+                vdd <= PulpPowerModel::kVddMax + 1e-9,
+            "V_DD outside the characterised range");
+  for (size_t i = 1; i < kOpTable.size(); ++i) {
+    if (vdd <= kOpTable[i].vdd + 1e-12) {
+      return lerp(kOpTable[i - 1].vdd, field(kOpTable[i - 1]),
+                  kOpTable[i].vdd, field(kOpTable[i]), vdd);
+    }
+  }
+  return field(kOpTable.back());
+}
+
+}  // namespace
+
+ActivityFactors ActivityFactors::from_stats(
+    const cluster::ClusterStats& stats) {
+  ActivityFactors chi;
+  const double cycles = static_cast<double>(stats.cycles);
+  if (cycles <= 0) return chi;
+  for (const auto& c : stats.cores) {
+    chi.cores_run += static_cast<double>(c.active_cycles) / cycles;
+    chi.cores_idle +=
+        static_cast<double>(c.sleep_cycles + c.halted_cycles) / cycles;
+  }
+  // TCDM access counters include core and DMA traffic.
+  u64 accesses = 0;
+  for (const auto& c : stats.cores) accesses += c.loads + c.stores;
+  accesses += stats.dma.bytes_moved / 4;
+  chi.mem = static_cast<double>(accesses) / cycles;
+  chi.dma = static_cast<double>(stats.dma.busy_cycles) / cycles;
+  return chi;
+}
+
+ActivityFactors ActivityFactors::all_on(u32 num_cores) {
+  ActivityFactors chi;
+  chi.cores_run = num_cores;
+  chi.cores_idle = 0;
+  chi.mem = num_cores;  // every core touching memory every cycle
+  chi.dma = 1.0;
+  return chi;
+}
+
+double PulpPowerModel::fmax_hz(double vdd, BiasMode bias) const {
+  const double base =
+      interp_table(vdd, [](const OpRow& r) { return r.fmax_hz; });
+  return bias == BiasMode::kForwardBias ? base * kFbbSpeedup : base;
+}
+
+double PulpPowerModel::leakage_w(double vdd, BiasMode bias) const {
+  const double base =
+      interp_table(vdd, [](const OpRow& r) { return r.leak_w; });
+  return bias == BiasMode::kForwardBias ? base * kFbbLeakageFactor : base;
+}
+
+double PulpPowerModel::dynamic_w(const ActivityFactors& chi, double vdd,
+                                 double freq_hz) const {
+  ULP_CHECK(freq_hz >= 0, "negative frequency");
+  const double scale = vdd * vdd;  // densities characterised at 1.0 V
+  const double per_hz = chi.cores_run * kRhoCoreRun +
+                        chi.cores_idle * kRhoCoreIdle + chi.mem * kRhoMem +
+                        chi.dma * kRhoDma + chi.cores_run * kRhoIcache +
+                        kRhoSoc;
+  return freq_hz * scale * per_hz;
+}
+
+double PulpPowerModel::idle_w(double vdd) const {
+  // Clock-gated cluster: leakage plus the always-on SoC logic ticking at a
+  // slow ref clock (32 kHz-class); the latter is negligible but nonzero.
+  return leakage_w(vdd) + khz(32) * vdd * vdd * kRhoSoc * 4;
+}
+
+std::optional<OperatingPoint> PulpPowerModel::max_performance_point(
+    double budget_w, const ActivityFactors& chi, bool allow_boost) const {
+  std::optional<OperatingPoint> best;
+  const auto consider = [&](const OperatingPoint& op) {
+    if (total_w(chi, op) > budget_w) return;
+    if (!best || op.freq_hz > best->freq_hz) best = op;
+  };
+  // f_max(vdd) is monotone per bias mode: scan V_DD downward, the first
+  // point that fits the budget at f_max is that mode's fastest.
+  for (const BiasMode bias :
+       {BiasMode::kNominal, BiasMode::kForwardBias}) {
+    if (bias == BiasMode::kForwardBias && !allow_boost) continue;
+    bool found = false;
+    for (double vdd = kVddMax; vdd >= kVddMin - 1e-9; vdd -= 0.005) {
+      const OperatingPoint op{vdd, fmax_hz(vdd, bias), bias};
+      if (total_w(chi, op) <= budget_w) {
+        consider(op);
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    // Below-f_max fallback at the lowest voltage.
+    const double vdd = kVddMin;
+    const double leak = leakage_w(vdd, bias);
+    if (leak >= budget_w) continue;
+    const double per_hz_w = dynamic_w(chi, vdd, 1.0);  // W per Hz
+    if (per_hz_w <= 0) continue;
+    const double f = (budget_w - leak) / per_hz_w;
+    if (f < khz(100)) continue;  // not a useful operating point
+    consider(OperatingPoint{vdd, f, bias});
+  }
+  return best;
+}
+
+}  // namespace ulp::power

@@ -1,0 +1,104 @@
+// PULP3 power model.
+//
+// Reproduces the paper's methodology (Section IV-A): average dynamic power
+// over a benchmark is
+//
+//   P_d = f_clk * sum_i (chi_i,idle*rho_i,idle + chi_i,run*rho_i,run
+//                        + chi_i,dma*rho_i,dma)
+//
+// with chi_i the active-cycle ratios measured by the simulator's
+// performance counters and rho_i per-component dynamic power densities.
+// Leakage, densities and f_max per operating point (V_DD = 0.5 V .. 1.0 V in
+// 100 mV steps, 28nm FD-SOI flavour) come from a constants table; since the
+// post-layout back-annotation of the taped-out chip is not available, the
+// densities are CALIBRATED so the model reproduces the paper's published
+// anchors — peak 304 GOPS/W at 1.48 mW on matmul (Figure 3) — and are
+// therefore effective values, not transistor-level ones. f_max between
+// table points is interpolated, as in the paper.
+#pragma once
+
+#include <optional>
+
+#include "cluster/cluster.hpp"
+
+namespace ulp::power {
+
+/// Body-bias setting. PULP's FD-SOI flavour exposes a body-bias
+/// multiplexer per core (Section III-B; Rossi et al. [6] characterise
+/// -1.8 V to 0.9 V of bias): forward body bias lowers V_T, buying extra
+/// frequency at the same V_DD at the price of a large leakage increase.
+enum class BiasMode : u8 {
+  kNominal,
+  kForwardBias,
+};
+
+struct OperatingPoint {
+  double vdd = 1.0;      ///< Volts.
+  double freq_hz = 0.0;  ///< Cluster clock.
+  BiasMode bias = BiasMode::kNominal;
+};
+
+/// Activity factors (the chi of the paper's formula), extracted from a
+/// cluster run. Sums are across cores, so cores_run is in [0, N].
+struct ActivityFactors {
+  double cores_run = 0.0;   ///< Sum of per-core active-cycle ratios.
+  double cores_idle = 0.0;  ///< Sum of per-core clock-gated ratios.
+  double mem = 0.0;         ///< TCDM + interconnect accesses per cycle.
+  double dma = 0.0;         ///< DMA busy-cycle ratio.
+
+  [[nodiscard]] static ActivityFactors from_stats(
+      const cluster::ClusterStats& stats);
+
+  /// Worst-case factors for envelope sizing: every core and the memory
+  /// system fully active.
+  [[nodiscard]] static ActivityFactors all_on(u32 num_cores);
+};
+
+class PulpPowerModel {
+ public:
+  static constexpr double kVddMin = 0.5;
+  static constexpr double kVddMax = 1.0;
+
+  /// Frequency headroom of forward body bias, and its leakage penalty
+  /// (effective values in the spirit of [6]).
+  static constexpr double kFbbSpeedup = 1.3;
+  static constexpr double kFbbLeakageFactor = 3.0;
+
+  /// Maximum cluster frequency at `vdd` (interpolated between the
+  /// characterised operating points). vdd outside [0.5, 1.0] throws.
+  [[nodiscard]] double fmax_hz(double vdd,
+                               BiasMode bias = BiasMode::kNominal) const;
+
+  [[nodiscard]] double leakage_w(double vdd,
+                                 BiasMode bias = BiasMode::kNominal) const;
+
+  /// The paper's P_d formula.
+  [[nodiscard]] double dynamic_w(const ActivityFactors& chi, double vdd,
+                                 double freq_hz) const;
+
+  [[nodiscard]] double total_w(const ActivityFactors& chi,
+                               const OperatingPoint& op) const {
+    return leakage_w(op.vdd, op.bias) + dynamic_w(chi, op.vdd, op.freq_hz);
+  }
+
+  /// Energy of a run of `cycles` cluster cycles at `op`.
+  [[nodiscard]] double energy_j(const ActivityFactors& chi,
+                                const OperatingPoint& op, u64 cycles) const {
+    return total_w(chi, op) * (static_cast<double>(cycles) / op.freq_hz);
+  }
+
+  /// Power when the accelerator sits idle waiting for an offload (clock
+  /// gated, leakage + always-on SoC logic).
+  [[nodiscard]] double idle_w(double vdd) const;
+
+  /// Highest-performance operating point whose total power at activity
+  /// `chi` fits within `budget_w`: scans V_DD downward at f_max, then
+  /// trades frequency at the lowest voltage. nullopt if even that exceeds
+  /// the budget. With `allow_boost`, forward-body-bias points compete too
+  /// (they win when the budget is generous enough to pay the leakage).
+  [[nodiscard]] std::optional<OperatingPoint> max_performance_point(
+      double budget_w, const ActivityFactors& chi,
+      bool allow_boost = false) const;
+};
+
+}  // namespace ulp::power

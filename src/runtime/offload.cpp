@@ -1,0 +1,119 @@
+#include "runtime/offload.hpp"
+
+#include "common/status.hpp"
+
+namespace ulp::runtime {
+
+double OffloadTiming::total_s(u32 iterations, bool double_buffered) const {
+  ULP_CHECK(iterations >= 1, "need at least one iteration");
+  const double n = iterations;
+  if (!double_buffered) {
+    return t_binary_s + n * (t_in_s + t_compute_s + t_out_s);
+  }
+  // Pipelined: while the accelerator computes iteration i, the link drains
+  // iteration i-1's output and fills iteration i+1's input. Steady state is
+  // bounded by the slower of (compute) and (in+out transfer).
+  const double steady = std::max(t_compute_s, t_in_s + t_out_s);
+  return t_binary_s + t_in_s + (n - 1) * steady + t_compute_s + t_out_s;
+}
+
+OffloadSession::OffloadSession(const host::McuSpec& mcu, double mcu_freq_hz,
+                               link::SpiLink link,
+                               power::PulpPowerModel power_model)
+    : mcu_(mcu),
+      mcu_freq_hz_(mcu_freq_hz),
+      link_(link),
+      power_(power_model) {
+  ULP_CHECK(mcu_freq_hz > 0, "MCU frequency must be positive");
+}
+
+OffloadOutcome OffloadSession::run(const OffloadRequest& request,
+                                   const power::OperatingPoint& op,
+                                   u32 num_cores) {
+  ULP_CHECK(op.freq_hz > 0, "accelerator operating point unset");
+  ULP_CHECK(request.program != nullptr, "offload request without a program");
+
+  cluster::ClusterParams params;
+  params.num_cores = num_cores;
+  params.core_config = core::or10n_config();
+  soc::PulpSoc soc(params);
+
+  // 1. Code offload: serialise and ship the binary.
+  const std::vector<u8> image = isa::serialize(*request.program);
+  soc.boot_image(image);  // boot ROM consumes the image from L2
+
+  // 2. Data offload: map(to:) payload into the L2 staging area.
+  soc.qspi_write(request.input_addr, request.input);
+
+  // 3. Fetch-enable; run to the EOC GPIO.
+  const u64 cycles = soc.run_to_eoc();
+
+  // 4. Read results back.
+  OffloadOutcome out;
+  out.output.resize(request.output_bytes);
+  soc.qspi_read(request.output_addr, out.output);
+
+  out.stats = soc.cluster().stats();
+  out.activity = power::ActivityFactors::from_stats(out.stats);
+  out.timing.accel_cycles = cycles;
+  out.timing.t_compute_s = static_cast<double>(cycles) / op.freq_hz;
+  const size_t shipped = image.size() + kRuntimeImageBytes;
+  out.timing.t_binary_s = link_.transfer_seconds(shipped, mcu_freq_hz_);
+  out.timing.t_in_s =
+      link_.transfer_seconds(request.input.size(), mcu_freq_hz_);
+  out.timing.t_out_s =
+      link_.transfer_seconds(request.output_bytes, mcu_freq_hz_);
+  out.timing.binary_bytes = shipped;
+  out.timing.in_bytes = request.input.size();
+  out.timing.out_bytes = request.output_bytes;
+  return out;
+}
+
+EnergyBreakdown OffloadSession::energy(const OffloadOutcome& o,
+                                       const power::OperatingPoint& op,
+                                       u32 iterations,
+                                       bool double_buffered) const {
+  const double n = iterations;
+  const double t_xfer =
+      o.timing.t_binary_s + n * (o.timing.t_in_s + o.timing.t_out_s);
+  const double t_compute = n * o.timing.t_compute_s;
+  const double total = o.timing.total_s(iterations, double_buffered);
+
+  EnergyBreakdown e;
+  // MCU: active while driving the link (it is the SPI master and its DMA
+  // runs from the core clock domain), asleep otherwise.
+  e.mcu_j = t_xfer * mcu_.active_power_w(mcu_freq_hz_) +
+            std::max(0.0, total - t_xfer) * mcu_.sleep_w;
+  // PULP: measured-activity power while computing, idle power otherwise.
+  e.pulp_j = n * power_.energy_j(o.activity, op, o.timing.accel_cycles) +
+             std::max(0.0, total - t_compute) * power_.idle_w(op.vdd);
+  // Link: energy per bit plus the idle floor.
+  e.link_j = link_.transfer_energy_j(o.timing.binary_bytes) +
+             n * (link_.transfer_energy_j(o.timing.in_bytes) +
+                  link_.transfer_energy_j(o.timing.out_bytes)) +
+             total * link_.idle_power_w();
+  return e;
+}
+
+double OffloadSession::steady_power_w(const OffloadOutcome& o,
+                                      const power::OperatingPoint& op,
+                                      bool double_buffered) const {
+  // Average over a long run (binary cost amortised away).
+  const double t_xfer = o.timing.t_in_s + o.timing.t_out_s;
+  const double t_compute = o.timing.t_compute_s;
+  const double period = double_buffered ? std::max(t_compute, t_xfer)
+                                        : t_compute + t_xfer;
+  if (period <= 0) return 0;
+  const double mcu_j = t_xfer * mcu_.active_power_w(mcu_freq_hz_) +
+                       std::max(0.0, period - t_xfer) * mcu_.sleep_w;
+  const double pulp_j =
+      power_.energy_j(o.activity, op, o.timing.accel_cycles) +
+      std::max(0.0, period - t_compute) * power_.idle_w(op.vdd);
+  const double link_j =
+      link_.transfer_energy_j(o.timing.in_bytes) +
+      link_.transfer_energy_j(o.timing.out_bytes) +
+      period * link_.idle_power_w();
+  return (mcu_j + pulp_j + link_j) / period;
+}
+
+}  // namespace ulp::runtime

@@ -1,0 +1,123 @@
+// Host-side offload runtime: the "#pragma omp target" execution engine.
+//
+// An OffloadSession binds a host MCU (at a chosen clock), the SPI/QSPI
+// coupling link, the PULP power model, and a fresh simulated SoC. run()
+// performs the complete offload the paper describes:
+//
+//   1. serialise the kernel program and ship it over the link into L2
+//      (the *binary offload* — its cost is what Figure 5b amortises),
+//   2. ship the map(to:) input payload into the L2 staging area,
+//   3. raise fetch-enable; the cluster boots, stages data to TCDM by DMA,
+//      runs the SPMD kernel, stages results back and raises EOC,
+//   4. read the output back over the link.
+//
+// The cluster is simulated cycle-accurately once; timings for `iterations`
+// repetitions (Figure 5b's x-axis) compose analytically, either sequential
+// or double-buffered (transfers of iteration i+1 overlapped with compute of
+// iteration i — the paper's rightmost plot).
+#pragma once
+
+#include <span>
+
+#include "host/mcu.hpp"
+#include "link/spi_link.hpp"
+#include "power/pulp_power.hpp"
+#include "soc/pulp_soc.hpp"
+
+namespace ulp::runtime {
+
+/// What the host wants to offload: a program plus its map(to:)/map(from:)
+/// payload description. kernels::KernelCase carries exactly these fields;
+/// the indirection keeps the runtime library independent of the benchmark
+/// suite.
+struct OffloadRequest {
+  const isa::Program* program = nullptr;
+  std::span<const u8> input;
+  Addr input_addr = 0;
+  size_t output_bytes = 0;
+  Addr output_addr = 0;
+};
+
+struct OffloadTiming {
+  double t_binary_s = 0;   ///< Program image over the link.
+  double t_in_s = 0;       ///< Input payload per iteration.
+  double t_out_s = 0;      ///< Output payload per iteration.
+  double t_compute_s = 0;  ///< Cluster compute per iteration.
+  u64 accel_cycles = 0;
+  size_t binary_bytes = 0;
+  size_t in_bytes = 0;
+  size_t out_bytes = 0;
+
+  /// End-to-end time for n iterations of the kernel per one code offload.
+  [[nodiscard]] double total_s(u32 iterations, bool double_buffered) const;
+
+  /// Efficiency w.r.t. ideal speedup (Figure 5b's y-axis): pure compute
+  /// time over end-to-end time.
+  [[nodiscard]] double efficiency(u32 iterations, bool double_buffered) const {
+    const double total = total_s(iterations, double_buffered);
+    return total <= 0 ? 0.0 : iterations * t_compute_s / total;
+  }
+};
+
+struct EnergyBreakdown {
+  double mcu_j = 0;
+  double pulp_j = 0;
+  double link_j = 0;
+  [[nodiscard]] double total_j() const { return mcu_j + pulp_j + link_j; }
+};
+
+struct OffloadOutcome {
+  std::vector<u8> output;          ///< Bytes read back from L2.
+  OffloadTiming timing;
+  power::ActivityFactors activity; ///< Measured chi factors of the run.
+  cluster::ClusterStats stats;
+};
+
+class OffloadSession {
+ public:
+  /// Bytes of accelerator-side support code (boot stub, the streamlined
+  /// OpenMP runtime, compiler intrinsics) shipped along with every kernel
+  /// binary. The paper's binaries (Table I: 6.7-48 kB) carry this linked
+  /// in; our serialised images carry only kernel code + data, so the
+  /// runtime image is accounted separately in the code-offload cost.
+  static constexpr size_t kRuntimeImageBytes = 8 * 1024;
+
+  OffloadSession(const host::McuSpec& mcu, double mcu_freq_hz,
+                 link::SpiLink link,
+                 power::PulpPowerModel power_model = {});
+
+  /// Full offload of a cluster-target program at operating point `op`.
+  /// `num_cores` must match the value the program was generated for.
+  [[nodiscard]] OffloadOutcome run(const OffloadRequest& request,
+                                   const power::OperatingPoint& op,
+                                   u32 num_cores = 4);
+
+  /// Energy for `iterations` kernel executions per code offload, using the
+  /// measured timing/activity of `outcome`.
+  [[nodiscard]] EnergyBreakdown energy(const OffloadOutcome& outcome,
+                                       const power::OperatingPoint& op,
+                                       u32 iterations,
+                                       bool double_buffered) const;
+
+  /// Total average power of the heterogeneous system while continuously
+  /// iterating (MCU + PULP + link) — the quantity bounded by the paper's
+  /// 10 mW envelope.
+  [[nodiscard]] double steady_power_w(const OffloadOutcome& outcome,
+                                      const power::OperatingPoint& op,
+                                      bool double_buffered) const;
+
+  [[nodiscard]] const host::McuSpec& mcu() const { return mcu_; }
+  [[nodiscard]] double mcu_freq_hz() const { return mcu_freq_hz_; }
+  [[nodiscard]] const link::SpiLink& link() const { return link_; }
+  [[nodiscard]] const power::PulpPowerModel& power_model() const {
+    return power_;
+  }
+
+ private:
+  host::McuSpec mcu_;
+  double mcu_freq_hz_;
+  link::SpiLink link_;
+  power::PulpPowerModel power_;
+};
+
+}  // namespace ulp::runtime

@@ -1,0 +1,106 @@
+#include "runtime/omp.hpp"
+
+#include "common/memmap.hpp"
+#include "common/status.hpp"
+
+namespace ulp::omp {
+
+using codegen::Builder;
+using isa::Opcode;
+
+TargetRegion::TargetRegion(core::CoreFeatures features, u32 num_cores)
+    : features_(features),
+      num_cores_(num_cores),
+      device_brk_(memmap::kTcdmBase),
+      l2_in_brk_(memmap::kL2Input),
+      l2_out_brk_(memmap::kL2Output) {
+  ULP_CHECK(num_cores >= 1, "need at least one core");
+}
+
+Addr TargetRegion::device_alloc(size_t bytes) {
+  const Addr addr = device_brk_;
+  device_brk_ += static_cast<Addr>((bytes + 3) & ~size_t{3});
+  ULP_CHECK(device_brk_ <= memmap::kTcdmBase + 64 * 1024,
+            "target region exceeds TCDM capacity");
+  return addr;
+}
+
+Addr TargetRegion::map_to(std::span<const u8> host_data) {
+  ULP_CHECK(!compiled_, "region already compiled");
+  const Addr dev = device_alloc(host_data.size());
+  map_to_.push_back({l2_in_brk_, dev, static_cast<u32>(host_data.size())});
+  input_.insert(input_.end(), host_data.begin(), host_data.end());
+  // Keep the packed input contiguous in L2 (word-padded per clause).
+  const u32 padded = static_cast<u32>((host_data.size() + 3) & ~size_t{3});
+  input_.resize(input_.size() + (padded - host_data.size()), 0);
+  l2_in_brk_ += padded;
+  return dev;
+}
+
+Addr TargetRegion::map_from(size_t bytes) {
+  ULP_CHECK(!compiled_, "region already compiled");
+  const Addr dev = device_alloc(bytes);
+  map_from_.push_back({dev, l2_out_brk_, static_cast<u32>(bytes)});
+  l2_out_brk_ += static_cast<Addr>((bytes + 3) & ~size_t{3});
+  return dev;
+}
+
+Addr TargetRegion::map_alloc(size_t bytes) {
+  ULP_CHECK(!compiled_, "region already compiled");
+  return device_alloc(bytes);
+}
+
+void TargetRegion::parallel(
+    std::function<void(Builder&, const runtime::OutlineRegs&)> section) {
+  ULP_CHECK(!compiled_, "region already compiled");
+  sections_.push_back({std::move(section)});
+}
+
+void TargetRegion::parallel_for(
+    u32 total,
+    std::function<void(Builder&, const ForContext&)> body) {
+  const u32 num_cores = num_cores_;
+  parallel([total, num_cores, body = std::move(body)](
+               Builder& bld, const runtime::OutlineRegs& regs) {
+    // Static schedule: this core covers [r3, r4).
+    runtime::emit_static_bounds(bld, 3, 4, regs.core_id, total, num_cores,
+                                /*scratch=*/20);
+    const auto done = bld.make_label();
+    bld.branch(Opcode::kBge, 3, 4, done);
+    const ForContext ctx{.r_index = 3,
+                         .r_tmp0 = 5,
+                         .r_tmp1 = 6,
+                         .r_tmp2 = 7,
+                         .r_tmp3 = 8};
+    const auto top = bld.make_label();
+    bld.bind(top);
+    body(bld, ctx);
+    bld.emit(Opcode::kAddi, ctx.r_index, ctx.r_index, 0, 1);
+    bld.branch(Opcode::kBlt, ctx.r_index, 4, top);
+    bld.bind(done);
+  });
+}
+
+Offloadable TargetRegion::compile() {
+  ULP_CHECK(!compiled_, "region already compiled");
+  compiled_ = true;
+  auto sections = std::move(sections_);
+  const u32 num_cores = num_cores_;
+  Offloadable off;
+  off.program = runtime::outline_target(
+      features_, map_to_, map_from_,
+      [&sections](Builder& bld, const runtime::OutlineRegs& regs) {
+        for (size_t i = 0; i < sections.size(); ++i) {
+          if (i > 0) bld.barrier();  // implicit barrier between sections
+          sections[i].emit(bld, regs);
+        }
+      });
+  (void)num_cores;
+  off.input = std::move(input_);
+  off.input_addr = memmap::kL2Input;
+  off.output_addr = memmap::kL2Output;
+  off.output_bytes = l2_out_brk_ - memmap::kL2Output;
+  return off;
+}
+
+}  // namespace ulp::omp

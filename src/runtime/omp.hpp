@@ -1,0 +1,108 @@
+// OpenMP-v4-style offload frontend.
+//
+// The paper's programming interface is "#pragma omp target" with "map"
+// clauses plus OpenMP worksharing (Section III-A, following Marongiu et
+// al. [27]). C++ has no pragmas to intercept, so this is the closest
+// embedded equivalent: a TargetRegion object plays the role of the
+// directive —
+//
+//   omp::TargetRegion region(features, num_cores);
+//   Addr a = region.map_to(host_a);            // map(to: a[0:n])
+//   Addr c = region.map_from(n);               // map(from: c[0:n])
+//   region.parallel_for(n, [&](Builder& b, const ForContext& ctx) {
+//     ... body generated per index, ctx.r_index live ...
+//   });
+//   omp::Offloadable off = region.compile();   // the outlined region
+//
+// compile() produces everything the offload runtime needs: the SPMD
+// program (DMA staging for each map clause, worksharing prologue, barriers)
+// and the packed input payload. Device (TCDM) and staging (L2) addresses
+// are allocated automatically — the "higher level abstractions [that] hide
+// the low-level details of the data exchange primitives".
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "codegen/builder.hpp"
+#include "runtime/offload.hpp"
+#include "runtime/outliner.hpp"
+
+namespace ulp::omp {
+
+/// The compiled target region: ship `input` to `input_addr`, run `program`,
+/// collect `output_bytes` from `output_addr`.
+struct Offloadable {
+  isa::Program program;
+  std::vector<u8> input;
+  Addr input_addr = 0;
+  size_t output_bytes = 0;
+  Addr output_addr = 0;
+
+  [[nodiscard]] runtime::OffloadRequest request() const {
+    return {&program, input, input_addr, output_bytes, output_addr};
+  }
+};
+
+/// Context handed to a parallel_for body emitter.
+struct ForContext {
+  u8 r_index = 0;  ///< Register holding the current iteration index.
+  /// Scratch registers the body may clobber freely.
+  u8 r_tmp0 = 0, r_tmp1 = 0, r_tmp2 = 0, r_tmp3 = 0;
+};
+
+class TargetRegion {
+ public:
+  explicit TargetRegion(core::CoreFeatures features, u32 num_cores = 4);
+
+  // ---- data clauses ----------------------------------------------------
+  /// map(to:): `host_data` is copied to the accelerator before the region
+  /// runs. Returns the device (TCDM) address the generated code reads.
+  Addr map_to(std::span<const u8> host_data);
+
+  /// map(from:): reserves `bytes` of device memory whose final contents are
+  /// staged back to the host after the region. Returns the device address.
+  Addr map_from(size_t bytes);
+
+  /// Device-only scratch (no transfers) — OpenMP's map(alloc:).
+  Addr map_alloc(size_t bytes);
+
+  // ---- execution clauses -----------------------------------------------
+  /// #pragma omp parallel: emits `section` once; it runs SPMD on all cores
+  /// with the outliner registers live. Consecutive sections are separated
+  /// by barriers.
+  void parallel(
+      std::function<void(codegen::Builder&, const runtime::OutlineRegs&)>
+          section);
+
+  /// #pragma omp parallel for schedule(static) over [0, total): the body
+  /// emitter is invoked once and runs per index with ctx.r_index live.
+  void parallel_for(u32 total,
+                    std::function<void(codegen::Builder&, const ForContext&)>
+                        body);
+
+  /// Outline the region. The TargetRegion is spent afterwards.
+  [[nodiscard]] Offloadable compile();
+
+ private:
+  core::CoreFeatures features_;
+  u32 num_cores_;
+
+  struct Section {
+    std::function<void(codegen::Builder&, const runtime::OutlineRegs&)> emit;
+  };
+
+  Addr device_alloc(size_t bytes);
+
+  std::vector<Section> sections_;
+  std::vector<runtime::Transfer> map_to_;
+  std::vector<runtime::Transfer> map_from_;
+  std::vector<u8> input_;
+  Addr device_brk_;
+  Addr l2_in_brk_;
+  Addr l2_out_brk_;
+  bool compiled_ = false;
+};
+
+}  // namespace ulp::omp

@@ -1,0 +1,84 @@
+#include "runtime/outliner.hpp"
+
+#include "common/status.hpp"
+
+namespace ulp::runtime {
+
+using codegen::Builder;
+using isa::Opcode;
+
+void emit_static_bounds(Builder& bld, u8 r_lo, u8 r_hi, u8 r_id, u32 total,
+                        u32 num_cores, u8 scratch) {
+  ULP_CHECK(num_cores > 0, "num_cores must be positive");
+  const u32 chunk = (total + num_cores - 1) / num_cores;
+  // lo = id * chunk.
+  bld.li(scratch, chunk);
+  bld.emit(Opcode::kMul, r_lo, r_id, scratch);
+  // hi = min(lo + chunk, total).
+  bld.emit(Opcode::kAdd, r_hi, r_lo, scratch);
+  bld.li(scratch, total);
+  const auto no_clamp = bld.make_label();
+  bld.branch(Opcode::kBge, scratch, r_hi, no_clamp);
+  bld.mv(r_hi, scratch);
+  bld.bind(no_clamp);
+}
+
+isa::Program outline_target(
+    const core::CoreFeatures& features, const std::vector<Transfer>& map_to,
+    const std::vector<Transfer>& map_from,
+    const std::function<void(Builder&, const OutlineRegs&)>& compute) {
+  Builder bld(features);
+  const OutlineRegs regs;
+
+  // Worksharing prologue.
+  bld.csr_coreid(regs.core_id);
+  bld.csr_numcores(regs.num_cores);
+
+  // map(to:): core 0 stages inputs L2 -> TCDM through the cluster DMA.
+  const auto after_in = bld.make_label();
+  bld.branch(Opcode::kBne, regs.core_id, codegen::zero, after_in);
+  for (const Transfer& t : map_to) {
+    bld.li(28, t.src);
+    bld.li(29, t.dst);
+    bld.li(30, t.bytes);
+    bld.dma_start(/*base=*/31, 28, 29, 30);
+  }
+  if (!map_to.empty()) bld.dma_wait(/*base=*/31, /*tmp=*/30);
+  bld.bind(after_in);
+  bld.barrier();
+
+  // Parallel section.
+  compute(bld, regs);
+
+  bld.barrier();
+
+  // map(from:): core 0 stages results back and raises EOC; others halt.
+  const auto not_zero = bld.make_label();
+  bld.branch(Opcode::kBne, regs.core_id, codegen::zero, not_zero);
+  for (const Transfer& t : map_from) {
+    bld.li(28, t.src);
+    bld.li(29, t.dst);
+    bld.li(30, t.bytes);
+    bld.dma_start(/*base=*/31, 28, 29, 30);
+  }
+  if (!map_from.empty()) bld.dma_wait(/*base=*/31, /*tmp=*/30);
+  bld.eoc();
+  bld.bind(not_zero);
+  bld.halt();
+  return bld.finalize();
+}
+
+isa::Program outline_flat(
+    const core::CoreFeatures& features,
+    const std::function<void(Builder&, const OutlineRegs&)>& compute) {
+  Builder bld(features);
+  const OutlineRegs regs;
+  // Single core: id = 0, num_cores = 1, no staging, no synchronization.
+  bld.li(regs.core_id, 0);
+  bld.li(regs.num_cores, 1);
+  compute(bld, regs);
+  bld.halt();
+  return bld.finalize();
+}
+
+}  // namespace ulp::runtime

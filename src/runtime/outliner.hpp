@@ -1,0 +1,71 @@
+// The accelerator-side half of the streamlined OpenMP runtime.
+//
+// The paper exposes offload through "#pragma omp target" + "map" clauses and
+// parallelism through OpenMP worksharing, backed by "a lightweight runtime
+// with reduced execution overhead and memory footprint" (Section I). In this
+// reproduction that runtime is realised by *code generation*: outline_target
+// wraps a kernel's compute emitter into the SPMD program every core of the
+// cluster executes:
+//
+//   prologue:  r1 = core id, r2 = num cores          (worksharing setup)
+//   core 0:    DMA  L2 input staging -> TCDM          (map(to:...))
+//   barrier                                           (HW synchronizer)
+//   compute    chunked by core id                     (omp parallel for)
+//   barrier
+//   core 0:    DMA  TCDM -> L2 output staging, EOC    (map(from:...))
+//   others:    halt
+//
+// The per-core chunk computation emitted by emit_static_bounds *is* the
+// measurable runtime overhead (the paper reports ~6% on average), together
+// with the two barriers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "codegen/builder.hpp"
+#include "common/memmap.hpp"
+
+namespace ulp::runtime {
+
+/// Registers the outliner reserves; kernel compute emitters may read them
+/// and must not clobber them.
+struct OutlineRegs {
+  u8 core_id = 1;    ///< r1: this core's id.
+  u8 num_cores = 2;  ///< r2: cluster core count.
+};
+
+/// One map(to:) / map(from:) clause materialised as a DMA staging transfer,
+/// always expressed source -> destination (map(to:) flows L2 -> TCDM,
+/// map(from:) flows TCDM -> L2).
+struct Transfer {
+  Addr src = 0;
+  Addr dst = 0;
+  u32 bytes = 0;
+};
+
+/// Emits "lo/hi" bounds of a static OpenMP schedule over [0, total) split
+/// across `num_cores` cores: chunk = ceil(total/num_cores),
+/// lo = id*chunk, hi = min(lo+chunk, total). Clobbers `scratch`.
+/// `total` and `num_cores` are build-time constants (kernel sizes are static),
+/// the core id is runtime state — exactly like an outlined static schedule.
+void emit_static_bounds(codegen::Builder& bld, u8 r_lo, u8 r_hi, u8 r_id,
+                        u32 total, u32 num_cores, u8 scratch);
+
+/// Wraps `compute` into the full SPMD target-region program described above.
+/// `compute` is invoked once to emit the parallel section; it runs on every
+/// core with OutlineRegs live.
+[[nodiscard]] isa::Program outline_target(
+    const core::CoreFeatures& features,
+    const std::vector<Transfer>& map_to,
+    const std::vector<Transfer>& map_from,
+    const std::function<void(codegen::Builder&, const OutlineRegs&)>& compute);
+
+/// Single-core flat-memory variant used for the MCU-side baselines and the
+/// "architectural speedup" study: no DMA staging, no barriers — data already
+/// sits at its TCDM/flat addresses, the kernel body runs as-is and halts.
+[[nodiscard]] isa::Program outline_flat(
+    const core::CoreFeatures& features,
+    const std::function<void(codegen::Builder&, const OutlineRegs&)>& compute);
+
+}  // namespace ulp::runtime

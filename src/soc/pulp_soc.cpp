@@ -1,0 +1,50 @@
+#include "soc/pulp_soc.hpp"
+
+#include "common/status.hpp"
+
+namespace ulp::soc {
+
+PulpSoc::PulpSoc(cluster::ClusterParams params)
+    : cluster_(std::move(params)) {}
+
+void PulpSoc::qspi_write(Addr addr, std::span<const u8> bytes) {
+  mem::Sram& l2 = cluster_.l2();
+  ULP_CHECK(l2.contains(addr, static_cast<int>(std::min<size_t>(
+                                  bytes.size(), 1))) ||
+                bytes.empty(),
+            "QSPI write outside L2");
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    l2.store(addr + static_cast<Addr>(i), 1, bytes[i]);
+  }
+}
+
+void PulpSoc::qspi_read(Addr addr, std::span<u8> bytes) {
+  mem::Sram& l2 = cluster_.l2();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<u8>(l2.load(addr + static_cast<Addr>(i), 1, false));
+  }
+}
+
+void PulpSoc::boot_image(const std::vector<u8>& image) {
+  const isa::Program program = isa::deserialize(image);
+  cluster_.load_program(program);
+}
+
+void PulpSoc::boot_from_l2(Addr staging, u32 image_len) {
+  std::vector<u8> image(image_len);
+  qspi_read(staging, image);
+  boot_image(image);
+}
+
+u64 PulpSoc::run_to_eoc(u64 max_cycles) {
+  const u64 cycles = cluster_.run(max_cycles);
+  ULP_CHECK(cluster_.events().eoc(),
+            "cluster halted without raising the EOC GPIO");
+  return cycles;
+}
+
+bool PulpSoc::eoc_gpio() const {
+  return cluster_.events().eoc();
+}
+
+}  // namespace ulp::soc

@@ -1,0 +1,53 @@
+// The PULP SoC as seen from the host MCU: a QSPI slave in front of the L2
+// memory, a boot path that accepts serialised program images, the
+// fetch-enable / end-of-computation GPIO pair, and the cluster behind them.
+//
+// Byte movement through the QSPI slave is functional here; the *timing* of
+// link transfers is computed by link::SpiLink, and the split keeps the
+// cycle-accurate cluster simulation independent of wall-clock link math
+// (they meet in runtime::OffloadSession).
+#pragma once
+
+#include <span>
+
+#include "cluster/cluster.hpp"
+#include "isa/program.hpp"
+
+namespace ulp::soc {
+
+class PulpSoc {
+ public:
+  explicit PulpSoc(cluster::ClusterParams params = {});
+
+  PulpSoc(const PulpSoc&) = delete;
+  PulpSoc& operator=(const PulpSoc&) = delete;
+
+  /// Host deposits bytes into L2 through the QSPI slave.
+  void qspi_write(Addr addr, std::span<const u8> bytes);
+  /// Host reads results back from L2.
+  void qspi_read(Addr addr, std::span<u8> bytes);
+
+  /// Boot a serialised program image (as shipped over the link): the boot
+  /// ROM deserialises it, loads code + data segments and resets the
+  /// cluster. Throws on malformed images.
+  void boot_image(const std::vector<u8>& image);
+
+  /// Boot from an image the host already streamed into L2 (the full-system
+  /// flow: QSPI slave deposits bytes at `staging`, the fetch-enable GPIO
+  /// then triggers this boot path).
+  void boot_from_l2(Addr staging, u32 image_len);
+
+  /// Fetch-enable GPIO: run the cluster until EOC (all cores halted).
+  /// Returns cluster cycles elapsed.
+  u64 run_to_eoc(u64 max_cycles = 4'000'000'000ull);
+
+  /// End-of-computation GPIO level.
+  [[nodiscard]] bool eoc_gpio() const;
+
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+
+ private:
+  cluster::Cluster cluster_;
+};
+
+}  // namespace ulp::soc

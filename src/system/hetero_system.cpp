@@ -1,0 +1,91 @@
+#include "system/hetero_system.hpp"
+
+#include "common/status.hpp"
+
+namespace ulp::system {
+
+HeteroSystem::HeteroSystem(HeteroSystemParams params)
+    : params_(std::move(params)) {
+  ULP_CHECK(params_.mcu_freq_hz > 0 && params_.pulp_freq_hz > 0,
+            "clock frequencies must be positive");
+  soc_ = std::make_unique<soc::PulpSoc>(params_.cluster_params);
+  host_sram_ = std::make_unique<mem::Sram>(kHostSramBase,
+                                           params_.host_sram_bytes);
+  host_bus_ = std::make_unique<mem::SimpleBus>(host_sram_.get(), 1);
+
+  soc::PulpSoc* soc = soc_.get();
+  wire_ = std::make_unique<link::SpiWire>(
+      params_.spi_lanes,
+      [soc](Addr a, u8 b) { soc->qspi_write(a, std::span<const u8>(&b, 1)); },
+      [soc](Addr a) {
+        u8 b = 0;
+        soc->qspi_read(a, std::span<u8>(&b, 1));
+        return b;
+      });
+  spi_master_ = std::make_unique<host::SpiMasterPeripheral>(wire_.get(),
+                                                            host_sram_.get());
+  gpio_ = std::make_unique<host::GpioPeripheral>(
+      [soc]() { return soc->eoc_gpio(); },
+      [this](u32 image_len) {
+        soc_->boot_from_l2(params_.l2_staging, image_len);
+        accel_started_ = true;
+      });
+  host_bus_->add_peripheral(kSpiMasterBase, 0x100, spi_master_.get());
+  host_bus_->add_peripheral(kGpioBase, 0x100, gpio_.get());
+
+  // WFE on the host core sleeps until the EOC GPIO rises (WFI + EXTI).
+  wake_unit_ = std::make_unique<host::HostWakeUnit>(
+      [soc]() { return soc->eoc_gpio(); });
+  host_core_ = std::make_unique<core::Core>(0, 1, core::cortex_m4_config(),
+                                            host_bus_.get(),
+                                            /*icache=*/nullptr,
+                                            wake_unit_.get());
+}
+
+void HeteroSystem::load_host_program(const isa::Program& program) {
+  host_program_ = program;
+  for (const isa::Segment& seg : host_program_.data) {
+    for (size_t i = 0; i < seg.bytes.size(); ++i) {
+      host_sram_->store(seg.addr + static_cast<Addr>(i), 1, seg.bytes[i]);
+    }
+  }
+  host_core_->reset(&host_program_);
+  accel_started_ = false;
+  clock_accum_ = 0.0;
+  host_cycles_ = 0;
+}
+
+void HeteroSystem::step() {
+  host_core_->step();
+  wire_->step();
+  ++host_cycles_;
+  // The cluster runs in its own clock domain.
+  clock_accum_ += params_.pulp_freq_hz / params_.mcu_freq_hz;
+  while (clock_accum_ >= 1.0) {
+    clock_accum_ -= 1.0;
+    if (accel_started_ && !soc_->cluster().all_halted()) {
+      soc_->cluster().step();
+    }
+  }
+}
+
+u64 HeteroSystem::run_to_host_halt(u64 max_host_cycles) {
+  while (!host_core_->halted()) {
+    ULP_CHECK(host_cycles_ < max_host_cycles,
+              "full-system run exceeded host cycle budget");
+    step();
+  }
+  return host_cycles_;
+}
+
+HeteroStats HeteroSystem::stats() const {
+  HeteroStats s;
+  s.host_cycles = host_cycles_;
+  s.cluster_cycles = soc_->cluster().cycles();
+  s.wire_bytes = wire_->bytes_moved();
+  s.wire_busy_host_cycles = wire_->busy_cycles();
+  s.accel_started = accel_started_;
+  return s;
+}
+
+}  // namespace ulp::system

@@ -1,0 +1,92 @@
+// Full-system co-simulation: the heterogeneous node of Figure 1 with BOTH
+// processors executing simulated code.
+//
+// The analytic runtime (runtime::OffloadSession) composes offload timing
+// from a single cluster simulation plus link arithmetic; this module is the
+// ground truth it approximates. A simulated Cortex-M4 host runs a
+// *bare-metal driver program* that performs the offload entirely through
+// its memory-mapped peripherals:
+//
+//   host core --(SimpleBus)--> SPI master ctrl --(SpiWire, byte-timed)-->
+//       QSPI slave -> PULP L2;  GPIO: fetch-enable out, EOC in
+//
+// while the PULP cluster executes its kernel cycle-by-cycle in its own
+// clock domain (the two clocks are co-simulated at their real frequency
+// ratio). This is the "bare-metal runtime port" of the original prototype.
+#pragma once
+
+#include <memory>
+
+#include "core/core.hpp"
+#include "host/mcu.hpp"
+#include "host/peripherals.hpp"
+#include "link/spi_wire.hpp"
+#include "mem/bus.hpp"
+#include "soc/pulp_soc.hpp"
+
+namespace ulp::system {
+
+/// Host memory map.
+inline constexpr Addr kHostSramBase = 0x00000000;
+inline constexpr Addr kSpiMasterBase = 0x40000000;
+inline constexpr Addr kGpioBase = 0x40001000;
+
+struct HeteroSystemParams {
+  double mcu_freq_hz = mhz(16);
+  double pulp_freq_hz = mhz(16);
+  u32 spi_lanes = 4;
+  u32 host_sram_bytes = 512 * 1024;
+  cluster::ClusterParams cluster_params = {};
+  /// Where the host driver stages the boot image in L2.
+  Addr l2_staging = memmap::kL2Base;
+};
+
+struct HeteroStats {
+  u64 host_cycles = 0;
+  u64 cluster_cycles = 0;
+  u64 wire_bytes = 0;
+  u64 wire_busy_host_cycles = 0;
+  bool accel_started = false;
+};
+
+class HeteroSystem {
+ public:
+  explicit HeteroSystem(HeteroSystemParams params = {});
+
+  HeteroSystem(const HeteroSystem&) = delete;
+  HeteroSystem& operator=(const HeteroSystem&) = delete;
+
+  /// Load the bare-metal driver into the host core and its data (boot
+  /// image bytes, input payload) into host SRAM.
+  void load_host_program(const isa::Program& program);
+
+  /// Advance one host clock cycle (the cluster advances by the frequency
+  /// ratio; the wire moves bytes; GPIO edges boot the accelerator).
+  void step();
+
+  /// Run until the host core halts. Returns host cycles elapsed.
+  u64 run_to_host_halt(u64 max_host_cycles = 1'000'000'000ull);
+
+  [[nodiscard]] core::Core& host_core() { return *host_core_; }
+  [[nodiscard]] mem::Sram& host_sram() { return *host_sram_; }
+  [[nodiscard]] soc::PulpSoc& soc() { return *soc_; }
+  [[nodiscard]] HeteroStats stats() const;
+
+ private:
+  HeteroSystemParams params_;
+  std::unique_ptr<soc::PulpSoc> soc_;
+  std::unique_ptr<mem::Sram> host_sram_;
+  std::unique_ptr<mem::SimpleBus> host_bus_;
+  std::unique_ptr<link::SpiWire> wire_;
+  std::unique_ptr<host::SpiMasterPeripheral> spi_master_;
+  std::unique_ptr<host::GpioPeripheral> gpio_;
+  std::unique_ptr<host::HostWakeUnit> wake_unit_;
+  std::unique_ptr<core::Core> host_core_;
+
+  isa::Program host_program_;
+  bool accel_started_ = false;
+  double clock_accum_ = 0.0;
+  u64 host_cycles_ = 0;
+};
+
+}  // namespace ulp::system

@@ -1,0 +1,109 @@
+#include "system/host_driver.hpp"
+
+#include "system/hetero_system.hpp"
+
+namespace ulp::system {
+
+using codegen::Builder;
+using isa::Opcode;
+
+namespace {
+
+/// Emits one SPI-master transfer + busy poll. r1 = SPI base (live).
+/// Clobbers r3, r4.
+void emit_transfer(Builder& bld, bool tx, Addr local, Addr remote, u32 len) {
+  bld.li(3, remote);
+  bld.emit(Opcode::kSw, 3, 1, 0, 0x00);
+  bld.li(3, local);
+  bld.emit(Opcode::kSw, 3, 1, 0, 0x04);
+  bld.li(3, len);
+  bld.emit(Opcode::kSw, 3, 1, 0, 0x08);
+  bld.li(3, tx ? 1 : 2);
+  bld.emit(Opcode::kSw, 3, 1, 0, 0x0C);
+  const auto poll = bld.make_label();
+  bld.bind(poll);
+  bld.emit(Opcode::kLw, 4, 1, 0, 0x10);
+  bld.branch(Opcode::kBne, 4, codegen::zero, poll);
+}
+
+}  // namespace
+
+isa::Program build_host_driver(const core::CoreFeatures& features,
+                               const HostDriverSpec& spec) {
+  Builder bld(features);
+  bld.li(1, kSpiMasterBase);
+  bld.li(2, kGpioBase);
+
+  // 1-2. Ship the kernel image and the input payload.
+  emit_transfer(bld, /*tx=*/true, spec.host_image_addr, spec.l2_staging,
+                spec.image_len);
+  if (spec.input_len > 0) {
+    emit_transfer(bld, true, spec.host_input_addr, spec.remote_input_addr,
+                  spec.input_len);
+  }
+
+  // 3. Image length, then the fetch-enable rising edge.
+  bld.li(3, spec.image_len);
+  bld.emit(Opcode::kSw, 3, 2, 0, 0x08);
+  bld.li(3, 1);
+  bld.emit(Opcode::kSw, 3, 2, 0, 0x00);
+
+  // 4. Wait for EOC. Without a host task this is a plain poll (the real
+  // driver would sleep on an EXTI interrupt — same wall-clock behaviour).
+  // With one, the host interleaves its own computation with GPIO checks:
+  // the Discussion section's concurrent heterogeneous-task model.
+  const auto wait_eoc = bld.make_label();
+  const auto eoc_seen = bld.make_label();
+  bld.bind(wait_eoc);
+  bld.emit(Opcode::kLw, 4, 2, 0, 0x04);
+  bld.branch(Opcode::kBne, 4, codegen::zero, eoc_seen);
+  if (spec.host_task) {
+    spec.host_task(bld);
+    if (spec.host_task_counter_addr != 0) {
+      bld.li(3, spec.host_task_counter_addr);
+      bld.emit(Opcode::kLw, 4, 3, 0, 0);
+      bld.emit(Opcode::kAddi, 4, 4, 0, 1);
+      bld.emit(Opcode::kSw, 4, 3, 0, 0);
+    }
+  } else if (spec.sleep_while_waiting) {
+    bld.emit(Opcode::kWfe);  // clock-gated until the EOC line rises
+  }
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, wait_eoc);
+  bld.bind(eoc_seen);
+
+  // 5. Pull the results back and finish.
+  if (spec.output_len > 0) {
+    emit_transfer(bld, /*tx=*/false, spec.host_output_addr,
+                  spec.remote_output_addr, spec.output_len);
+  }
+  bld.halt();
+  return bld.finalize();
+}
+
+FullSystemPackage package_offload(const kernels::KernelCase& kc,
+                                  Addr l2_staging) {
+  const std::vector<u8> image = isa::serialize(kc.program);
+
+  FullSystemPackage pkg;
+  pkg.spec.l2_staging = l2_staging;
+  // Host SRAM layout: image at 64 KiB, input after it, output buffer after
+  // that (all word-aligned).
+  pkg.spec.host_image_addr = 0x10000;
+  pkg.spec.image_len = static_cast<u32>(image.size());
+  pkg.spec.host_input_addr =
+      (pkg.spec.host_image_addr + pkg.spec.image_len + 3) & ~3u;
+  pkg.spec.input_len = static_cast<u32>(kc.input.size());
+  pkg.spec.remote_input_addr = kc.input_addr;
+  pkg.spec.host_output_addr =
+      (pkg.spec.host_input_addr + pkg.spec.input_len + 3) & ~3u;
+  pkg.spec.output_len = static_cast<u32>(kc.output_bytes);
+  pkg.spec.remote_output_addr = kc.output_addr;
+
+  pkg.host_program =
+      build_host_driver(core::cortex_m4_config().features, pkg.spec);
+  pkg.host_program.data.push_back({pkg.spec.host_image_addr, image});
+  pkg.host_program.data.push_back({pkg.spec.host_input_addr, kc.input});
+  return pkg;
+}
+
+}  // namespace ulp::system

@@ -1,0 +1,69 @@
+// Bare-metal host offload driver generator.
+//
+// Produces the Cortex-M program the host core of a HeteroSystem executes to
+// perform one complete offload — the simulated counterpart of the low-level
+// primitives Section III-A describes ("primitives to initialize the SPI and
+// DMA peripherals of the MCU and invoke inbound or outbound DMA transfers
+// through the SPI channel", plus the GPIO event handshake):
+//
+//   1. TX the serialised kernel image from host flash/SRAM to L2 staging,
+//   2. TX the input payload to the L2 input buffer,
+//   3. write the image length and raise the fetch-enable GPIO,
+//   4. poll the EOC GPIO while the cluster runs,
+//   5. RX the results from L2 back into host SRAM, halt.
+//
+// The generated program, the kernel image and the input payload are all the
+// HeteroSystem needs to run the offload end-to-end in simulation.
+#pragma once
+
+#include "codegen/builder.hpp"
+#include "isa/program.hpp"
+#include "kernels/kernel.hpp"
+
+namespace ulp::system {
+
+struct HostDriverSpec {
+  Addr host_image_addr = 0;  ///< Image bytes in host SRAM ("flash").
+  u32 image_len = 0;
+  Addr l2_staging = 0;       ///< Remote boot staging area.
+
+  Addr host_input_addr = 0;
+  u32 input_len = 0;
+  Addr remote_input_addr = 0;
+
+  Addr host_output_addr = 0;
+  u32 output_len = 0;
+  Addr remote_output_addr = 0;
+
+  /// Optional concurrent host task (the Discussion section's heterogeneous
+  /// task model: "an additional, separate task to be performed on the host
+  /// at the same time"). While waiting for EOC the driver executes this
+  /// emitter's code between GPIO checks instead of spinning; the emitted
+  /// block runs once per wait-loop round. May clobber r5..r15.
+  std::function<void(codegen::Builder&)> host_task;
+  /// Host SRAM word incremented after each completed host-task round
+  /// (0 = disabled); lets callers observe how much host work fit into the
+  /// accelerator's compute time.
+  Addr host_task_counter_addr = 0;
+
+  /// Without a host task: sleep (WFE, clock-gated — the MCU's WFI+EXTI on
+  /// the EOC line) instead of busy-polling. The host's sleep_cycles
+  /// counter then reflects the real low-power wait.
+  bool sleep_while_waiting = true;
+};
+
+/// The driver program for a Cortex-M-class host.
+[[nodiscard]] isa::Program build_host_driver(
+    const core::CoreFeatures& features, const HostDriverSpec& spec);
+
+/// Convenience: a complete full-system package for a cluster KernelCase —
+/// the host driver program with the kernel image + input payload attached
+/// as host data segments, plus the spec used (for result readout).
+struct FullSystemPackage {
+  isa::Program host_program;
+  HostDriverSpec spec;
+};
+[[nodiscard]] FullSystemPackage package_offload(
+    const kernels::KernelCase& kc, Addr l2_staging = memmap::kL2Base);
+
+}  // namespace ulp::system

@@ -1,0 +1,56 @@
+#include "trace/cluster_tracer.hpp"
+
+namespace ulp::trace {
+
+namespace {
+u64 core_state(const core::Core& c) {
+  if (c.halted()) return 0;
+  if (c.sleeping()) return 2;
+  return 1;
+}
+}  // namespace
+
+ClusterTracer::ClusterTracer(cluster::Cluster& cl, std::ostream& out)
+    : cl_(&cl), vcd_(out) {
+  const u32 n = cl.params().num_cores;
+  for (u32 i = 0; i < n; ++i) {
+    const std::string scope = "cluster.core" + std::to_string(i);
+    core_state_.push_back(vcd_.add_signal(scope, "state", 2));
+    core_pc_.push_back(vcd_.add_signal(scope, "pc", 32));
+  }
+  tcdm_busy_ = vcd_.add_signal("cluster.tcdm", "bank_busy",
+                               std::min(cl.params().tcdm_banks, 32u));
+  dma_outstanding_ = vcd_.add_signal("cluster.dma", "outstanding", 4);
+  eoc_ = vcd_.add_signal("cluster", "eoc", 1);
+  barriers_ = vcd_.add_signal("cluster", "barriers", 16);
+  vcd_.begin_dump();
+}
+
+void ClusterTracer::sample() {
+  const u32 n = cl_->params().num_cores;
+  for (u32 i = 0; i < n; ++i) {
+    core::Core& c = cl_->core(i);
+    vcd_.set(core_state_[i], core_state(c));
+    vcd_.set(core_pc_[i], c.pc());
+  }
+  vcd_.set(tcdm_busy_, cl_->tcdm().busy_mask());
+  vcd_.set(dma_outstanding_, cl_->dma().outstanding());
+  vcd_.set(eoc_, cl_->events().eoc() ? 1 : 0);
+  vcd_.set(barriers_, cl_->events().barriers_completed());
+  vcd_.tick(cl_->cycles());
+}
+
+u64 ClusterTracer::run_traced(u64 max_cycles) {
+  while (!cl_->all_halted()) {
+    ULP_CHECK(cl_->cycles() < max_cycles, "traced run exceeded cycle budget");
+    cl_->step();
+    sample();
+  }
+  while (!cl_->dma().idle()) {
+    cl_->step();
+    sample();
+  }
+  return cl_->cycles();
+}
+
+}  // namespace ulp::trace

@@ -1,0 +1,39 @@
+// Waveform tracing of a cluster run.
+//
+// Samples the observable cluster state once per cycle into a VCD stream:
+// per core its execution state (0 = halted, 1 = running, 2 = clock-gated
+// sleep) and program counter, the TCDM banks claimed this cycle, the DMA
+// queue occupancy and the EOC GPIO. Load the output in GTKWave to see
+// barriers, bank conflicts and DMA phases the way the paper's FPGA
+// platform exposed them.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "trace/vcd.hpp"
+
+namespace ulp::trace {
+
+class ClusterTracer {
+ public:
+  /// Declares the signal hierarchy for `cl` and emits the VCD header.
+  ClusterTracer(cluster::Cluster& cl, std::ostream& out);
+
+  /// Sample after a cluster step; emits changes at the cluster's cycle.
+  void sample();
+
+  /// Drives the cluster to completion (like Cluster::run) with per-cycle
+  /// sampling. Returns elapsed cycles.
+  u64 run_traced(u64 max_cycles = 100'000'000ull);
+
+ private:
+  cluster::Cluster* cl_;
+  VcdWriter vcd_;
+  std::vector<VcdWriter::SignalId> core_state_;
+  std::vector<VcdWriter::SignalId> core_pc_;
+  VcdWriter::SignalId tcdm_busy_;
+  VcdWriter::SignalId dma_outstanding_;
+  VcdWriter::SignalId eoc_;
+  VcdWriter::SignalId barriers_;
+};
+
+}  // namespace ulp::trace

@@ -1,0 +1,57 @@
+#include "trace/report.hpp"
+
+#include <cstring>
+
+namespace ulp::trace {
+
+std::string format_stats(const cluster::ClusterStats& stats) {
+  std::ostringstream os;
+  os << "cluster: " << stats.cycles << " cycles, "
+     << stats.total_instrs() << " instructions retired\n";
+  for (size_t i = 0; i < stats.cores.size(); ++i) {
+    const auto& c = stats.cores[i];
+    os << "  core" << i << ": " << c.instrs << " instrs, active "
+       << c.active_cycles << " (" << static_cast<int>(c.activity() * 100)
+       << "%), sleep " << c.sleep_cycles << ", mem-stall " << c.stall_mem
+       << ", I$-stall " << c.stall_icache << "\n";
+  }
+  os << "  tcdm: " << stats.tcdm_conflicts << " bank conflicts\n";
+  os << "  dma:  " << stats.dma.bytes_moved << " bytes in "
+     << stats.dma.busy_cycles << " busy cycles ("
+     << stats.dma.transfers_completed << " transfers, "
+     << stats.dma.stall_cycles << " stalled)\n";
+  os << "  i$:   " << stats.icache_misses << " cold misses\n";
+  return os.str();
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), columns_(columns.size()) {
+  ULP_CHECK(out_.good(), "cannot open CSV file: " + path);
+  ULP_CHECK(!columns.empty(), "CSV needs at least one column");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  ULP_CHECK(values.size() == columns_, "CSV row arity mismatch");
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  out_.flush();
+  ++rows_;
+}
+
+std::string csv_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+}  // namespace ulp::trace

@@ -1,0 +1,42 @@
+// Reporting helpers: human-readable cluster statistics and CSV export.
+//
+// Benches print the paper's rows to stdout; for plotting, every bench also
+// accepts `--csv <file>` and dumps its series through CsvWriter. The
+// formats here are deliberately dumb (RFC-4180-minus-quotes) — the data
+// is numeric and the column names are identifiers.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/status.hpp"
+
+namespace ulp::trace {
+
+/// Multi-line human-readable digest of a cluster run.
+[[nodiscard]] std::string format_stats(const cluster::ClusterStats& stats);
+
+class CsvWriter {
+ public:
+  /// Opens `path` and writes the header row. Throws on I/O failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Appends one row; must match the header's arity.
+  void row(const std::vector<double>& values);
+
+  [[nodiscard]] size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  size_t columns_;
+  size_t rows_ = 0;
+};
+
+/// Parses a `--csv <path>` pair out of (argc, argv); returns the path or
+/// an empty string. Keeps bench main()s trivial.
+[[nodiscard]] std::string csv_path_from_args(int argc, char** argv);
+
+}  // namespace ulp::trace

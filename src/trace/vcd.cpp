@@ -1,0 +1,115 @@
+#include "trace/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ulp::trace {
+
+std::string VcdWriter::make_id(u32 index) {
+  // Printable identifier alphabet per the VCD spec: '!' (33) .. '~' (126).
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+VcdWriter::SignalId VcdWriter::add_signal(const std::string& scope,
+                                          const std::string& name,
+                                          u32 width) {
+  ULP_CHECK(!dumping_, "add_signal after begin_dump");
+  ULP_CHECK(width >= 1 && width <= 64, "VCD signal width out of range");
+  Signal s;
+  s.scope = scope;
+  s.name = name;
+  s.width = width;
+  s.id = make_id(static_cast<u32>(signals_.size()));
+  signals_.push_back(std::move(s));
+  return static_cast<SignalId>(signals_.size() - 1);
+}
+
+void VcdWriter::begin_dump() {
+  ULP_CHECK(!dumping_, "begin_dump called twice");
+  std::ostream& out = *out_;
+  out << "$date ulp-hetsim $end\n";
+  out << "$version ulp-hetsim cluster tracer $end\n";
+  out << "$timescale 1ns $end\n";
+
+  // Group signals by scope; emit nested $scope blocks for dotted paths.
+  std::map<std::string, std::vector<const Signal*>> by_scope;
+  for (const Signal& s : signals_) by_scope[s.scope].push_back(&s);
+  for (const auto& [scope, sigs] : by_scope) {
+    // Open nested scopes.
+    size_t start = 0;
+    int depth = 0;
+    while (start <= scope.size()) {
+      const size_t dot = scope.find('.', start);
+      const std::string part =
+          scope.substr(start, dot == std::string::npos ? std::string::npos
+                                                       : dot - start);
+      if (!part.empty()) {
+        out << "$scope module " << part << " $end\n";
+        ++depth;
+      }
+      if (dot == std::string::npos) break;
+      start = dot + 1;
+    }
+    for (const Signal* s : sigs) {
+      out << "$var wire " << s->width << ' ' << s->id << ' ' << s->name
+          << " $end\n";
+    }
+    for (int i = 0; i < depth; ++i) out << "$upscope $end\n";
+  }
+  out << "$enddefinitions $end\n";
+  dumping_ = true;
+}
+
+void VcdWriter::set(SignalId id, u64 value) {
+  ULP_CHECK(id < signals_.size(), "unknown VCD signal");
+  Signal& s = signals_[id];
+  if (s.width < 64) {
+    value &= (u64{1} << s.width) - 1;
+  }
+  s.pending = value;
+  s.dirty = s.pending != s.current || !s.initialised;
+}
+
+void VcdWriter::emit_value(const Signal& s, u64 value) {
+  std::ostream& out = *out_;
+  if (s.width == 1) {
+    out << (value ? '1' : '0') << s.id << '\n';
+    return;
+  }
+  out << 'b';
+  bool started = false;
+  for (int bit = static_cast<int>(s.width) - 1; bit >= 0; --bit) {
+    const bool v = (value >> bit) & 1;
+    if (v) started = true;
+    if (started || bit == 0) out << (v ? '1' : '0');
+  }
+  out << ' ' << s.id << '\n';
+}
+
+void VcdWriter::tick(u64 time) {
+  ULP_CHECK(dumping_, "tick before begin_dump");
+  ULP_CHECK(!time_emitted_ || time > last_time_,
+            "VCD time must be strictly increasing");
+  bool any = false;
+  for (const Signal& s : signals_) {
+    if (s.dirty) any = true;
+  }
+  if (!any) return;
+  *out_ << '#' << time << '\n';
+  time_emitted_ = true;
+  last_time_ = time;
+  for (Signal& s : signals_) {
+    if (!s.dirty) continue;
+    emit_value(s, s.pending);
+    s.current = s.pending;
+    s.dirty = false;
+    s.initialised = true;
+  }
+}
+
+}  // namespace ulp::trace

@@ -1,0 +1,70 @@
+// Value Change Dump (IEEE 1364) writer.
+//
+// The FPGA prototype of the paper is observable with a logic analyser /
+// waveform viewer; this gives the simulator the same property: cluster
+// activity (core states, program counters, TCDM bank usage, DMA occupancy,
+// barrier/EOC lines) dumps to a .vcd file loadable in GTKWave & friends.
+//
+// Usage:
+//   VcdWriter vcd(stream);
+//   auto sig = vcd.add_signal("cluster.core0", "pc", 32);
+//   vcd.begin_dump();
+//   vcd.set(sig, value);   // any number of signals
+//   vcd.tick(cycle);       // emits the changes at #cycle
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp::trace {
+
+class VcdWriter {
+ public:
+  using SignalId = u32;
+
+  explicit VcdWriter(std::ostream& out) : out_(&out) {}
+
+  /// Declare a signal inside `scope` (dot-separated path). Must be called
+  /// before begin_dump(). Width in bits (1..64).
+  SignalId add_signal(const std::string& scope, const std::string& name,
+                      u32 width);
+
+  /// Emit the VCD header (timescale = one cluster cycle = 1 ns nominal).
+  void begin_dump();
+
+  /// Stage a new value for a signal (latched on the next tick()).
+  void set(SignalId id, u64 value);
+
+  /// Advance to `time` and emit all staged changes.
+  void tick(u64 time);
+
+  [[nodiscard]] bool dumping() const { return dumping_; }
+  [[nodiscard]] size_t num_signals() const { return signals_.size(); }
+
+ private:
+  struct Signal {
+    std::string scope;
+    std::string name;
+    std::string id;  ///< VCD short identifier.
+    u32 width = 1;
+    u64 current = 0;
+    u64 pending = 0;
+    bool dirty = false;
+    bool initialised = false;
+  };
+
+  [[nodiscard]] static std::string make_id(u32 index);
+  void emit_value(const Signal& s, u64 value);
+
+  std::ostream* out_;
+  std::vector<Signal> signals_;
+  bool dumping_ = false;
+  bool time_emitted_ = false;
+  u64 last_time_ = 0;
+};
+
+}  // namespace ulp::trace

@@ -1,0 +1,82 @@
+#include "cluster/event_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulp::cluster {
+namespace {
+
+using core::WakeKind;
+
+TEST(EventUnit, BarrierCompletesOnLastArrival) {
+  EventUnit eu(4);
+  EXPECT_FALSE(eu.barrier_arrive(0));
+  EXPECT_FALSE(eu.barrier_arrive(2));
+  EXPECT_FALSE(eu.barrier_arrive(1));
+  EXPECT_TRUE(eu.barrier_arrive(3));  // last arriver proceeds directly
+  // The three sleepers have a release pending; the last one does not.
+  EXPECT_TRUE(eu.check_wake(0, WakeKind::kBarrier));
+  EXPECT_TRUE(eu.check_wake(1, WakeKind::kBarrier));
+  EXPECT_TRUE(eu.check_wake(2, WakeKind::kBarrier));
+  EXPECT_FALSE(eu.check_wake(3, WakeKind::kBarrier));
+}
+
+TEST(EventUnit, CheckWakeConsumes) {
+  EventUnit eu(2);
+  EXPECT_FALSE(eu.barrier_arrive(0));
+  EXPECT_TRUE(eu.barrier_arrive(1));
+  EXPECT_TRUE(eu.check_wake(0, WakeKind::kBarrier));
+  EXPECT_FALSE(eu.check_wake(0, WakeKind::kBarrier));  // consumed
+}
+
+TEST(EventUnit, BarrierReusableAcrossRounds) {
+  EventUnit eu(2);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_FALSE(eu.barrier_arrive(0)) << round;
+    EXPECT_TRUE(eu.barrier_arrive(1)) << round;
+    EXPECT_TRUE(eu.check_wake(0, WakeKind::kBarrier)) << round;
+  }
+  EXPECT_EQ(eu.barriers_completed(), 5u);
+}
+
+TEST(EventUnit, DoubleArrivalIsAProgrammingError) {
+  EventUnit eu(4);
+  EXPECT_FALSE(eu.barrier_arrive(0));
+  EXPECT_THROW((void)eu.barrier_arrive(0), SimError);
+}
+
+TEST(EventUnit, EventsAreSeparateFromBarrierReleases) {
+  EventUnit eu(4);
+  eu.send_event(0);
+  // An event must never release a barrier sleeper...
+  EXPECT_FALSE(eu.check_wake(1, WakeKind::kBarrier));
+  // ...but does wake a WFE sleeper.
+  EXPECT_TRUE(eu.check_wake(1, WakeKind::kEvent));
+  EXPECT_FALSE(eu.check_wake(1, WakeKind::kEvent));  // consumed
+}
+
+TEST(EventUnit, EventsBroadcastToAllCores) {
+  EventUnit eu(4);
+  eu.send_event(7);
+  for (u32 i = 0; i < 4; ++i) {
+    EXPECT_TRUE(eu.check_wake(i, WakeKind::kEvent)) << i;
+  }
+}
+
+TEST(EventUnit, EocLatchesAndClears) {
+  EventUnit eu(4);
+  EXPECT_FALSE(eu.eoc());
+  eu.signal_eoc(3);
+  EXPECT_TRUE(eu.eoc());
+  EXPECT_EQ(eu.eoc_flag(), 3u);
+  eu.clear_eoc();
+  EXPECT_FALSE(eu.eoc());
+}
+
+TEST(EventUnit, RejectsBadCoreIds) {
+  EventUnit eu(2);
+  EXPECT_THROW((void)eu.barrier_arrive(2), SimError);
+  EXPECT_THROW((void)eu.check_wake(5, WakeKind::kEvent), SimError);
+}
+
+}  // namespace
+}  // namespace ulp::cluster

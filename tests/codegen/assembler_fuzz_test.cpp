@@ -1,0 +1,115 @@
+// Assembler <-> disassembler round-trip fuzzing over the whole ISA: any
+// instruction the disassembler prints must re-assemble to itself.
+#include <gtest/gtest.h>
+
+#include "codegen/assembler.hpp"
+#include "common/rng.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulp::codegen {
+namespace {
+
+using isa::Fmt;
+using isa::Instr;
+using isa::Opcode;
+
+Instr random_instr(Rng& rng, Opcode op) {
+  Instr in;
+  in.op = op;
+  const Fmt fmt = isa::op_info(op).fmt;
+  auto reg = [&] { return static_cast<u8>(rng.uniform(0, 31)); };
+  switch (fmt) {
+    case Fmt::kR:
+      in.rd = reg();
+      in.ra = reg();
+      in.rb = reg();
+      break;
+    case Fmt::kI:
+    case Fmt::kMem:
+      in.rd = reg();
+      in.ra = reg();
+      in.imm = rng.uniform(-(1 << 14), (1 << 14) - 1);
+      break;
+    case Fmt::kB:
+      in.ra = reg();
+      in.rb = reg();
+      in.imm = rng.uniform(-(1 << 14), (1 << 14) - 1);
+      break;
+    case Fmt::kLui:
+      in.rd = reg();
+      in.imm = rng.uniform(0, (1 << 20) - 1);
+      break;
+    case Fmt::kJ:
+      in.rd = reg();
+      in.imm = rng.uniform(-(1 << 19), (1 << 19) - 1);
+      break;
+    case Fmt::kLp:
+      in.rd = static_cast<u8>(rng.uniform(0, 1));
+      in.ra = reg();
+      in.imm = rng.uniform(1, (1 << 14) - 1);
+      break;
+    case Fmt::kSys:
+      if (op == Opcode::kCsrr) {
+        in.rd = reg();
+        in.imm = rng.uniform(0, 2);
+      } else if (op == Opcode::kSev || op == Opcode::kEoc) {
+        in.imm = rng.uniform(0, 100);
+      }
+      break;
+  }
+  return in;
+}
+
+TEST(AssemblerFuzz, DisassemblyReassemblesExactly) {
+  Rng rng(0xA55E);
+  for (size_t opi = 0; opi < isa::kNumOpcodes; ++opi) {
+    const auto op = static_cast<Opcode>(opi);
+    for (int t = 0; t < 50; ++t) {
+      const Instr in = random_instr(rng, op);
+      const std::string text = isa::disassemble(in);
+      const isa::Program p = assemble(text);
+      ASSERT_EQ(p.code.size(), 1u) << text;
+      EXPECT_EQ(p.code[0], in) << text;
+    }
+  }
+}
+
+TEST(AssemblerFuzz, WholeProgramsRoundTrip) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Instr> code;
+    std::string listing;
+    for (int k = 0; k < 50; ++k) {
+      const auto op =
+          static_cast<Opcode>(rng.uniform(0, isa::kNumOpcodes - 1));
+      const Instr in = random_instr(rng, op);
+      code.push_back(in);
+      listing += isa::disassemble(in) + "\n";
+    }
+    const isa::Program p = assemble(listing);
+    ASSERT_EQ(p.code.size(), code.size());
+    for (size_t i = 0; i < code.size(); ++i) {
+      EXPECT_EQ(p.code[i], code[i]) << "line " << i;
+    }
+  }
+}
+
+TEST(AssemblerFuzz, EncodedWordsSurviveTheFullChain) {
+  // instr -> encode -> decode -> disassemble -> assemble -> encode: the two
+  // binary words must match.
+  Rng rng(0xC0DE);
+  for (int t = 0; t < 500; ++t) {
+    const auto op =
+        static_cast<Opcode>(rng.uniform(0, isa::kNumOpcodes - 1));
+    const Instr in = random_instr(rng, op);
+    const u32 w1 = isa::encode(in);
+    const Instr back = isa::decode(w1);
+    const isa::Program p = assemble(isa::disassemble(back));
+    const u32 w2 = isa::encode(p.code.at(0));
+    EXPECT_EQ(w1, w2) << isa::disassemble(in);
+  }
+}
+
+}  // namespace
+}  // namespace ulp::codegen

@@ -1,0 +1,121 @@
+#include "codegen/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hpp"
+#include "testutil.hpp"
+
+namespace ulp {
+namespace {
+
+using codegen::assemble;
+using isa::Opcode;
+using test::SingleCoreRun;
+
+TEST(Assembler, ParsesBasicFormats) {
+  const auto p = assemble(R"(
+      addi r1, r0, 64
+      add  r2, r1, r1
+      lw   r3, 8(r4)
+      sw!  r3, 4(r4)
+      beq  r1, r2, -2
+      lui  r5, 0x12345
+      jal  r6, 2
+      csrr r7, 1
+      barrier
+      halt
+  )");
+  ASSERT_EQ(p.code.size(), 10u);
+  EXPECT_EQ(p.code[0], (isa::Instr{Opcode::kAddi, 1, 0, 0, 64}));
+  EXPECT_EQ(p.code[1], (isa::Instr{Opcode::kAdd, 2, 1, 1, 0}));
+  EXPECT_EQ(p.code[2], (isa::Instr{Opcode::kLw, 3, 4, 0, 8}));
+  EXPECT_EQ(p.code[3], (isa::Instr{Opcode::kSwpi, 3, 4, 0, 4}));
+  EXPECT_EQ(p.code[4], (isa::Instr{Opcode::kBeq, 0, 1, 2, -2}));
+  EXPECT_EQ(p.code[5], (isa::Instr{Opcode::kLui, 5, 0, 0, 0x12345}));
+  EXPECT_EQ(p.code[6], (isa::Instr{Opcode::kJal, 6, 0, 0, 2}));
+  EXPECT_EQ(p.code[7], (isa::Instr{Opcode::kCsrr, 7, 0, 0, 1}));
+  EXPECT_EQ(p.code[8].op, Opcode::kBarrier);
+  EXPECT_EQ(p.code[9].op, Opcode::kHalt);
+}
+
+TEST(Assembler, ResolvesLabels) {
+  const auto p = assemble(R"(
+      addi r1, r0, 5
+    top:
+      addi r1, r1, -1
+      bne  r1, r0, top
+      halt
+  )");
+  SingleCoreRun run;
+  run.run(p);
+  EXPECT_EQ(run.core.reg(1), 0u);
+}
+
+TEST(Assembler, LpSetupWithEndLabel) {
+  const auto p = assemble(R"(
+      addi r1, r0, 7
+      lp.setup 0, r1, body_end
+      addi r2, r2, 3
+    body_end:
+      halt
+  )");
+  SingleCoreRun run;
+  run.run(p);
+  EXPECT_EQ(run.core.reg(2), 21u);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto p = assemble(R"(
+      ; full-line comment
+      addi r1, r0, 1   # trailing comment
+
+      # another
+      halt
+  )");
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, RoundTripsDisassembly) {
+  // Disassembler output must re-assemble to the identical instruction.
+  const std::vector<isa::Instr> cases = {
+      {Opcode::kMac, 3, 4, 5, 0},      {Opcode::kLw, 1, 2, 0, -8},
+      {Opcode::kSbpi, 7, 8, 0, 1},     {Opcode::kBgeu, 0, 1, 2, 5},
+      {Opcode::kLui, 9, 0, 0, 0xFF},   {Opcode::kDotp4b, 1, 2, 3, 0},
+      {Opcode::kCsrr, 4, 0, 0, 2},     {Opcode::kEoc, 0, 0, 0, 1},
+  };
+  for (const auto& in : cases) {
+    const auto p = assemble(isa::disassemble(in));
+    ASSERT_EQ(p.code.size(), 1u) << isa::disassemble(in);
+    EXPECT_EQ(p.code[0], in) << isa::disassemble(in);
+  }
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    (void)assemble("addi r1, r0, 1\nbogus r1, r2\n");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsUndefinedLabel) {
+  EXPECT_THROW((void)assemble("beq r0, r0, nowhere\n"), SimError);
+}
+
+TEST(Assembler, RejectsDuplicateLabel) {
+  EXPECT_THROW((void)assemble("a:\nnop\na:\nnop\n"), SimError);
+}
+
+TEST(Assembler, RejectsBadRegister) {
+  EXPECT_THROW((void)assemble("addi r32, r0, 1\n"), SimError);
+  EXPECT_THROW((void)assemble("addi rx, r0, 1\n"), SimError);
+}
+
+TEST(Assembler, RejectsWrongOperandCount) {
+  EXPECT_THROW((void)assemble("add r1, r2\n"), SimError);
+  EXPECT_THROW((void)assemble("halt r1\n"), SimError);
+}
+
+}  // namespace
+}  // namespace ulp

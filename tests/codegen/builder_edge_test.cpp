@@ -1,0 +1,105 @@
+// Builder edge cases: misuse detection and exact lowering contracts.
+#include "codegen/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "testutil.hpp"
+
+namespace ulp::codegen {
+namespace {
+
+using isa::Opcode;
+using test::SingleCoreRun;
+
+TEST(BuilderEdge, LoopHotRejectsIndivisibleTripCount) {
+  Builder bld(core::cortex_m4_config().features);  // unrolls 4x
+  EXPECT_THROW(bld.loop_hot(10, 20, [&] { bld.nop(); }), SimError);
+}
+
+TEST(BuilderEdge, LoopHotOnHwTargetAcceptsAnyCount) {
+  Builder bld(core::or10n_config().features);
+  bld.loop_hot(10, 20, [&] { bld.emit(Opcode::kAddi, 3, 3, 0, 1); });
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(3), 10u);
+}
+
+TEST(BuilderEdge, LoopHotBaselineDoesNotUnroll) {
+  Builder base(core::baseline_config().features);
+  base.loop_hot(16, 20, [&] { base.nop(); });
+  Builder m4(core::cortex_m4_config().features);
+  m4.loop_hot(16, 20, [&] { m4.nop(); });
+  // Baseline: 1 body emission; M4: 4 (plus identical loop scaffolding).
+  EXPECT_EQ(m4.here(), base.here() + 3);
+}
+
+TEST(BuilderEdge, LoopHotZeroTripIsRejected) {
+  Builder bld(core::or10n_config().features);
+  EXPECT_THROW(bld.loop_hot(0, 20, [&] { bld.nop(); }), SimError);
+}
+
+TEST(BuilderEdge, LiExtremes) {
+  for (const u32 v : {0x80000000u, 0x7FFFFFFFu, 0x00001000u, 0x00000FFFu,
+                      0xFFFFF000u, 0xFFFFFFFFu}) {
+    Builder bld(core::or10n_config().features);
+    bld.li(1, v);
+    bld.halt();
+    SingleCoreRun run;
+    run.run(bld.finalize());
+    EXPECT_EQ(run.core.reg(1), v) << std::hex << v;
+  }
+}
+
+TEST(BuilderEdge, EmptyHwLoopBodyIsRejected) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 4);
+  EXPECT_THROW(bld.loop(1, 20, [] {}), SimError);
+}
+
+TEST(BuilderEdge, DmaHelpersEmitValidPrograms) {
+  // The DMA start/wait sequences must encode (all immediates in range).
+  Builder bld(core::or10n_config().features);
+  bld.li(20, 0x1C000000);
+  bld.li(21, 0x10000000);
+  bld.li(22, 4096);
+  bld.dma_start(25, 20, 21, 22);
+  bld.dma_wait(25, 26);
+  bld.halt();
+  const isa::Program p = bld.finalize();
+  EXPECT_NO_THROW((void)isa::encode_all(p.code));
+}
+
+TEST(BuilderEdge, FinalizeValidatesEntry) {
+  Builder bld(core::or10n_config().features);
+  bld.halt();
+  EXPECT_THROW((void)bld.finalize(/*entry=*/5), SimError);
+}
+
+TEST(BuilderEdge, MacScratchUnusedWhenHardwareMacExists) {
+  Builder bld(core::or10n_config().features);
+  bld.mac(3, 1, 2, /*scratch=*/10);
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize(), {{1, 5}, {2, 6}, {10, 777}});
+  EXPECT_EQ(run.core.reg(10), 777u);  // untouched
+  EXPECT_EQ(run.core.reg(3), 30u);
+}
+
+TEST(BuilderEdge, PostincFallbackPreservesOrderWithAliasedData) {
+  // sw! rd, imm(ra) with rd==ra on a non-postinc target lowers to
+  // sw + addi; the stored value must be the pre-increment one.
+  Builder bld(core::baseline_config().features);
+  bld.li(1, 0x100);
+  bld.sw_pi(1, 1, 4);  // stores r1 (0x100) at 0x100, then r1 += 4
+  bld.halt();
+  SingleCoreRun run(core::baseline_config());
+  run.run(bld.finalize());
+  EXPECT_EQ(run.bus.debug_load(0x100, 4, false), 0x100u);
+  EXPECT_EQ(run.core.reg(1), 0x104u);
+}
+
+}  // namespace
+}  // namespace ulp::codegen

@@ -1,0 +1,171 @@
+#include "codegen/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "testutil.hpp"
+
+namespace ulp {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+using test::SingleCoreRun;
+
+std::vector<core::CoreConfig> all_configs() {
+  return {core::baseline_config(), core::or10n_config(),
+          core::cortex_m4_config(), core::cortex_m3_config()};
+}
+
+TEST(Builder, LiHandlesFullRange) {
+  for (u32 v : {0u, 1u, 42u, 0xFFFu, 0x1000u, 0x12345678u, 0xFFFFFFFFu,
+                static_cast<u32>(-12345), 0x7FFFFFFFu, 0x80000000u}) {
+    Builder bld(core::or10n_config().features);
+    bld.li(1, v);
+    bld.halt();
+    SingleCoreRun run;
+    run.run(bld.finalize());
+    EXPECT_EQ(run.core.reg(1), v) << "v=" << v;
+  }
+}
+
+TEST(Builder, MacSelectsByFeature) {
+  for (const auto& cfg : all_configs()) {
+    Builder bld(cfg.features);
+    bld.mac(3, 1, 2, /*scratch=*/10);
+    bld.halt();
+    SingleCoreRun run(cfg);
+    run.run(bld.finalize(), {{1, 6}, {2, 7}, {3, 100}});
+    EXPECT_EQ(run.core.reg(3), 142u) << cfg.name;
+  }
+}
+
+TEST(Builder, MacInstructionCountDiffers) {
+  Builder with(core::or10n_config().features);
+  with.mac(3, 1, 2, 10);
+  Builder without(core::baseline_config().features);
+  without.mac(3, 1, 2, 10);
+  EXPECT_EQ(with.here(), 1u);
+  EXPECT_EQ(without.here(), 2u);
+}
+
+TEST(Builder, PostIncrementLoweringEquivalence) {
+  for (const auto& cfg : all_configs()) {
+    Builder bld(cfg.features);
+    bld.li(1, 0x100);
+    bld.li(2, 0xAABBCCDD);
+    bld.sw_pi(2, 1, 4);
+    bld.sh_pi(2, 1, 2);
+    bld.sb_pi(2, 1, 1);
+    bld.li(3, 0x100);
+    bld.lw_pi(4, 3, 4);
+    bld.lhu_pi(5, 3, 2);
+    bld.lbu_pi(6, 3, 1);
+    bld.halt();
+    SingleCoreRun run(cfg);
+    run.run(bld.finalize());
+    EXPECT_EQ(run.core.reg(1), 0x107u) << cfg.name;
+    EXPECT_EQ(run.core.reg(3), 0x107u) << cfg.name;
+    EXPECT_EQ(run.core.reg(4), 0xAABBCCDDu) << cfg.name;
+    EXPECT_EQ(run.core.reg(5), 0xCCDDu) << cfg.name;
+    EXPECT_EQ(run.core.reg(6), 0xDDu) << cfg.name;
+  }
+}
+
+TEST(Builder, MulhSignedMatchesReferenceAllConfigs) {
+  Rng rng(0xFEED);
+  for (const auto& cfg : all_configs()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const u32 a = rng.next_u32();
+      const u32 b = rng.next_u32();
+      Builder bld(cfg.features);
+      bld.mulh_signed(3, 1, 2, 10, 11, 12, 13);
+      bld.halt();
+      SingleCoreRun run(cfg);
+      run.run(bld.finalize(), {{1, a}, {2, b}});
+      const i64 full = static_cast<i64>(static_cast<i32>(a)) *
+                       static_cast<i64>(static_cast<i32>(b));
+      EXPECT_EQ(run.core.reg(3), static_cast<u32>(full >> 32))
+          << cfg.name << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Builder, Q32MulMatchesReferenceAllConfigs) {
+  Rng rng(0xABCD);
+  for (const auto& cfg : all_configs()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      // q32 operands stay within a plausible kernel range (|x| < 2^30).
+      const u32 a = static_cast<u32>(rng.uniform(-(1 << 30), (1 << 30)));
+      const u32 b = static_cast<u32>(rng.uniform(-(1 << 30), (1 << 30)));
+      Builder bld(cfg.features);
+      bld.q32_mul(3, 1, 2, 10, 11, 12, 13);
+      bld.halt();
+      SingleCoreRun run(cfg);
+      run.run(bld.finalize(), {{1, a}, {2, b}});
+      const i64 full = static_cast<i64>(static_cast<i32>(a)) *
+                       static_cast<i64>(static_cast<i32>(b));
+      EXPECT_EQ(run.core.reg(3), static_cast<u32>(full >> 16))
+          << cfg.name << " a=" << static_cast<i32>(a)
+          << " b=" << static_cast<i32>(b);
+    }
+  }
+}
+
+TEST(Builder, Q32MulCostsMoreWithoutMul64) {
+  // The hog slowdown in one assertion: the software path is much longer.
+  Builder hw(core::cortex_m4_config().features);
+  hw.q32_mul(3, 1, 2, 10, 11, 12, 13);
+  Builder sw(core::or10n_config().features);
+  sw.q32_mul(3, 1, 2, 10, 11, 12, 13);
+  EXPECT_GE(sw.here(), hw.here() + 8);
+}
+
+TEST(Builder, Add64CarryChain) {
+  Rng rng(0x64);
+  for (int trial = 0; trial < 300; ++trial) {
+    const u64 x = rng.next_u64();
+    const u64 y = rng.next_u64();
+    Builder bld(core::or10n_config().features);
+    bld.add64(1, 2, 3, 4, /*scratch=*/10);
+    bld.halt();
+    SingleCoreRun run;
+    run.run(bld.finalize(), {{1, static_cast<u32>(x)},
+                             {2, static_cast<u32>(x >> 32)},
+                             {3, static_cast<u32>(y)},
+                             {4, static_cast<u32>(y >> 32)}});
+    const u64 sum = x + y;
+    EXPECT_EQ(run.core.reg(1), static_cast<u32>(sum));
+    EXPECT_EQ(run.core.reg(2), static_cast<u32>(sum >> 32));
+  }
+}
+
+TEST(Builder, LoopCountsMatchAcrossConfigs) {
+  for (const auto& cfg : all_configs()) {
+    Builder bld(cfg.features);
+    bld.li(1, 13);
+    bld.loop(1, 10, [&] { bld.emit(Opcode::kAddi, 3, 3, 0, 1); });
+    bld.halt();
+    SingleCoreRun run(cfg);
+    run.run(bld.finalize());
+    EXPECT_EQ(run.core.reg(3), 13u) << cfg.name;
+  }
+}
+
+TEST(Builder, UnboundLabelIsCaught) {
+  Builder bld(core::or10n_config().features);
+  const auto label = bld.make_label();
+  bld.branch(Opcode::kBeq, 0, 0, label);
+  bld.halt();
+  EXPECT_THROW((void)bld.finalize(), SimError);
+}
+
+TEST(Builder, DoubleBindIsCaught) {
+  Builder bld(core::or10n_config().features);
+  const auto label = bld.make_label();
+  bld.bind(label);
+  EXPECT_THROW(bld.bind(label), SimError);
+}
+
+}  // namespace
+}  // namespace ulp

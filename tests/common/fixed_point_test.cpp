@@ -1,0 +1,77 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ulp {
+namespace {
+
+TEST(Saturate, ClampsToNarrowRange) {
+  EXPECT_EQ((saturate<i16, i64>(100000)), 32767);
+  EXPECT_EQ((saturate<i16, i64>(-100000)), -32768);
+  EXPECT_EQ((saturate<i16, i64>(1234)), 1234);
+  EXPECT_EQ((saturate<i8, i32>(300)), 127);
+  EXPECT_EQ((saturate<i8, i32>(-300)), -128);
+}
+
+TEST(Q16, FromDoubleRoundTrip) {
+  const q16_t half = q16_t::from_double(0.5);
+  EXPECT_NEAR(half.to_double(), 0.5, 1.0 / (1 << 11));
+  const q16_t neg = q16_t::from_double(-3.25);
+  EXPECT_NEAR(neg.to_double(), -3.25, 1.0 / (1 << 11));
+}
+
+TEST(Q16, FromDoubleSaturates) {
+  EXPECT_EQ(q16_t::from_double(1000.0).raw, 32767);
+  EXPECT_EQ(q16_t::from_double(-1000.0).raw, -32768);
+}
+
+TEST(Q16, MultiplicationMatchesDouble) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform01() * 4 - 2;
+    const double b = rng.uniform01() * 4 - 2;
+    const q16_t qa = q16_t::from_double(a);
+    const q16_t qb = q16_t::from_double(b);
+    const q16_t qp = qa * qb;
+    // One LSB of quantisation per operand plus the truncating shift.
+    EXPECT_NEAR(qp.to_double(), a * b, 0.01) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Q16, MultiplicationIsTruncatingShift) {
+  // (3 * 5) >> 11 == 0: tiny products truncate toward zero from above.
+  const q16_t a = q16_t::from_raw(3);
+  const q16_t b = q16_t::from_raw(5);
+  EXPECT_EQ((a * b).raw, 0);
+  // Negative products truncate toward -inf (arithmetic shift).
+  const q16_t c = q16_t::from_raw(-3);
+  EXPECT_EQ((c * b).raw, -1);
+}
+
+TEST(Q16, AdditionWrapsLikeHardware) {
+  const q16_t big = q16_t::from_raw(32767);
+  const q16_t one = q16_t::from_raw(1);
+  EXPECT_EQ((big + one).raw, -32768);  // wrap, matching the ISS add
+}
+
+TEST(Q32, MultiplicationMatchesDouble) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform01() * 200 - 100;
+    const double b = rng.uniform01() * 200 - 100;
+    const q32_t qa = q32_t::from_double(a);
+    const q32_t qb = q32_t::from_double(b);
+    EXPECT_NEAR((qa * qb).to_double(), a * b, 0.01);
+  }
+}
+
+TEST(Q32, HighDynamicRange) {
+  // hog needs values around +/- 30000 representable; q16 cannot do this.
+  const q32_t v = q32_t::from_double(30000.0);
+  EXPECT_NEAR(v.to_double(), 30000.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace ulp

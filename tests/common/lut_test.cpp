@@ -1,0 +1,77 @@
+#include "common/lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ulp {
+namespace {
+
+TEST(ExpLut, ApproximatesExpNeg) {
+  const Lut16 lut = make_exp_neg_lut();
+  for (double x = 0.0; x < 7.0; x += 0.05) {
+    const i32 raw = q16_t::from_double(x).raw;
+    const double y = q16_t::from_raw(lut.lookup(raw)).to_double();
+    EXPECT_NEAR(y, std::exp(-x), 0.02) << "x=" << x;
+  }
+}
+
+TEST(ExpLut, SaturatesAtDomainEnd) {
+  const Lut16 lut = make_exp_neg_lut();
+  // Far beyond the table domain the result clamps to the last entry (~0).
+  const i32 raw = q16_t::from_double(15.9).raw;
+  EXPECT_NEAR(q16_t::from_raw(lut.lookup(raw)).to_double(), 0.0, 0.01);
+}
+
+TEST(TanhLut, ApproximatesTanhIncludingSign) {
+  const Lut16 lut = make_tanh_lut();
+  for (double x = -3.5; x < 3.5; x += 0.03) {
+    const i32 raw = q16_t::from_double(x).raw;
+    const double y = q16_t::from_raw(tanh_lut_signed(lut, raw)).to_double();
+    EXPECT_NEAR(y, std::tanh(x), 0.02) << "x=" << x;
+  }
+}
+
+TEST(TanhLut, OddSymmetryExact) {
+  const Lut16 lut = make_tanh_lut();
+  for (i32 raw = 1; raw < 8000; raw += 37) {
+    EXPECT_EQ(tanh_lut_signed(lut, raw), -tanh_lut_signed(lut, -raw));
+  }
+}
+
+TEST(Isqrt64, ExactOnPerfectSquares) {
+  for (u64 r = 0; r < 100000; r += 997) {
+    EXPECT_EQ(isqrt64(r * r), r);
+  }
+}
+
+TEST(Isqrt64, FloorProperty) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 v = rng.next_u64() >> (rng.next_u32() % 40);
+    const u64 r = isqrt64(v);
+    EXPECT_LE(r * r, v);
+    // (r+1)^2 > v, guarding against overflow of (r+1)^2.
+    const u64 rp = r + 1;
+    if (rp < (1ull << 32)) {
+      EXPECT_GT(rp * rp, v);
+    }
+  }
+}
+
+TEST(Isqrt64, Extremes) {
+  EXPECT_EQ(isqrt64(0), 0u);
+  EXPECT_EQ(isqrt64(1), 1u);
+  EXPECT_EQ(isqrt64(2), 1u);
+  EXPECT_EQ(isqrt64(3), 1u);
+  EXPECT_EQ(isqrt64(4), 2u);
+  EXPECT_EQ(isqrt64(~u64{0}), 0xFFFFFFFFu);
+}
+
+TEST(Lut16, RejectsNegativeInput) {
+  const Lut16 lut = make_exp_neg_lut();
+  EXPECT_THROW((void)lut.lookup(-1), SimError);
+}
+
+}  // namespace
+}  // namespace ulp

@@ -1,0 +1,56 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulp {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const i32 v = rng.uniform(-128, 127);
+    EXPECT_GE(v, -128);
+    EXPECT_LE(v, 127);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(5);
+  bool saw_low = false;
+  bool saw_high = false;
+  for (int i = 0; i < 10000; ++i) {
+    const i32 v = rng.uniform(0, 7);
+    if (v == 0) saw_low = true;
+    if (v == 7) saw_high = true;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ulp

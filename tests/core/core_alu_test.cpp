@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "codegen/builder.hpp"
+#include "common/rng.hpp"
+#include "testutil.hpp"
+
+namespace ulp {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+using test::SingleCoreRun;
+
+// Runs a single R-type instruction with operands in r1, r2 (accumulator
+// seed in r3 for MAC-class ops) and returns r3.
+u32 run_rrr(Opcode op, u32 a, u32 b, u32 seed = 0,
+            core::CoreConfig cfg = core::or10n_config()) {
+  Builder bld(cfg.features);
+  bld.emit(op, 3, 1, 2);
+  bld.halt();
+  SingleCoreRun run(std::move(cfg));
+  run.run(bld.finalize(), {{1, a}, {2, b}, {3, seed}});
+  return run.core.reg(3);
+}
+
+TEST(CoreAlu, AddSubWrapAround) {
+  EXPECT_EQ(run_rrr(Opcode::kAdd, 0xFFFFFFFF, 1), 0u);
+  EXPECT_EQ(run_rrr(Opcode::kSub, 0, 1), 0xFFFFFFFFu);
+  EXPECT_EQ(run_rrr(Opcode::kAdd, 100, 23), 123u);
+}
+
+TEST(CoreAlu, LogicAndShifts) {
+  EXPECT_EQ(run_rrr(Opcode::kAnd, 0xF0F0, 0xFF00), 0xF000u);
+  EXPECT_EQ(run_rrr(Opcode::kOr, 0xF0F0, 0x0F0F), 0xFFFFu);
+  EXPECT_EQ(run_rrr(Opcode::kXor, 0xFFFF, 0x0F0F), 0xF0F0u);
+  EXPECT_EQ(run_rrr(Opcode::kSll, 1, 31), 0x80000000u);
+  EXPECT_EQ(run_rrr(Opcode::kSrl, 0x80000000, 31), 1u);
+  EXPECT_EQ(run_rrr(Opcode::kSra, 0x80000000, 31), 0xFFFFFFFFu);
+  // Shift amounts use only the low 5 bits.
+  EXPECT_EQ(run_rrr(Opcode::kSll, 1, 33), 2u);
+}
+
+TEST(CoreAlu, SetLessThan) {
+  EXPECT_EQ(run_rrr(Opcode::kSlt, static_cast<u32>(-5), 3), 1u);
+  EXPECT_EQ(run_rrr(Opcode::kSltu, static_cast<u32>(-5), 3), 0u);
+  EXPECT_EQ(run_rrr(Opcode::kSlt, 3, 3), 0u);
+}
+
+TEST(CoreAlu, MultiplyAndHighHalves) {
+  EXPECT_EQ(run_rrr(Opcode::kMul, 7, 6), 42u);
+  EXPECT_EQ(run_rrr(Opcode::kMul, 0x10000, 0x10000), 0u);  // low word only
+  // mulhs/mulhu need a core with has_mul64 (Cortex-M class).
+  EXPECT_EQ(run_rrr(Opcode::kMulhu, 0x80000000, 2, 0, core::cortex_m4_config()),
+            1u);
+  EXPECT_EQ(run_rrr(Opcode::kMulhs, static_cast<u32>(-2), 0x40000000, 0,
+                    core::cortex_m4_config()),
+            0xFFFFFFFFu);
+}
+
+TEST(CoreAlu, Mul64GatedByFeature) {
+  EXPECT_THROW(run_rrr(Opcode::kMulhu, 1, 1), SimError);  // or10n lacks it
+}
+
+TEST(CoreAlu, DivisionSemantics) {
+  EXPECT_EQ(run_rrr(Opcode::kDiv, static_cast<u32>(-7), 2), static_cast<u32>(-3));
+  EXPECT_EQ(run_rrr(Opcode::kDivu, 7, 2), 3u);
+  EXPECT_EQ(run_rrr(Opcode::kRem, static_cast<u32>(-7), 2), static_cast<u32>(-1));
+  EXPECT_EQ(run_rrr(Opcode::kRemu, 7, 2), 1u);
+  // Division by zero follows the RISC convention: all-ones / unchanged rem.
+  EXPECT_EQ(run_rrr(Opcode::kDiv, 5, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(run_rrr(Opcode::kRem, 5, 0), 5u);
+}
+
+TEST(CoreAlu, MacAccumulates) {
+  EXPECT_EQ(run_rrr(Opcode::kMac, 3, 4, 100), 112u);
+  EXPECT_EQ(run_rrr(Opcode::kMac, static_cast<u32>(-2), 5, 100), 90u);
+}
+
+TEST(CoreAlu, Dotp2hSignedLanes) {
+  // a = (1, -2), b = (3, 4) as 16-bit lanes -> 1*3 + (-2)*4 = -5.
+  const u32 a = (static_cast<u32>(static_cast<u16>(-2)) << 16) | 1;
+  const u32 b = (4u << 16) | 3;
+  EXPECT_EQ(run_rrr(Opcode::kDotp2h, a, b, 10), 5u);  // 10 + (-5)
+}
+
+TEST(CoreAlu, Dotp4bSignedLanes) {
+  // a = (1, -1, 2, -2), b = (10, 10, 10, 10) -> 0.
+  const u32 a = (static_cast<u32>(static_cast<u8>(-2)) << 24) | (2u << 16) |
+                (static_cast<u32>(static_cast<u8>(-1)) << 8) | 1;
+  const u32 b = 0x0A0A0A0A;
+  EXPECT_EQ(run_rrr(Opcode::kDotp4b, a, b, 7), 7u);
+}
+
+TEST(CoreAlu, SimdVectorAddSub) {
+  // Lane-wise 16-bit: (1, 0x7FFF) + (1, 1) -> (2, 0x8000): wraps per lane.
+  const u32 a = (0x7FFFu << 16) | 1;
+  const u32 b = (1u << 16) | 1;
+  EXPECT_EQ(run_rrr(Opcode::kAdd2h, a, b), (0x8000u << 16) | 2);
+  EXPECT_EQ(run_rrr(Opcode::kSub4b, 0x05050505, 0x01020304),
+            0x04030201u);
+}
+
+TEST(CoreAlu, SimdGatedByFeature) {
+  EXPECT_THROW(run_rrr(Opcode::kDotp2h, 1, 1, 0, core::cortex_m4_config()),
+               SimError);
+  EXPECT_THROW(run_rrr(Opcode::kMac, 1, 1, 0, core::baseline_config()),
+               SimError);
+}
+
+TEST(CoreAlu, R0IsHardwiredZero) {
+  Builder bld(core::or10n_config().features);
+  bld.emit(Opcode::kAddi, 0, 0, 0, 42);  // write to r0: discarded
+  bld.emit(Opcode::kAdd, 1, 0, 0);       // r1 = r0 + r0
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(0), 0u);
+  EXPECT_EQ(run.core.reg(1), 0u);
+}
+
+TEST(CoreAlu, LuiOriBuildsConstants) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 0xDEADBEEF);
+  bld.li(2, 42);
+  bld.li(3, static_cast<u32>(-7));
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(1), 0xDEADBEEFu);
+  EXPECT_EQ(run.core.reg(2), 42u);
+  EXPECT_EQ(run.core.reg(3), static_cast<u32>(-7));
+}
+
+TEST(CoreAlu, CsrReads) {
+  Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  bld.csr_numcores(2);
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(1), 0u);
+  EXPECT_EQ(run.core.reg(2), 1u);
+}
+
+TEST(CoreAlu, MultiCycleOpsChargeCost) {
+  // div on or10n costs div_cycles; compare against a single add.
+  Builder bdiv(core::or10n_config().features);
+  bdiv.emit(Opcode::kDiv, 3, 1, 2);
+  bdiv.halt();
+  SingleCoreRun rd;
+  const u64 div_cycles = rd.run(bdiv.finalize(), {{1, 100}, {2, 3}});
+
+  Builder badd(core::or10n_config().features);
+  badd.emit(Opcode::kAdd, 3, 1, 2);
+  badd.halt();
+  SingleCoreRun ra;
+  const u64 add_cycles = ra.run(badd.finalize(), {{1, 100}, {2, 3}});
+
+  EXPECT_EQ(div_cycles - add_cycles,
+            core::or10n_config().costs.div_cycles - 1);
+}
+
+}  // namespace
+}  // namespace ulp

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "codegen/builder.hpp"
+#include "testutil.hpp"
+
+namespace ulp {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+using test::SingleCoreRun;
+
+// r3 counts body executions of a loop with trip count in r1.
+isa::Program counting_loop(const core::CoreFeatures& f) {
+  Builder bld(f);
+  bld.loop(/*count=*/1, /*scratch=*/10,
+           [&] { bld.emit(Opcode::kAddi, 3, 3, 0, 1); });
+  bld.halt();
+  return bld.finalize();
+}
+
+TEST(CoreLoops, HwLoopExecutesExactTripCount) {
+  SingleCoreRun run;
+  run.run(counting_loop(core::or10n_config().features), {{1, 17}});
+  EXPECT_EQ(run.core.reg(3), 17u);
+}
+
+TEST(CoreLoops, SwLoopExecutesExactTripCount) {
+  SingleCoreRun run(core::cortex_m4_config());
+  run.run(counting_loop(core::cortex_m4_config().features), {{1, 17}});
+  EXPECT_EQ(run.core.reg(3), 17u);
+}
+
+TEST(CoreLoops, ZeroTripCountSkipsBodyBothWays) {
+  {
+    SingleCoreRun run;
+    run.run(counting_loop(core::or10n_config().features), {{1, 0}});
+    EXPECT_EQ(run.core.reg(3), 0u);
+  }
+  {
+    SingleCoreRun run(core::cortex_m4_config());
+    run.run(counting_loop(core::cortex_m4_config().features), {{1, 0}});
+    EXPECT_EQ(run.core.reg(3), 0u);
+  }
+}
+
+TEST(CoreLoops, HwLoopHasZeroPerIterationOverhead) {
+  // Body of one addi, N iterations: with hardware loops total cycles must be
+  // setup + N (no branch cost at all).
+  auto cycles_for = [](u32 n) {
+    SingleCoreRun run;
+    return run.run(counting_loop(core::or10n_config().features), {{1, n}});
+  };
+  EXPECT_EQ(cycles_for(101) - cycles_for(1), 100u);
+}
+
+TEST(CoreLoops, SwLoopPaysBranchPerIteration) {
+  auto cycles_for = [](u32 n) {
+    SingleCoreRun run(core::cortex_m4_config());
+    return run.run(counting_loop(core::cortex_m4_config().features), {{1, n}});
+  };
+  // Per iteration: addi body + addi counter + taken bne (1 + penalty 2).
+  const u64 per_iter = (cycles_for(101) - cycles_for(1)) / 100;
+  EXPECT_EQ(per_iter, 1u + 1u + 1u + 2u);
+}
+
+TEST(CoreLoops, NestedHwLoops) {
+  Builder bld(core::or10n_config().features);
+  // r3 += 1, executed 5 * 7 times; inner count reloaded per outer trip.
+  bld.li(1, 5);
+  bld.li(2, 7);
+  bld.loop(1, 10, [&] {
+    bld.loop(2, 11, [&] { bld.emit(Opcode::kAddi, 3, 3, 0, 1); });
+  });
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(3), 35u);
+}
+
+TEST(CoreLoops, NestedLoopsWithCoincidentEnds) {
+  // The inner loop body is the LAST instruction of the outer body: both
+  // hardware loops end on the same pc. The expiring inner loop must hand
+  // over to the outer loop in the same pc-advance.
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 4);
+  bld.li(2, 3);
+  bld.loop(1, 10, [&] {
+    bld.emit(Opcode::kAddi, 4, 4, 0, 1);  // outer-body marker
+    bld.loop(2, 11, [&] { bld.emit(Opcode::kAddi, 3, 3, 0, 1); });
+  });
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(4), 4u);
+  EXPECT_EQ(run.core.reg(3), 12u);
+}
+
+TEST(CoreLoops, ThreeDeepFallsBackToSoftware) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 2);
+  bld.li(2, 3);
+  bld.li(5, 4);
+  bld.loop(1, 10, [&] {
+    bld.loop(2, 11, [&] {
+      bld.loop(5, 12, [&] { bld.emit(Opcode::kAddi, 3, 3, 0, 1); });
+    });
+  });
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(3), 24u);
+}
+
+TEST(CoreLoops, BranchesAndJal) {
+  Builder bld(core::or10n_config().features);
+  const auto skip = bld.make_label();
+  bld.li(1, 5);
+  bld.li(2, 5);
+  bld.branch(Opcode::kBeq, 1, 2, skip);
+  bld.li(3, 111);  // must be skipped
+  bld.bind(skip);
+  bld.li(4, 222);
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(3), 0u);
+  EXPECT_EQ(run.core.reg(4), 222u);
+}
+
+TEST(CoreLoops, JalLinksAndJalrReturns) {
+  Builder bld(core::or10n_config().features);
+  const auto func = bld.make_label();
+  const auto after = bld.make_label();
+  bld.jal(31, func);       // call
+  bld.li(2, 99);           // executed after return
+  bld.branch(Opcode::kBeq, 0, 0, after);
+  bld.bind(func);
+  bld.li(1, 42);           // function body
+  bld.emit(Opcode::kJalr, 0, 31, 0);  // return
+  bld.bind(after);
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(1), 42u);
+  EXPECT_EQ(run.core.reg(2), 99u);
+}
+
+TEST(CoreLoops, HwLoopGatedByFeature) {
+  isa::Program p;
+  p.code = {{Opcode::kLpSetup, 0, 1, 0, 1},
+            {Opcode::kNop, 0, 0, 0, 0},
+            {Opcode::kHalt, 0, 0, 0, 0}};
+  SingleCoreRun run(core::cortex_m4_config());
+  EXPECT_THROW(run.run(p, {{1, 3}}), SimError);
+}
+
+TEST(CoreLoops, RunawayPcIsCaught) {
+  isa::Program p;
+  p.code = {{Opcode::kNop, 0, 0, 0, 0}};  // no halt: pc runs off the end
+  SingleCoreRun run;
+  EXPECT_THROW(run.run(p), SimError);
+}
+
+}  // namespace
+}  // namespace ulp

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "codegen/builder.hpp"
+#include "testutil.hpp"
+
+namespace ulp {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+using test::SingleCoreRun;
+
+TEST(CoreMem, LoadStoreWidthsAndSignExtension) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 0x100);                        // base
+  bld.li(2, 0xFFFFAB85);                   // value
+  bld.emit(Opcode::kSw, 2, 1, 0, 0);       // [0x100] = value
+  bld.emit(Opcode::kLw, 3, 1, 0, 0);       // word
+  bld.emit(Opcode::kLh, 4, 1, 0, 0);       // signed half (0xAB85 -> neg)
+  bld.emit(Opcode::kLhu, 5, 1, 0, 0);      // unsigned half
+  bld.emit(Opcode::kLb, 6, 1, 0, 0);       // signed byte (0x85 -> neg)
+  bld.emit(Opcode::kLbu, 7, 1, 0, 0);      // unsigned byte
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(3), 0xFFFFAB85u);
+  EXPECT_EQ(run.core.reg(4), 0xFFFFAB85u);
+  EXPECT_EQ(run.core.reg(5), 0x0000AB85u);
+  EXPECT_EQ(run.core.reg(6), 0xFFFFFF85u);
+  EXPECT_EQ(run.core.reg(7), 0x00000085u);
+}
+
+TEST(CoreMem, SubWordStoresLeaveNeighboursIntact) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 0x200);
+  bld.li(2, 0x11223344);
+  bld.emit(Opcode::kSw, 2, 1, 0, 0);
+  bld.li(3, 0xAB);
+  bld.emit(Opcode::kSb, 3, 1, 0, 1);  // overwrite byte 1
+  bld.emit(Opcode::kLw, 4, 1, 0, 0);
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(4), 0x1122AB44u);
+}
+
+TEST(CoreMem, PostIncrementAdvancesBase) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 0x100);
+  bld.li(2, 7);
+  bld.emit(Opcode::kSwpi, 2, 1, 0, 4);  // [0x100]=7, r1 += 4
+  bld.emit(Opcode::kSwpi, 2, 1, 0, 4);  // [0x104]=7, r1 += 4
+  bld.li(3, 0x100);
+  bld.emit(Opcode::kLwpi, 4, 3, 0, 4);
+  bld.emit(Opcode::kLwpi, 5, 3, 0, 4);
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(1), 0x108u);
+  EXPECT_EQ(run.core.reg(3), 0x108u);
+  EXPECT_EQ(run.core.reg(4), 7u);
+  EXPECT_EQ(run.core.reg(5), 7u);
+}
+
+TEST(CoreMem, PostIncrementGatedByFeature) {
+  // The builder lowers post-increment on such targets; executing the raw
+  // opcode on a core without the feature must trap.
+  isa::Program p;
+  p.code = {{Opcode::kLwpi, 2, 1, 0, 4}, {Opcode::kHalt, 0, 0, 0, 0}};
+  SingleCoreRun run(core::baseline_config());
+  EXPECT_THROW(run.run(p, {{1, 0x100}}), SimError);
+}
+
+TEST(CoreMem, UnalignedAccessSplitsOnOr10n) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 0x102);  // halfword-aligned, not word-aligned
+  bld.li(2, 0xCAFEBABE);
+  bld.emit(Opcode::kSw, 2, 1, 0, 0);
+  bld.emit(Opcode::kLw, 3, 1, 0, 0);
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.reg(3), 0xCAFEBABEu);
+  // The straddled bytes really live at 0x102..0x105.
+  EXPECT_EQ(run.bus.debug_load(0x102, 2, false), 0xBABEu);
+  EXPECT_EQ(run.bus.debug_load(0x104, 2, false), 0xCAFEu);
+}
+
+TEST(CoreMem, UnalignedCostsOneExtraAccessCycle) {
+  auto time_load = [](Addr addr) {
+    Builder bld(core::or10n_config().features);
+    bld.li(1, static_cast<u32>(addr));
+    bld.emit(Opcode::kLw, 3, 1, 0, 0);
+    bld.halt();
+    SingleCoreRun run;
+    return run.run(bld.finalize());
+  };
+  EXPECT_EQ(time_load(0x102) - time_load(0x100), 1u);
+}
+
+TEST(CoreMem, UnalignedTrapsWithoutFeature) {
+  isa::Program p;
+  p.code = {{Opcode::kLw, 3, 1, 0, 0}, {Opcode::kHalt, 0, 0, 0, 0}};
+  SingleCoreRun run(core::baseline_config());
+  EXPECT_THROW(run.run(p, {{1, 0x102}}), SimError);
+}
+
+TEST(CoreMem, LoadsCountInPerf) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 0x100);
+  bld.emit(Opcode::kLw, 2, 1, 0, 0);
+  bld.emit(Opcode::kSw, 2, 1, 0, 4);
+  bld.emit(Opcode::kLh, 3, 1, 0, 0);
+  bld.halt();
+  SingleCoreRun run;
+  run.run(bld.finalize());
+  EXPECT_EQ(run.core.perf().loads, 2u);
+  EXPECT_EQ(run.core.perf().stores, 1u);
+}
+
+TEST(CoreMem, M3LoadsSlowerThanM4) {
+  auto time_with = [](core::CoreConfig cfg) {
+    Builder bld(cfg.features);
+    bld.li(1, 0x100);
+    for (int i = 0; i < 16; ++i) bld.emit(Opcode::kLw, 2, 1, 0, 0);
+    bld.halt();
+    SingleCoreRun run(std::move(cfg));
+    return run.run(bld.finalize());
+  };
+  const u64 m4 = time_with(core::cortex_m4_config());
+  const u64 m3 = time_with(core::cortex_m3_config());
+  EXPECT_EQ(m3 - m4, 16u);  // one extra cycle per load
+}
+
+}  // namespace
+}  // namespace ulp

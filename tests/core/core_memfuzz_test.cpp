@@ -1,0 +1,116 @@
+// Differential fuzzing of the load/store path against a byte-array oracle:
+// random sequences of aligned and unaligned accesses of every width, with
+// and without post-increment, must leave memory and registers identical to
+// the reference model.
+#include <array>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "testutil.hpp"
+
+namespace ulp {
+namespace {
+
+using isa::Instr;
+using isa::Opcode;
+
+constexpr u32 kMemBase = 0x1000;
+constexpr u32 kMemSpan = 0x800;
+
+struct MemOracle {
+  std::array<u32, 32> regs{};
+  std::vector<u8> mem = std::vector<u8>(kMemSpan, 0);
+
+  void exec(const Instr& in) {
+    const bool store = isa::is_store(in.op);
+    const int size = isa::access_size(in.op);
+    const bool postinc = isa::is_postinc(in.op);
+    const Addr addr = postinc ? regs[in.ra]
+                              : regs[in.ra] + static_cast<u32>(in.imm);
+    const size_t off = addr - kMemBase;
+    if (store) {
+      for (int i = 0; i < size; ++i) {
+        mem[off + static_cast<size_t>(i)] =
+            static_cast<u8>(regs[in.rd] >> (8 * i));
+      }
+    } else {
+      u32 v = 0;
+      for (int i = size - 1; i >= 0; --i) {
+        v = (v << 8) | mem[off + static_cast<size_t>(i)];
+      }
+      const bool sign = in.op == Opcode::kLh || in.op == Opcode::kLhpi ||
+                        in.op == Opcode::kLb || in.op == Opcode::kLbpi;
+      if (sign && size < 4) {
+        const u32 sbit = 1u << (size * 8 - 1);
+        if (v & sbit) v |= ~((sbit << 1) - 1);
+      }
+      if (in.rd != 0) regs[in.rd] = v;
+    }
+    if (postinc && in.ra != 0) {
+      regs[in.ra] += static_cast<u32>(in.imm);
+    }
+  }
+};
+
+TEST(CoreMemFuzz, AgreesWithOracle) {
+  Rng rng(0xACCE55);
+  constexpr Opcode kOps[] = {
+      Opcode::kLw, Opcode::kLh, Opcode::kLhu, Opcode::kLb, Opcode::kLbu,
+      Opcode::kSw, Opcode::kSh, Opcode::kSb, Opcode::kLwpi, Opcode::kLhpi,
+      Opcode::kLhupi, Opcode::kLbpi, Opcode::kLbupi, Opcode::kSwpi,
+      Opcode::kShpi, Opcode::kSbpi,
+  };
+  for (int trial = 0; trial < 120; ++trial) {
+    MemOracle oracle;
+    // Registers r1..r8 are pointers inside the window; r9..r15 data.
+    std::map<u32, u32> init;
+    for (u32 r = 1; r <= 8; ++r) {
+      init[r] = kMemBase + static_cast<u32>(rng.uniform(64, kMemSpan - 64));
+    }
+    for (u32 r = 9; r <= 15; ++r) init[r] = rng.next_u32();
+    for (const auto& [r, v] : init) oracle.regs[r] = v;
+
+    isa::Program prog;
+    for (int k = 0; k < 60; ++k) {
+      Instr in;
+      in.op = kOps[static_cast<size_t>(
+          rng.uniform(0, static_cast<i32>(std::size(kOps)) - 1))];
+      const bool postinc = isa::is_postinc(in.op);
+      in.rd = static_cast<u8>(rng.uniform(9, 15));
+      in.ra = static_cast<u8>(rng.uniform(1, 8));
+      const int size = isa::access_size(in.op);
+      if (postinc) {
+        // Keep pointers inside the window: small bidirectional steps,
+        // aligned to the access size so the pointer stays aligned... or
+        // deliberately unaligned half the time (OR10N supports it).
+        in.imm = rng.uniform(-8, 8);
+      } else {
+        in.imm = rng.uniform(-32, 32);
+      }
+      // Compute the effective address the oracle would use; skip ops that
+      // would leave the window or misalign beyond what we want to test.
+      const Addr addr = postinc
+                            ? oracle.regs[in.ra]
+                            : oracle.regs[in.ra] + static_cast<u32>(in.imm);
+      if (addr < kMemBase + 8 || addr + 8 >= kMemBase + kMemSpan) continue;
+      (void)size;
+      prog.code.push_back(in);
+      oracle.exec(in);
+    }
+    prog.code.push_back({Opcode::kHalt, 0, 0, 0, 0});
+
+    test::SingleCoreRun run(core::or10n_config(), 0, kMemBase + kMemSpan);
+    run.run(prog, init);
+    for (u32 r = 0; r < 32; ++r) {
+      ASSERT_EQ(run.core.reg(r), oracle.regs[r])
+          << "trial " << trial << " reg r" << r;
+    }
+    for (u32 i = 0; i < kMemSpan; ++i) {
+      ASSERT_EQ(run.bus.debug_load(kMemBase + i, 1, false), oracle.mem[i])
+          << "trial " << trial << " byte " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ulp

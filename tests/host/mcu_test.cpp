@@ -1,0 +1,82 @@
+#include "host/mcu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulp::host {
+namespace {
+
+TEST(McuCatalog, HasAllFigure3Mcus) {
+  const auto& cat = mcu_catalog();
+  ASSERT_EQ(cat.size(), 7u);
+  std::vector<std::string> names;
+  for (const auto& m : cat) names.push_back(m.name);
+  for (const char* expected :
+       {"STM32F407", "STM32F446", "LPC1800", "EFM32", "MSP430",
+        "Ambiq Apollo", "STM32L476"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(McuCatalog, HostIsTheL476) {
+  EXPECT_EQ(stm32l476().name, "STM32L476");
+  EXPECT_EQ(stm32l476().spi_lanes, 4u);  // exposes QSPI
+  EXPECT_DOUBLE_EQ(stm32l476().max_freq_hz(), mhz(80));
+}
+
+TEST(McuCatalog, ApolloIsTheMostEfficient) {
+  // The paper singles out the Ambiq Apollo as the only MCU near
+  // 10 GOPS/W; it must have by far the lowest current density.
+  double apollo = 0;
+  double best_other = 1e9;
+  for (const auto& m : mcu_catalog()) {
+    if (m.name == "Ambiq Apollo") {
+      apollo = m.active_ua_per_mhz;
+    } else {
+      best_other = std::min(best_other, m.active_ua_per_mhz);
+    }
+  }
+  EXPECT_LT(apollo, best_other / 2);
+}
+
+TEST(McuSpec, ActivePowerMatchesDatasheetIdiom) {
+  const McuSpec& l476 = stm32l476();
+  // 100 µA/MHz * 32 MHz * 3.0 V = 9.6 mW.
+  EXPECT_NEAR(l476.active_power_w(mhz(32)), mw(9.6), mw(0.01));
+}
+
+TEST(McuSpec, BaselinePowerAt32MHzFitsThePaperEnvelope) {
+  // The paper's Figure 5a baseline: L476 at 32 MHz consumes roughly the
+  // whole 10 mW envelope (no room for the accelerator).
+  const double p = stm32l476().active_power_w(mhz(32));
+  EXPECT_GT(p, mw(8));
+  EXPECT_LT(p, mw(10.5));
+}
+
+TEST(McuSpec, CoreConfigsMatchKind) {
+  for (const auto& m : mcu_catalog()) {
+    const auto cfg = m.core_config();
+    switch (m.core_kind) {
+      case McuSpec::CoreKind::kCortexM4:
+        EXPECT_EQ(cfg.name, "cortex-m4") << m.name;
+        break;
+      case McuSpec::CoreKind::kCortexM3:
+        EXPECT_EQ(cfg.name, "cortex-m3") << m.name;
+        break;
+      case McuSpec::CoreKind::kSimple16Bit:
+        EXPECT_EQ(cfg.name, "baseline-risc") << m.name;
+        break;
+    }
+  }
+}
+
+TEST(McuSpec, OperatingPointsAreSortedAscending) {
+  for (const auto& m : mcu_catalog()) {
+    for (size_t i = 1; i < m.op_freqs_hz.size(); ++i) {
+      EXPECT_LT(m.op_freqs_hz[i - 1], m.op_freqs_hz[i]) << m.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ulp::host

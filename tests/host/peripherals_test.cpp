@@ -1,0 +1,107 @@
+#include "host/peripherals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulp::host {
+namespace {
+
+struct SpiMasterFixture {
+  mem::Sram local{0, 4096};
+  std::map<Addr, u8> remote;
+  link::SpiWire wire{4, [this](Addr a, u8 b) { remote[a] = b; },
+                     [this](Addr a) { return remote.count(a) ? remote[a] : 0; }};
+  SpiMasterPeripheral spi{&wire, &local};
+
+  void drain() {
+    int guard = 0;
+    while (wire.busy()) {
+      wire.step();
+      ASSERT_LT(++guard, 1 << 20);
+    }
+  }
+};
+
+TEST(SpiMaster, MmioProgrammingSequenceTx) {
+  SpiMasterFixture f;
+  f.local.store(0x40, 4, 0xCAFE1234);
+  f.spi.write32(0x00, 0x5000);  // remote
+  f.spi.write32(0x04, 0x40);    // local
+  f.spi.write32(0x08, 4);       // len
+  EXPECT_EQ(f.spi.read32(0x10), 0u);  // idle before CMD
+  f.spi.write32(0x0C, 1);             // TX
+  EXPECT_EQ(f.spi.read32(0x10), 1u);  // busy
+  f.drain();
+  EXPECT_EQ(f.spi.read32(0x10), 0u);
+  EXPECT_EQ(f.remote[0x5000], 0x34);
+  EXPECT_EQ(f.remote[0x5003], 0xCA);
+}
+
+TEST(SpiMaster, MmioProgrammingSequenceRx) {
+  SpiMasterFixture f;
+  f.remote[0x6000] = 0xAB;
+  f.remote[0x6001] = 0xCD;
+  f.spi.write32(0x00, 0x6000);
+  f.spi.write32(0x04, 0x80);
+  f.spi.write32(0x08, 2);
+  f.spi.write32(0x0C, 2);  // RX
+  f.drain();
+  EXPECT_EQ(f.local.load(0x80, 2, false), 0xCDABu);
+}
+
+TEST(SpiMaster, RegistersReadBack) {
+  SpiMasterFixture f;
+  f.spi.write32(0x00, 123);
+  f.spi.write32(0x04, 456);
+  f.spi.write32(0x08, 789);
+  EXPECT_EQ(f.spi.read32(0x00), 123u);
+  EXPECT_EQ(f.spi.read32(0x04), 456u);
+  EXPECT_EQ(f.spi.read32(0x08), 789u);
+}
+
+TEST(SpiMaster, RejectsBadCommandAndOffset) {
+  SpiMasterFixture f;
+  EXPECT_THROW(f.spi.write32(0x0C, 3), SimError);
+  EXPECT_THROW((void)f.spi.read32(0x40), SimError);
+  EXPECT_THROW(f.spi.write32(0x40, 0), SimError);
+}
+
+TEST(Gpio, FetchEnableFiresOnRisingEdgeOnly) {
+  int boots = 0;
+  u32 booted_len = 0;
+  GpioPeripheral gpio([] { return false; }, [&](u32 len) {
+    ++boots;
+    booted_len = len;
+  });
+  gpio.write32(0x08, 2048);  // IMG_LEN
+  gpio.write32(0x00, 0);     // still low
+  EXPECT_EQ(boots, 0);
+  gpio.write32(0x00, 1);  // rising edge
+  EXPECT_EQ(boots, 1);
+  EXPECT_EQ(booted_len, 2048u);
+  gpio.write32(0x00, 1);  // level, no edge
+  EXPECT_EQ(boots, 1);
+  gpio.write32(0x00, 0);
+  gpio.write32(0x00, 1);  // second edge
+  EXPECT_EQ(boots, 2);
+}
+
+TEST(Gpio, EocLevelIsLive) {
+  bool eoc = false;
+  GpioPeripheral gpio([&] { return eoc; }, [](u32) {});
+  EXPECT_EQ(gpio.read32(0x04), 0u);
+  eoc = true;
+  EXPECT_EQ(gpio.read32(0x04), 1u);
+}
+
+TEST(HostWakeUnit, WakesOnlyOnEventKindAndEocLevel) {
+  bool eoc = false;
+  HostWakeUnit wu([&] { return eoc; });
+  EXPECT_FALSE(wu.check_wake(0, core::WakeKind::kEvent));
+  eoc = true;
+  EXPECT_TRUE(wu.check_wake(0, core::WakeKind::kEvent));
+  EXPECT_FALSE(wu.check_wake(0, core::WakeKind::kBarrier));
+  EXPECT_THROW((void)wu.barrier_arrive(0), SimError);
+}
+
+}  // namespace
+}  // namespace ulp::host

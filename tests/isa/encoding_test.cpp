@@ -1,0 +1,117 @@
+#include "isa/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "isa/disasm.hpp"
+
+namespace ulp::isa {
+namespace {
+
+// Picks a random immediate valid for the opcode's format.
+i32 random_imm(Rng& rng, Opcode op) {
+  switch (op_info(op).fmt) {
+    case Fmt::kR:
+      return 0;
+    case Fmt::kLui:
+      return rng.uniform(0, (1 << 20) - 1);
+    case Fmt::kJ:
+      return rng.uniform(-(1 << 19), (1 << 19) - 1);
+    default:
+      return rng.uniform(-(1 << 14), (1 << 14) - 1);
+  }
+}
+
+TEST(Encoding, RoundTripFuzzAllOpcodes) {
+  Rng rng(0xDEADBEEF);
+  for (size_t opi = 0; opi < kNumOpcodes; ++opi) {
+    const auto op = static_cast<Opcode>(opi);
+    for (int trial = 0; trial < 200; ++trial) {
+      Instr in;
+      in.op = op;
+      const Fmt fmt = op_info(op).fmt;
+      // Populate only fields the format encodes; others must stay zero for
+      // equality to hold after decode.
+      switch (fmt) {
+        case Fmt::kR:
+          in.rd = static_cast<u8>(rng.uniform(0, 31));
+          in.ra = static_cast<u8>(rng.uniform(0, 31));
+          in.rb = static_cast<u8>(rng.uniform(0, 31));
+          break;
+        case Fmt::kI:
+        case Fmt::kMem:
+        case Fmt::kLp:
+          in.rd = static_cast<u8>(rng.uniform(0, 31));
+          in.ra = static_cast<u8>(rng.uniform(0, 31));
+          break;
+        case Fmt::kB:
+          in.ra = static_cast<u8>(rng.uniform(0, 31));
+          in.rb = static_cast<u8>(rng.uniform(0, 31));
+          break;
+        case Fmt::kLui:
+        case Fmt::kJ:
+        case Fmt::kSys:
+          in.rd = static_cast<u8>(rng.uniform(0, 31));
+          break;
+      }
+      in.imm = random_imm(rng, op);
+      const u32 word = encode(in);
+      const Instr back = decode(word);
+      EXPECT_EQ(back, in) << disassemble(in) << " -> " << disassemble(back);
+    }
+  }
+}
+
+TEST(Encoding, RejectsOutOfRangeImmediates) {
+  Instr in;
+  in.op = Opcode::kAddi;
+  in.imm = 1 << 14;  // one past the 15-bit signed max
+  EXPECT_THROW((void)encode(in), SimError);
+  in.imm = -(1 << 14) - 1;
+  EXPECT_THROW((void)encode(in), SimError);
+  in.imm = (1 << 14) - 1;
+  EXPECT_NO_THROW((void)encode(in));
+}
+
+TEST(Encoding, RejectsInvalidOpcodeWord) {
+  const u32 bad = static_cast<u32>(kNumOpcodes) << 25;
+  EXPECT_THROW((void)decode(bad), SimError);
+}
+
+TEST(Encoding, ImmFitsMatchesFormats) {
+  EXPECT_TRUE(imm_fits(Opcode::kLui, (1 << 20) - 1));
+  EXPECT_FALSE(imm_fits(Opcode::kLui, 1 << 20));
+  EXPECT_FALSE(imm_fits(Opcode::kLui, -1));
+  EXPECT_TRUE(imm_fits(Opcode::kJal, -(1 << 19)));
+  EXPECT_FALSE(imm_fits(Opcode::kJal, 1 << 19));
+  EXPECT_TRUE(imm_fits(Opcode::kAdd, 0));
+  EXPECT_FALSE(imm_fits(Opcode::kAdd, 1));
+}
+
+TEST(Disasm, KnownPatterns) {
+  EXPECT_EQ(disassemble({Opcode::kMac, 3, 4, 5, 0}), "mac r3, r4, r5");
+  EXPECT_EQ(disassemble({Opcode::kLw, 1, 2, 0, 8}), "lw r1, 8(r2)");
+  EXPECT_EQ(disassemble({Opcode::kBeq, 0, 1, 2, -12}), "beq r1, r2, -12");
+  EXPECT_EQ(disassemble({Opcode::kLpSetup, 1, 5, 0, 3}), "lp.setup 1, r5, 3");
+  EXPECT_EQ(disassemble({Opcode::kBarrier, 0, 0, 0, 0}), "barrier");
+}
+
+TEST(OpClassification, LoadsStoresAndSizes) {
+  EXPECT_TRUE(is_load(Opcode::kLw));
+  EXPECT_TRUE(is_load(Opcode::kLbupi));
+  EXPECT_FALSE(is_load(Opcode::kSw));
+  EXPECT_TRUE(is_store(Opcode::kSbpi));
+  EXPECT_TRUE(is_postinc(Opcode::kLwpi));
+  EXPECT_FALSE(is_postinc(Opcode::kLw));
+  EXPECT_EQ(access_size(Opcode::kLw), 4);
+  EXPECT_EQ(access_size(Opcode::kLhu), 2);
+  EXPECT_EQ(access_size(Opcode::kSbpi), 1);
+  EXPECT_TRUE(is_branch(Opcode::kBgeu));
+  EXPECT_FALSE(is_branch(Opcode::kJal));
+  EXPECT_TRUE(is_simd(Opcode::kDotp4b));
+  EXPECT_FALSE(is_simd(Opcode::kMac));
+}
+
+}  // namespace
+}  // namespace ulp::isa

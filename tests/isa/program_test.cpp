@@ -1,0 +1,77 @@
+#include "isa/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+
+namespace ulp::isa {
+namespace {
+
+Program sample_program() {
+  Program p;
+  p.code = {
+      {Opcode::kAddi, 1, 0, 0, 64},
+      {Opcode::kLpSetup, 0, 1, 0, 2},
+      {Opcode::kLwpi, 2, 3, 0, 4},
+      {Opcode::kMac, 4, 2, 2, 0},
+      {Opcode::kEoc, 0, 0, 0, 1},
+  };
+  p.data.push_back({0x10000000, {1, 2, 3, 4, 5}});
+  p.data.push_back({0x1C000100, {9, 8, 7, 6}});
+  p.entry = 0;
+  return p;
+}
+
+TEST(Program, SerializeDeserializeRoundTrip) {
+  const Program p = sample_program();
+  const std::vector<u8> image = serialize(p);
+  const Program q = deserialize(image);
+  EXPECT_EQ(q.code, p.code);
+  EXPECT_EQ(q.entry, p.entry);
+  ASSERT_EQ(q.data.size(), p.data.size());
+  for (size_t i = 0; i < p.data.size(); ++i) {
+    EXPECT_EQ(q.data[i].addr, p.data[i].addr);
+    EXPECT_EQ(q.data[i].bytes, p.data[i].bytes);
+  }
+}
+
+TEST(Program, ImageSizeMatchesSerializedLength) {
+  const Program p = sample_program();
+  EXPECT_EQ(serialize(p).size(), p.image_size_bytes());
+}
+
+TEST(Program, ImageSizeAccountsPadding) {
+  Program p;
+  p.code = {{Opcode::kHalt, 0, 0, 0, 0}};
+  p.data.push_back({0, {1}});  // 1 byte -> padded to 4
+  EXPECT_EQ(p.image_size_bytes(), 16u + 4u + 8u + 4u);
+  EXPECT_EQ(serialize(p).size(), p.image_size_bytes());
+}
+
+TEST(Program, RejectsCorruptMagic) {
+  std::vector<u8> image = serialize(sample_program());
+  image[0] ^= 0xFF;
+  EXPECT_THROW((void)deserialize(image), SimError);
+}
+
+TEST(Program, RejectsTruncatedImage) {
+  std::vector<u8> image = serialize(sample_program());
+  image.resize(image.size() - 3);
+  EXPECT_THROW((void)deserialize(image), SimError);
+}
+
+TEST(Program, RejectsTrailingGarbage) {
+  std::vector<u8> image = serialize(sample_program());
+  image.push_back(0);
+  image.push_back(0);
+  image.push_back(0);
+  image.push_back(0);
+  EXPECT_THROW((void)deserialize(image), SimError);
+}
+
+TEST(Program, CodeSizeBytes) {
+  EXPECT_EQ(sample_program().code_size_bytes(), 5u * 4u);
+}
+
+}  // namespace
+}  // namespace ulp::isa

@@ -1,0 +1,123 @@
+// Correctness of all ten Table I kernels: every generated program must
+// reproduce its golden reference bit-exactly, on every core configuration
+// and platform it targets. Parameterised over the full kernel list.
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.hpp"
+#include "kernels/runner.hpp"
+
+namespace ulp::kernels {
+namespace {
+
+class KernelCorrectness : public ::testing::TestWithParam<KernelInfo> {};
+
+TEST_P(KernelCorrectness, FlatOr10nMatchesGolden) {
+  const auto cfg = core::or10n_config();
+  const KernelCase kc = GetParam().factory(cfg.features, 1, Target::kFlat, 7);
+  const RunOutcome out = run_on_flat(kc, cfg);
+  EXPECT_TRUE(out.matches(kc)) << kc.name;
+}
+
+TEST_P(KernelCorrectness, FlatCortexM4MatchesGolden) {
+  const auto cfg = core::cortex_m4_config();
+  const KernelCase kc = GetParam().factory(cfg.features, 1, Target::kFlat, 7);
+  const RunOutcome out = run_on_flat(kc, cfg);
+  EXPECT_TRUE(out.matches(kc)) << kc.name;
+}
+
+TEST_P(KernelCorrectness, FlatBaselineMatchesGolden) {
+  const auto cfg = core::baseline_config();
+  const KernelCase kc = GetParam().factory(cfg.features, 1, Target::kFlat, 7);
+  const RunOutcome out = run_on_flat(kc, cfg);
+  EXPECT_TRUE(out.matches(kc)) << kc.name;
+}
+
+TEST_P(KernelCorrectness, Cluster4CoresMatchesGolden) {
+  const auto cfg = core::or10n_config();
+  const KernelCase kc =
+      GetParam().factory(cfg.features, 4, Target::kCluster, 7);
+  const RunOutcome out = run_on_cluster(kc, cfg, 4);
+  EXPECT_TRUE(out.matches(kc)) << kc.name;
+}
+
+TEST_P(KernelCorrectness, Cluster1CoreMatchesGolden) {
+  const auto cfg = core::or10n_config();
+  const KernelCase kc =
+      GetParam().factory(cfg.features, 1, Target::kCluster, 7);
+  const RunOutcome out = run_on_cluster(kc, cfg, 1);
+  EXPECT_TRUE(out.matches(kc)) << kc.name;
+}
+
+TEST_P(KernelCorrectness, DifferentSeedsDifferentData) {
+  const auto cfg = core::or10n_config();
+  const KernelCase a = GetParam().factory(cfg.features, 1, Target::kFlat, 1);
+  const KernelCase b = GetParam().factory(cfg.features, 1, Target::kFlat, 2);
+  EXPECT_NE(a.input, b.input) << a.name;
+}
+
+TEST_P(KernelCorrectness, ParallelSpeedupIsReal) {
+  // 4 cores must beat 1 core, and by no more than the ideal 4x.
+  const auto cfg = core::or10n_config();
+  const KernelCase k1 =
+      GetParam().factory(cfg.features, 1, Target::kCluster, 7);
+  const KernelCase k4 =
+      GetParam().factory(cfg.features, 4, Target::kCluster, 7);
+  const u64 c1 = run_on_cluster(k1, cfg, 1).cycles;
+  const u64 c4 = run_on_cluster(k4, cfg, 4).cycles;
+  const double speedup =
+      static_cast<double>(c1) / static_cast<double>(c4);
+  EXPECT_GT(speedup, 1.5) << k1.name;
+  EXPECT_LT(speedup, 4.05) << k1.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelCorrectness, ::testing::ValuesIn(all_kernels()),
+    [](const ::testing::TestParamInfo<KernelInfo>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(KernelTable, SizesMatchPaperScale) {
+  // Table I sanity: input/output sizes of the headline kernels.
+  const auto cfg = core::or10n_config();
+  const KernelCase mm = make_matmul_char(cfg.features, 4, Target::kCluster, 7);
+  EXPECT_EQ(mm.input.size(), 8u * 1024u);
+  EXPECT_EQ(mm.output_bytes, 4u * 1024u);
+  const KernelCase ms = make_matmul_short(cfg.features, 4, Target::kCluster, 7);
+  EXPECT_EQ(ms.input.size(), 16u * 1024u);
+  EXPECT_EQ(ms.output_bytes, 8u * 1024u);
+  const KernelCase cn = make_cnn(cfg.features, 4, Target::kCluster, 7);
+  EXPECT_EQ(cn.input.size(), 2u * 1024u);
+  EXPECT_EQ(cn.output_bytes, 40u);
+  const KernelCase hg = make_hog(cfg.features, 4, Target::kCluster, 7);
+  EXPECT_EQ(hg.input.size(), 16u * 1024u);
+  EXPECT_GT(hg.output_bytes, 30u * 1024u);
+}
+
+TEST(KernelTable, RiscOpsOrdering) {
+  // The paper's RISC-op ordering: svm << matmul/cnn << hog.
+  u64 ops_svm = 0, ops_mm = 0, ops_hog = 0;
+  for (const KernelInfo& info : all_kernels()) {
+    if (info.name == "svm (linear)") ops_svm = measure_risc_ops(info);
+    if (info.name == "matmul") ops_mm = measure_risc_ops(info);
+    if (info.name == "hog") ops_hog = measure_risc_ops(info);
+  }
+  EXPECT_GT(ops_mm, ops_svm);
+  EXPECT_GT(ops_hog, ops_mm);
+}
+
+TEST(KernelTable, StrassenBeatsDirectOnOps) {
+  // Strassen must need fewer baseline multiplications than direct matmul.
+  u64 ops_mm = 0, ops_st = 0;
+  for (const KernelInfo& info : all_kernels()) {
+    if (info.name == "matmul") ops_mm = measure_risc_ops(info);
+    if (info.name == "strassen") ops_st = measure_risc_ops(info);
+  }
+  EXPECT_LT(ops_st, ops_mm * 11 / 10);  // within noise of the paper's ratio
+}
+
+}  // namespace
+}  // namespace ulp::kernels

@@ -1,0 +1,67 @@
+#include "link/spi_link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulp::link {
+namespace {
+
+TEST(SpiLink, ClockFollowsMcuUntilCap) {
+  SpiLink l(SpiLinkConfig{.max_freq_hz = mhz(24)});
+  EXPECT_DOUBLE_EQ(l.clock_hz(mhz(8)), mhz(4));
+  EXPECT_DOUBLE_EQ(l.clock_hz(mhz(32)), mhz(16));
+  EXPECT_DOUBLE_EQ(l.clock_hz(mhz(80)), mhz(24));  // capped
+}
+
+TEST(SpiLink, QuadModeQuadruplesBandwidth) {
+  SpiLink single(SpiLinkConfig{.lanes = 1});
+  SpiLink quad(SpiLinkConfig{.lanes = 4});
+  EXPECT_DOUBLE_EQ(quad.bandwidth_bps(mhz(16)) / single.bandwidth_bps(mhz(16)),
+                   4.0);
+}
+
+TEST(SpiLink, TransferTimeMatchesHandComputation) {
+  // 1 KiB over single SPI at f_mcu=16 MHz -> f_spi=8 MHz, 1 bit/clock:
+  // (8192 + 40 overhead) bits / 8e6 bps.
+  SpiLink l(SpiLinkConfig{});
+  EXPECT_NEAR(l.transfer_seconds(1024, mhz(16)), (8192.0 + 40.0) / 8e6,
+              1e-12);
+}
+
+TEST(SpiLink, ZeroBytesIsFree) {
+  SpiLink l(SpiLinkConfig{});
+  EXPECT_DOUBLE_EQ(l.transfer_seconds(0, mhz(16)), 0.0);
+  EXPECT_DOUBLE_EQ(l.transfer_energy_j(0), 0.0);
+}
+
+TEST(SpiLink, FrameOverheadHurtsSmallTransfersMore) {
+  SpiLink l(SpiLinkConfig{});
+  const double t4 = l.transfer_seconds(4, mhz(16));
+  const double t4096 = l.transfer_seconds(4096, mhz(16));
+  // Per-byte cost of a tiny transfer is much worse than a big one.
+  EXPECT_GT(t4 / 4.0, 1.5 * t4096 / 4096.0);
+}
+
+TEST(SpiLink, DecoupledClockIgnoresMcuFrequency) {
+  SpiLinkConfig cfg;
+  cfg.decoupled_clock_hz = mhz(20);
+  SpiLink l(cfg);
+  EXPECT_DOUBLE_EQ(l.clock_hz(mhz(1)), mhz(20));
+  EXPECT_DOUBLE_EQ(l.clock_hz(mhz(80)), mhz(20));
+}
+
+TEST(SpiLink, EnergyProportionalToBits) {
+  SpiLink l(SpiLinkConfig{});
+  const double e1 = l.transfer_energy_j(1000);
+  const double e2 = l.transfer_energy_j(2000);
+  EXPECT_GT(e2, e1 * 1.9);
+  EXPECT_LT(e2, e1 * 2.1);
+}
+
+TEST(SpiLink, RejectsBadLaneCount) {
+  SpiLinkConfig cfg;
+  cfg.lanes = 3;
+  EXPECT_THROW(SpiLink l(cfg), SimError);
+}
+
+}  // namespace
+}  // namespace ulp::link

@@ -1,0 +1,100 @@
+#include "link/spi_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ulp::link {
+namespace {
+
+struct WireFixture {
+  std::map<Addr, u8> remote;
+  std::map<Addr, u8> local;
+  SpiWire wire;
+
+  explicit WireFixture(u32 lanes)
+      : wire(lanes, [this](Addr a, u8 b) { remote[a] = b; },
+             [this](Addr a) { return remote.count(a) ? remote[a] : 0; }) {}
+
+  void start_tx(Addr local_a, Addr remote_a, u32 len) {
+    wire.start(true, local_a, remote_a, len,
+               [this](Addr a) { return local.count(a) ? local[a] : 0; },
+               [this](Addr a, u8 b) { local[a] = b; });
+  }
+  void start_rx(Addr local_a, Addr remote_a, u32 len) {
+    wire.start(false, local_a, remote_a, len,
+               [this](Addr a) { return local.count(a) ? local[a] : 0; },
+               [this](Addr a, u8 b) { local[a] = b; });
+  }
+  u64 run_to_idle() {
+    u64 cycles = 0;
+    while (wire.busy()) {
+      wire.step();
+      ++cycles;
+      EXPECT_LT(cycles, 1u << 20);
+    }
+    return cycles;
+  }
+};
+
+TEST(SpiWire, TxMovesBytesInOrder) {
+  WireFixture f(4);
+  for (u32 i = 0; i < 16; ++i) f.local[0x100 + i] = static_cast<u8>(i * 7);
+  f.start_tx(0x100, 0x2000, 16);
+  f.run_to_idle();
+  for (u32 i = 0; i < 16; ++i) {
+    EXPECT_EQ(f.remote[0x2000 + i], static_cast<u8>(i * 7));
+  }
+  EXPECT_EQ(f.wire.bytes_moved(), 16u);
+}
+
+TEST(SpiWire, RxPullsFromRemote) {
+  WireFixture f(1);
+  for (u32 i = 0; i < 8; ++i) f.remote[0x300 + i] = static_cast<u8>(0xA0 + i);
+  f.start_rx(0x10, 0x300, 8);
+  f.run_to_idle();
+  for (u32 i = 0; i < 8; ++i) {
+    EXPECT_EQ(f.local[0x10 + i], static_cast<u8>(0xA0 + i));
+  }
+}
+
+TEST(SpiWire, TimingMatchesLaneCount) {
+  // Payload cycles: len * 16/lanes host cycles, plus the fixed preamble.
+  for (u32 lanes : {1u, 2u, 4u}) {
+    WireFixture f(lanes);
+    f.start_tx(0, 0x100, 64);
+    const u64 cycles = f.run_to_idle();
+    const u64 expected = 2u * 40 / lanes + 64u * (16 / lanes);
+    EXPECT_EQ(cycles, expected) << lanes << " lanes";
+  }
+}
+
+TEST(SpiWire, QuadIsFourTimesFaster) {
+  WireFixture f1(1), f4(4);
+  f1.start_tx(0, 0x100, 1024);
+  f4.start_tx(0, 0x100, 1024);
+  const u64 c1 = f1.run_to_idle();
+  const u64 c4 = f4.run_to_idle();
+  EXPECT_NEAR(static_cast<double>(c1) / static_cast<double>(c4), 4.0, 0.05);
+}
+
+TEST(SpiWire, RejectsOverlappingTransfers) {
+  WireFixture f(4);
+  f.start_tx(0, 0x100, 8);
+  EXPECT_THROW(f.start_tx(0, 0x200, 8), SimError);
+}
+
+TEST(SpiWire, ZeroLengthIsNoOp) {
+  WireFixture f(4);
+  f.start_tx(0, 0x100, 0);
+  EXPECT_FALSE(f.wire.busy());
+}
+
+TEST(SpiWire, StepWhileIdleIsHarmless) {
+  WireFixture f(4);
+  for (int i = 0; i < 10; ++i) f.wire.step();
+  EXPECT_EQ(f.wire.busy_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace ulp::link

@@ -1,0 +1,55 @@
+#include "mem/icache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulp::mem {
+namespace {
+
+TEST(SharedICache, FirstTouchMissesThenHits) {
+  SharedICache ic(4, 8);
+  ic.reset(64);
+  EXPECT_EQ(ic.fetch(0), 8u);  // cold line
+  EXPECT_EQ(ic.fetch(1), 0u);  // same line
+  EXPECT_EQ(ic.fetch(3), 0u);
+  EXPECT_EQ(ic.fetch(4), 8u);  // next line
+  EXPECT_EQ(ic.fetch(0), 0u);  // still resident
+  EXPECT_EQ(ic.misses(), 2u);
+  EXPECT_EQ(ic.hits(), 3u);
+}
+
+TEST(SharedICache, SharedAcrossFetchers) {
+  // The same object serves all cores: a line one core pulled is a hit for
+  // the others (no per-requestor state by construction).
+  SharedICache ic(4, 8);
+  ic.reset(16);
+  EXPECT_EQ(ic.fetch(8), 8u);
+  EXPECT_EQ(ic.fetch(8), 0u);
+  EXPECT_EQ(ic.fetch(9), 0u);
+}
+
+TEST(SharedICache, ResetForgetsEverything) {
+  SharedICache ic(4, 8);
+  ic.reset(16);
+  (void)ic.fetch(0);
+  ic.reset(16);
+  EXPECT_EQ(ic.fetch(0), 8u);
+  EXPECT_EQ(ic.misses(), 1u);  // counters restart too
+}
+
+TEST(SharedICache, FetchBeyondProgramIsCaught) {
+  SharedICache ic(4, 8);
+  ic.reset(8);
+  EXPECT_THROW((void)ic.fetch(1000), SimError);
+}
+
+TEST(SharedICache, MissCountBoundedByLines) {
+  SharedICache ic(4, 8);
+  ic.reset(100);
+  for (int round = 0; round < 5; ++round) {
+    for (u32 pc = 0; pc < 100; ++pc) (void)ic.fetch(pc);
+  }
+  EXPECT_EQ(ic.misses(), 25u);  // ceil(100 instructions / 4 per line)
+}
+
+}  // namespace
+}  // namespace ulp::mem

@@ -1,0 +1,79 @@
+#include "mem/mem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hpp"
+
+namespace ulp::mem {
+namespace {
+
+TEST(LoadStoreLe, ByteOrdering) {
+  std::vector<u8> buf(8, 0);
+  store_le(buf, 0, 4, 0x11223344);
+  EXPECT_EQ(buf[0], 0x44);
+  EXPECT_EQ(buf[1], 0x33);
+  EXPECT_EQ(buf[2], 0x22);
+  EXPECT_EQ(buf[3], 0x11);
+  EXPECT_EQ(load_le(buf, 0, 4, false), 0x11223344u);
+}
+
+TEST(LoadStoreLe, SignExtension) {
+  std::vector<u8> buf(4, 0);
+  store_le(buf, 0, 2, 0x8001);
+  EXPECT_EQ(load_le(buf, 0, 2, true), 0xFFFF8001u);
+  EXPECT_EQ(load_le(buf, 0, 2, false), 0x8001u);
+  store_le(buf, 2, 1, 0x80);
+  EXPECT_EQ(load_le(buf, 2, 1, true), 0xFFFFFF80u);
+  EXPECT_EQ(load_le(buf, 2, 1, false), 0x80u);
+}
+
+TEST(LoadStoreLe, RejectsBadSize) {
+  std::vector<u8> buf(8, 0);
+  EXPECT_THROW((void)load_le(buf, 0, 0, false), SimError);
+  EXPECT_THROW((void)load_le(buf, 0, 5, false), SimError);
+  EXPECT_THROW(store_le(buf, 0, 8, 0), SimError);
+}
+
+TEST(LoadStoreLe, ThreeByteSubWordAccess) {
+  // Size 3 = the straddling part of an unaligned word access.
+  std::vector<u8> buf(8, 0);
+  store_le(buf, 1, 3, 0xABCDEF);
+  EXPECT_EQ(load_le(buf, 1, 3, false), 0xABCDEFu);
+  EXPECT_EQ(buf[0], 0);
+  EXPECT_EQ(buf[4], 0);
+  // Sign extension from bit 23.
+  store_le(buf, 1, 3, 0x800000);
+  EXPECT_EQ(load_le(buf, 1, 3, true), 0xFF800000u);
+}
+
+TEST(Sram, ContainsAndBounds) {
+  Sram s(0x1000, 256);
+  EXPECT_TRUE(s.contains(0x1000, 4));
+  EXPECT_TRUE(s.contains(0x10FC, 4));
+  EXPECT_FALSE(s.contains(0x10FD, 4));
+  EXPECT_FALSE(s.contains(0x0FFF, 1));
+  EXPECT_THROW((void)s.load(0x0FFF, 4, false), SimError);
+  EXPECT_THROW(s.store(0x1100, 1, 0), SimError);
+}
+
+TEST(Sram, LoadStoreAtBase) {
+  Sram s(0x2000, 64);
+  s.store(0x2000, 4, 0xCAFEBABE);
+  EXPECT_EQ(s.load(0x2000, 4, false), 0xCAFEBABEu);
+  s.store(0x203C, 2, 0xBEEF);
+  EXPECT_EQ(s.load(0x203C, 2, false), 0xBEEFu);
+}
+
+TEST(SimpleBus, AlwaysGrantsWithConfiguredLatency) {
+  Sram s(0, 64);
+  SimpleBus bus(&s, 2);
+  const BusResult w = bus.access(8, 4, true, 0x1234, false, 0);
+  EXPECT_TRUE(w.granted);
+  EXPECT_EQ(w.latency, 2u);
+  const BusResult r = bus.access(8, 4, false, 0, false, 0);
+  EXPECT_TRUE(r.granted);
+  EXPECT_EQ(r.data, 0x1234u);
+}
+
+}  // namespace
+}  // namespace ulp::mem

@@ -1,0 +1,92 @@
+#include "mem/tcdm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hpp"
+
+namespace ulp::mem {
+namespace {
+
+TEST(Tcdm, WordInterleavedBankMapping) {
+  Tcdm t(0x10000000, 8, 1024);
+  EXPECT_EQ(t.bank_of(0x10000000), 0u);
+  EXPECT_EQ(t.bank_of(0x10000004), 1u);
+  EXPECT_EQ(t.bank_of(0x1000001C), 7u);
+  EXPECT_EQ(t.bank_of(0x10000020), 0u);  // wraps after 8 words
+  // Sub-word accesses inside the same word hit the same bank.
+  EXPECT_EQ(t.bank_of(0x10000005), 1u);
+  EXPECT_EQ(t.bank_of(0x10000007), 1u);
+}
+
+TEST(Tcdm, OneGrantPerBankPerCycle) {
+  Tcdm t(0, 4, 1024);
+  t.begin_cycle();
+  EXPECT_TRUE(t.try_grant(0x0));     // bank 0
+  EXPECT_FALSE(t.try_grant(0x0));    // same bank: conflict
+  EXPECT_FALSE(t.try_grant(0x10));   // word 4 -> bank 0 again: conflict
+  EXPECT_TRUE(t.try_grant(0x4));     // bank 1: fine
+  EXPECT_TRUE(t.try_grant(0x8));     // bank 2
+  EXPECT_TRUE(t.try_grant(0xC));     // bank 3
+  EXPECT_EQ(t.total_conflicts(), 2u);
+  EXPECT_EQ(t.total_accesses(), 4u);
+
+  t.begin_cycle();
+  EXPECT_TRUE(t.try_grant(0x0));  // next cycle: bank free again
+}
+
+TEST(Tcdm, RejectsNonPowerOfTwoBanks) {
+  EXPECT_THROW(Tcdm(0, 3, 1024), SimError);
+}
+
+TEST(Tcdm, LoadStoreFunctional) {
+  Tcdm t(0x10000000, 8, 1024);
+  t.store(0x10000010, 4, 0xA5A5A5A5);
+  EXPECT_EQ(t.load(0x10000010, 4, false), 0xA5A5A5A5u);
+  t.store(0x10000014, 2, 0x8000);
+  EXPECT_EQ(t.load(0x10000014, 2, true), 0xFFFF8000u);
+}
+
+TEST(ClusterBus, RoutesTcdmL2AndRejectsUnmapped) {
+  Tcdm t(0x10000000, 8, 1024);
+  Sram l2(0x1C000000, 4096);
+  ClusterBus bus(&t, &l2, 4);
+  bus.begin_cycle();
+
+  const BusResult rt = bus.access(0x10000000, 4, true, 77, false, 0);
+  EXPECT_TRUE(rt.granted);
+  EXPECT_EQ(rt.latency, 1u);
+
+  const BusResult rl = bus.access(0x1C000000, 4, true, 88, false, 0);
+  EXPECT_TRUE(rl.granted);
+  EXPECT_EQ(rl.latency, 4u);
+
+  EXPECT_THROW((void)bus.access(0x50000000, 4, false, 0, false, 0), SimError);
+  EXPECT_EQ(bus.debug_load(0x10000000, 4, false), 77u);
+  EXPECT_EQ(bus.debug_load(0x1C000000, 4, false), 88u);
+}
+
+TEST(ClusterBus, L2SinglePortPerCycle) {
+  Tcdm t(0x10000000, 8, 1024);
+  Sram l2(0x1C000000, 4096);
+  ClusterBus bus(&t, &l2, 4);
+  bus.begin_cycle();
+  EXPECT_TRUE(bus.access(0x1C000000, 4, false, 0, false, 0).granted);
+  EXPECT_FALSE(bus.access(0x1C000010, 4, false, 0, false, 1).granted);
+  bus.begin_cycle();
+  EXPECT_TRUE(bus.access(0x1C000010, 4, false, 0, false, 1).granted);
+}
+
+TEST(ClusterBus, TcdmConflictStallsSecondMaster) {
+  Tcdm t(0x10000000, 2, 1024);
+  Sram l2(0x1C000000, 1024);
+  ClusterBus bus(&t, &l2, 4);
+  bus.begin_cycle();
+  // Word 0 and word 2 both map to bank 0 of a 2-bank TCDM.
+  EXPECT_TRUE(bus.access(0x10000000, 4, false, 0, false, 0).granted);
+  EXPECT_FALSE(bus.access(0x10000008, 4, false, 0, false, 1).granted);
+  // A bank-1 access still goes through the same cycle.
+  EXPECT_TRUE(bus.access(0x10000004, 4, false, 0, false, 2).granted);
+}
+
+}  // namespace
+}  // namespace ulp::mem

@@ -1,0 +1,188 @@
+#include "power/pulp_power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "kernels/kernel.hpp"
+#include "kernels/runner.hpp"
+
+namespace ulp::power {
+namespace {
+
+TEST(PulpPowerModel, FmaxMonotonicInVdd) {
+  PulpPowerModel pm;
+  double prev = 0;
+  for (double vdd = 0.5; vdd <= 1.0 + 1e-9; vdd += 0.01) {
+    const double f = pm.fmax_hz(vdd);
+    EXPECT_GT(f, prev) << "vdd=" << vdd;
+    prev = f;
+  }
+}
+
+TEST(PulpPowerModel, FmaxTablePointsExact) {
+  PulpPowerModel pm;
+  EXPECT_DOUBLE_EQ(pm.fmax_hz(0.5), mhz(16));
+  EXPECT_DOUBLE_EQ(pm.fmax_hz(1.0), mhz(450));
+  // Interpolated point lies strictly between its neighbours.
+  EXPECT_GT(pm.fmax_hz(0.65), pm.fmax_hz(0.6));
+  EXPECT_LT(pm.fmax_hz(0.65), pm.fmax_hz(0.7));
+}
+
+TEST(PulpPowerModel, RejectsOutOfRangeVdd) {
+  PulpPowerModel pm;
+  EXPECT_THROW((void)pm.fmax_hz(0.4), SimError);
+  EXPECT_THROW((void)pm.fmax_hz(1.2), SimError);
+}
+
+TEST(PulpPowerModel, LeakageGrowsWithVdd) {
+  PulpPowerModel pm;
+  EXPECT_LT(pm.leakage_w(0.5), pm.leakage_w(0.8));
+  EXPECT_LT(pm.leakage_w(0.8), pm.leakage_w(1.0));
+}
+
+TEST(PulpPowerModel, DynamicScalesLinearlyWithFrequency) {
+  PulpPowerModel pm;
+  const ActivityFactors chi = ActivityFactors::all_on(4);
+  const double p1 = pm.dynamic_w(chi, 0.8, mhz(100));
+  const double p2 = pm.dynamic_w(chi, 0.8, mhz(200));
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-9);
+}
+
+TEST(PulpPowerModel, DynamicScalesQuadraticallyWithVdd) {
+  PulpPowerModel pm;
+  const ActivityFactors chi = ActivityFactors::all_on(4);
+  const double p1 = pm.dynamic_w(chi, 0.5, mhz(10));
+  const double p2 = pm.dynamic_w(chi, 1.0, mhz(10));
+  EXPECT_NEAR(p2 / p1, 4.0, 1e-9);
+}
+
+TEST(PulpPowerModel, IdleCoresCostLessThanRunning) {
+  PulpPowerModel pm;
+  ActivityFactors running;
+  running.cores_run = 4;
+  ActivityFactors idle;
+  idle.cores_idle = 4;
+  EXPECT_GT(pm.dynamic_w(running, 0.8, mhz(100)),
+            5 * pm.dynamic_w(idle, 0.8, mhz(100)));
+}
+
+TEST(PulpPowerModel, Figure3AnchorReproduced) {
+  // The paper's headline: ~304 GOPS/W peak at ~1.48 mW on matmul.
+  PulpPowerModel pm;
+  const auto cfg = core::or10n_config();
+  const auto& info = kernels::all_kernels()[0];  // matmul (char)
+  const u64 risc_ops = kernels::measure_risc_ops(info);
+  const auto kc = info.factory(cfg.features, 4, kernels::Target::kCluster, 1);
+  const auto run = kernels::run_on_cluster(kc, cfg, 4);
+  const ActivityFactors chi = ActivityFactors::from_stats(run.stats);
+
+  const OperatingPoint op{0.5, pm.fmax_hz(0.5)};
+  const double watts = pm.total_w(chi, op);
+  const double gops =
+      static_cast<double>(risc_ops) / static_cast<double>(run.cycles) *
+      op.freq_hz / 1e9;
+  const double eff = gops / watts;
+  EXPECT_NEAR(watts, mw(1.48), mw(0.15));
+  EXPECT_NEAR(eff, 304.0, 25.0);
+}
+
+TEST(PulpPowerModel, MaxPerformancePointRespectsBudget) {
+  PulpPowerModel pm;
+  const ActivityFactors chi = ActivityFactors::all_on(4);
+  for (double budget : {mw(0.5), mw(2), mw(5), mw(10), mw(50)}) {
+    const auto op = pm.max_performance_point(budget, chi);
+    ASSERT_TRUE(op.has_value()) << budget;
+    EXPECT_LE(pm.total_w(chi, *op), budget * 1.0001);
+    // No headroom left unused: a 5% faster point must exceed the budget
+    // (unless already at the absolute maximum).
+    if (op->freq_hz < pm.fmax_hz(1.0) * 0.99) {
+      OperatingPoint faster = *op;
+      faster.vdd = std::min(1.0, faster.vdd + 0.02);
+      faster.freq_hz = pm.fmax_hz(faster.vdd);
+      EXPECT_GT(pm.total_w(chi, faster), budget * 0.999);
+    }
+  }
+}
+
+TEST(PulpPowerModel, MaxPerformancePointMonotonicInBudget) {
+  PulpPowerModel pm;
+  const ActivityFactors chi = ActivityFactors::all_on(4);
+  double prev = 0;
+  for (double budget = mw(0.5); budget < mw(100); budget *= 1.5) {
+    const auto op = pm.max_performance_point(budget, chi);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_GE(op->freq_hz, prev);
+    prev = op->freq_hz;
+  }
+}
+
+TEST(PulpPowerModel, TinyBudgetIsInfeasible) {
+  PulpPowerModel pm;
+  const ActivityFactors chi = ActivityFactors::all_on(4);
+  EXPECT_FALSE(pm.max_performance_point(uw(50), chi).has_value());
+}
+
+TEST(PulpPowerModel, ForwardBiasTradesLeakageForFrequency) {
+  PulpPowerModel pm;
+  for (double vdd : {0.5, 0.7, 1.0}) {
+    EXPECT_NEAR(pm.fmax_hz(vdd, BiasMode::kForwardBias) / pm.fmax_hz(vdd),
+                PulpPowerModel::kFbbSpeedup, 1e-9);
+    EXPECT_NEAR(pm.leakage_w(vdd, BiasMode::kForwardBias) / pm.leakage_w(vdd),
+                PulpPowerModel::kFbbLeakageFactor, 1e-9);
+  }
+}
+
+TEST(PulpPowerModel, BoostHelpsOnlyWithGenerousBudgets) {
+  PulpPowerModel pm;
+  const ActivityFactors chi = ActivityFactors::all_on(4);
+  // Tight budget: leakage-dominated, boost must not be selected.
+  const auto tight = pm.max_performance_point(mw(0.6), chi, true);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_EQ(tight->bias, BiasMode::kNominal);
+  // Generous budget: the bias point buys net frequency.
+  const auto roomy = pm.max_performance_point(mw(60), chi, true);
+  const auto plain = pm.max_performance_point(mw(60), chi, false);
+  ASSERT_TRUE(roomy.has_value());
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_GE(roomy->freq_hz, plain->freq_hz);
+}
+
+TEST(PulpPowerModel, BoostNeverViolatesBudget) {
+  PulpPowerModel pm;
+  const ActivityFactors chi = ActivityFactors::all_on(4);
+  for (double budget = mw(0.5); budget < mw(200); budget *= 1.7) {
+    const auto op = pm.max_performance_point(budget, chi, true);
+    if (!op) continue;
+    EXPECT_LE(pm.total_w(chi, *op), budget * 1.0001) << budget;
+  }
+}
+
+TEST(PulpPowerModel, BoostAtLeastAsFastAsNominal) {
+  PulpPowerModel pm;
+  const ActivityFactors chi = ActivityFactors::all_on(4);
+  for (double budget = mw(0.5); budget < mw(200); budget *= 1.7) {
+    const auto boosted = pm.max_performance_point(budget, chi, true);
+    const auto nominal = pm.max_performance_point(budget, chi, false);
+    if (!nominal) continue;
+    ASSERT_TRUE(boosted.has_value());
+    EXPECT_GE(boosted->freq_hz, nominal->freq_hz * 0.999) << budget;
+  }
+}
+
+TEST(ActivityFactors, FromStatsRanges) {
+  const auto cfg = core::or10n_config();
+  const auto& info = kernels::all_kernels()[0];
+  const auto kc = info.factory(cfg.features, 4, kernels::Target::kCluster, 1);
+  const auto run = kernels::run_on_cluster(kc, cfg, 4);
+  const ActivityFactors chi = ActivityFactors::from_stats(run.stats);
+  EXPECT_GT(chi.cores_run, 2.0);
+  EXPECT_LE(chi.cores_run + chi.cores_idle, 4.0 + 1e-6);
+  EXPECT_GT(chi.mem, 0.1);
+  EXPECT_LE(chi.mem, 8.0);
+  EXPECT_GE(chi.dma, 0.0);
+  EXPECT_LE(chi.dma, 1.0);
+}
+
+}  // namespace
+}  // namespace ulp::power

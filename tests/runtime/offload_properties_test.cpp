@@ -1,0 +1,88 @@
+// Offload-timing properties, parameterised over every Table I kernel:
+// invariants of the analytic model that Figure 5's plots rely on.
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.hpp"
+#include "runtime/offload.hpp"
+
+namespace ulp::runtime {
+namespace {
+
+class OffloadProperties
+    : public ::testing::TestWithParam<kernels::KernelInfo> {
+ protected:
+  OffloadOutcome run_one(double mcu_freq) {
+    const auto cfg = core::or10n_config();
+    const auto kc = GetParam().factory(cfg.features, 4,
+                                       kernels::Target::kCluster, 3);
+    link::SpiLinkConfig lcfg;
+    lcfg.lanes = 4;
+    OffloadSession session(host::stm32l476(), mcu_freq,
+                           link::SpiLink(lcfg));
+    const power::OperatingPoint op{0.5,
+                                   session.power_model().fmax_hz(0.5)};
+    auto outcome = session.run(kc.offload_request(), op);
+    EXPECT_EQ(outcome.output, kc.expected) << GetParam().name;
+    return outcome;
+  }
+};
+
+TEST_P(OffloadProperties, EfficiencyMonotoneAndBounded) {
+  const auto o = run_one(mhz(16));
+  double prev = 0;
+  for (u32 n = 1; n <= 1024; n *= 2) {
+    for (const bool db : {false, true}) {
+      const double eff = o.timing.efficiency(n, db);
+      EXPECT_GT(eff, 0.0);
+      EXPECT_LE(eff, 1.0 + 1e-12) << GetParam().name;
+    }
+    const double eff_seq = o.timing.efficiency(n, false);
+    EXPECT_GE(eff_seq, prev - 1e-12);
+    prev = eff_seq;
+  }
+}
+
+TEST_P(OffloadProperties, DoubleBufferingNeverHurts) {
+  const auto o = run_one(mhz(16));
+  for (u32 n = 1; n <= 256; n *= 4) {
+    EXPECT_LE(o.timing.total_s(n, true), o.timing.total_s(n, false) + 1e-12)
+        << GetParam().name << " n=" << n;
+  }
+}
+
+TEST_P(OffloadProperties, TotalTimeLowerBounds) {
+  const auto o = run_one(mhz(16));
+  for (u32 n : {1u, 7u, 64u}) {
+    for (const bool db : {false, true}) {
+      const double total = o.timing.total_s(n, db);
+      // No schedule can beat pure compute or pure transfer time (the wire
+      // is half-duplex; even the pipelined schedule serialises transfers).
+      EXPECT_GE(total, n * o.timing.t_compute_s - 1e-12);
+      EXPECT_GE(total, o.timing.t_binary_s +
+                           n * (o.timing.t_in_s + o.timing.t_out_s) - 1e-9);
+    }
+  }
+}
+
+TEST_P(OffloadProperties, HigherMcuFrequencyNeverSlowsTheLink) {
+  const auto slow = run_one(mhz(4));
+  const auto fast = run_one(mhz(26));
+  EXPECT_LE(fast.timing.t_in_s, slow.timing.t_in_s);
+  EXPECT_LE(fast.timing.t_binary_s, slow.timing.t_binary_s);
+  // Compute time is MCU-frequency independent.
+  EXPECT_NEAR(fast.timing.t_compute_s, slow.timing.t_compute_s, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, OffloadProperties,
+    ::testing::ValuesIn(kernels::all_kernels()),
+    [](const ::testing::TestParamInfo<kernels::KernelInfo>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ulp::runtime

@@ -1,0 +1,154 @@
+// The OpenMP-style frontend: data clauses, worksharing, section barriers.
+#include "runtime/omp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "host/mcu.hpp"
+#include "kernels/runner.hpp"
+#include "soc/pulp_soc.hpp"
+
+namespace ulp::omp {
+namespace {
+
+using codegen::Builder;
+using isa::Opcode;
+
+/// Runs an Offloadable on a fresh 4-core SoC and returns the output bytes.
+std::vector<u8> run_offloadable(const Offloadable& off, u32 num_cores = 4) {
+  cluster::ClusterParams params;
+  params.num_cores = num_cores;
+  soc::PulpSoc soc(params);
+  soc.boot_image(isa::serialize(off.program));
+  soc.qspi_write(off.input_addr, off.input);
+  soc.run_to_eoc();
+  std::vector<u8> out(off.output_bytes);
+  soc.qspi_read(off.output_addr, out);
+  return out;
+}
+
+std::vector<u8> to_bytes16(const std::vector<i16>& v) {
+  std::vector<u8> out(v.size() * 2);
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[2 * i] = static_cast<u8>(v[i]);
+    out[2 * i + 1] = static_cast<u8>(v[i] >> 8);
+  }
+  return out;
+}
+
+TEST(OmpTarget, VectorAddParallelFor) {
+  constexpr u32 kN = 500;
+  Rng rng(3);
+  std::vector<i16> a(kN), b(kN);
+  for (u32 i = 0; i < kN; ++i) {
+    a[i] = static_cast<i16>(rng.uniform(-30000, 30000));
+    b[i] = static_cast<i16>(rng.uniform(-30000, 30000));
+  }
+  const auto a_bytes = to_bytes16(a);
+  const auto b_bytes = to_bytes16(b);
+
+  TargetRegion region(core::or10n_config().features, 4);
+  const Addr dev_a = region.map_to(a_bytes);
+  const Addr dev_b = region.map_to(b_bytes);
+  const Addr dev_c = region.map_from(kN * 2);
+  region.parallel_for(kN, [&](Builder& bld, const ForContext& ctx) {
+    // c[i] = a[i] + b[i]
+    bld.emit(Opcode::kSlli, ctx.r_tmp0, ctx.r_index, 0, 1);
+    bld.li(ctx.r_tmp1, dev_a);
+    bld.emit(Opcode::kAdd, ctx.r_tmp1, ctx.r_tmp1, ctx.r_tmp0);
+    bld.emit(Opcode::kLh, ctx.r_tmp2, ctx.r_tmp1, 0, 0);
+    bld.li(ctx.r_tmp1, dev_b);
+    bld.emit(Opcode::kAdd, ctx.r_tmp1, ctx.r_tmp1, ctx.r_tmp0);
+    bld.emit(Opcode::kLh, ctx.r_tmp3, ctx.r_tmp1, 0, 0);
+    bld.emit(Opcode::kAdd, ctx.r_tmp2, ctx.r_tmp2, ctx.r_tmp3);
+    bld.li(ctx.r_tmp1, dev_c);
+    bld.emit(Opcode::kAdd, ctx.r_tmp1, ctx.r_tmp1, ctx.r_tmp0);
+    bld.emit(Opcode::kSh, ctx.r_tmp2, ctx.r_tmp1, 0, 0);
+  });
+  const Offloadable off = region.compile();
+  const std::vector<u8> out = run_offloadable(off);
+
+  ASSERT_EQ(out.size(), kN * 2);
+  for (u32 i = 0; i < kN; ++i) {
+    const i16 got = static_cast<i16>(static_cast<u16>(out[2 * i]) |
+                                     static_cast<u16>(out[2 * i + 1]) << 8);
+    EXPECT_EQ(got, static_cast<i16>(a[i] + b[i])) << i;
+  }
+}
+
+TEST(OmpTarget, SectionsSeparatedByBarriers) {
+  // Section 1: every core writes its id into a slot. Section 2: core 0
+  // sums the slots — correct only if the barrier separates them.
+  TargetRegion region(core::or10n_config().features, 4);
+  const Addr slots = region.map_alloc(16);
+  const Addr sum = region.map_from(4);
+  region.parallel([&](Builder& bld, const runtime::OutlineRegs& regs) {
+    bld.li(5, slots);
+    bld.emit(Opcode::kSlli, 6, regs.core_id, 0, 2);
+    bld.emit(Opcode::kAdd, 5, 5, 6);
+    bld.emit(Opcode::kSw, regs.core_id, 5, 0, 0);
+  });
+  region.parallel([&](Builder& bld, const runtime::OutlineRegs& regs) {
+    const auto skip = bld.make_label();
+    bld.branch(Opcode::kBne, regs.core_id, codegen::zero, skip);
+    bld.li(5, slots);
+    bld.li(7, 0);
+    for (int i = 0; i < 4; ++i) {
+      bld.emit(Opcode::kLw, 6, 5, 0, 4 * i);
+      bld.emit(Opcode::kAdd, 7, 7, 6);
+    }
+    bld.li(5, sum);
+    bld.emit(Opcode::kSw, 7, 5, 0, 0);
+    bld.bind(skip);
+  });
+  const Offloadable off = region.compile();
+  const std::vector<u8> out = run_offloadable(off);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0u + 1 + 2 + 3);
+}
+
+TEST(OmpTarget, DeviceAllocationIsWordAlignedAndDisjoint) {
+  TargetRegion region(core::or10n_config().features, 4);
+  std::vector<u8> five(5, 0xAA);
+  const Addr a = region.map_to(five);
+  const Addr b = region.map_alloc(2);
+  const Addr c = region.map_from(7);
+  EXPECT_EQ(a % 4, 0u);
+  EXPECT_EQ(b % 4, 0u);
+  EXPECT_EQ(c % 4, 0u);
+  EXPECT_GE(b, a + 5);
+  EXPECT_GE(c, b + 2);
+}
+
+TEST(OmpTarget, TcdmCapacityEnforced) {
+  TargetRegion region(core::or10n_config().features, 4);
+  EXPECT_THROW((void)region.map_alloc(65 * 1024), SimError);
+}
+
+TEST(OmpTarget, CompileIsSingleShot) {
+  TargetRegion region(core::or10n_config().features, 4);
+  (void)region.map_from(4);
+  region.parallel([](Builder& bld, const runtime::OutlineRegs&) {
+    bld.nop();
+  });
+  (void)region.compile();
+  EXPECT_THROW((void)region.compile(), SimError);
+  EXPECT_THROW((void)region.map_alloc(4), SimError);
+}
+
+TEST(OmpTarget, WorksOnOneCore) {
+  TargetRegion region(core::or10n_config().features, 1);
+  const Addr out = region.map_from(4);
+  region.parallel_for(10, [&](Builder& bld, const ForContext& ctx) {
+    bld.li(ctx.r_tmp1, out);
+    bld.emit(Opcode::kLw, ctx.r_tmp2, ctx.r_tmp1, 0, 0);
+    bld.emit(Opcode::kAdd, ctx.r_tmp2, ctx.r_tmp2, ctx.r_index);
+    bld.emit(Opcode::kSw, ctx.r_tmp2, ctx.r_tmp1, 0, 0);
+  });
+  const Offloadable off = region.compile();
+  const std::vector<u8> result = run_offloadable(off, 1);
+  EXPECT_EQ(result[0], 45u);  // sum 0..9
+}
+
+}  // namespace
+}  // namespace ulp::omp

@@ -1,0 +1,166 @@
+// Integration tests of the full offload path: serialised binary over the
+// link into the SoC, boot, DMA staging, 4-core execution, results back.
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.hpp"
+#include "runtime/offload.hpp"
+#include "soc/pulp_soc.hpp"
+
+namespace ulp {
+namespace {
+
+using kernels::Target;
+
+runtime::OffloadSession make_session(double mcu_freq_hz = mhz(26)) {
+  link::SpiLinkConfig lcfg;
+  lcfg.lanes = host::stm32l476().spi_lanes;
+  lcfg.max_freq_hz = host::stm32l476().spi_max_hz;
+  return runtime::OffloadSession(host::stm32l476(), mcu_freq_hz,
+                                 link::SpiLink(lcfg));
+}
+
+TEST(PulpSoc, BootImageRoundTrip) {
+  const auto cfg = core::or10n_config();
+  const auto kc =
+      kernels::make_matmul_char(cfg.features, 4, Target::kCluster, 3);
+  soc::PulpSoc soc;
+  soc.boot_image(isa::serialize(kc.program));
+  soc.qspi_write(kc.input_addr, kc.input);
+  soc.run_to_eoc();
+  EXPECT_TRUE(soc.eoc_gpio());
+  std::vector<u8> out(kc.output_bytes);
+  soc.qspi_read(kc.output_addr, out);
+  EXPECT_EQ(out, kc.expected);
+}
+
+TEST(PulpSoc, RejectsCorruptImage) {
+  soc::PulpSoc soc;
+  std::vector<u8> garbage(64, 0xAB);
+  EXPECT_THROW(soc.boot_image(garbage), SimError);
+}
+
+TEST(PulpSoc, BootFromL2Staging) {
+  // The full-system boot path: image bytes arrive in L2 first (as the QSPI
+  // slave would deposit them), then the fetch-enable boot consumes them.
+  const auto cfg = core::or10n_config();
+  const auto kc =
+      kernels::make_svm_poly(cfg.features, 4, Target::kCluster, 11);
+  const std::vector<u8> image = isa::serialize(kc.program);
+  soc::PulpSoc soc;
+  soc.qspi_write(memmap::kL2Base, image);
+  soc.boot_from_l2(memmap::kL2Base, static_cast<u32>(image.size()));
+  soc.qspi_write(kc.input_addr, kc.input);
+  soc.run_to_eoc();
+  std::vector<u8> out(kc.output_bytes);
+  soc.qspi_read(kc.output_addr, out);
+  EXPECT_EQ(out, kc.expected);
+}
+
+TEST(PulpSoc, QspiWriteOutsideL2IsCaught) {
+  soc::PulpSoc soc;
+  const std::vector<u8> bytes(16, 0);
+  EXPECT_THROW(soc.qspi_write(0x0, bytes), SimError);
+}
+
+TEST(Offload, FullPathBitExact) {
+  const auto cfg = core::or10n_config();
+  auto session = make_session();
+  const power::OperatingPoint op{0.7, session.power_model().fmax_hz(0.7)};
+  for (const auto& info : kernels::all_kernels()) {
+    const auto kc = info.factory(cfg.features, 4, Target::kCluster, 5);
+    const auto outcome = session.run(kc.offload_request(), op);
+    EXPECT_EQ(outcome.output, kc.expected) << info.name;
+  }
+}
+
+TEST(Offload, TimingComposition) {
+  const auto cfg = core::or10n_config();
+  auto session = make_session();
+  const power::OperatingPoint op{0.7, session.power_model().fmax_hz(0.7)};
+  const auto kc =
+      kernels::make_matmul_char(cfg.features, 4, Target::kCluster, 3);
+  const auto o = session.run(kc.offload_request(), op);
+
+  EXPECT_GT(o.timing.t_binary_s, 0);
+  EXPECT_GT(o.timing.t_in_s, 0);
+  EXPECT_GT(o.timing.t_out_s, 0);
+  EXPECT_GT(o.timing.t_compute_s, 0);
+  // Sequential composition identity.
+  EXPECT_NEAR(o.timing.total_s(8, false),
+              o.timing.t_binary_s +
+                  8 * (o.timing.t_in_s + o.timing.t_compute_s +
+                       o.timing.t_out_s),
+              1e-12);
+  // Double buffering can only help, and is bounded by the slower stage.
+  EXPECT_LE(o.timing.total_s(8, true), o.timing.total_s(8, false) + 1e-12);
+}
+
+TEST(Offload, EfficiencyImprovesWithIterations) {
+  // Figure 5b's scenario: the accelerator runs at the envelope-constrained
+  // operating point (0.5 V class), the MCU at one of its faster settings —
+  // there the link is fast enough and efficiency converges toward 1.
+  const auto cfg = core::or10n_config();
+  auto session = make_session();
+  const power::OperatingPoint op{0.5, session.power_model().fmax_hz(0.5)};
+  const auto kc =
+      kernels::make_matmul_char(cfg.features, 4, Target::kCluster, 3);
+  const auto o = session.run(kc.offload_request(), op);
+  double prev = 0;
+  for (u32 n : {1u, 2u, 4u, 16u, 64u, 256u}) {
+    const double eff = o.timing.efficiency(n, false);
+    EXPECT_GT(eff, prev);
+    EXPECT_LE(eff, 1.0);
+    prev = eff;
+  }
+  // The paper reaches full efficiency "after as few as 32 iterations" at
+  // the fast MCU settings; double buffering gets essentially all the way.
+  EXPECT_GT(o.timing.efficiency(32, false), 0.6);
+  EXPECT_GT(o.timing.efficiency(256, true), 0.9);
+}
+
+TEST(Offload, LowMcuFrequencyStarvesTheLink) {
+  // Figure 5b's plateau: at a very low MCU clock the SPI bound dominates
+  // and even infinite iterations cannot reach good efficiency.
+  const auto cfg = core::or10n_config();
+  const auto kc =
+      kernels::make_matmul_char(cfg.features, 4, Target::kCluster, 3);
+  auto slow = make_session(mhz(2));
+  auto fast = make_session(mhz(26));
+  const power::OperatingPoint op{0.7, power::PulpPowerModel{}.fmax_hz(0.7)};
+  const auto so = slow.run(kc.offload_request(), op);
+  const auto fo = fast.run(kc.offload_request(), op);
+  EXPECT_LT(so.timing.efficiency(256, false),
+            fo.timing.efficiency(256, false));
+}
+
+TEST(Offload, EnergyBreakdownPositiveAndConsistent) {
+  const auto cfg = core::or10n_config();
+  auto session = make_session();
+  const power::OperatingPoint op{0.6, session.power_model().fmax_hz(0.6)};
+  const auto kc =
+      kernels::make_matmul_char(cfg.features, 4, Target::kCluster, 3);
+  const auto o = session.run(kc.offload_request(), op);
+  const auto e1 = session.energy(o, op, 1, false);
+  const auto e8 = session.energy(o, op, 8, false);
+  EXPECT_GT(e1.mcu_j, 0);
+  EXPECT_GT(e1.pulp_j, 0);
+  EXPECT_GT(e1.link_j, 0);
+  EXPECT_GT(e8.total_j(), e1.total_j());
+  // More iterations amortise the binary: energy per iteration decreases.
+  EXPECT_LT(e8.total_j() / 8, e1.total_j());
+}
+
+TEST(Offload, SteadyPowerWithinReason) {
+  const auto cfg = core::or10n_config();
+  auto session = make_session(mhz(8));
+  const power::OperatingPoint op{0.6, session.power_model().fmax_hz(0.6)};
+  const auto kc =
+      kernels::make_matmul_char(cfg.features, 4, Target::kCluster, 3);
+  const auto o = session.run(kc.offload_request(), op);
+  const double p = session.steady_power_w(o, op, true);
+  EXPECT_GT(p, mw(0.5));
+  EXPECT_LT(p, mw(20));
+}
+
+}  // namespace
+}  // namespace ulp

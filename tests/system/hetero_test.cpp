@@ -1,0 +1,211 @@
+// Full-system co-simulation tests: a simulated Cortex-M4 host running the
+// bare-metal offload driver against the cycle-stepped cluster, byte-timed
+// SPI wire and GPIO handshake.
+#include <gtest/gtest.h>
+
+#include "runtime/offload.hpp"
+#include "system/hetero_system.hpp"
+#include "system/host_driver.hpp"
+
+namespace ulp::system {
+namespace {
+
+using kernels::Target;
+
+TEST(HeteroSystem, FullOffloadBitExact) {
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(accel_cfg.features, 4,
+                                            Target::kCluster, 77);
+  const FullSystemPackage pkg = package_offload(kc);
+
+  HeteroSystem sys;
+  sys.load_host_program(pkg.host_program);
+  sys.run_to_host_halt();
+
+  const auto stats = sys.stats();
+  EXPECT_TRUE(stats.accel_started);
+  EXPECT_TRUE(sys.soc().eoc_gpio());
+
+  std::vector<u8> result(kc.output_bytes);
+  for (size_t i = 0; i < result.size(); ++i) {
+    result[i] = static_cast<u8>(sys.host_sram().load(
+        pkg.spec.host_output_addr + static_cast<Addr>(i), 1, false));
+  }
+  EXPECT_EQ(result, kc.expected);
+}
+
+TEST(HeteroSystem, WireMovesExactlyThePayloads) {
+  const auto accel_cfg = core::or10n_config();
+  const auto kc =
+      kernels::make_svm_linear(accel_cfg.features, 4, Target::kCluster, 3);
+  const FullSystemPackage pkg = package_offload(kc);
+  HeteroSystem sys;
+  sys.load_host_program(pkg.host_program);
+  sys.run_to_host_halt();
+  EXPECT_EQ(sys.stats().wire_bytes,
+            pkg.spec.image_len + pkg.spec.input_len + pkg.spec.output_len);
+}
+
+TEST(HeteroSystem, ClusterRunsOnlyAfterFetchEnable) {
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(accel_cfg.features, 4,
+                                            Target::kCluster, 77);
+  const FullSystemPackage pkg = package_offload(kc);
+  HeteroSystem sys;
+  sys.load_host_program(pkg.host_program);
+  // Before any stepping the accelerator must be idle.
+  EXPECT_FALSE(sys.stats().accel_started);
+  // Step through roughly the image transfer: still not started (the image
+  // alone takes image_len * 4 host cycles on the quad wire).
+  for (u32 i = 0; i < pkg.spec.image_len; ++i) sys.step();
+  EXPECT_FALSE(sys.stats().accel_started);
+  sys.run_to_host_halt();
+  EXPECT_TRUE(sys.stats().accel_started);
+}
+
+TEST(HeteroSystem, AgreesWithAnalyticModelOnDuration) {
+  // The analytic OffloadSession approximates this ground truth; for equal
+  // clocks and the same payloads the end-to-end durations must agree
+  // within modelling tolerance (the analytic side also bills the 8 KiB
+  // runtime image; the simulated side pays polling/driver overhead).
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(accel_cfg.features, 4,
+                                            Target::kCluster, 77);
+
+  const double f = mhz(16);
+  HeteroSystemParams params;
+  params.mcu_freq_hz = f;
+  params.pulp_freq_hz = f;
+  const FullSystemPackage pkg = package_offload(kc);
+  HeteroSystem sys(params);
+  sys.load_host_program(pkg.host_program);
+  const u64 host_cycles = sys.run_to_host_halt();
+  const double t_system = static_cast<double>(host_cycles) / f;
+
+  link::SpiLinkConfig lcfg;
+  lcfg.lanes = 4;
+  lcfg.max_freq_hz = mhz(48);
+  runtime::OffloadSession session(host::stm32l476(), f,
+                                  link::SpiLink(lcfg));
+  const power::OperatingPoint op{0.5, f};
+  const auto outcome = session.run(kc.offload_request(), op);
+  const double t_analytic = outcome.timing.total_s(1, false);
+
+  EXPECT_NEAR(t_system / t_analytic, 1.0, 0.35)
+      << "system " << t_system * 1e6 << "us vs analytic "
+      << t_analytic * 1e6 << "us";
+}
+
+TEST(HeteroSystem, SlowerLinkLanesTakeLonger) {
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(accel_cfg.features, 4,
+                                            Target::kCluster, 77);
+  const FullSystemPackage pkg = package_offload(kc);
+  u64 cycles_by_lanes[2] = {0, 0};
+  int idx = 0;
+  for (u32 lanes : {1u, 4u}) {
+    HeteroSystemParams params;
+    params.spi_lanes = lanes;
+    HeteroSystem sys(params);
+    sys.load_host_program(pkg.host_program);
+    cycles_by_lanes[idx++] = sys.run_to_host_halt();
+  }
+  EXPECT_GT(cycles_by_lanes[0], cycles_by_lanes[1]);
+}
+
+TEST(HeteroSystem, FasterClusterClockShortensTheRun) {
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(accel_cfg.features, 4,
+                                            Target::kCluster, 77);
+  const FullSystemPackage pkg = package_offload(kc);
+  u64 slow = 0, fast = 0;
+  {
+    HeteroSystemParams p;
+    p.pulp_freq_hz = mhz(8);
+    HeteroSystem sys(p);
+    sys.load_host_program(pkg.host_program);
+    slow = sys.run_to_host_halt();
+  }
+  {
+    HeteroSystemParams p;
+    p.pulp_freq_hz = mhz(64);
+    HeteroSystem sys(p);
+    sys.load_host_program(pkg.host_program);
+    fast = sys.run_to_host_halt();
+  }
+  EXPECT_GT(slow, fast + 1000);
+}
+
+TEST(HeteroSystem, HostSleepsThroughTheComputePhase) {
+  // With the default WFI-style wait the host is clock-gated for nearly all
+  // of the cluster's compute time — the low-power behaviour the paper's
+  // energy model assumes.
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(accel_cfg.features, 4,
+                                            Target::kCluster, 77);
+  const FullSystemPackage pkg = package_offload(kc);
+  HeteroSystem sys;
+  sys.load_host_program(pkg.host_program);
+  sys.run_to_host_halt();
+  const auto& perf = sys.host_core().perf();
+  EXPECT_GT(perf.sleep_cycles, perf.cycles / 4)
+      << "host should spend a large fraction of the offload asleep";
+  // And the result is still collected correctly.
+  std::vector<u8> result(kc.output_bytes);
+  for (size_t i = 0; i < result.size(); ++i) {
+    result[i] = static_cast<u8>(sys.host_sram().load(
+        pkg.spec.host_output_addr + static_cast<Addr>(i), 1, false));
+  }
+  EXPECT_EQ(result, kc.expected);
+}
+
+TEST(HeteroSystem, ConcurrentHostTaskRunsDuringCompute) {
+  // The Discussion's heterogeneous-task model: while the cluster computes,
+  // the host driver executes its own task rounds in the EOC wait loop. The
+  // offload result must stay bit-exact and the task counter must advance.
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(accel_cfg.features, 4,
+                                            Target::kCluster, 77);
+  FullSystemPackage pkg = package_offload(kc);
+  const Addr counter =
+      (pkg.spec.host_output_addr + pkg.spec.output_len + 3) & ~3u;
+  pkg.spec.host_task_counter_addr = counter;
+  pkg.spec.host_task = [](codegen::Builder& bld) {
+    // A deliberately slow busy-round: ~100 cycles of "useful" host work.
+    bld.li(5, 50);
+    bld.loop(5, 15, [&] { bld.emit(isa::Opcode::kAddi, 6, 6, 0, 1); });
+  };
+  pkg.host_program = build_host_driver(core::cortex_m4_config().features,
+                                       pkg.spec);
+  pkg.host_program.data.push_back(
+      {pkg.spec.host_image_addr, isa::serialize(kc.program)});
+  pkg.host_program.data.push_back({pkg.spec.host_input_addr, kc.input});
+
+  HeteroSystem sys;
+  sys.load_host_program(pkg.host_program);
+  sys.run_to_host_halt();
+
+  std::vector<u8> result(kc.output_bytes);
+  for (size_t i = 0; i < result.size(); ++i) {
+    result[i] = static_cast<u8>(sys.host_sram().load(
+        pkg.spec.host_output_addr + static_cast<Addr>(i), 1, false));
+  }
+  EXPECT_EQ(result, kc.expected);
+  const u32 rounds = sys.host_sram().load(counter, 4, false);
+  EXPECT_GT(rounds, 10u);  // plenty of host work fit into the compute time
+}
+
+TEST(HostDriver, RejectsNothingButIsWellFormed) {
+  // The generated driver is a valid program: serialise/deserialise round
+  // trip and a sane instruction count.
+  const auto kc = kernels::make_cnn(core::or10n_config().features, 4,
+                                    Target::kCluster, 1);
+  const FullSystemPackage pkg = package_offload(kc);
+  const auto image = isa::serialize(pkg.host_program);
+  const auto back = isa::deserialize(image);
+  EXPECT_EQ(back.code, pkg.host_program.code);
+  EXPECT_LT(pkg.host_program.code.size(), 100u);
+}
+
+}  // namespace
+}  // namespace ulp::system

@@ -1,0 +1,35 @@
+// Shared helpers for unit tests: a single-core harness with a flat memory,
+// convenient for ISA/core semantics tests that don't need the full cluster.
+#pragma once
+
+#include <map>
+
+#include "core/core.hpp"
+#include "mem/bus.hpp"
+
+namespace ulp::test {
+
+struct SingleCoreRun {
+  explicit SingleCoreRun(core::CoreConfig cfg = core::or10n_config(),
+                         Addr mem_base = 0, size_t mem_size = 64 * 1024)
+      : sram(mem_base, mem_size),
+        bus(&sram, /*latency=*/1),
+        core(0, 1, std::move(cfg), &bus) {}
+
+  /// Sets registers, runs the program to halt, returns cycle count.
+  u64 run(const isa::Program& prog,
+          const std::map<u32, u32>& initial_regs = {}) {
+    program = prog;
+    core.reset(&program);
+    for (const auto& [idx, val] : initial_regs) core.set_reg(idx, val);
+    core.run_to_halt(50'000'000);
+    return core.perf().cycles;
+  }
+
+  mem::Sram sram;
+  mem::SimpleBus bus;
+  core::Core core;
+  isa::Program program;
+};
+
+}  // namespace ulp::test

@@ -1,0 +1,71 @@
+#include "trace/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "codegen/builder.hpp"
+
+namespace ulp::trace {
+namespace {
+
+TEST(FormatStats, ContainsEveryComponent) {
+  using codegen::Builder;
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 100);
+  bld.loop(1, 10, [&] { bld.nop(); });
+  bld.barrier();
+  bld.halt();
+  cluster::Cluster cl;
+  cl.load_program(bld.finalize());
+  cl.run();
+  const std::string s = format_stats(cl.stats());
+  for (const char* token :
+       {"cluster:", "core0:", "core3:", "tcdm:", "dma:", "i$:", "sleep"}) {
+    EXPECT_NE(s.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "ulp_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    csv.row({1, 2.5, 3});
+    csv.row({4, 5, 6.25});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b,c");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5,3");
+  std::getline(in, line);
+  EXPECT_EQ(line, "4,5,6.25");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  const std::string path = ::testing::TempDir() + "ulp_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({1}), SimError);
+  EXPECT_THROW(csv.row({1, 2, 3}), SimError);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}), SimError);
+}
+
+TEST(CsvPathFromArgs, ParsesAndDefaults) {
+  const char* argv1[] = {"bench", "--csv", "out.csv"};
+  EXPECT_EQ(csv_path_from_args(3, const_cast<char**>(argv1)), "out.csv");
+  const char* argv2[] = {"bench"};
+  EXPECT_EQ(csv_path_from_args(1, const_cast<char**>(argv2)), "");
+  const char* argv3[] = {"bench", "--csv"};  // dangling flag: ignored
+  EXPECT_EQ(csv_path_from_args(2, const_cast<char**>(argv3)), "");
+}
+
+}  // namespace
+}  // namespace ulp::trace

@@ -1,0 +1,169 @@
+#include "trace/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "codegen/builder.hpp"
+#include "trace/cluster_tracer.hpp"
+
+namespace ulp::trace {
+namespace {
+
+TEST(Vcd, HeaderDeclaresSignalsAndScopes) {
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  vcd.add_signal("top.sub", "sig_a", 1);
+  vcd.add_signal("top", "bus_b", 8);
+  vcd.begin_dump();
+  const std::string s = out.str();
+  EXPECT_NE(s.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(s.find("$scope module top $end"), std::string::npos);
+  EXPECT_NE(s.find("$scope module sub $end"), std::string::npos);
+  EXPECT_NE(s.find("sig_a $end"), std::string::npos);
+  EXPECT_NE(s.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(s.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, EmitsOnlyChanges) {
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  const auto a = vcd.add_signal("t", "a", 1);
+  vcd.begin_dump();
+  vcd.set(a, 1);
+  vcd.tick(0);
+  const size_t after_first = out.str().size();
+  vcd.set(a, 1);  // unchanged
+  vcd.tick(1);
+  EXPECT_EQ(out.str().size(), after_first);  // no output for no change
+  vcd.set(a, 0);
+  vcd.tick(2);
+  EXPECT_GT(out.str().size(), after_first);
+  EXPECT_NE(out.str().find("#2"), std::string::npos);
+}
+
+TEST(Vcd, MultiBitBinaryFormat) {
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  const auto b = vcd.add_signal("t", "b", 8);
+  vcd.begin_dump();
+  vcd.set(b, 0xA5);
+  vcd.tick(3);
+  EXPECT_NE(out.str().find("b10100101 "), std::string::npos);
+}
+
+TEST(Vcd, WidthMasksValue) {
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  const auto b = vcd.add_signal("t", "b", 4);
+  vcd.begin_dump();
+  vcd.set(b, 0xFF);  // masked to 0xF
+  vcd.tick(0);
+  EXPECT_NE(out.str().find("b1111 "), std::string::npos);
+  EXPECT_EQ(out.str().find("b11111111"), std::string::npos);
+}
+
+TEST(Vcd, RejectsMisuse) {
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  const auto a = vcd.add_signal("t", "a", 1);
+  EXPECT_THROW(vcd.tick(0), SimError);  // before begin_dump
+  vcd.begin_dump();
+  EXPECT_THROW((void)vcd.add_signal("t", "late", 1), SimError);
+  vcd.set(a, 1);
+  vcd.tick(5);
+  vcd.set(a, 0);
+  EXPECT_THROW(vcd.tick(5), SimError);  // non-increasing time
+}
+
+TEST(Vcd, IdentifiersAreUniqueAndPrintable) {
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  // More signals than the 94-character alphabet forces multi-char ids.
+  for (int i = 0; i < 200; ++i) {
+    vcd.add_signal("t", "s" + std::to_string(i), 1);
+  }
+  vcd.begin_dump();
+  const std::string s = out.str();
+  // Every declaration line is well-formed: "$var wire 1 <id> s<i> $end".
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = s.find("$var wire 1 ", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 200u);
+}
+
+TEST(ClusterTracer, TracesABarrierProgram) {
+  using codegen::Builder;
+  Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  bld.li(2, 50);
+  bld.loop(2, 10, [&] { bld.nop(); });
+  bld.barrier();
+  bld.eoc();
+  cluster::Cluster cl;
+  cl.load_program(bld.finalize());
+
+  std::ostringstream out;
+  ClusterTracer tracer(cl, out);
+  const u64 cycles = tracer.run_traced();
+  EXPECT_GT(cycles, 50u);
+
+  const std::string s = out.str();
+  // All four cores and the shared blocks are declared.
+  for (const char* scope : {"core0", "core1", "core2", "core3", "tcdm",
+                            "dma"}) {
+    EXPECT_NE(s.find(scope), std::string::npos) << scope;
+  }
+  // The EOC line eventually rises: a '1' change for the eoc signal exists.
+  EXPECT_NE(s.find("eoc"), std::string::npos);
+  // Value-change sections exist with increasing timestamps.
+  const size_t t1 = s.find("#1\n");
+  EXPECT_NE(t1, std::string::npos);
+}
+
+TEST(ClusterTracer, SampleCountMatchesCycles) {
+  using codegen::Builder;
+  Builder bld(core::or10n_config().features);
+  bld.li(2, 10);
+  bld.loop(2, 10, [&] { bld.nop(); });
+  bld.halt();
+  cluster::Cluster cl;
+  cl.load_program(bld.finalize());
+  std::ostringstream out;
+  ClusterTracer tracer(cl, out);
+  const u64 cycles = tracer.run_traced();
+  // Last timestamp in the dump equals the final cycle count.
+  const std::string s = out.str();
+  const size_t last_hash = s.rfind('#');
+  ASSERT_NE(last_hash, std::string::npos);
+  const u64 last_time = std::stoull(s.substr(last_hash + 1));
+  EXPECT_EQ(last_time, cycles);
+}
+
+TEST(RetireHook, ObservesEveryInstruction) {
+  using codegen::Builder;
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 3);
+  bld.loop(1, 10, [&] { bld.emit(isa::Opcode::kAddi, 2, 2, 0, 1); });
+  bld.halt();
+  const isa::Program prog = bld.finalize();
+
+  mem::Sram sram(0, 1024);
+  mem::SimpleBus bus(&sram, 1);
+  core::Core cpu(0, 1, core::or10n_config(), &bus);
+  cpu.reset(&prog);
+  std::vector<u32> pcs;
+  cpu.set_retire_hook(
+      [&](u32 pc, const isa::Instr&) { pcs.push_back(pc); });
+  cpu.run_to_halt();
+  EXPECT_EQ(pcs.size(), cpu.perf().instrs);
+  // The loop body pc (index 2: after li + lp.setup) retires three times.
+  EXPECT_EQ(std::count(pcs.begin(), pcs.end(), 2u), 3);
+}
+
+}  // namespace
+}  // namespace ulp::trace
