@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_boost.dir/ablation_boost.cpp.o"
+  "CMakeFiles/ablation_boost.dir/ablation_boost.cpp.o.d"
+  "ablation_boost"
+  "ablation_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

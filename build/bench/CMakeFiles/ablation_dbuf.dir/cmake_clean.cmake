@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dbuf.dir/ablation_dbuf.cpp.o"
+  "CMakeFiles/ablation_dbuf.dir/ablation_dbuf.cpp.o.d"
+  "ablation_dbuf"
+  "ablation_dbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link.dir/ablation_link.cpp.o"
+  "CMakeFiles/ablation_link.dir/ablation_link.cpp.o.d"
+  "ablation_link"
+  "ablation_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

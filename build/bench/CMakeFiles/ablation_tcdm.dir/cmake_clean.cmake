@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tcdm.dir/ablation_tcdm.cpp.o"
+  "CMakeFiles/ablation_tcdm.dir/ablation_tcdm.cpp.o.d"
+  "ablation_tcdm"
+  "ablation_tcdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_envelope.dir/fig5a_envelope.cpp.o"
+  "CMakeFiles/fig5a_envelope.dir/fig5a_envelope.cpp.o.d"
+  "fig5a_envelope"
+  "fig5a_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

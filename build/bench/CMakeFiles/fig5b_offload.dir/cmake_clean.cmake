@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_offload.dir/fig5b_offload.cpp.o"
+  "CMakeFiles/fig5b_offload.dir/fig5b_offload.cpp.o.d"
+  "fig5b_offload"
+  "fig5b_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

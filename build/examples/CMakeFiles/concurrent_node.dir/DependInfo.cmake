@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/concurrent_node.cpp" "examples/CMakeFiles/concurrent_node.dir/concurrent_node.cpp.o" "gcc" "examples/CMakeFiles/concurrent_node.dir/concurrent_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/ulp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ulp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ulp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ulp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/ulp_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/ulp_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/ulp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/ulp_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ulp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/ulp_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_node.dir/concurrent_node.cpp.o"
+  "CMakeFiles/concurrent_node.dir/concurrent_node.cpp.o.d"
+  "concurrent_node"
+  "concurrent_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

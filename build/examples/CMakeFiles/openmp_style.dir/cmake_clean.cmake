@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openmp_style.dir/openmp_style.cpp.o"
+  "CMakeFiles/openmp_style.dir/openmp_style.cpp.o.d"
+  "openmp_style"
+  "openmp_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openmp_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_classifier.dir/sensor_classifier.cpp.o"
+  "CMakeFiles/sensor_classifier.dir/sensor_classifier.cpp.o.d"
+  "sensor_classifier"
+  "sensor_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr1k_run.dir/vr1k_run.cpp.o"
+  "CMakeFiles/vr1k_run.dir/vr1k_run.cpp.o.d"
+  "vr1k_run"
+  "vr1k_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr1k_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vr1k_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("core")
+subdirs("mem")
+subdirs("dma")
+subdirs("cluster")
+subdirs("codegen")
+subdirs("soc")
+subdirs("link")
+subdirs("host")
+subdirs("power")
+subdirs("runtime")
+subdirs("kernels")
+subdirs("trace")
+subdirs("system")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/ulp_cluster.dir/cluster.cpp.o.d"
+  "libulp_cluster.a"
+  "libulp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

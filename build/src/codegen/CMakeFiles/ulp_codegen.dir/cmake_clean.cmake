@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_codegen.dir/assembler.cpp.o"
+  "CMakeFiles/ulp_codegen.dir/assembler.cpp.o.d"
+  "CMakeFiles/ulp_codegen.dir/builder.cpp.o"
+  "CMakeFiles/ulp_codegen.dir/builder.cpp.o.d"
+  "libulp_codegen.a"
+  "libulp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_core.dir/core.cpp.o"
+  "CMakeFiles/ulp_core.dir/core.cpp.o.d"
+  "CMakeFiles/ulp_core.dir/features.cpp.o"
+  "CMakeFiles/ulp_core.dir/features.cpp.o.d"
+  "libulp_core.a"
+  "libulp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

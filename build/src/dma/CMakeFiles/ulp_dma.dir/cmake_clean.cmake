@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_dma.dir/dma.cpp.o"
+  "CMakeFiles/ulp_dma.dir/dma.cpp.o.d"
+  "libulp_dma.a"
+  "libulp_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

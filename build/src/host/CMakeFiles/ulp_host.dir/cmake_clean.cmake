@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_host.dir/mcu.cpp.o"
+  "CMakeFiles/ulp_host.dir/mcu.cpp.o.d"
+  "CMakeFiles/ulp_host.dir/peripherals.cpp.o"
+  "CMakeFiles/ulp_host.dir/peripherals.cpp.o.d"
+  "libulp_host.a"
+  "libulp_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

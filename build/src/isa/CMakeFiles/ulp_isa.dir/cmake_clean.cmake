@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_isa.dir/disasm.cpp.o"
+  "CMakeFiles/ulp_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/ulp_isa.dir/encoding.cpp.o"
+  "CMakeFiles/ulp_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/ulp_isa.dir/isa.cpp.o"
+  "CMakeFiles/ulp_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/ulp_isa.dir/program.cpp.o"
+  "CMakeFiles/ulp_isa.dir/program.cpp.o.d"
+  "libulp_isa.a"
+  "libulp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libulp_isa.a"
+)

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cnn.cpp" "src/kernels/CMakeFiles/ulp_kernels.dir/cnn.cpp.o" "gcc" "src/kernels/CMakeFiles/ulp_kernels.dir/cnn.cpp.o.d"
+  "/root/repo/src/kernels/extensions.cpp" "src/kernels/CMakeFiles/ulp_kernels.dir/extensions.cpp.o" "gcc" "src/kernels/CMakeFiles/ulp_kernels.dir/extensions.cpp.o.d"
+  "/root/repo/src/kernels/hog.cpp" "src/kernels/CMakeFiles/ulp_kernels.dir/hog.cpp.o" "gcc" "src/kernels/CMakeFiles/ulp_kernels.dir/hog.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/kernels/CMakeFiles/ulp_kernels.dir/kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/ulp_kernels.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernels/matmul.cpp" "src/kernels/CMakeFiles/ulp_kernels.dir/matmul.cpp.o" "gcc" "src/kernels/CMakeFiles/ulp_kernels.dir/matmul.cpp.o.d"
+  "/root/repo/src/kernels/matmul_tiled.cpp" "src/kernels/CMakeFiles/ulp_kernels.dir/matmul_tiled.cpp.o" "gcc" "src/kernels/CMakeFiles/ulp_kernels.dir/matmul_tiled.cpp.o.d"
+  "/root/repo/src/kernels/runner.cpp" "src/kernels/CMakeFiles/ulp_kernels.dir/runner.cpp.o" "gcc" "src/kernels/CMakeFiles/ulp_kernels.dir/runner.cpp.o.d"
+  "/root/repo/src/kernels/strassen.cpp" "src/kernels/CMakeFiles/ulp_kernels.dir/strassen.cpp.o" "gcc" "src/kernels/CMakeFiles/ulp_kernels.dir/strassen.cpp.o.d"
+  "/root/repo/src/kernels/svm.cpp" "src/kernels/CMakeFiles/ulp_kernels.dir/svm.cpp.o" "gcc" "src/kernels/CMakeFiles/ulp_kernels.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ulp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ulp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/ulp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/ulp_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ulp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/ulp_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ulp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/ulp_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_kernels.dir/cnn.cpp.o"
+  "CMakeFiles/ulp_kernels.dir/cnn.cpp.o.d"
+  "CMakeFiles/ulp_kernels.dir/extensions.cpp.o"
+  "CMakeFiles/ulp_kernels.dir/extensions.cpp.o.d"
+  "CMakeFiles/ulp_kernels.dir/hog.cpp.o"
+  "CMakeFiles/ulp_kernels.dir/hog.cpp.o.d"
+  "CMakeFiles/ulp_kernels.dir/kernel.cpp.o"
+  "CMakeFiles/ulp_kernels.dir/kernel.cpp.o.d"
+  "CMakeFiles/ulp_kernels.dir/matmul.cpp.o"
+  "CMakeFiles/ulp_kernels.dir/matmul.cpp.o.d"
+  "CMakeFiles/ulp_kernels.dir/matmul_tiled.cpp.o"
+  "CMakeFiles/ulp_kernels.dir/matmul_tiled.cpp.o.d"
+  "CMakeFiles/ulp_kernels.dir/runner.cpp.o"
+  "CMakeFiles/ulp_kernels.dir/runner.cpp.o.d"
+  "CMakeFiles/ulp_kernels.dir/strassen.cpp.o"
+  "CMakeFiles/ulp_kernels.dir/strassen.cpp.o.d"
+  "CMakeFiles/ulp_kernels.dir/svm.cpp.o"
+  "CMakeFiles/ulp_kernels.dir/svm.cpp.o.d"
+  "libulp_kernels.a"
+  "libulp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_link.dir/spi_wire.cpp.o"
+  "CMakeFiles/ulp_link.dir/spi_wire.cpp.o.d"
+  "libulp_link.a"
+  "libulp_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_mem.dir/bus.cpp.o"
+  "CMakeFiles/ulp_mem.dir/bus.cpp.o.d"
+  "CMakeFiles/ulp_mem.dir/mem.cpp.o"
+  "CMakeFiles/ulp_mem.dir/mem.cpp.o.d"
+  "CMakeFiles/ulp_mem.dir/tcdm.cpp.o"
+  "CMakeFiles/ulp_mem.dir/tcdm.cpp.o.d"
+  "libulp_mem.a"
+  "libulp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

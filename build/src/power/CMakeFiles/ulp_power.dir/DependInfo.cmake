@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/pulp_power.cpp" "src/power/CMakeFiles/ulp_power.dir/pulp_power.cpp.o" "gcc" "src/power/CMakeFiles/ulp_power.dir/pulp_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ulp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/ulp_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_power.dir/pulp_power.cpp.o"
+  "CMakeFiles/ulp_power.dir/pulp_power.cpp.o.d"
+  "libulp_power.a"
+  "libulp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_runtime.dir/offload.cpp.o"
+  "CMakeFiles/ulp_runtime.dir/offload.cpp.o.d"
+  "CMakeFiles/ulp_runtime.dir/omp.cpp.o"
+  "CMakeFiles/ulp_runtime.dir/omp.cpp.o.d"
+  "CMakeFiles/ulp_runtime.dir/outliner.cpp.o"
+  "CMakeFiles/ulp_runtime.dir/outliner.cpp.o.d"
+  "libulp_runtime.a"
+  "libulp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

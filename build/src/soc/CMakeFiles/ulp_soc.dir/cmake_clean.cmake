@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_soc.dir/pulp_soc.cpp.o"
+  "CMakeFiles/ulp_soc.dir/pulp_soc.cpp.o.d"
+  "libulp_soc.a"
+  "libulp_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_system.dir/hetero_system.cpp.o"
+  "CMakeFiles/ulp_system.dir/hetero_system.cpp.o.d"
+  "CMakeFiles/ulp_system.dir/host_driver.cpp.o"
+  "CMakeFiles/ulp_system.dir/host_driver.cpp.o.d"
+  "libulp_system.a"
+  "libulp_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulp_trace.dir/cluster_tracer.cpp.o"
+  "CMakeFiles/ulp_trace.dir/cluster_tracer.cpp.o.d"
+  "CMakeFiles/ulp_trace.dir/report.cpp.o"
+  "CMakeFiles/ulp_trace.dir/report.cpp.o.d"
+  "CMakeFiles/ulp_trace.dir/vcd.cpp.o"
+  "CMakeFiles/ulp_trace.dir/vcd.cpp.o.d"
+  "libulp_trace.a"
+  "libulp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/core_alu_test.cpp" "tests/CMakeFiles/test_core.dir/core/core_alu_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/core_alu_test.cpp.o.d"
+  "/root/repo/tests/core/core_fuzz_test.cpp" "tests/CMakeFiles/test_core.dir/core/core_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/core_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/core_loops_test.cpp" "tests/CMakeFiles/test_core.dir/core/core_loops_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/core_loops_test.cpp.o.d"
+  "/root/repo/tests/core/core_mem_test.cpp" "tests/CMakeFiles/test_core.dir/core/core_mem_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/core_mem_test.cpp.o.d"
+  "/root/repo/tests/core/core_memfuzz_test.cpp" "tests/CMakeFiles/test_core.dir/core/core_memfuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/core_memfuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ulp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/ulp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels.dir/kernels/extensions_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/extensions_test.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/kernels_seed_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/kernels_seed_test.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/kernels_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/kernels_test.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/matmul_tiled_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/matmul_tiled_test.cpp.o.d"
+  "test_kernels"
+  "test_kernels.pdb"
+  "test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
