@@ -9,8 +9,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header("Ablation: forward body bias vs power budget",
                       "best operating point and matmul throughput per mode");
 

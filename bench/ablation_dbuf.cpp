@@ -8,8 +8,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header(
       "Ablation: DMA double buffering in the cluster",
       "tiled matmul, 8 tiles streamed through ping-pong TCDM buffers");

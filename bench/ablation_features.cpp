@@ -20,8 +20,9 @@ ulp::u64 cycles_with(const ulp::kernels::KernelInfo& info,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header("Ablation: OR10N feature contributions",
                       "single core, slowdown when one feature is disabled");
 

@@ -11,8 +11,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header("Ablation: coupling-link variants",
                       "asymptotic offload efficiency (matmul, 0.5 V point)");
 

@@ -8,8 +8,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header("Ablation: TCDM bank count vs 4-core performance",
                       "cycles and bank conflicts, matmul and hog");
 

@@ -2,9 +2,19 @@
 // the kernel suite and small table-printing utilities. Every bench binary
 // prints the rows/series of one paper table or figure, with the paper's
 // published values alongside where the paper states them.
+//
+// Observability: every bench also accepts
+//   --trace <file.json>   dump a Chrome/Perfetto trace-event timeline of
+//                         each offload session the bench runs
+//   --trace-cluster       include the cycle-accurate cluster detail tracks
+//   --profile             print the "top phases by time" report + metrics
+// Declaring `bench::Observability obs(argc, argv);` first thing in main()
+// is the only per-bench code; sessions built through
+// make_prototype_session() attach automatically.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 
@@ -14,10 +24,76 @@
 #include "link/spi_link.hpp"
 #include "power/pulp_power.hpp"
 #include "runtime/offload.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace_export.hpp"
 
 namespace ulp::bench {
 
 inline constexpr u64 kSeed = 1;
+
+/// Per-process trace/metrics collector behind `--trace` / `--profile`.
+/// Construct one at the top of main(); it parses the flags, hands sinks to
+/// every offload session the bench creates, and on destruction writes the
+/// trace file and/or prints the profile report.
+class Observability {
+ public:
+  Observability(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        trace_path_ = argv[i + 1];
+      } else if (std::strcmp(argv[i], "--trace-cluster") == 0) {
+        trace_cluster_ = true;
+      } else if (std::strcmp(argv[i], "--profile") == 0) {
+        profile_ = true;
+      }
+    }
+    if (enabled()) active_ = this;
+  }
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  ~Observability() {
+    if (active_ == this) active_ = nullptr;
+    if (!enabled()) return;
+    if (!trace_path_.empty()) {
+      const Status s = trace::write_chrome_trace_file(trace_, trace_path_);
+      if (s.ok()) {
+        std::printf("\ntrace written to %s (load in ui.perfetto.dev)\n",
+                    trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     s.message().c_str());
+      }
+    }
+    if (profile_) {
+      std::printf("\n%s", trace::profile_report(trace_, &metrics_).c_str());
+    }
+  }
+
+  /// The active collector of this process, or null when neither flag was
+  /// given (tracing then costs the hot paths a single null check).
+  [[nodiscard]] static Observability* active() { return active_; }
+
+  [[nodiscard]] bool enabled() const {
+    return !trace_path_.empty() || profile_;
+  }
+  [[nodiscard]] bool trace_cluster() const { return trace_cluster_; }
+  [[nodiscard]] trace::Sinks sinks() {
+    return {trace_path_.empty() && !profile_ ? nullptr : &trace_, &metrics_};
+  }
+  [[nodiscard]] trace::EventTrace& trace() { return trace_; }
+  [[nodiscard]] trace::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  static inline Observability* active_ = nullptr;
+
+  trace::EventTrace trace_;
+  trace::MetricsRegistry metrics_;
+  std::string trace_path_;
+  bool trace_cluster_ = false;
+  bool profile_ = false;
+};
 
 /// Cycle counts of one kernel on every platform the figures need.
 struct KernelMeasurement {
@@ -55,7 +131,14 @@ inline KernelMeasurement measure_kernel(const kernels::KernelInfo& info) {
 
   for (u32 nc : {1u, 2u, 4u}) {
     const auto kc = info.factory(oc.features, nc, Target::kCluster, kSeed);
-    const auto run = kernels::run_on_cluster(kc, oc, nc);
+    // With --trace/--profile active, the 4-core (figure-defining) run of
+    // each kernel records its cluster timeline.
+    trace::Sinks sinks;
+    if (Observability* obs = Observability::active(); obs && nc == 4) {
+      sinks = obs->sinks();
+    }
+    const auto run =
+        kernels::run_on_cluster(kc, oc, nc, sinks, info.name + ".cluster");
     if (nc == 1) m.cycles_cluster_1 = run.cycles;
     if (nc == 2) m.cycles_cluster_2 = run.cycles;
     if (nc == 4) {
@@ -76,12 +159,21 @@ inline void print_header(const char* title, const char* what) {
 }
 
 /// An offload session configured like the prototype: L476 host, QSPI link.
+/// When `--trace`/`--profile` is active, the session records its offload
+/// phases onto a track named after the MCU clock (plus cluster detail with
+/// `--trace-cluster`).
 inline runtime::OffloadSession make_prototype_session(double mcu_freq_hz) {
   const host::McuSpec& mcu = host::stm32l476();
   link::SpiLinkConfig lcfg;
   lcfg.lanes = mcu.spi_lanes;
   lcfg.max_freq_hz = mcu.spi_max_hz;
-  return runtime::OffloadSession(mcu, mcu_freq_hz, link::SpiLink(lcfg));
+  runtime::OffloadSession session(mcu, mcu_freq_hz, link::SpiLink(lcfg));
+  if (Observability* obs = Observability::active()) {
+    char name[64];
+    std::snprintf(name, sizeof name, "offload@%.0fMHz", mcu_freq_hz / 1e6);
+    session.attach_trace(obs->sinks(), name, obs->trace_cluster());
+  }
+  return session;
 }
 
 }  // namespace ulp::bench

@@ -6,8 +6,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header("Extension kernels: FFT (voice) and FIR bank (biomed)",
                       "same methodology as Figure 4; not part of Table I");
 

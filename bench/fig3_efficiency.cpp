@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header("Figure 3: energy efficiency on matmul",
                       "PULP V_DD sweep vs. commercial MCU operating points");
   // Optional CSV dump for plotting: --csv fig3.csv
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%6.2f %10.1f %10.3f %10.3f %12.1f\n", vdd, op.freq_hz / 1e6,
                 watts * 1e3, gops, eff);
-    if (csv) csv->row({1, op.freq_hz / 1e6, watts * 1e3, gops, eff});
+    if (csv) csv->row({1, op.freq_hz / 1e6, watts * 1e3, gops, eff}).or_throw();
   }
 
   std::printf("\n-- Commercial MCUs (datasheet operating points)\n");
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
       }
       std::printf("%-14s %10.1f %10.3f %10.4f %12.2f\n", mcu.name.c_str(),
                   f / 1e6, watts * 1e3, gops, eff);
-      if (csv) csv->row({0, f / 1e6, watts * 1e3, gops, eff});
+      if (csv) csv->row({0, f / 1e6, watts * 1e3, gops, eff}).or_throw();
     }
   }
 

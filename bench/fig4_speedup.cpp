@@ -22,6 +22,7 @@
 
 int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header("Figure 4 (left): architectural speedup",
                       "cycles(Cortex-M) / cycles(1x OR10N), flat memory");
   std::unique_ptr<trace::CsvWriter> csv;
@@ -72,7 +73,8 @@ int main(int argc, char** argv) {
                     static_cast<double>(m.cycles_or10n_1),
                 static_cast<double>(m.cycles_m3) /
                     static_cast<double>(m.cycles_or10n_1),
-                s2, s4});
+                s2, s4})
+          .or_throw();
     }
     std::printf("%-16s %12llu %12llu %12llu | %6.2fx %6.2fx %9.1f%%\n",
                 m.info.name.c_str(),

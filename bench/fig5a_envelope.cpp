@@ -13,8 +13,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   constexpr double kBudget = mw(10);
   const host::McuSpec& mcu = host::stm32l476();
   power::PulpPowerModel pm;

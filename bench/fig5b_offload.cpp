@@ -13,8 +13,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header(
       "Figure 5b: offload efficiency vs iterations per offload",
       "matmul; PULP at the 0.5 V envelope point; QSPI tied to the MCU clock");

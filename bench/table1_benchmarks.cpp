@@ -33,8 +33,9 @@ const std::map<std::string, PaperRow>& paper_rows() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulp;
+  bench::Observability obs(argc, argv);
   bench::print_header(
       "Table I: Summary of the benchmark kernels",
       "measured on this reproduction vs. the paper's published values");

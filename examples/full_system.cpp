@@ -7,15 +7,34 @@
 // crunches, then pulls the results back — the complete Figure 1 system
 // with nothing abstracted to arithmetic.
 //
-// Build & run:  ./build/examples/full_system [kernel]
+// Build & run:  ./build/examples/full_system [kernel] [--trace out.json]
+//               [--profile]
+//
+// --trace dumps the co-simulation as a Chrome/Perfetto timeline (host MCU,
+// SPI wire, cluster cores/DMA on one real-time axis — load the file in
+// ui.perfetto.dev); --profile prints the top-phases report.
 #include <cstdio>
+#include <cstring>
 
 #include "system/hetero_system.hpp"
 #include "system/host_driver.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace_export.hpp"
 
 int main(int argc, char** argv) {
   using namespace ulp;
-  const std::string kernel_name = argc > 1 ? argv[1] : "matmul";
+  std::string kernel_name = "matmul";
+  std::string trace_path;
+  bool profile = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else {
+      kernel_name = argv[i];
+    }
+  }
   const kernels::KernelInfo* info = nullptr;
   for (const auto& k : kernels::all_kernels()) {
     if (k.name == kernel_name) info = &k;
@@ -34,6 +53,11 @@ int main(int argc, char** argv) {
   params.mcu_freq_hz = mhz(16);
   params.pulp_freq_hz = mhz(16);  // the 0.5 V near-threshold point
   system::HeteroSystem sys(params);
+  trace::EventTrace trace;
+  trace::MetricsRegistry metrics;
+  if (!trace_path.empty() || profile) {
+    sys.attach_trace({&trace, &metrics});
+  }
   sys.load_host_program(pkg.host_program);
 
   std::printf("offloading %s: image %u B, input %u B, output %u B\n",
@@ -64,5 +88,18 @@ int main(int argc, char** argv) {
   std::printf("result:        %s\n",
               ok ? "bit-exact match with the golden reference"
                  : "MISMATCH");
+
+  if (!trace_path.empty()) {
+    const Status s = trace::write_chrome_trace_file(trace, trace_path);
+    if (s.ok()) {
+      std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", s.message().c_str());
+    }
+  }
+  if (profile) {
+    std::printf("\n%s", trace::profile_report(trace, &metrics).c_str());
+  }
   return ok ? 0 : 1;
 }

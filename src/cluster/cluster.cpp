@@ -1,8 +1,17 @@
 #include "cluster/cluster.hpp"
 
 #include "common/status.hpp"
+#include "trace/metrics.hpp"
 
 namespace ulp::cluster {
+
+namespace {
+u8 traced_core_state(const core::Core& c) {
+  if (c.halted()) return 0;
+  if (c.sleeping()) return 2;
+  return 1;
+}
+}  // namespace
 
 Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   ULP_CHECK(params_.num_cores >= 1, "cluster needs at least one core");
@@ -26,6 +35,88 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   }
 }
 
+void Cluster::attach_trace(const trace::Sinks& sinks, double ticks_per_second,
+                           const std::string& track_prefix) {
+  sinks_ = sinks;
+  core_tracks_.clear();
+  traced_state_.assign(params_.num_cores, 255);  // no state seen yet
+  span_open_.assign(params_.num_cores, false);
+  sleep_since_.assign(params_.num_cores, 0);
+  traced_barriers_ = events_->barriers_completed();
+  traced_conflicts_ = tcdm_->total_conflicts();
+  if (sinks_.events != nullptr) {
+    for (u32 i = 0; i < params_.num_cores; ++i) {
+      core_tracks_.push_back(sinks_.events->add_track(
+          track_prefix + ".core" + std::to_string(i), ticks_per_second,
+          100 + static_cast<int>(i)));
+    }
+    sync_track_ = sinks_.events->add_track(track_prefix + ".sync",
+                                           ticks_per_second, 110);
+    dma_->attach_trace(sinks_, sinks_.events->add_track(
+                                   track_prefix + ".dma", ticks_per_second,
+                                   111));
+  } else {
+    dma_->attach_trace(sinks_, 0);
+  }
+}
+
+void Cluster::trace_sample() {
+  trace::EventTrace* ev = sinks_.events;
+  for (u32 i = 0; i < params_.num_cores; ++i) {
+    const u8 s = traced_core_state(*cores_[i]);
+    if (s == traced_state_[i]) continue;
+    if (span_open_[i]) {
+      if (ev != nullptr) ev->end(core_tracks_[i], cycles_);
+      span_open_[i] = false;
+      if (traced_state_[i] == 2 && sinks_.metrics != nullptr) {
+        sinks_.metrics->histogram("cluster.wait_cycles")
+            .record(cycles_ - sleep_since_[i]);
+      }
+    }
+    if (s == 1) {
+      if (ev != nullptr) {
+        ev->begin(core_tracks_[i], "run", cycles_);
+        span_open_[i] = true;
+      }
+    } else if (s == 2) {
+      sleep_since_[i] = cycles_;
+      if (ev != nullptr) {
+        ev->begin(core_tracks_[i], "wait", cycles_);
+        span_open_[i] = true;
+      }
+    } else if (ev != nullptr) {
+      ev->instant(core_tracks_[i], "halt", cycles_);
+    }
+    traced_state_[i] = s;
+  }
+
+  const u64 barriers = events_->barriers_completed();
+  if (barriers != traced_barriers_) {
+    if (ev != nullptr) {
+      ev->instant(sync_track_, "barrier", cycles_,
+                  {{"completed", static_cast<double>(barriers)}});
+    }
+    if (sinks_.metrics != nullptr) {
+      sinks_.metrics->counter("cluster.barriers")
+          .add(barriers - traced_barriers_);
+    }
+    traced_barriers_ = barriers;
+  }
+
+  const u64 conflicts = tcdm_->total_conflicts();
+  if (conflicts != traced_conflicts_) {
+    if (ev != nullptr) {
+      ev->counter(sync_track_, "tcdm.conflicts", cycles_,
+                  static_cast<double>(conflicts));
+    }
+    if (sinks_.metrics != nullptr) {
+      sinks_.metrics->counter("tcdm.conflicts")
+          .add(conflicts - traced_conflicts_);
+    }
+    traced_conflicts_ = conflicts;
+  }
+}
+
 void Cluster::load_program(const isa::Program& program) {
   program_ = program;
   for (const isa::Segment& seg : program_.data) {
@@ -39,6 +130,21 @@ void Cluster::load_program(const isa::Program& program) {
   tcdm_->reset_stats();
   for (auto& c : cores_) c->reset(&program_);
   cycles_ = 0;
+  if (sinks_) {
+    // Cycle stamps restart with the program; restart the trace bookkeeping
+    // too (any spans left open by a previous run close at their last tick).
+    // Only this cluster's core tracks are tidied — other components (host,
+    // SPI wire, DMA) own their tracks and may have spans in flight.
+    if (sinks_.events != nullptr) {
+      for (trace::EventTrace::TrackId t : core_tracks_) {
+        sinks_.events->close_open_spans(t);
+      }
+    }
+    traced_state_.assign(params_.num_cores, 255);
+    span_open_.assign(params_.num_cores, false);
+    traced_barriers_ = events_->barriers_completed();
+    traced_conflicts_ = tcdm_->total_conflicts();
+  }
 }
 
 void Cluster::step() {
@@ -52,6 +158,7 @@ void Cluster::step() {
   }
   dma_->step();
   ++cycles_;
+  if (sinks_) trace_sample();
 }
 
 bool Cluster::all_halted() const {

@@ -18,6 +18,7 @@
 #include "mem/bus.hpp"
 #include "mem/icache.hpp"
 #include "mem/tcdm.hpp"
+#include "trace/event_trace.hpp"
 
 namespace ulp::cluster {
 
@@ -68,6 +69,17 @@ class Cluster {
   /// cold, all cores are reset to the entry point. Statistics restart.
   void load_program(const isa::Program& program);
 
+  /// Record the cluster's activity into `sinks`: per-core run/wait spans
+  /// (barrier and WFE sleeps become "wait" spans whose durations feed the
+  /// cluster.wait_cycles histogram), per-transfer DMA spans, barrier
+  /// completions and TCDM bank-conflict counters. `ticks_per_second` is
+  /// the cluster clock for real-time alignment (default: 1 cycle = 1 ns
+  /// nominal, like the VCD tracer). Call before load_program/run; the
+  /// per-cycle cost with no sinks attached is one branch.
+  void attach_trace(const trace::Sinks& sinks,
+                    double ticks_per_second = 1e9,
+                    const std::string& track_prefix = "cluster");
+
   /// Advance one cluster clock cycle.
   void step();
 
@@ -90,6 +102,8 @@ class Cluster {
   [[nodiscard]] ClusterStats stats() const;
 
  private:
+  void trace_sample();
+
   ClusterParams params_;
   std::unique_ptr<mem::Tcdm> tcdm_;
   std::unique_ptr<mem::Sram> l2_;
@@ -101,6 +115,16 @@ class Cluster {
 
   isa::Program program_;
   u64 cycles_ = 0;
+
+  // Tracing state (inert unless attach_trace() was called).
+  trace::Sinks sinks_;
+  std::vector<trace::EventTrace::TrackId> core_tracks_;
+  trace::EventTrace::TrackId sync_track_ = 0;
+  std::vector<u8> traced_state_;   ///< Per core: 0 halted, 1 run, 2 sleep.
+  std::vector<bool> span_open_;    ///< Per core: a run/wait span is open.
+  std::vector<u64> sleep_since_;   ///< Per core: wait-span start cycle.
+  u64 traced_barriers_ = 0;
+  u64 traced_conflicts_ = 0;
 };
 
 }  // namespace ulp::cluster

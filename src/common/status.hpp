@@ -18,6 +18,33 @@ class SimError : public std::runtime_error {
   explicit SimError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Recoverable-error result for I/O-facing APIs (exporters, CSV writers)
+/// where the caller may legitimately want to continue — unlike ULP_CHECK,
+/// which is reserved for broken model setup. Default-constructed = success.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Bridge to the throwing convention: raises SimError if not ok.
+  void or_throw() const {
+    if (!ok_) throw SimError(message_);
+  }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* cond, const char* file, int line,
                               const std::string& msg) {

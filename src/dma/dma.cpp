@@ -2,6 +2,7 @@
 
 #include "cluster/event_unit.hpp"
 #include "common/status.hpp"
+#include "trace/metrics.hpp"
 
 namespace ulp::dma {
 
@@ -40,7 +41,31 @@ void Dma::enqueue(Addr src, Addr dst, u32 len_bytes) {
   ULP_CHECK(src % 4 == 0 && dst % 4 == 0,
             "DMA transfers must be word-aligned");
   if (len_bytes == 0) return;
-  queue_.push_back({src, dst, len_bytes});
+  queue_.push_back({src, dst, len_bytes, len_bytes, false});
+  if (sinks_) {
+    if (sinks_.events != nullptr) {
+      sinks_.events->instant(track_, "dma.enqueue", now_,
+                             {{"bytes", static_cast<double>(len_bytes)},
+                              {"queued", static_cast<double>(queue_.size())}});
+    }
+    if (sinks_.metrics != nullptr) {
+      sinks_.metrics->histogram("dma.transfer_bytes").record(len_bytes);
+    }
+  }
+}
+
+void Dma::trace_transfer_begin(const Transfer& t) {
+  if (sinks_.events != nullptr) {
+    sinks_.events->begin(track_, "dma.xfer", now_,
+                         {{"bytes", static_cast<double>(t.total)},
+                          {"src", static_cast<double>(t.src)},
+                          {"dst", static_cast<double>(t.dst)}});
+  }
+}
+
+void Dma::trace_transfer_end() {
+  if (sinks_.events != nullptr) sinks_.events->end(track_, now_);
+  if (sinks_.metrics != nullptr) sinks_.metrics->counter("dma.transfers").add();
 }
 
 int Dma::beat_size(const Transfer& t) {
@@ -50,6 +75,7 @@ int Dma::beat_size(const Transfer& t) {
 }
 
 void Dma::step() {
+  ++now_;
   if (idle()) return;
   ++stats_.busy_cycles;
 
@@ -67,12 +93,15 @@ void Dma::step() {
     if (pending_is_last_) {
       pending_is_last_ = false;
       ++stats_.transfers_completed;
+      if (sinks_) trace_transfer_end();
       if (events_ != nullptr) events_->send_event(0);
     }
     return;
   }
 
   Transfer& t = queue_.front();
+  if (sinks_ && !t.started) trace_transfer_begin(t);
+  t.started = true;
   const int size = beat_size(t);
 
   const mem::BusResult r = bus_->access(t.src, size, /*is_store=*/false, 0,
@@ -103,6 +132,7 @@ void Dma::step() {
   stats_.bytes_moved += static_cast<u64>(size);
   if (last_beat) {
     ++stats_.transfers_completed;
+    if (sinks_) trace_transfer_end();
     if (events_ != nullptr) events_->send_event(0);
   }
 }

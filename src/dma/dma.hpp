@@ -18,6 +18,7 @@
 #include <deque>
 
 #include "mem/bus.hpp"
+#include "trace/event_trace.hpp"
 
 namespace ulp::cluster {
 class EventUnit;
@@ -46,6 +47,14 @@ class Dma final : public mem::Peripheral {
   /// Attach the event unit so completions can wake WFE sleepers.
   void set_event_unit(cluster::EventUnit* events) { events_ = events; }
 
+  /// Record per-transfer spans on `track` (cluster-cycle timestamps) and
+  /// transfer sizes into the metrics registry. Null sinks detach.
+  void attach_trace(const trace::Sinks& sinks,
+                    trace::EventTrace::TrackId track) {
+    sinks_ = sinks;
+    track_ = track;
+  }
+
   // Peripheral interface (core-visible registers).
   u32 read32(Addr offset) override;
   void write32(Addr offset, u32 value) override;
@@ -71,7 +80,12 @@ class Dma final : public mem::Peripheral {
     Addr src = 0;
     Addr dst = 0;
     u32 remaining = 0;
+    u32 total = 0;
+    bool started = false;  ///< First beat issued (trace span open).
   };
+
+  void trace_transfer_begin(const Transfer& t);
+  void trace_transfer_end();
 
   [[nodiscard]] static int beat_size(const Transfer& t);
 
@@ -93,6 +107,10 @@ class Dma final : public mem::Peripheral {
   Addr pending_dst_ = 0;
 
   DmaStats stats_;
+
+  u64 now_ = 0;  ///< Cluster cycles seen (step() count); trace clock.
+  trace::Sinks sinks_;
+  trace::EventTrace::TrackId track_ = 0;
 };
 
 }  // namespace ulp::dma

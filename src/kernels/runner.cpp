@@ -6,11 +6,14 @@
 namespace ulp::kernels {
 
 RunOutcome run_on_cluster(const KernelCase& kc,
-                          const core::CoreConfig& core_config, u32 num_cores) {
+                          const core::CoreConfig& core_config, u32 num_cores,
+                          const trace::Sinks& sinks,
+                          const std::string& track_prefix) {
   cluster::ClusterParams params;
   params.num_cores = num_cores;
   params.core_config = core_config;
   cluster::Cluster cl(params);
+  if (sinks) cl.attach_trace(sinks, 1e9, track_prefix);
   cl.load_program(kc.program);
   // Host-side deposit of the input payload into the L2 staging area (the
   // timed SPI path is modelled separately by the offload runtime).

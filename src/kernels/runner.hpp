@@ -22,9 +22,14 @@ struct RunOutcome {
 
 /// Runs a Target::kCluster case on a cluster configured with `core_config`
 /// x `num_cores` (must match the values the case was generated for).
+/// Non-null `sinks` record the run onto "<track_prefix>.*" event-trace
+/// tracks (1 cycle = 1 ns nominal) and into the metrics registry.
 [[nodiscard]] RunOutcome run_on_cluster(const KernelCase& kc,
                                         const core::CoreConfig& core_config,
-                                        u32 num_cores);
+                                        u32 num_cores,
+                                        const trace::Sinks& sinks = {},
+                                        const std::string& track_prefix =
+                                            "cluster");
 
 /// Runs a Target::kFlat case on a single core with flat memory.
 [[nodiscard]] RunOutcome run_on_flat(const KernelCase& kc,

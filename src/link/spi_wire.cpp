@@ -1,5 +1,7 @@
 #include "link/spi_wire.hpp"
 
+#include "trace/metrics.hpp"
+
 namespace ulp::link {
 
 void SpiWire::start(bool tx, Addr local, Addr remote, u32 len,
@@ -15,9 +17,21 @@ void SpiWire::start(bool tx, Addr local, Addr remote, u32 len,
   local_write_ = std::move(local_write);
   // Command/address framing preamble, then the first byte's serialisation.
   cooldown_ = 2 * frame_overhead_bits_ / lanes_ + cycles_per_byte();
+  if (sinks_) {
+    if (sinks_.events != nullptr) {
+      sinks_.events->begin(track_, tx ? "spi.tx" : "spi.rx", now_,
+                           {{"bytes", static_cast<double>(len)},
+                            {"remote_addr", static_cast<double>(remote)}});
+    }
+    if (sinks_.metrics != nullptr) {
+      sinks_.metrics->histogram("spi.payload_bytes").record(len);
+      sinks_.metrics->counter("spi.transfers").add();
+    }
+  }
 }
 
 void SpiWire::step() {
+  ++now_;
   if (!busy()) return;
   ++busy_cycles_;
   if (--cooldown_ > 0) return;
@@ -35,6 +49,7 @@ void SpiWire::step() {
   } else {
     local_read_ = nullptr;
     local_write_ = nullptr;
+    if (sinks_.events != nullptr) sinks_.events->end(track_, now_);
   }
 }
 

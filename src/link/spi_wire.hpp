@@ -12,6 +12,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "trace/event_trace.hpp"
 
 namespace ulp::link {
 
@@ -46,8 +47,18 @@ class SpiWire {
   /// One host clock cycle of progress.
   void step();
 
+  /// Record transfers as spans on `track` (host-cycle timestamps) and
+  /// payload sizes into the metrics registry. Null sinks detach.
+  void attach_trace(const trace::Sinks& sinks,
+                    trace::EventTrace::TrackId track) {
+    sinks_ = sinks;
+    track_ = track;
+  }
+
   [[nodiscard]] u64 bytes_moved() const { return bytes_moved_; }
   [[nodiscard]] u64 busy_cycles() const { return busy_cycles_; }
+  /// Host cycles since construction (the wire's trace clock).
+  [[nodiscard]] u64 now() const { return now_; }
 
  private:
   u32 lanes_;
@@ -65,6 +76,10 @@ class SpiWire {
 
   u64 bytes_moved_ = 0;
   u64 busy_cycles_ = 0;
+  u64 now_ = 0;
+
+  trace::Sinks sinks_;
+  trace::EventTrace::TrackId track_ = 0;
 };
 
 }  // namespace ulp::link

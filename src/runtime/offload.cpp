@@ -1,6 +1,9 @@
 #include "runtime/offload.hpp"
 
+#include <cmath>
+
 #include "common/status.hpp"
+#include "trace/metrics.hpp"
 
 namespace ulp::runtime {
 
@@ -27,6 +30,51 @@ OffloadSession::OffloadSession(const host::McuSpec& mcu, double mcu_freq_hz,
   ULP_CHECK(mcu_freq_hz > 0, "MCU frequency must be positive");
 }
 
+void OffloadSession::attach_trace(const trace::Sinks& sinks,
+                                  std::string track_name, bool trace_cluster) {
+  sinks_ = sinks;
+  trace_name_ = std::move(track_name);
+  trace_cluster_ = trace_cluster;
+  track_made_ = false;
+  trace_cursor_s_ = 0;
+}
+
+void OffloadSession::trace_phases(const OffloadOutcome& outcome) {
+  const OffloadTiming& t = outcome.timing;
+  if (sinks_.metrics != nullptr) {
+    sinks_.metrics->counter("offload.runs").add();
+    sinks_.metrics->histogram("offload.binary_bytes").record(t.binary_bytes);
+    sinks_.metrics->histogram("offload.in_bytes").record(t.in_bytes);
+    sinks_.metrics->histogram("offload.out_bytes").record(t.out_bytes);
+    sinks_.metrics->histogram("offload.compute_cycles").record(t.accel_cycles);
+  }
+  if (sinks_.events == nullptr) return;
+  if (!track_made_) {
+    track_ = sinks_.events->add_track(trace_name_, mcu_freq_hz_, 10);
+    track_made_ = true;
+  }
+  // Spans are stamped in MCU cycles: duration == the phase's cycle total
+  // at this session's MCU clock (rounded to the nearest cycle).
+  auto cycles = [&](double seconds) {
+    return static_cast<u64>(std::llround(seconds * mcu_freq_hz_));
+  };
+  double cur = trace_cursor_s_;
+  auto phase = [&](const char* name, double seconds,
+                   std::vector<trace::EventTrace::Arg> args) {
+    sinks_.events->complete(track_, name, cycles(cur), cycles(seconds),
+                            std::move(args));
+    cur += seconds;
+  };
+  phase("binary_xfer", t.t_binary_s,
+        {{"bytes", static_cast<double>(t.binary_bytes)}});
+  phase("input_xfer", t.t_in_s, {{"bytes", static_cast<double>(t.in_bytes)}});
+  phase("compute", t.t_compute_s,
+        {{"accel_cycles", static_cast<double>(t.accel_cycles)}});
+  phase("output_xfer", t.t_out_s,
+        {{"bytes", static_cast<double>(t.out_bytes)}});
+  trace_cursor_s_ = cur;
+}
+
 OffloadOutcome OffloadSession::run(const OffloadRequest& request,
                                    const power::OperatingPoint& op,
                                    u32 num_cores) {
@@ -37,6 +85,9 @@ OffloadOutcome OffloadSession::run(const OffloadRequest& request,
   params.num_cores = num_cores;
   params.core_config = core::or10n_config();
   soc::PulpSoc soc(params);
+  if (sinks_ && trace_cluster_) {
+    soc.cluster().attach_trace(sinks_, op.freq_hz, trace_name_ + ".accel");
+  }
 
   // 1. Code offload: serialise and ship the binary.
   const std::vector<u8> image = isa::serialize(*request.program);
@@ -66,6 +117,7 @@ OffloadOutcome OffloadSession::run(const OffloadRequest& request,
   out.timing.binary_bytes = shipped;
   out.timing.in_bytes = request.input.size();
   out.timing.out_bytes = request.output_bytes;
+  if (sinks_) trace_phases(out);
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "link/spi_link.hpp"
 #include "power/pulp_power.hpp"
 #include "soc/pulp_soc.hpp"
+#include "trace/event_trace.hpp"
 
 namespace ulp::runtime {
 
@@ -92,6 +93,17 @@ class OffloadSession {
                                    const power::OperatingPoint& op,
                                    u32 num_cores = 4);
 
+  /// Record each run()'s offload phases — binary_xfer, input_xfer,
+  /// compute, output_xfer — as spans on a track named `track_name`
+  /// (MCU-cycle timestamps: span durations are exactly the cycle totals
+  /// OffloadTiming reports at this MCU clock). Successive runs append
+  /// end-to-end. With `trace_cluster`, the cycle-accurate cluster
+  /// simulation inside each run additionally records its own
+  /// "<track_name>.accel.*" tracks at the accelerator clock.
+  void attach_trace(const trace::Sinks& sinks,
+                    std::string track_name = "offload",
+                    bool trace_cluster = false);
+
   /// Energy for `iterations` kernel executions per code offload, using the
   /// measured timing/activity of `outcome`.
   [[nodiscard]] EnergyBreakdown energy(const OffloadOutcome& outcome,
@@ -114,10 +126,19 @@ class OffloadSession {
   }
 
  private:
+  void trace_phases(const OffloadOutcome& outcome);
+
   host::McuSpec mcu_;
   double mcu_freq_hz_;
   link::SpiLink link_;
   power::PulpPowerModel power_;
+
+  trace::Sinks sinks_;
+  std::string trace_name_;
+  bool trace_cluster_ = false;
+  bool track_made_ = false;
+  trace::EventTrace::TrackId track_ = 0;
+  double trace_cursor_s_ = 0;  ///< Where the next run's spans start.
 };
 
 }  // namespace ulp::runtime

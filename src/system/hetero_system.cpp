@@ -1,6 +1,7 @@
 #include "system/hetero_system.hpp"
 
 #include "common/status.hpp"
+#include "trace/metrics.hpp"
 
 namespace ulp::system {
 
@@ -29,6 +30,11 @@ HeteroSystem::HeteroSystem(HeteroSystemParams params)
       [this](u32 image_len) {
         soc_->boot_from_l2(params_.l2_staging, image_len);
         accel_started_ = true;
+        if (sinks_.events != nullptr) {
+          sinks_.events->instant(
+              host_track_, "fetch_enable", host_cycles_,
+              {{"image_len", static_cast<double>(image_len)}});
+        }
       });
   host_bus_->add_peripheral(kSpiMasterBase, 0x100, spi_master_.get());
   host_bus_->add_peripheral(kGpioBase, 0x100, gpio_.get());
@@ -40,6 +46,59 @@ HeteroSystem::HeteroSystem(HeteroSystemParams params)
                                             host_bus_.get(),
                                             /*icache=*/nullptr,
                                             wake_unit_.get());
+}
+
+void HeteroSystem::attach_trace(const trace::Sinks& sinks) {
+  sinks_ = sinks;
+  traced_host_state_ = 255;
+  host_span_open_ = false;
+  traced_eoc_ = false;
+  if (sinks_.events != nullptr) {
+    host_track_ =
+        sinks_.events->add_track("host.mcu", params_.mcu_freq_hz, 0);
+    wire_->attach_trace(sinks_, sinks_.events->add_track(
+                                    "link.spi", params_.mcu_freq_hz, 1));
+  } else {
+    wire_->attach_trace(sinks_, 0);
+  }
+  soc_->cluster().attach_trace(sinks_, params_.pulp_freq_hz);
+}
+
+void HeteroSystem::trace_sample() {
+  trace::EventTrace* ev = sinks_.events;
+  const core::Core& host = *host_core_;
+  const u8 s = host.halted() ? 0 : (host.sleeping() ? u8{2} : u8{1});
+  if (s != traced_host_state_) {
+    if (host_span_open_) {
+      if (ev != nullptr) ev->end(host_track_, host_cycles_);
+      host_span_open_ = false;
+      if (traced_host_state_ == 2 && sinks_.metrics != nullptr) {
+        sinks_.metrics->histogram("host.sleep_cycles")
+            .record(host_cycles_ - host_sleep_since_);
+      }
+    }
+    if (s == 1) {
+      if (ev != nullptr) {
+        ev->begin(host_track_, "run", host_cycles_);
+        host_span_open_ = true;
+      }
+    } else if (s == 2) {
+      host_sleep_since_ = host_cycles_;
+      if (ev != nullptr) {
+        ev->begin(host_track_, "sleep", host_cycles_);
+        host_span_open_ = true;
+      }
+    } else if (ev != nullptr) {
+      ev->instant(host_track_, "halt", host_cycles_);
+    }
+    traced_host_state_ = s;
+  }
+
+  const bool eoc = soc_->eoc_gpio();
+  if (eoc != traced_eoc_) {
+    if (eoc && ev != nullptr) ev->instant(host_track_, "eoc", host_cycles_);
+    traced_eoc_ = eoc;
+  }
 }
 
 void HeteroSystem::load_host_program(const isa::Program& program) {
@@ -59,6 +118,7 @@ void HeteroSystem::step() {
   host_core_->step();
   wire_->step();
   ++host_cycles_;
+  if (sinks_) trace_sample();
   // The cluster runs in its own clock domain.
   clock_accum_ += params_.pulp_freq_hz / params_.mcu_freq_hz;
   while (clock_accum_ >= 1.0) {

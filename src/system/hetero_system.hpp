@@ -23,6 +23,7 @@
 #include "link/spi_wire.hpp"
 #include "mem/bus.hpp"
 #include "soc/pulp_soc.hpp"
+#include "trace/event_trace.hpp"
 
 namespace ulp::system {
 
@@ -67,12 +68,21 @@ class HeteroSystem {
   /// Run until the host core halts. Returns host cycles elapsed.
   u64 run_to_host_halt(u64 max_host_cycles = 1'000'000'000ull);
 
+  /// Record the whole node into `sinks`: host run/sleep spans (WFI on the
+  /// EOC line), SPI wire transfers, fetch-enable / EOC handshake instants,
+  /// and the cluster's own tracks. Host-side tracks tick at the MCU clock
+  /// and cluster tracks at the PULP clock, so the exported timeline shows
+  /// both domains on one real-time axis. Call before load_host_program.
+  void attach_trace(const trace::Sinks& sinks);
+
   [[nodiscard]] core::Core& host_core() { return *host_core_; }
   [[nodiscard]] mem::Sram& host_sram() { return *host_sram_; }
   [[nodiscard]] soc::PulpSoc& soc() { return *soc_; }
   [[nodiscard]] HeteroStats stats() const;
 
  private:
+  void trace_sample();
+
   HeteroSystemParams params_;
   std::unique_ptr<soc::PulpSoc> soc_;
   std::unique_ptr<mem::Sram> host_sram_;
@@ -87,6 +97,14 @@ class HeteroSystem {
   bool accel_started_ = false;
   double clock_accum_ = 0.0;
   u64 host_cycles_ = 0;
+
+  // Tracing state (inert unless attach_trace() was called).
+  trace::Sinks sinks_;
+  trace::EventTrace::TrackId host_track_ = 0;
+  u8 traced_host_state_ = 255;  ///< 0 halted, 1 run, 2 sleep.
+  bool host_span_open_ = false;
+  u64 host_sleep_since_ = 0;
+  bool traced_eoc_ = false;
 };
 
 }  // namespace ulp::system

@@ -1,0 +1,128 @@
+#include "trace/event_trace.hpp"
+
+#include <algorithm>
+
+namespace ulp::trace {
+
+EventTrace::TrackId EventTrace::add_track(std::string name,
+                                          double ticks_per_second,
+                                          int sort_index) {
+  ULP_CHECK(!name.empty(), "trace track needs a name");
+  ULP_CHECK(ticks_per_second > 0, "track tick rate must be positive");
+  tracks_.push_back({std::move(name), ticks_per_second, sort_index});
+  open_.emplace_back();
+  last_tick_.push_back(0);
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void EventTrace::check_track(TrackId track) const {
+  ULP_CHECK(track < tracks_.size(), "unknown trace track");
+}
+
+void EventTrace::begin(TrackId track, std::string_view name, u64 tick,
+                       std::vector<Arg> args) {
+  check_track(track);
+  Event e;
+  e.kind = EventKind::kSpan;
+  e.track = track;
+  e.name = std::string(name);
+  e.begin_tick = tick;
+  e.end_tick = tick;
+  e.depth = static_cast<u32>(open_[track].size());
+  e.open = true;
+  e.args = std::move(args);
+  open_[track].push_back(events_.size());
+  events_.push_back(std::move(e));
+  last_tick_[track] = std::max(last_tick_[track], tick);
+}
+
+void EventTrace::end(TrackId track, u64 tick) {
+  check_track(track);
+  ULP_CHECK(!open_[track].empty(), "span end without a matching begin");
+  Event& e = events_[open_[track].back()];
+  open_[track].pop_back();
+  ULP_CHECK(tick >= e.begin_tick, "span ends before it begins");
+  e.end_tick = tick;
+  e.open = false;
+  last_tick_[track] = std::max(last_tick_[track], tick);
+}
+
+void EventTrace::complete(TrackId track, std::string_view name,
+                          u64 begin_tick, u64 duration_ticks,
+                          std::vector<Arg> args) {
+  check_track(track);
+  Event e;
+  e.kind = EventKind::kSpan;
+  e.track = track;
+  e.name = std::string(name);
+  e.begin_tick = begin_tick;
+  e.end_tick = begin_tick + duration_ticks;
+  e.depth = static_cast<u32>(open_[track].size());
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+  last_tick_[track] = std::max(last_tick_[track], begin_tick + duration_ticks);
+}
+
+void EventTrace::instant(TrackId track, std::string_view name, u64 tick,
+                         std::vector<Arg> args) {
+  check_track(track);
+  Event e;
+  e.kind = EventKind::kInstant;
+  e.track = track;
+  e.name = std::string(name);
+  e.begin_tick = tick;
+  e.end_tick = tick;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+  last_tick_[track] = std::max(last_tick_[track], tick);
+}
+
+void EventTrace::counter(TrackId track, std::string_view name, u64 tick,
+                         double value) {
+  check_track(track);
+  Event e;
+  e.kind = EventKind::kCounter;
+  e.track = track;
+  e.name = std::string(name);
+  e.begin_tick = tick;
+  e.end_tick = tick;
+  e.value = value;
+  events_.push_back(std::move(e));
+  last_tick_[track] = std::max(last_tick_[track], tick);
+}
+
+void EventTrace::close_open_spans() {
+  for (TrackId t = 0; t < tracks_.size(); ++t) close_open_spans(t);
+}
+
+void EventTrace::close_open_spans(TrackId track) {
+  check_track(track);
+  while (!open_[track].empty()) {
+    Event& e = events_[open_[track].back()];
+    open_[track].pop_back();
+    e.end_tick = std::max(e.begin_tick, last_tick_[track]);
+    e.open = false;
+  }
+}
+
+std::vector<const EventTrace::Event*> EventTrace::spans_named(
+    TrackId track, std::string_view name) const {
+  std::vector<const Event*> out;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kSpan && e.track == track && !e.open &&
+        e.name == name) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+u64 EventTrace::total_span_ticks(TrackId track, std::string_view name) const {
+  u64 total = 0;
+  for (const Event* e : spans_named(track, name)) {
+    total += e->duration_ticks();
+  }
+  return total;
+}
+
+}  // namespace ulp::trace

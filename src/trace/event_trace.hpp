@@ -1,0 +1,131 @@
+// Span-based event trace of a simulated run.
+//
+// Every component that does timed work — the host MCU, the SPI wire, the
+// cluster cores, the DMA, the offload runtime — records *spans* (nested
+// begin/end intervals), *instants* (zero-width markers) and *counter
+// samples* onto its own track. Tracks carry their clock's tick rate, so a
+// host track stamped in 16 MHz MCU cycles and a cluster track stamped in
+// near-threshold PULP cycles line up on one real-time axis when exported
+// (trace_export.hpp renders Chrome/Perfetto trace-event JSON and a
+// human-readable profile).
+//
+// The recorder is deliberately dumb and allocation-light: events append to
+// a flat vector, span nesting is a per-track stack of indices. Components
+// keep a `Sinks` struct (two raw pointers); the hot-path cost with no
+// trace attached is a single null check.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp::trace {
+
+class EventTrace;
+class MetricsRegistry;
+
+/// Optional observers a component records into. Both pointers may be null
+/// (then every hook is a no-op); components test `if (sinks_)` once per
+/// event site.
+struct Sinks {
+  EventTrace* events = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  [[nodiscard]] explicit operator bool() const {
+    return events != nullptr || metrics != nullptr;
+  }
+};
+
+class EventTrace {
+ public:
+  using TrackId = u32;
+
+  enum class EventKind : u8 {
+    kSpan,     ///< Closed begin/end interval.
+    kInstant,  ///< Zero-width marker.
+    kCounter,  ///< Sampled numeric value.
+  };
+
+  /// One numeric annotation on an event ("bytes", "addr", ...).
+  struct Arg {
+    std::string key;
+    double value = 0;
+  };
+
+  struct Track {
+    std::string name;
+    double ticks_per_second = 1e9;  ///< Nominal: 1 tick = 1 ns.
+    int sort_index = 0;             ///< Display order hint (ascending).
+  };
+
+  struct Event {
+    EventKind kind = EventKind::kSpan;
+    TrackId track = 0;
+    std::string name;
+    u64 begin_tick = 0;
+    u64 end_tick = 0;   ///< Spans only; == begin_tick until closed.
+    u32 depth = 0;      ///< Span nesting depth at begin time.
+    bool open = false;  ///< Span begun but not yet ended.
+    double value = 0;   ///< Counters only.
+    std::vector<Arg> args;
+
+    [[nodiscard]] u64 duration_ticks() const { return end_tick - begin_tick; }
+  };
+
+  /// Registers a track. `ticks_per_second` converts this track's tick
+  /// stamps to real time at export (pass the clock frequency in Hz).
+  TrackId add_track(std::string name, double ticks_per_second = 1e9,
+                    int sort_index = 0);
+
+  /// Opens a nested span on `track` at `tick`. Spans on one track must be
+  /// closed in LIFO order.
+  void begin(TrackId track, std::string_view name, u64 tick,
+             std::vector<Arg> args = {});
+
+  /// Closes the innermost open span on `track` at `tick`.
+  void end(TrackId track, u64 tick);
+
+  /// A span whose extent is known up front (analytic timing models).
+  void complete(TrackId track, std::string_view name, u64 begin_tick,
+                u64 duration_ticks, std::vector<Arg> args = {});
+
+  void instant(TrackId track, std::string_view name, u64 tick,
+               std::vector<Arg> args = {});
+
+  void counter(TrackId track, std::string_view name, u64 tick, double value);
+
+  /// Closes every span still open (at its own begin tick if nothing newer
+  /// was recorded on the track). Exporters call this implicitly.
+  void close_open_spans();
+
+  /// Same, but for one track only — lets a component that restarts its
+  /// cycle count tidy its own tracks without touching others' in-flight
+  /// spans.
+  void close_open_spans(TrackId track);
+
+  [[nodiscard]] const std::vector<Track>& tracks() const { return tracks_; }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] size_t num_events() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Test/report helper: all closed spans named `name` on `track`.
+  [[nodiscard]] std::vector<const Event*> spans_named(
+      TrackId track, std::string_view name) const;
+
+  /// Sum of closed-span durations named `name` on `track`, in ticks.
+  [[nodiscard]] u64 total_span_ticks(TrackId track,
+                                     std::string_view name) const;
+
+ private:
+  void check_track(TrackId track) const;
+
+  std::vector<Track> tracks_;
+  std::vector<Event> events_;
+  std::vector<std::vector<size_t>> open_;  ///< Per-track open-span stack.
+  std::vector<u64> last_tick_;             ///< Per-track newest timestamp.
+};
+
+}  // namespace ulp::trace

@@ -1,0 +1,95 @@
+#include "trace/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace ulp::trace {
+
+void Histogram::record(u64 sample) {
+  const size_t bucket = sample == 0 ? 0 : std::bit_width(sample);
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += sample;
+  if (count_ == 1 || sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+}
+
+u64 Histogram::approx_quantile(double q) const {
+  if (count_ == 0) return 0;
+  const double target = q * static_cast<double>(count_);
+  u64 seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      if (i == 0) return 0;
+      if (i >= 64) return max_;
+      return (u64{1} << i) - 1;  // bucket upper bound
+    }
+  }
+  return max_;
+}
+
+size_t Histogram::significant_buckets() const {
+  for (size_t i = kBuckets; i > 0; --i) {
+    if (buckets_[i - 1] != 0) return i;
+  }
+  return 0;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(std::string(name));
+  if (it == counters_.end()) {
+    check_unique(name, "counter");
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(std::string(name));
+  if (it == gauges_.end()) {
+    check_unique(name, "gauge");
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(std::string(name));
+  if (it == histograms_.end()) {
+    check_unique(name, "histogram");
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::check_unique(std::string_view name,
+                                   const char* kind) const {
+  const std::string key(name);
+  const bool taken = counters_.count(key) + gauges_.count(key) +
+                         histograms_.count(key) >
+                     0;
+  ULP_CHECK(!taken, "metric '" + key + "' already registered as another " +
+                        "kind (wanted " + kind + ")");
+}
+
+std::string MetricsRegistry::format() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << "  " << name << ": " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "  " << name << ": " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "  " << name << ": n=" << h->count() << " sum=" << h->sum()
+       << " min=" << h->min() << " mean=" << h->mean() << " max=" << h->max()
+       << " p50~" << h->approx_quantile(0.5) << " p99~"
+       << h->approx_quantile(0.99) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ulp::trace

@@ -1,0 +1,113 @@
+// Named-metric registry: counters, gauges and log2-bucketed histograms.
+//
+// Components register metrics by name on first use ("spi.payload_bytes",
+// "cluster.barrier_wait_cycles", "tcdm.conflicts", ...); a registry is
+// shared across all components of one run through trace::Sinks. Lookups
+// return stable references, so hot paths resolve their metric once at
+// attach time and then pay a plain increment.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp::trace {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(u64 n = 1) { value_ += n; }
+  [[nodiscard]] u64 value() const { return value_; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Last-written value (occupancy, frequency, efficiency...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Log2-bucketed histogram of non-negative integer samples. Bucket i
+/// holds samples in [2^(i-1), 2^i) — bucket 0 holds the value 0 — which
+/// matches the dynamic range of the quantities we care about (payload
+/// sizes from tens of bytes to tens of kilobytes, wait times from a few
+/// cycles to millions).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void record(u64 sample);
+
+  [[nodiscard]] u64 count() const { return count_; }
+  [[nodiscard]] u64 sum() const { return sum_; }
+  [[nodiscard]] u64 min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] u64 max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] u64 bucket(size_t i) const { return buckets_.at(i); }
+
+  /// Smallest value v such that >= q (in [0,1]) of the samples are <= v,
+  /// resolved to bucket upper bounds (exact enough for reporting).
+  [[nodiscard]] u64 approx_quantile(double q) const;
+
+  /// Index of the highest non-empty bucket + 1 (0 when empty).
+  [[nodiscard]] size_t significant_buckets() const;
+
+ private:
+  std::array<u64, kBuckets> buckets_{};
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = 0;
+  u64 max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create; references stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>&
+  counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Gauge>>& gauges()
+      const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Histogram>>&
+  histograms() const {
+    return histograms_;
+  }
+
+  /// Human-readable dump, sorted by name (report.hpp style).
+  [[nodiscard]] std::string format() const;
+
+ private:
+  // A metric name must not be registered as two different kinds.
+  void check_unique(std::string_view name, const char* kind) const;
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ulp::trace

@@ -24,6 +24,17 @@ std::string format_stats(const cluster::ClusterStats& stats) {
   return os.str();
 }
 
+std::string CsvWriter::escape_field(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& columns)
     : out_(path), columns_(columns.size()) {
@@ -31,20 +42,26 @@ CsvWriter::CsvWriter(const std::string& path,
   ULP_CHECK(!columns.empty(), "CSV needs at least one column");
   for (size_t i = 0; i < columns.size(); ++i) {
     if (i > 0) out_ << ',';
-    out_ << columns[i];
+    out_ << escape_field(columns[i]);
   }
   out_ << '\n';
 }
 
-void CsvWriter::row(const std::vector<double>& values) {
-  ULP_CHECK(values.size() == columns_, "CSV row arity mismatch");
+Status CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_) {
+    return Status::Error("CSV row arity mismatch: got " +
+                         std::to_string(values.size()) + " values for " +
+                         std::to_string(columns_) + " columns");
+  }
   for (size_t i = 0; i < values.size(); ++i) {
     if (i > 0) out_ << ',';
     out_ << values[i];
   }
   out_ << '\n';
   out_.flush();
+  if (!out_.good()) return Status::Error("CSV write failed (stream error)");
   ++rows_;
+  return {};
 }
 
 std::string csv_path_from_args(int argc, char** argv) {

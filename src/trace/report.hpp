@@ -1,9 +1,9 @@
 // Reporting helpers: human-readable cluster statistics and CSV export.
 //
 // Benches print the paper's rows to stdout; for plotting, every bench also
-// accepts `--csv <file>` and dumps its series through CsvWriter. The
-// formats here are deliberately dumb (RFC-4180-minus-quotes) — the data
-// is numeric and the column names are identifiers.
+// accepts `--csv <file>` and dumps its series through CsvWriter. Data rows
+// are numeric; header fields are quoted per RFC 4180 whenever they contain
+// a delimiter, quote or newline, so arbitrary column names round-trip.
 #pragma once
 
 #include <fstream>
@@ -21,11 +21,18 @@ namespace ulp::trace {
 
 class CsvWriter {
  public:
-  /// Opens `path` and writes the header row. Throws on I/O failure.
+  /// Opens `path` and writes the header row (fields quoted per RFC 4180
+  /// where needed). Throws on I/O failure — a bad path is a setup error.
   CsvWriter(const std::string& path, const std::vector<std::string>& columns);
 
-  /// Appends one row; must match the header's arity.
-  void row(const std::vector<double>& values);
+  /// Appends one row. Returns an error Status (instead of silently
+  /// mis-writing) when the arity does not match the header or the stream
+  /// rejects the write; the file is left untouched on arity mismatch.
+  Status row(const std::vector<double>& values);
+
+  /// RFC 4180 field encoding: wraps the field in double quotes and doubles
+  /// embedded quotes iff it contains a comma, quote, CR or LF.
+  [[nodiscard]] static std::string escape_field(const std::string& field);
 
   [[nodiscard]] size_t rows_written() const { return rows_; }
 

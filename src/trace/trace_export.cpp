@@ -1,0 +1,179 @@
+#include "trace/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace ulp::trace {
+
+namespace {
+
+/// Microseconds of simulated real time for `tick` on `track`.
+double ticks_to_us(const EventTrace::Track& track, u64 tick) {
+  return static_cast<double>(tick) / track.ticks_per_second * 1e6;
+}
+
+void write_args(std::ostream& os, const std::vector<EventTrace::Arg>& args) {
+  os << "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << json_escape(args[i].key) << "\":" << args[i].value;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Status write_chrome_trace(EventTrace& trace, std::ostream& out) {
+  trace.close_open_spans();
+  std::ostringstream os;
+  os << std::setprecision(15);
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    os << "\n";
+    first = false;
+  };
+
+  sep();
+  os << R"({"ph":"M","pid":1,"tid":0,"name":"process_name",)"
+     << R"("args":{"name":"ulp-hetsim"}})";
+
+  const auto& tracks = trace.tracks();
+  for (size_t t = 0; t < tracks.size(); ++t) {
+    sep();
+    os << R"({"ph":"M","pid":1,"tid":)" << t
+       << R"(,"name":"thread_name","args":{"name":")"
+       << json_escape(tracks[t].name) << "\"}}";
+    sep();
+    os << R"({"ph":"M","pid":1,"tid":)" << t
+       << R"(,"name":"thread_sort_index","args":{"sort_index":)"
+       << tracks[t].sort_index << "}}";
+  }
+
+  for (const EventTrace::Event& e : trace.events()) {
+    const EventTrace::Track& track = tracks[e.track];
+    const double ts = ticks_to_us(track, e.begin_tick);
+    sep();
+    switch (e.kind) {
+      case EventTrace::EventKind::kSpan: {
+        const double dur =
+            ticks_to_us(track, e.end_tick) - ticks_to_us(track, e.begin_tick);
+        os << R"({"ph":"X","pid":1,"tid":)" << e.track << ",\"name\":\""
+           << json_escape(e.name) << "\",\"ts\":" << ts << ",\"dur\":" << dur
+           << ",";
+        write_args(os, e.args);
+        os << "}";
+        break;
+      }
+      case EventTrace::EventKind::kInstant: {
+        os << R"({"ph":"i","pid":1,"tid":)" << e.track << ",\"name\":\""
+           << json_escape(e.name) << "\",\"ts\":" << ts << ",\"s\":\"t\",";
+        write_args(os, e.args);
+        os << "}";
+        break;
+      }
+      case EventTrace::EventKind::kCounter: {
+        os << R"({"ph":"C","pid":1,"tid":)" << e.track << ",\"name\":\""
+           << json_escape(e.name) << "\",\"ts\":" << ts
+           << ",\"args\":{\"value\":" << e.value << "}}";
+        break;
+      }
+    }
+  }
+  os << "\n]}\n";
+
+  out << os.str();
+  out.flush();
+  if (!out.good()) return Status::Error("trace export: stream write failed");
+  return {};
+}
+
+Status write_chrome_trace_file(EventTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::Error("trace export: cannot open " + path);
+  }
+  return write_chrome_trace(trace, out);
+}
+
+std::string profile_report(EventTrace& trace, const MetricsRegistry* metrics) {
+  trace.close_open_spans();
+  std::ostringstream os;
+  os << "=== profile: top phases by time ===\n";
+
+  struct Agg {
+    u64 ticks = 0;
+    u64 count = 0;
+  };
+  const auto& tracks = trace.tracks();
+  for (size_t t = 0; t < tracks.size(); ++t) {
+    std::map<std::string, Agg> by_name;
+    u64 busy_ticks = 0;  // depth-0 only, so nesting is not double-counted
+    for (const EventTrace::Event& e : trace.events()) {
+      if (e.kind != EventTrace::EventKind::kSpan || e.track != t) continue;
+      Agg& a = by_name[e.name];
+      a.ticks += e.duration_ticks();
+      ++a.count;
+      if (e.depth == 0) busy_ticks += e.duration_ticks();
+    }
+    if (by_name.empty()) continue;
+
+    std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                  by_name.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.ticks > b.second.ticks;
+    });
+
+    os << tracks[t].name << " (busy "
+       << ticks_to_us(tracks[t], busy_ticks) / 1e3 << " ms):\n";
+    const size_t top = std::min<size_t>(rows.size(), 10);
+    for (size_t i = 0; i < top; ++i) {
+      const auto& [name, a] = rows[i];
+      const double share = busy_ticks == 0 ? 0.0
+                                           : 100.0 *
+                                                 static_cast<double>(a.ticks) /
+                                                 static_cast<double>(busy_ticks);
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "  %-28s %12.3f us  x%-7llu %5.1f%%\n", name.c_str(),
+                    ticks_to_us(tracks[t], a.ticks),
+                    static_cast<unsigned long long>(a.count), share);
+      os << line;
+    }
+  }
+
+  if (metrics != nullptr && !metrics->empty()) {
+    os << "=== metrics ===\n" << metrics->format();
+  }
+  return os.str();
+}
+
+}  // namespace ulp::trace

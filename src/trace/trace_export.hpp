@@ -1,0 +1,39 @@
+// Exporters for EventTrace + MetricsRegistry.
+//
+// write_chrome_trace() renders the Chrome trace-event JSON format — the
+// `{"traceEvents": [...]}` object — loadable in ui.perfetto.dev and
+// chrome://tracing. Every track becomes one "thread" of a single
+// "ulp-hetsim" process, named and ordered through metadata events;
+// spans become "X" (complete) events, instants "i", counter samples "C".
+// Timestamps are microseconds of simulated real time, converted per track
+// from its tick rate, so host-cycle and cluster-cycle tracks align.
+//
+// profile_report() is the human-readable digest: per track, the top span
+// names by total time with counts and share of the track's busy time,
+// followed by the metrics registry dump (report.hpp style).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "trace/event_trace.hpp"
+#include "trace/metrics.hpp"
+
+namespace ulp::trace {
+
+/// JSON string-literal body escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Writes the trace as Chrome trace-event JSON. Open spans are closed
+/// first. Returns an error Status if the stream fails.
+Status write_chrome_trace(EventTrace& trace, std::ostream& out);
+
+/// Convenience: export to a file path.
+Status write_chrome_trace_file(EventTrace& trace, const std::string& path);
+
+/// "Top phases by time" profile: per-track span aggregation plus the
+/// metrics dump. `metrics` may be null.
+[[nodiscard]] std::string profile_report(EventTrace& trace,
+                                         const MetricsRegistry* metrics);
+
+}  // namespace ulp::trace

@@ -1,0 +1,172 @@
+// Acceptance test of the offload-session instrumentation: the phase spans
+// an OffloadSession records must agree, cycle for cycle, with the
+// OffloadTiming it reports, and the exported Chrome trace must be valid
+// JSON.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "kernels/kernel.hpp"
+#include "runtime/offload.hpp"
+#include "trace/event_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace_export.hpp"
+#include "trace/json_check.hpp"
+
+namespace ulp::runtime {
+namespace {
+
+constexpr double kMcuFreqHz = 16e6;
+
+OffloadSession make_session(double mcu_freq_hz = kMcuFreqHz) {
+  link::SpiLinkConfig lcfg;
+  lcfg.lanes = host::stm32l476().spi_lanes;
+  lcfg.max_freq_hz = host::stm32l476().spi_max_hz;
+  return OffloadSession(host::stm32l476(), mcu_freq_hz,
+                        link::SpiLink(lcfg));
+}
+
+kernels::KernelCase make_case(u64 seed = 3) {
+  const auto cfg = core::or10n_config();
+  return kernels::make_matmul_char(cfg.features, 4,
+                                   kernels::Target::kCluster, seed);
+}
+
+u64 cycles_of(double seconds, double freq_hz = kMcuFreqHz) {
+  return static_cast<u64>(std::llround(seconds * freq_hz));
+}
+
+TEST(OffloadTrace, PhaseSpanDurationsMatchOffloadTiming) {
+  const auto kc = make_case();
+  auto session = make_session();
+  trace::EventTrace trace;
+  trace::MetricsRegistry metrics;
+  session.attach_trace({&trace, &metrics}, "offload");
+  const power::OperatingPoint op{0.5, session.power_model().fmax_hz(0.5)};
+  const auto out = session.run(kc.offload_request(), op);
+  ASSERT_EQ(out.output, kc.expected);
+
+  ASSERT_EQ(trace.tracks().size(), 1u);
+  EXPECT_EQ(trace.tracks()[0].name, "offload");
+  EXPECT_DOUBLE_EQ(trace.tracks()[0].ticks_per_second, kMcuFreqHz);
+
+  // Per phase: span durations sum to exactly the cycle count the timing
+  // model reports at the session's MCU clock.
+  const OffloadTiming& t = out.timing;
+  EXPECT_EQ(trace.total_span_ticks(0, "binary_xfer"), cycles_of(t.t_binary_s));
+  EXPECT_EQ(trace.total_span_ticks(0, "input_xfer"), cycles_of(t.t_in_s));
+  EXPECT_EQ(trace.total_span_ticks(0, "compute"), cycles_of(t.t_compute_s));
+  EXPECT_EQ(trace.total_span_ticks(0, "output_xfer"), cycles_of(t.t_out_s));
+
+  // The compute span carries the accelerator cycle count as an arg.
+  const auto compute = trace.spans_named(0, "compute");
+  ASSERT_EQ(compute.size(), 1u);
+  ASSERT_EQ(compute[0]->args.size(), 1u);
+  EXPECT_EQ(compute[0]->args[0].key, "accel_cycles");
+  EXPECT_DOUBLE_EQ(compute[0]->args[0].value,
+                   static_cast<double>(t.accel_cycles));
+
+  // Phases tile the run: binary -> input -> compute -> output, no overlap.
+  const auto* binary = trace.spans_named(0, "binary_xfer")[0];
+  const auto* input = trace.spans_named(0, "input_xfer")[0];
+  const auto* output = trace.spans_named(0, "output_xfer")[0];
+  EXPECT_EQ(binary->begin_tick, 0u);
+  EXPECT_EQ(input->begin_tick, binary->end_tick);
+  EXPECT_EQ(compute[0]->begin_tick, input->end_tick);
+  EXPECT_EQ(output->begin_tick, compute[0]->end_tick);
+}
+
+TEST(OffloadTrace, RepeatedRunsAppendWithoutOverlap) {
+  const auto kc = make_case();
+  auto session = make_session();
+  trace::EventTrace trace;
+  session.attach_trace({&trace, nullptr}, "offload");
+  const power::OperatingPoint op{0.5, session.power_model().fmax_hz(0.5)};
+  const auto first = session.run(kc.offload_request(), op);
+  (void)session.run(kc.offload_request(), op);
+
+  const auto binaries = trace.spans_named(0, "binary_xfer");
+  ASSERT_EQ(binaries.size(), 2u);
+  // The second run starts where the first ended.
+  const auto outputs = trace.spans_named(0, "output_xfer");
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(binaries[1]->begin_tick, outputs[0]->end_tick);
+  EXPECT_EQ(trace.total_span_ticks(0, "compute"),
+            2 * cycles_of(first.timing.t_compute_s));
+}
+
+TEST(OffloadTrace, ExportedChromeTraceIsValidJson) {
+  const auto kc = make_case();
+  auto session = make_session();
+  trace::EventTrace trace;
+  trace::MetricsRegistry metrics;
+  session.attach_trace({&trace, &metrics}, "offload@16MHz");
+  const power::OperatingPoint op{0.5, session.power_model().fmax_hz(0.5)};
+  (void)session.run(kc.offload_request(), op);
+
+  std::ostringstream os;
+  ASSERT_TRUE(trace::write_chrome_trace(trace, os).ok());
+  const auto check = trace::testing::check_json(os.str());
+  ASSERT_TRUE(check.ok) << check.error;
+  for (const char* needle :
+       {"\"traceEvents\"", "offload@16MHz", "binary_xfer", "input_xfer",
+        "compute", "output_xfer", "accel_cycles"}) {
+    EXPECT_NE(os.str().find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(OffloadTrace, MetricsRecordPayloadsAndRuns) {
+  const auto kc = make_case();
+  auto session = make_session();
+  trace::MetricsRegistry metrics;
+  session.attach_trace({nullptr, &metrics});  // metrics-only sink works
+  const power::OperatingPoint op{0.5, session.power_model().fmax_hz(0.5)};
+  const auto out = session.run(kc.offload_request(), op);
+
+  EXPECT_EQ(metrics.counter("offload.runs").value(), 1u);
+  EXPECT_EQ(metrics.histogram("offload.in_bytes").sum(),
+            out.timing.in_bytes);
+  EXPECT_EQ(metrics.histogram("offload.out_bytes").sum(),
+            out.timing.out_bytes);
+  EXPECT_EQ(metrics.histogram("offload.binary_bytes").sum(),
+            out.timing.binary_bytes);
+  EXPECT_EQ(metrics.histogram("offload.compute_cycles").sum(),
+            out.timing.accel_cycles);
+}
+
+TEST(OffloadTrace, ClusterDetailTracksAppearOnRequest) {
+  const auto kc = make_case();
+  auto session = make_session();
+  trace::EventTrace trace;
+  session.attach_trace({&trace, nullptr}, "offload",
+                       /*trace_cluster=*/true);
+  const power::OperatingPoint op{0.5, session.power_model().fmax_hz(0.5)};
+  (void)session.run(kc.offload_request(), op);
+  trace.close_open_spans();
+
+  bool accel_core0 = false;
+  bool accel_dma = false;
+  for (const auto& tr : trace.tracks()) {
+    if (tr.name == "offload.accel.core0") {
+      accel_core0 = true;
+      // Cluster ticks run at the accelerator operating point, not the
+      // host clock, so the exported timeline aligns the two domains.
+      EXPECT_DOUBLE_EQ(tr.ticks_per_second, op.freq_hz);
+    }
+    if (tr.name == "offload.accel.dma") accel_dma = true;
+  }
+  EXPECT_TRUE(accel_core0);
+  EXPECT_TRUE(accel_dma);
+}
+
+TEST(OffloadTrace, UntracedSessionRecordsNothing) {
+  const auto kc = make_case();
+  auto session = make_session();
+  const power::OperatingPoint op{0.5, session.power_model().fmax_hz(0.5)};
+  const auto out = session.run(kc.offload_request(), op);
+  EXPECT_EQ(out.output, kc.expected);  // behaviour unchanged without sinks
+}
+
+}  // namespace
+}  // namespace ulp::runtime

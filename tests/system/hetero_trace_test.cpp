@@ -1,0 +1,152 @@
+// Trace instrumentation of the full co-simulation: host MCU, SPI wire and
+// cluster tracks must tell a consistent story about one offload, and the
+// export must survive a real multi-clock-domain run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/hetero_system.hpp"
+#include "system/host_driver.hpp"
+#include "trace/event_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace_export.hpp"
+#include "trace/json_check.hpp"
+
+namespace ulp::system {
+namespace {
+
+struct TracedRun {
+  trace::EventTrace trace;
+  trace::MetricsRegistry metrics;
+  FullSystemPackage pkg;
+  u64 host_cycles = 0;
+  u64 wire_bytes = 0;
+};
+
+TracedRun run_traced(u64 seed = 77) {
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(accel_cfg.features, 4,
+                                            kernels::Target::kCluster, seed);
+  TracedRun r;
+  r.pkg = package_offload(kc);
+  HeteroSystem sys;
+  sys.attach_trace({&r.trace, &r.metrics});
+  sys.load_host_program(r.pkg.host_program);
+  r.host_cycles = sys.run_to_host_halt();
+  r.wire_bytes = sys.stats().wire_bytes;
+  r.trace.close_open_spans();
+  return r;
+}
+
+trace::EventTrace::TrackId track_named(const trace::EventTrace& t,
+                                       std::string_view name) {
+  for (trace::EventTrace::TrackId i = 0; i < t.tracks().size(); ++i) {
+    if (t.tracks()[i].name == name) return i;
+  }
+  ADD_FAILURE() << "no track named " << name;
+  return 0;
+}
+
+TEST(HeteroTrace, HostTrackCoversTheWholeRun) {
+  const TracedRun r = run_traced();
+  const auto host = track_named(r.trace, "host.mcu");
+  // run + sleep spans partition the host timeline up to the halt.
+  const u64 covered = r.trace.total_span_ticks(host, "run") +
+                      r.trace.total_span_ticks(host, "sleep");
+  EXPECT_GT(r.trace.total_span_ticks(host, "run"), 0u);
+  EXPECT_GT(r.trace.total_span_ticks(host, "sleep"), 0u);
+  EXPECT_LE(covered, r.host_cycles);
+  EXPECT_GE(covered, r.host_cycles - 2);  // halt edge may trim one cycle
+  // Exactly one EOC rise and one halt marker.
+  size_t eoc = 0;
+  size_t halt = 0;
+  for (const auto& e : r.trace.events()) {
+    if (e.kind != trace::EventTrace::EventKind::kInstant) continue;
+    if (e.name == "eoc") ++eoc;
+    if (e.name == "halt" && e.track == host) ++halt;
+  }
+  EXPECT_EQ(eoc, 1u);
+  EXPECT_EQ(halt, 1u);
+}
+
+TEST(HeteroTrace, WireSpansAccountForEveryByte) {
+  TracedRun r = run_traced();
+  const auto spi = track_named(r.trace, "link.spi");
+  // Driver sequence: image tx, input tx, (EOC,) output rx.
+  EXPECT_EQ(r.trace.spans_named(spi, "spi.tx").size(), 2u);
+  EXPECT_EQ(r.trace.spans_named(spi, "spi.rx").size(), 1u);
+  // The byte counts ride on the spans and sum to the wire total.
+  double arg_bytes = 0;
+  for (const char* name : {"spi.tx", "spi.rx"}) {
+    for (const auto* e : r.trace.spans_named(spi, name)) {
+      for (const auto& a : e->args) {
+        if (a.key == "bytes") arg_bytes += a.value;
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<u64>(arg_bytes), r.wire_bytes);
+  EXPECT_EQ(r.metrics.histogram("spi.payload_bytes").sum(), r.wire_bytes);
+  EXPECT_EQ(r.metrics.counter("spi.transfers").value(), 3u);
+}
+
+TEST(HeteroTrace, ClusterTracksRunInTheirOwnClockDomain) {
+  const TracedRun r = run_traced();
+  HeteroSystemParams defaults;
+  const auto c0 = track_named(r.trace, "cluster.core0");
+  EXPECT_DOUBLE_EQ(r.trace.tracks()[c0].ticks_per_second,
+                   defaults.pulp_freq_hz);
+  const auto host = track_named(r.trace, "host.mcu");
+  EXPECT_DOUBLE_EQ(r.trace.tracks()[host].ticks_per_second,
+                   defaults.mcu_freq_hz);
+  // The cluster computed: a run span exists on every core.
+  for (int i = 0; i < 4; ++i) {
+    const auto t =
+        track_named(r.trace, "cluster.core" + std::to_string(i));
+    EXPECT_GT(r.trace.total_span_ticks(t, "run"), 0u) << "core " << i;
+  }
+  // DMA staged the payloads on its own track.
+  const auto dma = track_named(r.trace, "cluster.dma");
+  EXPECT_GE(r.trace.spans_named(dma, "dma.xfer").size(), 1u);
+}
+
+TEST(HeteroTrace, ExportsValidJsonForTheFullSystem) {
+  TracedRun r = run_traced();
+  std::ostringstream os;
+  ASSERT_TRUE(trace::write_chrome_trace(r.trace, os).ok());
+  const auto check = trace::testing::check_json(os.str());
+  ASSERT_TRUE(check.ok) << check.error;
+  for (const char* needle : {"host.mcu", "link.spi", "cluster.core3",
+                             "spi.tx", "eoc"}) {
+    EXPECT_NE(os.str().find(needle), std::string::npos) << needle;
+  }
+  const std::string report = trace::profile_report(r.trace, &r.metrics);
+  EXPECT_NE(report.find("host.mcu"), std::string::npos);
+  EXPECT_NE(report.find("=== metrics ==="), std::string::npos);
+}
+
+TEST(HeteroTrace, TracedAndUntracedRunsAgreeExactly) {
+  const auto accel_cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(accel_cfg.features, 4,
+                                            kernels::Target::kCluster, 77);
+  const FullSystemPackage pkg = package_offload(kc);
+
+  HeteroSystem plain;
+  plain.load_host_program(pkg.host_program);
+  const u64 plain_cycles = plain.run_to_host_halt();
+
+  trace::EventTrace trace;
+  trace::MetricsRegistry metrics;
+  HeteroSystem traced;
+  traced.attach_trace({&trace, &metrics});
+  traced.load_host_program(pkg.host_program);
+  const u64 traced_cycles = traced.run_to_host_halt();
+
+  // Observation must not perturb the simulation.
+  EXPECT_EQ(plain_cycles, traced_cycles);
+  EXPECT_EQ(plain.stats().wire_bytes, traced.stats().wire_bytes);
+  EXPECT_EQ(plain.stats().cluster_cycles, traced.stats().cluster_cycles);
+  EXPECT_FALSE(trace.empty());
+}
+
+}  // namespace
+}  // namespace ulp::system

@@ -1,0 +1,182 @@
+// Dedicated ClusterTracer tests (VCD waveform tracing of a cluster run)
+// plus the span-based cluster instrumentation behind Cluster::attach_trace.
+#include "trace/cluster_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "codegen/builder.hpp"
+#include "trace/event_trace.hpp"
+#include "trace/metrics.hpp"
+
+namespace ulp::trace {
+namespace {
+
+isa::Program barrier_program(u32 loop_len = 50) {
+  codegen::Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  bld.li(2, loop_len);
+  bld.loop(2, 10, [&] { bld.nop(); });
+  bld.barrier();
+  bld.eoc();
+  return bld.finalize();
+}
+
+TEST(ClusterTracer, TracesABarrierProgram) {
+  cluster::Cluster cl;
+  cl.load_program(barrier_program());
+
+  std::ostringstream out;
+  ClusterTracer tracer(cl, out);
+  const u64 cycles = tracer.run_traced();
+  EXPECT_GT(cycles, 50u);
+
+  const std::string s = out.str();
+  // All four cores and the shared blocks are declared.
+  for (const char* scope : {"core0", "core1", "core2", "core3", "tcdm",
+                            "dma"}) {
+    EXPECT_NE(s.find(scope), std::string::npos) << scope;
+  }
+  // The EOC line eventually rises: a '1' change for the eoc signal exists.
+  EXPECT_NE(s.find("eoc"), std::string::npos);
+  // Value-change sections exist with increasing timestamps.
+  const size_t t1 = s.find("#1\n");
+  EXPECT_NE(t1, std::string::npos);
+}
+
+TEST(ClusterTracer, SampleCountMatchesCycles) {
+  codegen::Builder bld(core::or10n_config().features);
+  bld.li(2, 10);
+  bld.loop(2, 10, [&] { bld.nop(); });
+  bld.halt();
+  cluster::Cluster cl;
+  cl.load_program(bld.finalize());
+  std::ostringstream out;
+  ClusterTracer tracer(cl, out);
+  const u64 cycles = tracer.run_traced();
+  // Last timestamp in the dump equals the final cycle count.
+  const std::string s = out.str();
+  const size_t last_hash = s.rfind('#');
+  ASSERT_NE(last_hash, std::string::npos);
+  const u64 last_time = std::stoull(s.substr(last_hash + 1));
+  EXPECT_EQ(last_time, cycles);
+}
+
+TEST(ClusterTracer, EveryCoreStateAppearsInTheDump) {
+  // A barrier program exercises all three states: running, clock-gated
+  // wait at the barrier (cores finish at different times since core 0
+  // runs the csr/li prologue on behalf of everyone), halted at EOC.
+  cluster::Cluster cl;
+  cl.load_program(barrier_program(200));
+  std::ostringstream out;
+  ClusterTracer tracer(cl, out);
+  (void)tracer.run_traced();
+  const std::string s = out.str();
+  // VCD encodes the 2-bit state as b1 (run), b10 (sleep), b0 (halt).
+  EXPECT_NE(s.find("b1 "), std::string::npos);
+  EXPECT_NE(s.find("b10 "), std::string::npos);
+  EXPECT_NE(s.find("b0 "), std::string::npos);
+}
+
+TEST(ClusterEventTrace, RecordsRunWaitSpansBarriersAndHalt) {
+  cluster::Cluster cl;
+  EventTrace trace;
+  MetricsRegistry metrics;
+  cl.attach_trace({&trace, &metrics}, 1e9, "cl");
+  cl.load_program(barrier_program());
+  const u64 cycles = cl.run();
+  trace.close_open_spans();
+
+  ASSERT_EQ(trace.tracks().size(), 6u);  // 4 cores + sync + dma
+  EXPECT_EQ(trace.tracks()[0].name, "cl.core0");
+  EXPECT_EQ(trace.tracks()[4].name, "cl.sync");
+  EXPECT_EQ(trace.tracks()[5].name, "cl.dma");
+
+  size_t wait_spans = 0;
+  for (EventTrace::TrackId t = 0; t < 4; ++t) {
+    EXPECT_GE(trace.spans_named(t, "run").size(), 1u) << "core " << t;
+    wait_spans += trace.spans_named(t, "wait").size();
+    // No span outlives the run.
+    for (const auto* e : trace.spans_named(t, "run")) {
+      EXPECT_LE(e->end_tick, cycles);
+    }
+  }
+  // All cores except the last barrier arriver clock-gate while waiting.
+  EXPECT_GE(wait_spans, 3u);
+  // The barrier instant landed on the sync track with its count.
+  bool barrier_seen = false;
+  for (const auto& e : trace.events()) {
+    if (e.kind == EventTrace::EventKind::kInstant && e.name == "barrier") {
+      barrier_seen = true;
+      EXPECT_EQ(e.track, 4u);
+    }
+  }
+  EXPECT_TRUE(barrier_seen);
+  EXPECT_EQ(metrics.counter("cluster.barriers").value(), 1u);
+  EXPECT_GE(metrics.histogram("cluster.wait_cycles").count(), 3u);
+}
+
+TEST(ClusterEventTrace, WaitSpanCyclesMatchCoreSleepStats) {
+  cluster::Cluster cl;
+  EventTrace trace;
+  cl.attach_trace({&trace, nullptr}, 1e9, "cl");
+  cl.load_program(barrier_program(100));
+  (void)cl.run();
+  trace.close_open_spans();
+  const auto stats = cl.stats();
+  for (EventTrace::TrackId t = 0; t < 4; ++t) {
+    // A wait span opens at the end of the cycle that executed the gating
+    // instruction (perf bills that cycle as active) and covers the gated
+    // cycles after it: span ticks == sleep_cycles + one per episode.
+    const u64 episodes = trace.spans_named(t, "wait").size();
+    EXPECT_EQ(trace.total_span_ticks(t, "wait"),
+              stats.cores[t].sleep_cycles + episodes)
+        << "core " << t;
+  }
+}
+
+TEST(ClusterEventTrace, ReloadRestartsCycleStampsSafely) {
+  cluster::Cluster cl;
+  EventTrace trace;
+  cl.attach_trace({&trace, nullptr}, 1e9, "cl");
+  cl.load_program(barrier_program(20));
+  (void)cl.run();
+  // Second run on the same cluster: stamps restart at 0; the tracer must
+  // not emit a span that goes backwards in time.
+  cl.load_program(barrier_program(30));
+  (void)cl.run();
+  trace.close_open_spans();
+  for (const auto& e : trace.events()) {
+    if (e.kind == EventTrace::EventKind::kSpan) {
+      EXPECT_LE(e.begin_tick, e.end_tick);
+    }
+  }
+  // Both runs contributed run spans to core 0's track.
+  EXPECT_GE(trace.spans_named(0, "run").size(), 2u);
+}
+
+TEST(RetireHook, ObservesEveryInstruction) {
+  using codegen::Builder;
+  Builder bld(core::or10n_config().features);
+  bld.li(1, 3);
+  bld.loop(1, 10, [&] { bld.emit(isa::Opcode::kAddi, 2, 2, 0, 1); });
+  bld.halt();
+  const isa::Program prog = bld.finalize();
+
+  mem::Sram sram(0, 1024);
+  mem::SimpleBus bus(&sram, 1);
+  core::Core cpu(0, 1, core::or10n_config(), &bus);
+  cpu.reset(&prog);
+  std::vector<u32> pcs;
+  cpu.set_retire_hook(
+      [&](u32 pc, const isa::Instr&) { pcs.push_back(pc); });
+  cpu.run_to_halt();
+  EXPECT_EQ(pcs.size(), cpu.perf().instrs);
+  // The loop body pc (index 2: after li + lp.setup) retires three times.
+  EXPECT_EQ(std::count(pcs.begin(), pcs.end(), 2u), 3);
+}
+
+}  // namespace
+}  // namespace ulp::trace

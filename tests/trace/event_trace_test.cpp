@@ -1,0 +1,129 @@
+// Unit tests of the span/instant/counter recorder behind every
+// instrumented component.
+#include "trace/event_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulp::trace {
+namespace {
+
+using EventKind = EventTrace::EventKind;
+
+TEST(EventTrace, TracksCarryNameRateAndOrder) {
+  EventTrace t;
+  const auto host = t.add_track("host.mcu", 16e6, 0);
+  const auto accel = t.add_track("cluster.core0", 16e6, 100);
+  ASSERT_EQ(t.tracks().size(), 2u);
+  EXPECT_EQ(t.tracks()[host].name, "host.mcu");
+  EXPECT_DOUBLE_EQ(t.tracks()[accel].ticks_per_second, 16e6);
+  EXPECT_EQ(t.tracks()[accel].sort_index, 100);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(EventTrace, SpanBeginEndRecordsDuration) {
+  EventTrace t;
+  const auto tr = t.add_track("t");
+  t.begin(tr, "work", 10, {{"bytes", 64.0}});
+  t.end(tr, 35);
+  ASSERT_EQ(t.num_events(), 1u);
+  const auto& e = t.events()[0];
+  EXPECT_EQ(e.kind, EventKind::kSpan);
+  EXPECT_EQ(e.name, "work");
+  EXPECT_EQ(e.begin_tick, 10u);
+  EXPECT_EQ(e.end_tick, 35u);
+  EXPECT_EQ(e.duration_ticks(), 25u);
+  EXPECT_FALSE(e.open);
+  ASSERT_EQ(e.args.size(), 1u);
+  EXPECT_EQ(e.args[0].key, "bytes");
+  EXPECT_DOUBLE_EQ(e.args[0].value, 64.0);
+}
+
+TEST(EventTrace, SpansNestLifoWithDepth) {
+  EventTrace t;
+  const auto tr = t.add_track("t");
+  t.begin(tr, "outer", 0);
+  t.begin(tr, "inner", 5);
+  t.end(tr, 8);   // closes inner
+  t.end(tr, 20);  // closes outer
+  const auto outer = t.spans_named(tr, "outer");
+  const auto inner = t.spans_named(tr, "inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer[0]->depth, 0u);
+  EXPECT_EQ(inner[0]->depth, 1u);
+  EXPECT_EQ(outer[0]->duration_ticks(), 20u);
+  EXPECT_EQ(inner[0]->duration_ticks(), 3u);
+}
+
+TEST(EventTrace, TracksNestIndependently) {
+  EventTrace t;
+  const auto a = t.add_track("a");
+  const auto b = t.add_track("b");
+  t.begin(a, "on_a", 0);
+  t.begin(b, "on_b", 2);
+  t.end(a, 4);  // must close on_a, not on_b
+  t.end(b, 9);
+  EXPECT_EQ(t.total_span_ticks(a, "on_a"), 4u);
+  EXPECT_EQ(t.total_span_ticks(b, "on_b"), 7u);
+}
+
+TEST(EventTrace, CompleteSpansAndTotals) {
+  EventTrace t;
+  const auto tr = t.add_track("t");
+  t.complete(tr, "phase", 0, 100);
+  t.complete(tr, "phase", 150, 50);
+  t.complete(tr, "other", 90, 10);
+  EXPECT_EQ(t.spans_named(tr, "phase").size(), 2u);
+  EXPECT_EQ(t.total_span_ticks(tr, "phase"), 150u);
+  EXPECT_EQ(t.total_span_ticks(tr, "other"), 10u);
+  EXPECT_EQ(t.total_span_ticks(tr, "absent"), 0u);
+}
+
+TEST(EventTrace, InstantAndCounterEvents) {
+  EventTrace t;
+  const auto tr = t.add_track("t");
+  t.instant(tr, "eoc", 42, {{"core", 1.0}});
+  t.counter(tr, "conflicts", 43, 7.0);
+  ASSERT_EQ(t.num_events(), 2u);
+  EXPECT_EQ(t.events()[0].kind, EventKind::kInstant);
+  EXPECT_EQ(t.events()[0].begin_tick, 42u);
+  EXPECT_EQ(t.events()[1].kind, EventKind::kCounter);
+  EXPECT_DOUBLE_EQ(t.events()[1].value, 7.0);
+}
+
+TEST(EventTrace, CloseOpenSpansUsesNewestTickOnTrack) {
+  EventTrace t;
+  const auto tr = t.add_track("t");
+  t.begin(tr, "left_open", 10);
+  t.instant(tr, "marker", 90);  // newest activity on the track
+  t.close_open_spans();
+  const auto spans = t.spans_named(tr, "left_open");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0]->end_tick, 90u);
+}
+
+TEST(EventTrace, PerTrackCloseLeavesOtherTracksAlone) {
+  EventTrace t;
+  const auto a = t.add_track("a");
+  const auto b = t.add_track("b");
+  t.begin(a, "sa", 0);
+  t.begin(b, "sb", 0);
+  t.close_open_spans(a);
+  EXPECT_FALSE(t.events()[0].open);  // sa closed
+  EXPECT_TRUE(t.events()[1].open);   // sb still in flight
+  t.end(b, 5);                       // and still properly closable
+  EXPECT_EQ(t.total_span_ticks(b, "sb"), 5u);
+}
+
+TEST(EventTrace, RejectsMisuse) {
+  EventTrace t;
+  const auto tr = t.add_track("t");
+  EXPECT_THROW(t.end(tr, 0), SimError);  // end without begin
+  t.begin(tr, "s", 10);
+  EXPECT_THROW(t.end(tr, 9), SimError);  // time moving backwards
+  EXPECT_THROW(t.begin(99, "s", 0), SimError);  // unknown track
+  EXPECT_THROW(t.instant(99, "s", 0), SimError);
+}
+
+}  // namespace
+}  // namespace ulp::trace

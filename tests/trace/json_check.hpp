@@ -1,0 +1,185 @@
+// Minimal strict JSON parser for the export tests: validates syntax and
+// counts structure, with no dependency beyond the standard library. This
+// is a test oracle, not a JSON library — it accepts exactly the grammar of
+// RFC 8259 (minus \uXXXX surrogate-pair pairing checks) and reports the
+// first offending byte offset on failure.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace ulp::trace::testing {
+
+struct JsonCheck {
+  bool ok = false;
+  std::string error;       // empty when ok
+  size_t objects = 0;      // number of '{...}' values parsed
+  size_t arrays = 0;       // number of '[...]' values parsed
+  size_t strings = 0;      // number of string literals (keys included)
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  JsonCheck run() {
+    skip_ws();
+    if (!value()) return fail();
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing bytes after top-level value");
+    out_.ok = true;
+    return out_;
+  }
+
+ private:
+  JsonCheck fail(const char* why = "syntax error") {
+    if (out_.error.empty()) {
+      out_.error = std::string(why) + " at byte " + std::to_string(pos_);
+    }
+    out_.ok = false;
+    return out_;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+  bool consume(char c) {
+    if (eof() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    ++out_.objects;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    ++out_.arrays;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        ++out_.strings;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character: must be escaped
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0)
+              return false;
+          }
+          ++pos_;
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+                   e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return false;
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const size_t start = pos_;
+    consume('-');
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+      return false;
+    if (!consume('0')) {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        ++pos_;
+    }
+    if (consume('.')) {
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!consume('+')) consume('-');
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  JsonCheck out_;
+};
+
+inline JsonCheck check_json(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+}  // namespace ulp::trace::testing

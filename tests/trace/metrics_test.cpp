@@ -1,0 +1,112 @@
+// Unit tests of the counter/gauge/histogram registry.
+#include "trace/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ulp::trace {
+namespace {
+
+TEST(Counter, AccumulatesIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST(Histogram, BucketsAreLog2Ranges) {
+  Histogram h;
+  h.record(0);  // bucket 0: exactly zero
+  h.record(1);  // bucket 1: [1, 2)
+  h.record(2);  // bucket 2: [2, 4)
+  h.record(3);
+  h.record(1024);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_DOUBLE_EQ(h.mean(), 206.0);
+  EXPECT_EQ(h.significant_buckets(), 12u);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.significant_buckets(), 0u);
+  EXPECT_EQ(h.approx_quantile(0.5), 0u);
+}
+
+TEST(Histogram, QuantilesResolveToBucketUpperBounds) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);    // bucket 4: [8, 16)
+  for (int i = 0; i < 10; ++i) h.record(5000);  // bucket 13: [4096, 8192)
+  EXPECT_EQ(h.approx_quantile(0.5), 15u);    // within the 90% mass
+  EXPECT_EQ(h.approx_quantile(0.99), 8191u);  // reaches the tail
+}
+
+TEST(Histogram, ExtremeSamplesDoNotOverflow) {
+  Histogram h;
+  const u64 big = std::numeric_limits<u64>::max();
+  h.record(big);  // lands in the last bucket (index 64)
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.max(), big);
+  // The top bucket has no finite power-of-two upper bound; the quantile
+  // falls back to the observed max instead of shifting by 64 (UB).
+  EXPECT_EQ(h.approx_quantile(1.0), big);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableRefs) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  Counter& a = reg.counter("spi.transfers");
+  Counter& b = reg.counter("spi.transfers");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter("spi.transfers").value(), 3u);
+  reg.histogram("spi.payload_bytes").record(128);
+  reg.gauge("efficiency").set(0.9);
+  EXPECT_FALSE(reg.empty());
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.histograms().size(), 1u);
+  EXPECT_EQ(reg.gauges().size(), 1u);
+}
+
+TEST(MetricsRegistry, RejectsNameReuseAcrossKinds) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.histogram("x"), SimError);
+  EXPECT_THROW(reg.gauge("x"), SimError);
+  reg.histogram("y");
+  EXPECT_THROW(reg.counter("y"), SimError);
+}
+
+TEST(MetricsRegistry, FormatListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("runs").add(2);
+  reg.gauge("speedup").set(3.5);
+  reg.histogram("bytes").record(100);
+  const std::string s = reg.format();
+  EXPECT_NE(s.find("runs: 2"), std::string::npos);
+  EXPECT_NE(s.find("speedup"), std::string::npos);
+  EXPECT_NE(s.find("bytes"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ulp::trace

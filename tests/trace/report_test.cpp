@@ -31,8 +31,8 @@ TEST(CsvWriter, WritesHeaderAndRows) {
   const std::string path = ::testing::TempDir() + "ulp_csv_test.csv";
   {
     CsvWriter csv(path, {"a", "b", "c"});
-    csv.row({1, 2.5, 3});
-    csv.row({4, 5, 6.25});
+    EXPECT_TRUE(csv.row({1, 2.5, 3}).ok());
+    EXPECT_TRUE(csv.row({4, 5, 6.25}).ok());
     EXPECT_EQ(csv.rows_written(), 2u);
   }
   std::ifstream in(path);
@@ -46,11 +46,41 @@ TEST(CsvWriter, WritesHeaderAndRows) {
   std::remove(path.c_str());
 }
 
-TEST(CsvWriter, RejectsArityMismatch) {
+TEST(CsvWriter, RejectsArityMismatchWithoutWriting) {
   const std::string path = ::testing::TempDir() + "ulp_csv_test2.csv";
-  CsvWriter csv(path, {"a", "b"});
-  EXPECT_THROW(csv.row({1}), SimError);
-  EXPECT_THROW(csv.row({1, 2, 3}), SimError);
+  {
+    CsvWriter csv(path, {"a", "b"});
+    const Status narrow = csv.row({1});
+    EXPECT_FALSE(narrow.ok());
+    EXPECT_NE(narrow.message().find("arity"), std::string::npos);
+    EXPECT_FALSE(csv.row({1, 2, 3}).ok());
+    EXPECT_THROW(csv.row({1}).or_throw(), SimError);
+    EXPECT_EQ(csv.rows_written(), 0u);
+    EXPECT_TRUE(csv.row({7, 8}).ok());  // writer still usable
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "7,8");  // rejected rows left no partial output
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, QuotesHeaderFieldsPerRfc4180) {
+  EXPECT_EQ(CsvWriter::escape_field("plain_name"), "plain_name");
+  EXPECT_EQ(CsvWriter::escape_field("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvWriter::escape_field("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape_field("two\nlines"), "\"two\nlines\"");
+
+  const std::string path = ::testing::TempDir() + "ulp_csv_test3.csv";
+  {
+    CsvWriter csv(path, {"cycles", "energy [J], total", "say \"hi\""});
+    EXPECT_TRUE(csv.row({1, 2, 3}).ok());
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "cycles,\"energy [J], total\",\"say \"\"hi\"\"\"");
   std::remove(path.c_str());
 }
 

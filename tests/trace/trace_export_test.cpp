@@ -1,0 +1,133 @@
+// Exporter tests: Chrome trace-event JSON structure and escaping, and the
+// human-readable profile report.
+#include "trace/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "json_check.hpp"
+
+namespace ulp::trace {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("spi.tx"), "spi.tx");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+EventTrace make_small_trace() {
+  EventTrace t;
+  // 16 MHz track: 32 ticks = 2 us.
+  const auto host = t.add_track("host.mcu", 16e6, 0);
+  const auto accel = t.add_track("cluster.core0", 8e6, 100);
+  t.begin(host, "run", 16, {{"bytes", 12.0}});
+  t.end(host, 48);
+  t.instant(host, "eoc", 48);
+  t.counter(accel, "conflicts", 8, 3.0);
+  t.complete(accel, "compute", 0, 80);
+  return t;
+}
+
+TEST(ChromeTrace, OutputIsValidJson) {
+  EventTrace t = make_small_trace();
+  std::ostringstream out;
+  ASSERT_TRUE(write_chrome_trace(t, out).ok());
+  const auto check = testing::check_json(out.str());
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.objects, 4u);  // root + metadata + events
+  EXPECT_GE(check.arrays, 1u);   // traceEvents
+}
+
+TEST(ChromeTrace, EmitsMetadataSpanInstantAndCounterRecords) {
+  EventTrace t = make_small_trace();
+  std::ostringstream out;
+  ASSERT_TRUE(write_chrome_trace(t, out).ok());
+  const std::string s = out.str();
+  // Track naming metadata for both clock domains.
+  EXPECT_NE(s.find("thread_name"), std::string::npos);
+  EXPECT_NE(s.find("host.mcu"), std::string::npos);
+  EXPECT_NE(s.find("cluster.core0"), std::string::npos);
+  EXPECT_NE(s.find("thread_sort_index"), std::string::npos);
+  // One of each record type.
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"C\""), std::string::npos);
+  // Span args survive the export.
+  EXPECT_NE(s.find("\"bytes\":12"), std::string::npos);
+}
+
+TEST(ChromeTrace, TimestampsScaleByTrackTickRate) {
+  EventTrace t = make_small_trace();
+  std::ostringstream out;
+  ASSERT_TRUE(write_chrome_trace(t, out).ok());
+  const std::string s = out.str();
+  // host.mcu: begin tick 16 at 16 MHz -> 1 us, 32 ticks -> 2 us duration.
+  EXPECT_NE(s.find("\"ts\":1,"), std::string::npos);
+  EXPECT_NE(s.find("\"dur\":2,"), std::string::npos);
+  // cluster.core0: 80 ticks at 8 MHz -> 10 us duration.
+  EXPECT_NE(s.find("\"dur\":10,"), std::string::npos);
+}
+
+TEST(ChromeTrace, ClosesOpenSpansBeforeExport) {
+  EventTrace t;
+  const auto tr = t.add_track("t");
+  t.begin(tr, "never_ended", 5);
+  t.instant(tr, "later", 100);
+  std::ostringstream out;
+  ASSERT_TRUE(write_chrome_trace(t, out).ok());
+  const auto check = testing::check_json(out.str());
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_NE(out.str().find("never_ended"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesHostileNames) {
+  EventTrace t;
+  const auto tr = t.add_track("tr\"ack\\1");
+  t.instant(tr, "name with \"quotes\"\nand newline", 0);
+  std::ostringstream out;
+  ASSERT_TRUE(write_chrome_trace(t, out).ok());
+  const auto check = testing::check_json(out.str());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(ChromeTrace, FileExporterReportsUnwritablePath) {
+  EventTrace t = make_small_trace();
+  const Status s =
+      write_chrome_trace_file(t, "/nonexistent_dir_zz/trace.json");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.message().empty());
+}
+
+TEST(ProfileReport, AggregatesSpansAndAppendsMetrics) {
+  EventTrace t;
+  const auto tr = t.add_track("offload@16MHz", 16e6, 10);
+  t.complete(tr, "compute", 0, 1600);   // 100 us
+  t.complete(tr, "compute", 2000, 1600);
+  t.complete(tr, "input_xfer", 1600, 400);  // 25 us
+  MetricsRegistry reg;
+  reg.counter("offload.runs").add(2);
+  const std::string s = profile_report(t, &reg);
+  EXPECT_NE(s.find("offload@16MHz"), std::string::npos);
+  EXPECT_NE(s.find("compute"), std::string::npos);
+  EXPECT_NE(s.find("x2"), std::string::npos);  // aggregated count
+  EXPECT_NE(s.find("input_xfer"), std::string::npos);
+  EXPECT_NE(s.find("offload.runs: 2"), std::string::npos);
+  // compute holds 3200 of 3600 busy ticks.
+  EXPECT_NE(s.find("88.9%"), std::string::npos);
+}
+
+TEST(ProfileReport, NullMetricsAndEmptyTraceAreFine) {
+  EventTrace t;
+  const std::string s = profile_report(t, nullptr);
+  EXPECT_FALSE(s.empty());
+}
+
+}  // namespace
+}  // namespace ulp::trace

@@ -4,10 +4,6 @@
 
 #include <sstream>
 
-#include "cluster/cluster.hpp"
-#include "codegen/builder.hpp"
-#include "trace/cluster_tracer.hpp"
-
 namespace ulp::trace {
 namespace {
 
@@ -94,75 +90,6 @@ TEST(Vcd, IdentifiersAreUniqueAndPrintable) {
     pos += 1;
   }
   EXPECT_EQ(count, 200u);
-}
-
-TEST(ClusterTracer, TracesABarrierProgram) {
-  using codegen::Builder;
-  Builder bld(core::or10n_config().features);
-  bld.csr_coreid(1);
-  bld.li(2, 50);
-  bld.loop(2, 10, [&] { bld.nop(); });
-  bld.barrier();
-  bld.eoc();
-  cluster::Cluster cl;
-  cl.load_program(bld.finalize());
-
-  std::ostringstream out;
-  ClusterTracer tracer(cl, out);
-  const u64 cycles = tracer.run_traced();
-  EXPECT_GT(cycles, 50u);
-
-  const std::string s = out.str();
-  // All four cores and the shared blocks are declared.
-  for (const char* scope : {"core0", "core1", "core2", "core3", "tcdm",
-                            "dma"}) {
-    EXPECT_NE(s.find(scope), std::string::npos) << scope;
-  }
-  // The EOC line eventually rises: a '1' change for the eoc signal exists.
-  EXPECT_NE(s.find("eoc"), std::string::npos);
-  // Value-change sections exist with increasing timestamps.
-  const size_t t1 = s.find("#1\n");
-  EXPECT_NE(t1, std::string::npos);
-}
-
-TEST(ClusterTracer, SampleCountMatchesCycles) {
-  using codegen::Builder;
-  Builder bld(core::or10n_config().features);
-  bld.li(2, 10);
-  bld.loop(2, 10, [&] { bld.nop(); });
-  bld.halt();
-  cluster::Cluster cl;
-  cl.load_program(bld.finalize());
-  std::ostringstream out;
-  ClusterTracer tracer(cl, out);
-  const u64 cycles = tracer.run_traced();
-  // Last timestamp in the dump equals the final cycle count.
-  const std::string s = out.str();
-  const size_t last_hash = s.rfind('#');
-  ASSERT_NE(last_hash, std::string::npos);
-  const u64 last_time = std::stoull(s.substr(last_hash + 1));
-  EXPECT_EQ(last_time, cycles);
-}
-
-TEST(RetireHook, ObservesEveryInstruction) {
-  using codegen::Builder;
-  Builder bld(core::or10n_config().features);
-  bld.li(1, 3);
-  bld.loop(1, 10, [&] { bld.emit(isa::Opcode::kAddi, 2, 2, 0, 1); });
-  bld.halt();
-  const isa::Program prog = bld.finalize();
-
-  mem::Sram sram(0, 1024);
-  mem::SimpleBus bus(&sram, 1);
-  core::Core cpu(0, 1, core::or10n_config(), &bus);
-  cpu.reset(&prog);
-  std::vector<u32> pcs;
-  cpu.set_retire_hook(
-      [&](u32 pc, const isa::Instr&) { pcs.push_back(pc); });
-  cpu.run_to_halt();
-  EXPECT_EQ(pcs.size(), cpu.perf().instrs);
-  // The loop body pc (index 2: after li + lp.setup) retires three times.
-  EXPECT_EQ(std::count(pcs.begin(), pcs.end(), 2u), 3);
 }
 
 }  // namespace
