@@ -4,9 +4,17 @@
 // MIPS of the single-core ISS and the 4-core cluster, and the codegen /
 // serialisation paths — so regressions in the simulator's own performance
 // are visible.
+//
+// The quiescence fast-forward scheduler (default) vs the per-cycle
+// reference loop is an environment switch: run once normally and once with
+// ULP_REFERENCE_STEPPING=1 to get after/before numbers for the same binary.
+// `scripts/bench_simspeed.sh` does both and writes BENCH_simspeed.json.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "codegen/builder.hpp"
+#include "system/hetero_system.hpp"
+#include "system/host_driver.hpp"
 
 namespace {
 
@@ -41,6 +49,154 @@ void BM_Cluster4Cores(benchmark::State& state) {
       static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Cluster4Cores)->Unit(benchmark::kMillisecond);
+
+// Sleep-heavy cluster workload: core 0 streams eight 16 KiB L2->TCDM DMA
+// rounds sleeping on WFE between them, cores 1..3 sleep on a completion
+// flag the whole time — the double-buffered-kernel idle pattern the
+// quiescence fast-forward targets.
+isa::Program make_sleep_heavy_program() {
+  codegen::Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  bld.li(10, cluster::kTcdmBase + 0x7000);  // completion flag
+  const auto waiters = bld.make_label();
+  bld.branch(isa::Opcode::kBne, 1, codegen::zero, waiters);
+  // --- core 0: eight DMA rounds, WFE-waiting on each.
+  bld.li(20, cluster::kL2Base);
+  bld.li(21, cluster::kTcdmBase);
+  bld.li(22, 16 * 1024);
+  bld.li(4, 8);
+  bld.loop(4, 11, [&] {
+    bld.dma_start(25, 20, 21, 22);
+    bld.dma_wait_wfe(25, 26);
+  });
+  bld.li(3, 1);
+  bld.emit(isa::Opcode::kSw, 3, 10, 0, 0);
+  bld.emit(isa::Opcode::kSev, 0, 0, 0, 0);
+  bld.eoc();
+  // --- cores 1..3: sleep until the flag is set.
+  bld.bind(waiters);
+  const auto wait = bld.make_label();
+  const auto done = bld.make_label();
+  bld.bind(wait);
+  bld.emit(isa::Opcode::kLw, 5, 10, 0, 0);
+  bld.branch(isa::Opcode::kBne, 5, codegen::zero, done);
+  bld.emit(isa::Opcode::kWfe);
+  bld.branch(isa::Opcode::kBeq, codegen::zero, codegen::zero, wait);
+  bld.bind(done);
+  bld.halt();
+  return bld.finalize();
+}
+
+void BM_ClusterSleepHeavy(benchmark::State& state) {
+  const auto prog = make_sleep_heavy_program();
+  u64 cycles = 0;
+  for (auto _ : state) {
+    cluster::Cluster cl;
+    cl.load_program(prog);
+    cycles += cl.run();
+  }
+  state.counters["sim_Mcycles"] = benchmark::Counter(
+      static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClusterSleepHeavy)->Unit(benchmark::kMillisecond);
+
+// Barrier storm: every core wakes every few cycles, so quiescent windows
+// are short. This is the fast-forward scheduler's documented worst case —
+// it must still not be slower than the reference loop.
+void BM_BarrierHeavy(benchmark::State& state) {
+  codegen::Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  bld.li(2, 7);
+  bld.emit(isa::Opcode::kMul, 3, 1, 2, 0);
+  bld.emit(isa::Opcode::kAddi, 3, 3, 0, 1);
+  bld.li(4, 2000);
+  bld.loop(4, 10, [&] {
+    bld.loop(3, 11, [&] { bld.nop(); });
+    bld.barrier();
+  });
+  bld.eoc();
+  const auto prog = bld.finalize();
+  u64 cycles = 0;
+  for (auto _ : state) {
+    cluster::Cluster cl;
+    cl.load_program(prog);
+    cycles += cl.run();
+  }
+  state.counters["sim_Mcycles"] = benchmark::Counter(
+      static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BarrierHeavy)->Unit(benchmark::kMillisecond);
+
+// Offload guest for BM_FullSystemOffload: sensor-window streaming. Core 0
+// pulls the 4 KiB input window from L2 into TCDM thirty-two times (one pass
+// per filter stage), sleeping on WFE through every DMA burst, then reduces
+// the window to a word-sum checksum; cores 1..3 halt immediately. The
+// cluster therefore spends ~90% of its cycles clock-gated — the DMA-bound
+// guest profile the quiescence fast-forward targets end to end.
+kernels::KernelCase make_streaming_case() {
+  using isa::Opcode;
+  constexpr u32 kWindowBytes = 4 * 1024;
+  constexpr u32 kPasses = 32;
+  codegen::Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  const auto work = bld.make_label();
+  bld.branch(Opcode::kBeq, 1, codegen::zero, work);
+  bld.halt();
+  bld.bind(work);
+  bld.li(20, kernels::kL2InputAddr);
+  bld.li(21, cluster::kTcdmBase);
+  bld.li(22, kWindowBytes);
+  bld.li(4, kPasses);
+  bld.loop(4, 11, [&] {
+    bld.dma_start(25, 20, 21, 22);
+    bld.dma_wait_wfe(25, 26);
+  });
+  bld.li(5, 0);  // running word-sum of the final window
+  bld.li(6, cluster::kTcdmBase);
+  bld.li(4, kWindowBytes / 4);
+  bld.loop(4, 11, [&] {
+    bld.emit(Opcode::kLw, 7, 6, 0, 0);
+    bld.emit(Opcode::kAdd, 5, 5, 7);
+    bld.emit(Opcode::kAddi, 6, 6, 0, 4);
+  });
+  bld.li(8, kernels::kL2OutputAddr);
+  bld.emit(Opcode::kSw, 5, 8, 0, 0);
+  bld.eoc();
+
+  kernels::KernelCase kc;
+  kc.name = "stream4k";
+  kc.program = bld.finalize();
+  kc.input.resize(kWindowBytes);
+  for (u32 i = 0; i < kWindowBytes; ++i)
+    kc.input[i] = static_cast<u8>(i * 37 + 11);
+  kc.input_addr = kernels::kL2InputAddr;
+  kc.output_bytes = 4;
+  kc.output_addr = kernels::kL2OutputAddr;
+  return kc;
+}
+
+// End-to-end offload at the asymmetric operating point (80 MHz MCU driving
+// the 8 MHz near-threshold cluster): SPI shipping, fetch-enable, compute
+// with the host asleep on EOC, result readback. Host-domain fast-forward
+// collapses the 10 host cycles per cluster tick while the cluster itself
+// bulk-advances through the guest's DMA sleeps; the counter is simulated
+// *host* megacycles per wall-second.
+void BM_FullSystemOffload(benchmark::State& state) {
+  const system::FullSystemPackage pkg =
+      system::package_offload(make_streaming_case());
+  system::HeteroSystemParams params;
+  params.mcu_freq_hz = mhz(80);
+  params.pulp_freq_hz = mhz(8);
+  u64 host_cycles = 0;
+  for (auto _ : state) {
+    system::HeteroSystem sys(params);
+    sys.load_host_program(pkg.host_program);
+    host_cycles += sys.run_to_host_halt();
+  }
+  state.counters["sim_Mcycles"] = benchmark::Counter(
+      static_cast<double>(host_cycles) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullSystemOffload)->Unit(benchmark::kMillisecond);
 
 void BM_KernelCodegen(benchmark::State& state) {
   const auto cfg = core::or10n_config();

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Runs the simspeed google-benchmark binary in both stepping modes and
+# merges the results into one JSON document:
+#
+#   scripts/bench_simspeed.sh <simspeed-binary> [output.json]
+#
+# "fast_forward" holds the default quiescence-fast-forward numbers (after),
+# "reference_stepping" the ULP_REFERENCE_STEPPING=1 per-cycle loop (before).
+# Requires jq for the merge; without jq the two raw files are left next to
+# the output path.
+set -eu
+
+BIN=${1:?usage: bench_simspeed.sh <simspeed-binary> [output.json]}
+OUT=${2:-BENCH_simspeed.json}
+MIN_TIME=${ULP_BENCH_MIN_TIME:-1}
+
+FF_TMP=$(mktemp)
+REF_TMP=$(mktemp)
+trap 'rm -f "$FF_TMP" "$REF_TMP"' EXIT
+
+echo "== fast-forward (default) =="
+"$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out_format=json --benchmark_out="$FF_TMP" >/dev/null
+echo "== reference stepping (ULP_REFERENCE_STEPPING=1) =="
+ULP_REFERENCE_STEPPING=1 "$BIN" --benchmark_format=json \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out_format=json --benchmark_out="$REF_TMP" >/dev/null
+
+if command -v jq >/dev/null 2>&1; then
+  jq -n --slurpfile ff "$FF_TMP" --slurpfile ref "$REF_TMP" \
+    '{fast_forward: $ff[0], reference_stepping: $ref[0]}' > "$OUT"
+  echo "wrote $OUT"
+  echo "speedup (iteration time, reference / fast-forward):"
+  jq -r '
+    (.reference_stepping.benchmarks | map({(.name): .real_time}) | add)
+      as $ref
+    | .fast_forward.benchmarks[]
+    | "  \(.name): \(($ref[.name] / .real_time * 100 | round) / 100)x"
+  ' "$OUT"
+else
+  cp "$FF_TMP" "${OUT%.json}.fast_forward.json"
+  cp "$REF_TMP" "${OUT%.json}.reference.json"
+  echo "jq not found: wrote ${OUT%.json}.fast_forward.json and" \
+       "${OUT%.json}.reference.json"
+fi

@@ -1,5 +1,9 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
+#include <limits>
+
+#include "common/env.hpp"
 #include "common/status.hpp"
 #include "trace/metrics.hpp"
 
@@ -15,6 +19,8 @@ u8 traced_core_state(const core::Core& c) {
 
 Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   ULP_CHECK(params_.num_cores >= 1, "cluster needs at least one core");
+  reference_stepping_ =
+      params_.reference_stepping.value_or(env_flag("ULP_REFERENCE_STEPPING"));
   tcdm_ = std::make_unique<mem::Tcdm>(kTcdmBase, params_.tcdm_banks,
                                       params_.tcdm_bank_bytes);
   l2_ = std::make_unique<mem::Sram>(kL2Base, params_.l2_bytes);
@@ -26,18 +32,24 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   // The DMA is bus initiator N (after cores 0..N-1).
   dma_ = std::make_unique<dma::Dma>(bus_.get(), params_.num_cores);
   dma_->set_event_unit(events_.get());
+  dma_->set_cluster_bus(bus_.get());
   bus_->add_peripheral(kPeriphBase + kDmaOffset, 0x20, dma_.get());
 
   for (u32 i = 0; i < params_.num_cores; ++i) {
     cores_.push_back(std::make_unique<core::Core>(
         i, params_.num_cores, params_.core_config, bus_.get(), icache_.get(),
         events_.get()));
+    cores_raw_.push_back(cores_.back().get());
   }
+  // Cores come out of construction halted (until load_program).
+  parked_.assign(params_.num_cores, kParkedHalt);
+  halted_count_ = params_.num_cores;
 }
 
 void Cluster::attach_trace(const trace::Sinks& sinks, double ticks_per_second,
                            const std::string& track_prefix) {
   sinks_ = sinks;
+  tracing_ = static_cast<bool>(sinks_);
   core_tracks_.clear();
   traced_state_.assign(params_.num_cores, 255);  // no state seen yet
   span_open_.assign(params_.num_cores, false);
@@ -130,6 +142,9 @@ void Cluster::load_program(const isa::Program& program) {
   tcdm_->reset_stats();
   for (auto& c : cores_) c->reset(&program_);
   cycles_ = 0;
+  rr_first_ = 0;
+  parked_.assign(params_.num_cores, kNotParked);
+  halted_count_ = 0;
   if (sinks_) {
     // Cycle stamps restart with the program; restart the trace bookkeeping
     // too (any spans left open by a previous run close at their last tick).
@@ -147,7 +162,10 @@ void Cluster::load_program(const isa::Program& program) {
   }
 }
 
-void Cluster::step() {
+// The seed's per-cycle loop, kept verbatim as the testing oracle behind
+// ULP_REFERENCE_STEPPING: every core is stepped every cycle, halt status is
+// rescanned, nothing is parked.
+void Cluster::reference_step() {
   bus_->begin_cycle();
   // Rotating priority: the core that goes first changes every cycle, so
   // TCDM conflict losses spread evenly (round-robin arbitration).
@@ -161,23 +179,155 @@ void Cluster::step() {
   if (sinks_) trace_sample();
 }
 
+void Cluster::step() {
+  if (reference_stepping_) {
+    reference_step();
+    return;
+  }
+  bus_->begin_cycle();
+  // Rotating priority, without the per-cycle modulo: rr_first_ tracks
+  // cycles_ % n across steps and bulk jumps. Parked cores are not stepped —
+  // a sleeping core is woken at exactly its rotation slot in the cycle a
+  // matching wake pends (the same predicate its own check_wake would have
+  // consumed), so wake ordering is identical to stepping it every cycle.
+  const u32 n = params_.num_cores;
+  u32 idx = rr_first_;
+  for (u32 k = 0; k < n; ++k) {
+    const u32 i = idx;
+    if (++idx == n) idx = 0;
+    core::Core& c = *cores_raw_[i];
+    const u8 p = parked_[i];
+    if (p == kParkedHalt) {
+      c.charge_halted_cycles(1);
+      continue;
+    }
+    if (p == kParkedSleep) {
+      if (events_->wake_pending(i, c.sleep_kind())) {
+        parked_[i] = kNotParked;
+        c.step();  // consumes the wake; core is active again
+      } else {
+        c.charge_sleep_cycles(1);
+      }
+      continue;
+    }
+    const core::StepState s = c.step();
+    if (s == core::StepState::kSleeping) {
+      parked_[i] = kParkedSleep;
+    } else if (s == core::StepState::kHalted) {
+      parked_[i] = kParkedHalt;
+      ++halted_count_;
+    }
+  }
+  dma_->step();
+  ++cycles_;
+  if (++rr_first_ == n) rr_first_ = 0;
+  if (tracing_) trace_sample();
+}
+
 bool Cluster::all_halted() const {
+  if (!reference_stepping_) return halted_count_ == params_.num_cores;
   for (const auto& c : cores_) {
     if (!c->halted()) return false;
   }
   return true;
 }
 
+u64 Cluster::quiescent_horizon() const {
+  u64 horizon = std::numeric_limits<u64>::max();
+  const u32 n = params_.num_cores;
+  for (u32 i = 0; i < n; ++i) {
+    const u8 p = parked_[i];
+    if (p == kParkedHalt) continue;
+    const core::Core& c = *cores_raw_[i];
+    if (p == kParkedSleep) {
+      if (events_->wake_pending(i, c.sleep_kind())) return 0;
+      continue;
+    }
+    // Unparked: the core issues (or retries a memory op) once its stall
+    // countdown hits zero, and nothing can disturb it before that.
+    const u32 busy = c.busy_remaining();
+    if (busy == 0) return 0;
+    horizon = std::min(horizon, static_cast<u64>(busy));
+  }
+  return horizon;
+}
+
+u64 Cluster::do_quiescent_window(u64 max_cycles) {
+  u64 consumed;
+  if (dma_->idle()) {
+    // Nothing in the whole cluster can change state: pure time jump.
+    consumed = max_cycles;
+    dma_->skip_idle(consumed);
+    cycles_ += consumed;
+  } else if (tracing_) {
+    // Keep per-cycle sampling so trace output is byte-identical; only the
+    // DMA (and the sampler) runs, which is still far cheaper than stepping
+    // four parked cores.
+    consumed = 0;
+    while (consumed < max_cycles) {
+      bus_->begin_cycle();
+      const bool completed = dma_->step();
+      ++consumed;
+      ++cycles_;
+      trace_sample();
+      if (completed) break;
+    }
+  } else {
+    const dma::Dma::FastForwardResult f = dma_->fast_forward(max_cycles);
+    consumed = f.consumed;
+    cycles_ += consumed;
+  }
+  // Bulk cycle accounting: each core gets exactly what `consumed` step()
+  // calls would have charged a core in its (unchanging) state.
+  for (u32 i = 0; i < params_.num_cores; ++i) {
+    core::Core& c = *cores_raw_[i];
+    switch (parked_[i]) {
+      case kParkedHalt: c.charge_halted_cycles(consumed); break;
+      case kParkedSleep: c.charge_sleep_cycles(consumed); break;
+      default: c.charge_busy_cycles(consumed); break;
+    }
+  }
+  rr_first_ = static_cast<u32>(cycles_ % params_.num_cores);
+  return consumed;
+}
+
+u64 Cluster::advance(u64 max_cycles) {
+  const u64 start = cycles_;
+  if (reference_stepping_) {
+    while (cycles_ - start < max_cycles && !all_halted()) step();
+    return cycles_ - start;
+  }
+  while (cycles_ - start < max_cycles &&
+         halted_count_ != params_.num_cores) {
+    const u64 horizon = quiescent_horizon();
+    if (horizon == 0) {
+      step();
+      continue;
+    }
+    do_quiescent_window(std::min(horizon, max_cycles - (cycles_ - start)));
+  }
+  return cycles_ - start;
+}
+
 u64 Cluster::run(u64 max_cycles) {
   while (!all_halted()) {
     ULP_CHECK(cycles_ < max_cycles, "cluster run exceeded cycle budget");
-    step();
+    if (reference_stepping_) {
+      step();
+    } else {
+      advance(max_cycles - cycles_);
+    }
   }
   // Drain any DMA work still in flight (e.g. a final writeback started just
   // before EOC; well-formed kernels wait, but keep timing honest anyway).
   while (!dma_->idle()) {
     ULP_CHECK(cycles_ < max_cycles, "cluster DMA drain exceeded cycle budget");
-    step();
+    if (reference_stepping_) {
+      step();
+    } else {
+      // All cores are halted; only the DMA acts until the queue drains.
+      do_quiescent_window(max_cycles - cycles_);
+    }
   }
   return cycles_;
 }

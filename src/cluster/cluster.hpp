@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cluster/event_unit.hpp"
@@ -39,6 +40,13 @@ struct ClusterParams {
 
   u32 icache_line_instrs = 4;
   u32 icache_miss_penalty = 8;
+
+  /// Force per-cycle reference stepping (true) or quiescence fast-forward
+  /// (false). Unset: fast-forward unless the ULP_REFERENCE_STEPPING
+  /// environment variable is set. Both modes are cycle- and bit-identical
+  /// by construction (enforced by the differential perf tests); the
+  /// reference loop survives as the escape hatch and testing oracle.
+  std::optional<bool> reference_stepping;
 };
 
 /// Aggregated cluster activity, the input to the power model's chi factors.
@@ -83,12 +91,33 @@ class Cluster {
   /// Advance one cluster clock cycle.
   void step();
 
+  /// Advance up to `max_cycles` cycles, fast-forwarding through quiescent
+  /// stretches (every core sleeping/halted or mid-stall, DMA idle or with
+  /// analytic progress) and stepping cycle-by-cycle everywhere else.
+  /// Stops early once every core has halted. Returns cycles consumed.
+  /// Observably identical to calling step() the same number of times.
+  u64 advance(u64 max_cycles);
+
   /// Run until every core has halted (EOC/HALT). Returns elapsed cycles
   /// since load_program. Throws if `max_cycles` is exceeded.
   u64 run(u64 max_cycles = 4'000'000'000ull);
 
   [[nodiscard]] bool all_halted() const;
   [[nodiscard]] u64 cycles() const { return cycles_; }
+
+  /// Cycles until a non-parked core can issue or a parked sleeper wakes
+  /// (0 = someone can act right now; only the DMA bounds longer windows).
+  /// Lets an outer clock domain (HeteroSystem) size its own fast-forward
+  /// strides: no instruction retires — so no EOC can rise — for this many
+  /// cluster cycles.
+  [[nodiscard]] u64 quiescent_horizon() const;
+
+  /// The active stepping mode. May only be changed before load_program /
+  /// between runs; flipping it mid-run desynchronises the scheduler state.
+  [[nodiscard]] bool reference_stepping() const { return reference_stepping_; }
+  void set_reference_stepping(bool reference) {
+    reference_stepping_ = reference;
+  }
 
   [[nodiscard]] const ClusterParams& params() const { return params_; }
   [[nodiscard]] core::Core& core(u32 i) { return *cores_[i]; }
@@ -102,7 +131,17 @@ class Cluster {
   [[nodiscard]] ClusterStats stats() const;
 
  private:
+  /// Scheduler view of a core between step() calls.
+  enum ParkState : u8 {
+    kNotParked = 0,   ///< Active (or mid-stall): stepped every cycle.
+    kParkedSleep = 1, ///< Sleeping: skipped until a matching wake pends.
+    kParkedHalt = 2,  ///< Halted: skipped forever (bulk cycle accounting).
+  };
+
+  void reference_step();
   void trace_sample();
+  /// Bulk-advance up to `max_cycles` cycles in which only the DMA acts.
+  u64 do_quiescent_window(u64 max_cycles);
 
   ClusterParams params_;
   std::unique_ptr<mem::Tcdm> tcdm_;
@@ -112,9 +151,15 @@ class Cluster {
   std::unique_ptr<EventUnit> events_;
   std::unique_ptr<dma::Dma> dma_;
   std::vector<std::unique_ptr<core::Core>> cores_;
+  std::vector<core::Core*> cores_raw_;  ///< Hot-path alias of cores_.
 
   isa::Program program_;
   u64 cycles_ = 0;
+  bool reference_stepping_ = false;
+  bool tracing_ = false;           ///< sinks_ attached (hot-path cache).
+  u32 rr_first_ = 0;               ///< == cycles_ % num_cores, kept inline.
+  u32 halted_count_ = 0;           ///< Cores in kParkedHalt; all_halted O(1).
+  std::vector<u8> parked_;         ///< ParkState per core.
 
   // Tracing state (inert unless attach_trace() was called).
   trace::Sinks sinks_;

@@ -19,23 +19,23 @@ class EventUnit final : public core::SyncUnit {
  public:
   explicit EventUnit(u32 num_cores)
       : num_cores_(num_cores),
-        arrived_(num_cores, false),
-        barrier_release_(num_cores, false),
-        event_pending_(num_cores, false) {
+        arrived_(num_cores, 0),
+        barrier_release_(num_cores, 0),
+        event_pending_(num_cores, 0) {
     ULP_CHECK(num_cores > 0, "event unit needs at least one core");
   }
 
   bool barrier_arrive(u32 core_id) override {
     ULP_CHECK(core_id < num_cores_, "bad core id");
     ULP_CHECK(!arrived_[core_id], "double barrier arrival");
-    arrived_[core_id] = true;
+    arrived_[core_id] = 1;
     ++arrival_count_;
     if (arrival_count_ < num_cores_) return false;
     // Barrier complete: release every *other* core; the caller proceeds.
     arrival_count_ = 0;
     for (u32 i = 0; i < num_cores_; ++i) {
-      arrived_[i] = false;
-      if (i != core_id) barrier_release_[i] = true;
+      arrived_[i] = 0;
+      if (i != core_id) barrier_release_[i] = 1;
     }
     ++barriers_completed_;
     return true;
@@ -46,14 +46,22 @@ class EventUnit final : public core::SyncUnit {
     auto& mask = kind == core::WakeKind::kBarrier ? barrier_release_
                                                   : event_pending_;
     if (!mask[core_id]) return false;
-    mask[core_id] = false;
+    mask[core_id] = 0;
     return true;
+  }
+
+  /// Non-consuming peek at check_wake's predicate: would a sleeping
+  /// `core_id` wake this cycle? Lets the scheduler leave sleepers parked
+  /// without stepping them while no wake is pending.
+  [[nodiscard]] bool wake_pending(u32 core_id, core::WakeKind kind) const {
+    return kind == core::WakeKind::kBarrier ? barrier_release_[core_id] != 0
+                                            : event_pending_[core_id] != 0;
   }
 
   void send_event(u32 /*event_id*/) override {
     // Broadcast: WFE wake-ups are re-checked in software, so event identity
     // does not need to be tracked per id.
-    event_pending_.assign(num_cores_, true);
+    event_pending_.assign(num_cores_, 1);
   }
 
   void signal_eoc(u32 flag) override {
@@ -71,9 +79,10 @@ class EventUnit final : public core::SyncUnit {
  private:
   u32 num_cores_;
   u32 arrival_count_ = 0;
-  std::vector<bool> arrived_;
-  std::vector<bool> barrier_release_;
-  std::vector<bool> event_pending_;
+  // u8, not vector<bool>: these sit on the per-cycle wake path.
+  std::vector<u8> arrived_;
+  std::vector<u8> barrier_release_;
+  std::vector<u8> event_pending_;
   bool eoc_ = false;
   u32 eoc_flag_ = 0;
   u64 barriers_completed_ = 0;

@@ -216,6 +216,22 @@ void Builder::dma_wait(u8 base, u8 tmp) {
   branch(Opcode::kBne, tmp, zero, top);
 }
 
+void Builder::dma_wait_wfe(u8 base, u8 tmp) {
+  const Label top = make_label();
+  const Label done = make_label();
+  bind(top);
+  emit(Opcode::kLw, tmp, base, 0, 0x10);  // STATUS: outstanding transfers
+  branch(Opcode::kBeq, tmp, zero, done);
+  emit(Opcode::kWfe);  // DMA completion broadcasts an event to every core
+  branch(Opcode::kBeq, zero, zero, top);
+  bind(done);
+  // Land the exit on an instruction of our own: hardware loop-back triggers
+  // only on a *sequential* advance reaching the body end, so if `done` were
+  // the first instruction after an enclosing loop() body, the taken exit
+  // branch would jump past the loop-back check and abandon the loop.
+  nop();
+}
+
 void Builder::add_data(Addr addr, std::vector<u8> bytes) {
   data_.push_back(isa::Segment{addr, std::move(bytes)});
 }

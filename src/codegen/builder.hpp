@@ -113,6 +113,10 @@ class Builder {
   void dma_start(u8 base, u8 src, u8 dst, u8 len);
   /// Spin until the DMA queue drains (clobbers `tmp`).
   void dma_wait(u8 base, u8 tmp);
+  /// Sleep (WFE) until the DMA queue drains: re-checks STATUS on every
+  /// event wakeup, so the core is clock-gated for the bulk of the transfer
+  /// instead of burning the busy-poll of dma_wait (clobbers `tmp`).
+  void dma_wait_wfe(u8 base, u8 tmp);
 
   // ---- data segments & finalization -------------------------------------
   void add_data(Addr addr, std::vector<u8> bytes);

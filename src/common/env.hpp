@@ -1,0 +1,17 @@
+// Tiny environment-variable helpers for runtime switches.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ulp {
+
+/// True when `name` is set to anything other than "" or "0". Used for
+/// escape hatches like ULP_REFERENCE_STEPPING; read at each construction
+/// site (not cached) so tests may flip the variable between instances.
+[[nodiscard]] inline bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace ulp

@@ -1,0 +1,109 @@
+// Exact rational clock-domain coupling.
+//
+// Co-simulating two clock domains means answering "how many target-clock
+// ticks are due after each source-clock cycle?". A floating-point
+// accumulator answers it approximately and drifts over long runs for
+// non-dyadic frequency ratios; this class keeps the Bresenham-style
+// integer remainder instead, so the schedule is exact for arbitrarily many
+// cycles and — equally important for the fast-forward scheduler — whole
+// windows of source cycles can be advanced in O(1) without replaying the
+// per-cycle loop.
+#pragma once
+
+#include <cmath>
+#include <numeric>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp {
+
+class ClockRatio {
+ public:
+  /// Accrues `target_hz / source_hz` target ticks per source cycle.
+  /// Frequencies must be integral Hz (every datasheet frequency is).
+  ClockRatio(double target_hz, double source_hz)
+      : num_(hz_to_int(target_hz)), den_(hz_to_int(source_hz)) {
+    const u64 g = std::gcd(num_, den_);
+    num_ /= g;
+    den_ /= g;
+  }
+
+  /// Advance one source cycle; returns the target ticks now due.
+  u64 tick() {
+    acc_ += num_;
+    const u64 k = acc_ / den_;
+    acc_ -= k * den_;
+    return k;
+  }
+
+  /// Advance `source_cycles` source cycles at once; returns the total
+  /// target ticks due (identical to summing tick() that many times).
+  u64 tick_many(u64 source_cycles) {
+    ULP_CHECK(source_cycles == 0 ||
+                  num_ <= (~0ull - acc_) / source_cycles,
+              "clock ratio advance would overflow");
+    const u64 total = acc_ + num_ * source_cycles;
+    acc_ = total % den_;
+    return total / den_;
+  }
+
+  /// Source cycles until tick() next returns a non-zero count (>= 1).
+  [[nodiscard]] u64 cycles_to_next_tick() const {
+    return (den_ - acc_ + num_ - 1) / num_;
+  }
+
+  /// Target ticks that `source_cycles` more source cycles would deliver,
+  /// without advancing the schedule.
+  [[nodiscard]] u64 ticks_within(u64 source_cycles) const {
+    ULP_CHECK(source_cycles == 0 ||
+                  num_ <= (~0ull - acc_) / source_cycles,
+              "clock ratio query would overflow");
+    return (acc_ + num_ * source_cycles) / den_;
+  }
+
+  /// One fast-forward stride: `cycles` source cycles consumed, `ticks`
+  /// target ticks they delivered.
+  struct TickRun {
+    u64 cycles;
+    u64 ticks;
+  };
+
+  /// Advance the schedule by the smallest whole number of source cycles
+  /// that delivers at least `want` ticks. `ticks` can exceed `want` when
+  /// the target clock is faster than the source (the final source cycle's
+  /// batch is indivisible) — exactly the batching tick() produces.
+  TickRun consume_ticks(u64 want) {
+    ULP_CHECK(want > 0, "consume_ticks needs a positive tick count");
+    ULP_CHECK(want <= ~0ull / den_, "clock ratio advance would overflow");
+    const u64 need = want * den_ - acc_;  // acc_ < den_ <= want*den_
+    const u64 cycles = (need + num_ - 1) / num_;
+    const u64 total = acc_ + num_ * cycles;
+    acc_ = total % den_;
+    return {cycles, total / den_};
+  }
+
+  /// Restart the schedule (program load / reset).
+  void reset() { acc_ = 0; }
+
+  [[nodiscard]] u64 numerator() const { return num_; }
+  [[nodiscard]] u64 denominator() const { return den_; }
+  [[nodiscard]] u64 accumulator() const { return acc_; }
+
+ private:
+  static constexpr u64 kMaxHz = 10'000'000'000ull;  ///< 10 GHz sanity bound.
+
+  static u64 hz_to_int(double hz) {
+    ULP_CHECK(hz > 0, "clock frequencies must be positive");
+    const double rounded = std::round(hz);
+    ULP_CHECK(std::abs(hz - rounded) < 1e-3 && rounded <= static_cast<double>(kMaxHz),
+              "clock frequency must be integral Hz");
+    return static_cast<u64>(rounded);
+  }
+
+  u64 num_;
+  u64 den_;
+  u64 acc_ = 0;
+};
+
+}  // namespace ulp

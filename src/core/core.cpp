@@ -38,6 +38,8 @@ Core::Core(u32 core_id, u32 num_cores, CoreConfig config, mem::DataBus* bus,
 void Core::reset(const isa::Program* program) {
   ULP_CHECK(program != nullptr, "null program");
   prog_ = program;
+  code_ = program->code.data();
+  code_size_ = static_cast<u32>(program->code.size());
   regs_.fill(0);
   pc_ = program->entry;
   loops_ = {};
@@ -74,11 +76,11 @@ void Core::go_to_sleep(WakeKind kind) {
   sleep_kind_ = kind;
 }
 
-void Core::step() {
+StepState Core::step() {
   ++perf_.cycles;
   if (halted_) {
     ++perf_.halted_cycles;
-    return;
+    return StepState::kHalted;
   }
   if (sleeping_) {
     if (sync_ != nullptr && sync_->check_wake(id_, sleep_kind_)) {
@@ -86,21 +88,22 @@ void Core::step() {
       // "Woken up in just a few cycles" — HW synchronizer wake latency.
       busy_ = kWakeLatency;
       ++perf_.active_cycles;
-    } else {
-      ++perf_.sleep_cycles;
+      return StepState::kActive;
     }
-    return;
+    ++perf_.sleep_cycles;
+    return StepState::kSleeping;
   }
   ++perf_.active_cycles;
   if (busy_ > 0) {
     --busy_;
-    return;
+    return StepState::kActive;
   }
   if (memop_.active) {
     retry_mem();
-    return;
+    return StepState::kActive;
   }
   issue();
+  return state_after_issue();
 }
 
 void Core::run_to_halt(u64 max_cycles) {
@@ -108,13 +111,19 @@ void Core::run_to_halt(u64 max_cycles) {
     if (halted_) return;
     step();
   }
-  ULP_CHECK(halted_, "program did not halt within cycle budget at pc " +
-                         std::to_string(pc_));
+  ULP_CHECK(halted_,
+            "program did not halt within cycle budget: core " +
+                std::to_string(id_) + " at pc " + std::to_string(pc_) +
+                (sleeping_ ? (std::string(" sleeping on ") +
+                              (sleep_kind_ == WakeKind::kBarrier ? "barrier"
+                                                                 : "event"))
+                           : " awake") +
+                ", busy " + std::to_string(busy_) +
+                (memop_.active ? ", memory op in flight" : ""));
 }
 
 void Core::issue() {
-  ULP_CHECK(pc_ < prog_->code.size(),
-            "pc ran past program end (missing halt?)");
+  ULP_CHECK(pc_ < code_size_, "pc ran past program end (missing halt?)");
   if (icache_ != nullptr) {
     const u32 penalty = icache_->fetch(pc_);
     if (penalty > 0) {
@@ -123,7 +132,7 @@ void Core::issue() {
       return;
     }
   }
-  const Instr& in = prog_->code[pc_];
+  const Instr& in = code_[pc_];
   if (isa::is_load(in.op) || isa::is_store(in.op)) {
     start_mem(in);
     return;
@@ -132,8 +141,13 @@ void Core::issue() {
 }
 
 void Core::advance_pc_sequential() {
+  // Fast path: no hardware loop armed — the next pc is simply pc+1.
+  if ((loops_[0].count | loops_[1].count) == 0) {
+    ++pc_;
+    return;
+  }
   u32 next = pc_ + 1;
-  if (cfg_.features.has_hwloops) {
+  {
     // Innermost loop (slot 1) is checked first so nesting works. When the
     // inner loop expires we keep checking the outer slot: the two bodies may
     // legally end on the same instruction.

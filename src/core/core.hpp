@@ -10,6 +10,7 @@
 #include <array>
 #include <functional>
 
+#include "common/status.hpp"
 #include "core/features.hpp"
 #include "core/perf.hpp"
 #include "isa/program.hpp"
@@ -43,6 +44,10 @@ class SyncUnit {
   virtual void signal_eoc(u32 flag) = 0;
 };
 
+/// What a core did in the cycle just stepped; lets a scheduler park cores
+/// that cannot make progress instead of re-stepping them every cycle.
+enum class StepState : u8 { kActive, kSleeping, kHalted };
+
 class Core {
  public:
   /// `icache` may be null (ideal fetch); `sync` may be null (single core).
@@ -53,8 +58,8 @@ class Core {
   /// pc=entry, hardware loops) and performance counters.
   void reset(const isa::Program* program);
 
-  /// Advance one clock cycle.
-  void step();
+  /// Advance one clock cycle. Returns the core's state after the cycle.
+  StepState step();
 
   /// Convenience for single-core runs: steps until HALT/EOC. Throws if the
   /// program does not finish within `max_cycles`.
@@ -62,6 +67,30 @@ class Core {
 
   [[nodiscard]] bool halted() const { return halted_; }
   [[nodiscard]] bool sleeping() const { return sleeping_; }
+  /// What a sleeping core waits for (valid only while sleeping()).
+  [[nodiscard]] WakeKind sleep_kind() const { return sleep_kind_; }
+  /// Stall cycles left on the in-flight instruction (0 = will issue next).
+  [[nodiscard]] u32 busy_remaining() const { return busy_; }
+
+  // Bulk cycle accounting for quiescence fast-forward. Each call charges
+  // exactly what `n` consecutive step() calls would have charged for a core
+  // in that state; the scheduler may only use them when the state provably
+  // cannot change within the window (see cluster::Cluster::advance).
+  void charge_sleep_cycles(u64 n) {
+    perf_.cycles += n;
+    perf_.sleep_cycles += n;
+  }
+  void charge_halted_cycles(u64 n) {
+    perf_.cycles += n;
+    perf_.halted_cycles += n;
+  }
+  void charge_busy_cycles(u64 n) {
+    ULP_CHECK(n <= busy_, "busy fast-forward past instruction completion");
+    perf_.cycles += n;
+    perf_.active_cycles += n;
+    busy_ -= static_cast<u32>(n);
+  }
+
   [[nodiscard]] u32 pc() const { return pc_; }
   [[nodiscard]] u32 core_id() const { return id_; }
   [[nodiscard]] const CoreConfig& config() const { return cfg_; }
@@ -100,6 +129,12 @@ class Core {
     u32 assembled = 0;  ///< Load data assembled across parts.
   };
 
+  [[nodiscard]] StepState state_after_issue() const {
+    if (halted_) return StepState::kHalted;
+    if (sleeping_) return StepState::kSleeping;
+    return StepState::kActive;
+  }
+
   void issue();                       // fetch + decode + execute
   void execute(const isa::Instr& in); // non-memory instructions
   void start_mem(const isa::Instr& in);
@@ -118,6 +153,10 @@ class Core {
   SyncUnit* sync_;
 
   const isa::Program* prog_ = nullptr;
+  // Hot-path caches, refreshed by reset(): the code array is immutable for
+  // the lifetime of a loaded program, and the feature flag never changes.
+  const isa::Instr* code_ = nullptr;
+  u32 code_size_ = 0;
   std::array<u32, isa::kNumRegs> regs_{};
   u32 pc_ = 0;
   std::array<HwLoop, 2> loops_{};

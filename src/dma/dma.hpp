@@ -41,11 +41,22 @@ struct DmaStats {
 
 class Dma final : public mem::Peripheral {
  public:
+  /// Outcome of a fast-forwarded window (see fast_forward()).
+  struct FastForwardResult {
+    u64 consumed = 0;      ///< Cycles of progress actually made.
+    bool completed = false;  ///< A transfer finished (completion event sent).
+  };
+
   /// `initiator_id` distinguishes the DMA from cores in bus statistics.
   Dma(mem::DataBus* bus, u32 initiator_id, u32 max_channels = 8);
 
   /// Attach the event unit so completions can wake WFE sleepers.
   void set_event_unit(cluster::EventUnit* events) { events_ = events; }
+
+  /// Attach the concrete cluster interconnect so fast_forward() can reason
+  /// about bank mapping and drive begin_cycle() itself. The cluster wires
+  /// this at construction; without it fast_forward() must not be called.
+  void set_cluster_bus(mem::ClusterBus* cbus) { cbus_ = cbus; }
 
   /// Record per-transfer spans on `track` (cluster-cycle timestamps) and
   /// transfer sizes into the metrics registry. Null sinks detach.
@@ -63,8 +74,26 @@ class Dma final : public mem::Peripheral {
   /// programming sequence).
   void enqueue(Addr src, Addr dst, u32 len_bytes);
 
-  /// One cluster cycle of progress: up to one 4-byte beat.
-  void step();
+  /// One cluster cycle of progress: up to one 4-byte beat. Returns true
+  /// when a transfer completed this cycle (its completion event was sent).
+  bool step();
+
+  /// Advance up to `max_cycles` cycles of an *uncontended* window: no core
+  /// touches the interconnect, so every grant pattern — and therefore the
+  /// cycles-per-beat, the TCDM access/conflict counts and the busy/stall
+  /// accounting — is analytic. Produces exactly the state `max_cycles`
+  /// begin_cycle()+step() iterations would, but in a tight copy loop.
+  /// Stops early (and reports it) when a transfer completes, because its
+  /// completion event may wake sleeping cores and end the quiescent window.
+  /// Must only be called when !idle(); requires set_cluster_bus().
+  FastForwardResult fast_forward(u64 max_cycles);
+
+  /// Account `cycles` idle cycles in one jump (keeps the trace clock and
+  /// any stepped-but-idle bookkeeping identical to per-cycle stepping).
+  void skip_idle(u64 cycles) {
+    ULP_CHECK(idle(), "DMA skip_idle while a transfer is in flight");
+    now_ += cycles;
+  }
 
   [[nodiscard]] bool idle() const {
     return queue_.empty() && !pending_write_;
@@ -86,10 +115,13 @@ class Dma final : public mem::Peripheral {
 
   void trace_transfer_begin(const Transfer& t);
   void trace_transfer_end();
+  void complete_transfer();
+  [[nodiscard]] FastForwardResult fast_forward_stepped(u64 max_cycles);
 
   [[nodiscard]] static int beat_size(const Transfer& t);
 
   mem::DataBus* bus_;
+  mem::ClusterBus* cbus_ = nullptr;
   cluster::EventUnit* events_ = nullptr;
   u32 initiator_id_;
   u32 max_channels_;

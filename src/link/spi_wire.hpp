@@ -47,6 +47,14 @@ class SpiWire {
   /// One host clock cycle of progress.
   void step();
 
+  /// Account `cycles` idle host cycles in one jump: exactly what `cycles`
+  /// step() calls would do while no transfer is in flight (the trace clock
+  /// still advances). Only legal when !busy().
+  void skip_idle(u64 cycles) {
+    ULP_CHECK(!busy(), "SPI wire skip_idle while a transfer is in flight");
+    now_ += cycles;
+  }
+
   /// Record transfers as spans on `track` (host-cycle timestamps) and
   /// payload sizes into the metrics registry. Null sinks detach.
   void attach_trace(const trace::Sinks& sinks,

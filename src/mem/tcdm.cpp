@@ -5,25 +5,21 @@ namespace ulp::mem {
 Tcdm::Tcdm(Addr base, u32 num_banks, u32 bank_bytes)
     : base_(base),
       num_banks_(num_banks),
-      mem_(static_cast<size_t>(num_banks) * bank_bytes, 0),
-      bank_busy_(num_banks, false) {
+      mem_(static_cast<size_t>(num_banks) * bank_bytes, 0) {
   ULP_CHECK(num_banks > 0 && (num_banks & (num_banks - 1)) == 0,
             "TCDM bank count must be a power of two");
+  ULP_CHECK(num_banks <= 64, "TCDM bank-busy bitmask holds at most 64 banks");
   ULP_CHECK(bank_bytes % 4 == 0, "TCDM bank size must be word-aligned");
-}
-
-void Tcdm::begin_cycle() {
-  bank_busy_.assign(bank_busy_.size(), false);
 }
 
 bool Tcdm::try_grant(Addr addr) {
   ULP_CHECK(contains(addr, 1), "TCDM grant out of range");
-  const u32 bank = bank_of(addr);
-  if (bank_busy_[bank]) {
+  const u64 bit = 1ull << bank_of(addr);
+  if (bank_busy_ & bit) {
     ++conflicts_;
     return false;
   }
-  bank_busy_[bank] = true;
+  bank_busy_ |= bit;
   ++accesses_;
   return true;
 }

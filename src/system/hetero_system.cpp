@@ -1,15 +1,21 @@
 #include "system/hetero_system.hpp"
 
+#include <algorithm>
+
 #include "common/status.hpp"
 #include "trace/metrics.hpp"
 
 namespace ulp::system {
 
 HeteroSystem::HeteroSystem(HeteroSystemParams params)
-    : params_(std::move(params)) {
+    : params_(std::move(params)),
+      ratio_(params_.pulp_freq_hz, params_.mcu_freq_hz) {
   ULP_CHECK(params_.mcu_freq_hz > 0 && params_.pulp_freq_hz > 0,
             "clock frequencies must be positive");
   soc_ = std::make_unique<soc::PulpSoc>(params_.cluster_params);
+  // Host-side fast-forward is only exact when the cluster also honours the
+  // advance() contract, so both domains follow one mode switch.
+  reference_stepping_ = soc_->cluster().reference_stepping();
   host_sram_ = std::make_unique<mem::Sram>(kHostSramBase,
                                            params_.host_sram_bytes);
   host_bus_ = std::make_unique<mem::SimpleBus>(host_sram_.get(), 1);
@@ -110,7 +116,7 @@ void HeteroSystem::load_host_program(const isa::Program& program) {
   }
   host_core_->reset(&host_program_);
   accel_started_ = false;
-  clock_accum_ = 0.0;
+  ratio_.reset();
   host_cycles_ = 0;
 }
 
@@ -119,20 +125,85 @@ void HeteroSystem::step() {
   wire_->step();
   ++host_cycles_;
   if (sinks_) trace_sample();
-  // The cluster runs in its own clock domain.
-  clock_accum_ += params_.pulp_freq_hz / params_.mcu_freq_hz;
-  while (clock_accum_ >= 1.0) {
-    clock_accum_ -= 1.0;
+  // The cluster runs in its own clock domain (exact rational coupling).
+  const u64 due = ratio_.tick();
+  for (u64 i = 0; i < due; ++i) {
     if (accel_started_ && !soc_->cluster().all_halted()) {
       soc_->cluster().step();
     }
   }
 }
 
+// Only the cluster can change state while the host sleeps on the EOC GPIO
+// with the wire quiet, so host time moves in whole inter-tick strides:
+// charge the stride to the sleeping host, run the cluster ticks due at its
+// end, re-check EOC. O(1) host-side work per *cluster* cycle even when the
+// MCU clock is many times the PULP clock (the near-threshold operating
+// points of interest), instead of O(mcu_freq / pulp_freq).
+u64 HeteroSystem::fast_forward_host_sleep(u64 max_host_cycles) {
+  cluster::Cluster& cl = soc_->cluster();
+  const u64 budget = max_host_cycles - host_cycles_;
+  u64 advanced = 0;
+  while (!soc_->eoc_gpio() && advanced < budget) {
+    if (!accel_started_ || cl.all_halted()) {
+      // Nothing left that can raise EOC: sleep out the whole budget (the
+      // per-cycle loop would spin to the same cycle before its budget
+      // check fires). The tick schedule still accrues, as it does there.
+      ratio_.tick_many(budget - advanced);
+      advanced = budget;
+      break;
+    }
+    const u64 ticks_left = ratio_.ticks_within(budget - advanced);
+    if (ticks_left == 0) {
+      // Budget ends before the next cluster tick: accrue the partial
+      // remainder so the tick schedule stays aligned.
+      ratio_.tick_many(budget - advanced);
+      advanced = budget;
+      break;
+    }
+    // Stride sizing: within the cluster's quiescent horizon no instruction
+    // retires, so EOC cannot rise — run those ticks as one burst (the
+    // horizon is unbounded while every core is parked; the cluster caps
+    // its own windows at DMA completions internally). When the horizon is
+    // zero a core acts on the very next tick; take it alone and re-check
+    // EOC. The last consumed host cycle's tick batch is indivisible (the
+    // reference loop runs the whole batch before the host's next wake
+    // check too), so EOC rising inside it is observed one host step later
+    // in both modes.
+    const u64 horizon = cl.quiescent_horizon();
+    const ClockRatio before = ratio_;
+    const ClockRatio::TickRun run =
+        ratio_.consume_ticks(std::min(std::max<u64>(horizon, 1), ticks_left));
+    const u64 done = cl.advance(run.ticks);
+    if (done < run.ticks) {
+      // The cluster halted (EOC) partway through the burst and its clock
+      // froze, exactly as the per-cycle loop freezes it. Rewind the tick
+      // schedule to the host cycle whose batch held the last executed
+      // tick: the host wakes on the step after it.
+      ratio_ = before;
+      advanced += ratio_.consume_ticks(done).cycles;
+    } else {
+      advanced += run.cycles;
+    }
+  }
+  host_cycles_ += advanced;
+  host_core_->charge_sleep_cycles(advanced);
+  wire_->skip_idle(advanced);
+  return advanced;
+}
+
 u64 HeteroSystem::run_to_host_halt(u64 max_host_cycles) {
   while (!host_core_->halted()) {
     ULP_CHECK(host_cycles_ < max_host_cycles,
               "full-system run exceeded host cycle budget");
+    if (!reference_stepping_ && host_core_->sleeping() && !wire_->busy() &&
+        !soc_->eoc_gpio()) {
+      // EOC rises during a cluster batch; the host then wakes at its next
+      // real step(), exactly one host cycle later — as with per-cycle
+      // stepping, where the raising batch runs after the host's step.
+      fast_forward_host_sleep(max_host_cycles);
+      continue;
+    }
     step();
   }
   return host_cycles_;

@@ -17,6 +17,7 @@
 
 #include <memory>
 
+#include "common/ratio.hpp"
 #include "core/core.hpp"
 #include "host/mcu.hpp"
 #include "host/peripherals.hpp"
@@ -66,6 +67,11 @@ class HeteroSystem {
   void step();
 
   /// Run until the host core halts. Returns host cycles elapsed.
+  /// Fast-forwards through the dominant idle pattern of an offload — host
+  /// asleep on the EOC line with the SPI wire quiet while the cluster
+  /// computes — by advancing host time one cluster tick at a time through
+  /// the rational clock coupling. Observably identical to per-cycle step()
+  /// (disabled when the cluster runs in reference-stepping mode).
   u64 run_to_host_halt(u64 max_host_cycles = 1'000'000'000ull);
 
   /// Record the whole node into `sinks`: host run/sleep spans (WFI on the
@@ -82,8 +88,12 @@ class HeteroSystem {
 
  private:
   void trace_sample();
+  /// Bulk-advance while the host sleeps on EOC and the wire is idle.
+  /// Returns host cycles consumed.
+  u64 fast_forward_host_sleep(u64 max_host_cycles);
 
   HeteroSystemParams params_;
+  ClockRatio ratio_;  ///< Cluster ticks per host cycle, exact.
   std::unique_ptr<soc::PulpSoc> soc_;
   std::unique_ptr<mem::Sram> host_sram_;
   std::unique_ptr<mem::SimpleBus> host_bus_;
@@ -95,7 +105,7 @@ class HeteroSystem {
 
   isa::Program host_program_;
   bool accel_started_ = false;
-  double clock_accum_ = 0.0;
+  bool reference_stepping_ = false;  ///< Mirrors the cluster's mode.
   u64 host_cycles_ = 0;
 
   // Tracing state (inert unless attach_trace() was called).

@@ -89,5 +89,42 @@ TEST(ClusterEvents, DmaCompletionWakesWfeSleeper) {
   EXPECT_GT(cl.stats().cores[0].sleep_cycles, 500u);
 }
 
+// dma_wait_wfe inside a hardware loop() body: the wait's exit branch must
+// not land on the first instruction after the loop body — a taken branch
+// bypasses the sequential loop-back check and would abandon the loop after
+// one iteration (the helper pads its exit with a nop for exactly this).
+TEST(ClusterEvents, DmaWaitWfeInsideHardwareLoopRunsAllRounds) {
+  constexpr u32 kRounds = 6;
+  constexpr u32 kBytes = 512;
+  Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  const auto others = bld.make_label();
+  bld.branch(Opcode::kBne, 1, codegen::zero, others);
+  bld.li(20, cluster::kL2Base);
+  bld.li(21, cluster::kTcdmBase);
+  bld.li(22, kBytes);
+  bld.li(12, 0);  // completed-round counter
+  bld.li(4, kRounds);
+  bld.loop(4, 11, [&] {
+    bld.dma_start(25, 20, 21, 22);
+    bld.dma_wait_wfe(25, 26);
+    bld.emit(Opcode::kAddi, 12, 12, 0, 1);
+  });
+  bld.li(13, cluster::kTcdmBase + 0x1000);
+  bld.emit(Opcode::kSw, 12, 13, 0, 0);
+  bld.eoc();
+  bld.bind(others);
+  bld.halt();
+
+  Cluster cl;
+  cl.load_program(bld.finalize());
+  cl.run();
+  EXPECT_EQ(cl.bus().debug_load(cluster::kTcdmBase + 0x1000, 4, false),
+            kRounds);
+  EXPECT_EQ(cl.dma().stats().transfers_completed, kRounds);
+  // The waits really slept (each 512-byte transfer is ~128 beats).
+  EXPECT_GT(cl.stats().cores[0].sleep_cycles, kRounds * 100u);
+}
+
 }  // namespace
 }  // namespace ulp

@@ -1,0 +1,145 @@
+// ClockRatio: exact rational clock-domain coupling. The class replaced a
+// floating-point accumulator in HeteroSystem; these tests pin the tick
+// schedule over long horizons for non-dyadic ratios (where a float
+// accumulator drifts) and the equivalence between per-cycle tick() and the
+// O(1) bulk forms the fast-forward scheduler uses.
+#include "common/ratio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace ulp {
+namespace {
+
+TEST(ClockRatio, ReducesToLowestTerms) {
+  const ClockRatio r(mhz(8), mhz(80));
+  EXPECT_EQ(r.numerator(), 1u);
+  EXPECT_EQ(r.denominator(), 10u);
+  const ClockRatio unity(mhz(16), mhz(16));
+  EXPECT_EQ(unity.numerator(), 1u);
+  EXPECT_EQ(unity.denominator(), 1u);
+}
+
+TEST(ClockRatio, IntegerRatiosTickEveryCycle) {
+  ClockRatio r(mhz(64), mhz(16));  // 4 cluster ticks per host cycle
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(r.tick(), 4u);
+  EXPECT_EQ(r.accumulator(), 0u);
+}
+
+// The regression this class exists for: a non-integer ratio held exact over
+// ten million source cycles. 13 MHz target / 16 MHz source must yield
+// exactly 13/16 * 10M = 8,125,000 ticks — no drift, accumulator bounded.
+TEST(ClockRatio, NonIntegerRatioIsExactOverTenMillionCycles) {
+  ClockRatio per_cycle(mhz(13), mhz(16));
+  u64 ticks = 0;
+  for (u64 c = 0; c < 10'000'000; ++c) {
+    const u64 k = per_cycle.tick();
+    EXPECT_LE(k, 1u);  // target slower than source: never two per cycle
+    ticks += k;
+    ASSERT_LT(per_cycle.accumulator(), per_cycle.denominator());
+  }
+  EXPECT_EQ(ticks, 8'125'000u);
+
+  ClockRatio bulk(mhz(13), mhz(16));
+  EXPECT_EQ(bulk.tick_many(10'000'000), 8'125'000u);
+  EXPECT_EQ(bulk.accumulator(), per_cycle.accumulator());
+}
+
+TEST(ClockRatio, BulkAndPerCycleAgreeAtEveryPrefix) {
+  ClockRatio a(mhz(13), mhz(16));
+  ClockRatio b(mhz(13), mhz(16));
+  u64 ticks_a = 0;
+  u64 ticks_b = 0;
+  u64 stride = 1;
+  u64 advanced = 0;
+  while (advanced < 100'000) {
+    for (u64 i = 0; i < stride; ++i) ticks_a += a.tick();
+    ticks_b += b.tick_many(stride);
+    advanced += stride;
+    EXPECT_EQ(ticks_a, ticks_b) << "after " << advanced << " cycles";
+    EXPECT_EQ(a.accumulator(), b.accumulator());
+    stride = stride % 89 + 7;  // prime-ish strides hit all phases
+  }
+}
+
+TEST(ClockRatio, CyclesToNextTickIsTight) {
+  ClockRatio r(mhz(8), mhz(80));
+  for (int round = 0; round < 1000; ++round) {
+    const u64 wait = r.cycles_to_next_tick();
+    ASSERT_GE(wait, 1u);
+    // One cycle short of the stride: still no tick.
+    ClockRatio probe = r;
+    if (wait > 1) EXPECT_EQ(probe.tick_many(wait - 1), 0u);
+    // The full stride delivers at least one.
+    EXPECT_GE(r.tick_many(wait), 1u);
+  }
+}
+
+TEST(ClockRatio, FasterTargetYieldsMultipleTicks) {
+  ClockRatio r(mhz(64), mhz(16));
+  EXPECT_EQ(r.cycles_to_next_tick(), 1u);
+  EXPECT_EQ(r.tick_many(250), 1000u);
+}
+
+// consume_ticks is the host-domain fast-forward stride: it must land on
+// exactly the source cycle whose batch delivers the wanted tick, leaving
+// the accumulator as if tick() had run cycle by cycle.
+TEST(ClockRatio, ConsumeTicksMatchesPerCycleSchedule) {
+  ClockRatio bulk(mhz(13), mhz(16));
+  ClockRatio per_cycle(mhz(13), mhz(16));
+  u64 want = 1;
+  u64 got_bulk = 0;
+  u64 got_per_cycle = 0;
+  u64 cycles_bulk = 0;
+  u64 cycles_per_cycle = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const ClockRatio::TickRun run = bulk.consume_ticks(want);
+    got_bulk += run.ticks;
+    cycles_bulk += run.cycles;
+    while (got_per_cycle < got_bulk) {
+      got_per_cycle += per_cycle.tick();
+      ++cycles_per_cycle;
+    }
+    ASSERT_EQ(got_per_cycle, got_bulk) << "round " << round;
+    ASSERT_EQ(cycles_per_cycle, cycles_bulk) << "round " << round;
+    ASSERT_EQ(per_cycle.accumulator(), bulk.accumulator());
+    ASSERT_GE(run.ticks, want);
+    want = want % 37 + 1;
+  }
+}
+
+TEST(ClockRatio, ConsumeTicksBatchesOnFasterTarget) {
+  ClockRatio r(mhz(64), mhz(16));  // 4 ticks per source cycle
+  const ClockRatio::TickRun run = r.consume_ticks(3);
+  EXPECT_EQ(run.cycles, 1u);  // the batch is indivisible
+  EXPECT_EQ(run.ticks, 4u);
+}
+
+TEST(ClockRatio, TicksWithinPredictsWithoutAdvancing) {
+  ClockRatio r(mhz(13), mhz(16));
+  (void)r.tick_many(7);
+  const u64 before = r.accumulator();
+  const u64 predicted = r.ticks_within(1000);
+  EXPECT_EQ(r.accumulator(), before);
+  EXPECT_EQ(r.tick_many(1000), predicted);
+}
+
+TEST(ClockRatio, ResetRestartsTheSchedule) {
+  ClockRatio r(mhz(13), mhz(16));
+  (void)r.tick_many(5);
+  EXPECT_NE(r.accumulator(), 0u);
+  r.reset();
+  EXPECT_EQ(r.accumulator(), 0u);
+  EXPECT_EQ(r.tick_many(16), 13u);
+}
+
+TEST(ClockRatio, RejectsNonIntegralAndNonPositiveFrequencies) {
+  EXPECT_THROW(ClockRatio(0.5, mhz(16)), SimError);
+  EXPECT_THROW(ClockRatio(mhz(16), -1.0), SimError);
+  EXPECT_THROW(ClockRatio(mhz(16), 0.0), SimError);
+}
+
+}  // namespace
+}  // namespace ulp

@@ -1,0 +1,421 @@
+// Differential exactness tests for the quiescence fast-forward scheduler.
+//
+// The fast path (Cluster::advance / HeteroSystem::run_to_host_halt with
+// parked cores, analytic DMA windows and host-sleep strides) must be
+// *observably invisible*: every counter a user can read — cycles, per-core
+// performance counters, TCDM access/conflict totals, DMA statistics,
+// I$ misses, wire statistics — and every output byte must be identical to
+// the per-cycle reference loop kept behind ULP_REFERENCE_STEPPING. These
+// tests run each workload twice, once per mode, and compare everything.
+// They carry the `perf` CTest label: `ctest -L perf`.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "codegen/builder.hpp"
+#include "common/rng.hpp"
+#include "kernels/kernel.hpp"
+#include "system/hetero_system.hpp"
+#include "system/host_driver.hpp"
+#include "trace/event_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace_export.hpp"
+
+namespace ulp {
+namespace {
+
+using cluster::Cluster;
+using codegen::Builder;
+using isa::Opcode;
+using kernels::Target;
+
+void expect_same_perf(const core::PerfCounters& ref,
+                      const core::PerfCounters& ff, const std::string& what) {
+  EXPECT_EQ(ref.cycles, ff.cycles) << what;
+  EXPECT_EQ(ref.active_cycles, ff.active_cycles) << what;
+  EXPECT_EQ(ref.sleep_cycles, ff.sleep_cycles) << what;
+  EXPECT_EQ(ref.halted_cycles, ff.halted_cycles) << what;
+  EXPECT_EQ(ref.stall_mem, ff.stall_mem) << what;
+  EXPECT_EQ(ref.stall_icache, ff.stall_icache) << what;
+  EXPECT_EQ(ref.instrs, ff.instrs) << what;
+  EXPECT_EQ(ref.loads, ff.loads) << what;
+  EXPECT_EQ(ref.stores, ff.stores) << what;
+  EXPECT_EQ(ref.branches, ff.branches) << what;
+  EXPECT_EQ(ref.branches_taken, ff.branches_taken) << what;
+  EXPECT_EQ(ref.mults, ff.mults) << what;
+  EXPECT_EQ(ref.divs, ff.divs) << what;
+  EXPECT_EQ(ref.barriers, ff.barriers) << what;
+}
+
+void expect_same_dma(const dma::DmaStats& ref, const dma::DmaStats& ff,
+                     const std::string& what) {
+  EXPECT_EQ(ref.busy_cycles, ff.busy_cycles) << what;
+  EXPECT_EQ(ref.bytes_moved, ff.bytes_moved) << what;
+  EXPECT_EQ(ref.transfers_completed, ff.transfers_completed) << what;
+  EXPECT_EQ(ref.stall_cycles, ff.stall_cycles) << what;
+}
+
+/// Everything observable after a cluster run.
+struct ClusterObservation {
+  u64 run_cycles = 0;
+  cluster::ClusterStats stats;
+  u64 tcdm_accesses = 0;
+  u64 tcdm_conflicts = 0;
+  u64 barriers_completed = 0;
+  std::vector<u8> output;
+};
+
+void expect_same_observation(const ClusterObservation& ref,
+                             const ClusterObservation& ff,
+                             const std::string& what) {
+  EXPECT_EQ(ref.run_cycles, ff.run_cycles) << what;
+  EXPECT_EQ(ref.stats.cycles, ff.stats.cycles) << what;
+  ASSERT_EQ(ref.stats.cores.size(), ff.stats.cores.size()) << what;
+  for (size_t i = 0; i < ref.stats.cores.size(); ++i) {
+    expect_same_perf(ref.stats.cores[i], ff.stats.cores[i],
+                     what + " core " + std::to_string(i));
+  }
+  expect_same_dma(ref.stats.dma, ff.stats.dma, what + " dma");
+  EXPECT_EQ(ref.stats.tcdm_conflicts, ff.stats.tcdm_conflicts) << what;
+  EXPECT_EQ(ref.stats.icache_misses, ff.stats.icache_misses) << what;
+  EXPECT_EQ(ref.tcdm_accesses, ff.tcdm_accesses) << what;
+  EXPECT_EQ(ref.tcdm_conflicts, ff.tcdm_conflicts) << what;
+  EXPECT_EQ(ref.barriers_completed, ff.barriers_completed) << what;
+  EXPECT_EQ(ref.output, ff.output) << what;
+}
+
+ClusterObservation run_cluster_case(const kernels::KernelCase& kc,
+                                    bool reference) {
+  cluster::ClusterParams params;
+  params.reference_stepping = reference;
+  Cluster cl(params);
+  cl.load_program(kc.program);
+  for (size_t i = 0; i < kc.input.size(); ++i) {
+    cl.bus().debug_store(kc.input_addr + static_cast<Addr>(i), 1,
+                         kc.input[i]);
+  }
+  ClusterObservation obs;
+  obs.run_cycles = cl.run();
+  obs.stats = cl.stats();
+  obs.tcdm_accesses = cl.tcdm().total_accesses();
+  obs.tcdm_conflicts = cl.tcdm().total_conflicts();
+  obs.barriers_completed = cl.events().barriers_completed();
+  obs.output.resize(kc.output_bytes);
+  for (size_t i = 0; i < kc.output_bytes; ++i) {
+    obs.output[i] = static_cast<u8>(
+        cl.bus().debug_load(kc.output_addr + static_cast<Addr>(i), 1, false));
+  }
+  return obs;
+}
+
+ClusterObservation run_program(const isa::Program& prog, bool reference) {
+  cluster::ClusterParams params;
+  params.reference_stepping = reference;
+  Cluster cl(params);
+  cl.load_program(prog);
+  ClusterObservation obs;
+  obs.run_cycles = cl.run();
+  obs.stats = cl.stats();
+  obs.tcdm_accesses = cl.tcdm().total_accesses();
+  obs.tcdm_conflicts = cl.tcdm().total_conflicts();
+  obs.barriers_completed = cl.events().barriers_completed();
+  return obs;
+}
+
+// Every Table I kernel (the paper's benchmark suite) must be cycle- and
+// bit-exact between the two stepping modes.
+TEST(FastForwardDiff, TableOneKernelsAreCycleExact) {
+  const auto cfg = core::or10n_config();
+  for (const kernels::KernelInfo& info : kernels::all_kernels()) {
+    const auto kc = info.factory(cfg.features, 4, Target::kCluster, 7);
+    const ClusterObservation ref = run_cluster_case(kc, /*reference=*/true);
+    const ClusterObservation ff = run_cluster_case(kc, /*reference=*/false);
+    expect_same_observation(ref, ff, info.name);
+    EXPECT_EQ(ff.output, kc.expected) << info.name;
+  }
+}
+
+TEST(FastForwardDiff, ExtensionKernelsAreCycleExact) {
+  const auto cfg = core::or10n_config();
+  for (const kernels::KernelInfo& info : kernels::extension_kernels()) {
+    const auto kc = info.factory(cfg.features, 4, Target::kCluster, 11);
+    const ClusterObservation ref = run_cluster_case(kc, /*reference=*/true);
+    const ClusterObservation ff = run_cluster_case(kc, /*reference=*/false);
+    expect_same_observation(ref, ff, info.name);
+  }
+}
+
+// The analytic DMA window must reproduce the per-cycle grant pattern for
+// every endpoint relation: distinct TCDM banks (1 cycle/beat), same TCDM
+// bank (2 cycles/beat, one counted conflict per beat), L2 -> L2 (2
+// cycles/beat, silent port stall), cross-region, and tail beats of odd
+// lengths. Transfers drain with every core halted, the purest quiescent
+// window.
+TEST(FastForwardDiff, DmaDrainWindowsAreCycleExact) {
+  struct Xfer {
+    Addr src, dst;
+    u32 len;
+  };
+  const std::vector<Xfer> xfers = {
+      {cluster::kL2Base, cluster::kTcdmBase, 1021},            // L2 -> TCDM
+      {cluster::kTcdmBase, cluster::kTcdmBase + 0x1004, 513},  // bank-distinct
+      {cluster::kTcdmBase, cluster::kTcdmBase + 0x2000, 257},  // same bank
+      {cluster::kL2Base, cluster::kL2Base + 0x4000, 255},      // L2 self
+      {cluster::kTcdmBase + 0x400, cluster::kL2Base + 0x8000, 1024},
+  };
+  auto run = [&](bool reference) {
+    cluster::ClusterParams params;
+    params.reference_stepping = reference;
+    Cluster cl(params);
+    Rng rng(5);
+    for (u32 i = 0; i < 4096; i += 4) {
+      const u32 w = rng.next_u32();
+      cl.bus().debug_store(cluster::kL2Base + i, 4, w);
+      cl.bus().debug_store(cluster::kTcdmBase + i, 4, ~w);
+    }
+    for (const Xfer& x : xfers) cl.dma().enqueue(x.src, x.dst, x.len);
+    ClusterObservation obs;
+    obs.run_cycles = cl.run();  // cores all halted: run() just drains the DMA
+    obs.stats = cl.stats();
+    obs.tcdm_accesses = cl.tcdm().total_accesses();
+    obs.tcdm_conflicts = cl.tcdm().total_conflicts();
+    for (const Xfer& x : xfers) {
+      for (u32 i = 0; i < x.len; ++i) {
+        obs.output.push_back(static_cast<u8>(
+            cl.bus().debug_load(x.dst + static_cast<Addr>(i), 1, false)));
+      }
+    }
+    return obs;
+  };
+  expect_same_observation(run(true), run(false), "dma drain");
+}
+
+// WFE sleepers woken by DMA completion: the dominant quiescent pattern of
+// double-buffered kernels. Three cores halt immediately; core 0 programs a
+// large transfer and sleeps until the completion event.
+TEST(FastForwardDiff, DmaWaitSleepIsCycleExact) {
+  Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  const auto other = bld.make_label();
+  bld.branch(Opcode::kBne, 1, codegen::zero, other);
+  bld.li(20, cluster::kL2Base);
+  bld.li(21, cluster::kTcdmBase);
+  bld.li(22, 16384);
+  bld.dma_start(25, 20, 21, 22);
+  const auto wait = bld.make_label();
+  bld.bind(wait);
+  bld.emit(Opcode::kLw, 26, 25, 0, 0x10);  // STATUS
+  const auto done = bld.make_label();
+  bld.branch(Opcode::kBeq, 26, codegen::zero, done);
+  bld.emit(Opcode::kWfe);
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, wait);
+  bld.bind(done);
+  bld.eoc();
+  bld.bind(other);
+  bld.halt();
+  const auto prog = bld.finalize();
+
+  const ClusterObservation ref = run_program(prog, /*reference=*/true);
+  const ClusterObservation ff = run_program(prog, /*reference=*/false);
+  expect_same_observation(ref, ff, "dma wait");
+  // The workload really is sleep-heavy (else this test proves little).
+  EXPECT_GT(ff.stats.cores[0].sleep_cycles, 1000u);
+}
+
+// Barrier storm: cores park and wake through the HW synchronizer hundreds
+// of times with skewed arrival orders. Exercises same-cycle/next-cycle wake
+// visibility at every rotation position.
+TEST(FastForwardDiff, BarrierHeavyIsCycleExact) {
+  Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  // Each core spins id*7 nops between barriers so arrival order rotates.
+  bld.li(2, 7);
+  bld.emit(Opcode::kMul, 3, 1, 2, 0);
+  bld.emit(Opcode::kAddi, 3, 3, 0, 1);
+  bld.li(4, 200);
+  bld.loop(4, 10, [&] {
+    bld.loop(3, 11, [&] { bld.nop(); });
+    bld.barrier();
+  });
+  bld.eoc();
+  const auto prog = bld.finalize();
+
+  const ClusterObservation ref = run_program(prog, /*reference=*/true);
+  const ClusterObservation ff = run_program(prog, /*reference=*/false);
+  expect_same_observation(ref, ff, "barrier heavy");
+  EXPECT_EQ(ff.barriers_completed, 200u);
+}
+
+/// Everything observable after a full-system offload.
+struct SystemObservation {
+  u64 host_cycles = 0;
+  system::HeteroStats stats;
+  core::PerfCounters host_perf;
+  cluster::ClusterStats cluster_stats;
+  u64 tcdm_accesses = 0;
+  std::vector<u8> output;
+};
+
+SystemObservation run_offload(const kernels::KernelCase& kc,
+                              double mcu_hz, double pulp_hz,
+                              bool reference) {
+  system::HeteroSystemParams params;
+  params.mcu_freq_hz = mcu_hz;
+  params.pulp_freq_hz = pulp_hz;
+  params.cluster_params.reference_stepping = reference;
+  const system::FullSystemPackage pkg = system::package_offload(kc);
+  system::HeteroSystem sys(params);
+  sys.load_host_program(pkg.host_program);
+  SystemObservation obs;
+  obs.host_cycles = sys.run_to_host_halt();
+  obs.stats = sys.stats();
+  obs.host_perf = sys.host_core().perf();
+  obs.cluster_stats = sys.soc().cluster().stats();
+  obs.tcdm_accesses = sys.soc().cluster().tcdm().total_accesses();
+  obs.output.resize(kc.output_bytes);
+  for (size_t i = 0; i < kc.output_bytes; ++i) {
+    obs.output[i] = static_cast<u8>(sys.host_sram().load(
+        pkg.spec.host_output_addr + static_cast<Addr>(i), 1, false));
+  }
+  return obs;
+}
+
+void expect_same_system(const SystemObservation& ref,
+                        const SystemObservation& ff,
+                        const std::string& what) {
+  EXPECT_EQ(ref.host_cycles, ff.host_cycles) << what;
+  EXPECT_EQ(ref.stats.host_cycles, ff.stats.host_cycles) << what;
+  EXPECT_EQ(ref.stats.cluster_cycles, ff.stats.cluster_cycles) << what;
+  EXPECT_EQ(ref.stats.wire_bytes, ff.stats.wire_bytes) << what;
+  EXPECT_EQ(ref.stats.wire_busy_host_cycles, ff.stats.wire_busy_host_cycles)
+      << what;
+  EXPECT_EQ(ref.stats.accel_started, ff.stats.accel_started) << what;
+  expect_same_perf(ref.host_perf, ff.host_perf, what + " host");
+  EXPECT_EQ(ref.cluster_stats.cycles, ff.cluster_stats.cycles) << what;
+  ASSERT_EQ(ref.cluster_stats.cores.size(), ff.cluster_stats.cores.size());
+  for (size_t i = 0; i < ref.cluster_stats.cores.size(); ++i) {
+    expect_same_perf(ref.cluster_stats.cores[i], ff.cluster_stats.cores[i],
+                     what + " cluster core " + std::to_string(i));
+  }
+  expect_same_dma(ref.cluster_stats.dma, ff.cluster_stats.dma, what + " dma");
+  EXPECT_EQ(ref.cluster_stats.tcdm_conflicts, ff.cluster_stats.tcdm_conflicts)
+      << what;
+  EXPECT_EQ(ref.cluster_stats.icache_misses, ff.cluster_stats.icache_misses)
+      << what;
+  EXPECT_EQ(ref.tcdm_accesses, ff.tcdm_accesses) << what;
+  EXPECT_EQ(ref.output, ff.output) << what;
+}
+
+// The full offload path — SPI image/input shipping, fetch-enable, cluster
+// compute with the host asleep on EOC, result readback — at equal clocks
+// and at the near-threshold-style asymmetric point where the MCU clock is
+// 10x the PULP clock (the host fast-forward's worst/best case).
+TEST(FastForwardDiff, FullSystemOffloadIsCycleExact) {
+  const auto cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_char(cfg.features, 4, Target::kCluster,
+                                            77);
+  {
+    const auto ref = run_offload(kc, mhz(16), mhz(16), /*reference=*/true);
+    const auto ff = run_offload(kc, mhz(16), mhz(16), /*reference=*/false);
+    expect_same_system(ref, ff, "16/16");
+    EXPECT_EQ(ff.output, kc.expected);
+  }
+  {
+    const auto ref = run_offload(kc, mhz(80), mhz(8), /*reference=*/true);
+    const auto ff = run_offload(kc, mhz(80), mhz(8), /*reference=*/false);
+    expect_same_system(ref, ff, "80/8");
+    EXPECT_EQ(ff.output, kc.expected);
+  }
+  {
+    // PULP faster than the host: multiple cluster ticks per host cycle.
+    const auto ref = run_offload(kc, mhz(16), mhz(64), /*reference=*/true);
+    const auto ff = run_offload(kc, mhz(16), mhz(64), /*reference=*/false);
+    expect_same_system(ref, ff, "16/64");
+  }
+}
+
+// With trace sinks attached the fast path falls back to per-cycle sampling
+// inside quiescent windows; the exported Chrome trace and the profile
+// report must be byte-identical between modes.
+TEST(FastForwardDiff, TracedOffloadProducesIdenticalTrace) {
+  const auto cfg = core::or10n_config();
+  const auto kc = kernels::make_svm_linear(cfg.features, 4, Target::kCluster,
+                                           3);
+  auto traced = [&](bool reference) {
+    system::HeteroSystemParams params;
+    params.cluster_params.reference_stepping = reference;
+    const system::FullSystemPackage pkg = system::package_offload(kc);
+    system::HeteroSystem sys(params);
+    trace::EventTrace events;
+    trace::MetricsRegistry metrics;
+    sys.attach_trace({&events, &metrics});
+    sys.load_host_program(pkg.host_program);
+    sys.run_to_host_halt();
+    std::ostringstream json;
+    EXPECT_TRUE(trace::write_chrome_trace(events, json).ok());
+    return json.str() + "\n---\n" + trace::profile_report(events, &metrics);
+  };
+  const std::string ref = traced(/*reference=*/true);
+  const std::string ff = traced(/*reference=*/false);
+  EXPECT_EQ(ref, ff);
+}
+
+// Traced cluster-only run (per-cycle DMA window fallback under tracing).
+TEST(FastForwardDiff, TracedClusterRunProducesIdenticalTrace) {
+  const auto cfg = core::or10n_config();
+  const auto kc = kernels::make_cnn(cfg.features, 4, Target::kCluster, 9);
+  auto traced = [&](bool reference) {
+    cluster::ClusterParams params;
+    params.reference_stepping = reference;
+    Cluster cl(params);
+    trace::EventTrace events;
+    trace::MetricsRegistry metrics;
+    cl.attach_trace({&events, &metrics});
+    cl.load_program(kc.program);
+    for (size_t i = 0; i < kc.input.size(); ++i) {
+      cl.bus().debug_store(kc.input_addr + static_cast<Addr>(i), 1,
+                           kc.input[i]);
+    }
+    cl.run();
+    std::ostringstream json;
+    EXPECT_TRUE(trace::write_chrome_trace(events, json).ok());
+    return json.str() + "\n---\n" + trace::profile_report(events, &metrics);
+  };
+  EXPECT_EQ(traced(true), traced(false));
+}
+
+// Interleaving advance() with manual step() and odd budgets must leave the
+// same state as pure stepping: windows may end mid-transfer and mid-sleep.
+TEST(FastForwardDiff, AdvanceWithArbitraryBudgetsIsCycleExact) {
+  const auto cfg = core::or10n_config();
+  const auto kc = kernels::make_matmul_short(cfg.features, 4, Target::kCluster,
+                                             21);
+  auto run_chunked = [&](bool reference) {
+    cluster::ClusterParams params;
+    params.reference_stepping = reference;
+    Cluster cl(params);
+    cl.load_program(kc.program);
+    for (size_t i = 0; i < kc.input.size(); ++i) {
+      cl.bus().debug_store(kc.input_addr + static_cast<Addr>(i), 1,
+                           kc.input[i]);
+    }
+    // Prime-sized chunks so window boundaries land everywhere.
+    u64 budget = 1;
+    while (!cl.all_halted()) {
+      cl.advance(budget);
+      budget = budget % 97 + 13;
+    }
+    ClusterObservation obs;
+    obs.run_cycles = cl.cycles();
+    obs.stats = cl.stats();
+    obs.tcdm_accesses = cl.tcdm().total_accesses();
+    obs.tcdm_conflicts = cl.tcdm().total_conflicts();
+    obs.barriers_completed = cl.events().barriers_completed();
+    return obs;
+  };
+  expect_same_observation(run_chunked(true), run_chunked(false), "chunked");
+}
+
+}  // namespace
+}  // namespace ulp
