@@ -8,6 +8,10 @@
 //                         each offload session the bench runs
 //   --trace-cluster       include the cycle-accurate cluster detail tracks
 //   --profile             print the "top phases by time" report + metrics
+//   --faults=<spec>       run every offload session under deterministic
+//                         link fault injection with the robust protocol
+//                         (spec keys: seed, flip, drop, dup, nak, burst,
+//                         stuck — see link/fault_injector.hpp)
 // Declaring `bench::Observability obs(argc, argv);` first thing in main()
 // is the only per-bench code; sessions built through
 // make_prototype_session() attach automatically.
@@ -16,11 +20,13 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "host/mcu.hpp"
 #include "kernels/kernel.hpp"
 #include "kernels/runner.hpp"
+#include "link/fault_injector.hpp"
 #include "link/spi_link.hpp"
 #include "power/pulp_power.hpp"
 #include "runtime/offload.hpp"
@@ -45,9 +51,18 @@ class Observability {
         trace_cluster_ = true;
       } else if (std::strcmp(argv[i], "--profile") == 0) {
         profile_ = true;
+      } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+        link::FaultConfig cfg;
+        const Status s = link::FaultInjector::parse(argv[i] + 9, &cfg);
+        if (s.ok()) {
+          injector_ = std::make_unique<link::FaultInjector>(cfg);
+        } else {
+          std::fprintf(stderr, "ignoring bad --faults spec: %s\n",
+                       s.message().c_str());
+        }
       }
     }
-    if (enabled()) active_ = this;
+    if (enabled() || injector_ != nullptr) active_ = this;
   }
 
   Observability(const Observability&) = delete;
@@ -84,6 +99,11 @@ class Observability {
   }
   [[nodiscard]] trace::EventTrace& trace() { return trace_; }
   [[nodiscard]] trace::MetricsRegistry& metrics() { return metrics_; }
+  /// Null unless --faults was given. One injector per process: faults
+  /// accumulate deterministically across every session of the bench.
+  [[nodiscard]] link::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
 
  private:
   static inline Observability* active_ = nullptr;
@@ -91,6 +111,7 @@ class Observability {
   trace::EventTrace trace_;
   trace::MetricsRegistry metrics_;
   std::string trace_path_;
+  std::unique_ptr<link::FaultInjector> injector_;
   bool trace_cluster_ = false;
   bool profile_ = false;
 };
@@ -169,9 +190,14 @@ inline runtime::OffloadSession make_prototype_session(double mcu_freq_hz) {
   lcfg.max_freq_hz = mcu.spi_max_hz;
   runtime::OffloadSession session(mcu, mcu_freq_hz, link::SpiLink(lcfg));
   if (Observability* obs = Observability::active()) {
-    char name[64];
-    std::snprintf(name, sizeof name, "offload@%.0fMHz", mcu_freq_hz / 1e6);
-    session.attach_trace(obs->sinks(), name, obs->trace_cluster());
+    if (obs->enabled()) {
+      char name[64];
+      std::snprintf(name, sizeof name, "offload@%.0fMHz", mcu_freq_hz / 1e6);
+      session.attach_trace(obs->sinks(), name, obs->trace_cluster());
+    }
+    if (obs->fault_injector() != nullptr) {
+      session.attach_faults(obs->fault_injector());
+    }
   }
   return session;
 }

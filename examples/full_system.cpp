@@ -8,11 +8,17 @@
 // with nothing abstracted to arithmetic.
 //
 // Build & run:  ./build/examples/full_system [kernel] [--trace out.json]
-//               [--profile]
+//               [--profile] [--faults=<spec>]
 //
 // --trace dumps the co-simulation as a Chrome/Perfetto timeline (host MCU,
 // SPI wire, cluster cores/DMA on one real-time axis — load the file in
 // ui.perfetto.dev); --profile prints the top-phases report.
+//
+// --faults enables the robust offload protocol (CRC-framed transfers,
+// retrying driver, EOC watchdog) under deterministic link fault injection;
+// the spec is comma-separated key=value with keys seed, flip, drop, dup,
+// nak, burst, stuck — e.g. --faults=seed=7,flip=1e-4,stuck=1. The run
+// reports recovery (CRC errors vs. retries) or host-reference fallback.
 #include <cstdio>
 #include <cstring>
 
@@ -25,14 +31,30 @@ int main(int argc, char** argv) {
   using namespace ulp;
   std::string kernel_name = "matmul";
   std::string trace_path;
+  std::string fault_spec;
+  bool robust = false;
   bool profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      fault_spec = argv[i] + 9;
+      robust = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      fault_spec = argv[++i];
+      robust = true;
     } else {
       kernel_name = argv[i];
+    }
+  }
+  link::FaultConfig fault_cfg;
+  if (robust) {
+    const Status s = link::FaultInjector::parse(fault_spec, &fault_cfg);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", s.message().c_str());
+      return 1;
     }
   }
   const kernels::KernelInfo* info = nullptr;
@@ -47,31 +69,32 @@ int main(int argc, char** argv) {
   const auto accel_cfg = core::or10n_config();
   const auto kc =
       info->factory(accel_cfg.features, 4, kernels::Target::kCluster, 99);
-  const system::FullSystemPackage pkg = system::package_offload(kc);
+  const system::FullSystemPackage pkg =
+      robust ? system::package_robust_offload(kc) : system::package_offload(kc);
 
   system::HeteroSystemParams params;
   params.mcu_freq_hz = mhz(16);
   params.pulp_freq_hz = mhz(16);  // the 0.5 V near-threshold point
+  if (robust) {
+    params.crc_frames = true;
+    params.faults = fault_cfg;
+  }
   system::HeteroSystem sys(params);
   trace::EventTrace trace;
   trace::MetricsRegistry metrics;
   if (!trace_path.empty() || profile) {
     sys.attach_trace({&trace, &metrics});
   }
-  sys.load_host_program(pkg.host_program);
 
-  std::printf("offloading %s: image %u B, input %u B, output %u B\n",
+  std::printf("offloading %s: image %u B, input %u B, output %u B%s\n",
               kc.name.c_str(), pkg.spec.image_len, pkg.spec.input_len,
-              pkg.spec.output_len);
-  const u64 host_cycles = sys.run_to_host_halt();
+              pkg.spec.output_len,
+              robust ? " (robust protocol, fault injection on)" : "");
+  const system::SystemOffloadResult res =
+      system::run_offload_with_fallback(sys, pkg);
+  const u64 host_cycles = res.host_cycles;
   const auto stats = sys.stats();
-
-  std::vector<u8> result(kc.output_bytes);
-  for (size_t i = 0; i < result.size(); ++i) {
-    result[i] = static_cast<u8>(sys.host_sram().load(
-        pkg.spec.host_output_addr + static_cast<Addr>(i), 1, false));
-  }
-  const bool ok = result == kc.expected;
+  const bool ok = res.output == kc.expected;
 
   std::printf("\nhost driver:   %u instructions of bare-metal code\n",
               static_cast<unsigned>(pkg.host_program.code.size()));
@@ -85,6 +108,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.wire_busy_host_cycles),
               100.0 * static_cast<double>(stats.wire_busy_host_cycles) /
                   static_cast<double>(host_cycles));
+  if (robust) {
+    std::printf("link frames:   %llu (%llu CRC/framing rejects)\n",
+                static_cast<unsigned long long>(stats.link_frames),
+                static_cast<unsigned long long>(stats.link_crc_errors));
+    std::printf("faults:        %llu injected\n",
+                static_cast<unsigned long long>(stats.fault_count));
+    if (!res.status.ok()) {
+      std::printf("offload:       FAILED (%s: %s)%s\n",
+                  status_code_name(res.status.code()),
+                  res.status.message().c_str(),
+                  res.used_host_fallback
+                      ? " -> degraded to host-reference output"
+                      : "");
+    } else if (stats.link_crc_errors > 0) {
+      std::printf("offload:       recovered by retry\n");
+    }
+  }
   std::printf("result:        %s\n",
               ok ? "bit-exact match with the golden reference"
                  : "MISMATCH");

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/types.hpp"
+
 namespace ulp {
 
 /// Raised on invalid simulator configuration or on behaviour that a real
@@ -18,21 +20,55 @@ class SimError : public std::runtime_error {
   explicit SimError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Machine-readable failure class for Status. The offload runtime branches
+/// on these (a CRC failure is retried, a watchdog timeout falls back to
+/// the host-reference implementation); message() carries the detail.
+enum class StatusCode : u8 {
+  kOk = 0,
+  kUnknown,           ///< Legacy Error(message) without a class.
+  kInvalidArgument,   ///< Malformed spec/config handed to a parser.
+  kIoError,           ///< Filesystem/stream failure (exporters, CSV).
+  kCrcError,          ///< Framed link transfer failed its CRC check.
+  kTimeout,           ///< EOC watchdog expired (stuck line, hung boot).
+  kRetriesExhausted,  ///< Bounded retry budget spent without success.
+};
+
+[[nodiscard]] constexpr const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kUnknown: return "unknown";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kCrcError: return "crc-error";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kRetriesExhausted: return "retries-exhausted";
+  }
+  return "?";
+}
+
 /// Recoverable-error result for I/O-facing APIs (exporters, CSV writers)
-/// where the caller may legitimately want to continue — unlike ULP_CHECK,
-/// which is reserved for broken model setup. Default-constructed = success.
+/// and for the robust offload path, where a failure is a legitimate
+/// outcome the caller reacts to (retry, degrade to host execution) —
+/// unlike ULP_CHECK, which is reserved for broken model setup.
+/// Default-constructed = success.
 class [[nodiscard]] Status {
  public:
   Status() = default;
 
   static Status Error(std::string message) {
+    return Error(StatusCode::kUnknown, std::move(message));
+  }
+
+  static Status Error(StatusCode code, std::string message) {
     Status s;
     s.ok_ = false;
+    s.code_ = code;
     s.message_ = std::move(message);
     return s;
   }
 
   [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Bridge to the throwing convention: raises SimError if not ok.
@@ -42,6 +78,7 @@ class [[nodiscard]] Status {
 
  private:
   bool ok_ = true;
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 

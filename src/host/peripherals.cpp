@@ -8,6 +8,7 @@ u32 SpiMasterPeripheral::read32(Addr offset) {
     case 0x04: return local_addr_;
     case 0x08: return len_;
     case 0x10: return wire_->busy() ? 1 : 0;
+    case 0x14: return wire_->last_frame_ok() ? 0 : 1;
     default:
       ULP_CHECK(false, "SPI master: invalid register read");
   }

@@ -11,6 +11,8 @@
 //     0x08 LEN                          0x08 IMG_LEN (boot image length)
 //     0x0C CMD  (1 = TX, 2 = RX)
 //     0x10 STATUS (1 while busy)
+//     0x14 CRC_STATUS (0 = last frame verified, 1 = CRC/framing error;
+//          hardware CRC unit, meaningful when the wire's CRC framing is on)
 #pragma once
 
 #include <functional>

@@ -56,8 +56,10 @@ struct KernelCase {
   [[nodiscard]] size_t binary_bytes() const { return program.image_size_bytes(); }
 
   /// View of this case as an offload runtime request (cluster targets).
+  /// The golden reference output doubles as the host-reference result the
+  /// degradation path falls back to.
   [[nodiscard]] runtime::OffloadRequest offload_request() const {
-    return {&program, input, input_addr, output_bytes, output_addr};
+    return {&program, input, input_addr, output_bytes, output_addr, expected};
   }
 };
 

@@ -1,0 +1,42 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for link framing.
+//
+// Every framed SPI transfer of the robust offload protocol carries a 4-byte
+// CRC trailer computed over the payload bytes in transfer order; the
+// receiving side accumulates the same checksum over what actually arrived
+// and rejects the frame on mismatch. The incremental form matches how the
+// SPI controllers compute it in hardware (STM32 SPI peripherals expose
+// exactly this CRCEN datapath), one byte per shifted beat.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace ulp::link {
+
+/// Incremental CRC-32: feed bytes in wire order, read `value()` any time.
+class Crc32 {
+ public:
+  void update(u8 byte) {
+    crc_ ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc_ = (crc_ >> 1) ^ ((crc_ & 1u) ? 0xEDB88320u : 0u);
+    }
+  }
+
+  [[nodiscard]] u32 value() const { return crc_ ^ 0xFFFFFFFFu; }
+
+  void reset() { crc_ = 0xFFFFFFFFu; }
+
+ private:
+  u32 crc_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a byte span.
+[[nodiscard]] inline u32 crc32(std::span<const u8> bytes) {
+  Crc32 c;
+  for (const u8 b : bytes) c.update(b);
+  return c.value();
+}
+
+}  // namespace ulp::link

@@ -1,0 +1,149 @@
+#include "link/fault_injector.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "link/crc32.hpp"
+
+namespace ulp::link {
+
+FaultInjector::FaultInjector(FaultConfig config) : cfg_(config), rng_(cfg_.seed) {
+  ULP_CHECK(cfg_.burst_len >= 1, "fault burst length must be >= 1");
+  auto valid_rate = [](double r) { return r >= 0.0 && r <= 1.0; };
+  ULP_CHECK(valid_rate(cfg_.tx_flip_rate) && valid_rate(cfg_.rx_flip_rate) &&
+                valid_rate(cfg_.tx_drop_rate) && valid_rate(cfg_.rx_drop_rate) &&
+                valid_rate(cfg_.tx_dup_rate) && valid_rate(cfg_.rx_dup_rate) &&
+                valid_rate(cfg_.nak_rate),
+            "fault rates must be probabilities in [0, 1]");
+}
+
+BeatFault FaultInjector::beat(Direction d) {
+  ++counters_.beats;
+  BurstState& burst = d == Direction::kTx ? burst_tx_ : burst_rx_;
+  if (burst.remaining > 0) {
+    --burst.remaining;
+    switch (burst.kind) {
+      case BeatFault::kFlip: ++counters_.flips; break;
+      case BeatFault::kDrop: ++counters_.drops; break;
+      case BeatFault::kDup: ++counters_.dups; break;
+      case BeatFault::kNone: break;
+    }
+    return burst.kind;
+  }
+  const double flip = d == Direction::kTx ? cfg_.tx_flip_rate : cfg_.rx_flip_rate;
+  const double drop = d == Direction::kTx ? cfg_.tx_drop_rate : cfg_.rx_drop_rate;
+  const double dup = d == Direction::kTx ? cfg_.tx_dup_rate : cfg_.rx_dup_rate;
+  // One draw per beat; the fault kinds partition the unit interval.
+  const double u = rng_.uniform01();
+  BeatFault kind = BeatFault::kNone;
+  if (u < flip) {
+    kind = BeatFault::kFlip;
+    ++counters_.flips;
+  } else if (u < flip + drop) {
+    kind = BeatFault::kDrop;
+    ++counters_.drops;
+  } else if (u < flip + drop + dup) {
+    kind = BeatFault::kDup;
+    ++counters_.dups;
+  }
+  if (kind != BeatFault::kNone && cfg_.burst_len > 1) {
+    burst.kind = kind;
+    burst.remaining = cfg_.burst_len - 1;
+  }
+  return kind;
+}
+
+u8 FaultInjector::flip_mask() {
+  return static_cast<u8>(1u << (rng_.next_u32() & 7u));
+}
+
+bool FaultInjector::frame_nak(Direction /*d*/) {
+  ++counters_.frames;
+  if (cfg_.nak_rate <= 0) return false;
+  const bool nak = rng_.uniform01() < cfg_.nak_rate;
+  if (nak) ++counters_.naks;
+  return nak;
+}
+
+void FaultInjector::begin_eoc_wait() {
+  wait_stuck_ = waits_seen_ < cfg_.stuck_eoc_waits;
+  ++waits_seen_;
+  if (wait_stuck_) ++counters_.stuck_waits;
+}
+
+bool FaultInjector::frame_intact(Direction d, std::span<const u8> payload) {
+  bool structural_damage = frame_nak(d);
+  Crc32 tx_crc, rx_crc;
+  auto beat_byte = [&](u8 byte, bool trailer, u8* received) {
+    switch (beat(d)) {
+      case BeatFault::kFlip: byte ^= flip_mask(); break;
+      case BeatFault::kDrop:
+      case BeatFault::kDup: structural_damage = true; break;
+      case BeatFault::kNone: break;
+    }
+    if (!trailer) rx_crc.update(byte);
+    *received = byte;
+  };
+  u8 received = 0;
+  for (const u8 b : payload) {
+    tx_crc.update(b);
+    beat_byte(b, /*trailer=*/false, &received);
+  }
+  const u32 sent_crc = tx_crc.value();
+  u32 got_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    beat_byte(static_cast<u8>(sent_crc >> (8 * i)), /*trailer=*/true,
+              &received);
+    got_crc |= static_cast<u32>(received) << (8 * i);
+  }
+  return !structural_damage && rx_crc.value() == got_crc;
+}
+
+Status FaultInjector::parse(std::string_view spec, FaultConfig* out) {
+  FaultConfig cfg;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "fault spec item '" + std::string(item) +
+                               "' is not key=value");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string value(item.substr(eq + 1));
+    char* parse_end = nullptr;
+    const double v = std::strtod(value.c_str(), &parse_end);
+    if (parse_end == value.c_str() || *parse_end != '\0') {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "bad number '" + value + "' in fault spec");
+    }
+    if (key == "seed") {
+      cfg.seed = static_cast<u64>(v);
+    } else if (key == "flip") {
+      cfg.tx_flip_rate = cfg.rx_flip_rate = v;
+    } else if (key == "drop") {
+      cfg.tx_drop_rate = cfg.rx_drop_rate = v;
+    } else if (key == "dup") {
+      cfg.tx_dup_rate = cfg.rx_dup_rate = v;
+    } else if (key == "nak") {
+      cfg.nak_rate = v;
+    } else if (key == "burst") {
+      cfg.burst_len = static_cast<u32>(v);
+    } else if (key == "stuck") {
+      cfg.stuck_eoc_waits = static_cast<u32>(v);
+    } else {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "unknown fault spec key '" + std::string(key) +
+                               "' (seed/flip/drop/dup/nak/burst/stuck)");
+    }
+  }
+  *out = cfg;
+  return Status();
+}
+
+}  // namespace ulp::link

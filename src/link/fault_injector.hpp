@@ -1,0 +1,128 @@
+// Deterministic, seeded fault injection for the SPI/QSPI coupling link.
+//
+// The paper couples the MCU and the PULP cluster over plain board wires;
+// a real deployment sees bit flips from EMI, beats lost or duplicated by
+// controller FIFO slips, transient NAKs from a busy slave and — the worst
+// case — a stuck EOC line. The injector models all of these as a
+// deterministic function of a seed and the *call sequence* (one decision
+// per transferred beat, per frame, per EOC wait), never of wall-clock or
+// scheduler state: the same seed produces the same fault schedule in both
+// the cycle-stepped wire and the analytic link model, and in both the
+// reference and fast-forward stepping modes.
+//
+// Fault kinds per beat (drawn once per beat from the per-direction rates,
+// optionally stretched into bursts):
+//   * flip — one random bit of the byte inverts on the wire;
+//   * drop — the beat is lost (receiver memory keeps its stale byte);
+//   * dup  — the beat is latched twice (stream framing slips).
+// Frame-level: a transient NAK marks the whole frame rejected. Drops,
+// dups and NAKs are structural damage: real framing counts beats, so the
+// receiver's CRC never matches. EOC-level: the first `stuck_eoc_waits`
+// EOC waits see the line stuck low (the host's watchdog must fire).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp::link {
+
+/// Transfer direction as seen from the host MCU.
+enum class Direction : u8 {
+  kTx,  ///< Host -> accelerator (binary image, map(to:) payload).
+  kRx,  ///< Accelerator -> host (map(from:) result readback).
+};
+
+enum class BeatFault : u8 { kNone, kFlip, kDrop, kDup };
+
+struct FaultConfig {
+  u64 seed = 1;
+  /// Per-beat event probabilities (payload and CRC trailer beats alike).
+  double tx_flip_rate = 0, rx_flip_rate = 0;
+  double tx_drop_rate = 0, rx_drop_rate = 0;
+  double tx_dup_rate = 0, rx_dup_rate = 0;
+  /// Per-frame transient NAK probability (slave busy; frame rejected).
+  double nak_rate = 0;
+  /// Consecutive beats affected once an event fires (>= 1).
+  u32 burst_len = 1;
+  /// The first N EOC waits observe the line stuck low; the host watchdog
+  /// must expire and the offload be retried (or abandoned to fallback).
+  u32 stuck_eoc_waits = 0;
+
+  [[nodiscard]] bool any_beat_faults() const {
+    return tx_flip_rate > 0 || rx_flip_rate > 0 || tx_drop_rate > 0 ||
+           rx_drop_rate > 0 || tx_dup_rate > 0 || rx_dup_rate > 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  struct Counters {
+    u64 beats = 0;      ///< Beat decisions drawn.
+    u64 frames = 0;     ///< Frame (NAK) decisions drawn.
+    u64 flips = 0;
+    u64 drops = 0;
+    u64 dups = 0;
+    u64 naks = 0;
+    u64 stuck_waits = 0;
+    [[nodiscard]] u64 total_faults() const {
+      return flips + drops + dups + naks + stuck_waits;
+    }
+  };
+
+  explicit FaultInjector(FaultConfig config);
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// One beat crosses the wire in direction `d`: what happens to it.
+  BeatFault beat(Direction d);
+
+  /// Bit mask to XOR into a flipped byte (exactly one bit set).
+  u8 flip_mask();
+
+  /// Frame-level decision, drawn once per started frame.
+  bool frame_nak(Direction d);
+
+  /// The host raised fetch-enable and begins waiting on EOC. Consumes one
+  /// stuck-EOC budget entry; while the current wait is stuck, eoc_gate()
+  /// masks the line low.
+  void begin_eoc_wait();
+  [[nodiscard]] bool eoc_wait_stuck() const { return wait_stuck_; }
+  /// The EOC level as the host sees it (stuck-at-low while the current
+  /// wait is stuck). Pure function of (level, consumed waits) so both
+  /// stepping modes observe identical lines regardless of sample count.
+  [[nodiscard]] bool eoc_gate(bool level) const {
+    return level && !wait_stuck_;
+  }
+
+  /// Analytic-tier helper: simulate one CRC-framed transfer attempt of
+  /// `payload` (plus the 4-byte CRC trailer) in direction `d` without
+  /// moving bytes. Draws exactly the per-frame and per-beat decisions the
+  /// cycle-stepped wire would draw and returns whether the receiver's CRC
+  /// check passes (computed honestly over the post-fault byte stream).
+  bool frame_intact(Direction d, std::span<const u8> payload);
+
+  /// Parse a `--faults=` spec: comma-separated `key=value` with keys
+  /// seed, flip, drop, dup, nak (rates apply to both directions), burst,
+  /// stuck. Example: "seed=7,flip=1e-4,nak=0.01,stuck=1,burst=4".
+  static Status parse(std::string_view spec, FaultConfig* out);
+
+ private:
+  struct BurstState {
+    BeatFault kind = BeatFault::kNone;
+    u32 remaining = 0;
+  };
+
+  FaultConfig cfg_;
+  Rng rng_;
+  Counters counters_;
+  BurstState burst_tx_, burst_rx_;
+  u32 waits_seen_ = 0;
+  bool wait_stuck_ = false;
+};
+
+}  // namespace ulp::link

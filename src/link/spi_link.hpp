@@ -21,9 +21,17 @@
 namespace ulp::link {
 
 struct SpiLinkConfig {
-  u32 lanes = 1;                    ///< 1 = classic SPI, 4 = quad.
+  /// 1 = classic SPI, 2 = dual (both data wires carry payload, as on
+  /// dual-IO flash links), 4 = quad. The paper's prototype uses classic
+  /// and quad; dual is modelled the same way — lanes bits per SPI clock
+  /// with the framing preamble serialised across the same lanes — and is
+  /// pinned by the tests as part of the accepted set {1, 2, 4}.
+  u32 lanes = 1;
   double max_freq_hz = mhz(48);     ///< Controller cap.
   u32 frame_overhead_bits = 40;     ///< Command + address per transfer.
+  /// CRC trailer bits per framed transfer (0 = unframed raw transfers,
+  /// 32 = the robust offload protocol's CRC-32 trailer).
+  u32 crc_bits = 0;
   double energy_per_bit = 25e-12;   ///< Joules/bit across the board wires.
   double idle_power_w = uw(3);      ///< Both PHYs idle.
   double decoupled_clock_hz = 0;    ///< >0: link clock independent of MCU.
@@ -51,20 +59,27 @@ class SpiLink {
     return clock_hz(mcu_freq_hz) * cfg_.lanes;
   }
 
+  /// Wire bits for one framed transfer of `bytes` payload bytes. This is
+  /// the single source of truth for transfer framing: a zero-byte transfer
+  /// is elided entirely (no command, no CRC — the wire never starts), and
+  /// a non-empty transfer pays payload + command/address preamble + CRC
+  /// trailer. Both transfer_seconds() and transfer_energy_j() derive from
+  /// it, so time and energy can never disagree about framing.
+  [[nodiscard]] double frame_bits(size_t bytes) const {
+    if (bytes == 0) return 0.0;
+    return static_cast<double>(bytes) * 8.0 + cfg_.frame_overhead_bits +
+           cfg_.crc_bits;
+  }
+
   /// Wall-clock seconds to move `bytes` (one framed transfer).
   [[nodiscard]] double transfer_seconds(size_t bytes,
                                         double mcu_freq_hz) const {
-    if (bytes == 0) return 0.0;
-    const double bits =
-        static_cast<double>(bytes) * 8.0 + cfg_.frame_overhead_bits;
-    return bits / bandwidth_bps(mcu_freq_hz);
+    return frame_bits(bytes) / bandwidth_bps(mcu_freq_hz);
   }
 
   /// Energy to move `bytes` over the wires.
   [[nodiscard]] double transfer_energy_j(size_t bytes) const {
-    if (bytes == 0) return 0.0;
-    return (static_cast<double>(bytes) * 8.0 + cfg_.frame_overhead_bits) *
-           cfg_.energy_per_bit;
+    return frame_bits(bytes) * cfg_.energy_per_bit;
   }
 
   /// Average power while streaming continuously at `mcu_freq_hz`.
@@ -74,6 +89,14 @@ class SpiLink {
   }
 
   [[nodiscard]] double idle_power_w() const { return cfg_.idle_power_w; }
+
+  /// Copy of this link with a CRC trailer of `bits` per framed transfer
+  /// (the robust offload protocol enables 32-bit trailers this way).
+  [[nodiscard]] SpiLink with_crc(u32 bits) const {
+    SpiLinkConfig c = cfg_;
+    c.crc_bits = bits;
+    return SpiLink(c);
+  }
 
  private:
   SpiLinkConfig cfg_;

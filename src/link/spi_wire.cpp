@@ -15,6 +15,15 @@ void SpiWire::start(bool tx, Addr local, Addr remote, u32 len,
   remaining_ = len;
   local_read_ = std::move(local_read);
   local_write_ = std::move(local_write);
+  tx_crc_.reset();
+  rx_crc_.reset();
+  trailer_remaining_ = 0;
+  trailer_received_ = 0;
+  // A NAK'd frame is rejected wholesale by the slave; the beats still
+  // cross the wire (and cost time) but the frame can never verify.
+  frame_damaged_ =
+      injector_ != nullptr &&
+      injector_->frame_nak(tx ? Direction::kTx : Direction::kRx);
   // Command/address framing preamble, then the first byte's serialisation.
   cooldown_ = 2 * frame_overhead_bits_ / lanes_ + cycles_per_byte();
   if (sinks_) {
@@ -35,22 +44,92 @@ void SpiWire::step() {
   if (!busy()) return;
   ++busy_cycles_;
   if (--cooldown_ > 0) return;
-  // One byte crosses the wire.
-  if (tx_) {
-    remote_write_(remote_, local_read_(local_));
-  } else {
-    local_write_(local_, remote_read_(remote_));
+  const Direction dir = tx_ ? Direction::kTx : Direction::kRx;
+  if (remaining_ > 0) {
+    // One payload byte crosses the wire.
+    u8 byte = tx_ ? local_read_(local_) : remote_read_(remote_);
+    tx_crc_.update(byte);
+    if (injector_ != nullptr) {
+      switch (injector_->beat(dir)) {
+        case BeatFault::kFlip:
+          byte ^= injector_->flip_mask();
+          break;
+        case BeatFault::kDrop:
+        case BeatFault::kDup:
+          // Beat-count slips: the stream framing is broken even if the
+          // byte values land; real controllers detect this as a length /
+          // CRC mismatch. The byte is still delivered so retried frames
+          // overwrite a consistent region.
+          frame_damaged_ = true;
+          break;
+        case BeatFault::kNone:
+          break;
+      }
+    }
+    rx_crc_.update(byte);
+    if (tx_) {
+      remote_write_(remote_, byte);
+    } else {
+      local_write_(local_, byte);
+    }
+    ++local_;
+    ++remote_;
+    ++bytes_moved_;
+    if (--remaining_ > 0) {
+      cooldown_ = cycles_per_byte();
+      return;
+    }
+    if (crc_frames_) {
+      trailer_remaining_ = 4;
+      cooldown_ = cycles_per_byte();
+      return;
+    }
+    finish_frame();
+    return;
   }
-  ++local_;
-  ++remote_;
-  ++bytes_moved_;
-  if (--remaining_ > 0) {
+  // CRC trailer beat: consumed by the receiving controller's CRC unit,
+  // never written to memory and not counted in bytes_moved().
+  const u32 idx = 4 - trailer_remaining_;
+  u8 byte = static_cast<u8>(tx_crc_.value() >> (8 * idx));
+  if (injector_ != nullptr) {
+    switch (injector_->beat(dir)) {
+      case BeatFault::kFlip:
+        byte ^= injector_->flip_mask();
+        break;
+      case BeatFault::kDrop:
+      case BeatFault::kDup:
+        frame_damaged_ = true;
+        break;
+      case BeatFault::kNone:
+        break;
+    }
+  }
+  trailer_received_ |= static_cast<u32>(byte) << (8 * idx);
+  if (--trailer_remaining_ > 0) {
     cooldown_ = cycles_per_byte();
-  } else {
-    local_read_ = nullptr;
-    local_write_ = nullptr;
-    if (sinks_.events != nullptr) sinks_.events->end(track_, now_);
+    return;
   }
+  finish_frame();
+}
+
+void SpiWire::finish_frame() {
+  ++frames_;
+  last_frame_ok_ =
+      !crc_frames_ ||
+      (!frame_damaged_ && rx_crc_.value() == trailer_received_);
+  local_read_ = nullptr;
+  local_write_ = nullptr;
+  if (sinks_.metrics != nullptr) {
+    sinks_.metrics->counter("link.frames").add();
+    if (!last_frame_ok_) sinks_.metrics->counter("link.crc_errors").add();
+  }
+  if (!last_frame_ok_) {
+    ++crc_errors_;
+    if (sinks_.events != nullptr) {
+      sinks_.events->instant(track_, "crc_error", now_);
+    }
+  }
+  if (sinks_.events != nullptr) sinks_.events->end(track_, now_);
 }
 
 }  // namespace ulp::link

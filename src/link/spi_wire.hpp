@@ -6,12 +6,28 @@
 // host clock / 2, `lanes` bits per SPI clock), with a framing preamble per
 // transfer. The remote side is abstracted as a byte sink/source (the PULP
 // SoC's QSPI slave in front of L2).
+//
+// Robust-protocol extensions (both opt-in; the legacy raw wire is the
+// default and is pinned by the system tests):
+//   * CRC framing — each transfer carries a 4-byte CRC-32 trailer. The
+//     sender's controller shifts out the CRC of what it read from memory;
+//     the receiver accumulates a CRC over what actually arrived and the
+//     frame fails on mismatch (or on structural damage: dropped/duplicated
+//     beats, a NAK'd frame). The result is latched in last_frame_ok() and
+//     surfaced to the host driver through the SPI master's CRC_STATUS
+//     register. Trailer beats cost wire time but are consumed by the CRC
+//     units, never written to memory, and do not count in bytes_moved().
+//   * Fault injection — an attached link::FaultInjector perturbs beats
+//     (flip/drop/dup) and frames (NAK) deterministically; see
+//     fault_injector.hpp for the model.
 #pragma once
 
 #include <functional>
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "link/crc32.hpp"
+#include "link/fault_injector.hpp"
 #include "trace/event_trace.hpp"
 
 namespace ulp::link {
@@ -35,7 +51,24 @@ class SpiWire {
   /// cycles per SPI clock.
   [[nodiscard]] u32 cycles_per_byte() const { return 2 * 8 / lanes_; }
 
-  [[nodiscard]] bool busy() const { return remaining_ > 0; }
+  [[nodiscard]] bool busy() const {
+    return remaining_ > 0 || trailer_remaining_ > 0;
+  }
+
+  /// Enable the CRC-32 trailer on every subsequent transfer.
+  void set_crc_frames(bool on) { crc_frames_ = on; }
+  [[nodiscard]] bool crc_frames() const { return crc_frames_; }
+
+  /// Attach a fault injector (not owned; nullptr detaches). Beats and
+  /// frames of subsequent transfers draw their fault decisions from it.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Result of the most recently completed frame's integrity check. True
+  /// when CRC framing is off (a raw wire detects nothing) and before any
+  /// transfer completed.
+  [[nodiscard]] bool last_frame_ok() const { return last_frame_ok_; }
+  [[nodiscard]] u64 frames() const { return frames_; }
+  [[nodiscard]] u64 crc_errors() const { return crc_errors_; }
 
   /// Start host -> remote (tx=true) or remote -> host (tx=false). The
   /// local side is accessed through the buffer callbacks the SPI master
@@ -69,6 +102,8 @@ class SpiWire {
   [[nodiscard]] u64 now() const { return now_; }
 
  private:
+  void finish_frame();
+
   u32 lanes_;
   RemoteWrite remote_write_;
   RemoteRead remote_read_;
@@ -81,6 +116,17 @@ class SpiWire {
   u32 cooldown_ = 0;
   std::function<u8(Addr)> local_read_;
   std::function<void(Addr, u8)> local_write_;
+
+  bool crc_frames_ = false;
+  FaultInjector* injector_ = nullptr;
+  Crc32 tx_crc_;
+  Crc32 rx_crc_;
+  u32 trailer_remaining_ = 0;
+  u32 trailer_received_ = 0;
+  bool frame_damaged_ = false;
+  bool last_frame_ok_ = true;
+  u64 frames_ = 0;
+  u64 crc_errors_ = 0;
 
   u64 bytes_moved_ = 0;
   u64 busy_cycles_ = 0;

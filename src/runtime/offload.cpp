@@ -1,5 +1,6 @@
 #include "runtime/offload.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/status.hpp"
@@ -11,13 +12,19 @@ double OffloadTiming::total_s(u32 iterations, bool double_buffered) const {
   ULP_CHECK(iterations >= 1, "need at least one iteration");
   const double n = iterations;
   if (!double_buffered) {
-    return t_binary_s + n * (t_in_s + t_compute_s + t_out_s);
+    return t_retry_s + t_binary_s + n * (t_in_s + t_compute_s + t_out_s);
   }
   // Pipelined: while the accelerator computes iteration i, the link drains
-  // iteration i-1's output and fills iteration i+1's input. Steady state is
-  // bounded by the slower of (compute) and (in+out transfer).
+  // iteration i-1's output and fills iteration i+1's input. The critical
+  // path is fill (t_in), n-1 steady-state periods, then the last
+  // iteration's compute and drain; the steady-state period is bounded by
+  // the slower of (compute) and (in+out transfer) — in the link-bound
+  // regime the accelerator stalls on the wire, in the compute-bound
+  // regime the wire idles, and the period is exactly
+  // max(t_compute, t_in + t_out) either way.
   const double steady = std::max(t_compute_s, t_in_s + t_out_s);
-  return t_binary_s + t_in_s + (n - 1) * steady + t_compute_s + t_out_s;
+  return t_retry_s + t_binary_s + t_in_s + (n - 1) * steady + t_compute_s +
+         t_out_s;
 }
 
 OffloadSession::OffloadSession(const host::McuSpec& mcu, double mcu_freq_hz,
@@ -39,14 +46,73 @@ void OffloadSession::attach_trace(const trace::Sinks& sinks,
   trace_cursor_s_ = 0;
 }
 
+void OffloadSession::attach_faults(link::FaultInjector* injector,
+                                   RetryPolicy policy) {
+  ULP_CHECK(policy.max_transfer_attempts >= 1 &&
+                policy.max_offload_attempts >= 1,
+            "retry budgets must allow at least one attempt");
+  injector_ = injector;
+  retry_policy_ = policy;
+  // The robust protocol frames every transfer with a CRC-32 trailer; the
+  // link pays for those bits on every transfer, faulted or not.
+  link_ = link_.with_crc(injector != nullptr ? 32 : 0);
+}
+
+Status OffloadSession::ship_framed(link::Direction d,
+                                   std::span<const u8> payload,
+                                   const char* what, OffloadOutcome* out) {
+  if (injector_ == nullptr || payload.empty()) return Status();
+  OffloadRobustStats& rs = out->robust;
+  for (u32 attempt = 1;; ++attempt) {
+    const u64 naks_before = injector_->counters().naks;
+    if (injector_->frame_intact(d, payload)) return Status();
+    if (injector_->counters().naks > naks_before) {
+      ++rs.naks;
+    } else {
+      ++rs.crc_errors;
+    }
+    if (attempt >= retry_policy_.max_transfer_attempts) {
+      return Status::Error(
+          StatusCode::kRetriesExhausted,
+          std::string(what) + ": transfer retry budget exhausted after " +
+              std::to_string(attempt) + " attempts");
+    }
+    // Retransmit after exponential backoff. The retransmission re-drives
+    // the link (full frame cost in time and energy); the backoff is host
+    // idle time.
+    ++rs.retransmissions;
+    const double backoff =
+        retry_policy_.backoff_base_s * static_cast<double>(1u << (attempt - 1));
+    out->timing.t_retry_s +=
+        backoff + link_.transfer_seconds(payload.size(), mcu_freq_hz_);
+    rs.retry_link_j += link_.transfer_energy_j(payload.size());
+  }
+}
+
 void OffloadSession::trace_phases(const OffloadOutcome& outcome) {
   const OffloadTiming& t = outcome.timing;
+  const OffloadRobustStats& rs = outcome.robust;
   if (sinks_.metrics != nullptr) {
     sinks_.metrics->counter("offload.runs").add();
     sinks_.metrics->histogram("offload.binary_bytes").record(t.binary_bytes);
     sinks_.metrics->histogram("offload.in_bytes").record(t.in_bytes);
     sinks_.metrics->histogram("offload.out_bytes").record(t.out_bytes);
     sinks_.metrics->histogram("offload.compute_cycles").record(t.accel_cycles);
+    if (rs.crc_errors > 0) {
+      sinks_.metrics->counter("offload.crc_errors").add(rs.crc_errors);
+    }
+    if (rs.naks > 0) sinks_.metrics->counter("offload.naks").add(rs.naks);
+    if (rs.retransmissions > 0) {
+      sinks_.metrics->counter("offload.retransmissions")
+          .add(rs.retransmissions);
+    }
+    if (rs.watchdog_expiries > 0) {
+      sinks_.metrics->counter("offload.watchdog_expiries")
+          .add(rs.watchdog_expiries);
+    }
+    if (!outcome.status.ok()) {
+      sinks_.metrics->counter("offload.failures").add();
+    }
   }
   if (sinks_.events == nullptr) return;
   if (!track_made_) {
@@ -72,6 +138,15 @@ void OffloadSession::trace_phases(const OffloadOutcome& outcome) {
         {{"accel_cycles", static_cast<double>(t.accel_cycles)}});
   phase("output_xfer", t.t_out_s,
         {{"bytes", static_cast<double>(t.out_bytes)}});
+  // Aggregate retry/backoff/watchdog overhead as one span so retry storms
+  // are visible on the Perfetto timeline next to the clean phases.
+  if (t.t_retry_s > 0) {
+    phase("link.retry", t.t_retry_s,
+          {{"retransmissions", static_cast<double>(rs.retransmissions)},
+           {"crc_errors", static_cast<double>(rs.crc_errors)},
+           {"naks", static_cast<double>(rs.naks)},
+           {"watchdog_expiries", static_cast<double>(rs.watchdog_expiries)}});
+  }
   trace_cursor_s_ = cur;
 }
 
@@ -84,30 +159,16 @@ OffloadOutcome OffloadSession::run(const OffloadRequest& request,
   cluster::ClusterParams params;
   params.num_cores = num_cores;
   params.core_config = core::or10n_config();
+  if (reference_stepping_.has_value()) {
+    params.reference_stepping = reference_stepping_;
+  }
   soc::PulpSoc soc(params);
   if (sinks_ && trace_cluster_) {
     soc.cluster().attach_trace(sinks_, op.freq_hz, trace_name_ + ".accel");
   }
 
-  // 1. Code offload: serialise and ship the binary.
-  const std::vector<u8> image = isa::serialize(*request.program);
-  soc.boot_image(image);  // boot ROM consumes the image from L2
-
-  // 2. Data offload: map(to:) payload into the L2 staging area.
-  soc.qspi_write(request.input_addr, request.input);
-
-  // 3. Fetch-enable; run to the EOC GPIO.
-  const u64 cycles = soc.run_to_eoc();
-
-  // 4. Read results back.
   OffloadOutcome out;
-  out.output.resize(request.output_bytes);
-  soc.qspi_read(request.output_addr, out.output);
-
-  out.stats = soc.cluster().stats();
-  out.activity = power::ActivityFactors::from_stats(out.stats);
-  out.timing.accel_cycles = cycles;
-  out.timing.t_compute_s = static_cast<double>(cycles) / op.freq_hz;
+  const std::vector<u8> image = isa::serialize(*request.program);
   const size_t shipped = image.size() + kRuntimeImageBytes;
   out.timing.t_binary_s = link_.transfer_seconds(shipped, mcu_freq_hz_);
   out.timing.t_in_s =
@@ -117,7 +178,86 @@ OffloadOutcome OffloadSession::run(const OffloadRequest& request,
   out.timing.binary_bytes = shipped;
   out.timing.in_bytes = request.input.size();
   out.timing.out_bytes = request.output_bytes;
+  out.output.resize(request.output_bytes);
+
+  // Robust-protocol simulation, phase by phase in wire order. Each
+  // ship_framed draws the frame/beat fault decisions the cycle-stepped
+  // wire would draw and retries within the policy budgets; the cluster
+  // itself is simulated once on clean bytes — valid because the protocol
+  // only proceeds once a frame verified, i.e. arrived intact.
+  auto fail = [&](Status why) {
+    out.status = std::move(why);
+    std::fill(out.output.begin(), out.output.end(), u8{0});
+    if (sinks_) trace_phases(out);
+    return out;
+  };
+
+  // 1. Code offload: the shipped image is kernel bytes + the accelerator
+  // runtime; the protocol frames exactly those bytes.
+  if (injector_ != nullptr) {
+    std::vector<u8> shipped_bytes(image);
+    shipped_bytes.resize(shipped, 0);
+    Status s = ship_framed(link::Direction::kTx, shipped_bytes,
+                           "binary offload", &out);
+    if (!s.ok()) return fail(std::move(s));
+    // 2. map(to:) payload.
+    s = ship_framed(link::Direction::kTx, request.input, "map(to:) payload",
+                    &out);
+    if (!s.ok()) return fail(std::move(s));
+    // 3. Fetch-enable, then the EOC wait. A stuck EOC line burns one
+    // watchdog window; the offload is re-attempted (the image and inputs
+    // are already resident in L2, so a retry is just a new fetch-enable
+    // edge) until the budget runs out.
+    bool eoc_seen = false;
+    for (u32 a = 1; a <= retry_policy_.max_offload_attempts; ++a) {
+      out.robust.offload_attempts = a;
+      injector_->begin_eoc_wait();
+      if (!injector_->eoc_wait_stuck()) {
+        eoc_seen = true;
+        break;
+      }
+      ++out.robust.watchdog_expiries;
+      out.timing.t_retry_s += retry_policy_.eoc_watchdog_s;
+    }
+    if (!eoc_seen) {
+      return fail(Status::Error(
+          StatusCode::kTimeout,
+          "EOC watchdog expired on every offload attempt (" +
+              std::to_string(retry_policy_.max_offload_attempts) + ")"));
+    }
+  }
+
+  // The accelerator-side execution, cycle-accurate, on clean bytes.
+  soc.boot_image(image);  // boot ROM consumes the image from L2
+  soc.qspi_write(request.input_addr, request.input);
+  const u64 cycles = soc.run_to_eoc();
+  soc.qspi_read(request.output_addr, out.output);
+
+  out.stats = soc.cluster().stats();
+  out.activity = power::ActivityFactors::from_stats(out.stats);
+  out.timing.accel_cycles = cycles;
+  out.timing.t_compute_s = static_cast<double>(cycles) / op.freq_hz;
+
+  // 4. map(from:) readback, CRC-checked host-side.
+  if (injector_ != nullptr) {
+    Status s = ship_framed(link::Direction::kRx, out.output,
+                           "map(from:) readback", &out);
+    if (!s.ok()) return fail(std::move(s));
+  }
   if (sinks_) trace_phases(out);
+  return out;
+}
+
+OffloadOutcome run_with_host_fallback(OffloadSession& session,
+                                      const OffloadRequest& request,
+                                      const power::OperatingPoint& op,
+                                      u32 num_cores) {
+  OffloadOutcome out = session.run(request, op, num_cores);
+  if (!out.status.ok() && !request.host_reference.empty()) {
+    out.output.assign(request.host_reference.begin(),
+                      request.host_reference.end());
+    out.used_host_fallback = true;
+  }
   return out;
 }
 
@@ -126,8 +266,11 @@ EnergyBreakdown OffloadSession::energy(const OffloadOutcome& o,
                                        u32 iterations,
                                        bool double_buffered) const {
   const double n = iterations;
-  const double t_xfer =
-      o.timing.t_binary_s + n * (o.timing.t_in_s + o.timing.t_out_s);
+  // Retry overhead (retransmissions, backoff, watchdog polling) keeps the
+  // MCU active: it is the SPI master re-driving frames or spinning on the
+  // watchdog. Charged once per offload, like the binary.
+  const double t_xfer = o.timing.t_binary_s + o.timing.t_retry_s +
+                        n * (o.timing.t_in_s + o.timing.t_out_s);
   const double t_compute = n * o.timing.t_compute_s;
   const double total = o.timing.total_s(iterations, double_buffered);
 
@@ -139,8 +282,10 @@ EnergyBreakdown OffloadSession::energy(const OffloadOutcome& o,
   // PULP: measured-activity power while computing, idle power otherwise.
   e.pulp_j = n * power_.energy_j(o.activity, op, o.timing.accel_cycles) +
              std::max(0.0, total - t_compute) * power_.idle_w(op.vdd);
-  // Link: energy per bit plus the idle floor.
+  // Link: energy per bit (clean frames plus retransmitted ones) and the
+  // idle floor.
   e.link_j = link_.transfer_energy_j(o.timing.binary_bytes) +
+             o.robust.retry_link_j +
              n * (link_.transfer_energy_j(o.timing.in_bytes) +
                   link_.transfer_energy_j(o.timing.out_bytes)) +
              total * link_.idle_power_w();

@@ -17,9 +17,11 @@
 // iteration i — the paper's rightmost plot).
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "host/mcu.hpp"
+#include "link/fault_injector.hpp"
 #include "link/spi_link.hpp"
 #include "power/pulp_power.hpp"
 #include "soc/pulp_soc.hpp"
@@ -37,6 +39,35 @@ struct OffloadRequest {
   Addr input_addr = 0;
   size_t output_bytes = 0;
   Addr output_addr = 0;
+  /// Golden output of the kernel's host-reference implementation.
+  /// run_with_host_fallback() returns these bytes when the offload fails
+  /// permanently; empty = no fallback available.
+  std::span<const u8> host_reference;
+};
+
+/// Bounded-retry knobs of the robust offload protocol (active only after
+/// attach_faults()).
+struct RetryPolicy {
+  /// Attempts per CRC-framed transfer (first try included).
+  u32 max_transfer_attempts = 4;
+  /// Whole-offload attempts: each EOC watchdog expiry re-raises
+  /// fetch-enable and re-runs the kernel (image and inputs are already
+  /// resident in L2, so a retry costs only the burned watchdog window).
+  u32 max_offload_attempts = 3;
+  /// Wall-clock the host burns before declaring an EOC wait hung.
+  double eoc_watchdog_s = 1e-3;
+  /// Backoff before retransmission k (1-based): backoff_base_s * 2^(k-1).
+  double backoff_base_s = 100e-6;
+};
+
+/// Per-run robustness accounting (all zero on a clean run).
+struct OffloadRobustStats {
+  u64 crc_errors = 0;        ///< Frames rejected by the CRC check.
+  u64 naks = 0;              ///< Frames rejected by a transient NAK.
+  u64 retransmissions = 0;   ///< Extra transfer attempts performed.
+  u64 watchdog_expiries = 0; ///< EOC waits the watchdog declared hung.
+  u32 offload_attempts = 1;  ///< Fetch-enable cycles issued.
+  double retry_link_j = 0;   ///< Extra link energy spent on retries.
 };
 
 struct OffloadTiming {
@@ -44,6 +75,9 @@ struct OffloadTiming {
   double t_in_s = 0;       ///< Input payload per iteration.
   double t_out_s = 0;      ///< Output payload per iteration.
   double t_compute_s = 0;  ///< Cluster compute per iteration.
+  /// One-off robustness overhead: retransmissions, backoff windows and
+  /// burned watchdog waits. Charged once per offload (like t_binary_s).
+  double t_retry_s = 0;
   u64 accel_cycles = 0;
   size_t binary_bytes = 0;
   size_t in_bytes = 0;
@@ -68,10 +102,19 @@ struct EnergyBreakdown {
 };
 
 struct OffloadOutcome {
-  std::vector<u8> output;          ///< Bytes read back from L2.
+  std::vector<u8> output;          ///< Bytes read back from L2 (zeroed on
+                                   ///< a failed offload).
   OffloadTiming timing;
   power::ActivityFactors activity; ///< Measured chi factors of the run.
   cluster::ClusterStats stats;
+  /// Typed verdict of the offload protocol. ok() on clean runs and on
+  /// runs whose faults were all recovered by retry; kRetriesExhausted /
+  /// kTimeout when the bounded budgets ran out.
+  Status status;
+  /// Set by run_with_host_fallback() when `output` came from the
+  /// request's host-reference bytes instead of the accelerator.
+  bool used_host_fallback = false;
+  OffloadRobustStats robust;
 };
 
 class OffloadSession {
@@ -104,6 +147,22 @@ class OffloadSession {
                     std::string track_name = "offload",
                     bool trace_cluster = false);
 
+  /// Enable the robust offload protocol: every framed transfer carries a
+  /// CRC-32 trailer (the link's per-transfer cost grows by 32 bits —
+  /// satellite of Figure 5b's framing overhead), transfer attempts draw
+  /// their fault outcomes from `injector` (not owned; nullptr disables),
+  /// and failures are retried within `policy`'s budgets. Retry time and
+  /// energy flow into OffloadTiming::t_retry_s / robust.retry_link_j and
+  /// the attached trace ("link.retry" spans, offload.* counters).
+  void attach_faults(link::FaultInjector* injector, RetryPolicy policy = {});
+
+  /// Force the cycle-accurate cluster inside run() into reference (true)
+  /// or fast-forward (false) stepping; nullopt = ULP_REFERENCE_STEPPING.
+  /// The robustness tests diff the two modes bit-for-bit.
+  void set_reference_stepping(std::optional<bool> mode) {
+    reference_stepping_ = mode;
+  }
+
   /// Energy for `iterations` kernel executions per code offload, using the
   /// measured timing/activity of `outcome`.
   [[nodiscard]] EnergyBreakdown energy(const OffloadOutcome& outcome,
@@ -127,11 +186,18 @@ class OffloadSession {
 
  private:
   void trace_phases(const OffloadOutcome& outcome);
+  /// Simulate the bounded-retry shipping of one framed payload; extra
+  /// attempts accumulate into `out`'s retry time/energy and counters.
+  Status ship_framed(link::Direction d, std::span<const u8> payload,
+                     const char* what, OffloadOutcome* out);
 
   host::McuSpec mcu_;
   double mcu_freq_hz_;
   link::SpiLink link_;
   power::PulpPowerModel power_;
+  link::FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_policy_;
+  std::optional<bool> reference_stepping_;
 
   trace::Sinks sinks_;
   std::string trace_name_;
@@ -140,5 +206,13 @@ class OffloadSession {
   trace::EventTrace::TrackId track_ = 0;
   double trace_cursor_s_ = 0;  ///< Where the next run's spans start.
 };
+
+/// Graceful degradation: run the offload; if it fails permanently and the
+/// request carries host-reference output, return those bytes (flagged
+/// used_host_fallback) so the application still observes correct results
+/// — at host-execution quality instead of accelerated.
+[[nodiscard]] OffloadOutcome run_with_host_fallback(
+    OffloadSession& session, const OffloadRequest& request,
+    const power::OperatingPoint& op, u32 num_cores = 4);
 
 }  // namespace ulp::runtime

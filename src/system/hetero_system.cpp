@@ -29,11 +29,21 @@ HeteroSystem::HeteroSystem(HeteroSystemParams params)
         soc->qspi_read(a, std::span<u8>(&b, 1));
         return b;
       });
+  if (params_.faults) {
+    injector_ = std::make_unique<link::FaultInjector>(*params_.faults);
+    wire_->set_fault_injector(injector_.get());
+  }
+  wire_->set_crc_frames(params_.crc_frames);
   spi_master_ = std::make_unique<host::SpiMasterPeripheral>(wire_.get(),
                                                             host_sram_.get());
   gpio_ = std::make_unique<host::GpioPeripheral>(
-      [soc]() { return soc->eoc_gpio(); },
+      [this]() { return eoc_line(); },
       [this](u32 image_len) {
+        // A new fetch-enable edge opens a new EOC wait; the injector
+        // decides up front whether this one sees the line stuck (a pure
+        // function of seed + wait count, identical in both stepping
+        // modes regardless of how often the line is sampled).
+        if (injector_ != nullptr) injector_->begin_eoc_wait();
         soc_->boot_from_l2(params_.l2_staging, image_len);
         accel_started_ = true;
         if (sinks_.events != nullptr) {
@@ -47,7 +57,7 @@ HeteroSystem::HeteroSystem(HeteroSystemParams params)
 
   // WFE on the host core sleeps until the EOC GPIO rises (WFI + EXTI).
   wake_unit_ = std::make_unique<host::HostWakeUnit>(
-      [soc]() { return soc->eoc_gpio(); });
+      [this]() { return eoc_line(); });
   host_core_ = std::make_unique<core::Core>(0, 1, core::cortex_m4_config(),
                                             host_bus_.get(),
                                             /*icache=*/nullptr,
@@ -100,7 +110,7 @@ void HeteroSystem::trace_sample() {
     traced_host_state_ = s;
   }
 
-  const bool eoc = soc_->eoc_gpio();
+  const bool eoc = eoc_line();
   if (eoc != traced_eoc_) {
     if (eoc && ev != nullptr) ev->instant(host_track_, "eoc", host_cycles_);
     traced_eoc_ = eoc;
@@ -144,7 +154,7 @@ u64 HeteroSystem::fast_forward_host_sleep(u64 max_host_cycles) {
   cluster::Cluster& cl = soc_->cluster();
   const u64 budget = max_host_cycles - host_cycles_;
   u64 advanced = 0;
-  while (!soc_->eoc_gpio() && advanced < budget) {
+  while (!eoc_line() && advanced < budget) {
     if (!accel_started_ || cl.all_halted()) {
       // Nothing left that can raise EOC: sleep out the whole budget (the
       // per-cycle loop would spin to the same cycle before its budget
@@ -197,7 +207,7 @@ u64 HeteroSystem::run_to_host_halt(u64 max_host_cycles) {
     ULP_CHECK(host_cycles_ < max_host_cycles,
               "full-system run exceeded host cycle budget");
     if (!reference_stepping_ && host_core_->sleeping() && !wire_->busy() &&
-        !soc_->eoc_gpio()) {
+        !eoc_line()) {
       // EOC rises during a cluster batch; the host then wakes at its next
       // real step(), exactly one host cycle later — as with per-cycle
       // stepping, where the raising batch runs after the host's step.
@@ -216,6 +226,9 @@ HeteroStats HeteroSystem::stats() const {
   s.wire_bytes = wire_->bytes_moved();
   s.wire_busy_host_cycles = wire_->busy_cycles();
   s.accel_started = accel_started_;
+  s.link_frames = wire_->frames();
+  s.link_crc_errors = wire_->crc_errors();
+  if (injector_ != nullptr) s.fault_count = injector_->counters().total_faults();
   return s;
 }
 

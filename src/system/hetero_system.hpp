@@ -16,11 +16,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "common/ratio.hpp"
 #include "core/core.hpp"
 #include "host/mcu.hpp"
 #include "host/peripherals.hpp"
+#include "link/fault_injector.hpp"
 #include "link/spi_wire.hpp"
 #include "mem/bus.hpp"
 #include "soc/pulp_soc.hpp"
@@ -41,6 +43,15 @@ struct HeteroSystemParams {
   cluster::ClusterParams cluster_params = {};
   /// Where the host driver stages the boot image in L2.
   Addr l2_staging = memmap::kL2Base;
+  /// CRC-32 trailer framing on the SPI wire (the robust offload
+  /// protocol). Off by default: the raw wire's byte counts are pinned by
+  /// the legacy system tests.
+  bool crc_frames = false;
+  /// Deterministic link fault injection (see link/fault_injector.hpp).
+  /// The stuck-EOC budget gates the EOC line as the host sees it; pair
+  /// with a robust driver (counted-polling watchdog) — a legacy sleeping
+  /// driver would never wake from a stuck line.
+  std::optional<link::FaultConfig> faults;
 };
 
 struct HeteroStats {
@@ -49,6 +60,9 @@ struct HeteroStats {
   u64 wire_bytes = 0;
   u64 wire_busy_host_cycles = 0;
   bool accel_started = false;
+  u64 link_frames = 0;      ///< Completed wire transfers.
+  u64 link_crc_errors = 0;  ///< Frames that failed their integrity check.
+  u64 fault_count = 0;      ///< Injected faults (all kinds), 0 without injector.
 };
 
 class HeteroSystem {
@@ -84,10 +98,21 @@ class HeteroSystem {
   [[nodiscard]] core::Core& host_core() { return *host_core_; }
   [[nodiscard]] mem::Sram& host_sram() { return *host_sram_; }
   [[nodiscard]] soc::PulpSoc& soc() { return *soc_; }
+  [[nodiscard]] link::SpiWire& wire() { return *wire_; }
+  /// Null unless params.faults was set.
+  [[nodiscard]] link::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
   [[nodiscard]] HeteroStats stats() const;
 
  private:
   void trace_sample();
+  /// The EOC line as the host observes it (the injector may hold it
+  /// stuck low for the current wait).
+  [[nodiscard]] bool eoc_line() const {
+    const bool level = soc_->eoc_gpio();
+    return injector_ != nullptr ? injector_->eoc_gate(level) : level;
+  }
   /// Bulk-advance while the host sleeps on EOC and the wire is idle.
   /// Returns host cycles consumed.
   u64 fast_forward_host_sleep(u64 max_host_cycles);
@@ -95,6 +120,7 @@ class HeteroSystem {
   HeteroSystemParams params_;
   ClockRatio ratio_;  ///< Cluster ticks per host cycle, exact.
   std::unique_ptr<soc::PulpSoc> soc_;
+  std::unique_ptr<link::FaultInjector> injector_;
   std::unique_ptr<mem::Sram> host_sram_;
   std::unique_ptr<mem::SimpleBus> host_bus_;
   std::unique_ptr<link::SpiWire> wire_;

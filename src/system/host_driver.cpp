@@ -26,6 +26,97 @@ void emit_transfer(Builder& bld, bool tx, Addr local, Addr remote, u32 len) {
   bld.branch(Opcode::kBne, 4, codegen::zero, poll);
 }
 
+/// Robust-protocol transfer: emit_transfer plus a CRC_STATUS check and a
+/// bounded retry loop. On budget exhaustion stores `fail_code` to the
+/// status word and jumps to `fail`. r1 = SPI base (live). Clobbers r3,
+/// r4, r5 (r5 = retry counter; safe — host tasks only run while waiting
+/// on EOC, never inside a transfer).
+void emit_robust_transfer(Builder& bld, bool tx, Addr local, Addr remote,
+                          u32 len, const HostDriverSpec& spec, u32 fail_code,
+                          Builder::Label fail) {
+  if (len == 0) return;
+  bld.li(5, 0);
+  const auto retry = bld.make_label();
+  bld.bind(retry);
+  emit_transfer(bld, tx, local, remote, len);
+  // Hardware CRC verdict for the frame that just drained.
+  bld.emit(Opcode::kLw, 4, 1, 0, 0x14);
+  const auto ok = bld.make_label();
+  bld.branch(Opcode::kBeq, 4, codegen::zero, ok);
+  bld.emit(Opcode::kAddi, 5, 5, 0, 1);
+  bld.li(3, spec.max_transfer_retries + 1);
+  bld.branch(Opcode::kBne, 5, 3, retry);
+  bld.li(3, fail_code);
+  bld.li(4, static_cast<u32>(spec.status_addr));
+  bld.emit(Opcode::kSw, 3, 4, 0, 0);
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, fail);
+  bld.bind(ok);
+}
+
+/// The robust driver body (spec.status_addr != 0). Same five offload
+/// steps as the legacy body, wrapped in the robust protocol.
+void build_robust_body(Builder& bld, const HostDriverSpec& spec) {
+  ULP_CHECK(spec.eoc_watchdog_rounds >= 1,
+            "robust driver needs a nonzero EOC watchdog budget");
+  const auto fail = bld.make_label();
+  const Addr watchdog_addr = spec.status_addr + 4;
+
+  // 1-2. Ship the kernel image and the input payload, CRC-checked.
+  emit_robust_transfer(bld, /*tx=*/true, spec.host_image_addr,
+                       spec.l2_staging, spec.image_len, spec,
+                       kDriverStatusImageTxFailed, fail);
+  emit_robust_transfer(bld, true, spec.host_input_addr,
+                       spec.remote_input_addr, spec.input_len, spec,
+                       kDriverStatusInputTxFailed, fail);
+
+  // 3. Image length, then the fetch-enable rising edge.
+  bld.li(3, spec.image_len);
+  bld.emit(Opcode::kSw, 3, 2, 0, 0x08);
+  bld.li(3, 1);
+  bld.emit(Opcode::kSw, 3, 2, 0, 0x00);
+
+  // 4. Wait for EOC under a counted-polling watchdog. The round counter
+  // lives in memory (status_addr + 4) so an interleaved host task is free
+  // to clobber r5..r15.
+  bld.li(3, static_cast<u32>(watchdog_addr));
+  bld.emit(Opcode::kSw, codegen::zero, 3, 0, 0);
+  const auto wait_eoc = bld.make_label();
+  const auto eoc_seen = bld.make_label();
+  bld.bind(wait_eoc);
+  bld.emit(Opcode::kLw, 4, 2, 0, 0x04);
+  bld.branch(Opcode::kBne, 4, codegen::zero, eoc_seen);
+  if (spec.host_task) {
+    spec.host_task(bld);
+    if (spec.host_task_counter_addr != 0) {
+      bld.li(3, spec.host_task_counter_addr);
+      bld.emit(Opcode::kLw, 4, 3, 0, 0);
+      bld.emit(Opcode::kAddi, 4, 4, 0, 1);
+      bld.emit(Opcode::kSw, 4, 3, 0, 0);
+    }
+  }
+  bld.li(3, static_cast<u32>(watchdog_addr));
+  bld.emit(Opcode::kLw, 4, 3, 0, 0);
+  bld.emit(Opcode::kAddi, 4, 4, 0, 1);
+  bld.emit(Opcode::kSw, 4, 3, 0, 0);
+  bld.li(3, spec.eoc_watchdog_rounds);
+  bld.branch(Opcode::kBne, 4, 3, wait_eoc);
+  // Watchdog expired: the accelerator is presumed hung.
+  bld.li(3, kDriverStatusEocTimeout);
+  bld.li(4, static_cast<u32>(spec.status_addr));
+  bld.emit(Opcode::kSw, 3, 4, 0, 0);
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, fail);
+  bld.bind(eoc_seen);
+
+  // 5. Pull the results back (CRC-checked) and report success.
+  emit_robust_transfer(bld, /*tx=*/false, spec.host_output_addr,
+                       spec.remote_output_addr, spec.output_len, spec,
+                       kDriverStatusReadbackFailed, fail);
+  bld.li(4, static_cast<u32>(spec.status_addr));
+  bld.emit(Opcode::kSw, codegen::zero, 4, 0, 0);  // kDriverStatusOk
+  bld.bind(fail);
+  bld.halt();
+}
+
 }  // namespace
 
 isa::Program build_host_driver(const core::CoreFeatures& features,
@@ -33,6 +124,11 @@ isa::Program build_host_driver(const core::CoreFeatures& features,
   Builder bld(features);
   bld.li(1, kSpiMasterBase);
   bld.li(2, kGpioBase);
+
+  if (spec.status_addr != 0) {
+    build_robust_body(bld, spec);
+    return bld.finalize();
+  }
 
   // 1-2. Ship the kernel image and the input payload.
   emit_transfer(bld, /*tx=*/true, spec.host_image_addr, spec.l2_staging,
@@ -104,6 +200,61 @@ FullSystemPackage package_offload(const kernels::KernelCase& kc,
   pkg.host_program.data.push_back({pkg.spec.host_image_addr, image});
   pkg.host_program.data.push_back({pkg.spec.host_input_addr, kc.input});
   return pkg;
+}
+
+FullSystemPackage package_robust_offload(const kernels::KernelCase& kc,
+                                         const RobustOffloadOptions& opts,
+                                         Addr l2_staging) {
+  FullSystemPackage pkg = package_offload(kc, l2_staging);
+  // Status word + watchdog scratch sit word-aligned after the output
+  // buffer; enabling them switches the driver to the robust body.
+  pkg.spec.status_addr =
+      (pkg.spec.host_output_addr + pkg.spec.output_len + 3) & ~3u;
+  pkg.spec.max_transfer_retries = opts.max_transfer_retries;
+  pkg.spec.eoc_watchdog_rounds = opts.eoc_watchdog_rounds;
+  pkg.host_reference = kc.expected;
+  std::vector<isa::Segment> data = std::move(pkg.host_program.data);
+  pkg.host_program =
+      build_host_driver(core::cortex_m4_config().features, pkg.spec);
+  pkg.host_program.data = std::move(data);
+  return pkg;
+}
+
+SystemOffloadResult run_offload_with_fallback(HeteroSystem& sys,
+                                              const FullSystemPackage& pkg,
+                                              u64 max_host_cycles) {
+  sys.load_host_program(pkg.host_program);
+  SystemOffloadResult r;
+  r.host_cycles = sys.run_to_host_halt(max_host_cycles);
+  mem::Sram& sram = sys.host_sram();
+  if (pkg.spec.status_addr != 0) {
+    r.driver_status =
+        static_cast<u32>(sram.load(pkg.spec.status_addr, 4, false));
+  }
+  r.output.resize(pkg.spec.output_len);
+  for (u32 i = 0; i < pkg.spec.output_len; ++i) {
+    r.output[i] = static_cast<u8>(
+        sram.load(pkg.spec.host_output_addr + i, 1, false));
+  }
+  if (r.driver_status == kDriverStatusOk) return r;
+  const char* what =
+      r.driver_status == kDriverStatusImageTxFailed   ? "image transfer"
+      : r.driver_status == kDriverStatusInputTxFailed ? "input transfer"
+      : r.driver_status == kDriverStatusEocTimeout    ? "EOC wait"
+                                                      : "output readback";
+  r.status = Status::Error(
+      r.driver_status == kDriverStatusEocTimeout
+          ? StatusCode::kTimeout
+          : StatusCode::kRetriesExhausted,
+      std::string("offload failed: ") + what +
+          (r.driver_status == kDriverStatusEocTimeout
+               ? " watchdog expired"
+               : " retry budget exhausted"));
+  if (!pkg.host_reference.empty()) {
+    r.output = pkg.host_reference;
+    r.used_host_fallback = true;
+  }
+  return r;
 }
 
 }  // namespace ulp::system

@@ -50,7 +50,32 @@ struct HostDriverSpec {
   /// the EOC line) instead of busy-polling. The host's sleep_cycles
   /// counter then reflects the real low-power wait.
   bool sleep_while_waiting = true;
+
+  // ---- Robust offload protocol -------------------------------------
+  // All inert while status_addr == 0: the legacy driver above is emitted
+  // unchanged. With status_addr set, every SPI transfer is checked
+  // against the controller's hardware CRC verdict (CRC_STATUS) and
+  // retried up to max_transfer_retries times, and the EOC wait runs a
+  // counted-polling watchdog instead of WFE (a stuck EOC line must not
+  // strand a sleeping core; the real driver would arm a timer IRQ). The
+  // driver's final verdict is written to the status word so the caller
+  // can degrade to the host-reference implementation.
+  /// Host SRAM word receiving the driver's final kDriverStatus* code.
+  /// The word at status_addr + 4 is driver scratch (the watchdog round
+  /// counter — kept in memory so host tasks may clobber r5..r15).
+  Addr status_addr = 0;
+  /// Extra attempts per CRC-framed transfer after the first fails.
+  u32 max_transfer_retries = 3;
+  /// EOC poll rounds before the watchdog declares the accelerator hung.
+  u32 eoc_watchdog_rounds = 50000;
 };
+
+/// Driver status word values (written to HostDriverSpec::status_addr).
+inline constexpr u32 kDriverStatusOk = 0;
+inline constexpr u32 kDriverStatusImageTxFailed = 1;
+inline constexpr u32 kDriverStatusInputTxFailed = 2;
+inline constexpr u32 kDriverStatusEocTimeout = 3;
+inline constexpr u32 kDriverStatusReadbackFailed = 4;
 
 /// The driver program for a Cortex-M-class host.
 [[nodiscard]] isa::Program build_host_driver(
@@ -62,8 +87,46 @@ struct HostDriverSpec {
 struct FullSystemPackage {
   isa::Program host_program;
   HostDriverSpec spec;
+  /// Golden output of the kernel's host-reference implementation; the
+  /// degradation path returns these bytes when the offload fails
+  /// permanently. Empty for legacy (non-robust) packages.
+  std::vector<u8> host_reference;
 };
 [[nodiscard]] FullSystemPackage package_offload(
     const kernels::KernelCase& kc, Addr l2_staging = memmap::kL2Base);
+
+/// Knobs for the robust driver variant of package_offload.
+struct RobustOffloadOptions {
+  u32 max_transfer_retries = 3;
+  u32 eoc_watchdog_rounds = 50000;
+};
+
+/// Like package_offload, but the driver speaks the robust protocol
+/// (CRC-checked transfers with bounded retry, EOC watchdog, status word)
+/// and the package carries the host-reference output for degradation.
+/// Pair with a HeteroSystem whose wire has CRC framing enabled.
+[[nodiscard]] FullSystemPackage package_robust_offload(
+    const kernels::KernelCase& kc, const RobustOffloadOptions& opts = {},
+    Addr l2_staging = memmap::kL2Base);
+
+class HeteroSystem;
+
+/// Outcome of one full-system offload run through the degradation path.
+struct SystemOffloadResult {
+  std::vector<u8> output;          ///< Correct either way when ok()/fallback.
+  Status status;                   ///< Typed failure of the offload itself.
+  bool used_host_fallback = false; ///< Output came from the host reference.
+  u32 driver_status = kDriverStatusOk;  ///< Raw driver status word.
+  u64 host_cycles = 0;
+};
+
+/// Load `pkg` into `sys`, run to host halt, and read the driver's verdict:
+/// on success the output bytes come back from host SRAM; on a permanent
+/// offload failure (retry budget spent, watchdog expired) the result is a
+/// typed error Status plus — when the package carries one — the
+/// host-reference output, so the caller still observes correct results.
+[[nodiscard]] SystemOffloadResult run_offload_with_fallback(
+    HeteroSystem& sys, const FullSystemPackage& pkg,
+    u64 max_host_cycles = 1'000'000'000ull);
 
 }  // namespace ulp::system

@@ -1,0 +1,351 @@
+// Robustness-layer unit tests: CRC-32, the deterministic fault injector,
+// and the CRC-framed SpiWire. Part of the `robust` CTest label.
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "link/crc32.hpp"
+#include "link/fault_injector.hpp"
+#include "link/spi_wire.hpp"
+
+namespace ulp::link {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Crc32
+
+TEST(Crc32, MatchesKnownVector) {
+  // The classic IEEE 802.3 check value: CRC-32 of "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(crc32({reinterpret_cast<const u8*>(s), 9}), 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  std::vector<u8> data(257);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i * 37);
+  Crc32 inc;
+  for (const u8 b : data) inc.update(b);
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<u8> data(64, 0xA5);
+  const u32 clean = crc32(data);
+  for (int bit = 0; bit < 8; ++bit) {
+    auto copy = data;
+    copy[17] ^= static_cast<u8>(1u << bit);
+    EXPECT_NE(crc32(copy), clean) << "bit " << bit;
+  }
+}
+
+TEST(Crc32, ResetStartsFresh) {
+  Crc32 c;
+  c.update(0xFF);
+  c.reset();
+  const u8 byte = 0x42;
+  c.update(byte);
+  EXPECT_EQ(c.value(), crc32({&byte, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+
+FaultConfig flip_cfg(double rate, u64 seed = 7) {
+  FaultConfig cfg;
+  cfg.seed = seed;
+  cfg.tx_flip_rate = rate;
+  cfg.rx_flip_rate = rate;
+  return cfg;
+}
+
+TEST(FaultInjector, ZeroRatesInjectNothing) {
+  FaultInjector inj(FaultConfig{});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(inj.beat(Direction::kTx), BeatFault::kNone);
+    EXPECT_EQ(inj.beat(Direction::kRx), BeatFault::kNone);
+  }
+  EXPECT_FALSE(inj.frame_nak(Direction::kTx));
+  inj.begin_eoc_wait();
+  EXPECT_FALSE(inj.eoc_wait_stuck());
+  EXPECT_TRUE(inj.eoc_gate(true));
+  EXPECT_EQ(inj.counters().total_faults(), 0u);
+  EXPECT_EQ(inj.counters().beats, 2000u);
+}
+
+TEST(FaultInjector, RateOneFlipsEveryBeat) {
+  FaultInjector inj(flip_cfg(1.0));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inj.beat(Direction::kTx), BeatFault::kFlip);
+  }
+  EXPECT_EQ(inj.counters().flips, 100u);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultInjector a(flip_cfg(0.05, 42));
+  FaultInjector b(flip_cfg(0.05, 42));
+  for (int i = 0; i < 5000; ++i) {
+    const Direction d = (i % 3 == 0) ? Direction::kRx : Direction::kTx;
+    const BeatFault fa = a.beat(d);
+    const BeatFault fb = b.beat(d);
+    ASSERT_EQ(fa, fb) << "beat " << i;
+    if (fa == BeatFault::kFlip) ASSERT_EQ(a.flip_mask(), b.flip_mask());
+  }
+  EXPECT_EQ(a.counters().flips, b.counters().flips);
+  EXPECT_GT(a.counters().flips, 0u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultInjector a(flip_cfg(0.05, 1));
+  FaultInjector b(flip_cfg(0.05, 2));
+  int differing = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (a.beat(Direction::kTx) != b.beat(Direction::kTx)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, FlipMaskIsSingleBit) {
+  FaultInjector inj(flip_cfg(1.0));
+  for (int i = 0; i < 256; ++i) {
+    const u8 mask = inj.flip_mask();
+    EXPECT_NE(mask, 0);
+    EXPECT_EQ(mask & (mask - 1), 0) << "more than one bit set";
+  }
+}
+
+TEST(FaultInjector, BurstStretchesFaults) {
+  FaultConfig cfg = flip_cfg(0.01, 3);
+  cfg.burst_len = 4;
+  FaultInjector inj(cfg);
+  // Once a fault fires, the following burst_len - 1 beats must carry the
+  // same fault kind.
+  int checked_bursts = 0;
+  for (int i = 0; i < 20000 && checked_bursts < 5; ++i) {
+    if (inj.beat(Direction::kTx) == BeatFault::kFlip) {
+      for (int j = 1; j < 4; ++j) {
+        ASSERT_EQ(inj.beat(Direction::kTx), BeatFault::kFlip)
+            << "burst beat " << j;
+      }
+      ++checked_bursts;
+    }
+  }
+  EXPECT_EQ(checked_bursts, 5);
+}
+
+TEST(FaultInjector, StuckEocBudgetMasksFirstWaits) {
+  FaultConfig cfg;
+  cfg.stuck_eoc_waits = 2;
+  FaultInjector inj(cfg);
+
+  inj.begin_eoc_wait();  // wait 0: stuck
+  EXPECT_TRUE(inj.eoc_wait_stuck());
+  EXPECT_FALSE(inj.eoc_gate(true)) << "line must read low while stuck";
+  EXPECT_FALSE(inj.eoc_gate(false));
+
+  inj.begin_eoc_wait();  // wait 1: stuck
+  EXPECT_TRUE(inj.eoc_wait_stuck());
+
+  inj.begin_eoc_wait();  // wait 2: budget exhausted, line works again
+  EXPECT_FALSE(inj.eoc_wait_stuck());
+  EXPECT_TRUE(inj.eoc_gate(true));
+  EXPECT_FALSE(inj.eoc_gate(false));
+  EXPECT_EQ(inj.counters().stuck_waits, 2u);
+}
+
+TEST(FaultInjector, FrameIntactCleanInjectorAlwaysPasses) {
+  FaultInjector inj(FaultConfig{});
+  std::vector<u8> payload(512, 0x5A);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(inj.frame_intact(Direction::kTx, payload));
+  }
+}
+
+TEST(FaultInjector, FrameIntactDetectsInjectedFaults) {
+  // With a per-beat flip rate high enough, some frames must fail; and the
+  // pass/fail sequence is a pure function of the seed.
+  std::vector<u8> payload(256, 0x11);
+  auto run = [&](u64 seed) {
+    FaultInjector inj(flip_cfg(0.01, seed));
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 50; ++i) {
+      outcomes.push_back(inj.frame_intact(Direction::kRx, payload));
+    }
+    return outcomes;
+  };
+  const auto a = run(9);
+  const auto b = run(9);
+  EXPECT_EQ(a, b);
+  size_t failures = 0;
+  for (const bool ok : a) failures += ok ? 0 : 1;
+  EXPECT_GT(failures, 0u);
+  EXPECT_LT(failures, a.size()) << "some frames should still pass";
+}
+
+TEST(FaultInjector, NakRejectsWholeFrames) {
+  FaultConfig cfg;
+  cfg.nak_rate = 1.0;
+  FaultInjector inj(cfg);
+  std::vector<u8> payload(16, 0);
+  EXPECT_FALSE(inj.frame_intact(Direction::kTx, payload));
+  EXPECT_GT(inj.counters().naks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector::parse
+
+TEST(FaultInjectorParse, RoundTripsFullSpec) {
+  FaultConfig cfg;
+  const Status s = FaultInjector::parse(
+      "seed=7,flip=1e-4,drop=2e-5,dup=3e-5,nak=0.01,burst=4,stuck=2", &cfg);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_DOUBLE_EQ(cfg.tx_flip_rate, 1e-4);
+  EXPECT_DOUBLE_EQ(cfg.rx_flip_rate, 1e-4);
+  EXPECT_DOUBLE_EQ(cfg.tx_drop_rate, 2e-5);
+  EXPECT_DOUBLE_EQ(cfg.rx_drop_rate, 2e-5);
+  EXPECT_DOUBLE_EQ(cfg.tx_dup_rate, 3e-5);
+  EXPECT_DOUBLE_EQ(cfg.rx_dup_rate, 3e-5);
+  EXPECT_DOUBLE_EQ(cfg.nak_rate, 0.01);
+  EXPECT_EQ(cfg.burst_len, 4u);
+  EXPECT_EQ(cfg.stuck_eoc_waits, 2u);
+}
+
+TEST(FaultInjectorParse, RejectsGarbage) {
+  FaultConfig cfg;
+  EXPECT_EQ(FaultInjector::parse("flip=", &cfg).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultInjector::parse("flip=abc", &cfg).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultInjector::parse("bogus=1", &cfg).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultInjector::parse("flip", &cfg).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// SpiWire with CRC framing
+
+struct WireHarness {
+  std::array<u8, 4096> remote{};
+  std::array<u8, 4096> local{};
+  SpiWire wire;
+
+  explicit WireHarness(u32 lanes = 1)
+      : wire(lanes,
+             [this](Addr a, u8 v) { remote[a % remote.size()] = v; },
+             [this](Addr a) { return remote[a % remote.size()]; }) {}
+
+  // Transfer `len` bytes host -> remote starting at local/remote offset 0,
+  // stepping the wire to completion. Returns host cycles consumed.
+  u64 send(u32 len) {
+    wire.start(true, 0, 0, len,
+               [this](Addr a) { return local[a % local.size()]; },
+               [this](Addr a, u8 v) { local[a % local.size()] = v; });
+    u64 cycles = 0;
+    while (wire.busy()) {
+      wire.step();
+      ++cycles;
+      ULP_CHECK(cycles < 1'000'000, "wire never finished");
+    }
+    return cycles;
+  }
+};
+
+TEST(SpiWireCrc, TrailerCostsCyclesButNotBytes) {
+  WireHarness raw, crc;
+  crc.wire.set_crc_frames(true);
+  const u64 raw_cycles = raw.send(64);
+  const u64 crc_cycles = crc.send(64);
+  // 4 trailer beats at cycles_per_byte host cycles each.
+  EXPECT_EQ(crc_cycles, raw_cycles + 4 * crc.wire.cycles_per_byte());
+  // bytes_moved counts payload only — the trailer is consumed by the CRC
+  // units, so the pinned wire-traffic accounting is unchanged.
+  EXPECT_EQ(raw.wire.bytes_moved(), 64u);
+  EXPECT_EQ(crc.wire.bytes_moved(), 64u);
+  EXPECT_TRUE(crc.wire.last_frame_ok());
+  EXPECT_EQ(crc.wire.frames(), 1u);
+  EXPECT_EQ(crc.wire.crc_errors(), 0u);
+}
+
+TEST(SpiWireCrc, CleanWireAlwaysVerifies) {
+  WireHarness h;
+  h.wire.set_crc_frames(true);
+  for (size_t i = 0; i < h.local.size(); ++i) {
+    h.local[i] = static_cast<u8>(i * 13 + 5);
+  }
+  h.send(1024);
+  EXPECT_TRUE(h.wire.last_frame_ok());
+  EXPECT_TRUE(std::memcmp(h.local.data(), h.remote.data(), 1024) == 0);
+}
+
+TEST(SpiWireCrc, InjectedFlipFailsTheFrame) {
+  WireHarness h;
+  h.wire.set_crc_frames(true);
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.tx_flip_rate = 1.0;  // every beat flips: guaranteed corruption
+  FaultInjector inj(cfg);
+  h.wire.set_fault_injector(&inj);
+  h.send(64);
+  EXPECT_FALSE(h.wire.last_frame_ok());
+  EXPECT_EQ(h.wire.crc_errors(), 1u);
+  EXPECT_GT(inj.counters().flips, 0u);
+}
+
+TEST(SpiWireCrc, RetryWithFaultsEventuallyDeliversCleanFrame) {
+  // Moderate flip rate: some attempts fail, a retry eventually passes, and
+  // the verified frame's payload is byte-exact (a flip can't slip through
+  // a passing CRC check short of a 2^-32 collision).
+  WireHarness h;
+  h.wire.set_crc_frames(true);
+  FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.tx_flip_rate = 0.01;
+  FaultInjector inj(cfg);
+  h.wire.set_fault_injector(&inj);
+  for (size_t i = 0; i < h.local.size(); ++i) {
+    h.local[i] = static_cast<u8>(i ^ 0x3C);
+  }
+  int attempts = 0;
+  do {
+    h.send(256);
+    ++attempts;
+    ASSERT_LT(attempts, 100) << "never delivered a clean frame";
+  } while (!h.wire.last_frame_ok());
+  EXPECT_TRUE(std::memcmp(h.local.data(), h.remote.data(), 256) == 0);
+  EXPECT_EQ(h.wire.crc_errors(), static_cast<u64>(attempts - 1));
+}
+
+TEST(SpiWireCrc, DroppedBeatIsStructuralDamage) {
+  WireHarness h;
+  h.wire.set_crc_frames(true);
+  FaultConfig cfg;
+  cfg.seed = 2;
+  cfg.tx_drop_rate = 1.0;
+  FaultInjector inj(cfg);
+  h.wire.set_fault_injector(&inj);
+  h.send(16);
+  EXPECT_FALSE(h.wire.last_frame_ok());
+  EXPECT_GT(inj.counters().drops, 0u);
+}
+
+TEST(SpiWireCrc, RawWireStaysOblivious) {
+  // CRC off: faults corrupt silently, last_frame_ok stays true and no
+  // trailer cycles are spent — the legacy wire contract.
+  WireHarness h;
+  FaultConfig cfg;
+  cfg.seed = 4;
+  cfg.tx_flip_rate = 1.0;
+  FaultInjector inj(cfg);
+  h.wire.set_fault_injector(&inj);
+  h.local[0] = 0xAA;
+  h.send(16);
+  EXPECT_TRUE(h.wire.last_frame_ok());
+  EXPECT_EQ(h.wire.crc_errors(), 0u);
+  EXPECT_NE(h.remote[0], h.local[0]) << "flip should corrupt silently";
+}
+
+}  // namespace
+}  // namespace ulp::link

@@ -33,6 +33,74 @@ TEST(SpiLink, ZeroBytesIsFree) {
   EXPECT_DOUBLE_EQ(l.transfer_energy_j(0), 0.0);
 }
 
+TEST(SpiLink, ZeroBytesStaysFreeWithCrcFraming) {
+  // A zero-byte transfer is elided entirely: no command, no CRC trailer.
+  // Time and energy must agree on that (they derive from one frame_bits).
+  SpiLinkConfig cfg;
+  cfg.crc_bits = 32;
+  SpiLink l(cfg);
+  EXPECT_DOUBLE_EQ(l.frame_bits(0), 0.0);
+  EXPECT_DOUBLE_EQ(l.transfer_seconds(0, mhz(16)), 0.0);
+  EXPECT_DOUBLE_EQ(l.transfer_energy_j(0), 0.0);
+}
+
+TEST(SpiLink, TimeAndEnergyShareOneFramingExpression) {
+  // Regression: the two used to duplicate the framing arithmetic; any
+  // drift (e.g. CRC bits billed in time but not energy) breaks the energy
+  // model silently. Both must be exact functions of frame_bits().
+  SpiLinkConfig cfg;
+  cfg.crc_bits = 32;
+  SpiLink l(cfg);
+  for (const size_t bytes : {size_t{0}, size_t{1}, size_t{3}, size_t{64},
+                             size_t{4096}}) {
+    EXPECT_DOUBLE_EQ(l.transfer_seconds(bytes, mhz(16)),
+                     l.frame_bits(bytes) / l.bandwidth_bps(mhz(16)));
+    EXPECT_DOUBLE_EQ(l.transfer_energy_j(bytes),
+                     l.frame_bits(bytes) * cfg.energy_per_bit);
+  }
+}
+
+TEST(SpiLink, CrcTrailerCostsExactly32BitsPerTransfer) {
+  SpiLink raw(SpiLinkConfig{});
+  const SpiLink crc = raw.with_crc(32);
+  EXPECT_NEAR(crc.transfer_seconds(1024, mhz(16)) -
+                  raw.transfer_seconds(1024, mhz(16)),
+              32.0 / raw.bandwidth_bps(mhz(16)), 1e-15);
+  EXPECT_NEAR(crc.transfer_energy_j(1024) - raw.transfer_energy_j(1024),
+              32.0 * raw.config().energy_per_bit, 1e-18);
+}
+
+TEST(SpiLink, AcceptedLaneSetIsPinned) {
+  // {1, 2, 4}: classic, dual-IO and quad SPI. Everything else is not a
+  // thing the MCU's controller can produce and must be rejected up front.
+  for (const u32 lanes : {1u, 2u, 4u}) {
+    SpiLinkConfig cfg;
+    cfg.lanes = lanes;
+    EXPECT_NO_THROW(SpiLink l(cfg)) << lanes << " lanes";
+  }
+  for (const u32 lanes : {0u, 3u, 5u, 8u}) {
+    SpiLinkConfig cfg;
+    cfg.lanes = lanes;
+    EXPECT_THROW(SpiLink l(cfg), SimError) << lanes << " lanes";
+  }
+}
+
+TEST(SpiLink, DualSpiDoublesBandwidthAndHalvesTransferTime) {
+  SpiLinkConfig single_cfg, dual_cfg;
+  dual_cfg.lanes = 2;
+  SpiLink single(single_cfg), dual(dual_cfg);
+  EXPECT_DOUBLE_EQ(
+      dual.bandwidth_bps(mhz(16)) / single.bandwidth_bps(mhz(16)), 2.0);
+  // Frame bits are lane-independent, so the whole transfer — preamble
+  // included — scales exactly with the lane count.
+  EXPECT_DOUBLE_EQ(single.transfer_seconds(1024, mhz(16)) /
+                       dual.transfer_seconds(1024, mhz(16)),
+                   2.0);
+  // Energy is per wire bit, not per second: dual costs the same joules.
+  EXPECT_DOUBLE_EQ(single.transfer_energy_j(1024),
+                   dual.transfer_energy_j(1024));
+}
+
 TEST(SpiLink, FrameOverheadHurtsSmallTransfersMore) {
   SpiLink l(SpiLinkConfig{});
   const double t4 = l.transfer_seconds(4, mhz(16));

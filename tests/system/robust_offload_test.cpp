@@ -1,0 +1,185 @@
+// Robust offload protocol on the cycle-stepped co-simulation tier: the
+// CRC-checked retrying driver against the fault-injected wire, stuck-EOC
+// watchdog + host-reference fallback, and stepping-mode / seed
+// determinism. Part of the `robust` CTest label.
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.hpp"
+#include "system/hetero_system.hpp"
+#include "system/host_driver.hpp"
+
+namespace ulp::system {
+namespace {
+
+kernels::KernelCase test_kernel() {
+  const auto cfg = core::or10n_config();
+  return kernels::make_matmul_char(cfg.features, 4,
+                                   kernels::Target::kCluster, 99);
+}
+
+HeteroSystemParams robust_params(const link::FaultConfig& faults) {
+  HeteroSystemParams p;
+  p.crc_frames = true;
+  p.faults = faults;
+  return p;
+}
+
+struct RunResult {
+  SystemOffloadResult res;
+  HeteroStats stats;
+};
+
+RunResult run_robust(const kernels::KernelCase& kc,
+                     const HeteroSystemParams& params,
+                     const RobustOffloadOptions& opts = {}) {
+  const FullSystemPackage pkg = package_robust_offload(kc, opts);
+  HeteroSystem sys(params);
+  RunResult r;
+  r.res = run_offload_with_fallback(sys, pkg);
+  r.stats = sys.stats();
+  return r;
+}
+
+TEST(RobustOffloadSystem, CleanFaultConfigBehavesLikeLegacy) {
+  const auto kc = test_kernel();
+
+  // Baseline: legacy driver, raw wire.
+  const FullSystemPackage legacy = package_offload(kc);
+  HeteroSystem base_sys{HeteroSystemParams{}};
+  const auto base = run_offload_with_fallback(base_sys, legacy);
+  ASSERT_TRUE(base.status.ok());
+  ASSERT_EQ(base.output, kc.expected);
+
+  // Robust protocol with zero fault rates: same bytes, clean verdict, no
+  // rejects; only the CRC trailers and retry bookkeeping differ in time.
+  const auto r = run_robust(kc, robust_params(link::FaultConfig{}));
+  ASSERT_TRUE(r.res.status.ok()) << r.res.status.message();
+  EXPECT_EQ(r.res.driver_status, kDriverStatusOk);
+  EXPECT_FALSE(r.res.used_host_fallback);
+  EXPECT_EQ(r.res.output, kc.expected);
+  EXPECT_EQ(r.stats.link_crc_errors, 0u);
+  EXPECT_EQ(r.stats.fault_count, 0u);
+  // Payload byte accounting is identical: CRC trailers move no bytes.
+  EXPECT_EQ(r.stats.wire_bytes, base.output.size() + kc.input.size() +
+                                    legacy.spec.image_len);
+}
+
+TEST(RobustOffloadSystem, FlipFaultsRecoveredByDriverRetry) {
+  const auto kc = test_kernel();
+  link::FaultConfig faults;
+  faults.seed = 13;
+  faults.tx_flip_rate = 3e-4;
+  faults.rx_flip_rate = 3e-4;
+  RobustOffloadOptions opts;
+  opts.max_transfer_retries = 8;  // generous: recovery must succeed
+  const auto r = run_robust(kc, robust_params(faults), opts);
+
+  ASSERT_TRUE(r.res.status.ok()) << r.res.status.message();
+  EXPECT_EQ(r.res.driver_status, kDriverStatusOk);
+  EXPECT_FALSE(r.res.used_host_fallback);
+  EXPECT_EQ(r.res.output, kc.expected)
+      << "recovered offload must be bit-exact";
+  // Seed 13 at these rates deterministically corrupts at least one frame
+  // (pinned by the determinism test below).
+  EXPECT_GT(r.stats.fault_count, 0u);
+  EXPECT_GT(r.stats.link_crc_errors, 0u);
+  EXPECT_GT(r.stats.link_frames, 3u) << "retries imply extra frames";
+}
+
+TEST(RobustOffloadSystem, SameSeedSameRun) {
+  const auto kc = test_kernel();
+  link::FaultConfig faults;
+  faults.seed = 13;
+  faults.tx_flip_rate = 3e-4;
+  faults.rx_flip_rate = 3e-4;
+  RobustOffloadOptions opts;
+  opts.max_transfer_retries = 8;
+  const auto a = run_robust(kc, robust_params(faults), opts);
+  const auto b = run_robust(kc, robust_params(faults), opts);
+  EXPECT_EQ(a.res.output, b.res.output);
+  EXPECT_EQ(a.res.host_cycles, b.res.host_cycles);
+  EXPECT_EQ(a.res.driver_status, b.res.driver_status);
+  EXPECT_EQ(a.stats.link_frames, b.stats.link_frames);
+  EXPECT_EQ(a.stats.link_crc_errors, b.stats.link_crc_errors);
+  EXPECT_EQ(a.stats.fault_count, b.stats.fault_count);
+  EXPECT_EQ(a.stats.cluster_cycles, b.stats.cluster_cycles);
+}
+
+TEST(RobustOffloadSystem, SteppingModesIdenticalUnderFaults) {
+  // The injector draws per architectural event, never per simulation
+  // quantum: the reference-stepped and fast-forward co-simulations must
+  // agree cycle-for-cycle under the same fault seed.
+  const auto kc = test_kernel();
+  auto run_mode = [&](bool reference) {
+    link::FaultConfig faults;
+    faults.seed = 13;
+    faults.tx_flip_rate = 3e-4;
+    faults.rx_flip_rate = 3e-4;
+    HeteroSystemParams p = robust_params(faults);
+    p.cluster_params.reference_stepping = reference;
+    RobustOffloadOptions opts;
+    opts.max_transfer_retries = 8;
+    return run_robust(kc, p, opts);
+  };
+  const auto ref = run_mode(true);
+  const auto ff = run_mode(false);
+  ASSERT_TRUE(ref.res.status.ok()) << ref.res.status.message();
+  ASSERT_TRUE(ff.res.status.ok()) << ff.res.status.message();
+  EXPECT_EQ(ref.res.output, ff.res.output);
+  EXPECT_EQ(ref.res.host_cycles, ff.res.host_cycles);
+  EXPECT_EQ(ref.stats.cluster_cycles, ff.stats.cluster_cycles);
+  EXPECT_EQ(ref.stats.link_frames, ff.stats.link_frames);
+  EXPECT_EQ(ref.stats.link_crc_errors, ff.stats.link_crc_errors);
+  EXPECT_EQ(ref.stats.fault_count, ff.stats.fault_count);
+}
+
+TEST(RobustOffloadSystem, StuckEocExpiresWatchdogAndFallsBack) {
+  const auto kc = test_kernel();
+  link::FaultConfig faults;
+  faults.stuck_eoc_waits = 1;  // the driver's only fetch-enable hangs
+  RobustOffloadOptions opts;
+  opts.eoc_watchdog_rounds = 2000;  // short leash: the test stays fast
+  const auto r = run_robust(kc, robust_params(faults), opts);
+
+  EXPECT_EQ(r.res.driver_status, kDriverStatusEocTimeout);
+  EXPECT_EQ(r.res.status.code(), StatusCode::kTimeout)
+      << r.res.status.message();
+  EXPECT_TRUE(r.res.used_host_fallback);
+  EXPECT_EQ(r.res.output, kc.expected)
+      << "degraded mode must still deliver correct results";
+}
+
+TEST(RobustOffloadSystem, ExhaustedTransferRetriesReportTypedFailure) {
+  const auto kc = test_kernel();
+  link::FaultConfig faults;
+  faults.seed = 1;
+  faults.nak_rate = 1.0;  // every frame rejected: image TX can't succeed
+  RobustOffloadOptions opts;
+  opts.max_transfer_retries = 2;
+  const auto r = run_robust(kc, robust_params(faults), opts);
+
+  EXPECT_EQ(r.res.driver_status, kDriverStatusImageTxFailed);
+  EXPECT_EQ(r.res.status.code(), StatusCode::kRetriesExhausted);
+  EXPECT_TRUE(r.res.used_host_fallback);
+  EXPECT_EQ(r.res.output, kc.expected);
+  // 1 first try + 2 retries, all NAK'd.
+  EXPECT_EQ(r.stats.link_frames, 3u);
+  EXPECT_EQ(r.stats.link_crc_errors, 3u);
+}
+
+TEST(RobustOffloadSystem, RobustDriverStatusWordReadableFromHostSram) {
+  // The status word and its layout (scratch at +4) are API: pin that a
+  // clean run leaves kDriverStatusOk at spec.status_addr.
+  const auto kc = test_kernel();
+  const FullSystemPackage pkg = package_robust_offload(kc);
+  ASSERT_NE(pkg.spec.status_addr, 0u);
+  ASSERT_EQ(pkg.spec.status_addr % 4, 0u) << "status word must be aligned";
+  HeteroSystem sys(robust_params(link::FaultConfig{}));
+  sys.load_host_program(pkg.host_program);
+  sys.run_to_host_halt();
+  const u32 status = sys.host_sram().load(pkg.spec.status_addr, 4, false);
+  EXPECT_EQ(status, kDriverStatusOk);
+}
+
+}  // namespace
+}  // namespace ulp::system
