@@ -22,7 +22,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "batch/pool.hpp"
 #include "host/mcu.hpp"
 #include "kernels/kernel.hpp"
 #include "kernels/runner.hpp"
@@ -171,6 +174,26 @@ inline KernelMeasurement measure_kernel(const kernels::KernelInfo& info) {
     }
   }
   return m;
+}
+
+/// Measures a set of kernels concurrently on a batch::Pool, one task per
+/// kernel, each writing its own pre-assigned slot — results come back in
+/// input order regardless of scheduling. Falls back to serial, in-order
+/// measurement whenever the Observability collector is active: the trace
+/// and fault-injection sinks are per-process and their event order is part
+/// of the output.
+inline std::vector<KernelMeasurement> measure_kernels(
+    const std::vector<kernels::KernelInfo>& infos) {
+  std::vector<KernelMeasurement> all(infos.size());
+  const u32 workers = Observability::active() != nullptr
+                          ? 0
+                          : std::thread::hardware_concurrency();
+  batch::Pool pool(workers);
+  for (size_t i = 0; i < infos.size(); ++i) {
+    pool.submit([&all, &infos, i] { all[i] = measure_kernel(infos[i]); });
+  }
+  pool.wait_idle();
+  return all;
 }
 
 inline void print_header(const char* title, const char* what) {

@@ -15,8 +15,7 @@ int main(int argc, char** argv) {
   std::printf("%-16s %10s %10s %10s | %7s %7s | %7s %7s\n", "Kernel",
               "RISCops", "M4 cyc", "OR10N", "archM4", "archM3", "par x4",
               "ops/cyc");
-  for (const auto& info : kernels::extension_kernels()) {
-    const auto m = bench::measure_kernel(info);
+  for (const auto& m : bench::measure_kernels(kernels::extension_kernels())) {
     std::printf("%-16s %10llu %10llu %10llu | %6.2fx %6.2fx | %6.2fx %7.2f\n",
                 m.info.name.c_str(),
                 static_cast<unsigned long long>(m.risc_ops),

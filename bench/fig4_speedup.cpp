@@ -35,10 +35,8 @@ int main(int argc, char** argv) {
   std::printf("%-16s %12s %12s %12s | %9s %9s\n", "Benchmark", "M4 cyc",
               "M3 cyc", "OR10N cyc", "vs M4", "vs M3");
 
-  std::vector<bench::KernelMeasurement> all;
-  for (const auto& info : kernels::all_kernels()) {
-    all.push_back(bench::measure_kernel(info));
-  }
+  const std::vector<bench::KernelMeasurement> all =
+      bench::measure_kernels(kernels::all_kernels());
   for (const auto& m : all) {
     std::printf("%-16s %12llu %12llu %12llu | %8.2fx %8.2fx\n",
                 m.info.name.c_str(),

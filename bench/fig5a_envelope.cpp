@@ -31,10 +31,8 @@ int main(int argc, char** argv) {
   for (double f : mcu.op_freqs_hz) std::printf(" %6.0fM", f / 1e6);
   std::printf("\n");
 
-  std::vector<bench::KernelMeasurement> all;
-  for (const auto& info : kernels::all_kernels()) {
-    all.push_back(bench::measure_kernel(info));
-  }
+  const std::vector<bench::KernelMeasurement> all =
+      bench::measure_kernels(kernels::all_kernels());
   for (const auto& m : all) {
     std::printf("%-16s %7.2f |", m.info.name.c_str(),
                 static_cast<double>(m.risc_ops) /

@@ -222,4 +222,33 @@ BENCHMARK(BM_ImageSerialisation)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef ULP_BUILD_TYPE
+#define ULP_BUILD_TYPE "unknown"
+#endif
+
+// Like BENCHMARK_MAIN(), plus build-provenance support: `--ulp-build-info`
+// prints the configuration this binary was compiled with and exits (the
+// recording scripts refuse to record debug numbers), and the same fields
+// are stamped into the benchmark JSON context. gbench's own
+// "library_build_type" describes the installed benchmark *library*, not
+// this binary — these fields are the authoritative ones.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  const char* asserts = "off";
+#else
+  const char* asserts = "on";
+#endif
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ulp-build-info") == 0) {
+      std::printf("build_type=%s asserts=%s\n", ULP_BUILD_TYPE, asserts);
+      return 0;
+    }
+  }
+  benchmark::AddCustomContext("ulp_build_type", ULP_BUILD_TYPE);
+  benchmark::AddCustomContext("ulp_asserts", asserts);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

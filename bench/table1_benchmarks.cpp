@@ -46,12 +46,11 @@ int main(int argc, char** argv) {
       "p:in", "p:out", "p:bin", "p:ops");
   std::printf(
       "%-16s %-18s | %38s | %36s\n", "", "", "measured", "paper");
-  for (const auto& info : kernels::all_kernels()) {
-    const auto m = bench::measure_kernel(info);
-    const PaperRow& p = paper_rows().at(info.name);
+  for (const auto& m : bench::measure_kernels(kernels::all_kernels())) {
+    const PaperRow& p = paper_rows().at(m.info.name);
     std::printf(
         "%-16s %-18s | %8.1f %8.2f %8.1f %8.2fM | %8.1f %8.2f %8.1f %8.2fM\n",
-        info.name.c_str(), info.field.c_str(),
+        m.info.name.c_str(), m.info.field.c_str(),
         static_cast<double>(m.input_bytes) / 1024.0,
         static_cast<double>(m.output_bytes) / 1024.0,
         static_cast<double>(m.binary_bytes) / 1024.0,

@@ -1,0 +1,241 @@
+// ulp_campaign: run a declarative simulation campaign over the
+// heterogeneous node's design space on a worker pool.
+//
+//   ulp_campaign --campaign sweep.txt --workers 4 --json out.json
+//   ulp_campaign --kernels matmul,cnn --cores 1,4,8 --vdd "0.5,0.8"
+//                --repeats 4 --csv sweep.csv
+//
+// Axes may come from a campaign file (--campaign, see
+// src/batch/campaign.hpp for the format) and/or inline flags; inline
+// flags override file keys. The aggregated JSON/CSV outputs are
+// byte-identical for any --workers value; wall-clock throughput numbers
+// are segregated into --stats-json and the stderr progress feed.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "batch/aggregate.hpp"
+#include "batch/campaign.hpp"
+#include "batch/engine.hpp"
+#include "common/config.hpp"
+
+namespace {
+
+#ifndef ULP_BUILD_TYPE
+#define ULP_BUILD_TYPE "unknown"
+#endif
+
+void print_usage(std::FILE* out) {
+  std::fputs(
+      "usage: ulp_campaign [options]\n"
+      "\n"
+      "campaign definition (file first, inline flags override):\n"
+      "  --campaign FILE       campaign file (key = value lines)\n"
+      "  --engine NAME         analytic (default) | cosim\n"
+      "  --kernels A,B,...     kernel axis (default: matmul)\n"
+      "  --cores N,N,...       core-count axis (default: 4)\n"
+      "  --mcu-mhz F,F,...     MCU clock axis in MHz (default: 16)\n"
+      "  --vdd F,F,...         PULP V_DD axis; cluster runs at fmax(V_DD)\n"
+      "  --faults S;S;...      link fault specs, ';'-separated; 'none' = clean\n"
+      "  --repeats N           statistical repeats per cell (default: 1)\n"
+      "  --seed N              campaign base seed (default: 1)\n"
+      "  --iterations N        offload amortisation count (analytic engine)\n"
+      "  --double-buffered     overlap transfers with compute (analytic)\n"
+      "  --reference-stepping B  0|1: override the cluster stepping default\n"
+      "\n"
+      "execution:\n"
+      "  --workers N           worker threads (default: 1; 0 = inline)\n"
+      "  --quiet               no stderr progress feed\n"
+      "\n"
+      "output:\n"
+      "  --json FILE           deterministic per-job + summary JSON\n"
+      "  --csv FILE            deterministic per-job CSV\n"
+      "  --stats-json FILE     wall-clock throughput stats (NOT deterministic)\n"
+      "  --list                print the expanded job matrix and exit\n"
+      "  --build-info          print build type and exit\n",
+      out);
+}
+
+struct CliError {
+  std::string message;
+};
+
+const char* need_value(int argc, char** argv, int* i) {
+  if (*i + 1 >= argc) {
+    throw CliError{std::string(argv[*i]) + ": missing value"};
+  }
+  return argv[++*i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ulp;
+
+  batch::CampaignSpec spec;
+  batch::RunOptions options;
+  // Inline flags are buffered as campaign-file lines and applied through
+  // the same parser the file goes through — one grammar, one validator.
+  std::string overrides;
+  std::string campaign_file;
+  std::string json_path;
+  std::string csv_path;
+  std::string stats_path;
+  bool list_only = false;
+  bool quiet = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      auto override_key = [&](const char* key) {
+        overrides += std::string(key) + " = " + need_value(argc, argv, &i) +
+                     "\n";
+      };
+      if (std::strcmp(arg, "--campaign") == 0) {
+        campaign_file = need_value(argc, argv, &i);
+      } else if (std::strcmp(arg, "--engine") == 0) {
+        override_key("engine");
+      } else if (std::strcmp(arg, "--kernels") == 0) {
+        override_key("kernels");
+      } else if (std::strcmp(arg, "--cores") == 0) {
+        override_key("cores");
+      } else if (std::strcmp(arg, "--mcu-mhz") == 0) {
+        override_key("mcu_mhz");
+      } else if (std::strcmp(arg, "--vdd") == 0) {
+        override_key("vdd");
+      } else if (std::strcmp(arg, "--faults") == 0) {
+        override_key("faults");
+      } else if (std::strcmp(arg, "--repeats") == 0) {
+        override_key("repeats");
+      } else if (std::strcmp(arg, "--seed") == 0) {
+        override_key("seed");
+      } else if (std::strcmp(arg, "--iterations") == 0) {
+        override_key("iterations");
+      } else if (std::strcmp(arg, "--double-buffered") == 0) {
+        overrides += "double_buffered = 1\n";
+      } else if (std::strcmp(arg, "--reference-stepping") == 0) {
+        const std::string v = need_value(argc, argv, &i);
+        config::set_reference_stepping_default(v == "1" || v == "true");
+      } else if (std::strcmp(arg, "--workers") == 0) {
+        options.workers = static_cast<u32>(
+            std::strtoul(need_value(argc, argv, &i), nullptr, 10));
+      } else if (std::strcmp(arg, "--json") == 0) {
+        json_path = need_value(argc, argv, &i);
+      } else if (std::strcmp(arg, "--csv") == 0) {
+        csv_path = need_value(argc, argv, &i);
+      } else if (std::strcmp(arg, "--stats-json") == 0) {
+        stats_path = need_value(argc, argv, &i);
+      } else if (std::strcmp(arg, "--list") == 0) {
+        list_only = true;
+      } else if (std::strcmp(arg, "--quiet") == 0) {
+        quiet = true;
+      } else if (std::strcmp(arg, "--build-info") == 0) {
+#ifdef NDEBUG
+        const char* asserts = "off";
+#else
+        const char* asserts = "on";
+#endif
+        std::printf("build_type=%s asserts=%s\n", ULP_BUILD_TYPE, asserts);
+        return 0;
+      } else if (std::strcmp(arg, "--help") == 0 ||
+                 std::strcmp(arg, "-h") == 0) {
+        print_usage(stdout);
+        return 0;
+      } else {
+        throw CliError{std::string("unknown option '") + arg + "'"};
+      }
+    }
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "ulp_campaign: %s\n\n", e.message.c_str());
+    print_usage(stderr);
+    return 2;
+  }
+
+  if (!campaign_file.empty()) {
+    const Status s = batch::parse_campaign_file(campaign_file, &spec);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ulp_campaign: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  if (!overrides.empty()) {
+    const Status s = batch::parse_campaign_text(overrides, &spec);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ulp_campaign: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+
+  if (list_only) {
+    for (const batch::JobSpec& job : batch::expand(spec)) {
+      std::printf("%4llu  seed=%016llx  %s\n",
+                  static_cast<unsigned long long>(job.index),
+                  static_cast<unsigned long long>(job.seed),
+                  job.label().c_str());
+    }
+    return 0;
+  }
+
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "ulp_campaign: %llu jobs on %u worker(s), %s engine\n",
+                 static_cast<unsigned long long>(spec.job_count()),
+                 options.workers, batch::engine_name(spec.engine));
+    options.on_progress = [](const batch::ProgressSnapshot& p) {
+      std::fprintf(stderr,
+                   "  %llu/%llu jobs (%llu failed)  %.1f jobs/s  "
+                   "%.3g sim-cycles/s\n",
+                   static_cast<unsigned long long>(p.jobs_done),
+                   static_cast<unsigned long long>(p.jobs_total),
+                   static_cast<unsigned long long>(p.jobs_failed),
+                   p.jobs_per_s(), p.cycles_per_s());
+    };
+  }
+
+  const batch::CampaignResult result = batch::run_campaign(spec, options);
+
+  if (!json_path.empty()) {
+    const Status s = batch::write_json(json_path, result);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ulp_campaign: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  if (!csv_path.empty()) {
+    const Status s = batch::write_csv(csv_path, result);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ulp_campaign: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  if (!stats_path.empty()) {
+    // Wall-clock stats live apart from the deterministic outputs on
+    // purpose: everything here varies run to run.
+    std::FILE* f = std::fopen(stats_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ulp_campaign: cannot open %s\n",
+                   stats_path.c_str());
+      return 1;
+    }
+    const double dt = result.elapsed_s;
+    std::fprintf(f,
+                 "{\n  \"build_type\": \"%s\",\n  \"workers\": %u,\n"
+                 "  \"jobs\": %llu,\n  \"failed\": %llu,\n"
+                 "  \"accel_cycles\": %llu,\n  \"elapsed_s\": %.6f,\n"
+                 "  \"jobs_per_s\": %.6f,\n  \"cycles_per_s\": %.6f\n}\n",
+                 ULP_BUILD_TYPE, options.workers,
+                 static_cast<unsigned long long>(result.totals.jobs),
+                 static_cast<unsigned long long>(result.totals.failed),
+                 static_cast<unsigned long long>(result.totals.accel_cycles),
+                 dt, dt > 0 ? static_cast<double>(result.totals.jobs) / dt : 0.0,
+                 dt > 0 ? static_cast<double>(result.totals.accel_cycles) / dt
+                        : 0.0);
+    std::fclose(f);
+  }
+
+  std::fputs(batch::summary_text(result).c_str(), stdout);
+  // Exit status tracks delivered results, not protocol weather: a job whose
+  // offload failed but was recovered by host fallback still passed.
+  return result.totals.passed == result.totals.jobs ? 0 : 1;
+}

@@ -2,7 +2,11 @@
 # Runs the simspeed google-benchmark binary in both stepping modes and
 # merges the results into one JSON document:
 #
-#   scripts/bench_simspeed.sh <simspeed-binary> [output.json]
+#   scripts/bench_simspeed.sh [simspeed-binary | build-dir] [output.json]
+#
+# Given a build dir (default: build-release), it configures and builds a
+# Release tree there first; given a binary, the binary itself must report
+# a Release build — debug numbers are refused, never silently recorded.
 #
 # "fast_forward" holds the default quiescence-fast-forward numbers (after),
 # "reference_stepping" the ULP_REFERENCE_STEPPING=1 per-cycle loop (before).
@@ -10,9 +14,19 @@
 # the output path.
 set -eu
 
-BIN=${1:?usage: bench_simspeed.sh <simspeed-binary> [output.json]}
+. "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/release_guard.sh"
+
+ARG=${1:-build-release}
 OUT=${2:-BENCH_simspeed.json}
 MIN_TIME=${ULP_BENCH_MIN_TIME:-1}
+
+if [ -d "$ARG" ] || [ ! -e "$ARG" ]; then
+  ensure_release_build "$ARG" simspeed
+  BIN=$ARG/bench/simspeed
+else
+  BIN=$ARG
+fi
+require_release "$BIN" --ulp-build-info
 
 FF_TMP=$(mktemp)
 REF_TMP=$(mktemp)

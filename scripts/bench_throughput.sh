@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# Measures campaign-engine batch throughput (jobs/s and simulated
+# cycles/s) at several worker counts and records the scaling curve:
+#
+#   scripts/bench_throughput.sh [ulp_campaign-binary | build-dir] [out.json]
+#
+# The campaign is a >=64-job analytic sweep over the Table I design space.
+# Along the way the script asserts the determinism contract: the
+# aggregated JSON/CSV written by the 1-worker and every N-worker run must
+# be byte-identical (only the wall-clock stats may differ).
+#
+# Inherits the Release guard: numbers are only recorded from a verified
+# Release build. The host's CPU count is stamped into the output — on a
+# single-core host the >1-worker points measure oversubscription, not
+# parallel speedup, and the committed JSON must be read with that context.
+set -eu
+
+. "$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/release_guard.sh"
+
+ARG=${1:-build-release}
+OUT=${2:-BENCH_throughput.json}
+WORKER_COUNTS=${ULP_BENCH_WORKERS:-"1 2 4"}
+
+if [ -d "$ARG" ] || [ ! -e "$ARG" ]; then
+  ensure_release_build "$ARG" ulp_campaign
+  BIN=$ARG/examples/ulp_campaign
+else
+  BIN=$ARG
+fi
+require_release "$BIN" --build-info
+
+NUM_CPUS=$( (command -v nproc >/dev/null 2>&1 && nproc) || echo 1)
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# 2 kernels x 2 cores x 2 clocks x 2 vdd x 2 fault specs x 2 repeats = 64.
+run_campaign() {
+  "$BIN" --quiet \
+    --kernels matmul,cnn --cores 1,4 --mcu-mhz 16,48 --vdd 0.5,0.8 \
+    --faults "none;seed=7,flip=1e-4" --repeats 2 --seed 1 \
+    --workers "$1" \
+    --json "$TMP/agg$1.json" --csv "$TMP/agg$1.csv" \
+    --stats-json "$TMP/stats$1.json" >/dev/null
+}
+
+echo "== campaign throughput (64 jobs, analytic engine) =="
+FIRST=""
+for W in $WORKER_COUNTS; do
+  run_campaign "$W"
+  if [ -z "$FIRST" ]; then
+    FIRST=$W
+  else
+    # The determinism contract, enforced at record time.
+    cmp "$TMP/agg$FIRST.json" "$TMP/agg$W.json" || {
+      echo "ERROR: $W-worker JSON differs from $FIRST-worker JSON" >&2
+      exit 1
+    }
+    cmp "$TMP/agg$FIRST.csv" "$TMP/agg$W.csv" || {
+      echo "ERROR: $W-worker CSV differs from $FIRST-worker CSV" >&2
+      exit 1
+    }
+  fi
+  echo "  workers=$W: $(sed -n 's/.*"jobs_per_s": \([0-9.]*\).*/\1 jobs\/s/p' \
+    "$TMP/stats$W.json")"
+done
+echo "aggregates byte-identical across worker counts: OK"
+
+{
+  echo "{"
+  echo "  \"context\": {"
+  echo "    \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "    \"num_cpus\": $NUM_CPUS,"
+  echo "    \"build_type\": \"Release\","
+  echo "    \"campaign_jobs\": 64,"
+  echo "    \"engine\": \"analytic\","
+  echo "    \"note\": \"speedup over 1 worker requires num_cpus > 1;" \
+       "on a single-CPU host extra workers measure oversubscription\""
+  echo "  },"
+  echo "  \"runs\": ["
+  SEP=""
+  for W in $WORKER_COUNTS; do
+    printf '%b    ' "$SEP"
+    tr -d '\n' < "$TMP/stats$W.json"
+    SEP=',\n'
+  done
+  printf '\n  ]\n}\n'
+} > "$OUT"
+echo "wrote $OUT"

@@ -1,0 +1,51 @@
+# Shared guard for benchmark-recording scripts: committed BENCH_*.json
+# numbers must come from an optimised, assert-free binary. Source this
+# file, then call the helpers below.
+#
+# The repo's benches compile their CMAKE_BUILD_TYPE into the binary
+# (ULP_BUILD_TYPE) and report it via a --*build-info flag; gbench's own
+# "library_build_type" context field describes the installed benchmark
+# library and is NOT trustworthy provenance for our binaries — debug
+# numbers were committed under that confusion once.
+
+# ensure_release_build <build-dir> <target> — configures <build-dir> as a
+# Release build of this repo (erroring out if it exists with a different
+# CMAKE_BUILD_TYPE) and builds <target> in it.
+ensure_release_build() {
+  _dir=$1
+  _target=$2
+  _src=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+  if [ -f "$_dir/CMakeCache.txt" ]; then
+    _cached=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$_dir/CMakeCache.txt")
+    if [ "$_cached" != "Release" ]; then
+      echo "ERROR: $_dir is configured as '$_cached', not Release." >&2
+      echo "       Use a dedicated Release build dir for recording." >&2
+      exit 1
+    fi
+  fi
+  cmake -B "$_dir" -S "$_src" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$_dir" --target "$_target" -j >/dev/null
+}
+
+# require_release <binary> <info-flag> — runs `<binary> <info-flag>` and
+# fails loudly unless it reports an optimised, assert-free Release build.
+require_release() {
+  _bin=$1
+  _flag=$2
+  if ! _info=$("$_bin" "$_flag" 2>&1); then
+    echo "ERROR: '$_bin $_flag' failed: $_info" >&2
+    echo "       (binary predates build provenance? rebuild first)" >&2
+    exit 1
+  fi
+  case $_info in
+    *"build_type=Release"*"asserts=off"*)
+      echo "verified: $_bin ($_info)"
+      ;;
+    *)
+      echo "ERROR: refusing to record benchmark numbers from a" >&2
+      echo "       non-Release binary: $_bin reports '$_info'." >&2
+      echo "       Rebuild with -DCMAKE_BUILD_TYPE=Release." >&2
+      exit 1
+      ;;
+  esac
+}

@@ -7,7 +7,9 @@
 #   scripts/robustness_smoke.sh [full_system-binary] [kernel]
 #
 # The binary defaults to build/examples/full_system, the kernel to matmul.
-# Every run uses a fixed seed, so failures reproduce exactly.
+# Every run uses a fixed seed, so failures reproduce exactly. After the
+# single-run scenarios, the same fault space is swept as a multi-worker
+# ulp_campaign batch (when the CLI is built next to the given binary).
 set -eu
 
 BIN=${1:-build/examples/full_system}
@@ -43,3 +45,19 @@ run "seed=7,stuck=5"            "stuck EOC line (host fallback)"
 
 echo ""
 echo "robustness smoke: all scenarios recovered"
+
+# Campaign sweep: the same scenarios as a parallel batch on the co-sim
+# engine. The campaign must complete with zero failed jobs (fallback jobs
+# count as recovered) and report the injected-fault traffic it survived.
+CAMPAIGN=$(dirname "$BIN")/ulp_campaign
+if [ -x "$CAMPAIGN" ]; then
+  echo ""
+  echo "== campaign sweep (cosim engine, 4 workers) =="
+  "$CAMPAIGN" --quiet --engine cosim --workers 4 \
+    --kernels "$KERNEL" --cores 1,4 \
+    --faults "none;seed=7,flip=1e-5;seed=7,flip=1e-4;seed=7,flip=5e-5,nak=0.05" \
+    --repeats 2
+  echo "-- OK: campaign sweep recovered every job"
+else
+  echo "(skipping campaign sweep: $CAMPAIGN not built)"
+fi

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# ThreadSanitizer smoke test for the parallel campaign engine:
+#
+#   scripts/tsan_smoke.sh [build-dir]
+#
+# Configures a dedicated ULP_SANITIZE=thread tree (default: build-tsan),
+# builds the batch test suite and the ulp_campaign CLI, and runs a
+# multi-worker campaign under TSan with halt_on_error — any data race in
+# the pool, the shared progress counters or the per-job simulation state
+# fails the script.
+set -eu
+
+DIR=${1:-build-tsan}
+SRC=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+cmake -B "$DIR" -S "$SRC" -DULP_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$DIR" --target test_batch ulp_campaign -j >/dev/null
+
+export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1"
+
+echo "== test_batch under TSan =="
+"$DIR/tests/test_batch" --gtest_brief=1
+
+echo "== multi-worker campaign under TSan =="
+"$DIR/examples/ulp_campaign" --quiet --workers 4 \
+  --kernels matmul,cnn --cores 1,4 --vdd 0.5,0.8 \
+  --faults "none;seed=7,flip=1e-4" --repeats 2
+
+echo "TSan smoke: clean"

@@ -1,0 +1,234 @@
+#include "batch/aggregate.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/report.hpp"
+
+namespace ulp::batch {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string fmt_u64(u64 v) {
+  return std::to_string(v);
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// kernel names and fault specs are plain ASCII, but status messages may
+/// quote arbitrary input.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void emit_spec(std::ostringstream& os, const CampaignSpec& spec) {
+  os << "  \"campaign\": {\n";
+  os << "    \"engine\": \"" << engine_name(spec.engine) << "\",\n";
+  os << "    \"kernels\": [";
+  for (size_t i = 0; i < spec.kernels.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json_escape(spec.kernels[i]) << '"';
+  }
+  os << "],\n    \"cores\": [";
+  for (size_t i = 0; i < spec.num_cores.size(); ++i) {
+    os << (i ? ", " : "") << spec.num_cores[i];
+  }
+  os << "],\n    \"mcu_mhz\": [";
+  for (size_t i = 0; i < spec.mcu_mhz.size(); ++i) {
+    os << (i ? ", " : "") << fmt_double(spec.mcu_mhz[i]);
+  }
+  os << "],\n    \"vdd\": [";
+  for (size_t i = 0; i < spec.vdd.size(); ++i) {
+    os << (i ? ", " : "") << fmt_double(spec.vdd[i]);
+  }
+  os << "],\n    \"faults\": [";
+  for (size_t i = 0; i < spec.faults.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json_escape(spec.faults[i]) << '"';
+  }
+  os << "],\n";
+  os << "    \"repeats\": " << spec.repeats << ",\n";
+  os << "    \"seed\": " << spec.base_seed << ",\n";
+  os << "    \"iterations\": " << spec.iterations << ",\n";
+  os << "    \"double_buffered\": "
+     << (spec.double_buffered ? "true" : "false") << "\n";
+  os << "  },\n";
+}
+
+void emit_job(std::ostringstream& os, const JobResult& r) {
+  const JobSpec& s = r.spec;
+  os << "    {\"index\": " << s.index;
+  os << ", \"kernel\": \"" << json_escape(s.kernel) << '"';
+  os << ", \"cores\": " << s.num_cores;
+  os << ", \"mcu_mhz\": " << fmt_double(s.mcu_mhz);
+  os << ", \"vdd\": " << fmt_double(s.vdd);
+  os << ", \"faults\": \"" << json_escape(s.fault_spec) << '"';
+  os << ", \"repeat\": " << s.repeat;
+  os << ", \"seed\": " << s.seed;
+  os << ", \"status\": \"" << status_code_name(r.status.code()) << '"';
+  if (!r.status.ok()) {
+    os << ", \"message\": \"" << json_escape(r.status.message()) << '"';
+  }
+  os << ", \"pass\": " << (r.pass ? "true" : "false");
+  os << ", \"host_fallback\": " << (r.used_host_fallback ? "true" : "false");
+  os << ", \"accel_cycles\": " << fmt_u64(r.accel_cycles);
+  os << ", \"instrs\": " << fmt_u64(r.total_instrs);
+  os << ", \"tcdm_conflicts\": " << fmt_u64(r.tcdm_conflicts);
+  os << ", \"icache_misses\": " << fmt_u64(r.icache_misses);
+  os << ", \"t_binary_s\": " << fmt_double(r.timing.t_binary_s);
+  os << ", \"t_in_s\": " << fmt_double(r.timing.t_in_s);
+  os << ", \"t_out_s\": " << fmt_double(r.timing.t_out_s);
+  os << ", \"t_compute_s\": " << fmt_double(r.timing.t_compute_s);
+  os << ", \"t_retry_s\": " << fmt_double(r.timing.t_retry_s);
+  os << ", \"mcu_j\": " << fmt_double(r.energy.mcu_j);
+  os << ", \"pulp_j\": " << fmt_double(r.energy.pulp_j);
+  os << ", \"link_j\": " << fmt_double(r.energy.link_j);
+  os << ", \"steady_power_w\": " << fmt_double(r.steady_power_w);
+  os << ", \"crc_errors\": " << fmt_u64(r.robust.crc_errors);
+  os << ", \"naks\": " << fmt_u64(r.robust.naks);
+  os << ", \"retransmissions\": " << fmt_u64(r.robust.retransmissions);
+  os << ", \"watchdog_expiries\": " << fmt_u64(r.robust.watchdog_expiries);
+  os << ", \"offload_attempts\": " << r.robust.offload_attempts;
+  os << ", \"host_cycles\": " << fmt_u64(r.host_cycles);
+  os << ", \"wire_bytes\": " << fmt_u64(r.wire_bytes);
+  os << ", \"wire_crc_rejects\": " << fmt_u64(r.link_crc_errors);
+  os << ", \"fault_count\": " << fmt_u64(r.fault_count);
+  os << '}';
+}
+
+void emit_totals(std::ostringstream& os, const CampaignTotals& t) {
+  os << "  \"summary\": {\n";
+  os << "    \"jobs\": " << t.jobs << ",\n";
+  os << "    \"passed\": " << t.passed << ",\n";
+  os << "    \"failed\": " << t.failed << ",\n";
+  os << "    \"fallbacks\": " << t.fallbacks << ",\n";
+  os << "    \"accel_cycles\": " << t.accel_cycles << ",\n";
+  os << "    \"host_cycles\": " << t.host_cycles << ",\n";
+  os << "    \"instrs\": " << t.total_instrs << ",\n";
+  os << "    \"crc_errors\": " << t.crc_errors << ",\n";
+  os << "    \"retransmissions\": " << t.retransmissions << ",\n";
+  os << "    \"watchdog_expiries\": " << t.watchdog_expiries << ",\n";
+  os << "    \"fault_count\": " << t.fault_count << ",\n";
+  os << "    \"compute_s\": " << fmt_double(t.compute_s) << ",\n";
+  os << "    \"total_s\": " << fmt_double(t.total_s) << ",\n";
+  os << "    \"energy_j\": " << fmt_double(t.energy_j) << "\n";
+  os << "  }\n";
+}
+
+}  // namespace
+
+std::string to_json(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "{\n";
+  emit_spec(os, result.spec);
+  os << "  \"jobs\": [\n";
+  for (size_t i = 0; i < result.jobs.size(); ++i) {
+    emit_job(os, result.jobs[i]);
+    os << (i + 1 < result.jobs.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+  emit_totals(os, result.totals);
+  os << "}\n";
+  return os.str();
+}
+
+Status write_json(const std::string& path, const CampaignResult& result) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::Error(StatusCode::kIoError,
+                         "cannot open JSON file: " + path);
+  }
+  out << to_json(result);
+  out.flush();
+  if (!out.good()) {
+    return Status::Error(StatusCode::kIoError, "JSON write failed: " + path);
+  }
+  return {};
+}
+
+Status write_csv(const std::string& path, const CampaignResult& result) {
+  trace::CsvWriter csv(
+      path, {"index",           "kernel",        "cores",
+             "mcu_mhz",         "vdd",           "faults",
+             "repeat",          "seed",          "status",
+             "pass",            "host_fallback", "accel_cycles",
+             "instrs",          "t_compute_s",   "t_retry_s",
+             "total_s",         "energy_j",      "steady_power_w",
+             "crc_errors",      "retransmissions",
+             "watchdog_expiries", "host_cycles", "fault_count"});
+  for (const JobResult& r : result.jobs) {
+    const JobSpec& s = r.spec;
+    const bool finished = r.status.ok() || r.used_host_fallback;
+    const Status row = csv.row(std::vector<std::string>{
+        fmt_u64(s.index), s.kernel, std::to_string(s.num_cores),
+        fmt_double(s.mcu_mhz), fmt_double(s.vdd), s.fault_spec,
+        std::to_string(s.repeat), fmt_u64(s.seed),
+        status_code_name(r.status.code()), r.pass ? "1" : "0",
+        r.used_host_fallback ? "1" : "0", fmt_u64(r.accel_cycles),
+        fmt_u64(r.total_instrs), fmt_double(r.timing.t_compute_s),
+        fmt_double(r.timing.t_retry_s),
+        fmt_double(finished ? r.timing.total_s(s.iterations,
+                                               s.double_buffered)
+                            : 0.0),
+        fmt_double(r.energy.total_j()), fmt_double(r.steady_power_w),
+        fmt_u64(r.robust.crc_errors), fmt_u64(r.robust.retransmissions),
+        fmt_u64(r.robust.watchdog_expiries), fmt_u64(r.host_cycles),
+        fmt_u64(r.fault_count)});
+    if (!row.ok()) return row;
+  }
+  return {};
+}
+
+std::string summary_text(const CampaignResult& result) {
+  const CampaignTotals& t = result.totals;
+  std::ostringstream os;
+  os << "campaign: " << t.jobs << " jobs (" << engine_name(result.spec.engine)
+     << " engine), " << t.passed << " passed, " << t.failed << " failed";
+  if (t.fallbacks > 0) {
+    os << " (" << t.fallbacks << " recovered by host fallback)";
+  }
+  os << "\n";
+  os << "simulated: " << t.accel_cycles << " cluster cycles, "
+     << t.total_instrs << " instructions";
+  if (t.host_cycles > 0) os << ", " << t.host_cycles << " host cycles";
+  os << "\n";
+  if (t.fault_count > 0 || t.crc_errors > 0 || t.watchdog_expiries > 0) {
+    os << "robustness: " << t.fault_count << " injected faults, "
+       << t.crc_errors << " CRC rejects, " << t.retransmissions
+       << " retransmissions, " << t.watchdog_expiries
+       << " watchdog expiries\n";
+  }
+  if (result.spec.engine == Engine::kAnalytic) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "modelled: %.6f s offload time, %.6f J total energy\n",
+                  t.total_s, t.energy_j);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace ulp::batch

@@ -1,0 +1,32 @@
+// Campaign result serialisation: JSON and CSV exports plus the human
+// summary. Every emitter is deterministic — doubles print as shortest
+// round-trip-exact %.17g, rows follow job-index order, and nothing
+// wall-clock- or worker-dependent is included — so the files from a
+// 1-worker and an N-worker run of the same campaign are byte-identical
+// (the determinism tests and scripts/bench_throughput.sh diff them).
+#pragma once
+
+#include <string>
+
+#include "batch/result.hpp"
+
+namespace ulp::batch {
+
+/// The whole campaign as a JSON document: the spec echo, one object per
+/// job, and the aggregated summary.
+[[nodiscard]] std::string to_json(const CampaignResult& result);
+
+/// to_json to a file.
+[[nodiscard]] Status write_json(const std::string& path,
+                                const CampaignResult& result);
+
+/// One CSV row per job through trace::CsvWriter (RFC 4180 quoting for the
+/// kernel/fault/status text cells).
+[[nodiscard]] Status write_csv(const std::string& path,
+                               const CampaignResult& result);
+
+/// Multi-line human digest of the totals (pass/fail counts, cycles,
+/// energy, robustness counters).
+[[nodiscard]] std::string summary_text(const CampaignResult& result);
+
+}  // namespace ulp::batch

@@ -1,0 +1,222 @@
+#include "batch/campaign.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace ulp::batch {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      const std::string piece = trim(s.substr(start, i - start));
+      if (!piece.empty()) out.push_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+Status parse_doubles(const std::string& key, std::string_view value,
+                     std::vector<double>* out) {
+  std::vector<double> parsed;
+  for (const std::string& piece : split(value, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(piece.c_str(), &end);
+    if (end == piece.c_str() || *end != '\0') {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           key + ": not a number: '" + piece + "'");
+    }
+    parsed.push_back(v);
+  }
+  if (parsed.empty()) {
+    return Status::Error(StatusCode::kInvalidArgument, key + ": empty list");
+  }
+  *out = std::move(parsed);
+  return {};
+}
+
+Status parse_u64(const std::string& key, std::string_view value, u64* out) {
+  const std::string v = trim(value);
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 0);
+  if (end == v.c_str() || *end != '\0') {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         key + ": not an integer: '" + v + "'");
+  }
+  *out = parsed;
+  return {};
+}
+
+}  // namespace
+
+std::string JobSpec::label() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s/cores%u/mcu%g/vdd%.2f/%s/r%u",
+                kernel.c_str(), num_cores, mcu_mhz, vdd,
+                fault_spec.empty() ? "clean" : fault_spec.c_str(), repeat);
+  return buf;
+}
+
+std::vector<JobSpec> expand(const CampaignSpec& spec) {
+  ULP_CHECK(!spec.kernels.empty() && !spec.num_cores.empty() &&
+                !spec.mcu_mhz.empty() && !spec.vdd.empty() &&
+                !spec.faults.empty() && spec.repeats >= 1,
+            "campaign axes must be non-empty");
+  std::vector<JobSpec> jobs;
+  jobs.reserve(spec.job_count());
+  u64 index = 0;
+  for (const std::string& kernel : spec.kernels) {
+    for (const u32 cores : spec.num_cores) {
+      for (const double mcu : spec.mcu_mhz) {
+        for (const double vdd : spec.vdd) {
+          for (const std::string& faults : spec.faults) {
+            for (u32 r = 0; r < spec.repeats; ++r) {
+              JobSpec j;
+              j.index = index;
+              j.engine = spec.engine;
+              j.kernel = kernel;
+              j.num_cores = cores;
+              j.mcu_mhz = mcu;
+              j.vdd = vdd;
+              j.fault_spec = faults == "none" ? std::string() : faults;
+              j.repeat = r;
+              // The one source of per-job randomness: position in the
+              // matrix. Execution order and worker count cannot touch it.
+              j.seed = derive_seed(spec.base_seed, index);
+              j.iterations = spec.iterations;
+              j.double_buffered = spec.double_buffered;
+              j.reference_stepping = spec.reference_stepping;
+              jobs.push_back(std::move(j));
+              ++index;
+            }
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+Status parse_campaign_text(std::string_view text, CampaignSpec* out) {
+  CampaignSpec spec = *out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+    const size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "campaign line " + std::to_string(lineno) +
+                               ": expected 'key = value', got '" + stripped +
+                               "'");
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    Status s;
+    if (key == "engine") {
+      if (value == "analytic") {
+        spec.engine = Engine::kAnalytic;
+      } else if (value == "cosim") {
+        spec.engine = Engine::kCosim;
+      } else {
+        s = Status::Error(StatusCode::kInvalidArgument,
+                          "engine: expected analytic|cosim, got '" + value +
+                              "'");
+      }
+    } else if (key == "kernels") {
+      spec.kernels = split(value, ',');
+      if (spec.kernels.empty()) {
+        s = Status::Error(StatusCode::kInvalidArgument, "kernels: empty list");
+      }
+    } else if (key == "cores") {
+      std::vector<double> v;
+      s = parse_doubles(key, value, &v);
+      if (s.ok()) {
+        spec.num_cores.clear();
+        for (const double d : v) {
+          if (d < 1 || d != static_cast<u32>(d)) {
+            s = Status::Error(StatusCode::kInvalidArgument,
+                              "cores: expected positive integers");
+            break;
+          }
+          spec.num_cores.push_back(static_cast<u32>(d));
+        }
+      }
+    } else if (key == "mcu_mhz") {
+      s = parse_doubles(key, value, &spec.mcu_mhz);
+    } else if (key == "vdd") {
+      s = parse_doubles(key, value, &spec.vdd);
+    } else if (key == "faults") {
+      spec.faults = split(value, ';');
+      if (spec.faults.empty()) spec.faults = {"none"};
+    } else if (key == "repeats") {
+      u64 v = 0;
+      s = parse_u64(key, value, &v);
+      if (s.ok() && (v < 1 || v > 1'000'000)) {
+        s = Status::Error(StatusCode::kInvalidArgument,
+                          "repeats: out of range");
+      }
+      if (s.ok()) spec.repeats = static_cast<u32>(v);
+    } else if (key == "seed") {
+      s = parse_u64(key, value, &spec.base_seed);
+    } else if (key == "iterations") {
+      u64 v = 0;
+      s = parse_u64(key, value, &v);
+      if (s.ok() && (v < 1 || v > 1'000'000'000)) {
+        s = Status::Error(StatusCode::kInvalidArgument,
+                          "iterations: out of range");
+      }
+      if (s.ok()) spec.iterations = static_cast<u32>(v);
+    } else if (key == "double_buffered") {
+      spec.double_buffered = value == "1" || value == "true";
+    } else if (key == "reference_stepping") {
+      spec.reference_stepping = value == "1" || value == "true";
+    } else {
+      s = Status::Error(StatusCode::kInvalidArgument,
+                        "unknown campaign key '" + key + "'");
+    }
+    if (!s.ok()) {
+      return Status::Error(s.code(), "campaign line " +
+                                         std::to_string(lineno) + ": " +
+                                         s.message());
+    }
+  }
+  *out = std::move(spec);
+  return {};
+}
+
+Status parse_campaign_file(const std::string& path, CampaignSpec* out) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::Error(StatusCode::kIoError,
+                         "cannot open campaign file: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_campaign_text(text.str(), out);
+}
+
+}  // namespace ulp::batch

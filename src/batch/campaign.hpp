@@ -1,0 +1,117 @@
+// Declarative simulation campaigns: job matrices over the heterogeneous
+// node's design space.
+//
+// A CampaignSpec names the axes — kernel x core count x MCU clock x PULP
+// operating point (V_DD, which fixes the cluster clock at fmax) x link
+// fault spec x repeat — and expand() unrolls their cross product into
+// JobSpecs in a fixed document order. Each job's randomness (synthetic
+// input data, link fault schedule) is keyed to derive_seed(base_seed,
+// job_index): a pure function of the job's position in the matrix, so the
+// schedule a job observes is identical whether it runs alone, first, last,
+// on one worker or on sixteen.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp::batch {
+
+/// Which simulation tier executes a job.
+enum class Engine : u8 {
+  /// runtime::OffloadSession — cycle-accurate cluster, analytic host/link
+  /// composition, energy model. The sweep workhorse.
+  kAnalytic,
+  /// system::HeteroSystem — both processors co-simulated cycle by cycle
+  /// (the host runs the generated bare-metal driver). Slower; no energy.
+  kCosim,
+};
+
+[[nodiscard]] constexpr const char* engine_name(Engine e) {
+  return e == Engine::kAnalytic ? "analytic" : "cosim";
+}
+
+struct CampaignSpec {
+  Engine engine = Engine::kAnalytic;
+  std::vector<std::string> kernels = {"matmul"};
+  std::vector<u32> num_cores = {4};
+  std::vector<double> mcu_mhz = {16.0};
+  /// PULP operating points: V_DD in [0.5, 1.0]; the cluster runs at
+  /// fmax(V_DD) (and the co-sim clock ratio follows).
+  std::vector<double> vdd = {0.5};
+  /// Link fault specs in link::FaultInjector::parse syntax; "none" (or an
+  /// empty string) is a clean run. Specs contain commas, so lists of them
+  /// are semicolon-separated in files/CLIs.
+  std::vector<std::string> faults = {"none"};
+  /// Statistical repeats: each repeat re-rolls the synthetic input (and
+  /// fault schedule) through the derived seed.
+  u32 repeats = 1;
+  u64 base_seed = 1;
+  /// Offload amortisation (Figure 5b's x-axis), analytic engine only.
+  u32 iterations = 1;
+  bool double_buffered = false;
+  /// Per-campaign stepping override; unset = the process default.
+  std::optional<bool> reference_stepping;
+
+  [[nodiscard]] u64 job_count() const {
+    return static_cast<u64>(kernels.size()) * num_cores.size() *
+           mcu_mhz.size() * vdd.size() * faults.size() * repeats;
+  }
+};
+
+/// One cell of the expanded matrix. Carries everything a worker needs, by
+/// value: jobs share no mutable state.
+struct JobSpec {
+  u64 index = 0;  ///< Position in document order; the aggregation key.
+  Engine engine = Engine::kAnalytic;
+  std::string kernel;
+  u32 num_cores = 4;
+  double mcu_mhz = 16.0;
+  double vdd = 0.5;
+  std::string fault_spec;  ///< Normalised: "" = clean run.
+  u32 repeat = 0;
+  u64 seed = 0;  ///< derive_seed(base_seed, index).
+  u32 iterations = 1;
+  bool double_buffered = false;
+  std::optional<bool> reference_stepping;
+
+  /// Compact human-readable identity, e.g.
+  /// "matmul/cores4/mcu16/vdd0.50/clean/r0".
+  [[nodiscard]] std::string label() const;
+};
+
+/// Unrolls the cross product in document order (kernels outermost, repeats
+/// innermost) and stamps each job's index and derived seed. Axis *values*
+/// are not validated here — an unknown kernel or a malformed fault spec
+/// becomes a per-job failure at run time, isolated from its neighbours —
+/// but empty axes are a spec error and throw.
+[[nodiscard]] std::vector<JobSpec> expand(const CampaignSpec& spec);
+
+/// Parses the campaign file format:
+///
+///   # comment
+///   engine   = analytic          # or: cosim
+///   kernels  = matmul, cnn
+///   cores    = 4
+///   mcu_mhz  = 16, 48
+///   vdd      = 0.5, 0.8
+///   faults   = none; seed=7,flip=1e-4
+///   repeats  = 4
+///   seed     = 1
+///   iterations = 1
+///   double_buffered = 0
+///
+/// Unknown keys, unparsable numbers and out-of-range values are errors.
+/// Keys not present keep the CampaignSpec defaults.
+[[nodiscard]] Status parse_campaign_text(std::string_view text,
+                                         CampaignSpec* out);
+
+/// parse_campaign_text over a file's contents.
+[[nodiscard]] Status parse_campaign_file(const std::string& path,
+                                         CampaignSpec* out);
+
+}  // namespace ulp::batch

@@ -1,0 +1,89 @@
+#include "batch/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "batch/pool.hpp"
+#include "batch/runner.hpp"
+
+namespace ulp::batch {
+
+CampaignTotals aggregate_totals(const std::vector<JobResult>& jobs) {
+  CampaignTotals t;
+  for (const JobResult& r : jobs) {  // Index order: the fold is pinned.
+    ++t.jobs;
+    if (r.pass) ++t.passed;
+    if (!r.status.ok()) ++t.failed;
+    if (r.used_host_fallback) ++t.fallbacks;
+    t.accel_cycles += r.accel_cycles;
+    t.host_cycles += r.host_cycles;
+    t.total_instrs += r.total_instrs;
+    t.crc_errors += r.robust.crc_errors + r.link_crc_errors;
+    t.retransmissions += r.robust.retransmissions;
+    t.watchdog_expiries += r.robust.watchdog_expiries;
+    t.fault_count += r.fault_count;
+    t.compute_s += r.timing.t_compute_s;
+    if (r.status.ok() || r.used_host_fallback) {
+      t.total_s +=
+          r.timing.total_s(r.spec.iterations, r.spec.double_buffered);
+    }
+    t.energy_j += r.energy.total_j();
+  }
+  return t;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const RunOptions& options) {
+  CampaignResult result;
+  result.spec = spec;
+  std::vector<JobSpec> jobs = expand(spec);
+  result.jobs.resize(jobs.size());
+
+  // Shared progress counters. Workers only ever touch these atomics and
+  // their own job's result slot; everything else is read-only.
+  std::atomic<u64> done{0};
+  std::atomic<u64> failed{0};
+  std::atomic<u64> cycles{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto snapshot = [&] {
+    ProgressSnapshot s;
+    s.jobs_total = jobs.size();
+    s.jobs_done = done.load(std::memory_order_relaxed);
+    s.jobs_failed = failed.load(std::memory_order_relaxed);
+    s.accel_cycles = cycles.load(std::memory_order_relaxed);
+    s.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return s;
+  };
+
+  {
+    Pool pool(options.workers);
+    for (const JobSpec& job : jobs) {
+      pool.submit([&result, &job, &done, &failed, &cycles] {
+        JobResult r = run_job(job);
+        cycles.fetch_add(r.accel_cycles, std::memory_order_relaxed);
+        if (!r.status.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+        // Disjoint slot per job: the shard a worker writes is keyed by the
+        // job's matrix index, so no two tasks alias.
+        result.jobs[job.index] = std::move(r);
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    if (options.on_progress) {
+      while (!pool.wait_idle_for(options.progress_period_ms)) {
+        options.on_progress(snapshot());
+      }
+    } else {
+      pool.wait_idle();
+    }
+  }
+  if (options.on_progress) options.on_progress(snapshot());
+
+  result.totals = aggregate_totals(result.jobs);
+  result.elapsed_s = snapshot().elapsed_s;
+  return result;
+}
+
+}  // namespace ulp::batch

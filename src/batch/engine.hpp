@@ -1,0 +1,45 @@
+// The campaign engine: expand a declarative matrix, fan the jobs out over
+// a worker pool, aggregate deterministically.
+#pragma once
+
+#include <functional>
+
+#include "batch/result.hpp"
+
+namespace ulp::batch {
+
+/// Point-in-time view of a running campaign, for live reporting. Counters
+/// are monotonic; aggregate throughput is done/elapsed as seen so far.
+struct ProgressSnapshot {
+  u64 jobs_total = 0;
+  u64 jobs_done = 0;
+  u64 jobs_failed = 0;    ///< Of the done ones.
+  u64 accel_cycles = 0;   ///< Simulated cluster cycles completed so far.
+  double elapsed_s = 0;   ///< Wall-clock since the campaign started.
+
+  [[nodiscard]] double jobs_per_s() const {
+    return elapsed_s > 0 ? static_cast<double>(jobs_done) / elapsed_s : 0;
+  }
+  [[nodiscard]] double cycles_per_s() const {
+    return elapsed_s > 0 ? static_cast<double>(accel_cycles) / elapsed_s : 0;
+  }
+};
+
+struct RunOptions {
+  /// Worker threads (0 = run inline on the calling thread). The result is
+  /// byte-identical for every value; only wall-clock changes.
+  u32 workers = 1;
+  /// Invoked on the *calling* thread every `progress_period_ms` while the
+  /// campaign runs, and once more after the last job. Null = silent.
+  std::function<void(const ProgressSnapshot&)> on_progress;
+  u32 progress_period_ms = 1000;
+};
+
+/// Runs the whole campaign: expand(spec), execute every job (failures are
+/// isolated per job), fold totals in job-index order. Deterministic in
+/// everything but wall-clock: the JSON/CSV serialisations of the returned
+/// result are byte-identical across worker counts and schedules.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          const RunOptions& options = {});
+
+}  // namespace ulp::batch

@@ -1,0 +1,71 @@
+#include "batch/pool.hpp"
+
+#include <chrono>
+
+namespace ulp::batch {
+
+Pool::Pool(u32 workers) {
+  threads_.reserve(workers);
+  for (u32 i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Pool::~Pool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Pool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();  // Inline mode: the submitting thread is the worker.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void Pool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool Pool::wait_idle_for(u32 ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_.wait_for(lock, std::chrono::milliseconds(ms),
+                        [this] { return in_flight_ == 0; });
+}
+
+u64 Pool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void Pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace ulp::batch

@@ -1,0 +1,68 @@
+// Work-queue thread pool for batch simulation.
+//
+// A fixed set of worker threads drains a FIFO of tasks; the owner thread
+// submits work and then waits — either to full idleness or in bounded
+// slices (wait_idle_for), which is how the campaign driver interleaves
+// live progress reporting with the run. The pool makes no ordering
+// promises between tasks: campaign determinism comes from each job writing
+// only its own pre-assigned result slot and from every aggregation pass
+// folding those slots in job-index order, never in completion order.
+//
+// workers == 0 degenerates to inline execution on the submitting thread —
+// the zero-thread oracle the determinism tests compare multi-worker runs
+// against (and a serial escape hatch for debugging under a debugger).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ulp::batch {
+
+class Pool {
+ public:
+  /// Starts `workers` threads (0 = inline execution on submit).
+  explicit Pool(u32 workers);
+
+  /// Joins the workers. Pending tasks are drained first: destroying a pool
+  /// is a wait_idle().
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Enqueues one task. Tasks must not throw — wrap fallible work and
+  /// report failure through the task's own result slot (run_job does).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Waits up to `ms` milliseconds; true when the pool went idle.
+  [[nodiscard]] bool wait_idle_for(u32 ms);
+
+  [[nodiscard]] u32 workers() const {
+    return static_cast<u32>(threads_.size());
+  }
+
+  /// Tasks submitted minus tasks finished (approximate between waits).
+  [[nodiscard]] u64 pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  u64 in_flight_ = 0;  ///< Queued + currently executing.
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ulp::batch

@@ -1,0 +1,80 @@
+// Per-job and campaign-level results.
+//
+// A JobResult is a pure function of its JobSpec: everything in it is
+// deterministic simulation output (no wall-clock, no worker identity), so
+// two campaign runs with different worker counts produce byte-identical
+// aggregates. Failures are data, not control flow — a job that throws or
+// returns a failing offload Status is recorded and the campaign proceeds.
+#pragma once
+
+#include <vector>
+
+#include "batch/campaign.hpp"
+#include "runtime/offload.hpp"
+
+namespace ulp::batch {
+
+struct JobResult {
+  JobSpec spec;
+  /// kOk: the simulation ran and the offload protocol succeeded (possibly
+  /// by retry). Failed offloads carry kTimeout/kRetriesExhausted; setup
+  /// errors (unknown kernel, bad fault spec) carry kInvalidArgument; an
+  /// escaped simulation exception becomes kUnknown.
+  Status status;
+  /// Output bytes matched the kernel's golden reference (true for
+  /// host-fallback results too: the fallback *is* the reference).
+  bool pass = false;
+  bool used_host_fallback = false;
+
+  runtime::OffloadTiming timing;
+  runtime::EnergyBreakdown energy;  ///< Analytic engine only.
+  runtime::OffloadRobustStats robust;
+  double steady_power_w = 0;  ///< Analytic engine only.
+
+  // Cluster perf counters (both engines).
+  u64 accel_cycles = 0;
+  u64 total_instrs = 0;
+  u64 tcdm_conflicts = 0;
+  u64 icache_misses = 0;
+
+  // Co-simulation extras (zero on the analytic engine).
+  u64 host_cycles = 0;
+  u64 wire_bytes = 0;
+  u64 link_crc_errors = 0;
+  u64 fault_count = 0;  ///< Faults the injector actually fired (any engine).
+};
+
+/// Campaign-level merge, folded over jobs in index order.
+struct CampaignTotals {
+  u64 jobs = 0;
+  u64 passed = 0;
+  u64 failed = 0;  ///< !status.ok() — includes recovered-by-fallback jobs.
+  u64 fallbacks = 0;
+  u64 accel_cycles = 0;
+  u64 host_cycles = 0;
+  u64 total_instrs = 0;
+  u64 crc_errors = 0;
+  u64 retransmissions = 0;
+  u64 watchdog_expiries = 0;
+  u64 fault_count = 0;
+  double compute_s = 0;  ///< Sum of per-iteration compute windows.
+  double total_s = 0;    ///< Sum of end-to-end offload times.
+  double energy_j = 0;
+};
+
+/// Deterministic fold: index order, independent of completion order and
+/// worker count (floating-point sums are order-sensitive, so the order is
+/// pinned here instead of accumulating in completion order on workers).
+[[nodiscard]] CampaignTotals aggregate_totals(
+    const std::vector<JobResult>& jobs);
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<JobResult> jobs;  ///< Dense, job-index order.
+  CampaignTotals totals;
+  /// Wall-clock duration of the run. The one non-deterministic field —
+  /// never serialised by aggregate.cpp; the CLI reports it separately.
+  double elapsed_s = 0;
+};
+
+}  // namespace ulp::batch

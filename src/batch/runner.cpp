@@ -1,0 +1,166 @@
+#include "batch/runner.hpp"
+
+#include <exception>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "host/mcu.hpp"
+#include "kernels/kernel.hpp"
+#include "link/fault_injector.hpp"
+#include "power/pulp_power.hpp"
+#include "system/hetero_system.hpp"
+#include "system/host_driver.hpp"
+
+namespace ulp::batch {
+
+namespace {
+
+const kernels::KernelInfo* find_kernel(const std::string& name) {
+  for (const auto& k : kernels::all_kernels()) {
+    if (k.name == name) return &k;
+  }
+  for (const auto& k : kernels::extension_kernels()) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+/// Resolves the job's fault spec into a config whose schedule seed is a
+/// pure function of the *job's* derived seed (mixed with the spec's own
+/// seed key, so distinct specs stay distinct): job #k draws the same fault
+/// schedule alone as inside any campaign, on any worker.
+Status job_fault_config(const JobSpec& spec, link::FaultConfig* out) {
+  const Status s = link::FaultInjector::parse(spec.fault_spec, out);
+  if (!s.ok()) return s;
+  out->seed = derive_seed(spec.seed, out->seed);
+  return {};
+}
+
+void fill_cluster_stats(const cluster::ClusterStats& stats, JobResult* r) {
+  r->total_instrs = stats.total_instrs();
+  r->tcdm_conflicts = stats.tcdm_conflicts;
+  r->icache_misses = stats.icache_misses;
+}
+
+JobResult run_analytic(const JobSpec& spec, const kernels::KernelInfo& info,
+                       const power::OperatingPoint& op) {
+  JobResult r;
+  r.spec = spec;
+
+  const auto cfg = core::or10n_config();
+  const kernels::KernelCase kc = info.factory(
+      cfg.features, spec.num_cores, kernels::Target::kCluster, spec.seed);
+
+  const host::McuSpec& mcu = host::stm32l476();
+  link::SpiLinkConfig lcfg;
+  lcfg.lanes = mcu.spi_lanes;
+  lcfg.max_freq_hz = mcu.spi_max_hz;
+  runtime::OffloadSession session(mcu, mhz(spec.mcu_mhz),
+                                  link::SpiLink(lcfg));
+  session.set_reference_stepping(spec.reference_stepping);
+
+  std::unique_ptr<link::FaultInjector> injector;
+  if (!spec.fault_spec.empty()) {
+    link::FaultConfig fcfg;
+    const Status s = job_fault_config(spec, &fcfg);
+    if (!s.ok()) {
+      r.status = s;
+      return r;
+    }
+    injector = std::make_unique<link::FaultInjector>(fcfg);
+    session.attach_faults(injector.get());
+  }
+
+  const runtime::OffloadOutcome outcome = runtime::run_with_host_fallback(
+      session, kc.offload_request(), op, spec.num_cores);
+
+  r.status = outcome.status;
+  r.pass = outcome.output == kc.expected;
+  r.used_host_fallback = outcome.used_host_fallback;
+  r.timing = outcome.timing;
+  r.robust = outcome.robust;
+  r.accel_cycles = outcome.timing.accel_cycles;
+  fill_cluster_stats(outcome.stats, &r);
+  r.energy =
+      session.energy(outcome, op, spec.iterations, spec.double_buffered);
+  r.steady_power_w =
+      session.steady_power_w(outcome, op, spec.double_buffered);
+  if (injector != nullptr) {
+    r.fault_count = injector->counters().total_faults();
+  }
+  return r;
+}
+
+JobResult run_cosim(const JobSpec& spec, const kernels::KernelInfo& info,
+                    const power::OperatingPoint& op) {
+  JobResult r;
+  r.spec = spec;
+
+  const auto cfg = core::or10n_config();
+  const kernels::KernelCase kc = info.factory(
+      cfg.features, spec.num_cores, kernels::Target::kCluster, spec.seed);
+
+  system::HeteroSystemParams params;
+  params.mcu_freq_hz = mhz(spec.mcu_mhz);
+  params.pulp_freq_hz = op.freq_hz;
+  params.cluster_params.num_cores = spec.num_cores;
+  params.cluster_params.reference_stepping = spec.reference_stepping;
+
+  const bool robust = !spec.fault_spec.empty();
+  if (robust) {
+    link::FaultConfig fcfg;
+    const Status s = job_fault_config(spec, &fcfg);
+    if (!s.ok()) {
+      r.status = s;
+      return r;
+    }
+    params.crc_frames = true;
+    params.faults = fcfg;
+  }
+
+  const system::FullSystemPackage pkg =
+      robust ? system::package_robust_offload(kc) : system::package_offload(kc);
+  system::HeteroSystem sys(params);
+  const system::SystemOffloadResult res =
+      system::run_offload_with_fallback(sys, pkg);
+
+  r.status = res.status;
+  r.pass = res.output == kc.expected;
+  r.used_host_fallback = res.used_host_fallback;
+  r.host_cycles = res.host_cycles;
+  r.accel_cycles = res.stats.cluster_cycles;
+  r.wire_bytes = res.stats.wire_bytes;
+  r.link_crc_errors = res.stats.link_crc_errors;
+  r.fault_count = res.stats.fault_count;
+  return r;
+}
+
+}  // namespace
+
+JobResult run_job(const JobSpec& spec) {
+  try {
+    const kernels::KernelInfo* info = find_kernel(spec.kernel);
+    if (info == nullptr) {
+      JobResult r;
+      r.spec = spec;
+      r.status = Status::Error(StatusCode::kInvalidArgument,
+                               "unknown kernel '" + spec.kernel + "'");
+      return r;
+    }
+    power::PulpPowerModel pm;
+    const power::OperatingPoint op{spec.vdd, pm.fmax_hz(spec.vdd)};
+    return spec.engine == Engine::kCosim ? run_cosim(spec, *info, op)
+                                         : run_analytic(spec, *info, op);
+  } catch (const std::exception& e) {
+    // A job that trips a simulator precondition (SimError) or any other
+    // exception is isolated: the campaign records it and moves on.
+    JobResult r;
+    r.spec = spec;
+    r.status = Status::Error(StatusCode::kUnknown,
+                             std::string("job exception: ") + e.what());
+    return r;
+  }
+}
+
+}  // namespace ulp::batch

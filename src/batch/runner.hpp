@@ -1,0 +1,15 @@
+// Executes one campaign job on its simulation tier.
+#pragma once
+
+#include "batch/result.hpp"
+
+namespace ulp::batch {
+
+/// Runs `spec` to completion and returns its result. Never throws: setup
+/// errors and escaped simulation exceptions are folded into the result's
+/// Status so one broken job cannot abort a campaign. Thread-compatible —
+/// every simulation object is local to the call; concurrent run_job calls
+/// share nothing mutable.
+[[nodiscard]] JobResult run_job(const JobSpec& spec);
+
+}  // namespace ulp::batch

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "common/env.hpp"
+#include "common/config.hpp"
 #include "common/status.hpp"
 #include "trace/metrics.hpp"
 
@@ -19,8 +19,11 @@ u8 traced_core_state(const core::Core& c) {
 
 Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   ULP_CHECK(params_.num_cores >= 1, "cluster needs at least one core");
-  reference_stepping_ =
-      params_.reference_stepping.value_or(env_flag("ULP_REFERENCE_STEPPING"));
+  // Unset: the process-wide default, captured once from the environment
+  // (thread-safe; per-construction getenv would race concurrent campaign
+  // workers against any setenv).
+  reference_stepping_ = params_.reference_stepping.value_or(
+      config::reference_stepping_default());
   tcdm_ = std::make_unique<mem::Tcdm>(kTcdmBase, params_.tcdm_banks,
                                       params_.tcdm_bank_bytes);
   l2_ = std::make_unique<mem::Sram>(kL2Base, params_.l2_bytes);

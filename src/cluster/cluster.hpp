@@ -42,8 +42,10 @@ struct ClusterParams {
   u32 icache_miss_penalty = 8;
 
   /// Force per-cycle reference stepping (true) or quiescence fast-forward
-  /// (false). Unset: fast-forward unless the ULP_REFERENCE_STEPPING
-  /// environment variable is set. Both modes are cycle- and bit-identical
+  /// (false). Unset: the process-wide default (ULP_REFERENCE_STEPPING,
+  /// captured once at startup — see common/config.hpp; injectable via
+  /// config::set_reference_stepping_default before simulations start).
+  /// Both modes are cycle- and bit-identical
   /// by construction (enforced by the differential perf tests); the
   /// reference loop survives as the escape hatch and testing oracle.
   std::optional<bool> reference_stepping;

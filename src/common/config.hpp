@@ -1,0 +1,57 @@
+// Process-wide immutable simulation defaults.
+//
+// Simulation objects used to call getenv() at construction time; once many
+// HeteroSystem/Cluster instances run on concurrent worker threads (the
+// batch campaign engine), per-construction getenv is a data race against
+// any setenv and makes a mid-campaign environment change produce a mix of
+// stepping modes. The defaults here are captured from the environment
+// exactly once — at first use — and are immutable afterwards, so every
+// simulation in the process observes the same configuration. Tests and
+// CLIs that need a different default inject it explicitly *before* the
+// first simulation is constructed (or per instance, via
+// ClusterParams::reference_stepping, which always wins).
+#pragma once
+
+#include <atomic>
+
+#include "common/env.hpp"
+
+namespace ulp::config {
+
+namespace detail {
+/// Tri-state latch: -1 = not yet captured, 0/1 = captured value.
+inline std::atomic<int>& reference_stepping_state() {
+  static std::atomic<int> state{-1};
+  return state;
+}
+}  // namespace detail
+
+/// The process-wide default stepping mode: true = per-cycle reference
+/// loop, false = quiescence fast-forward. Captured from the
+/// ULP_REFERENCE_STEPPING environment variable on first call; every later
+/// call returns the same value regardless of setenv. Thread-safe.
+[[nodiscard]] inline bool reference_stepping_default() {
+  auto& state = detail::reference_stepping_state();
+  int v = state.load(std::memory_order_acquire);
+  if (v < 0) {
+    int captured = env_flag("ULP_REFERENCE_STEPPING") ? 1 : 0;
+    // First caller wins; a concurrent first call captures the same
+    // environment, so the race is benign either way.
+    if (!state.compare_exchange_strong(v, captured,
+                                       std::memory_order_acq_rel)) {
+      return v == 1;
+    }
+    return captured == 1;
+  }
+  return v == 1;
+}
+
+/// Explicit injection of the process default (CLI flags, tests). Must run
+/// before simulations that should observe it are constructed; instances
+/// already built keep the mode they latched.
+inline void set_reference_stepping_default(bool reference) {
+  detail::reference_stepping_state().store(reference ? 1 : 0,
+                                           std::memory_order_release);
+}
+
+}  // namespace ulp::config

@@ -6,9 +6,11 @@
 
 namespace ulp {
 
-/// True when `name` is set to anything other than "" or "0". Used for
-/// escape hatches like ULP_REFERENCE_STEPPING; read at each construction
-/// site (not cached) so tests may flip the variable between instances.
+/// True when `name` is set to anything other than "" or "0". Raw getenv
+/// is not thread-safe against setenv: simulation code must not call this
+/// directly but go through common/config.hpp, which captures each flag
+/// once at process start into an immutable default (tests and CLIs
+/// override per instance or via config setters instead of setenv).
 [[nodiscard]] inline bool env_flag(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;

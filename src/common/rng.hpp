@@ -42,4 +42,19 @@ class Rng {
   u64 state_;
 };
 
+/// Splittable counter-derived seed: a stateless splitmix64 finalizer over
+/// (base, stream). The batch campaign engine keys every job's input data
+/// and fault schedule to derive_seed(campaign_seed, job_index), so a job's
+/// randomness is a pure function of its position in the declarative matrix
+/// — independent of execution order, worker count, and of every other job.
+/// Streams of the same base never collide for distinct indices (the mix is
+/// a bijection of the counter), and seed 0 is avoided for Rng's sake.
+[[nodiscard]] constexpr u64 derive_seed(u64 base, u64 stream) {
+  u64 z = base + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
 }  // namespace ulp

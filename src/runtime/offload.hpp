@@ -157,8 +157,10 @@ class OffloadSession {
   void attach_faults(link::FaultInjector* injector, RetryPolicy policy = {});
 
   /// Force the cycle-accurate cluster inside run() into reference (true)
-  /// or fast-forward (false) stepping; nullopt = ULP_REFERENCE_STEPPING.
-  /// The robustness tests diff the two modes bit-for-bit.
+  /// or fast-forward (false) stepping; nullopt = the process default
+  /// (config::reference_stepping_default, the one-shot capture of
+  /// ULP_REFERENCE_STEPPING). The robustness tests diff the two modes
+  /// bit-for-bit.
   void set_reference_stepping(std::optional<bool> mode) {
     reference_stepping_ = mode;
   }

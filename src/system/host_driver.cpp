@@ -226,6 +226,7 @@ SystemOffloadResult run_offload_with_fallback(HeteroSystem& sys,
   sys.load_host_program(pkg.host_program);
   SystemOffloadResult r;
   r.host_cycles = sys.run_to_host_halt(max_host_cycles);
+  r.stats = sys.stats();
   mem::Sram& sram = sys.host_sram();
   if (pkg.spec.status_addr != 0) {
     r.driver_status =

@@ -19,6 +19,7 @@
 #include "codegen/builder.hpp"
 #include "isa/program.hpp"
 #include "kernels/kernel.hpp"
+#include "system/hetero_system.hpp"
 
 namespace ulp::system {
 
@@ -109,8 +110,6 @@ struct RobustOffloadOptions {
     const kernels::KernelCase& kc, const RobustOffloadOptions& opts = {},
     Addr l2_staging = memmap::kL2Base);
 
-class HeteroSystem;
-
 /// Outcome of one full-system offload run through the degradation path.
 struct SystemOffloadResult {
   std::vector<u8> output;          ///< Correct either way when ok()/fallback.
@@ -118,6 +117,11 @@ struct SystemOffloadResult {
   bool used_host_fallback = false; ///< Output came from the host reference.
   u32 driver_status = kDriverStatusOk;  ///< Raw driver status word.
   u64 host_cycles = 0;
+  /// Snapshot of the node's counters at halt (cluster cycles, wire bytes,
+  /// link frames/CRC rejects, injected faults). Lets batch campaigns
+  /// aggregate co-simulation runs without reaching back into the system
+  /// object after the result was returned.
+  HeteroStats stats;
 };
 
 /// Load `pkg` into `sys`, run to host halt, and read the driver's verdict:

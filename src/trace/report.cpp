@@ -64,6 +64,23 @@ Status CsvWriter::row(const std::vector<double>& values) {
   return {};
 }
 
+Status CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    return Status::Error("CSV row arity mismatch: got " +
+                         std::to_string(cells.size()) + " cells for " +
+                         std::to_string(columns_) + " columns");
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape_field(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+  if (!out_.good()) return Status::Error("CSV write failed (stream error)");
+  ++rows_;
+  return {};
+}
+
 std::string csv_path_from_args(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) return argv[i + 1];

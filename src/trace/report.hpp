@@ -30,6 +30,12 @@ class CsvWriter {
   /// rejects the write; the file is left untouched on arity mismatch.
   Status row(const std::vector<double>& values);
 
+  /// Appends one row of pre-formatted cells (quoted per RFC 4180 where
+  /// needed). For mixed numeric/text tables — the campaign engine's
+  /// per-job rows carry kernel names, fault specs and status strings next
+  /// to the numbers. Same arity/stream error contract as the numeric row.
+  Status row(const std::vector<std::string>& cells);
+
   /// RFC 4180 field encoding: wraps the field in double quotes and doubles
   /// embedded quotes iff it contains a comma, quote, CR or LF.
   [[nodiscard]] static std::string escape_field(const std::string& field);

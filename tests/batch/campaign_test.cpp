@@ -1,0 +1,158 @@
+// CampaignSpec expansion and campaign-file parsing.
+#include "batch/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+
+namespace ulp::batch {
+namespace {
+
+TEST(CampaignExpand, DocumentOrderAndCount) {
+  CampaignSpec spec;
+  spec.kernels = {"matmul", "cnn"};
+  spec.num_cores = {1, 4};
+  spec.mcu_mhz = {16.0};
+  spec.vdd = {0.5, 0.8};
+  spec.faults = {"none"};
+  spec.repeats = 3;
+  const std::vector<JobSpec> jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), spec.job_count());
+  ASSERT_EQ(jobs.size(), 2u * 2u * 1u * 2u * 1u * 3u);
+
+  // Indices are dense document order; repeats vary innermost, kernels
+  // outermost.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+  }
+  EXPECT_EQ(jobs[0].kernel, "matmul");
+  EXPECT_EQ(jobs[0].repeat, 0u);
+  EXPECT_EQ(jobs[1].repeat, 1u);
+  EXPECT_EQ(jobs[2].repeat, 2u);
+  EXPECT_EQ(jobs[3].vdd, 0.8);
+  EXPECT_EQ(jobs.back().kernel, "cnn");
+  EXPECT_EQ(jobs.back().num_cores, 4u);
+}
+
+TEST(CampaignExpand, SeedsAreDerivedFromIndexOnly) {
+  CampaignSpec spec;
+  spec.kernels = {"matmul", "cnn"};
+  spec.repeats = 4;
+  spec.base_seed = 99;
+  const std::vector<JobSpec> jobs = expand(spec);
+
+  std::set<u64> seeds;
+  for (const JobSpec& j : jobs) {
+    EXPECT_EQ(j.seed, derive_seed(99, j.index));
+    seeds.insert(j.seed);
+  }
+  // Derived seeds are distinct across the matrix (splitmix64 finalizer).
+  EXPECT_EQ(seeds.size(), jobs.size());
+
+  // Growing the matrix does not disturb the seeds of earlier cells with
+  // the same index, and a different base re-keys everything.
+  spec.repeats = 8;
+  const std::vector<JobSpec> more = expand(spec);
+  EXPECT_EQ(more[0].seed, jobs[0].seed);
+  spec.base_seed = 100;
+  EXPECT_NE(expand(spec)[0].seed, jobs[0].seed);
+}
+
+TEST(CampaignExpand, NormalisesNoneFaultSpec) {
+  CampaignSpec spec;
+  spec.faults = {"none", "seed=7,flip=1e-4"};
+  const std::vector<JobSpec> jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_TRUE(jobs[0].fault_spec.empty());
+  EXPECT_EQ(jobs[1].fault_spec, "seed=7,flip=1e-4");
+}
+
+TEST(CampaignParse, FullFileRoundTrip) {
+  CampaignSpec spec;
+  const Status s = parse_campaign_text(
+      "# sweep over the paper's design space\n"
+      "engine   = cosim\n"
+      "kernels  = matmul, cnn  # two of Table 1's workloads\n"
+      "cores    = 1, 4, 8\n"
+      "mcu_mhz  = 16, 48\n"
+      "vdd      = 0.5, 0.8, 1.0\n"
+      "faults   = none; seed=7,flip=1e-4\n"
+      "repeats  = 2\n"
+      "seed     = 42\n"
+      "iterations = 10\n"
+      "double_buffered = 1\n",
+      &spec);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(spec.engine, Engine::kCosim);
+  EXPECT_EQ(spec.kernels, (std::vector<std::string>{"matmul", "cnn"}));
+  EXPECT_EQ(spec.num_cores, (std::vector<u32>{1, 4, 8}));
+  EXPECT_EQ(spec.mcu_mhz, (std::vector<double>{16, 48}));
+  EXPECT_EQ(spec.vdd, (std::vector<double>{0.5, 0.8, 1.0}));
+  EXPECT_EQ(spec.faults,
+            (std::vector<std::string>{"none", "seed=7,flip=1e-4"}));
+  EXPECT_EQ(spec.repeats, 2u);
+  EXPECT_EQ(spec.base_seed, 42u);
+  EXPECT_EQ(spec.iterations, 10u);
+  EXPECT_TRUE(spec.double_buffered);
+  EXPECT_EQ(spec.job_count(), 2u * 3u * 2u * 3u * 2u * 2u);
+}
+
+TEST(CampaignParse, KeysNotPresentKeepDefaults) {
+  CampaignSpec spec;
+  ASSERT_TRUE(parse_campaign_text("cores = 8\n", &spec).ok());
+  EXPECT_EQ(spec.num_cores, (std::vector<u32>{8}));
+  EXPECT_EQ(spec.kernels, (std::vector<std::string>{"matmul"}));
+  EXPECT_EQ(spec.engine, Engine::kAnalytic);
+}
+
+TEST(CampaignParse, ErrorsCarryLineNumbers) {
+  CampaignSpec spec;
+  const Status bad_key = parse_campaign_text("cores = 4\nwat = 1\n", &spec);
+  EXPECT_EQ(bad_key.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_key.message().find("line 2"), std::string::npos);
+
+  const Status bad_num = parse_campaign_text("vdd = 0.5, oops\n", &spec);
+  EXPECT_EQ(bad_num.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_num.message().find("line 1"), std::string::npos);
+
+  EXPECT_EQ(parse_campaign_text("engine = magic\n", &spec).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parse_campaign_text("cores = 0\n", &spec).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parse_campaign_text("just some words\n", &spec).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CampaignParse, MissingFileIsIoError) {
+  CampaignSpec spec;
+  EXPECT_EQ(parse_campaign_file("/nonexistent/campaign.txt", &spec).code(),
+            StatusCode::kIoError);
+}
+
+TEST(ProcessConfig, ReferenceSteppingDefaultIsInjectable) {
+  // Latch (or read back) the process default, exercise injection both
+  // ways, then restore what the process started with: later tests build
+  // clusters under the original mode.
+  const bool original = config::reference_stepping_default();
+  config::set_reference_stepping_default(true);
+  EXPECT_TRUE(config::reference_stepping_default());
+  config::set_reference_stepping_default(false);
+  EXPECT_FALSE(config::reference_stepping_default());
+  config::set_reference_stepping_default(original);
+  EXPECT_EQ(config::reference_stepping_default(), original);
+}
+
+TEST(CampaignLabel, IsHumanReadable) {
+  CampaignSpec spec;
+  spec.faults = {"seed=7,flip=1e-4"};
+  const std::vector<JobSpec> jobs = expand(spec);
+  EXPECT_EQ(jobs[0].label(), "matmul/cores4/mcu16/vdd0.50/seed=7,flip=1e-4/r0");
+  CampaignSpec clean;
+  EXPECT_EQ(expand(clean)[0].label(), "matmul/cores4/mcu16/vdd0.50/clean/r0");
+}
+
+}  // namespace
+}  // namespace ulp::batch

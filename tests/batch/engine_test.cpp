@@ -1,0 +1,178 @@
+// Campaign engine determinism and failure isolation.
+//
+// The load-bearing properties: (1) the serialised aggregate of a campaign
+// is byte-identical whatever the worker count, (2) a job's result is the
+// same whether it runs alone or inside a campaign, (3) one failing job
+// never takes the campaign down with it.
+#include "batch/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "batch/aggregate.hpp"
+#include "batch/runner.hpp"
+
+namespace ulp::batch {
+namespace {
+
+CampaignSpec mixed_spec() {
+  CampaignSpec spec;
+  spec.kernels = {"matmul", "cnn"};
+  spec.num_cores = {1, 4};
+  spec.vdd = {0.5, 0.8};
+  spec.faults = {"none", "seed=7,flip=2e-4"};
+  spec.repeats = 2;
+  spec.base_seed = 13;
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(CampaignEngine, AggregateIsByteIdenticalAcrossWorkerCounts) {
+  const CampaignSpec spec = mixed_spec();
+
+  RunOptions serial;
+  serial.workers = 0;  // Inline: the zero-thread oracle.
+  const CampaignResult ref = run_campaign(spec, serial);
+  ASSERT_EQ(ref.jobs.size(), spec.job_count());
+
+  RunOptions threaded;
+  threaded.workers = 4;
+  const CampaignResult par = run_campaign(spec, threaded);
+
+  EXPECT_EQ(to_json(ref), to_json(par));
+
+  const std::string csv_ref = temp_path("campaign_ref.csv");
+  const std::string csv_par = temp_path("campaign_par.csv");
+  ASSERT_TRUE(write_csv(csv_ref, ref).ok());
+  ASSERT_TRUE(write_csv(csv_par, par).ok());
+  const std::string ref_text = slurp(csv_ref);
+  EXPECT_FALSE(ref_text.empty());
+  EXPECT_EQ(ref_text, slurp(csv_par));
+
+  const std::string json_path = temp_path("campaign.json");
+  ASSERT_TRUE(write_json(json_path, ref).ok());
+  EXPECT_EQ(slurp(json_path), to_json(ref));
+}
+
+TEST(CampaignEngine, JobAloneMatchesJobInsideCampaign) {
+  const CampaignSpec spec = mixed_spec();
+  RunOptions options;
+  options.workers = 4;
+  const CampaignResult result = run_campaign(spec, options);
+
+  // Spot-check cells across the matrix, including fault-injected ones:
+  // run_job(spec) standalone must reproduce the in-campaign result
+  // exactly, counters included.
+  const std::vector<JobSpec> jobs = expand(spec);
+  for (const u64 k : {u64{0}, u64{5}, u64{13}, jobs.size() - 1}) {
+    const JobResult alone = run_job(jobs[k]);
+    const JobResult& in_campaign = result.jobs[k];
+    EXPECT_EQ(alone.status.code(), in_campaign.status.code()) << k;
+    EXPECT_EQ(alone.pass, in_campaign.pass) << k;
+    EXPECT_EQ(alone.accel_cycles, in_campaign.accel_cycles) << k;
+    EXPECT_EQ(alone.total_instrs, in_campaign.total_instrs) << k;
+    EXPECT_EQ(alone.fault_count, in_campaign.fault_count) << k;
+    EXPECT_EQ(alone.robust.crc_errors, in_campaign.robust.crc_errors) << k;
+    EXPECT_EQ(alone.robust.retransmissions,
+              in_campaign.robust.retransmissions)
+        << k;
+    EXPECT_EQ(alone.timing.t_compute_s, in_campaign.timing.t_compute_s) << k;
+    EXPECT_EQ(alone.energy.total_j(), in_campaign.energy.total_j()) << k;
+  }
+}
+
+TEST(CampaignEngine, FailingJobIsIsolated) {
+  CampaignSpec spec;
+  spec.kernels = {"matmul", "no_such_kernel", "cnn"};
+  spec.num_cores = {4};
+  RunOptions options;
+  options.workers = 2;
+  const CampaignResult result = run_campaign(spec, options);
+
+  ASSERT_EQ(result.jobs.size(), 3u);
+  EXPECT_TRUE(result.jobs[0].status.ok());
+  EXPECT_TRUE(result.jobs[0].pass);
+  EXPECT_EQ(result.jobs[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(result.jobs[1].pass);
+  EXPECT_TRUE(result.jobs[2].status.ok());
+  EXPECT_TRUE(result.jobs[2].pass);
+
+  EXPECT_EQ(result.totals.jobs, 3u);
+  EXPECT_EQ(result.totals.passed, 2u);
+  EXPECT_EQ(result.totals.failed, 1u);
+
+  // The failed job is visible (with its message) in both serialisations.
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("no_such_kernel"), std::string::npos);
+  EXPECT_NE(json.find("unknown kernel"), std::string::npos);
+}
+
+TEST(CampaignEngine, BadFaultSpecFailsOnlyThatJob) {
+  CampaignSpec spec;
+  spec.faults = {"none", "bogus=1"};
+  const CampaignResult result = run_campaign(spec, {});
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_TRUE(result.jobs[0].status.ok());
+  EXPECT_EQ(result.jobs[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.totals.failed, 1u);
+}
+
+TEST(CampaignEngine, ProgressReachesFinalSnapshotOnCallingThread) {
+  CampaignSpec spec;
+  spec.kernels = {"matmul"};
+  spec.repeats = 3;
+  RunOptions options;
+  options.workers = 2;
+  options.progress_period_ms = 1;
+  const std::thread::id caller = std::this_thread::get_id();
+  ProgressSnapshot last;
+  int calls = 0;
+  options.on_progress = [&](const ProgressSnapshot& p) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    last = p;
+    ++calls;
+  };
+  const CampaignResult result = run_campaign(spec, options);
+  EXPECT_GE(calls, 1);
+  EXPECT_EQ(last.jobs_total, 3u);
+  EXPECT_EQ(last.jobs_done, 3u);
+  EXPECT_EQ(last.accel_cycles, result.totals.accel_cycles);
+  EXPECT_GE(result.elapsed_s, 0.0);
+}
+
+TEST(CampaignEngine, CosimEngineAggregatesDeterministically) {
+  CampaignSpec spec;
+  spec.engine = Engine::kCosim;
+  spec.kernels = {"matmul"};
+  spec.num_cores = {1, 4};
+  spec.faults = {"none", "seed=5,flip=1e-4"};
+  RunOptions serial;
+  serial.workers = 0;
+  RunOptions threaded;
+  threaded.workers = 4;
+  const CampaignResult a = run_campaign(spec, serial);
+  const CampaignResult b = run_campaign(spec, threaded);
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_EQ(a.totals.host_cycles, b.totals.host_cycles);
+  EXPECT_GT(a.totals.host_cycles, 0u);
+  for (const JobResult& r : a.jobs) {
+    EXPECT_TRUE(r.pass) << r.spec.label() << ": " << r.status.message();
+  }
+}
+
+}  // namespace
+}  // namespace ulp::batch

@@ -1,0 +1,78 @@
+// batch::Pool: draining, idleness, inline mode.
+#include "batch/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace ulp::batch {
+namespace {
+
+TEST(Pool, RunsEveryTask) {
+  std::atomic<int> count{0};
+  {
+    Pool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+    EXPECT_EQ(pool.pending(), 0u);
+  }
+}
+
+TEST(Pool, ZeroWorkersRunsInlineOnSubmit) {
+  Pool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  int count = 0;  // Plain int: inline mode is single-threaded by contract.
+  std::thread::id submitter = std::this_thread::get_id();
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] {
+      ++count;
+      EXPECT_EQ(std::this_thread::get_id(), submitter);
+    });
+    EXPECT_EQ(count, i + 1);  // Ran before submit returned.
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Pool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    Pool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must finish the queue, not drop it.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Pool, WaitIdleForReportsCompletion) {
+  Pool pool(2);
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  EXPECT_FALSE(pool.wait_idle_for(1));  // Task is stuck: times out.
+  release.store(true);
+  // Generous bound: just asserts it *does* go idle once released.
+  EXPECT_TRUE(pool.wait_idle_for(10'000));
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(Pool, ManyMoreTasksThanWorkers) {
+  std::atomic<u64> sum{0};
+  Pool pool(3);
+  for (u64 i = 1; i <= 1000; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 1000u * 1001u / 2u);
+}
+
+}  // namespace
+}  // namespace ulp::batch

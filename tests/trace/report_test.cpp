@@ -46,17 +46,34 @@ TEST(CsvWriter, WritesHeaderAndRows) {
   std::remove(path.c_str());
 }
 
+TEST(CsvWriter, WritesStringCellsWithQuoting) {
+  const std::string path = ::testing::TempDir() + "ulp_csv_test_str.csv";
+  {
+    CsvWriter csv(path, {"kernel", "faults", "cycles"});
+    EXPECT_TRUE(csv.row({"matmul", "seed=7,flip=1e-4", "123"}).ok());
+    EXPECT_FALSE(csv.row(std::vector<std::string>{"too", "few"}).ok());
+    EXPECT_EQ(csv.rows_written(), 1u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  // The fault spec contains a comma, so RFC 4180 quoting kicks in.
+  EXPECT_EQ(line, "matmul,\"seed=7,flip=1e-4\",123");
+  std::remove(path.c_str());
+}
+
 TEST(CsvWriter, RejectsArityMismatchWithoutWriting) {
   const std::string path = ::testing::TempDir() + "ulp_csv_test2.csv";
   {
     CsvWriter csv(path, {"a", "b"});
-    const Status narrow = csv.row({1});
+    const Status narrow = csv.row(std::vector<double>{1});
     EXPECT_FALSE(narrow.ok());
     EXPECT_NE(narrow.message().find("arity"), std::string::npos);
-    EXPECT_FALSE(csv.row({1, 2, 3}).ok());
-    EXPECT_THROW(csv.row({1}).or_throw(), SimError);
+    EXPECT_FALSE(csv.row(std::vector<double>{1, 2, 3}).ok());
+    EXPECT_THROW(csv.row(std::vector<double>{1}).or_throw(), SimError);
     EXPECT_EQ(csv.rows_written(), 0u);
-    EXPECT_TRUE(csv.row({7, 8}).ok());  // writer still usable
+    EXPECT_TRUE(csv.row(std::vector<double>{7, 8}).ok());  // writer still usable
   }
   std::ifstream in(path);
   std::string line;
@@ -75,7 +92,7 @@ TEST(CsvWriter, QuotesHeaderFieldsPerRfc4180) {
   const std::string path = ::testing::TempDir() + "ulp_csv_test3.csv";
   {
     CsvWriter csv(path, {"cycles", "energy [J], total", "say \"hi\""});
-    EXPECT_TRUE(csv.row({1, 2, 3}).ok());
+    EXPECT_TRUE(csv.row(std::vector<double>{1, 2, 3}).ok());
   }
   std::ifstream in(path);
   std::string line;
