@@ -1,0 +1,163 @@
+// ulp_fuzz: randomized differential verification driver.
+//
+// Default run: a campaign of constrained-random single-core programs
+// checked three ways (independent golden interpreter, reference-stepped
+// cluster, fast-forward cluster) plus multi-core stress schedules checked
+// for convergence, mode equality and DMA byte-exactness. Failures are
+// auto-shrunk to minimal repros.
+//
+//   ulp_fuzz                         default campaign (500 + 100)
+//   ulp_fuzz --programs N --stress M --seed S --items K
+//   ulp_fuzz --coverage              print the opcode coverage matrix;
+//                                    exit 1 if any opcode went unexercised
+//   ulp_fuzz --replay file.repro     re-run one saved repro (both modes)
+//   ulp_fuzz --emit-corpus DIR N     save N generated programs as .repro
+//   ulp_fuzz --shrink-out DIR        where to write shrunken failures
+//
+// Exit codes: 0 = clean, 1 = differential failures (or coverage gap with
+// --coverage), 2 = usage / setup error.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/status.hpp"
+#include "verif/differential.hpp"
+#include "verif/repro.hpp"
+#include "verif/shrink.hpp"
+
+namespace {
+
+using namespace ulp;
+
+int usage() {
+  std::cerr << "usage: ulp_fuzz [--programs N] [--stress M] [--seed S]\n"
+               "                [--items K] [--no-dma] [--coverage]\n"
+               "                [--shrink-out DIR] [--emit-corpus DIR N]\n"
+               "                [--replay FILE.repro]\n";
+  return 2;
+}
+
+int replay(const std::string& path) {
+  verif::GenProgram gp = verif::load_repro(path);
+  std::cout << "replaying " << path << ": profile=" << gp.profile
+            << " cores=" << gp.num_cores << " instrs="
+            << gp.program.code.size() << "\n";
+  const verif::DiffResult r = verif::check_program(gp);
+  if (!r.pass) {
+    std::cout << "FAIL: " << r.detail << "\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}
+
+int emit_corpus(const verif::CampaignParams& params, const std::string& dir,
+                u32 count) {
+  for (u32 i = 0; i < count; ++i) {
+    const bool stress = i % 5 == 4;  // every fifth corpus entry multi-core
+    const verif::GenParams gen =
+        verif::campaign_member(params, i, stress);
+    const verif::GenProgram gp = verif::generate(gen);
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s%03u_%s.repro",
+                  stress ? "stress" : "diff", i, gp.profile.c_str());
+    const std::string path = dir + "/" + name;
+    const Status s = verif::save_repro(gp, path);
+    if (!s.ok()) {
+      std::cerr << "error: " << s.message() << "\n";
+      return 2;
+    }
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verif::CampaignParams params;
+  bool coverage_mode = false;
+  std::string shrink_dir;
+  std::string replay_path;
+  std::string corpus_dir;
+  u32 corpus_count = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--programs") {
+      params.num_programs = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--stress") {
+      params.num_stress = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--seed") {
+      params.seed = std::stoull(value(), nullptr, 0);
+    } else if (arg == "--items") {
+      params.body_items = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--no-dma") {
+      params.allow_dma = false;
+    } else if (arg == "--coverage") {
+      coverage_mode = true;
+    } else if (arg == "--shrink-out") {
+      shrink_dir = value();
+    } else if (arg == "--replay") {
+      replay_path = value();
+    } else if (arg == "--emit-corpus") {
+      corpus_dir = value();
+      corpus_count = static_cast<u32>(std::stoul(value()));
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    if (!replay_path.empty()) return replay(replay_path);
+    if (!corpus_dir.empty()) return emit_corpus(params, corpus_dir,
+                                                corpus_count);
+
+    const verif::CampaignResult result = verif::run_campaign(params);
+    std::cout << "campaign: " << result.programs_run << " programs, "
+              << result.stress_run << " stress schedules, "
+              << result.coverage.total() << " instructions retired, "
+              << result.failure_count << " failures\n";
+
+    for (const verif::CampaignFailure& f : result.failures) {
+      std::cout << "\nFAIL seed=0x" << std::hex << f.params.seed << std::dec
+                << " profile=" << f.params.profile << " cores="
+                << f.params.num_cores << "\n  " << f.detail << "\n";
+      const verif::GenProgram gp = verif::generate(f.params);
+      const verif::ShrinkResult shrunk = verif::shrink(gp, f.detail);
+      std::cout << "  shrunk " << shrunk.original_instrs << " -> "
+                << shrunk.shrunk_instrs << " instrs ("
+                << shrunk.oracle_calls << " oracle calls): "
+                << shrunk.detail << "\n";
+      if (!shrink_dir.empty()) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "fail_%016llx.repro",
+                      static_cast<unsigned long long>(f.params.seed));
+        const std::string path = shrink_dir + "/" + name;
+        const Status s = verif::save_repro(shrunk.program, path);
+        if (s.ok()) {
+          std::cout << "  repro: " << path << "\n";
+        } else {
+          std::cerr << "  error writing repro: " << s.message() << "\n";
+        }
+      }
+    }
+
+    if (coverage_mode) {
+      std::cout << "\n" << result.coverage.report();
+      const auto missing = result.coverage.unexercised();
+      if (!missing.empty()) return 1;
+    }
+    return result.pass() ? 0 : 1;
+  } catch (const SimError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -148,6 +148,7 @@ isa::Program assemble(std::string_view source) {
     std::string rest;
     std::getline(ls, rest);
     const std::vector<std::string> ops = operand_tokens(rest);
+    const size_t pending_before = pending.size();
 
     auto need = [&](size_t n) {
       if (ops.size() != n) {
@@ -220,6 +221,13 @@ isa::Program assemble(std::string_view source) {
           need(0);
         }
         break;
+    }
+    // Literal immediates are validated here; label-resolved offsets are
+    // validated after backpatching below.
+    if (pending.size() == pending_before &&
+        !isa::imm_fits(in.op, in.imm)) {
+      syntax_error(line_no, "immediate " + std::to_string(in.imm) +
+                                " out of range for '" + mnemonic + "'");
     }
     code.push_back(in);
   }

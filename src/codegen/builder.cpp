@@ -14,6 +14,18 @@ u32 Builder::emit(Opcode op, u8 rd, u8 ra, u8 rb, i32 imm) {
   return index;
 }
 
+const isa::Instr& Builder::instr_at(u32 index) const {
+  ULP_CHECK(index < code_.size(), "instr_at index out of range");
+  return code_[index];
+}
+
+void Builder::patch_imm(u32 index, i32 imm) {
+  ULP_CHECK(index < code_.size(), "patch_imm index out of range");
+  ULP_CHECK(isa::imm_fits(code_[index].op, imm),
+            "patch_imm immediate out of range");
+  code_[index].imm = imm;
+}
+
 Builder::Label Builder::make_label() {
   label_pos_.push_back(-1);
   return static_cast<Label>(label_pos_.size() - 1);

@@ -45,6 +45,14 @@ class Builder {
   /// Current instruction count (the next emitted index).
   [[nodiscard]] u32 here() const { return static_cast<u32>(code_.size()); }
 
+  /// Read back an already-emitted instruction.
+  [[nodiscard]] const isa::Instr& instr_at(u32 index) const;
+
+  /// Patch the immediate of an already-emitted instruction. The program
+  /// generator uses this for raw lp.setup body lengths it lays out itself
+  /// (boundary cases the loop() helper deliberately avoids).
+  void patch_imm(u32 index, i32 imm);
+
   // ---- labels --------------------------------------------------------
   [[nodiscard]] Label make_label();
   void bind(Label label);
@@ -103,6 +111,10 @@ class Builder {
 
   // ---- cluster services ------------------------------------------------
   void barrier() { emit(isa::Opcode::kBarrier); }
+  void sev(u32 event = 0) {
+    emit(isa::Opcode::kSev, 0, 0, 0, static_cast<i32>(event));
+  }
+  void wfe() { emit(isa::Opcode::kWfe); }
   void eoc(u32 flag = 1) { emit(isa::Opcode::kEoc, 0, 0, 0, static_cast<i32>(flag)); }
   void halt() { emit(isa::Opcode::kHalt); }
   void csr_coreid(u8 rd) { emit(isa::Opcode::kCsrr, rd, 0, 0, 0); }

@@ -54,4 +54,37 @@ inline void set_reference_stepping_default(bool reference) {
                                            std::memory_order_release);
 }
 
+namespace detail {
+inline std::atomic<int>& hwloop_bug_state() {
+  static std::atomic<int> state{-1};
+  return state;
+}
+}  // namespace detail
+
+/// Verification self-test fault: when set, cores execute hardware loops one
+/// iteration short (an injected off-by-one in the loop-expiry check). The
+/// differential fuzzer must detect and shrink this divergence; it exists so
+/// the verifier itself can be verified, riscv-dv "bug injection" style.
+/// Captured once from ULP_INJECT_HWLOOP_BUG; cores latch it at reset().
+/// Never set this outside the fuzzer's self-tests.
+[[nodiscard]] inline bool inject_hwloop_bug() {
+  auto& state = detail::hwloop_bug_state();
+  int v = state.load(std::memory_order_acquire);
+  if (v < 0) {
+    int captured = env_flag("ULP_INJECT_HWLOOP_BUG") ? 1 : 0;
+    if (!state.compare_exchange_strong(v, captured,
+                                       std::memory_order_acq_rel)) {
+      return v == 1;
+    }
+    return captured == 1;
+  }
+  return v == 1;
+}
+
+/// Test hook: toggles the injected hardware-loop fault. Cores constructed
+/// (reset) afterwards observe the new value; restore to false when done.
+inline void set_inject_hwloop_bug(bool inject) {
+  detail::hwloop_bug_state().store(inject ? 1 : 0, std::memory_order_release);
+}
+
 }  // namespace ulp::config

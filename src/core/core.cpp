@@ -1,5 +1,6 @@
 #include "core/core.hpp"
 
+#include "common/config.hpp"
 #include "common/status.hpp"
 #include "isa/disasm.hpp"
 
@@ -43,6 +44,7 @@ void Core::reset(const isa::Program* program) {
   regs_.fill(0);
   pc_ = program->entry;
   loops_ = {};
+  hwloop_bug_ = config::inject_hwloop_bug();
   halted_ = false;
   sleeping_ = false;
   busy_ = 0;
@@ -151,10 +153,13 @@ void Core::advance_pc_sequential() {
     // Innermost loop (slot 1) is checked first so nesting works. When the
     // inner loop expires we keep checking the outer slot: the two bodies may
     // legally end on the same instruction.
+    // hwloop_bug_ raises the continue threshold by one, dropping the last
+    // iteration — the injected fault the differential fuzzer must catch.
+    const u32 last = hwloop_bug_ ? 2u : 1u;
     for (int slot = 1; slot >= 0; --slot) {
       HwLoop& lp = loops_[static_cast<size_t>(slot)];
       if (lp.count > 0 && next == lp.end) {
-        if (lp.count > 1) {
+        if (lp.count > last) {
           --lp.count;
           next = lp.start;
           break;

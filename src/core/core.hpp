@@ -162,6 +162,9 @@ class Core {
   std::array<HwLoop, 2> loops_{};
 
   bool halted_ = true;
+  /// Injected off-by-one in the hardware-loop expiry check (verification
+  /// self-test fault; latched from config::inject_hwloop_bug() at reset).
+  bool hwloop_bug_ = false;
   bool sleeping_ = false;
   WakeKind sleep_kind_ = WakeKind::kEvent;
   u32 busy_ = 0;  ///< Remaining stall cycles of the current instruction.

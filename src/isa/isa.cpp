@@ -32,6 +32,20 @@ constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
 }};
 }  // namespace
 
+std::string_view fmt_name(Fmt fmt) {
+  switch (fmt) {
+    case Fmt::kR: return "R";
+    case Fmt::kI: return "I";
+    case Fmt::kLui: return "Lui";
+    case Fmt::kMem: return "Mem";
+    case Fmt::kB: return "B";
+    case Fmt::kJ: return "J";
+    case Fmt::kLp: return "Lp";
+    case Fmt::kSys: return "Sys";
+  }
+  return "?";
+}
+
 const OpInfo& op_info(Opcode op) {
   const auto idx = static_cast<size_t>(op);
   ULP_CHECK(idx < kNumOpcodes, "invalid opcode");

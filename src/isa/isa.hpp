@@ -84,12 +84,18 @@ enum class Fmt : u8 {
   kSys,  ///< op [rd,] imm15            (csrr/sev/eoc/barrier/wfe/nop/halt)
 };
 
+inline constexpr size_t kNumFmts = 8;
+
 struct OpInfo {
   std::string_view mnemonic;
   Fmt fmt;
 };
 
 [[nodiscard]] const OpInfo& op_info(Opcode op);
+
+/// Short format name ("R", "I", "Mem", ...) for coverage matrices and
+/// diagnostics.
+[[nodiscard]] std::string_view fmt_name(Fmt fmt);
 
 /// One decoded instruction. `imm` is already sign-extended.
 struct Instr {

@@ -1,0 +1,89 @@
+#include "verif/coverage.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ulp::verif {
+
+namespace {
+
+size_t width_index(int size) {
+  switch (size) {
+    case 1: return 0;
+    case 2: return 1;
+    default: return 2;
+  }
+}
+
+}  // namespace
+
+void Coverage::record(const isa::Instr& in) {
+  ++ops_[static_cast<size_t>(in.op)];
+  ++fmts_[static_cast<size_t>(isa::op_info(in.op).fmt)];
+}
+
+void Coverage::record_mem(int size, bool unaligned, bool straddle) {
+  if (unaligned) ++unaligned_[width_index(size)];
+  if (straddle) ++straddles_;
+}
+
+void Coverage::record_hwloop_depth(u32 depth) {
+  ++hwloop_depth_[std::min<u32>(depth, 2)];
+}
+
+void Coverage::merge(const Coverage& other) {
+  for (size_t i = 0; i < ops_.size(); ++i) ops_[i] += other.ops_[i];
+  for (size_t i = 0; i < fmts_.size(); ++i) fmts_[i] += other.fmts_[i];
+  for (size_t i = 0; i < hwloop_depth_.size(); ++i) {
+    hwloop_depth_[i] += other.hwloop_depth_[i];
+  }
+  for (size_t i = 0; i < unaligned_.size(); ++i) {
+    unaligned_[i] += other.unaligned_[i];
+  }
+  straddles_ += other.straddles_;
+}
+
+u64 Coverage::total() const {
+  u64 sum = 0;
+  for (u64 c : ops_) sum += c;
+  return sum;
+}
+
+std::vector<isa::Opcode> Coverage::unexercised() const {
+  std::vector<isa::Opcode> missing;
+  for (size_t i = 0; i < isa::kNumOpcodes; ++i) {
+    if (ops_[i] == 0) missing.push_back(static_cast<isa::Opcode>(i));
+  }
+  return missing;
+}
+
+std::string Coverage::report() const {
+  std::ostringstream os;
+  os << "opcode coverage (" << total() << " retired)\n";
+  // Group opcodes by format so the matrix reads like the ISA listing.
+  for (size_t f = 0; f < isa::kNumFmts; ++f) {
+    const auto fmt = static_cast<isa::Fmt>(f);
+    os << "  [" << isa::fmt_name(fmt) << "]";
+    for (size_t i = 0; i < isa::kNumOpcodes; ++i) {
+      const auto op = static_cast<isa::Opcode>(i);
+      if (isa::op_info(op).fmt != fmt) continue;
+      os << ' ' << isa::op_info(op).mnemonic << '=' << ops_[i];
+    }
+    os << '\n';
+  }
+  os << "  hwloop depth at retire: d0=" << hwloop_depth_[0]
+     << " d1=" << hwloop_depth_[1] << " d2=" << hwloop_depth_[2] << '\n';
+  os << "  unaligned accesses: b=" << unaligned_[0] << " h=" << unaligned_[1]
+     << " w=" << unaligned_[2] << " (word-straddling=" << straddles_ << ")\n";
+  const auto missing = unexercised();
+  if (missing.empty()) {
+    os << "  all " << isa::kNumOpcodes << " opcodes exercised\n";
+  } else {
+    os << "  UNEXERCISED:";
+    for (isa::Opcode op : missing) os << ' ' << isa::op_info(op).mnemonic;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ulp::verif

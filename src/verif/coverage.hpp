@@ -1,0 +1,54 @@
+// Opcode/format/feature execution-coverage tallies for the fuzzer.
+//
+// A differential run is only as strong as what it exercised: the harness
+// counts every retired instruction by opcode and encoding format, and the
+// golden model (which sees architectural context the retire hook does not)
+// adds feature-level detail — hardware-loop nesting depth at retirement,
+// unaligned access widths and word-boundary straddles, post-increment uses
+// and SIMD lane widths. `ulp_fuzz --coverage` prints the matrix; a default
+// run must leave no implemented opcode at zero.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace ulp::verif {
+
+class Coverage {
+ public:
+  /// One retired instruction (opcode + format tallies).
+  void record(const isa::Instr& in);
+
+  /// Architectural detail for a retired load/store: access width and
+  /// whether the address was unaligned / straddled a word boundary.
+  void record_mem(int size, bool unaligned, bool straddle);
+
+  /// Number of armed hardware loops (0..2) when an instruction retired.
+  void record_hwloop_depth(u32 depth);
+
+  void merge(const Coverage& other);
+
+  [[nodiscard]] u64 count(isa::Opcode op) const {
+    return ops_[static_cast<size_t>(op)];
+  }
+  [[nodiscard]] u64 total() const;
+
+  /// Implemented opcodes never executed (kCount excluded).
+  [[nodiscard]] std::vector<isa::Opcode> unexercised() const;
+
+  /// Human-readable matrix: per-opcode counts grouped by format, then the
+  /// feature dimensions (loop depth, unaligned widths, SIMD lanes).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::array<u64, isa::kNumOpcodes> ops_{};
+  std::array<u64, isa::kNumFmts> fmts_{};
+  std::array<u64, 3> hwloop_depth_{};  ///< Retirements under 0/1/2 loops.
+  std::array<u64, 3> unaligned_{};     ///< By width index (1/2/4 bytes).
+  u64 straddles_ = 0;                  ///< Accesses split across two words.
+};
+
+}  // namespace ulp::verif

@@ -1,0 +1,269 @@
+#include "verif/differential.hpp"
+
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "isa/disasm.hpp"
+
+namespace ulp::verif {
+
+namespace {
+
+std::string hex(u32 v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+std::string describe_retire(const Retire& r) {
+  return "pc " + std::to_string(r.pc) + ": " + isa::disassemble(r.instr);
+}
+
+/// First index at which two retire logs diverge, formatted; empty if equal.
+std::string diff_retires(const std::string& label,
+                         const std::vector<Retire>& a,
+                         const std::vector<Retire>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) {
+      return label + ": retire[" + std::to_string(i) + "] " +
+             describe_retire(a[i]) + " vs " + describe_retire(b[i]);
+    }
+  }
+  if (a.size() != b.size()) {
+    return label + ": retire count " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size()) +
+           (n > 0 ? " (last common: " + describe_retire(a[n - 1]) + ")" : "");
+  }
+  return {};
+}
+
+std::string diff_memory(const std::string& label, Addr base,
+                        const std::vector<u8>& a, const std::vector<u8>& b) {
+  if (a.size() != b.size()) {
+    return label + ": size " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return label + ": byte at " + hex(base + static_cast<Addr>(i)) + " = " +
+             std::to_string(a[i]) + " vs " + std::to_string(b[i]);
+    }
+  }
+  return {};
+}
+
+/// Everything two cluster runs of the same program must agree on — which is
+/// everything, including exact cycle counts.
+std::string diff_observations(const Observation& ref, const Observation& ff) {
+  if (ref.cycles != ff.cycles) {
+    return "ref-vs-ff: cycles " + std::to_string(ref.cycles) + " vs " +
+           std::to_string(ff.cycles);
+  }
+  if (ref.eoc != ff.eoc || ref.eoc_flag != ff.eoc_flag) {
+    return "ref-vs-ff: eoc " + std::to_string(ref.eoc) + "/" +
+           std::to_string(ref.eoc_flag) + " vs " + std::to_string(ff.eoc) +
+           "/" + std::to_string(ff.eoc_flag);
+  }
+  if (ref.barriers_completed != ff.barriers_completed) {
+    return "ref-vs-ff: barriers " + std::to_string(ref.barriers_completed) +
+           " vs " + std::to_string(ff.barriers_completed);
+  }
+  for (size_t c = 0; c < ref.regs.size(); ++c) {
+    for (size_t r = 0; r < isa::kNumRegs; ++r) {
+      if (ref.regs[c][r] != ff.regs[c][r]) {
+        return "ref-vs-ff: core " + std::to_string(c) + " r" +
+               std::to_string(r) + " = " + hex(ref.regs[c][r]) + " vs " +
+               hex(ff.regs[c][r]);
+      }
+    }
+  }
+  std::string d = diff_memory("ref-vs-ff: tcdm", memmap::kTcdmBase, ref.tcdm,
+                              ff.tcdm);
+  if (!d.empty()) return d;
+  d = diff_memory("ref-vs-ff: l2", memmap::kL2Base, ref.l2, ff.l2);
+  if (!d.empty()) return d;
+  for (size_t c = 0; c < ref.retires.size(); ++c) {
+    d = diff_retires("ref-vs-ff: core " + std::to_string(c), ref.retires[c],
+                     ff.retires[c]);
+    if (!d.empty()) return d;
+  }
+  return {};
+}
+
+/// Golden-vs-cluster comparison (single-core programs only).
+std::string diff_golden(const GenProgram& gp, const Golden& golden,
+                        const Observation& real) {
+  for (size_t r = 0; r < isa::kNumRegs; ++r) {
+    if (golden.reg(static_cast<u32>(r)) != real.regs[0][r]) {
+      return "golden-vs-cluster: r" + std::to_string(r) + " = " +
+             hex(golden.reg(static_cast<u32>(r))) + " vs " +
+             hex(real.regs[0][r]);
+    }
+  }
+  const bool golden_eoc = golden.eoc().has_value();
+  if (golden_eoc != real.eoc ||
+      (golden_eoc && *golden.eoc() != real.eoc_flag)) {
+    return "golden-vs-cluster: eoc " + std::to_string(golden_eoc) + "/" +
+           std::to_string(golden_eoc ? *golden.eoc() : 0) + " vs " +
+           std::to_string(real.eoc) + "/" + std::to_string(real.eoc_flag);
+  }
+  std::string d = diff_memory("golden-vs-cluster: tcdm", memmap::kTcdmBase,
+                              golden.tcdm(), real.tcdm);
+  if (!d.empty()) return d;
+  d = diff_memory("golden-vs-cluster: l2", memmap::kL2Base, golden.l2(),
+                  real.l2);
+  if (!d.empty()) return d;
+  if (gp.deterministic_retire) {
+    d = diff_retires("golden-vs-cluster", golden.retire_log(),
+                     real.retires[0]);
+    if (!d.empty()) return d;
+  }
+  return {};
+}
+
+std::string check_dma_copies(const GenProgram& gp, const Observation& obs) {
+  for (const DmaCopy& copy : gp.dma_copies) {
+    for (u32 i = 0; i < copy.len; ++i) {
+      const u8 src = obs.l2[copy.src + i - memmap::kL2Base];
+      const u8 dst = obs.tcdm[copy.dst + i - memmap::kTcdmBase];
+      if (src != dst) {
+        return "dma: dst byte at " + hex(copy.dst + i) + " = " +
+               std::to_string(dst) + ", src holds " + std::to_string(src) +
+               " (transfer " + hex(copy.src) + " -> " + hex(copy.dst) +
+               " len " + std::to_string(copy.len) + ")";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Observation run_on_cluster(const GenProgram& gp, bool reference_stepping,
+                           u64 max_cycles, Coverage* cov) {
+  cluster::ClusterParams params;
+  params.num_cores = gp.num_cores;
+  params.core_config = gp.config;
+  params.reference_stepping = reference_stepping;
+  cluster::Cluster cluster(params);
+
+  Observation obs;
+  obs.retires.resize(gp.num_cores);
+  for (u32 c = 0; c < gp.num_cores; ++c) {
+    auto* log = &obs.retires[c];
+    cluster.core(c).set_retire_hook(
+        [log, cov](u32 pc, const isa::Instr& in) {
+          log->push_back({pc, in});
+          if (cov != nullptr) cov->record(in);
+        });
+  }
+  cluster.load_program(gp.program);
+  obs.cycles = cluster.run(max_cycles);
+  obs.eoc = cluster.events().eoc();
+  obs.eoc_flag = cluster.events().eoc_flag();
+  obs.barriers_completed = cluster.events().barriers_completed();
+  obs.regs.resize(gp.num_cores);
+  for (u32 c = 0; c < gp.num_cores; ++c) {
+    for (u32 r = 0; r < isa::kNumRegs; ++r) {
+      obs.regs[c][r] = cluster.core(c).reg(r);
+    }
+  }
+  const auto tcdm = cluster.tcdm().bytes();
+  obs.tcdm.assign(tcdm.begin(), tcdm.end());
+  const auto l2 = cluster.l2().bytes();
+  obs.l2.assign(l2.begin(), l2.end());
+  return obs;
+}
+
+DiffResult check_program(const GenProgram& gp, Coverage* cov,
+                         u64 max_cycles) {
+  DiffResult result;
+  auto fail = [&](std::string detail) {
+    result.pass = false;
+    result.detail = std::move(detail);
+    return result;
+  };
+
+  Observation ref;
+  Observation ff;
+  try {
+    ref = run_on_cluster(gp, /*reference_stepping=*/true, max_cycles, cov);
+  } catch (const SimError& e) {
+    return fail(std::string("cluster(ref): ") + e.what());
+  }
+  try {
+    ff = run_on_cluster(gp, /*reference_stepping=*/false, max_cycles);
+  } catch (const SimError& e) {
+    return fail(std::string("cluster(ff): ") + e.what());
+  }
+  std::string d = diff_observations(ref, ff);
+  if (!d.empty()) return fail(std::move(d));
+
+  if (gp.num_cores == 1) {
+    Golden golden;
+    const Status s = golden.run(gp.program);
+    if (!s.ok()) return fail(s.message());
+    if (cov != nullptr) cov->merge(golden.coverage());
+    d = diff_golden(gp, golden, ref);
+    if (!d.empty()) return fail(std::move(d));
+  }
+
+  d = check_dma_copies(gp, ref);
+  if (!d.empty()) return fail(std::move(d));
+  return result;
+}
+
+GenParams campaign_member(const CampaignParams& p, u32 index, bool stress) {
+  GenParams gen;
+  gen.body_items = p.body_items;
+  gen.allow_dma = p.allow_dma;
+  if (!stress) {
+    gen.seed = derive_seed(p.seed, index);
+    gen.num_cores = 1;
+    // Profile stripe: mostly the synthetic full-featured core (the only one
+    // that reaches every opcode), with the modelled cores mixed in so their
+    // builder fallback paths (software loops, mul/add MAC, unrolling) stay
+    // under differential test too.
+    switch (index % 10) {
+      case 6: case 7: gen.profile = "or10n"; break;
+      case 8: gen.profile = "cortex_m4"; break;
+      case 9: gen.profile = "baseline"; break;
+      default: gen.profile = "full"; break;
+    }
+  } else {
+    gen.seed = derive_seed(p.seed, (1u << 20) + index);
+    gen.num_cores = 2 + index % 3;
+    gen.profile = index % 4 == 3 ? "or10n" : "full";
+  }
+  return gen;
+}
+
+CampaignResult run_campaign(const CampaignParams& params) {
+  CampaignResult result;
+  auto record_failure = [&](const GenParams& gen, std::string detail) {
+    ++result.failure_count;
+    if (result.failures.size() < 32) {
+      result.failures.push_back({gen, std::move(detail)});
+    }
+  };
+
+  for (u32 i = 0; i < params.num_programs; ++i) {
+    const GenParams gen = campaign_member(params, i, /*stress=*/false);
+    const GenProgram gp = generate(gen);
+    DiffResult r = check_program(gp, &result.coverage);
+    ++result.programs_run;
+    if (!r.pass) record_failure(gen, std::move(r.detail));
+  }
+  for (u32 i = 0; i < params.num_stress; ++i) {
+    const GenParams gen = campaign_member(params, i, /*stress=*/true);
+    const GenProgram gp = generate(gen);
+    DiffResult r = check_program(gp, &result.coverage);
+    ++result.stress_run;
+    if (!r.pass) record_failure(gen, std::move(r.detail));
+  }
+  return result;
+}
+
+}  // namespace ulp::verif

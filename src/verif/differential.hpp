@@ -1,0 +1,91 @@
+// Differential execution harness: generated program -> golden interpreter
+// and real cluster (both stepping modes) -> first-divergence verdict.
+//
+// Three-way check for single-core programs:
+//   golden  vs  reference-stepped cluster   (architectural correctness)
+//   reference vs fast-forward cluster       (scheduler equivalence, incl.
+//                                            exact cycle counts)
+// Multi-core stress programs have no canonical golden interleaving, so they
+// are checked against invariants instead: the run converges (all barriers
+// complete, no lost wakeups, every core halts inside the cycle budget), the
+// two stepping modes agree bit-for-bit on final state, cycles and per-core
+// retire logs, and every generated DMA transfer left a byte-exact image of
+// its source at its destination.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "verif/generator.hpp"
+#include "verif/golden.hpp"
+
+namespace ulp::verif {
+
+/// Everything observable about one finished cluster run.
+struct Observation {
+  u64 cycles = 0;
+  bool eoc = false;
+  u32 eoc_flag = 0;
+  u64 barriers_completed = 0;
+  std::vector<std::array<u32, isa::kNumRegs>> regs;  ///< Per core.
+  std::vector<u8> tcdm;
+  std::vector<u8> l2;
+  std::vector<std::vector<Retire>> retires;  ///< Per core.
+};
+
+/// Execute `gp` on a real cluster in the given stepping mode. Throws
+/// SimError on timeout/model faults (callers turn that into a failure).
+/// `cov`, when given, tallies every retired instruction on every core.
+[[nodiscard]] Observation run_on_cluster(const GenProgram& gp,
+                                         bool reference_stepping,
+                                         u64 max_cycles = 5'000'000,
+                                         Coverage* cov = nullptr);
+
+struct DiffResult {
+  bool pass = true;
+  /// First divergence, human-readable ("ref-vs-ff: core 1 r9 ...").
+  std::string detail;
+};
+
+/// Full differential check of one generated program; dispatches on
+/// gp.num_cores (1 = golden three-way, >1 = stress invariants).
+[[nodiscard]] DiffResult check_program(const GenProgram& gp,
+                                       Coverage* cov = nullptr,
+                                       u64 max_cycles = 5'000'000);
+
+// ---- campaign driver --------------------------------------------------
+
+struct CampaignParams {
+  u64 seed = 0xC0FFEEull;
+  u32 num_programs = 500;  ///< Single-core differential programs.
+  u32 num_stress = 100;    ///< Multi-core stress schedules.
+  u32 body_items = 32;
+  bool allow_dma = true;
+};
+
+/// Generation parameters of program `index` within a campaign: seeds are
+/// derive_seed(campaign_seed, index) and profiles are striped so the
+/// feature-restricted cores (or10n, cortex_m4, baseline) keep their
+/// fallback code paths covered. Stress schedules live at index >= 1<<20.
+[[nodiscard]] GenParams campaign_member(const CampaignParams& p, u32 index,
+                                        bool stress);
+
+struct CampaignFailure {
+  GenParams params;  ///< Regenerate the failing program from these.
+  std::string detail;
+};
+
+struct CampaignResult {
+  u32 programs_run = 0;
+  u32 stress_run = 0;
+  u32 failure_count = 0;
+  std::vector<CampaignFailure> failures;  ///< First 32, for shrinking.
+  Coverage coverage;
+
+  [[nodiscard]] bool pass() const { return failure_count == 0; }
+};
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignParams& params);
+
+}  // namespace ulp::verif

@@ -1,0 +1,548 @@
+#include "verif/generator.hpp"
+
+#include <algorithm>
+
+#include "codegen/builder.hpp"
+#include "common/memmap.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace ulp::verif {
+
+using codegen::Builder;
+using isa::Opcode;
+
+namespace {
+
+// Register conventions for generated programs. The generator needs static
+// knowledge of what every register holds, so roles are fixed:
+//   r1..r17   data pool (random values; divergent across cores in stress)
+//   r18       software-loop scratch, nesting depth 1
+//   r19       DMA length operand
+//   r20       loop trip counts (always li'd constants -> uniform)
+//   r21, r22  uniform data (the only branch operands in stress mode)
+//   r23, r24  numcores / coreid (prologue CSR reads)
+//   r25       private-window address computation (stress)
+//   r26       TCDM window pointer (statically tracked offset)
+//   r27       L2 window pointer (statically tracked offset)
+//   r28       DMA base (builder dma helpers re-materialise it)
+//   r29       link register (jal/jalr)
+//   r30       software-loop scratch, nesting depth 0
+//   r31       general scratch (mac fallback, DMA poll)
+constexpr u8 kDataLo = 1, kDataHi = 17;
+constexpr u8 kLoopScratch1 = 18;
+constexpr u8 kDmaLen = 19;
+constexpr u8 kTrip = 20;
+constexpr u8 kUni0 = 21, kUni1 = 22;
+constexpr u8 kNumCoresReg = 23, kCoreIdReg = 24;
+constexpr u8 kPriv = 25;
+constexpr u8 kTcdmPtr = 26, kL2Ptr = 27;
+constexpr u8 kDmaBaseReg = 28;
+constexpr u8 kLink = 29;
+constexpr u8 kLoopScratch0 = 30;
+constexpr u8 kScratch = 31;
+
+// Memory windows. Each pointer register owns one window and the generator
+// proves every access in-bounds against it. The DMA arenas are disjoint
+// from the compute windows so transfers never race generated stores.
+constexpr u32 kWinSize = 0x100;
+constexpr Addr kTcdmWin = memmap::kTcdmBase + 0x400;
+constexpr Addr kStressWinBase = memmap::kTcdmBase + 0x800;  // +coreid*0x100
+constexpr Addr kL2Win = memmap::kL2Base + 0x400;
+constexpr Addr kDmaSrcArena = memmap::kL2Base + 0x800;
+constexpr Addr kDmaDstArena = memmap::kTcdmBase + 0x100;
+constexpr u32 kDmaSliceBytes = 64;
+constexpr u32 kMaxDmaOps = 4;
+
+constexpr Opcode kLoadOps[] = {Opcode::kLw, Opcode::kLh, Opcode::kLhu,
+                               Opcode::kLb, Opcode::kLbu};
+constexpr Opcode kLoadPiOps[] = {Opcode::kLwpi, Opcode::kLhpi, Opcode::kLhupi,
+                                 Opcode::kLbpi, Opcode::kLbupi};
+constexpr Opcode kStoreOps[] = {Opcode::kSw, Opcode::kSh, Opcode::kSb};
+constexpr Opcode kStorePiOps[] = {Opcode::kSwpi, Opcode::kShpi, Opcode::kSbpi};
+constexpr Opcode kBranchOps[] = {Opcode::kBeq, Opcode::kBne, Opcode::kBlt,
+                                 Opcode::kBge, Opcode::kBltu, Opcode::kBgeu};
+
+class Generator {
+ public:
+  explicit Generator(const GenParams& p)
+      : p_(p), rng_(p.seed == 0 ? 1 : p.seed), cfg_(profile_config(p.profile)),
+        b_(cfg_.features) {}
+
+  GenProgram run();
+
+ private:
+  [[nodiscard]] bool stress() const { return p_.num_cores > 1; }
+  [[nodiscard]] const core::CoreFeatures& feat() const {
+    return cfg_.features;
+  }
+
+  u8 data_reg() {
+    return static_cast<u8>(rng_.uniform(kDataLo, kDataHi));
+  }
+  /// A register legal as a branch operand: in stress mode only uniform
+  /// registers keep control flow convergent across cores.
+  u8 cond_reg() {
+    if (stress()) {
+      constexpr u8 pool[] = {kUni0, kUni1, kTrip, codegen::zero};
+      return pool[static_cast<size_t>(rng_.uniform(0, 3))];
+    }
+    return rng_.uniform(0, 4) == 0 ? codegen::zero : data_reg();
+  }
+  u32 interesting_value() {
+    switch (rng_.uniform(0, 5)) {
+      case 0: return 0;
+      case 1: return 0xFFFFFFFFu;
+      case 2: return 0x80000000u;
+      case 3: return static_cast<u32>(rng_.uniform(-4, 4));
+      default: return rng_.next_u32();
+    }
+  }
+
+  void prologue();
+  void body_item(int depth);
+  void alu_rr();
+  void alu_imm();
+  void mac_chain();
+  void mem_access(bool postinc);
+  void pi_alias_load();
+  void reset_pointers();
+  void counted_loop(int depth);
+  void shared_end_loops();
+  void fwd_branch(int depth);
+  void call_site();
+  void sev_wfe();
+  void do_dma(bool deterministic);
+  void dma_gated_stress();
+  void epilogue();
+  void emit_subroutines();
+
+  struct Window {
+    u8 reg;
+    Addr base;  ///< Per-core base in stress; offsets stay uniform.
+    u32 off = 0;
+  };
+  Window& pick_window() {
+    // Stress stores must stay in the private TCDM window; L2 is read-only
+    // shared there, so steer most traffic to TCDM.
+    return (rng_.uniform(0, 2) != 0) ? tcdm_ : l2_;
+  }
+
+  GenParams p_;
+  Rng rng_;
+  core::CoreConfig cfg_;
+  Builder b_;
+
+  Window tcdm_{kTcdmPtr, kTcdmWin};
+  Window l2_{kL2Ptr, kL2Win};
+  bool deterministic_ = true;
+  u32 dma_ops_ = 0;
+  std::vector<DmaCopy> dma_copies_;
+  std::vector<Builder::Label> subroutines_;
+};
+
+core::CoreConfig full_config() {
+  core::CoreConfig cfg = core::or10n_config();
+  cfg.name = "full";
+  cfg.features.has_mul64 = true;  // or10n lacks only the 64-bit multiply
+  return cfg;
+}
+
+void Generator::prologue() {
+  b_.csr_coreid(kCoreIdReg);
+  b_.csr_numcores(kNumCoresReg);
+  b_.li(kUni0, rng_.next_u32());
+  b_.li(kUni1, interesting_value());
+  if (stress()) {
+    // Private TCDM window: base + coreid * 0x100. The offset arithmetic the
+    // generator tracks is uniform across cores even though the base is not.
+    tcdm_.base = kStressWinBase;
+    b_.emit(Opcode::kSlli, kPriv, kCoreIdReg, 0, 8);
+    b_.li(kTcdmPtr, kStressWinBase);
+    b_.emit(Opcode::kAdd, kTcdmPtr, kTcdmPtr, kPriv);
+  } else {
+    b_.li(kTcdmPtr, kTcdmWin);
+  }
+  b_.li(kL2Ptr, kL2Win);
+  for (u8 r = kDataLo; r <= kDataHi; ++r) b_.li(r, interesting_value());
+  if (stress()) {
+    // Mix the core id into a few data registers so data paths diverge even
+    // though control flow does not.
+    for (int i = 0; i < 4; ++i) {
+      b_.emit(Opcode::kAdd, data_reg(), data_reg(), kCoreIdReg);
+    }
+  }
+}
+
+void Generator::alu_rr() {
+  std::vector<Opcode> ops = {Opcode::kAdd, Opcode::kSub, Opcode::kAnd,
+                             Opcode::kOr,  Opcode::kXor, Opcode::kSll,
+                             Opcode::kSrl, Opcode::kSra, Opcode::kSlt,
+                             Opcode::kSltu, Opcode::kMul};
+  if (feat().has_mul64) {
+    ops.push_back(Opcode::kMulhs);
+    ops.push_back(Opcode::kMulhu);
+  }
+  if (feat().has_div) {
+    ops.insert(ops.end(), {Opcode::kDiv, Opcode::kDivu, Opcode::kRem,
+                           Opcode::kRemu});
+  }
+  if (feat().has_simd) {
+    ops.insert(ops.end(), {Opcode::kDotp2h, Opcode::kDotp4b, Opcode::kAdd2h,
+                           Opcode::kSub2h, Opcode::kAdd4b, Opcode::kSub4b});
+  }
+  const int n = rng_.uniform(1, 3);
+  for (int i = 0; i < n; ++i) {
+    const Opcode op = ops[static_cast<size_t>(
+        rng_.uniform(0, static_cast<i32>(ops.size()) - 1))];
+    b_.emit(op, data_reg(), data_reg(), data_reg());
+  }
+}
+
+void Generator::alu_imm() {
+  constexpr Opcode ops[] = {Opcode::kAddi, Opcode::kAndi, Opcode::kOri,
+                            Opcode::kXori, Opcode::kSlli, Opcode::kSrli,
+                            Opcode::kSrai, Opcode::kSlti, Opcode::kSltiu,
+                            Opcode::kLui};
+  const int n = rng_.uniform(1, 3);
+  for (int i = 0; i < n; ++i) {
+    const Opcode op = ops[static_cast<size_t>(rng_.uniform(0, 9))];
+    i32 imm;
+    if (op == Opcode::kLui) {
+      imm = rng_.uniform(0, (1 << 20) - 1);
+    } else if (op == Opcode::kSlli || op == Opcode::kSrli ||
+               op == Opcode::kSrai) {
+      imm = rng_.uniform(0, 31);
+    } else {
+      imm = rng_.uniform(-(1 << 14), (1 << 14) - 1);
+    }
+    // lui has no source register field; keep the instruction canonical so
+    // it survives disassembly and binary encoding bit for bit.
+    const u8 ra = op == Opcode::kLui ? 0 : data_reg();
+    b_.emit(op, data_reg(), ra, 0, imm);
+  }
+}
+
+void Generator::mac_chain() {
+  // On targets without MAC the builder lowers to mul+add; still a chain.
+  const u8 acc = data_reg();
+  const int n = rng_.uniform(2, 4);
+  for (int i = 0; i < n; ++i) {
+    if (feat().has_simd && rng_.uniform(0, 2) == 0) {
+      b_.emit(rng_.uniform(0, 1) == 0 ? Opcode::kDotp2h : Opcode::kDotp4b,
+              acc, data_reg(), data_reg());
+    } else {
+      b_.mac(acc, data_reg(), data_reg(), kScratch);
+    }
+  }
+}
+
+void Generator::mem_access(bool postinc) {
+  Window& w = pick_window();
+  // Stress mode: the L2 window is shared between cores, loads only.
+  const bool store_ok = !(stress() && w.reg == kL2Ptr);
+  const bool is_store = store_ok && rng_.uniform(0, 1) == 0;
+  const u32 size = 1u << rng_.uniform(0, 2);
+  const bool aligned_only = !feat().has_unaligned;
+
+  if (!postinc) {
+    u32 t = static_cast<u32>(rng_.uniform(0, static_cast<i32>(kWinSize - size)));
+    if (aligned_only) t &= ~(size - 1);
+    const i32 imm = static_cast<i32>(t) - static_cast<i32>(w.off);
+    const size_t v = static_cast<size_t>(rng_.uniform(0, size == 4 ? 0 : 1));
+    if (is_store) {
+      const Opcode op = size == 4   ? Opcode::kSw
+                        : size == 2 ? Opcode::kSh
+                                    : Opcode::kSb;
+      b_.emit(op, data_reg(), w.reg, 0, imm);
+    } else {
+      const Opcode op = size == 4   ? Opcode::kLw
+                        : size == 2 ? (v != 0 ? Opcode::kLhu : Opcode::kLh)
+                                    : (v != 0 ? Opcode::kLbu : Opcode::kLb);
+      b_.emit(op, data_reg(), w.reg, 0, imm);
+    }
+    return;
+  }
+
+  // Post-increment: the access happens at the current offset, so the size
+  // must match the pointer's present alignment on aligned-only profiles.
+  // Emitted through the builder's _pi helpers, which lower to plain
+  // access + addi on targets without the addressing mode.
+  u32 sz = size;
+  if (aligned_only) {
+    while (w.off % sz != 0) sz >>= 1;
+  }
+  if (w.off + sz > kWinSize) return;  // pointer parked at the window edge
+  u32 t = static_cast<u32>(rng_.uniform(0, static_cast<i32>(kWinSize - 4)));
+  const i32 step = static_cast<i32>(t) - static_cast<i32>(w.off);
+  const bool v = rng_.uniform(0, 1) != 0;
+  const u8 r = data_reg();
+  if (store_ok && rng_.uniform(0, 1) == 0) {
+    if (sz == 4) {
+      b_.sw_pi(r, w.reg, step);
+    } else if (sz == 2) {
+      b_.sh_pi(r, w.reg, step);
+    } else {
+      b_.sb_pi(r, w.reg, step);
+    }
+  } else {
+    if (sz == 4) {
+      b_.lw_pi(r, w.reg, step);
+    } else if (sz == 2) {
+      v ? b_.lhu_pi(r, w.reg, step) : b_.lh_pi(r, w.reg, step);
+    } else {
+      v ? b_.lbu_pi(r, w.reg, step) : b_.lb_pi(r, w.reg, step);
+    }
+  }
+  w.off = t;
+}
+
+void Generator::pi_alias_load() {
+  // rd == ra on a post-increment load: the base update reads the freshly
+  // loaded value — the nastiest write-back ordering case in the ISA. The
+  // pointer is garbage afterwards, so re-materialise it immediately.
+  if (!feat().has_postinc) return;
+  Window& w = pick_window();
+  if (!feat().has_unaligned && w.off % 4 != 0) return;
+  if (w.off + 4 > kWinSize) return;
+  b_.emit(Opcode::kLwpi, w.reg, w.reg, 0, rng_.uniform(-8, 8));
+  b_.li(w.reg, w.base);
+  if (stress() && w.reg == kTcdmPtr) {
+    b_.emit(Opcode::kAdd, w.reg, w.reg, kPriv);
+  }
+  w.off = 0;
+}
+
+void Generator::reset_pointers() {
+  b_.li(kTcdmPtr, tcdm_.base);
+  if (stress()) b_.emit(Opcode::kAdd, kTcdmPtr, kTcdmPtr, kPriv);
+  tcdm_.off = 0;
+  b_.li(kL2Ptr, l2_.base);
+  l2_.off = 0;
+}
+
+void Generator::counted_loop(int depth) {
+  // Post-increment accesses inside the body move the window pointers once
+  // per *iteration*, which static tracking cannot follow. Pin both
+  // pointers to a known state before the loop (covers the zero-trip case)
+  // and restore it at the end of every iteration, so the tracked offsets
+  // are correct at every point the body was generated against.
+  reset_pointers();
+  b_.li(kTrip, static_cast<u32>(rng_.uniform(0, 5)));
+  const u8 scratch = depth == 0 ? kLoopScratch0 : kLoopScratch1;
+  const int items = rng_.uniform(1, 3);
+  b_.loop(kTrip, scratch, [&] {
+    for (int i = 0; i < items; ++i) body_item(depth + 1);
+    reset_pointers();
+    // Guarantee a non-empty body even if every item degenerated to nothing.
+    b_.nop();
+  });
+}
+
+void Generator::shared_end_loops() {
+  // Raw lp.setup layout the loop() helper never produces: both hardware
+  // loop slots ending on the same instruction. The core must unwind the
+  // inner slot first and still fall through the outer check.
+  const i32 body = rng_.uniform(1, 3);
+  b_.li(kTrip, static_cast<u32>(rng_.uniform(1, 3)));
+  b_.li(kScratch, static_cast<u32>(rng_.uniform(0, 3)));
+  b_.emit(Opcode::kLpSetup, 0, kTrip, 0, body + 1);
+  b_.emit(Opcode::kLpSetup, 1, kScratch, 0, body);
+  for (i32 i = 0; i < body; ++i) {
+    b_.emit(Opcode::kAddi, data_reg(), data_reg(), 0, rng_.uniform(-64, 64));
+  }
+}
+
+void Generator::fwd_branch(int depth) {
+  const Opcode op = kBranchOps[static_cast<size_t>(rng_.uniform(0, 5))];
+  const auto skip = b_.make_label();
+  b_.branch(op, cond_reg(), cond_reg(), skip);
+  const int n = rng_.uniform(1, 3);
+  for (int i = 0; i < n; ++i) {
+    b_.emit(Opcode::kAddi, data_reg(), data_reg(), 0, rng_.uniform(-256, 256));
+  }
+  b_.bind(skip);
+  // Keep the join point an instruction of its own: a taken skip must not
+  // land directly on an enclosing hardware-loop end and bypass its
+  // sequential loop-back check.
+  (void)depth;
+  b_.nop();
+}
+
+void Generator::call_site() {
+  const bool reuse = !subroutines_.empty() && rng_.uniform(0, 1) == 0;
+  Builder::Label target;
+  if (reuse) {
+    target = subroutines_[static_cast<size_t>(
+        rng_.uniform(0, static_cast<i32>(subroutines_.size()) - 1))];
+  } else {
+    target = b_.make_label();
+    subroutines_.push_back(target);
+  }
+  b_.jal(kLink, target);
+}
+
+void Generator::sev_wfe() {
+  // Emitted as an atomic pair: the broadcast reaches the sender, so the WFE
+  // is guaranteed a pending event regardless of what other cores do.
+  b_.sev(0);
+  b_.wfe();
+}
+
+void Generator::do_dma(bool deterministic) {
+  const u32 slice = dma_ops_ % kMaxDmaOps;
+  const u32 len = static_cast<u32>(rng_.uniform(1, kDmaSliceBytes));
+  const Addr src = kDmaSrcArena + slice * kDmaSliceBytes;
+  const Addr dst = kDmaDstArena + slice * kDmaSliceBytes;
+  ++dma_ops_;
+  dma_copies_.push_back({src, dst, len});
+  b_.li(kUni0, src);
+  b_.li(kUni1, dst);
+  b_.li(kDmaLen, len);
+  b_.dma_start(kDmaBaseReg, kUni0, kUni1, kDmaLen);
+  if (deterministic) {
+    // Single WFE instead of a status poll: the completion event is the
+    // only pending source, so the retire sequence is timing-independent.
+    b_.wfe();
+  } else if (rng_.uniform(0, 1) == 0) {
+    b_.dma_wait(kDmaBaseReg, kScratch);
+  } else {
+    b_.dma_wait_wfe(kDmaBaseReg, kScratch);
+  }
+}
+
+void Generator::dma_gated_stress() {
+  // Core 0 runs the transfer; the branch on coreid is the one sanctioned
+  // divergence — no barrier inside the gated region, and the join barrier
+  // below is reached by every core exactly once.
+  const auto skip = b_.make_label();
+  b_.branch(Opcode::kBne, kCoreIdReg, codegen::zero, skip);
+  const u32 slice = dma_ops_ % kMaxDmaOps;
+  const u32 len = static_cast<u32>(rng_.uniform(1, kDmaSliceBytes));
+  const Addr src = kDmaSrcArena + slice * kDmaSliceBytes;
+  const Addr dst = kDmaDstArena + slice * kDmaSliceBytes;
+  ++dma_ops_;
+  dma_copies_.push_back({src, dst, len});
+  b_.li(kScratch, src);
+  b_.li(kDmaLen, dst);
+  b_.emit(Opcode::kAddi, kLoopScratch0, codegen::zero, 0,
+          static_cast<i32>(len));
+  b_.dma_start(kDmaBaseReg, kScratch, kDmaLen, kLoopScratch0);
+  b_.dma_wait(kDmaBaseReg, kScratch);
+  b_.bind(skip);
+  b_.nop();
+  b_.barrier();
+}
+
+void Generator::body_item(int depth) {
+  // Weighted item choice; structural items thin out with nesting depth.
+  const int roll = rng_.uniform(0, 99);
+  if (roll < 20) {
+    alu_rr();
+  } else if (roll < 34) {
+    alu_imm();
+  } else if (roll < 42) {
+    mac_chain();
+  } else if (roll < 56) {
+    mem_access(/*postinc=*/false);
+  } else if (roll < 64) {
+    mem_access(/*postinc=*/true);
+  } else if (roll < 67) {
+    pi_alias_load();
+  } else if (roll < 75 && depth < 2) {
+    counted_loop(depth);
+  } else if (roll < 78 && depth == 0 && feat().has_hwloops) {
+    shared_end_loops();
+  } else if (roll < 86) {
+    fwd_branch(depth);
+  } else if (roll < 90 && depth == 0) {
+    call_site();
+  } else if (roll < 94) {
+    sev_wfe();
+  } else if (roll < 97 && depth == 0 && p_.allow_dma &&
+             dma_ops_ < kMaxDmaOps) {
+    if (stress()) {
+      dma_gated_stress();
+    } else {
+      do_dma(deterministic_);
+    }
+  } else if (roll < 99) {
+    b_.barrier();
+  } else {
+    b_.nop();
+  }
+}
+
+void Generator::epilogue() {
+  if (stress()) b_.barrier();
+  if (rng_.uniform(0, 3) == 0) {
+    b_.halt();
+  } else {
+    b_.eoc(static_cast<u32>(rng_.uniform(1, 255)));
+  }
+}
+
+void Generator::emit_subroutines() {
+  for (Builder::Label label : subroutines_) {
+    b_.bind(label);
+    const int n = rng_.uniform(1, 3);
+    for (int i = 0; i < n; ++i) {
+      b_.emit(Opcode::kXor, data_reg(), data_reg(), data_reg());
+    }
+    // Return: pc <- link. rd is occasionally live to cover the rd != r0
+    // form of jalr (the link register itself is read before the write).
+    b_.emit(Opcode::kJalr, rng_.uniform(0, 1) == 0 ? 0 : kScratch, kLink);
+  }
+}
+
+GenProgram Generator::run() {
+  ULP_CHECK(p_.num_cores >= 1 && p_.num_cores <= 4,
+            "generator supports 1..4 cores");
+  deterministic_ = !stress() && rng_.uniform(0, 9) < 7;
+
+  prologue();
+  for (u32 i = 0; i < p_.body_items; ++i) body_item(0);
+  epilogue();
+  emit_subroutines();
+
+  // Seed every window the program can read so loads see non-trivial data.
+  auto random_bytes = [&](u32 n) {
+    std::vector<u8> v(n);
+    for (u8& byte : v) byte = static_cast<u8>(rng_.next_u32());
+    return v;
+  };
+  b_.add_data(kDmaSrcArena, random_bytes(kMaxDmaOps * kDmaSliceBytes));
+  b_.add_data(kL2Win, random_bytes(kWinSize));
+  if (stress()) {
+    b_.add_data(kStressWinBase, random_bytes(p_.num_cores * kWinSize));
+  } else {
+    b_.add_data(kTcdmWin, random_bytes(kWinSize));
+  }
+
+  GenProgram out;
+  out.program = b_.finalize();
+  out.config = cfg_;
+  out.num_cores = p_.num_cores;
+  out.seed = p_.seed;
+  out.profile = p_.profile;
+  out.deterministic_retire = deterministic_;
+  out.dma_copies = std::move(dma_copies_);
+  return out;
+}
+
+}  // namespace
+
+core::CoreConfig profile_config(const std::string& name) {
+  if (name == "full") return full_config();
+  if (name == "baseline") return core::baseline_config();
+  if (name == "or10n") return core::or10n_config();
+  if (name == "cortex_m4") return core::cortex_m4_config();
+  if (name == "cortex_m3") return core::cortex_m3_config();
+  throw SimError("unknown verification profile: " + name);
+}
+
+GenProgram generate(const GenParams& params) {
+  return Generator(params).run();
+}
+
+}  // namespace ulp::verif

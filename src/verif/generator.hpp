@@ -1,0 +1,75 @@
+// Constrained-random program generator for differential verification.
+//
+// Programs are random where it stresses the implementation and constrained
+// where it must be for a meaningful differential run:
+//   * structurally valid by construction — emitted through codegen::Builder,
+//     every encoding in range, every branch forward to a bound label;
+//   * guaranteed to halt — loop trip counts are generated constants, the
+//     only backward branches are builder-generated down-counters and DMA
+//     status polls, calls return through the link register, and the
+//     epilogue always ends in EOC/HALT;
+//   * memory-safe by construction — the generator statically tracks each
+//     address register's offset inside its assigned window and only picks
+//     displacements / post-increment steps that stay inside it;
+//   * event-safe — WFE is only emitted with a pending event source (an SEV
+//     or a DMA completion) so no single-core program can sleep forever.
+//
+// Multi-core (stress) programs add SPMD discipline: control flow depends
+// only on uniform registers (same value on every core), stores go to
+// per-core private windows, DMA is gated to core 0 with no barrier inside
+// the gated region, so every core reaches every barrier the same number of
+// times and the program provably converges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "isa/program.hpp"
+
+namespace ulp::verif {
+
+struct GenParams {
+  u64 seed = 1;
+  /// Feature profile: "full" (every CoreFeatures flag on — the default
+  /// fuzzing target, the only profile that can reach 100% opcode
+  /// coverage), or one of the modelled cores: "or10n", "cortex_m4",
+  /// "cortex_m3", "baseline".
+  std::string profile = "full";
+  /// 1 = single-core program comparable against the golden model;
+  /// 2..4 = SPMD stress program for invariant checking.
+  u32 num_cores = 1;
+  /// Random body items to emit (each expands to ~1-8 instructions).
+  u32 body_items = 32;
+  bool allow_dma = true;
+};
+
+/// One generated DMA transfer, kept for the byte-exactness invariant.
+struct DmaCopy {
+  Addr src = 0;
+  Addr dst = 0;
+  u32 len = 0;
+};
+
+struct GenProgram {
+  isa::Program program;
+  core::CoreConfig config;
+  u32 num_cores = 1;
+  u64 seed = 0;
+  std::string profile;
+  /// True when the retired-instruction sequence is timing-independent
+  /// (no DMA status polls): the harness then compares retire logs
+  /// instruction-by-instruction, not just final state.
+  bool deterministic_retire = true;
+  std::vector<DmaCopy> dma_copies;
+};
+
+/// Resolve a profile name (including the synthetic "full") to a CoreConfig.
+/// Throws SimError on unknown names.
+[[nodiscard]] core::CoreConfig profile_config(const std::string& name);
+
+/// Generate one program. Pure function of `params` — same params, same
+/// program, bit for bit.
+[[nodiscard]] GenProgram generate(const GenParams& params);
+
+}  // namespace ulp::verif

@@ -1,0 +1,418 @@
+#include "verif/golden.hpp"
+
+#include <cstring>
+
+#include "common/memmap.hpp"
+
+namespace ulp::verif {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+// DMA register offsets, restated from the peripheral's documented register
+// map rather than included from dma/ — the golden model must not share
+// headers with the machinery it checks beyond the ISA itself.
+constexpr Addr kDmaSrc = 0x00;
+constexpr Addr kDmaDst = 0x04;
+constexpr Addr kDmaLen = 0x08;
+constexpr Addr kDmaCmd = 0x0C;
+constexpr Addr kDmaStatus = 0x10;
+
+i32 as_i32(u32 v) { return static_cast<i32>(v); }
+u32 as_u32(i32 v) { return static_cast<u32>(v); }
+
+i32 lane16(u32 v, int lane) {
+  return static_cast<i16>((v >> (16 * lane)) & 0xFFFF);
+}
+i32 lane8(u32 v, int lane) {
+  return static_cast<i8>((v >> (8 * lane)) & 0xFF);
+}
+
+std::string hex(u32 v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+}  // namespace
+
+Golden::Golden(GoldenParams params) : params_(params) {
+  tcdm_.assign(params_.tcdm_bytes, 0);
+  l2_.assign(params_.l2_bytes, 0);
+}
+
+u8* Golden::mem_at(Addr addr, u32 size) {
+  if (addr >= memmap::kTcdmBase &&
+      addr + size <= memmap::kTcdmBase + params_.tcdm_bytes) {
+    return tcdm_.data() + (addr - memmap::kTcdmBase);
+  }
+  if (addr >= memmap::kL2Base &&
+      addr + size <= memmap::kL2Base + params_.l2_bytes) {
+    return l2_.data() + (addr - memmap::kL2Base);
+  }
+  return nullptr;
+}
+
+u32 Golden::load(Addr addr, u32 size) {
+  u32 v = 0;
+  std::memcpy(&v, mem_at(addr, size), size);  // little-endian host assumed,
+  return v;                                   // same as the bus model
+}
+
+void Golden::store(Addr addr, u32 size, u32 value) {
+  std::memcpy(mem_at(addr, size), &value, size);
+}
+
+void Golden::advance_pc_sequential() {
+  u32 next = pc_ + 1;
+  // Innermost slot first; an expiring loop falls through so two bodies may
+  // share an end index — same rule as the hardware.
+  for (int slot = 1; slot >= 0; --slot) {
+    HwLoop& lp = loops_[static_cast<size_t>(slot)];
+    if (lp.count > 0 && next == lp.end) {
+      if (lp.count > 1) {
+        --lp.count;
+        next = lp.start;
+        break;
+      }
+      lp.count = 0;
+    }
+  }
+  pc_ = next;
+}
+
+Status Golden::dma_cmd() {
+  if (dma_src_ % 4 != 0 || dma_dst_ % 4 != 0) {
+    return Status::Error("golden: DMA src/dst not word-aligned: src=" +
+                         hex(dma_src_) + " dst=" + hex(dma_dst_));
+  }
+  if (dma_len_ == 0) return {};  // no transfer, no completion event
+  const u8* src = mem_at(dma_src_, dma_len_);
+  u8* dst = mem_at(dma_dst_, dma_len_);
+  if (src == nullptr || dst == nullptr) {
+    return Status::Error("golden: DMA range unmapped: src=" + hex(dma_src_) +
+                         " dst=" + hex(dma_dst_) + " len=" +
+                         std::to_string(dma_len_));
+  }
+  // Instant completion: the copy happens "now" and the completion event is
+  // already pending by the time the core looks. memmove tolerates overlap
+  // the same way a beat-by-beat ascending copy would for dst < src; the
+  // generator never produces overlapping windows anyway.
+  std::memmove(dst, src, dma_len_);
+  event_pending_ = true;  // completion broadcast (event 0)
+  return {};
+}
+
+Status Golden::run(const isa::Program& program) {
+  regs_.fill(0);
+  loops_ = {};
+  pc_ = program.entry;
+  halted_ = false;
+  eoc_.reset();
+  event_pending_ = false;
+  dma_src_ = dma_dst_ = dma_len_ = 0;
+  retired_ = 0;
+  retire_log_.clear();
+  for (const isa::Segment& seg : program.data) {
+    for (size_t i = 0; i < seg.bytes.size(); ++i) {
+      u8* p = mem_at(seg.addr + static_cast<Addr>(i), 1);
+      if (p == nullptr) {
+        return Status::Error("golden: data segment outside memory at " +
+                             hex(seg.addr + static_cast<Addr>(i)));
+      }
+      *p = seg.bytes[i];
+    }
+  }
+
+  const auto* code = program.code.data();
+  const u32 code_size = static_cast<u32>(program.code.size());
+
+  while (!halted_) {
+    if (retired_ >= params_.max_retired) {
+      return Status::Error("golden: retire budget exhausted at pc " +
+                           std::to_string(pc_));
+    }
+    if (pc_ >= code_size) {
+      return Status::Error("golden: pc " + std::to_string(pc_) +
+                           " ran past program end");
+    }
+    const Instr& in = code[pc_];
+    ++retired_;
+    if (params_.keep_retire_log) retire_log_.push_back({pc_, in});
+    coverage_.record(in);
+    coverage_.record_hwloop_depth(
+        static_cast<u32>(loops_[0].count > 0) +
+        static_cast<u32>(loops_[1].count > 0));
+
+    const u32 a = regs_[in.ra];
+    const u32 b = regs_[in.rb];
+    const u32 d = regs_[in.rd];
+    bool sequential = true;
+
+    switch (in.op) {
+      case Opcode::kAdd: write_reg(in.rd, a + b); break;
+      case Opcode::kSub: write_reg(in.rd, a - b); break;
+      case Opcode::kAnd: write_reg(in.rd, a & b); break;
+      case Opcode::kOr: write_reg(in.rd, a | b); break;
+      case Opcode::kXor: write_reg(in.rd, a ^ b); break;
+      case Opcode::kSll: write_reg(in.rd, a << (b & 31)); break;
+      case Opcode::kSrl: write_reg(in.rd, a >> (b & 31)); break;
+      case Opcode::kSra: write_reg(in.rd, as_u32(as_i32(a) >> (b & 31))); break;
+      case Opcode::kSlt: write_reg(in.rd, as_i32(a) < as_i32(b) ? 1 : 0); break;
+      case Opcode::kSltu: write_reg(in.rd, a < b ? 1 : 0); break;
+
+      case Opcode::kMul: write_reg(in.rd, a * b); break;
+      case Opcode::kMulhs:
+        write_reg(in.rd, static_cast<u32>(
+                             (static_cast<i64>(as_i32(a)) * as_i32(b)) >> 32));
+        break;
+      case Opcode::kMulhu:
+        write_reg(in.rd, static_cast<u32>(
+                             (static_cast<u64>(a) * static_cast<u64>(b)) >> 32));
+        break;
+      case Opcode::kDiv:
+        if (b == 0) {
+          write_reg(in.rd, 0xFFFFFFFFu);
+        } else if (a == 0x80000000u && b == 0xFFFFFFFFu) {
+          write_reg(in.rd, 0x80000000u);
+        } else {
+          write_reg(in.rd, as_u32(as_i32(a) / as_i32(b)));
+        }
+        break;
+      case Opcode::kDivu:
+        write_reg(in.rd, b == 0 ? 0xFFFFFFFFu : a / b);
+        break;
+      case Opcode::kRem:
+        if (b == 0) {
+          write_reg(in.rd, a);
+        } else if (a == 0x80000000u && b == 0xFFFFFFFFu) {
+          write_reg(in.rd, 0);
+        } else {
+          write_reg(in.rd, as_u32(as_i32(a) % as_i32(b)));
+        }
+        break;
+      case Opcode::kRemu:
+        write_reg(in.rd, b == 0 ? a : a % b);
+        break;
+
+      case Opcode::kMac: write_reg(in.rd, d + a * b); break;
+      case Opcode::kDotp2h:
+        write_reg(in.rd, d + as_u32(lane16(a, 0) * lane16(b, 0) +
+                                    lane16(a, 1) * lane16(b, 1)));
+        break;
+      case Opcode::kDotp4b: {
+        i32 acc = 0;
+        for (int l = 0; l < 4; ++l) acc += lane8(a, l) * lane8(b, l);
+        write_reg(in.rd, d + as_u32(acc));
+        break;
+      }
+      case Opcode::kAdd2h:
+      case Opcode::kSub2h: {
+        const int sign = in.op == Opcode::kAdd2h ? 1 : -1;
+        u32 out = 0;
+        for (int l = 0; l < 2; ++l) {
+          const u32 r = static_cast<u32>(lane16(a, l) + sign * lane16(b, l));
+          out |= (r & 0xFFFF) << (16 * l);
+        }
+        write_reg(in.rd, out);
+        break;
+      }
+      case Opcode::kAdd4b:
+      case Opcode::kSub4b: {
+        const int sign = in.op == Opcode::kAdd4b ? 1 : -1;
+        u32 out = 0;
+        for (int l = 0; l < 4; ++l) {
+          const u32 r = static_cast<u32>(lane8(a, l) + sign * lane8(b, l));
+          out |= (r & 0xFF) << (8 * l);
+        }
+        write_reg(in.rd, out);
+        break;
+      }
+
+      case Opcode::kAddi: write_reg(in.rd, a + as_u32(in.imm)); break;
+      case Opcode::kAndi: write_reg(in.rd, a & as_u32(in.imm)); break;
+      case Opcode::kOri: write_reg(in.rd, a | as_u32(in.imm)); break;
+      case Opcode::kXori: write_reg(in.rd, a ^ as_u32(in.imm)); break;
+      case Opcode::kSlli: write_reg(in.rd, a << (in.imm & 31)); break;
+      case Opcode::kSrli: write_reg(in.rd, a >> (in.imm & 31)); break;
+      case Opcode::kSrai:
+        write_reg(in.rd, as_u32(as_i32(a) >> (in.imm & 31)));
+        break;
+      case Opcode::kSlti: write_reg(in.rd, as_i32(a) < in.imm ? 1 : 0); break;
+      case Opcode::kSltiu:
+        write_reg(in.rd, a < as_u32(in.imm) ? 1 : 0);
+        break;
+      case Opcode::kLui: write_reg(in.rd, as_u32(in.imm) << 12); break;
+
+      case Opcode::kLw: case Opcode::kLh: case Opcode::kLhu:
+      case Opcode::kLb: case Opcode::kLbu:
+      case Opcode::kLwpi: case Opcode::kLhpi: case Opcode::kLhupi:
+      case Opcode::kLbpi: case Opcode::kLbupi:
+      case Opcode::kSw: case Opcode::kSh: case Opcode::kSb:
+      case Opcode::kSwpi: case Opcode::kShpi: case Opcode::kSbpi: {
+        const bool is_store = isa::is_store(in.op);
+        const bool postinc = isa::is_postinc(in.op);
+        const u32 size = static_cast<u32>(isa::access_size(in.op));
+        // Post-increment addressing uses the pre-increment base.
+        const Addr addr = postinc ? a : a + as_u32(in.imm);
+        const bool unaligned = addr % size != 0;
+        coverage_.record_mem(static_cast<int>(size), unaligned,
+                             unaligned && (addr / 4 != (addr + size - 1) / 4));
+
+        // DMA peripheral window: aligned word access only, like the bus.
+        if (addr >= memmap::kDmaBase && addr < memmap::kDmaBase + 0x14) {
+          if (size != 4 || unaligned) {
+            return Status::Error("golden: non-word DMA register access at " +
+                                 hex(addr));
+          }
+          const Addr off = addr - memmap::kDmaBase;
+          if (is_store) {
+            const u32 v = regs_[in.rd];
+            switch (off) {
+              case kDmaSrc: dma_src_ = v; break;
+              case kDmaDst: dma_dst_ = v; break;
+              case kDmaLen: dma_len_ = v; break;
+              case kDmaCmd: {
+                Status s = dma_cmd();
+                if (!s.ok()) return s;
+                break;
+              }
+              default:
+                return Status::Error("golden: write to DMA offset " +
+                                     std::to_string(off));
+            }
+          } else {
+            u32 v = 0;
+            switch (off) {
+              case kDmaSrc: v = dma_src_; break;
+              case kDmaDst: v = dma_dst_; break;
+              case kDmaLen: v = dma_len_; break;
+              case kDmaStatus: v = 0; break;  // instant model: always drained
+              default:
+                return Status::Error("golden: read from DMA offset " +
+                                     std::to_string(off));
+            }
+            write_reg(in.rd, v);
+          }
+        } else {
+          if (mem_at(addr, size) == nullptr) {
+            return Status::Error("golden: unmapped access at " + hex(addr) +
+                                 " size " + std::to_string(size) + " (pc " +
+                                 std::to_string(pc_) + ")");
+          }
+          if (is_store) {
+            store(addr, size, regs_[in.rd]);
+          } else {
+            u32 v = load(addr, size);
+            const bool sign = in.op == Opcode::kLh || in.op == Opcode::kLhpi ||
+                              in.op == Opcode::kLb || in.op == Opcode::kLbpi;
+            if (sign && size < 4) {
+              const u32 sign_bit = 1u << (size * 8 - 1);
+              if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+            }
+            write_reg(in.rd, v);
+          }
+        }
+        // rd == ra on a post-increment load: the base update reads the
+        // just-loaded value, matching the core's write-back order.
+        if (postinc) write_reg(in.ra, regs_[in.ra] + as_u32(in.imm));
+        break;
+      }
+
+      case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+      case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu: {
+        bool taken = false;
+        switch (in.op) {
+          case Opcode::kBeq: taken = a == b; break;
+          case Opcode::kBne: taken = a != b; break;
+          case Opcode::kBlt: taken = as_i32(a) < as_i32(b); break;
+          case Opcode::kBge: taken = as_i32(a) >= as_i32(b); break;
+          case Opcode::kBltu: taken = a < b; break;
+          case Opcode::kBgeu: taken = a >= b; break;
+          default: break;
+        }
+        if (taken) {
+          pc_ = static_cast<u32>(static_cast<i64>(pc_) + in.imm);
+          sequential = false;
+        }
+        break;
+      }
+      case Opcode::kJal:
+        write_reg(in.rd, pc_ + 1);
+        pc_ = static_cast<u32>(static_cast<i64>(pc_) + in.imm);
+        sequential = false;
+        break;
+      case Opcode::kJalr: {
+        const u32 target = a;  // read before rd write (rd may alias ra)
+        write_reg(in.rd, pc_ + 1);
+        pc_ = target;
+        sequential = false;
+        break;
+      }
+
+      case Opcode::kLpSetup: {
+        if (in.rd >= 2) {
+          return Status::Error("golden: hardware loop id out of range");
+        }
+        if (in.imm <= 0) {
+          return Status::Error("golden: empty hardware loop body");
+        }
+        HwLoop& lp = loops_[in.rd];
+        lp.start = pc_ + 1;
+        lp.end = pc_ + 1 + static_cast<u32>(in.imm);
+        lp.count = a;
+        if (lp.count == 0) {
+          pc_ = lp.end;
+          sequential = false;
+        }
+        break;
+      }
+
+      case Opcode::kCsrr:
+        switch (static_cast<isa::Csr>(in.imm)) {
+          case isa::Csr::kCoreId: write_reg(in.rd, 0); break;
+          case isa::Csr::kNumCores: write_reg(in.rd, 1); break;
+          case isa::Csr::kCycle:
+            // Timing-dependent by definition; no golden value exists.
+            return Status::Error("golden: program read the cycle CSR");
+          default:
+            return Status::Error("golden: unknown CSR " +
+                                 std::to_string(in.imm));
+        }
+        break;
+      case Opcode::kBarrier:
+        break;  // single hart: the one-core barrier completes immediately
+      case Opcode::kWfe:
+        // The real core advances pc (running the loop-end checks) before
+        // sleeping; mirror that, then insist an event is already pending —
+        // a generated single-core program must never deadlock.
+        advance_pc_sequential();
+        sequential = false;
+        if (!event_pending_) {
+          return Status::Error("golden: wfe with no pending event (pc " +
+                               std::to_string(pc_) + ")");
+        }
+        event_pending_ = false;
+        break;
+      case Opcode::kSev:
+        event_pending_ = true;  // broadcast reaches the sender too
+        break;
+      case Opcode::kEoc:
+        eoc_ = as_u32(in.imm);
+        halted_ = true;
+        break;
+      case Opcode::kNop: break;
+      case Opcode::kHalt: halted_ = true; break;
+
+      case Opcode::kCount:
+        return Status::Error("golden: kCount sentinel in program");
+    }
+
+    if (sequential && !halted_) advance_pc_sequential();
+  }
+  return {};
+}
+
+}  // namespace ulp::verif

@@ -1,0 +1,109 @@
+// Independent golden-reference interpreter for differential verification.
+//
+// Deliberately naive: a switch-on-opcode architectural interpreter over flat
+// byte arrays, written from the ISA manual (isa/isa.hpp comments) with no
+// shared execution machinery — it includes nothing from core/, cluster/ or
+// mem/. Timing does not exist here: there are no cycles, no bank conflicts,
+// no stalls; DMA transfers complete instantly at the CMD write. What the
+// golden model and the real cluster must nevertheless agree on is the
+// *architectural* story — final registers, final memory images, the EOC
+// flag, and (for timing-independent programs) the exact retired-instruction
+// sequence. Any disagreement is a bug in one of the two, which is the point.
+//
+// Scope: single hart. Multi-core interleavings have no canonical golden
+// order; the differential harness covers them with invariant checks instead
+// (see differential.hpp).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+#include "verif/coverage.hpp"
+
+namespace ulp::verif {
+
+struct GoldenParams {
+  u32 tcdm_bytes = 64 * 1024;
+  u32 l2_bytes = 128 * 1024;
+  /// Retired-instruction budget; exceeding it fails the run (runaway
+  /// program — generator bug or a jalr into a loop).
+  u64 max_retired = 2'000'000;
+  /// Record the (pc, instr) retire sequence for log comparison.
+  bool keep_retire_log = true;
+};
+
+/// One retired instruction, as both the golden model and the real core's
+/// retire hook report it.
+struct Retire {
+  u32 pc = 0;
+  isa::Instr instr;
+
+  friend bool operator==(const Retire&, const Retire&) = default;
+};
+
+class Golden {
+ public:
+  explicit Golden(GoldenParams params = {});
+
+  /// Interpret `program` from its entry to HALT/EOC. Returns an error
+  /// Status (never throws) on anything a generated program must not do:
+  /// out-of-map access, pc past program end, WFE with no pending event,
+  /// reading the cycle CSR (timing-dependent by definition), misprogrammed
+  /// DMA, or blowing the retire budget.
+  Status run(const isa::Program& program);
+
+  [[nodiscard]] u32 reg(u32 index) const { return regs_[index]; }
+  [[nodiscard]] const std::array<u32, isa::kNumRegs>& regs() const {
+    return regs_;
+  }
+  [[nodiscard]] const std::vector<u8>& tcdm() const { return tcdm_; }
+  [[nodiscard]] const std::vector<u8>& l2() const { return l2_; }
+  [[nodiscard]] u64 retired() const { return retired_; }
+  [[nodiscard]] const std::vector<Retire>& retire_log() const {
+    return retire_log_;
+  }
+  /// EOC flag value, if the program signalled end-of-computation.
+  [[nodiscard]] std::optional<u32> eoc() const { return eoc_; }
+  [[nodiscard]] const Coverage& coverage() const { return coverage_; }
+
+ private:
+  struct HwLoop {
+    u32 start = 0;
+    u32 end = 0;
+    u32 count = 0;
+  };
+
+  void advance_pc_sequential();
+  [[nodiscard]] u8* mem_at(Addr addr, u32 size);  // null when unmapped
+  u32 load(Addr addr, u32 size);
+  void store(Addr addr, u32 size, u32 value);
+  void write_reg(u32 index, u32 value) {
+    if (index != 0) regs_[index] = value;
+  }
+  Status dma_cmd();
+
+  GoldenParams params_;
+  std::array<u32, isa::kNumRegs> regs_{};
+  std::vector<u8> tcdm_;
+  std::vector<u8> l2_;
+  u32 pc_ = 0;
+  std::array<HwLoop, 2> loops_{};
+  bool halted_ = false;
+  std::optional<u32> eoc_;
+  bool event_pending_ = false;  ///< sev-to-self / DMA completion latch.
+
+  // DMA shadow registers; transfers complete instantly at the CMD write.
+  u32 dma_src_ = 0;
+  u32 dma_dst_ = 0;
+  u32 dma_len_ = 0;
+
+  u64 retired_ = 0;
+  std::vector<Retire> retire_log_;
+  Coverage coverage_;
+};
+
+}  // namespace ulp::verif

@@ -1,0 +1,166 @@
+#include "verif/repro.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "codegen/assembler.hpp"
+#include "isa/disasm.hpp"
+
+namespace ulp::verif {
+
+namespace {
+
+std::string hex_bytes(const std::vector<u8>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (u8 b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<u8> parse_hex_bytes(const std::string& text, int line_no) {
+  ULP_CHECK(text.size() % 2 == 0,
+            "repro line " + std::to_string(line_no) + ": odd hex digit count");
+  std::vector<u8> out(text.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const auto nibble = [&](char c) -> u32 {
+      if (c >= '0' && c <= '9') return static_cast<u32>(c - '0');
+      if (c >= 'a' && c <= 'f') return static_cast<u32>(c - 'a' + 10);
+      if (c >= 'A' && c <= 'F') return static_cast<u32>(c - 'A' + 10);
+      throw SimError("repro line " + std::to_string(line_no) +
+                     ": bad hex digit '" + std::string(1, c) + "'");
+    };
+    out[i] = static_cast<u8>((nibble(text[2 * i]) << 4) |
+                             nibble(text[2 * i + 1]));
+  }
+  return out;
+}
+
+u64 parse_num(const std::string& token, int line_no) {
+  try {
+    return std::stoull(token, nullptr, 0);  // base 0: 0x..., 0..., decimal
+  } catch (const std::exception&) {
+    throw SimError("repro line " + std::to_string(line_no) +
+                   ": bad number '" + token + "'");
+  }
+}
+
+}  // namespace
+
+std::string format_repro(const GenProgram& gp) {
+  std::ostringstream os;
+  os << "; ulp_fuzz repro\n";
+  os << ".seed 0x" << std::hex << gp.seed << std::dec << "\n";
+  os << ".profile " << gp.profile << "\n";
+  os << ".cores " << gp.num_cores << "\n";
+  os << ".deterministic " << (gp.deterministic_retire ? 1 : 0) << "\n";
+  for (const DmaCopy& copy : gp.dma_copies) {
+    os << ".dma 0x" << std::hex << copy.src << " 0x" << copy.dst << std::dec
+       << " " << copy.len << "\n";
+  }
+  for (const isa::Segment& seg : gp.program.data) {
+    os << ".data 0x" << std::hex << seg.addr << std::dec << " "
+       << hex_bytes(seg.bytes) << "\n";
+  }
+  os << ".entry " << gp.program.entry << "\n";
+  os << ".code\n";
+  for (const isa::Instr& in : gp.program.code) {
+    os << "    " << isa::disassemble(in) << "\n";
+  }
+  return os.str();
+}
+
+GenProgram parse_repro(const std::string& text) {
+  GenProgram gp;
+  gp.profile = "full";
+  std::string code_block;
+  bool in_code = false;
+  u32 entry = 0;
+
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (in_code) {
+      code_block += line;
+      code_block += '\n';
+      continue;
+    }
+    // Strip comments and whitespace outside the code block (the assembler
+    // handles its own).
+    const size_t comment = line.find_first_of(";#");
+    if (comment != std::string::npos) line.resize(comment);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+    auto next_token = [&]() {
+      std::string t;
+      ULP_CHECK(static_cast<bool>(ls >> t),
+                "repro line " + std::to_string(line_no) +
+                    ": missing operand for " + directive);
+      return t;
+    };
+    if (directive == ".seed") {
+      gp.seed = parse_num(next_token(), line_no);
+    } else if (directive == ".profile") {
+      gp.profile = next_token();
+    } else if (directive == ".cores") {
+      gp.num_cores = static_cast<u32>(parse_num(next_token(), line_no));
+      ULP_CHECK(gp.num_cores >= 1 && gp.num_cores <= 4,
+                "repro line " + std::to_string(line_no) + ": bad core count");
+    } else if (directive == ".deterministic") {
+      gp.deterministic_retire = parse_num(next_token(), line_no) != 0;
+    } else if (directive == ".dma") {
+      DmaCopy copy;
+      copy.src = static_cast<Addr>(parse_num(next_token(), line_no));
+      copy.dst = static_cast<Addr>(parse_num(next_token(), line_no));
+      copy.len = static_cast<u32>(parse_num(next_token(), line_no));
+      gp.dma_copies.push_back(copy);
+    } else if (directive == ".data") {
+      isa::Segment seg;
+      seg.addr = static_cast<Addr>(parse_num(next_token(), line_no));
+      seg.bytes = parse_hex_bytes(next_token(), line_no);
+      gp.program.data.push_back(std::move(seg));
+    } else if (directive == ".entry") {
+      entry = static_cast<u32>(parse_num(next_token(), line_no));
+    } else if (directive == ".code") {
+      in_code = true;
+    } else {
+      throw SimError("repro line " + std::to_string(line_no) +
+                     ": unknown directive '" + directive + "'");
+    }
+  }
+  ULP_CHECK(in_code, "repro has no .code block");
+
+  isa::Program assembled = codegen::assemble(code_block);
+  gp.program.code = std::move(assembled.code);
+  gp.program.entry = entry;
+  gp.config = profile_config(gp.profile);
+  return gp;
+}
+
+Status save_repro(const GenProgram& gp, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Error(StatusCode::kIoError,
+                         "cannot open for writing: " + path);
+  }
+  out << format_repro(gp);
+  out.flush();
+  if (!out) return Status::Error(StatusCode::kIoError, "write failed: " + path);
+  return {};
+}
+
+GenProgram load_repro(const std::string& path) {
+  std::ifstream in(path);
+  ULP_CHECK(static_cast<bool>(in), "cannot open repro file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_repro(buffer.str());
+}
+
+}  // namespace ulp::verif

@@ -1,0 +1,41 @@
+// Textual .repro files: a failing (or interesting) generated program,
+// its data segments and its generation metadata, round-trippable through
+// the repository's own assembler/disassembler.
+//
+// Format: dot-directives followed by a .code block of disassembly:
+//
+//     ; ulp_fuzz repro
+//     .seed 0x1f3a...            ; generation seed (informative)
+//     .profile full              ; feature profile (drives CoreConfig)
+//     .cores 1
+//     .deterministic 1           ; retire-log comparison enabled
+//     .dma 0x1c000800 0x10000100 37   ; recorded transfer (src dst len)
+//     .data 0x10000400 a03f...        ; segment at addr, hex bytes
+//     .entry 0
+//     .code
+//         addi r1, r0, 5
+//         ...
+//         halt
+//
+// parse(format(x)) reproduces x's program bit for bit — corpus tests rely
+// on it, and the code block doubles as the human-readable failure listing.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "verif/generator.hpp"
+
+namespace ulp::verif {
+
+[[nodiscard]] std::string format_repro(const GenProgram& gp);
+
+/// Parses repro text; throws SimError with a line number on malformed
+/// directives and defers to codegen::assemble for the code block.
+[[nodiscard]] GenProgram parse_repro(const std::string& text);
+
+/// File convenience wrappers.
+Status save_repro(const GenProgram& gp, const std::string& path);
+[[nodiscard]] GenProgram load_repro(const std::string& path);  // throws
+
+}  // namespace ulp::verif

@@ -1,0 +1,212 @@
+#include "verif/shrink.hpp"
+
+#include <optional>
+
+#include "isa/encoding.hpp"
+
+namespace ulp::verif {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+/// Remove code[a, b) and remap every instruction-index-relative operand.
+/// Returns nothing when the removal cannot be expressed (a control transfer
+/// targets the removed range's interior, an offset stops fitting, a
+/// hardware loop body would become empty).
+std::optional<isa::Program> remove_range(const isa::Program& p, u32 a,
+                                         u32 b) {
+  const auto remap = [&](i64 t) -> std::optional<i64> {
+    if (t > a && t < b) return std::nullopt;  // interior target: give up
+    return t <= a ? t : t - (b - a);
+  };
+  isa::Program out;
+  out.data = p.data;
+  const auto entry = remap(p.entry);
+  if (!entry) return std::nullopt;
+  out.entry = static_cast<u32>(*entry);
+  out.code.reserve(p.code.size() - (b - a));
+  for (u32 x = 0; x < p.code.size(); ++x) {
+    if (x >= a && x < b) continue;
+    Instr in = p.code[x];
+    const i64 nx = *remap(x);  // x is outside [a,b), so this never fails
+    if (isa::is_branch(in.op) || in.op == Opcode::kJal) {
+      const auto nt = remap(static_cast<i64>(x) + in.imm);
+      if (!nt) return std::nullopt;
+      in.imm = static_cast<i32>(*nt - nx);
+      if (!isa::imm_fits(in.op, in.imm)) return std::nullopt;
+    } else if (in.op == Opcode::kLpSetup) {
+      const auto nend = remap(static_cast<i64>(x) + 1 + in.imm);
+      if (!nend) return std::nullopt;
+      in.imm = static_cast<i32>(*nend - nx - 1);
+      if (in.imm < 1 || !isa::imm_fits(in.op, in.imm)) return std::nullopt;
+    }
+    out.code.push_back(in);
+  }
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const GenProgram& failing, std::string detail,
+           const ShrinkOracle& oracle, u32 max_oracle_calls)
+      : best_(failing), best_detail_(std::move(detail)), oracle_(oracle),
+        budget_(max_oracle_calls) {}
+
+  ShrinkResult run() {
+    ShrinkResult result;
+    result.original_instrs = static_cast<u32>(best_.program.code.size());
+    bool progress = true;
+    while (progress && calls_ < budget_) {
+      progress = false;
+      progress |= pass_remove_ranges();
+      progress |= pass_drop_data();
+      progress |= pass_shrink_imms();
+      progress |= pass_nop_out();
+      ++result.rounds;
+    }
+    result.program = best_;
+    result.detail = best_detail_;
+    result.oracle_calls = calls_;
+    result.shrunk_instrs = static_cast<u32>(best_.program.code.size());
+    return result;
+  }
+
+ private:
+  /// Accept `candidate` if the oracle still reports a failure.
+  bool try_candidate(isa::Program candidate) {
+    if (calls_ >= budget_) return false;
+    ++calls_;
+    GenProgram gp = best_;
+    gp.program = std::move(candidate);
+    std::string detail = oracle_(gp);
+    if (detail.empty()) return false;
+    best_ = std::move(gp);
+    best_detail_ = std::move(detail);
+    return true;
+  }
+
+  bool pass_remove_ranges() {
+    bool any = false;
+    for (u32 chunk : {32u, 16u, 8u, 4u, 2u, 1u}) {
+      bool removed = true;
+      while (removed && calls_ < budget_) {
+        removed = false;
+        const u32 n = static_cast<u32>(best_.program.code.size());
+        if (n <= 1) return any;
+        // Scan back-to-front so earlier indices stay valid after a removal.
+        for (i64 a = static_cast<i64>(n) - chunk; a >= 0; a -= chunk) {
+          auto candidate = remove_range(best_.program, static_cast<u32>(a),
+                                        static_cast<u32>(a) + chunk);
+          if (!candidate) continue;
+          if (try_candidate(std::move(*candidate))) {
+            removed = true;
+            any = true;
+            break;  // sizes shifted; rescan from the (new) end
+          }
+          if (calls_ >= budget_) return any;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool pass_drop_data() {
+    bool any = false;
+    for (size_t i = 0; i < best_.program.data.size() && calls_ < budget_;) {
+      isa::Program candidate = best_.program;
+      candidate.data.erase(candidate.data.begin() + static_cast<i64>(i));
+      if (try_candidate(std::move(candidate))) {
+        any = true;  // same index now names the next segment
+      } else {
+        ++i;
+      }
+    }
+    return any;
+  }
+
+  bool pass_shrink_imms() {
+    bool any = false;
+    for (size_t i = 0; i < best_.program.code.size() && calls_ < budget_;
+         ++i) {
+      const Instr& in = best_.program.code[i];
+      // Only value immediates; control-flow offsets and loop body lengths
+      // are handled by range removal.
+      if (isa::is_branch(in.op) || in.op == Opcode::kJal ||
+          in.op == Opcode::kLpSetup || in.imm == 0) {
+        continue;
+      }
+      for (i32 next : {0, in.imm / 2}) {
+        if (next == in.imm) continue;
+        isa::Program candidate = best_.program;
+        candidate.code[i].imm = next;
+        if (try_candidate(std::move(candidate))) {
+          any = true;
+          break;
+        }
+      }
+    }
+    return any;
+  }
+
+  bool pass_nop_out() {
+    bool any = false;
+    for (size_t i = 0; i < best_.program.code.size() && calls_ < budget_;
+         ++i) {
+      if (best_.program.code[i].op == Opcode::kNop) continue;
+      isa::Program candidate = best_.program;
+      candidate.code[i] = Instr{};  // kNop
+      if (try_candidate(std::move(candidate))) any = true;
+    }
+    return any;
+  }
+
+  GenProgram best_;
+  std::string best_detail_;
+  const ShrinkOracle& oracle_;
+  u32 budget_;
+  u32 calls_ = 0;
+};
+
+}  // namespace
+
+std::string failure_category(const std::string& detail) {
+  const size_t colon = detail.find(':');
+  std::string category =
+      colon == std::string::npos ? detail : detail.substr(0, colon);
+  // SimError messages embed file:line; two different ULP_CHECKs must not
+  // look alike, so fold the failed condition into the category.
+  const std::string marker = "check failed (";
+  const size_t check = detail.find(marker);
+  if (check != std::string::npos) {
+    const size_t end = detail.find(')', check);
+    if (end != std::string::npos) {
+      category += '/' + detail.substr(check + marker.size(),
+                                      end - check - marker.size());
+    }
+  }
+  return category;
+}
+
+ShrinkResult shrink(const GenProgram& failing, const std::string& detail,
+                    const ShrinkOracle& oracle, u32 max_oracle_calls) {
+  Shrinker shrinker(failing, detail, oracle, max_oracle_calls);
+  return shrinker.run();
+}
+
+ShrinkResult shrink(const GenProgram& failing, const std::string& detail,
+                    u32 max_oracle_calls) {
+  const std::string category = failure_category(detail);
+  const ShrinkOracle oracle = [&category](const GenProgram& gp) {
+    DiffResult r = check_program(gp);
+    if (r.pass) return std::string{};
+    // A candidate only counts if it fails the same way; morphing into a
+    // structurally broken program (different category) is not a shrink.
+    if (failure_category(r.detail) != category) return std::string{};
+    return r.detail;
+  };
+  return shrink(failing, detail, oracle, max_oracle_calls);
+}
+
+}  // namespace ulp::verif

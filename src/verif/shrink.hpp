@@ -1,0 +1,49 @@
+// Auto-shrinker: reduce a failing generated program to a minimal repro.
+//
+// Delta-debugging over the instruction list: repeatedly try structural
+// simplifications — removing instruction ranges (with branch/loop targets
+// remapped), replacing instructions with NOPs, zeroing and halving
+// immediates, dropping data segments — and keep each candidate only if the
+// oracle says it still fails *the same way*. "The same way" is judged by
+// the failure category (the "golden-vs-cluster" / "ref-vs-ff" / "dma"
+// prefix of the divergence string), which stops the shrinker from trading
+// a real divergence for a trivially malformed program: breaking the
+// program's structure changes the category and the candidate is rejected.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "verif/differential.hpp"
+
+namespace ulp::verif {
+
+/// Failure oracle: empty string = candidate passes (reject it); non-empty =
+/// the candidate's failure detail.
+using ShrinkOracle = std::function<std::string(const GenProgram&)>;
+
+struct ShrinkResult {
+  GenProgram program;  ///< Smallest still-failing variant found.
+  std::string detail;  ///< Its failure detail.
+  u32 rounds = 0;      ///< Fixpoint rounds executed.
+  u32 oracle_calls = 0;
+  u32 original_instrs = 0;
+  u32 shrunk_instrs = 0;
+};
+
+/// Failure category: the divergence-string prefix up to the first ':'.
+[[nodiscard]] std::string failure_category(const std::string& detail);
+
+/// Shrink `failing` (whose current failure detail is `detail`) until no
+/// transformation makes progress or `max_oracle_calls` is spent. The
+/// default oracle runs check_program and requires the failure category to
+/// match; pass a custom oracle to shrink against any other predicate.
+[[nodiscard]] ShrinkResult shrink(const GenProgram& failing,
+                                  const std::string& detail,
+                                  u32 max_oracle_calls = 4000);
+[[nodiscard]] ShrinkResult shrink(const GenProgram& failing,
+                                  const std::string& detail,
+                                  const ShrinkOracle& oracle,
+                                  u32 max_oracle_calls = 4000);
+
+}  // namespace ulp::verif

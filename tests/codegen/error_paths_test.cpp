@@ -1,0 +1,184 @@
+// Error-path coverage for the assembler and Builder: malformed source,
+// out-of-range immediates, misuse of labels and loops — everything must
+// fail loudly (SimError) instead of emitting a corrupt program. Also pins
+// the assemble(disassemble(x)) == x contract across every opcode.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codegen/assembler.hpp"
+#include "codegen/builder.hpp"
+#include "common/status.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulp::codegen {
+namespace {
+
+using isa::Opcode;
+
+void expect_asm_error(std::string_view src, const std::string& needle) {
+  try {
+    (void)assemble(src);
+    FAIL() << "assembled without error: " << src;
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  expect_asm_error("frobnicate r1, r2, r3\n", "unknown mnemonic");
+}
+
+TEST(AssemblerErrors, BadRegisterName) {
+  expect_asm_error("add r1, r2, r32\n", "register");
+  expect_asm_error("add r1, rx, r3\n", "register");
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  expect_asm_error("add r1, r2\nhalt\n", "expected");
+}
+
+TEST(AssemblerErrors, UndefinedLabel) {
+  expect_asm_error("beq r1, r2, nowhere\nhalt\n", "undefined label");
+}
+
+TEST(AssemblerErrors, OutOfRangeImmediate) {
+  // imm15 is [-16384, 16383]; one past either end must be rejected.
+  expect_asm_error("addi r1, r0, 16384\nhalt\n", "imm");
+  expect_asm_error("addi r1, r0, -16385\nhalt\n", "imm");
+}
+
+TEST(AssemblerErrors, LpSetupBadLoopId) {
+  expect_asm_error("lp.setup 2, r1, end\nend:\nhalt\n", "0 or 1");
+}
+
+TEST(AssemblerErrors, LpSetupEndBeforeBody) {
+  expect_asm_error("end:\nlp.setup 0, r1, end\nhalt\n", "before body");
+}
+
+TEST(AssemblerBoundaries, ExtremeInRangeImmediatesAssemble) {
+  const isa::Program p = assemble(
+      "addi r1, r0, 16383\n"
+      "addi r2, r0, -16384\n"
+      "lui  r3, 0xfffff\n"
+      "halt\n");
+  EXPECT_EQ(p.code[0].imm, 16383);
+  EXPECT_EQ(p.code[1].imm, -16384);
+  EXPECT_EQ(p.code[2].imm, 0xfffff);
+}
+
+TEST(BuilderErrors, PatchImmValidatesRangeAndIndex) {
+  Builder b(core::or10n_config().features);
+  const u32 i = b.emit(Opcode::kAddi, 1, 0, 0, 5);
+  EXPECT_THROW(b.patch_imm(i, 16384), SimError);
+  EXPECT_THROW(b.patch_imm(i + 1, 0), SimError);
+  b.patch_imm(i, -16384);  // extreme but legal
+  EXPECT_EQ(b.instr_at(i).imm, -16384);
+}
+
+TEST(BuilderErrors, InstrAtOutOfRange) {
+  Builder b(core::or10n_config().features);
+  EXPECT_THROW((void)b.instr_at(0), SimError);
+}
+
+TEST(BuilderErrors, BranchRequiresBranchOpcode) {
+  Builder b(core::or10n_config().features);
+  const Builder::Label l = b.make_label();
+  EXPECT_THROW(b.branch(Opcode::kAdd, 1, 2, l), SimError);
+}
+
+TEST(BuilderErrors, FinalizeRejectsUnboundLabel) {
+  Builder b(core::or10n_config().features);
+  const Builder::Label l = b.make_label();
+  b.branch(Opcode::kBeq, 0, 0, l);
+  b.emit(Opcode::kHalt);
+  EXPECT_THROW((void)std::move(b).finalize(), SimError);
+}
+
+TEST(BuilderErrors, LabelBoundTwice) {
+  Builder b(core::or10n_config().features);
+  const Builder::Label l = b.make_label();
+  b.bind(l);
+  EXPECT_THROW(b.bind(l), SimError);
+}
+
+TEST(BuilderErrors, EmptyHardwareLoopBody) {
+  Builder b(core::or10n_config().features);
+  b.li(1, 4);
+  EXPECT_THROW(b.loop(1, 2, [] {}), SimError);
+}
+
+// One instruction of every opcode, with operands that exercise the full
+// field widths, must survive disassemble -> assemble unchanged. This is
+// the contract the .repro format (and its committed corpus) relies on.
+TEST(DisasmRoundTrip, EveryOpcodeSurvives) {
+  std::vector<isa::Instr> all;
+  for (size_t i = 0; i < isa::kNumOpcodes; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    isa::Instr in;
+    in.op = op;
+    switch (isa::op_info(op).fmt) {
+      case isa::Fmt::kR:
+        in.rd = 1;
+        in.ra = 2;
+        in.rb = 31;
+        break;
+      case isa::Fmt::kI:
+        in.rd = 3;
+        in.ra = 4;
+        in.imm = -16384;
+        break;
+      case isa::Fmt::kLui:
+        in.rd = 5;
+        in.imm = 0xABCDE;
+        break;
+      case isa::Fmt::kMem:
+        in.rd = 6;
+        in.ra = 7;
+        in.imm = 16383;
+        break;
+      case isa::Fmt::kB:
+        in.ra = 8;
+        in.rb = 9;
+        in.imm = 2;  // forward target inside the listing
+        break;
+      case isa::Fmt::kJ:
+        in.rd = 10;
+        in.imm = 2;
+        break;
+      case isa::Fmt::kLp:
+        in.rd = 1;  // loop id
+        in.ra = 11;
+        in.imm = 1;
+        break;
+      case isa::Fmt::kSys:
+        if (op == Opcode::kCsrr) {
+          in.rd = 12;
+          in.imm = 1;
+        } else if (op == Opcode::kSev || op == Opcode::kEoc) {
+          in.imm = 3;
+        }
+        break;
+    }
+    all.push_back(in);
+    all.push_back({});  // nop spacer so branch/jal/lp targets stay valid
+  }
+  all.push_back({Opcode::kHalt});
+
+  std::ostringstream listing;
+  for (const isa::Instr& in : all) {
+    listing << "    " << isa::disassemble(in) << "\n";
+  }
+  const isa::Program back = assemble(listing.str());
+  ASSERT_EQ(back.code.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(back.code[i], all[i])
+        << "instr " << i << ": " << isa::disassemble(all[i]) << " vs "
+        << isa::disassemble(back.code[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ulp::codegen

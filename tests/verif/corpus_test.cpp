@@ -1,0 +1,81 @@
+// Committed-corpus replay: every .repro under tests/verif/corpus/ must
+// parse, survive a format/parse round trip bit for bit, and pass the full
+// differential check (golden + both cluster stepping modes for single-core
+// entries, stress invariants for multi-core ones).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "verif/differential.hpp"
+#include "verif/repro.hpp"
+
+#ifndef ULP_VERIF_CORPUS_DIR
+#error "build must define ULP_VERIF_CORPUS_DIR"
+#endif
+
+namespace ulp::verif {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(ULP_VERIF_CORPUS_DIR)) {
+    if (entry.path().extension() == ".repro") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, IsCommittedAndNonTrivial) {
+  EXPECT_GE(corpus_files().size(), 20u)
+      << "corpus at " << ULP_VERIF_CORPUS_DIR << " is missing entries";
+}
+
+TEST(Corpus, EveryEntryRoundTripsBitForBit) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const GenProgram gp = load_repro(path);
+    const GenProgram back = parse_repro(format_repro(gp));
+    EXPECT_EQ(gp.program.code, back.program.code);
+    EXPECT_EQ(gp.program.entry, back.program.entry);
+    ASSERT_EQ(gp.program.data.size(), back.program.data.size());
+    for (size_t i = 0; i < gp.program.data.size(); ++i) {
+      EXPECT_EQ(gp.program.data[i].addr, back.program.data[i].addr);
+      EXPECT_EQ(gp.program.data[i].bytes, back.program.data[i].bytes);
+    }
+  }
+}
+
+TEST(Corpus, EveryEntryPassesDifferentially) {
+  u32 single = 0;
+  u32 stress = 0;
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const GenProgram gp = load_repro(path);
+    (gp.num_cores == 1 ? single : stress) += 1;
+    const DiffResult r = check_program(gp);
+    EXPECT_TRUE(r.pass) << r.detail;
+  }
+  // The corpus must keep both harness halves exercised.
+  EXPECT_GT(single, 0u);
+  EXPECT_GT(stress, 0u);
+}
+
+TEST(Corpus, ReplayIsDeterministic) {
+  const auto files = corpus_files();
+  ASSERT_FALSE(files.empty());
+  const GenProgram gp = load_repro(files.front());
+  const Observation a = run_on_cluster(gp, /*reference_stepping=*/true);
+  const Observation b = run_on_cluster(gp, /*reference_stepping=*/true);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.regs, b.regs);
+  EXPECT_EQ(a.tcdm, b.tcdm);
+}
+
+}  // namespace
+}  // namespace ulp::verif

@@ -1,0 +1,165 @@
+// Differential-harness tests: generator determinism and structural
+// guarantees, three-way single-core checks, multi-core stress invariants,
+// and a seeded mini-campaign that must come back clean.
+#include <gtest/gtest.h>
+
+#include "verif/differential.hpp"
+#include "verif/generator.hpp"
+
+namespace ulp::verif {
+namespace {
+
+TEST(Generator, DeterministicBitForBit) {
+  GenParams p;
+  p.seed = 0x1234'5678'9abc'def0ull;
+  const GenProgram a = generate(p);
+  const GenProgram b = generate(p);
+  ASSERT_EQ(a.program.code.size(), b.program.code.size());
+  for (size_t i = 0; i < a.program.code.size(); ++i) {
+    EXPECT_EQ(a.program.code[i], b.program.code[i]) << "instr " << i;
+  }
+  ASSERT_EQ(a.program.data.size(), b.program.data.size());
+  for (size_t i = 0; i < a.program.data.size(); ++i) {
+    EXPECT_EQ(a.program.data[i].addr, b.program.data[i].addr);
+    EXPECT_EQ(a.program.data[i].bytes, b.program.data[i].bytes);
+  }
+  EXPECT_EQ(a.deterministic_retire, b.deterministic_retire);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GenParams p;
+  p.seed = 1;
+  const GenProgram a = generate(p);
+  p.seed = 2;
+  const GenProgram b = generate(p);
+  EXPECT_NE(a.program.code, b.program.code);
+}
+
+TEST(Generator, ProfilesGateFeatures) {
+  for (const char* name : {"full", "baseline", "or10n", "cortex_m4",
+                           "cortex_m3"}) {
+    GenParams p;
+    p.seed = 77;
+    p.profile = name;
+    const GenProgram gp = generate(p);
+    const auto& f = gp.config.features;
+    for (const isa::Instr& in : gp.program.code) {
+      if (!f.has_hwloops) EXPECT_NE(in.op, isa::Opcode::kLpSetup) << name;
+      if (!f.has_mac) EXPECT_NE(in.op, isa::Opcode::kMac) << name;
+      if (!f.has_simd) {
+        EXPECT_NE(in.op, isa::Opcode::kDotp2h) << name;
+        EXPECT_NE(in.op, isa::Opcode::kDotp4b) << name;
+      }
+      if (!f.has_postinc) {
+        EXPECT_NE(in.op, isa::Opcode::kLwpi) << name;
+        EXPECT_NE(in.op, isa::Opcode::kSwpi) << name;
+      }
+    }
+  }
+}
+
+TEST(Generator, UnknownProfileThrows) {
+  GenParams p;
+  p.profile = "no-such-core";
+  EXPECT_THROW((void)generate(p), SimError);
+}
+
+TEST(Generator, ProgramsEndInHaltOrEoc) {
+  for (u64 seed = 1; seed <= 24; ++seed) {
+    GenParams p;
+    p.seed = seed;
+    const GenProgram gp = generate(p);
+    ASSERT_FALSE(gp.program.code.empty());
+    bool has_halt = false;
+    for (const isa::Instr& in : gp.program.code) {
+      if (in.op == isa::Opcode::kHalt || in.op == isa::Opcode::kEoc) {
+        has_halt = true;
+      }
+    }
+    EXPECT_TRUE(has_halt) << "seed " << seed;
+  }
+}
+
+TEST(Differential, SingleCoreProgramsPassThreeWay) {
+  for (u64 seed = 100; seed < 112; ++seed) {
+    GenParams p;
+    p.seed = seed;
+    const DiffResult r = check_program(generate(p));
+    EXPECT_TRUE(r.pass) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+TEST(Differential, RestrictedProfilesPass) {
+  for (const char* name : {"baseline", "or10n", "cortex_m4"}) {
+    for (u64 seed = 40; seed < 46; ++seed) {
+      GenParams p;
+      p.seed = seed;
+      p.profile = name;
+      const DiffResult r = check_program(generate(p));
+      EXPECT_TRUE(r.pass) << name << " seed " << seed << ": " << r.detail;
+    }
+  }
+}
+
+TEST(Differential, StressSchedulesConvergeAndAgree) {
+  for (u32 cores = 2; cores <= 4; ++cores) {
+    GenParams p;
+    p.seed = 7000 + cores;
+    p.num_cores = cores;
+    const DiffResult r = check_program(generate(p));
+    EXPECT_TRUE(r.pass) << cores << " cores: " << r.detail;
+  }
+}
+
+TEST(Differential, RunOnClusterModesMatch) {
+  GenParams p;
+  p.seed = 0xFEED;
+  const GenProgram gp = generate(p);
+  const Observation ref = run_on_cluster(gp, /*reference_stepping=*/true);
+  const Observation ff = run_on_cluster(gp, /*reference_stepping=*/false);
+  EXPECT_EQ(ref.cycles, ff.cycles);
+  EXPECT_EQ(ref.regs, ff.regs);
+  EXPECT_EQ(ref.tcdm, ff.tcdm);
+  EXPECT_EQ(ref.eoc, ff.eoc);
+}
+
+TEST(Campaign, MemberSeedsAreDistinctAndStable) {
+  CampaignParams p;
+  p.seed = 99;
+  const GenParams a = campaign_member(p, 0, /*stress=*/false);
+  const GenParams b = campaign_member(p, 1, /*stress=*/false);
+  const GenParams a2 = campaign_member(p, 0, /*stress=*/false);
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_EQ(a.seed, a2.seed);
+  EXPECT_EQ(a.num_cores, 1u);
+  const GenParams s = campaign_member(p, 0, /*stress=*/true);
+  EXPECT_GE(s.num_cores, 2u);
+  EXPECT_NE(s.seed, a.seed);
+}
+
+TEST(Campaign, StripesRestrictedProfiles) {
+  CampaignParams p;
+  bool saw_restricted = false;
+  for (u32 i = 0; i < 20; ++i) {
+    if (campaign_member(p, i, false).profile != "full") saw_restricted = true;
+  }
+  EXPECT_TRUE(saw_restricted);
+}
+
+TEST(Campaign, SeededMiniCampaignIsClean) {
+  CampaignParams p;
+  p.seed = 0xD1FF'BEEFull;
+  p.num_programs = 80;
+  p.num_stress = 20;
+  const CampaignResult r = run_campaign(p);
+  EXPECT_EQ(r.programs_run, 80u);
+  EXPECT_EQ(r.stress_run, 20u);
+  EXPECT_TRUE(r.pass());
+  for (const CampaignFailure& f : r.failures) {
+    ADD_FAILURE() << "seed 0x" << std::hex << f.params.seed << ": "
+                  << f.detail;
+  }
+}
+
+}  // namespace
+}  // namespace ulp::verif

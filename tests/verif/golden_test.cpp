@@ -1,0 +1,327 @@
+// Unit tests for the independent golden interpreter: architectural
+// semantics against hand-computed values, and the error statuses it must
+// return for everything a constrained-random program is forbidden to do.
+#include <gtest/gtest.h>
+
+#include "codegen/assembler.hpp"
+#include "verif/golden.hpp"
+
+namespace ulp::verif {
+namespace {
+
+constexpr Addr kTcdm = 0x10000000;
+constexpr Addr kDma = 0x10200000;
+constexpr Addr kL2 = 0x1C000000;
+
+isa::Program prog(std::string_view src) { return codegen::assemble(src); }
+
+Golden run_ok(const isa::Program& p, GoldenParams params = {}) {
+  Golden g(params);
+  const Status s = g.run(p);
+  EXPECT_TRUE(s.ok()) << s.message();
+  return g;
+}
+
+TEST(Golden, AluAndImmediates) {
+  const Golden g = run_ok(prog(R"(
+      addi r1, r0, 100
+      addi r2, r0, -7
+      add  r3, r1, r2
+      sub  r4, r1, r2
+      xori r5, r1, 0xff
+      slli r6, r1, 3
+      srai r7, r2, 1
+      sltu r8, r2, r1
+      slt  r9, r2, r1
+      halt
+  )"));
+  EXPECT_EQ(g.reg(3), 93u);
+  EXPECT_EQ(g.reg(4), 107u);
+  EXPECT_EQ(g.reg(5), 100u ^ 0xffu);
+  EXPECT_EQ(g.reg(6), 800u);
+  EXPECT_EQ(g.reg(7), static_cast<u32>(-4));
+  EXPECT_EQ(g.reg(8), 0u);  // unsigned: 0xfffffff9 > 100
+  EXPECT_EQ(g.reg(9), 1u);  // signed: -7 < 100
+}
+
+TEST(Golden, R0IsHardwiredZero) {
+  const Golden g = run_ok(prog(R"(
+      addi r0, r0, 55
+      add  r1, r0, r0
+      halt
+  )"));
+  EXPECT_EQ(g.reg(0), 0u);
+  EXPECT_EQ(g.reg(1), 0u);
+}
+
+TEST(Golden, ShiftAmountsMaskToFiveBits) {
+  const Golden g = run_ok(prog(R"(
+      addi r1, r0, 1
+      addi r2, r0, 33
+      sll  r3, r1, r2
+      halt
+  )"));
+  EXPECT_EQ(g.reg(3), 2u);  // 33 & 31 == 1
+}
+
+TEST(Golden, DivisionEdgeCases) {
+  const Golden g = run_ok(prog(R"(
+      addi r1, r0, 7
+      div  r2, r1, r0          ; divide by zero
+      rem  r3, r1, r0
+      lui  r4, 0x80000
+      addi r5, r0, -1
+      div  r6, r4, r5          ; INT_MIN / -1 overflow
+      rem  r7, r4, r5
+      halt
+  )"));
+  EXPECT_EQ(g.reg(2), 0xFFFFFFFFu);
+  EXPECT_EQ(g.reg(3), 7u);
+  EXPECT_EQ(g.reg(6), 0x80000000u);
+  EXPECT_EQ(g.reg(7), 0u);
+}
+
+TEST(Golden, MacAccumulates) {
+  const Golden g = run_ok(prog(R"(
+      addi r1, r0, 3
+      addi r2, r0, 4
+      addi r3, r0, 100
+      mac  r3, r1, r2
+      mac  r3, r1, r2
+      halt
+  )"));
+  EXPECT_EQ(g.reg(3), 124u);
+}
+
+TEST(Golden, MemorySignExtensionAndBytes) {
+  const Golden g = run_ok(prog(R"(
+      lui  r1, 0x10000
+      addi r2, r0, -2        ; 0xfffffffe
+      sw   r2, 0(r1)
+      lh   r3, 0(r1)         ; sign-extended halfword
+      lhu  r4, 0(r1)
+      lb   r5, 0(r1)
+      lbu  r6, 0(r1)
+      halt
+  )"));
+  EXPECT_EQ(g.reg(3), 0xFFFFFFFEu);
+  EXPECT_EQ(g.reg(4), 0x0000FFFEu);
+  EXPECT_EQ(g.reg(5), 0xFFFFFFFEu);
+  EXPECT_EQ(g.reg(6), 0x000000FEu);
+  EXPECT_EQ(g.tcdm()[0], 0xFEu);
+  EXPECT_EQ(g.tcdm()[1], 0xFFu);
+}
+
+TEST(Golden, PostIncrementUsesPreIncrementBase) {
+  const Golden g = run_ok(prog(R"(
+      lui  r1, 0x10000
+      addi r2, r0, 17
+      sw!  r2, 4(r1)         ; store at +0, then r1 += 4
+      addi r3, r0, 34
+      sw!  r3, 4(r1)         ; store at +4
+      lui  r4, 0x10000
+      lw!  r5, 4(r4)         ; load from +0, then r4 += 4
+      lw   r6, 0(r4)
+      halt
+  )"));
+  EXPECT_EQ(g.reg(5), 17u);
+  EXPECT_EQ(g.reg(6), 34u);
+  EXPECT_EQ(g.reg(1), kTcdm + 8);
+}
+
+TEST(Golden, PostIncrementLoadAliasWritesDataThenSteps) {
+  // rd == ra on a post-increment load: the loaded value lands in rd, then
+  // the step is applied to that NEW value.
+  const Golden g = run_ok(prog(R"(
+      lui  r1, 0x10000
+      addi r2, r0, 1000
+      sw   r2, 0(r1)
+      lw!  r1, 4(r1)
+      halt
+  )"));
+  EXPECT_EQ(g.reg(1), 1004u);
+}
+
+TEST(Golden, HardwareLoopCountsExactly) {
+  const Golden g = run_ok(prog(R"(
+      addi r1, r0, 5
+      lp.setup 0, r1, end
+      addi r2, r2, 1
+  end:
+      halt
+  )"));
+  EXPECT_EQ(g.reg(2), 5u);
+}
+
+TEST(Golden, HardwareLoopZeroCountSkipsBody) {
+  const Golden g = run_ok(prog(R"(
+      lp.setup 0, r0, end
+      addi r2, r2, 1
+  end:
+      halt
+  )"));
+  EXPECT_EQ(g.reg(2), 0u);
+}
+
+TEST(Golden, NestedHardwareLoops) {
+  const Golden g = run_ok(prog(R"(
+      addi r1, r0, 3
+      addi r2, r0, 4
+      lp.setup 0, r1, outer_end
+      lp.setup 1, r2, inner_end
+      addi r3, r3, 1
+  inner_end:
+      addi r4, r4, 1
+  outer_end:
+      halt
+  )"));
+  EXPECT_EQ(g.reg(3), 12u);
+  EXPECT_EQ(g.reg(4), 3u);
+}
+
+TEST(Golden, BranchesAndJal) {
+  const Golden g = run_ok(prog(R"(
+      addi r1, r0, 10
+      addi r2, r0, 10
+      bne  r1, r2, skip
+      addi r3, r0, 1
+  skip:
+      jal  r4, sub
+      addi r5, r0, 99
+      halt
+  sub:
+      addi r6, r0, 7
+      jalr r0, r4, r0
+  )"));
+  EXPECT_EQ(g.reg(3), 1u);   // bne not taken
+  EXPECT_EQ(g.reg(5), 99u);  // returned after the call site
+  EXPECT_EQ(g.reg(6), 7u);
+}
+
+TEST(Golden, SevThenWfeAndEoc) {
+  const Golden g = run_ok(prog(R"(
+      sev 0
+      wfe
+      eoc 42
+  )"));
+  ASSERT_TRUE(g.eoc().has_value());
+  EXPECT_EQ(*g.eoc(), 42u);
+}
+
+TEST(Golden, CsrCoreIdAndNumCores) {
+  const Golden g = run_ok(prog(R"(
+      csrr r1, 0
+      csrr r2, 1
+      halt
+  )"));
+  EXPECT_EQ(g.reg(1), 0u);
+  EXPECT_EQ(g.reg(2), 1u);
+}
+
+TEST(Golden, DataSegmentsLoadIntoBothMemories) {
+  isa::Program p = prog(R"(
+      lui  r1, 0x10000
+      lw   r2, 0(r1)
+      lui  r3, 0x1c000
+      lw   r4, 0(r3)
+      halt
+  )");
+  p.data.push_back({kTcdm, {0x78, 0x56, 0x34, 0x12}});
+  p.data.push_back({kL2, {0xEF, 0xBE, 0xAD, 0xDE}});
+  const Golden g = run_ok(p);
+  EXPECT_EQ(g.reg(2), 0x12345678u);
+  EXPECT_EQ(g.reg(4), 0xDEADBEEFu);
+}
+
+TEST(Golden, DmaCompletesInstantlyAndPendsEvent) {
+  isa::Program p = prog(R"(
+      lui  r1, 0x10200        ; DMA register window
+      lui  r2, 0x1c000        ; src in L2
+      lui  r3, 0x10000        ; dst in TCDM
+      addi r4, r0, 8
+      sw   r2, 0(r1)          ; SRC
+      sw   r3, 4(r1)          ; DST
+      sw   r4, 8(r1)          ; LEN
+      addi r5, r0, 1
+      sw   r5, 12(r1)         ; CMD: go
+      wfe                     ; completion event already pending
+      lw   r6, 16(r1)         ; STATUS reads 0 (instant completion)
+      lw   r7, 0(r3)
+      halt
+  )");
+  p.data.push_back({kL2, {1, 2, 3, 4, 5, 6, 7, 8}});
+  const Golden g = run_ok(p);
+  EXPECT_EQ(g.reg(6), 0u);
+  EXPECT_EQ(g.reg(7), 0x04030201u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(g.tcdm()[i], i + 1);
+}
+
+TEST(Golden, RetireLogRecordsPcAndInstruction) {
+  const Golden g = run_ok(prog(R"(
+      addi r1, r0, 1
+      halt
+  )"));
+  ASSERT_EQ(g.retire_log().size(), 2u);
+  EXPECT_EQ(g.retire_log()[0].pc, 0u);
+  EXPECT_EQ(g.retire_log()[0].instr.op, isa::Opcode::kAddi);
+  EXPECT_EQ(g.retire_log()[1].instr.op, isa::Opcode::kHalt);
+  EXPECT_EQ(g.retired(), 2u);
+}
+
+// ---- forbidden behaviours must come back as error statuses -------------
+
+TEST(GoldenErrors, PcRunsPastProgramEnd) {
+  Golden g;
+  EXPECT_FALSE(g.run(prog("addi r1, r0, 1")).ok());
+}
+
+TEST(GoldenErrors, WfeWithNoPendingEventIsALostWakeup) {
+  Golden g;
+  const Status s = g.run(prog("wfe\nhalt"));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(GoldenErrors, UnmappedAccess) {
+  Golden g;
+  EXPECT_FALSE(g.run(prog(R"(
+      lui r1, 0x20000
+      lw  r2, 0(r1)
+      halt
+  )")).ok());
+}
+
+TEST(GoldenErrors, CycleCsrIsTimingDependent) {
+  Golden g;
+  EXPECT_FALSE(g.run(prog("csrr r1, 2\nhalt")).ok());
+}
+
+TEST(GoldenErrors, RetireBudgetCatchesRunaways) {
+  GoldenParams params;
+  params.max_retired = 100;
+  Golden g(params);
+  EXPECT_FALSE(g.run(prog(R"(
+  loop:
+      jal r0, loop
+      halt
+  )")).ok());
+}
+
+TEST(GoldenErrors, MisalignedDmaPointer) {
+  Golden g;
+  EXPECT_FALSE(g.run(prog(R"(
+      lui  r1, 0x10200
+      lui  r2, 0x1c000
+      addi r2, r2, 2          ; unaligned source
+      sw   r2, 0(r1)
+      lui  r3, 0x10000
+      sw   r3, 4(r1)
+      addi r4, r0, 4
+      sw   r4, 8(r1)
+      addi r5, r0, 1
+      sw   r5, 12(r1)
+      halt
+  )")).ok());
+}
+
+}  // namespace
+}  // namespace ulp::verif

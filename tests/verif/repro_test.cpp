@@ -1,0 +1,105 @@
+// .repro round-trip tests: parse(format(x)) reproduces x bit for bit, the
+// parser reports malformed input with line numbers, and the file wrappers
+// survive a disk round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "verif/differential.hpp"
+#include "verif/repro.hpp"
+
+namespace ulp::verif {
+namespace {
+
+GenProgram sample(u64 seed, u32 cores = 1) {
+  GenParams p;
+  p.seed = seed;
+  p.num_cores = cores;
+  return generate(p);
+}
+
+void expect_same(const GenProgram& a, const GenProgram& b) {
+  EXPECT_EQ(a.program.code, b.program.code);
+  EXPECT_EQ(a.program.entry, b.program.entry);
+  ASSERT_EQ(a.program.data.size(), b.program.data.size());
+  for (size_t i = 0; i < a.program.data.size(); ++i) {
+    EXPECT_EQ(a.program.data[i].addr, b.program.data[i].addr);
+    EXPECT_EQ(a.program.data[i].bytes, b.program.data[i].bytes);
+  }
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.profile, b.profile);
+  EXPECT_EQ(a.num_cores, b.num_cores);
+  EXPECT_EQ(a.deterministic_retire, b.deterministic_retire);
+  ASSERT_EQ(a.dma_copies.size(), b.dma_copies.size());
+  for (size_t i = 0; i < a.dma_copies.size(); ++i) {
+    EXPECT_EQ(a.dma_copies[i].src, b.dma_copies[i].src);
+    EXPECT_EQ(a.dma_copies[i].dst, b.dma_copies[i].dst);
+    EXPECT_EQ(a.dma_copies[i].len, b.dma_copies[i].len);
+  }
+}
+
+TEST(Repro, RoundTripsBitForBit) {
+  for (u64 seed : {1ull, 42ull, 0xDEAD'BEEFull}) {
+    const GenProgram gp = sample(seed);
+    expect_same(gp, parse_repro(format_repro(gp)));
+  }
+}
+
+TEST(Repro, RoundTripsStressPrograms) {
+  const GenProgram gp = sample(1234, /*cores=*/3);
+  const GenProgram back = parse_repro(format_repro(gp));
+  expect_same(gp, back);
+  EXPECT_EQ(back.num_cores, 3u);
+}
+
+TEST(Repro, FormatIsStableUnderDoubleRoundTrip) {
+  const GenProgram gp = sample(55);
+  const std::string once = format_repro(gp);
+  EXPECT_EQ(once, format_repro(parse_repro(once)));
+}
+
+TEST(Repro, ParsedProgramStillPassesDifferentially) {
+  const GenProgram gp = sample(0xBEEF);
+  const DiffResult r = check_program(parse_repro(format_repro(gp)));
+  EXPECT_TRUE(r.pass) << r.detail;
+}
+
+TEST(Repro, SaveAndLoadFile) {
+  const GenProgram gp = sample(9);
+  const std::string path =
+      testing::TempDir() + "/ulp_repro_roundtrip.repro";
+  ASSERT_TRUE(save_repro(gp, path).ok());
+  expect_same(gp, load_repro(path));
+  std::remove(path.c_str());
+}
+
+TEST(ReproErrors, UnknownDirective) {
+  EXPECT_THROW((void)parse_repro(".bogus 1\n.code\n    halt\n"), SimError);
+}
+
+TEST(ReproErrors, UnknownProfile) {
+  EXPECT_THROW(
+      (void)parse_repro(".profile z80\n.code\n    halt\n"), SimError);
+}
+
+TEST(ReproErrors, BadHexInDataSegment) {
+  EXPECT_THROW((void)parse_repro(
+                   ".data 0x10000000 zz\n.code\n    halt\n"),
+               SimError);
+}
+
+TEST(ReproErrors, MissingCodeBlock) {
+  EXPECT_THROW((void)parse_repro(".seed 0x1\n"), SimError);
+}
+
+TEST(ReproErrors, MalformedInstructionDefersToAssembler) {
+  EXPECT_THROW((void)parse_repro(".code\n    frobnicate r1, r2\n"),
+               SimError);
+}
+
+TEST(ReproErrors, MissingFile) {
+  EXPECT_THROW((void)load_repro("/nonexistent/dir/x.repro"), SimError);
+}
+
+}  // namespace
+}  // namespace ulp::verif

@@ -1,0 +1,117 @@
+// Auto-shrinker tests: category matching, custom-oracle reduction, and the
+// verifier-verification loop the subsystem exists for — an injected
+// off-by-one in the core's hardware-loop expiry check must be detected by
+// the differential harness and shrunk to a minimal repro.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "verif/differential.hpp"
+#include "verif/generator.hpp"
+#include "verif/shrink.hpp"
+
+namespace ulp::verif {
+namespace {
+
+using isa::Opcode;
+
+TEST(FailureCategory, PrefixBeforeColon) {
+  EXPECT_EQ(failure_category("golden-vs-cluster: r3 = 1 vs 2"),
+            "golden-vs-cluster");
+  EXPECT_EQ(failure_category("no colon at all"), "no colon at all");
+}
+
+TEST(FailureCategory, FoldsInTheFailedCheckCondition) {
+  const std::string a =
+      "cluster(ref): core.cpp:436: check failed (f.has_unaligned): bad";
+  const std::string b =
+      "cluster(ref): core.cpp:512: check failed (f.has_postinc): bad";
+  EXPECT_NE(failure_category(a), failure_category(b));
+  EXPECT_EQ(failure_category(a), "cluster(ref)/f.has_unaligned");
+}
+
+// Shrink against a synthetic oracle: "fails" while any MAC remains. The
+// shrinker must strip everything else and keep exactly the failure kernel.
+TEST(Shrink, CustomOracleReducesToTheFailureKernel) {
+  GenParams p;
+  p.seed = 0xAB5EED;
+  const GenProgram gp = generate(p);
+  u32 macs = 0;
+  for (const isa::Instr& in : gp.program.code) {
+    macs += in.op == Opcode::kMac;
+  }
+  ASSERT_GT(macs, 0u) << "seed produced no MACs; pick another";
+
+  const ShrinkOracle oracle = [](const GenProgram& cand) -> std::string {
+    for (const isa::Instr& in : cand.program.code) {
+      if (in.op == Opcode::kMac) return "synthetic: mac still present";
+    }
+    return {};
+  };
+  const ShrinkResult r = shrink(gp, "synthetic: mac still present", oracle);
+  EXPECT_LE(r.shrunk_instrs, 2u);
+  EXPECT_LT(r.shrunk_instrs, r.original_instrs);
+  bool mac_left = false;
+  for (const isa::Instr& in : r.program.program.code) {
+    mac_left |= in.op == Opcode::kMac;
+  }
+  EXPECT_TRUE(mac_left);
+}
+
+TEST(Shrink, PassingProgramDoesNotShrink) {
+  GenParams p;
+  p.seed = 3;
+  const GenProgram gp = generate(p);
+  const ShrinkOracle never_fails = [](const GenProgram&) {
+    return std::string{};
+  };
+  const ShrinkResult r = shrink(gp, "stale detail", never_fails);
+  EXPECT_EQ(r.shrunk_instrs, r.original_instrs);
+}
+
+// The acceptance-criteria self test: enable the deliberately injected
+// hardware-loop off-by-one (cores run every hw loop one iteration short),
+// let the campaign catch it, and shrink the divergence to a minimal repro.
+TEST(Shrink, InjectedHwLoopBugIsCaughtAndShrinksSmall) {
+  config::set_inject_hwloop_bug(true);
+  struct Restore {
+    ~Restore() { config::set_inject_hwloop_bug(false); }
+  } restore;
+
+  // Find a failing program the way the campaign would.
+  CampaignParams cp;
+  cp.seed = 0x10CA15EEDull;
+  GenProgram failing;
+  std::string detail;
+  bool found = false;
+  for (u32 i = 0; i < 40 && !found; ++i) {
+    const GenParams gen = campaign_member(cp, i, /*stress=*/false);
+    if (profile_config(gen.profile).features.has_hwloops == false) continue;
+    const GenProgram gp = generate(gen);
+    const DiffResult r = check_program(gp);
+    if (!r.pass) {
+      failing = gp;
+      detail = r.detail;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "injected bug escaped a 40-program campaign";
+  EXPECT_NE(detail.find("golden-vs-cluster"), std::string::npos) << detail;
+
+  const ShrinkResult r = shrink(failing, detail);
+  EXPECT_LE(r.shrunk_instrs, 10u)
+      << "repro not minimal: " << r.shrunk_instrs << " instrs";
+  EXPECT_FALSE(r.detail.empty());
+
+  // The shrunken repro still fails with the bug on...
+  const DiffResult with_bug = check_program(r.program);
+  EXPECT_FALSE(with_bug.pass);
+
+  // ...and passes once the fault is removed, proving the divergence is the
+  // injected bug and not a shrinker artefact.
+  config::set_inject_hwloop_bug(false);
+  const DiffResult without_bug = check_program(r.program);
+  EXPECT_TRUE(without_bug.pass) << without_bug.detail;
+}
+
+}  // namespace
+}  // namespace ulp::verif
