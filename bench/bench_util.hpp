@@ -7,7 +7,13 @@
 //   --trace <file.json>   dump a Chrome/Perfetto trace-event timeline of
 //                         each offload session the bench runs
 //   --trace-cluster       include the cycle-accurate cluster detail tracks
+//   --trace-limit <N>     cap the in-memory event trace at N events (ring
+//                         buffer; oldest closed events are dropped and
+//                         counted)
 //   --profile             print the "top phases by time" report + metrics
+//   --profile-out <file>  write per-pc cycle attribution profiles (JSON)
+//                         of each kernel's 4-core cluster run
+//   --metrics-json <file> write the metrics registry as deterministic JSON
 //   --faults=<spec>       run every offload session under deterministic
 //                         link fault injection with the robust protocol
 //                         (spec keys: seed, flip, drop, dup, nak, burst,
@@ -18,7 +24,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -32,6 +40,8 @@
 #include "link/fault_injector.hpp"
 #include "link/spi_link.hpp"
 #include "power/pulp_power.hpp"
+#include "profile/profile.hpp"
+#include "profile/report.hpp"
 #include "runtime/offload.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace_export.hpp"
@@ -54,6 +64,14 @@ class Observability {
         trace_cluster_ = true;
       } else if (std::strcmp(argv[i], "--profile") == 0) {
         profile_ = true;
+      } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+        profile_out_ = argv[i + 1];
+      } else if (std::strcmp(argv[i], "--metrics-json") == 0 &&
+                 i + 1 < argc) {
+        metrics_path_ = argv[i + 1];
+      } else if (std::strcmp(argv[i], "--trace-limit") == 0 && i + 1 < argc) {
+        const unsigned long long v = std::strtoull(argv[i + 1], nullptr, 0);
+        trace_limit_ = v > 0 && v < 16 ? 16 : static_cast<size_t>(v);
       } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
         link::FaultConfig cfg;
         const Status s = link::FaultInjector::parse(argv[i] + 9, &cfg);
@@ -65,7 +83,10 @@ class Observability {
         }
       }
     }
-    if (enabled() || injector_ != nullptr) active_ = this;
+    if (trace_limit_ > 0) trace_.set_event_limit(trace_limit_);
+    if (enabled() || injector_ != nullptr || !profile_out_.empty()) {
+      active_ = this;
+    }
   }
 
   Observability(const Observability&) = delete;
@@ -73,7 +94,6 @@ class Observability {
 
   ~Observability() {
     if (active_ == this) active_ = nullptr;
-    if (!enabled()) return;
     if (!trace_path_.empty()) {
       const Status s = trace::write_chrome_trace_file(trace_, trace_path_);
       if (s.ok()) {
@@ -84,9 +104,25 @@ class Observability {
                      s.message().c_str());
       }
     }
+    if (trace_.dropped_events() > 0) {
+      std::printf("trace ring buffer dropped %llu oldest events "
+                  "(--trace-limit %zu)\n",
+                  static_cast<unsigned long long>(trace_.dropped_events()),
+                  trace_limit_);
+    }
     if (profile_) {
       std::printf("\n%s", trace::profile_report(trace_, &metrics_).c_str());
     }
+    if (!metrics_path_.empty()) {
+      const Status s = trace::write_metrics_json_file(metrics_, metrics_path_);
+      if (s.ok()) {
+        std::printf("metrics written to %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "metrics export failed: %s\n",
+                     s.message().c_str());
+      }
+    }
+    if (!profile_out_.empty()) write_profiles();
   }
 
   /// The active collector of this process, or null when neither flag was
@@ -94,9 +130,15 @@ class Observability {
   [[nodiscard]] static Observability* active() { return active_; }
 
   [[nodiscard]] bool enabled() const {
-    return !trace_path_.empty() || profile_;
+    return !trace_path_.empty() || profile_ || !metrics_path_.empty();
   }
   [[nodiscard]] bool trace_cluster() const { return trace_cluster_; }
+  /// A per-label attribution profiler when --profile-out was given, else
+  /// null. Labels key the output JSON (kernel names for the benches).
+  [[nodiscard]] profile::ClusterProfiler* cluster_profiler(
+      const std::string& label) {
+    return profile_out_.empty() ? nullptr : &book_.cluster(label);
+  }
   [[nodiscard]] trace::Sinks sinks() {
     return {trace_path_.empty() && !profile_ ? nullptr : &trace_, &metrics_};
   }
@@ -111,9 +153,37 @@ class Observability {
  private:
   static inline Observability* active_ = nullptr;
 
+  void write_profiles() {
+    std::ofstream out(profile_out_);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot open profile file: %s\n",
+                   profile_out_.c_str());
+      return;
+    }
+    out << "{\n  \"profiles\": {\n";
+    const auto& books = book_.clusters();
+    for (auto it = books.begin(); it != books.end(); ++it) {
+      if (it != books.begin()) out << ",\n";
+      out << "    \"" << trace::json_escape(it->first)
+          << "\": " << profile::to_json(it->second->data());
+    }
+    out << (books.empty() ? "" : "\n") << "  }\n}\n";
+    out.flush();
+    if (out.good()) {
+      std::printf("profiles written to %s\n", profile_out_.c_str());
+    } else {
+      std::fprintf(stderr, "profile write failed: %s\n",
+                   profile_out_.c_str());
+    }
+  }
+
   trace::EventTrace trace_;
   trace::MetricsRegistry metrics_;
   std::string trace_path_;
+  std::string metrics_path_;
+  std::string profile_out_;
+  profile::ProfileBook book_;
+  size_t trace_limit_ = 0;
   std::unique_ptr<link::FaultInjector> injector_;
   bool trace_cluster_ = false;
   bool profile_ = false;
@@ -155,14 +225,17 @@ inline KernelMeasurement measure_kernel(const kernels::KernelInfo& info) {
 
   for (u32 nc : {1u, 2u, 4u}) {
     const auto kc = info.factory(oc.features, nc, Target::kCluster, kSeed);
-    // With --trace/--profile active, the 4-core (figure-defining) run of
-    // each kernel records its cluster timeline.
+    // With --trace/--profile/--profile-out active, the 4-core
+    // (figure-defining) run of each kernel records its cluster timeline
+    // and/or attribution profile.
     trace::Sinks sinks;
+    profile::ClusterProfiler* prof = nullptr;
     if (Observability* obs = Observability::active(); obs && nc == 4) {
       sinks = obs->sinks();
+      prof = obs->cluster_profiler(info.name);
     }
-    const auto run =
-        kernels::run_on_cluster(kc, oc, nc, sinks, info.name + ".cluster");
+    const auto run = kernels::run_on_cluster(kc, oc, nc, sinks,
+                                             info.name + ".cluster", prof);
     if (nc == 1) m.cycles_cluster_1 = run.cycles;
     if (nc == 2) m.cycles_cluster_2 = run.cycles;
     if (nc == 4) {
@@ -213,10 +286,13 @@ inline runtime::OffloadSession make_prototype_session(double mcu_freq_hz) {
   lcfg.max_freq_hz = mcu.spi_max_hz;
   runtime::OffloadSession session(mcu, mcu_freq_hz, link::SpiLink(lcfg));
   if (Observability* obs = Observability::active()) {
+    char name[64];
+    std::snprintf(name, sizeof name, "offload@%.0fMHz", mcu_freq_hz / 1e6);
     if (obs->enabled()) {
-      char name[64];
-      std::snprintf(name, sizeof name, "offload@%.0fMHz", mcu_freq_hz / 1e6);
       session.attach_trace(obs->sinks(), name, obs->trace_cluster());
+    }
+    if (auto* prof = obs->cluster_profiler(name)) {
+      session.attach_profile(prof);
     }
     if (obs->fault_injector() != nullptr) {
       session.attach_faults(obs->fault_injector());

@@ -8,11 +8,19 @@
 // with nothing abstracted to arithmetic.
 //
 // Build & run:  ./build/examples/full_system [kernel] [--trace out.json]
-//               [--profile] [--faults=<spec>]
+//               [--profile] [--profile-out prof.json] [--trace-limit N]
+//               [--metrics-json m.json] [--faults=<spec>]
 //
 // --trace dumps the co-simulation as a Chrome/Perfetto timeline (host MCU,
-// SPI wire, cluster cores/DMA on one real-time axis — load the file in
-// ui.perfetto.dev); --profile prints the top-phases report.
+// SPI wire, cluster cores/DMA on one real-time axis, plus derived
+// power.cluster/power.host/power.link counter tracks in watts — load the
+// file in ui.perfetto.dev); --profile prints the top-phases report.
+//
+// --profile-out writes the cycle attribution profile of both processors
+// (per-pc hotspots, call frames, stall buckets) as deterministic JSON and
+// prints the stall table + hottest-lines disassembly; --trace-limit caps
+// the in-memory event trace (ring buffer); --metrics-json dumps the
+// metrics registry.
 //
 // --faults enables the robust offload protocol (CRC-framed transfers,
 // retrying driver, EOC watchdog) under deterministic link fault injection;
@@ -20,8 +28,14 @@
 // nak, burst, stuck — e.g. --faults=seed=7,flip=1e-4,stuck=1. The run
 // reports recovery (CRC errors vs. retries) or host-reference fallback.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 
+#include "host/mcu.hpp"
+#include "profile/energy_timeline.hpp"
+#include "profile/profile.hpp"
+#include "profile/report.hpp"
 #include "system/hetero_system.hpp"
 #include "system/host_driver.hpp"
 #include "trace/metrics.hpp"
@@ -32,6 +46,9 @@ int main(int argc, char** argv) {
   std::string kernel_name = "matmul";
   std::string trace_path;
   std::string fault_spec;
+  std::string profile_out;
+  std::string metrics_path;
+  size_t trace_limit = 0;
   bool robust = false;
   bool profile = false;
   for (int i = 1; i < argc; ++i) {
@@ -39,6 +56,13 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-limit") == 0 && i + 1 < argc) {
+      const unsigned long long v = std::strtoull(argv[++i], nullptr, 0);
+      trace_limit = v > 0 && v < 16 ? 16 : static_cast<size_t>(v);
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       fault_spec = argv[i] + 9;
       robust = true;
@@ -82,8 +106,15 @@ int main(int argc, char** argv) {
   system::HeteroSystem sys(params);
   trace::EventTrace trace;
   trace::MetricsRegistry metrics;
-  if (!trace_path.empty() || profile) {
+  if (trace_limit > 0) trace.set_event_limit(trace_limit);
+  if (!trace_path.empty() || profile || !metrics_path.empty()) {
     sys.attach_trace({&trace, &metrics});
+  }
+  profile::ClusterProfiler cluster_prof;
+  profile::CoreProfiler host_prof;
+  if (!profile_out.empty()) {
+    cluster_prof.attach(sys.soc().cluster());
+    host_prof.attach(sys.host_core());
   }
 
   std::printf("offloading %s: image %u B, input %u B, output %u B%s\n",
@@ -129,7 +160,43 @@ int main(int argc, char** argv) {
               ok ? "bit-exact match with the golden reference"
                  : "MISMATCH");
 
+  if (!profile_out.empty()) {
+    cluster_prof.capture();
+    host_prof.capture(sys.host_program(), stats.host_link_bound_cycles);
+    profile::JobProfile jp;
+    jp.collected = true;
+    jp.cluster = cluster_prof.data();
+    jp.has_host = true;
+    jp.host = host_prof.data();
+    std::ofstream out(profile_out);
+    if (out.good()) {
+      out << profile::to_json(jp) << '\n';
+      std::printf("profile written to %s\n", profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open profile file: %s\n",
+                   profile_out.c_str());
+    }
+    std::printf("\ncluster stall attribution (cycles):\n%s",
+                profile::bucket_table(jp.cluster).c_str());
+    std::printf("\nhost stall attribution (cycles):\n%s",
+                profile::bucket_table(jp.host).c_str());
+    std::printf("\nhottest cluster code (top 12 lines):\n%s",
+                profile::annotated_disassembly(jp.cluster, 12).c_str());
+  }
   if (!trace_path.empty()) {
+    // Derived power counter tracks (watts), bound to the same real-time
+    // axis as the span tracks.
+    const host::McuSpec& mcu = host::stm32l476();
+    link::SpiLinkConfig lcfg;
+    lcfg.lanes = mcu.spi_lanes;
+    lcfg.max_freq_hz = mcu.spi_max_hz;
+    profile::PowerTimelineSpec pts;
+    pts.op = {0.5, params.pulp_freq_hz};
+    pts.num_cluster_cores = 4;
+    pts.host_active_w = mcu.active_power_w(params.mcu_freq_hz);
+    pts.host_sleep_w = mcu.sleep_w;
+    pts.link_active_w = link::SpiLink(lcfg).active_power_w(params.mcu_freq_hz);
+    profile::add_power_tracks(trace, pts);
     const Status s = trace::write_chrome_trace_file(trace, trace_path);
     if (s.ok()) {
       std::printf("trace written to %s (load in ui.perfetto.dev)\n",
@@ -138,8 +205,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "trace export failed: %s\n", s.message().c_str());
     }
   }
+  if (trace.dropped_events() > 0) {
+    std::printf("trace ring buffer dropped %llu oldest events "
+                "(--trace-limit %zu)\n",
+                static_cast<unsigned long long>(trace.dropped_events()),
+                trace_limit);
+  }
   if (profile) {
     std::printf("\n%s", trace::profile_report(trace, &metrics).c_str());
+  }
+  if (!metrics_path.empty()) {
+    const Status s = trace::write_metrics_json_file(metrics, metrics_path);
+    if (s.ok()) {
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   s.message().c_str());
+    }
   }
   return ok ? 0 : 1;
 }

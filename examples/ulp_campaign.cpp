@@ -19,6 +19,8 @@
 #include "batch/campaign.hpp"
 #include "batch/engine.hpp"
 #include "common/config.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace_export.hpp"
 
 namespace {
 
@@ -51,6 +53,9 @@ void print_usage(std::FILE* out) {
       "output:\n"
       "  --json FILE           deterministic per-job + summary JSON\n"
       "  --csv FILE            deterministic per-job CSV\n"
+      "  --profile-out FILE    per-job + merged cycle attribution profiles\n"
+      "                        (implies 'profile = 1'; deterministic)\n"
+      "  --metrics-json FILE   campaign metrics as deterministic JSON\n"
       "  --stats-json FILE     wall-clock throughput stats (NOT deterministic)\n"
       "  --list                print the expanded job matrix and exit\n"
       "  --build-info          print build type and exit\n",
@@ -82,6 +87,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string csv_path;
   std::string stats_path;
+  std::string profile_path;
+  std::string metrics_path;
   bool list_only = false;
   bool quiet = false;
 
@@ -124,6 +131,11 @@ int main(int argc, char** argv) {
         json_path = need_value(argc, argv, &i);
       } else if (std::strcmp(arg, "--csv") == 0) {
         csv_path = need_value(argc, argv, &i);
+      } else if (std::strcmp(arg, "--profile-out") == 0) {
+        profile_path = need_value(argc, argv, &i);
+        overrides += "profile = 1\n";
+      } else if (std::strcmp(arg, "--metrics-json") == 0) {
+        metrics_path = need_value(argc, argv, &i);
       } else if (std::strcmp(arg, "--stats-json") == 0) {
         stats_path = need_value(argc, argv, &i);
       } else if (std::strcmp(arg, "--list") == 0) {
@@ -204,6 +216,45 @@ int main(int argc, char** argv) {
   }
   if (!csv_path.empty()) {
     const Status s = batch::write_csv(csv_path, result);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ulp_campaign: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  if (!profile_path.empty()) {
+    const Status s = batch::write_profile_json(profile_path, result);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ulp_campaign: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    // Campaign metrics are rebuilt from the deterministic result fold (in
+    // job-index order), never sampled from workers: byte-identical for any
+    // --workers value.
+    trace::MetricsRegistry reg;
+    const batch::CampaignTotals& t = result.totals;
+    reg.counter("campaign.jobs").add(t.jobs);
+    reg.counter("campaign.passed").add(t.passed);
+    reg.counter("campaign.failed").add(t.failed);
+    reg.counter("campaign.fallbacks").add(t.fallbacks);
+    reg.counter("campaign.accel_cycles").add(t.accel_cycles);
+    reg.counter("campaign.host_cycles").add(t.host_cycles);
+    reg.counter("campaign.instrs").add(t.total_instrs);
+    reg.counter("campaign.crc_errors").add(t.crc_errors);
+    reg.counter("campaign.retransmissions").add(t.retransmissions);
+    reg.counter("campaign.watchdog_expiries").add(t.watchdog_expiries);
+    reg.counter("campaign.fault_count").add(t.fault_count);
+    reg.gauge("campaign.compute_s").set(t.compute_s);
+    reg.gauge("campaign.total_s").set(t.total_s);
+    reg.gauge("campaign.energy_j").set(t.energy_j);
+    for (const batch::JobResult& r : result.jobs) {
+      reg.histogram("job.accel_cycles").record(r.accel_cycles);
+      reg.histogram("job.instrs").record(r.total_instrs);
+      reg.histogram("job.tcdm_conflicts").record(r.tcdm_conflicts);
+      reg.histogram("job.icache_misses").record(r.icache_misses);
+    }
+    const Status s = trace::write_metrics_json_file(reg, metrics_path);
     if (!s.ok()) {
       std::fprintf(stderr, "ulp_campaign: %s\n", s.message().c_str());
       return 1;

@@ -1,0 +1,105 @@
+#!/usr/bin/env sh
+# Profiler smoke run: a profiled full-system offload plus a profiled
+# multi-worker campaign, asserting the two profiler invariants end to end:
+#
+#   1. conservation — every attributed profile reports "conserved":true
+#      (each core cycle landed in exactly one stall bucket, per-pc cycles
+#      sum to the core counters), and
+#   2. determinism — the campaign profile aggregate is byte-identical for
+#      1 worker and N workers, and across reference/fast-forward stepping.
+#
+#   scripts/profile_smoke.sh [full_system-binary] [kernel]
+#
+# The binary defaults to build/examples/full_system, the kernel to matmul.
+# When an ASan tree exists at build-asan/, the same runs are repeated with
+# the instrumented binaries to flush out profiler memory errors.
+set -eu
+
+BIN=${1:-build/examples/full_system}
+KERNEL=${2:-matmul}
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable (build first?)" >&2
+  exit 1
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+# Asserts a profile JSON file conserves: at least one "conserved":true and
+# no "conserved":false anywhere in the document.
+check_conserved() {
+  FILE=$1
+  WHAT=$2
+  if ! grep -q '"conserved":true' "$FILE"; then
+    echo "FAILED: $WHAT has no conserved profile" >&2
+    exit 1
+  fi
+  if grep -q '"conserved":false' "$FILE"; then
+    echo "FAILED: $WHAT violates cycle conservation" >&2
+    exit 1
+  fi
+}
+
+smoke() {
+  FS=$1     # full_system binary
+  TAG=$2    # output-file prefix
+  CAMPAIGN=$(dirname "$FS")/ulp_campaign
+
+  echo ""
+  echo "== profiled offload ($TAG) =="
+  "$FS" "$KERNEL" --profile-out "$TMP/$TAG-offload.json" \
+    --metrics-json "$TMP/$TAG-metrics.json" --trace-limit 4096 > /dev/null
+  check_conserved "$TMP/$TAG-offload.json" "profiled offload"
+  echo "-- OK: cluster + host profiles conserve"
+
+  if [ ! -x "$CAMPAIGN" ]; then
+    echo "(skipping campaign smoke: $CAMPAIGN not built)"
+    return
+  fi
+
+  # 8 jobs (2 kernels x 2 core counts x 2 repeats), profiled, run once on
+  # a single worker and once on four. The profile aggregates must be
+  # byte-identical — the campaign fold is index-ordered, not
+  # completion-ordered.
+  echo "== profiled campaign ($TAG, 1 vs 4 workers) =="
+  for W in 1 4; do
+    "$CAMPAIGN" --quiet --kernels "$KERNEL,cnn" --cores 1,4 --repeats 2 \
+      --workers "$W" --profile-out "$TMP/$TAG-w$W.json" \
+      --metrics-json "$TMP/$TAG-w$W-metrics.json"
+  done
+  check_conserved "$TMP/$TAG-w1.json" "campaign profile"
+  if ! cmp -s "$TMP/$TAG-w1.json" "$TMP/$TAG-w4.json"; then
+    echo "FAILED: campaign profile differs between 1 and 4 workers" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/$TAG-w1-metrics.json" "$TMP/$TAG-w4-metrics.json"; then
+    echo "FAILED: campaign metrics differ between 1 and 4 workers" >&2
+    exit 1
+  fi
+  echo "-- OK: 1-worker and 4-worker profile aggregates byte-identical"
+
+  # Reference stepping must reproduce the fast-forward profile bit for bit.
+  echo "== profiled campaign ($TAG, reference vs fast-forward) =="
+  "$CAMPAIGN" --quiet --kernels "$KERNEL,cnn" --cores 1,4 --repeats 2 \
+    --workers 4 --reference-stepping 1 --profile-out "$TMP/$TAG-ref.json"
+  if ! cmp -s "$TMP/$TAG-w4.json" "$TMP/$TAG-ref.json"; then
+    echo "FAILED: profile differs between stepping modes" >&2
+    exit 1
+  fi
+  echo "-- OK: reference and fast-forward profiles byte-identical"
+}
+
+smoke "$BIN" "default"
+
+# ASan pass: same assertions on the instrumented tree when it exists.
+ASAN_BIN=build-asan/examples/full_system
+if [ -x "$ASAN_BIN" ]; then
+  smoke "$ASAN_BIN" "asan"
+else
+  echo ""
+  echo "(skipping ASan pass: $ASAN_BIN not built)"
+fi
+
+echo ""
+echo "profile smoke: conservation + determinism hold"

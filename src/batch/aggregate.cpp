@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
+#include "profile/report.hpp"
 #include "trace/report.hpp"
 
 namespace ulp::batch {
@@ -229,6 +231,67 @@ std::string summary_text(const CampaignResult& result) {
     os << buf;
   }
   return os.str();
+}
+
+std::string profile_json(const CampaignResult& result) {
+  // Merged per-group fold: jobs sharing a kernel x core-count cell run the
+  // same program image, so their per-pc counts and frames add meaningfully.
+  // std::map keys the groups in sorted order; jobs arrive in index order —
+  // both independent of completion order and worker count.
+  struct Group {
+    u64 jobs = 0;
+    profile::JobProfile merged;
+  };
+  std::map<std::string, Group> groups;
+
+  std::ostringstream os;
+  os << "{\n  \"jobs\": [\n";
+  bool first = true;
+  for (const JobResult& r : result.jobs) {
+    if (!r.profile.collected) continue;
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"index\": " << r.spec.index << ", \"label\": \""
+       << json_escape(r.spec.label())
+       << "\", \"profile\": " << profile::to_json(r.profile) << '}';
+
+    Group& g = groups[r.spec.kernel + "/cores" +
+                      std::to_string(r.spec.num_cores)];
+    ++g.jobs;
+    g.merged.collected = true;
+    g.merged.cluster.name = "cluster";
+    g.merged.cluster.merge(r.profile.cluster);
+    if (r.profile.has_host) {
+      g.merged.has_host = true;
+      g.merged.host.name = "host";
+      g.merged.host.merge(r.profile.host);
+    }
+  }
+  os << (first ? "" : "\n") << "  ],\n  \"groups\": {\n";
+  for (auto it = groups.begin(); it != groups.end(); ++it) {
+    if (it != groups.begin()) os << ",\n";
+    os << "    \"" << json_escape(it->first)
+       << "\": {\"jobs\": " << it->second.jobs
+       << ", \"profile\": " << profile::to_json(it->second.merged) << '}';
+  }
+  os << (groups.empty() ? "" : "\n") << "  }\n}\n";
+  return os.str();
+}
+
+Status write_profile_json(const std::string& path,
+                          const CampaignResult& result) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::Error(StatusCode::kIoError,
+                         "cannot open profile JSON file: " + path);
+  }
+  out << profile_json(result);
+  out.flush();
+  if (!out.good()) {
+    return Status::Error(StatusCode::kIoError,
+                         "profile JSON write failed: " + path);
+  }
+  return {};
 }
 
 }  // namespace ulp::batch

@@ -29,4 +29,15 @@ namespace ulp::batch {
 /// energy, robustness counters).
 [[nodiscard]] std::string summary_text(const CampaignResult& result);
 
+/// Campaign-level profile aggregate: every profiled job's attribution
+/// (per-pc counts, frames, stall buckets) in job-index order, plus merged
+/// per-group profiles keyed "kernel/coresN" (jobs differing only in clock,
+/// V_DD, faults or repeat share a code image, so their profiles fold).
+/// Deterministic and worker-count-independent like to_json.
+[[nodiscard]] std::string profile_json(const CampaignResult& result);
+
+/// profile_json to a file.
+[[nodiscard]] Status write_profile_json(const std::string& path,
+                                        const CampaignResult& result);
+
 }  // namespace ulp::batch

@@ -103,6 +103,7 @@ std::vector<JobSpec> expand(const CampaignSpec& spec) {
               j.iterations = spec.iterations;
               j.double_buffered = spec.double_buffered;
               j.reference_stepping = spec.reference_stepping;
+              j.collect_profile = spec.collect_profile;
               jobs.push_back(std::move(j));
               ++index;
             }
@@ -192,6 +193,8 @@ Status parse_campaign_text(std::string_view text, CampaignSpec* out) {
       if (s.ok()) spec.iterations = static_cast<u32>(v);
     } else if (key == "double_buffered") {
       spec.double_buffered = value == "1" || value == "true";
+    } else if (key == "profile") {
+      spec.collect_profile = value == "1" || value == "true";
     } else if (key == "reference_stepping") {
       spec.reference_stepping = value == "1" || value == "true";
     } else {

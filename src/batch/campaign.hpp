@@ -56,6 +56,10 @@ struct CampaignSpec {
   bool double_buffered = false;
   /// Per-campaign stepping override; unset = the process default.
   std::optional<bool> reference_stepping;
+  /// Collect per-job cycle/energy attribution profiles (per-pc hotspots,
+  /// stall buckets, call frames). Deterministic like every other result
+  /// field: the aggregated profile is byte-identical across worker counts.
+  bool collect_profile = false;
 
   [[nodiscard]] u64 job_count() const {
     return static_cast<u64>(kernels.size()) * num_cores.size() *
@@ -78,6 +82,7 @@ struct JobSpec {
   u32 iterations = 1;
   bool double_buffered = false;
   std::optional<bool> reference_stepping;
+  bool collect_profile = false;
 
   /// Compact human-readable identity, e.g.
   /// "matmul/cores4/mcu16/vdd0.50/clean/r0".
@@ -104,6 +109,7 @@ struct JobSpec {
 ///   seed     = 1
 ///   iterations = 1
 ///   double_buffered = 0
+///   profile  = 1                 # collect per-job attribution profiles
 ///
 /// Unknown keys, unparsable numbers and out-of-range values are errors.
 /// Keys not present keep the CampaignSpec defaults.

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "batch/campaign.hpp"
+#include "profile/profile.hpp"
 #include "runtime/offload.hpp"
 
 namespace ulp::batch {
@@ -42,6 +43,11 @@ struct JobResult {
   u64 wire_bytes = 0;
   u64 link_crc_errors = 0;
   u64 fault_count = 0;  ///< Faults the injector actually fired (any engine).
+
+  /// Cycle/energy attribution (JobSpec::collect_profile only; empty
+  /// otherwise). Pure simulation output — identical across stepping modes
+  /// and worker counts like every other field.
+  profile::JobProfile profile;
 };
 
 /// Campaign-level merge, folded over jobs in index order.

@@ -60,6 +60,9 @@ JobResult run_analytic(const JobSpec& spec, const kernels::KernelInfo& info,
                                   link::SpiLink(lcfg));
   session.set_reference_stepping(spec.reference_stepping);
 
+  profile::ClusterProfiler profiler;
+  if (spec.collect_profile) session.attach_profile(&profiler);
+
   std::unique_ptr<link::FaultInjector> injector;
   if (!spec.fault_spec.empty()) {
     link::FaultConfig fcfg;
@@ -88,6 +91,10 @@ JobResult run_analytic(const JobSpec& spec, const kernels::KernelInfo& info,
       session.steady_power_w(outcome, op, spec.double_buffered);
   if (injector != nullptr) {
     r.fault_count = injector->counters().total_faults();
+  }
+  if (spec.collect_profile) {
+    r.profile.collected = true;
+    r.profile.cluster = profiler.data();
   }
   return r;
 }
@@ -122,8 +129,26 @@ JobResult run_cosim(const JobSpec& spec, const kernels::KernelInfo& info,
   const system::FullSystemPackage pkg =
       robust ? system::package_robust_offload(kc) : system::package_offload(kc);
   system::HeteroSystem sys(params);
+
+  profile::ClusterProfiler cluster_prof;
+  profile::CoreProfiler host_prof;
+  if (spec.collect_profile) {
+    cluster_prof.attach(sys.soc().cluster());
+    host_prof.attach(sys.host_core());
+  }
+
   const system::SystemOffloadResult res =
       system::run_offload_with_fallback(sys, pkg);
+
+  if (spec.collect_profile) {
+    cluster_prof.capture();
+    host_prof.capture(sys.host_program(),
+                      sys.stats().host_link_bound_cycles);
+    r.profile.collected = true;
+    r.profile.cluster = cluster_prof.data();
+    r.profile.has_host = true;
+    r.profile.host = host_prof.data();
+  }
 
   r.status = res.status;
   r.pass = res.output == kc.expected;

@@ -36,6 +36,9 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   dma_ = std::make_unique<dma::Dma>(bus_.get(), params_.num_cores);
   dma_->set_event_unit(events_.get());
   dma_->set_cluster_bus(bus_.get());
+  // Sleep classification for the profiler: WFE with a transfer in flight
+  // is a DMA wait, not a generic event wait.
+  events_->set_dma_probe([d = dma_.get()] { return !d->idle(); });
   bus_->add_peripheral(kPeriphBase + kDmaOffset, 0x20, dma_.get());
 
   for (u32 i = 0; i < params_.num_cores; ++i) {

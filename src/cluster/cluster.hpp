@@ -132,6 +132,10 @@ class Cluster {
 
   [[nodiscard]] ClusterStats stats() const;
 
+  /// The currently loaded program (empty before the first load_program).
+  /// The profiler renders annotated disassembly against this image.
+  [[nodiscard]] const isa::Program& program() const { return program_; }
+
  private:
   /// Scheduler view of a core between step() calls.
   enum ParkState : u8 {

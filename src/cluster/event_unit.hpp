@@ -8,6 +8,7 @@
 // flag wired to the host GPIO, and DMA-completion events.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/status.hpp"
@@ -76,7 +77,18 @@ class EventUnit final : public core::SyncUnit {
 
   [[nodiscard]] u64 barriers_completed() const { return barriers_completed_; }
 
+  /// Wires the DMA-busy question for sleep classification (profiler "DMA
+  /// wait" vs plain event wait). A std::function rather than a dma::Dma*
+  /// keeps this header free of the dma <-> event_unit include cycle.
+  void set_dma_probe(std::function<bool()> probe) {
+    dma_probe_ = std::move(probe);
+  }
+  [[nodiscard]] bool dma_outstanding() const override {
+    return dma_probe_ && dma_probe_();
+  }
+
  private:
+  std::function<bool()> dma_probe_;
   u32 num_cores_;
   u32 arrival_count_ = 0;
   // u8, not vector<bool>: these sit on the per-cycle wake path.

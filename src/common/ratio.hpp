@@ -29,6 +29,14 @@ class ClockRatio {
     den_ /= g;
   }
 
+  /// An exact ratio from a raw integer fraction, bypassing the Hz sanity
+  /// bound — e.g. picoseconds per tick (1e12 / ticks_per_second), which the
+  /// Perfetto exporter uses to rebase every clock domain onto one timeline.
+  [[nodiscard]] static ClockRatio from_fraction(u64 num, u64 den) {
+    ULP_CHECK(num > 0 && den > 0, "clock ratio needs a positive fraction");
+    return ClockRatio(num, den, 0);
+  }
+
   /// Advance one source cycle; returns the target ticks now due.
   u64 tick() {
     acc_ += num_;
@@ -91,6 +99,12 @@ class ClockRatio {
   [[nodiscard]] u64 accumulator() const { return acc_; }
 
  private:
+  ClockRatio(u64 num, u64 den, int /*tag*/) : num_(num), den_(den) {
+    const u64 g = std::gcd(num_, den_);
+    num_ /= g;
+    den_ /= g;
+  }
+
   static constexpr u64 kMaxHz = 10'000'000'000ull;  ///< 10 GHz sanity bound.
 
   static u64 hz_to_int(double hz) {

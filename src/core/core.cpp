@@ -49,7 +49,12 @@ void Core::reset(const isa::Program* program) {
   sleeping_ = false;
   busy_ = 0;
   memop_ = {};
+  sleep_bucket_ = kSleepEvent;
+  sleep_pc_ = 0;
   perf_.reset();
+  // The profile always describes the currently loaded program: watchdog
+  // retries and fallback re-boots reset the counters it must mirror.
+  if (prof_ != nullptr) prof_->reset();
 }
 
 void Core::set_reg(u32 index, u32 value) {
@@ -73,9 +78,20 @@ u32 Core::read_csr(i32 index) const {
   ULP_CHECK(false, "unknown CSR " + std::to_string(index));
 }
 
-void Core::go_to_sleep(WakeKind kind) {
+void Core::go_to_sleep(WakeKind kind, u32 pc) {
   sleeping_ = true;
   sleep_kind_ = kind;
+  sleep_pc_ = pc;
+  // Classify the wait once, at sleep entry. Sleep entry always happens
+  // inside a real step() in both scheduler modes, so the DMA-outstanding
+  // answer — and with it the whole sleep split — is mode-independent.
+  if (kind == WakeKind::kBarrier) {
+    sleep_bucket_ = kSleepBarrier;
+  } else {
+    sleep_bucket_ = (sync_ != nullptr && sync_->dma_outstanding())
+                        ? kSleepDma
+                        : kSleepEvent;
+  }
 }
 
 StepState Core::step() {
@@ -90,9 +106,14 @@ StepState Core::step() {
       // "Woken up in just a few cycles" — HW synchronizer wake latency.
       busy_ = kWakeLatency;
       ++perf_.active_cycles;
+      // Lump the wake cycle plus the synchronizer latency here: the busy
+      // countdown itself never attributes (it may be bulk-charged).
+      if (prof_ != nullptr) prof_->add_cycles(sleep_pc_, 1 + kWakeLatency);
       return StepState::kActive;
     }
     ++perf_.sleep_cycles;
+    bump_sleep_split(1);
+    if (prof_ != nullptr) prof_->add_cycles(sleep_pc_, 1);
     return StepState::kSleeping;
   }
   ++perf_.active_cycles;
@@ -131,6 +152,8 @@ void Core::issue() {
     if (penalty > 0) {
       perf_.stall_icache += penalty;
       busy_ = penalty;  // refill; the instruction issues afterwards
+      // This step's cycle plus the whole refill, attributed up front.
+      if (prof_ != nullptr) prof_->add_cycles(pc_, penalty + 1);
       return;
     }
   }
@@ -174,6 +197,10 @@ void Core::advance_pc_sequential() {
 void Core::execute(const Instr& in) {
   ++perf_.instrs;
   if (retire_hook_) retire_hook_(pc_, in);
+  // Latch the issue pc and ra before the switch: branches/jal rewrite pc_,
+  // and jalr may clobber its own target register (rd == ra).
+  const u32 pc0 = pc_;
+  if (prof_ != nullptr) prof_->on_retire(pc0, in, regs_[in.ra]);
   const u32 a = regs_[in.ra];
   const u32 b = regs_[in.rb];
   const u32 d = regs_[in.rd];
@@ -381,7 +408,8 @@ void Core::execute(const Instr& in) {
       const bool last = sync_->barrier_arrive(id_);
       if (!last) {
         advance_pc_sequential();
-        go_to_sleep(WakeKind::kBarrier);
+        if (prof_ != nullptr) prof_->add_cycles(pc0, 1);
+        go_to_sleep(WakeKind::kBarrier, pc0);
         return;  // pc already advanced; sleep until released
       }
       break;
@@ -389,7 +417,8 @@ void Core::execute(const Instr& in) {
     case Opcode::kWfe:
       ULP_CHECK(sync_ != nullptr, "wfe without a cluster event unit");
       advance_pc_sequential();
-      go_to_sleep(WakeKind::kEvent);
+      if (prof_ != nullptr) prof_->add_cycles(pc0, 1);
+      go_to_sleep(WakeKind::kEvent, pc0);
       return;
     case Opcode::kSev:
       ULP_CHECK(sync_ != nullptr, "sev without a cluster event unit");
@@ -411,6 +440,9 @@ void Core::execute(const Instr& in) {
 
   if (sequential) advance_pc_sequential();
   busy_ = cost - 1;
+  // Lump the instruction's whole cost at issue; the busy countdown (which
+  // the fast-forward scheduler may bulk-charge) never attributes.
+  if (prof_ != nullptr) prof_->add_cycles(pc0, cost);
 }
 
 void Core::start_mem(const Instr& in) {
@@ -465,6 +497,7 @@ void Core::retry_mem() {
                    /*sign_extend=*/false, id_);
   if (!r.granted) {
     ++perf_.stall_mem;
+    if (prof_ != nullptr) prof_->add_cycles(pc_, 1);
     return;  // retry next cycle
   }
   if (!store) {
@@ -475,6 +508,8 @@ void Core::retry_mem() {
   const CoreCosts& c = cfg_.costs;
   const u32 extra = store ? c.store_extra : c.load_extra;
   busy_ += r.latency - 1 + extra;
+  // Grant cycle plus the latency/extra cycles it queued onto busy_.
+  if (prof_ != nullptr) prof_->add_cycles(pc_, r.latency + extra);
 
   ++memop_.next_part;
   if (memop_.next_part == memop_.num_parts) finish_mem();
@@ -484,6 +519,7 @@ void Core::finish_mem() {
   const Instr& in = memop_.instr;
   ++perf_.instrs;
   if (retire_hook_) retire_hook_(pc_, in);
+  if (prof_ != nullptr) prof_->on_retire(pc_, in, regs_[in.ra]);
   if (isa::is_store(in.op)) {
     ++perf_.stores;
   } else {

@@ -16,6 +16,7 @@
 #include "isa/program.hpp"
 #include "mem/bus.hpp"
 #include "mem/icache.hpp"
+#include "profile/pc_profile.hpp"
 
 namespace ulp::core {
 
@@ -42,6 +43,11 @@ class SyncUnit {
 
   /// EOC: end-of-computation flag, wired to the host-visible GPIO.
   virtual void signal_eoc(u32 flag) = 0;
+
+  /// True while a DMA transfer the cluster issued is still in flight. Lets
+  /// a core entering WFE classify the wait as "DMA wait" rather than a
+  /// generic event wait (profiler stall buckets). Default: no DMA.
+  [[nodiscard]] virtual bool dma_outstanding() const { return false; }
 };
 
 /// What a core did in the cycle just stepped; lets a scheduler park cores
@@ -79,6 +85,8 @@ class Core {
   void charge_sleep_cycles(u64 n) {
     perf_.cycles += n;
     perf_.sleep_cycles += n;
+    bump_sleep_split(n);
+    if (prof_ != nullptr) prof_->add_cycles(sleep_pc_, n);
   }
   void charge_halted_cycles(u64 n) {
     perf_.cycles += n;
@@ -106,6 +114,14 @@ class Core {
   /// fast path pays one branch.
   using RetireHook = std::function<void(u32 pc, const isa::Instr& instr)>;
   void set_retire_hook(RetireHook hook) { retire_hook_ = std::move(hook); }
+
+  /// Attaches a per-PC cycle/instruction profile (null detaches). The core
+  /// attributes every cycle it consumes to a pc at well-defined charge
+  /// points, identically under reference stepping and fast-forward. The
+  /// profile is cleared by reset(), so it always covers exactly the
+  /// currently loaded program.
+  void set_profile(profile::PcProfile* prof) { prof_ = prof; }
+  [[nodiscard]] profile::PcProfile* profile() const { return prof_; }
 
  private:
   struct HwLoop {
@@ -143,7 +159,16 @@ class Core {
   void advance_pc_sequential();
   void write_reg(u32 index, u32 value);
   [[nodiscard]] u32 read_csr(i32 index) const;
-  void go_to_sleep(WakeKind kind);
+  void go_to_sleep(WakeKind kind, u32 pc);
+
+  /// Adds `n` cycles to the sleep-cause counter latched at sleep entry.
+  void bump_sleep_split(u64 n) {
+    switch (sleep_bucket_) {
+      case kSleepBarrier: perf_.sleep_barrier_cycles += n; break;
+      case kSleepDma: perf_.sleep_dma_cycles += n; break;
+      default: perf_.sleep_event_cycles += n; break;
+    }
+  }
 
   u32 id_;
   u32 num_cores_;
@@ -169,6 +194,16 @@ class Core {
   WakeKind sleep_kind_ = WakeKind::kEvent;
   u32 busy_ = 0;  ///< Remaining stall cycles of the current instruction.
   MemOp memop_;
+
+  // Profiler state: why the core slept (latched at sleep entry, when the
+  // DMA-outstanding question has a mode-independent answer) and the pc the
+  // sleeping instruction executed at (sleep cycles are attributed there).
+  static constexpr u8 kSleepBarrier = 0;
+  static constexpr u8 kSleepDma = 1;
+  static constexpr u8 kSleepEvent = 2;
+  u8 sleep_bucket_ = kSleepEvent;
+  u32 sleep_pc_ = 0;
+  profile::PcProfile* prof_ = nullptr;
 
   PerfCounters perf_;
   RetireHook retire_hook_;

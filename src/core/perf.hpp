@@ -18,6 +18,14 @@ struct PerfCounters {
   u64 stall_mem = 0;      ///< Cycles lost to denied bus grants (contention).
   u64 stall_icache = 0;   ///< Cycles lost to I$ refills.
 
+  // Why a core slept, classified once at sleep entry (see Core::go_to_sleep):
+  // barrier waits, WFE with a DMA transfer outstanding (DMA wait), and plain
+  // WFE event waits. Always sums to sleep_cycles — the profiler's stall
+  // buckets rely on that conservation.
+  u64 sleep_barrier_cycles = 0;
+  u64 sleep_dma_cycles = 0;
+  u64 sleep_event_cycles = 0;
+
   u64 instrs = 0;  ///< Instructions retired.
   u64 loads = 0;
   u64 stores = 0;
@@ -44,6 +52,9 @@ struct PerfCounters {
     halted_cycles += o.halted_cycles;
     stall_mem += o.stall_mem;
     stall_icache += o.stall_icache;
+    sleep_barrier_cycles += o.sleep_barrier_cycles;
+    sleep_dma_cycles += o.sleep_dma_cycles;
+    sleep_event_cycles += o.sleep_event_cycles;
     instrs += o.instrs;
     loads += o.loads;
     stores += o.stores;

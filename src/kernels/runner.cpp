@@ -8,12 +8,14 @@ namespace ulp::kernels {
 RunOutcome run_on_cluster(const KernelCase& kc,
                           const core::CoreConfig& core_config, u32 num_cores,
                           const trace::Sinks& sinks,
-                          const std::string& track_prefix) {
+                          const std::string& track_prefix,
+                          profile::ClusterProfiler* profiler) {
   cluster::ClusterParams params;
   params.num_cores = num_cores;
   params.core_config = core_config;
   cluster::Cluster cl(params);
   if (sinks) cl.attach_trace(sinks, 1e9, track_prefix);
+  if (profiler != nullptr) profiler->attach(cl);
   cl.load_program(kc.program);
   // Host-side deposit of the input payload into the L2 staging area (the
   // timed SPI path is modelled separately by the offload runtime).
@@ -30,6 +32,10 @@ RunOutcome run_on_cluster(const KernelCase& kc,
         cl.bus().debug_load(kc.output_addr + static_cast<Addr>(i), 1, false));
   }
   out.stats = cl.stats();
+  if (profiler != nullptr) {
+    profiler->capture();
+    profiler->detach();  // the cluster dies with this scope
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "cluster/cluster.hpp"
 #include "kernels/kernel.hpp"
+#include "profile/profile.hpp"
 
 namespace ulp::kernels {
 
@@ -23,13 +24,17 @@ struct RunOutcome {
 /// Runs a Target::kCluster case on a cluster configured with `core_config`
 /// x `num_cores` (must match the values the case was generated for).
 /// Non-null `sinks` record the run onto "<track_prefix>.*" event-trace
-/// tracks (1 cycle = 1 ns nominal) and into the metrics registry.
+/// tracks (1 cycle = 1 ns nominal) and into the metrics registry. A
+/// non-null `profiler` is attached for the run and captured afterwards
+/// (per-pc cycle attribution + stall buckets).
 [[nodiscard]] RunOutcome run_on_cluster(const KernelCase& kc,
                                         const core::CoreConfig& core_config,
                                         u32 num_cores,
                                         const trace::Sinks& sinks = {},
                                         const std::string& track_prefix =
-                                            "cluster");
+                                            "cluster",
+                                        profile::ClusterProfiler* profiler =
+                                            nullptr);
 
 /// Runs a Target::kFlat case on a single core with flat memory.
 [[nodiscard]] RunOutcome run_on_flat(const KernelCase& kc,

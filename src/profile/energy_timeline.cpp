@@ -1,0 +1,127 @@
+#include "profile/energy_timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ulp::profile {
+
+namespace {
+
+using trace::EventTrace;
+
+struct Deltas {
+  // tick -> change in concurrently-active span count at that tick.
+  std::map<u64, i64> run;
+  std::map<u64, i64> aux;  ///< DMA spans (cluster domain only).
+  u64 last_tick = 0;
+  bool any = false;
+};
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Emits one counter track from a delta map via `watts(run, aux)`.
+template <typename WattsFn>
+void emit_track(EventTrace& trace, const std::string& name, double tps,
+                int sort_index, const Deltas& d, WattsFn watts) {
+  if (!d.any) return;
+  const EventTrace::TrackId track = trace.add_track(name, tps, sort_index);
+  // Walk both delta maps in tick order, emitting a sample per change point.
+  std::map<u64, std::pair<i64, i64>> merged;
+  for (const auto& [t, v] : d.run) merged[t].first += v;
+  for (const auto& [t, v] : d.aux) merged[t].second += v;
+  merged.try_emplace(0);           // explicit initial level
+  merged.try_emplace(d.last_tick); // extend the line to the end of the run
+  i64 run = 0;
+  i64 aux = 0;
+  for (const auto& [tick, dv] : merged) {
+    run += dv.first;
+    aux += dv.second;
+    trace.counter(track, name, tick, watts(run, aux));
+  }
+}
+
+}  // namespace
+
+void add_power_tracks(EventTrace& trace, const PowerTimelineSpec& spec) {
+  trace.close_open_spans();
+
+  const std::string core_prefix = spec.cluster_prefix + ".core";
+  const std::string dma_track = spec.cluster_prefix + ".dma";
+  Deltas cluster;
+  Deltas host;
+  Deltas link;
+  double cluster_tps = 1e9;
+  double host_tps = 1e9;
+  double link_tps = 1e9;
+
+  const std::vector<EventTrace::Track>& tracks = trace.tracks();
+  std::vector<u8> kind(tracks.size(), 0);  // 1 core, 2 dma, 3 host, 4 link
+  for (size_t t = 0; t < tracks.size(); ++t) {
+    if (starts_with(tracks[t].name, core_prefix)) {
+      kind[t] = 1;
+      cluster_tps = tracks[t].ticks_per_second;
+    } else if (tracks[t].name == dma_track) {
+      kind[t] = 2;
+      cluster_tps = tracks[t].ticks_per_second;
+    } else if (tracks[t].name == spec.host_track) {
+      kind[t] = 3;
+      host_tps = tracks[t].ticks_per_second;
+    } else if (tracks[t].name == spec.link_track) {
+      kind[t] = 4;
+      link_tps = tracks[t].ticks_per_second;
+    }
+  }
+
+  for (const EventTrace::Event& e : trace.events()) {
+    if (e.kind != EventTrace::EventKind::kSpan || e.open) continue;
+    const u8 k = kind[e.track];
+    if (k == 0) continue;
+    Deltas* d = nullptr;
+    bool aux = false;
+    if (k == 1 && e.name == "run") {
+      d = &cluster;
+    } else if (k == 2) {
+      d = &cluster;
+      aux = true;
+    } else if (k == 3 && e.name == "run") {
+      d = &host;
+    } else if (k == 4) {
+      d = &link;
+    }
+    if (d == nullptr) continue;
+    d->any = true;
+    d->last_tick = std::max(d->last_tick, e.end_tick);
+    auto& m = aux ? d->aux : d->run;
+    m[e.begin_tick] += 1;
+    m[e.end_tick] -= 1;
+  }
+
+  emit_track(trace, "power.cluster", cluster_tps, 200, cluster,
+             [&spec](i64 run, i64 dma) {
+               power::ActivityFactors chi;
+               chi.cores_run = static_cast<double>(run);
+               chi.cores_idle =
+                   static_cast<double>(spec.num_cluster_cores) - chi.cores_run;
+               if (chi.cores_idle < 0) chi.cores_idle = 0;
+               chi.mem = spec.mem_chi_per_running_core * chi.cores_run;
+               chi.dma = dma > 0 ? 1.0 : 0.0;
+               return spec.model.total_w(chi, spec.op);
+             });
+  emit_track(trace, "power.host", host_tps, 201, host,
+             [&spec](i64 run, i64 /*aux*/) {
+               return run > 0 ? spec.host_active_w : spec.host_sleep_w;
+             });
+  if (spec.link_active_w > 0) {
+    emit_track(trace, "power.link", link_tps, 202, link,
+               [&spec](i64 run, i64 /*aux*/) {
+                 return run > 0 ? spec.link_active_w : 0.0;
+               });
+  }
+}
+
+}  // namespace ulp::profile

@@ -1,0 +1,37 @@
+// Power counter tracks for the Perfetto export.
+//
+// A post-pass over a completed EventTrace: the per-core run/wait spans,
+// the DMA spans, the host run/sleep spans and the SPI-wire spans already
+// encode each domain's instantaneous activity, so binding src/power's
+// model to those span edges yields a piecewise-constant power timeline —
+// one counter track per domain — without touching any hot path.
+#pragma once
+
+#include "power/pulp_power.hpp"
+#include "trace/event_trace.hpp"
+
+namespace ulp::profile {
+
+struct PowerTimelineSpec {
+  power::PulpPowerModel model;
+  power::OperatingPoint op;       ///< Cluster operating point.
+  u32 num_cluster_cores = 4;
+  /// Memory activity (chi_mem) contributed by each concurrently running
+  /// core. Spans carry no access counts, so this is the timeline's one
+  /// approximation; 0 omits the memory term.
+  double mem_chi_per_running_core = 0.0;
+  double host_active_w = 0.0;  ///< From host::McuSpec::active_power_w.
+  double host_sleep_w = 0.0;
+  double link_active_w = 0.0;  ///< 0 skips the link power track.
+  std::string cluster_prefix = "cluster";
+  std::string host_track = "host.mcu";
+  std::string link_track = "link.spi";
+};
+
+/// Appends "power.cluster" / "power.host" / "power.link" counter tracks
+/// (watts) derived from the spans already recorded in `trace`. Closes any
+/// still-open spans first. Tracks whose source spans are absent are
+/// skipped.
+void add_power_tracks(trace::EventTrace& trace, const PowerTimelineSpec& spec);
+
+}  // namespace ulp::profile

@@ -1,0 +1,138 @@
+// Per-core cycle/instruction attribution collector.
+//
+// A PcProfile hangs off one core (core::Core::set_profile) and receives two
+// kinds of events from the pipeline model:
+//
+//   on_retire(pc, instr, ra)  — an instruction retired at `pc`; jal/jalr
+//                               retirements additionally drive a call-tree
+//                               so the profile can emit folded stacks.
+//   add_cycles(pc, n)         — `n` cycles of wall time belong to `pc`.
+//
+// The core lumps each instruction's full cost at a well-defined charge
+// point (issue, grant, sleep entry, wake), never per busy-countdown cycle,
+// so the attribution stream is identical between per-cycle reference
+// stepping and the quiescence fast-forward scheduler — the property the
+// profile differential tests pin down bit-for-bit.
+//
+// Header-only and dependency-light (isa + common) on purpose: core::Core
+// stores a raw pointer to this type, and ulp_core must not depend on the
+// full profile library (which links cluster and power).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/isa.hpp"
+
+namespace ulp::profile {
+
+/// One program counter's totals (pc == instruction index).
+struct PcCount {
+  u64 instrs = 0;  ///< Retirements at this pc.
+  u64 cycles = 0;  ///< Cycles attributed to this pc (stalls included).
+
+  bool operator==(const PcCount&) const = default;
+};
+
+class PcProfile {
+ public:
+  /// Call-tree node. Frame 0 is the root (cycles outside any tracked
+  /// call); children are keyed by (parent, callee entry pc).
+  struct Frame {
+    u32 entry_pc = 0;  ///< Callee entry (meaningless for the root).
+    u32 parent = 0;    ///< Parent frame index (root: itself).
+    u64 cycles = 0;    ///< Cycles attributed while this frame was current.
+  };
+
+  /// Calls nested deeper than this are counted but not descended into
+  /// (runaway-recursion guard for fuzzed programs).
+  static constexpr size_t kMaxStackDepth = 128;
+
+  PcProfile() { reset(); }
+
+  void reset() {
+    pcs_.clear();
+    frames_.assign(1, Frame{});
+    children_.clear();
+    stack_.clear();
+    current_ = 0;
+    truncated_calls_ = 0;
+  }
+
+  /// Instruction retirement. `ra_value` is the value of the instruction's
+  /// ra register *before* execution (the jalr target).
+  void on_retire(u32 pc, const isa::Instr& in, u32 ra_value) {
+    ++touch(pc).instrs;
+    if (in.op != isa::Opcode::kJal && in.op != isa::Opcode::kJalr) return;
+    const u32 target =
+        in.op == isa::Opcode::kJal
+            ? static_cast<u32>(static_cast<i64>(pc) + in.imm)
+            : ra_value;
+    if (in.op == isa::Opcode::kJalr && !stack_.empty() &&
+        target == stack_.back().ret_pc) {
+      // Return: jump to the address the innermost call left behind.
+      current_ = stack_.back().caller;
+      stack_.pop_back();
+      return;
+    }
+    if (in.rd == 0) return;  // plain goto, not a call
+    if (stack_.size() >= kMaxStackDepth) {
+      ++truncated_calls_;
+      return;
+    }
+    stack_.push_back({pc + 1, current_});
+    current_ = child_of(current_, target);
+  }
+
+  /// Attribute `n` cycles to `pc` and to the current call-tree frame.
+  void add_cycles(u32 pc, u64 n) {
+    touch(pc).cycles += n;
+    frames_[current_].cycles += n;
+  }
+
+  [[nodiscard]] const std::vector<PcCount>& pcs() const { return pcs_; }
+  [[nodiscard]] const std::vector<Frame>& frames() const { return frames_; }
+  [[nodiscard]] u64 truncated_calls() const { return truncated_calls_; }
+
+  [[nodiscard]] u64 total_cycles() const {
+    u64 n = 0;
+    for (const PcCount& p : pcs_) n += p.cycles;
+    return n;
+  }
+  [[nodiscard]] u64 total_instrs() const {
+    u64 n = 0;
+    for (const PcCount& p : pcs_) n += p.instrs;
+    return n;
+  }
+
+ private:
+  struct CallRec {
+    u32 ret_pc = 0;  ///< Address a matching return jalr targets.
+    u32 caller = 0;  ///< Frame to restore on return.
+  };
+
+  PcCount& touch(u32 pc) {
+    if (pc >= pcs_.size()) pcs_.resize(pc + 1);
+    return pcs_[pc];
+  }
+
+  u32 child_of(u32 parent, u32 entry) {
+    const auto [it, fresh] = children_.try_emplace({parent, entry}, 0);
+    if (fresh) {
+      it->second = static_cast<u32>(frames_.size());
+      frames_.push_back({entry, parent, 0});
+    }
+    return it->second;
+  }
+
+  std::vector<PcCount> pcs_;
+  std::vector<Frame> frames_;
+  std::map<std::pair<u32, u32>, u32> children_;
+  std::vector<CallRec> stack_;
+  u32 current_ = 0;
+  u64 truncated_calls_ = 0;
+};
+
+}  // namespace ulp::profile

@@ -1,0 +1,194 @@
+#include "profile/profile.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace ulp::profile {
+
+CycleBuckets CycleBuckets::from_perf(const core::PerfCounters& p,
+                                     u64 link_bound_cycles) {
+  ULP_CHECK(p.active_cycles >=
+                p.stall_mem + p.stall_icache + link_bound_cycles,
+            "stall cycles exceed active cycles");
+  ULP_CHECK(p.sleep_cycles == p.sleep_barrier_cycles + p.sleep_dma_cycles +
+                                  p.sleep_event_cycles,
+            "sleep split does not cover sleep cycles");
+  ULP_CHECK(p.cycles == p.active_cycles + p.sleep_cycles + p.halted_cycles,
+            "cycle counters do not partition total cycles");
+  CycleBuckets b;
+  b.execute =
+      p.active_cycles - p.stall_mem - p.stall_icache - link_bound_cycles;
+  b.icache = p.stall_icache;
+  b.tcdm = p.stall_mem;
+  b.link_bound = link_bound_cycles;
+  b.barrier = p.sleep_barrier_cycles;
+  b.dma_wait = p.sleep_dma_cycles;
+  b.event_wait = p.sleep_event_cycles;
+  b.halted = p.halted_cycles;
+  return b;
+}
+
+CycleBuckets& CycleBuckets::operator+=(const CycleBuckets& o) {
+  execute += o.execute;
+  icache += o.icache;
+  tcdm += o.tcdm;
+  link_bound += o.link_bound;
+  barrier += o.barrier;
+  dma_wait += o.dma_wait;
+  event_wait += o.event_wait;
+  halted += o.halted;
+  return *this;
+}
+
+bool CoreProfileData::conserved() const {
+  u64 attributed = 0;
+  for (const PcCount& p : pcs) attributed += p.cycles;
+  // Instruction costs are attributed in full at issue; a run abandoned
+  // mid-instruction leaves busy_remaining attributed-but-unconsumed.
+  if (attributed + perf.halted_cycles != perf.cycles + busy_remaining) {
+    return false;
+  }
+  u64 retired = 0;
+  for (const PcCount& p : pcs) retired += p.instrs;
+  if (retired != perf.instrs) return false;
+  return buckets().total() == perf.cycles;
+}
+
+namespace {
+
+/// Folds `src` call-tree frames into `dst`. Parents always precede their
+/// children in a PcProfile's frame array, so one forward pass with an
+/// index map suffices.
+void merge_frames(std::vector<PcProfile::Frame>& dst,
+                  const std::vector<PcProfile::Frame>& src) {
+  if (src.empty()) return;
+  if (dst.empty()) dst.push_back(PcProfile::Frame{});
+  std::map<std::pair<u32, u32>, u32> index;  // (dst parent, entry) -> dst
+  for (u32 i = 1; i < dst.size(); ++i) {
+    index[{dst[i].parent, dst[i].entry_pc}] = i;
+  }
+  std::vector<u32> remap(src.size(), 0);
+  dst[0].cycles += src[0].cycles;
+  for (u32 i = 1; i < src.size(); ++i) {
+    const u32 parent = remap[src[i].parent];
+    const auto [it, fresh] =
+        index.try_emplace({parent, src[i].entry_pc}, 0);
+    if (fresh) {
+      it->second = static_cast<u32>(dst.size());
+      dst.push_back({src[i].entry_pc, parent, 0});
+    }
+    remap[i] = it->second;
+    dst[it->second].cycles += src[i].cycles;
+  }
+}
+
+void merge_pcs(std::vector<PcCount>& dst, const std::vector<PcCount>& src) {
+  if (src.size() > dst.size()) dst.resize(src.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i].instrs += src[i].instrs;
+    dst[i].cycles += src[i].cycles;
+  }
+}
+
+}  // namespace
+
+void CoreProfileData::merge(const CoreProfileData& o) {
+  perf += o.perf;
+  link_bound_cycles += o.link_bound_cycles;
+  busy_remaining += o.busy_remaining;
+  truncated_calls += o.truncated_calls;
+  merge_pcs(pcs, o.pcs);
+  merge_frames(frames, o.frames);
+}
+
+bool DomainProfile::conserved() const {
+  return std::all_of(cores.begin(), cores.end(),
+                     [](const CoreProfileData& c) { return c.conserved(); });
+}
+
+CycleBuckets DomainProfile::buckets() const {
+  CycleBuckets b;
+  for (const CoreProfileData& c : cores) b += c.buckets();
+  return b;
+}
+
+void DomainProfile::merge(const DomainProfile& o) {
+  if (code.empty()) code = o.code;
+  if (cores.size() < o.cores.size()) cores.resize(o.cores.size());
+  for (size_t i = 0; i < o.cores.size(); ++i) cores[i].merge(o.cores[i]);
+}
+
+void ClusterProfiler::attach(cluster::Cluster& cl) {
+  detach();
+  cl_ = &cl;
+  const u32 n = cl.params().num_cores;
+  collectors_.clear();
+  for (u32 i = 0; i < n; ++i) {
+    collectors_.push_back(std::make_unique<PcProfile>());
+    cl.core(i).set_profile(collectors_[i].get());
+  }
+}
+
+void ClusterProfiler::capture() {
+  ULP_CHECK(cl_ != nullptr, "capture() before attach()");
+  data_.code = cl_->program().code;
+  const u32 n = cl_->params().num_cores;
+  if (data_.cores.size() < n) data_.cores.resize(n);
+  for (u32 i = 0; i < n; ++i) {
+    const core::Core& c = cl_->core(i);
+    CoreProfileData run;
+    run.perf = c.perf();
+    run.busy_remaining = c.busy_remaining();
+    run.pcs = collectors_[i]->pcs();
+    run.frames = collectors_[i]->frames();
+    run.truncated_calls = collectors_[i]->truncated_calls();
+    data_.cores[i].merge(run);
+  }
+}
+
+void ClusterProfiler::detach() {
+  if (cl_ == nullptr) return;
+  for (u32 i = 0; i < cl_->params().num_cores; ++i) {
+    if (cl_->core(i).profile() == collectors_[i].get()) {
+      cl_->core(i).set_profile(nullptr);
+    }
+  }
+  cl_ = nullptr;
+}
+
+void CoreProfiler::attach(core::Core& core) {
+  detach();
+  core_ = &core;
+  collector_ = std::make_unique<PcProfile>();
+  core.set_profile(collector_.get());
+}
+
+void CoreProfiler::capture(const isa::Program& program,
+                           u64 link_bound_cycles) {
+  ULP_CHECK(core_ != nullptr, "capture() before attach()");
+  data_.code = program.code;
+  if (data_.cores.empty()) data_.cores.resize(1);
+  CoreProfileData run;
+  run.perf = core_->perf();
+  run.link_bound_cycles = link_bound_cycles;
+  run.busy_remaining = core_->busy_remaining();
+  run.pcs = collector_->pcs();
+  run.frames = collector_->frames();
+  run.truncated_calls = collector_->truncated_calls();
+  data_.cores[0].merge(run);
+}
+
+void CoreProfiler::detach() {
+  if (core_ == nullptr) return;
+  if (core_->profile() == collector_.get()) core_->set_profile(nullptr);
+  core_ = nullptr;
+}
+
+ClusterProfiler& ProfileBook::cluster(const std::string& label) {
+  auto& slot = clusters_[label];
+  if (slot == nullptr) slot = std::make_unique<ClusterProfiler>();
+  return *slot;
+}
+
+}  // namespace ulp::profile

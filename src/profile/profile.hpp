@@ -1,0 +1,157 @@
+// Cycle- and energy-attribution profiles.
+//
+// Captured data model plus the collectors that attach PcProfiles to live
+// cores (cluster or host) and fold their contents into plain, mergeable
+// structs. Everything here is deterministic: captures depend only on the
+// simulated execution, merges are index-ordered, and the conservation
+// invariant — every cycle in exactly one stall bucket, per-pc cycles
+// summing back to the core's cycle counter — is checkable at any time.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/core.hpp"
+#include "profile/pc_profile.hpp"
+
+namespace ulp::profile {
+
+/// Where a core's cycles went. Exactly one bucket per cycle:
+/// total() == PerfCounters::cycles by construction (from_perf checks the
+/// decomposition's preconditions).
+struct CycleBuckets {
+  u64 execute = 0;     ///< Issue + functional-unit latency.
+  u64 icache = 0;      ///< I$ refill stalls.
+  u64 tcdm = 0;        ///< Denied bus grants (bank conflicts, busy L2 port).
+  u64 link_bound = 0;  ///< Host only: executing with an SPI transfer in flight.
+  u64 barrier = 0;     ///< Asleep inside a barrier.
+  u64 dma_wait = 0;    ///< WFE with a DMA transfer outstanding.
+  u64 event_wait = 0;  ///< WFE on a plain software event.
+  u64 halted = 0;      ///< After HALT/EOC.
+
+  [[nodiscard]] u64 total() const {
+    return execute + icache + tcdm + link_bound + barrier + dma_wait +
+           event_wait + halted;
+  }
+
+  /// Decomposes a core's counters. `link_bound_cycles` (host cores only)
+  /// must be a subset of its active cycles.
+  [[nodiscard]] static CycleBuckets from_perf(const core::PerfCounters& p,
+                                              u64 link_bound_cycles = 0);
+
+  CycleBuckets& operator+=(const CycleBuckets& o);
+  bool operator==(const CycleBuckets&) const = default;
+};
+
+/// One core's captured profile.
+struct CoreProfileData {
+  core::PerfCounters perf;
+  u64 link_bound_cycles = 0;
+  /// Cycles attributed up front (at issue) but not yet consumed when the
+  /// run stopped — non-zero only when a core was abandoned mid-instruction
+  /// (aborted offloads). Keeps conservation exact without rewinding.
+  u64 busy_remaining = 0;
+  std::vector<PcCount> pcs;
+  std::vector<PcProfile::Frame> frames;
+  u64 truncated_calls = 0;
+
+  [[nodiscard]] CycleBuckets buckets() const {
+    return CycleBuckets::from_perf(perf, link_bound_cycles);
+  }
+
+  /// Per-pc conservation: attributed cycles (plus halted time, which is
+  /// attributed to no pc) account for every observed cycle.
+  [[nodiscard]] bool conserved() const;
+
+  /// Index-ordered fold of another capture into this one.
+  void merge(const CoreProfileData& o);
+};
+
+/// One clock domain's profile: the program image it ran plus one
+/// CoreProfileData per core.
+struct DomainProfile {
+  std::string name;  ///< "cluster", "host", ...
+  std::vector<isa::Instr> code;
+  std::vector<CoreProfileData> cores;
+
+  [[nodiscard]] bool conserved() const;
+  /// Bucket sum across cores.
+  [[nodiscard]] CycleBuckets buckets() const;
+  void merge(const DomainProfile& o);
+};
+
+/// Everything one batch job (or one session) collected.
+struct JobProfile {
+  bool collected = false;
+  DomainProfile cluster;
+  bool has_host = false;  ///< Co-simulated jobs also profile the host MCU.
+  DomainProfile host;
+};
+
+/// Attaches collectors to every core of a cluster, and folds the collected
+/// counts into an accumulating DomainProfile at capture() time. The
+/// underlying PcProfiles reset with the cores on load_program, so the
+/// attach/run/capture cycle can repeat across program loads.
+class ClusterProfiler {
+ public:
+  ClusterProfiler() { data_.name = "cluster"; }
+  ~ClusterProfiler() { detach(); }
+  ClusterProfiler(const ClusterProfiler&) = delete;
+  ClusterProfiler& operator=(const ClusterProfiler&) = delete;
+
+  void attach(cluster::Cluster& cl);
+  /// Folds the current run's counters into data(). Call once per run,
+  /// after it finishes and before the next load_program.
+  void capture();
+  void detach();
+
+  [[nodiscard]] const DomainProfile& data() const { return data_; }
+
+ private:
+  cluster::Cluster* cl_ = nullptr;
+  std::vector<std::unique_ptr<PcProfile>> collectors_;
+  DomainProfile data_;
+};
+
+/// Same for a single core outside a cluster (the host MCU).
+class CoreProfiler {
+ public:
+  CoreProfiler() { data_.name = "host"; }
+  ~CoreProfiler() { detach(); }
+  CoreProfiler(const CoreProfiler&) = delete;
+  CoreProfiler& operator=(const CoreProfiler&) = delete;
+
+  void attach(core::Core& core);
+  /// `program` is the image the core ran; `link_bound_cycles` the run's
+  /// host-link-bound count (system::HeteroStats::host_link_bound_cycles).
+  void capture(const isa::Program& program, u64 link_bound_cycles);
+  void detach();
+
+  [[nodiscard]] const DomainProfile& data() const { return data_; }
+
+ private:
+  core::Core* core_ = nullptr;
+  std::unique_ptr<PcProfile> collector_;
+  DomainProfile data_;
+};
+
+/// A keyed set of profilers for tools that profile many kernels in one
+/// process (the bench binaries): one ClusterProfiler per label, iterated
+/// in label order at report time.
+class ProfileBook {
+ public:
+  ClusterProfiler& cluster(const std::string& label);
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<ClusterProfiler>>&
+  clusters() const {
+    return clusters_;
+  }
+  [[nodiscard]] bool empty() const { return clusters_.empty(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<ClusterProfiler>> clusters_;
+};
+
+}  // namespace ulp::profile

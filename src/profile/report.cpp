@@ -1,0 +1,180 @@
+#include "profile/report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "isa/disasm.hpp"
+
+namespace ulp::profile {
+
+namespace {
+
+/// Per-pc totals summed across a domain's cores.
+std::vector<PcCount> summed_pcs(const DomainProfile& d) {
+  std::vector<PcCount> sum;
+  for (const CoreProfileData& c : d.cores) {
+    if (c.pcs.size() > sum.size()) sum.resize(c.pcs.size());
+    for (size_t i = 0; i < c.pcs.size(); ++i) {
+      sum[i].instrs += c.pcs[i].instrs;
+      sum[i].cycles += c.pcs[i].cycles;
+    }
+  }
+  return sum;
+}
+
+std::string fmt(const char* f, auto... args) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), f, args...);
+  return buf;
+}
+
+}  // namespace
+
+std::string annotated_disassembly(const DomainProfile& d, size_t max_lines) {
+  const std::vector<PcCount> sum = summed_pcs(d);
+  u64 total = 0;
+  for (const PcCount& p : sum) total += p.cycles;
+
+  std::vector<size_t> keep(d.code.size());
+  for (size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+  if (max_lines > 0 && keep.size() > max_lines) {
+    std::stable_sort(keep.begin(), keep.end(), [&](size_t a, size_t b) {
+      const u64 ca = a < sum.size() ? sum[a].cycles : 0;
+      const u64 cb = b < sum.size() ? sum[b].cycles : 0;
+      return ca > cb;
+    });
+    keep.resize(max_lines);
+    std::sort(keep.begin(), keep.end());
+  }
+
+  std::string out = fmt("%12s %10s %6s  %-4s %s\n", "cycles", "instrs",
+                        "cyc%", "pc", "instruction");
+  for (size_t pc : keep) {
+    const u64 cycles = pc < sum.size() ? sum[pc].cycles : 0;
+    const u64 instrs = pc < sum.size() ? sum[pc].instrs : 0;
+    const double pct =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(cycles) /
+                               static_cast<double>(total);
+    out += fmt("%12" PRIu64 " %10" PRIu64 " %5.1f%%  %-4zu %s\n", cycles,
+               instrs, pct, pc, isa::disassemble(d.code[pc]).c_str());
+  }
+  return out;
+}
+
+std::string folded_stacks(const DomainProfile& d) {
+  // Merge every core's call tree into one, then walk it depth-first with
+  // children in entry-pc order so the line set is canonical.
+  CoreProfileData all;
+  for (const CoreProfileData& c : d.cores) all.merge(c);
+  const std::vector<PcProfile::Frame>& fr = all.frames;
+  if (fr.empty()) return "";
+
+  std::vector<std::vector<u32>> children(fr.size());
+  for (u32 i = 1; i < fr.size(); ++i) children[fr[i].parent].push_back(i);
+  for (auto& c : children) {
+    std::sort(c.begin(), c.end(),
+              [&fr](u32 a, u32 b) { return fr[a].entry_pc < fr[b].entry_pc; });
+  }
+
+  std::string out;
+  std::vector<std::pair<u32, std::string>> stack;
+  stack.emplace_back(0u, std::string("all"));
+  while (!stack.empty()) {
+    auto [i, path] = std::move(stack.back());
+    stack.pop_back();
+    if (fr[i].cycles > 0) {
+      out += path + " " + std::to_string(fr[i].cycles) + "\n";
+    }
+    // Reverse order: the explicit stack pops smallest entry pc first.
+    for (auto it = children[i].rbegin(); it != children[i].rend(); ++it) {
+      stack.emplace_back(*it,
+                         path + ";fn@" + std::to_string(fr[*it].entry_pc));
+    }
+  }
+  return out;
+}
+
+std::string bucket_table(const DomainProfile& d) {
+  std::string out =
+      fmt("%-6s %12s %10s %10s %10s %10s %10s %10s %12s %14s\n", "core",
+          "execute", "icache", "tcdm", "link", "barrier", "dma_wait",
+          "evt_wait", "halted", "total");
+  auto row = [&out](const std::string& label, const CycleBuckets& b) {
+    out += fmt("%-6s %12" PRIu64 " %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+               " %10" PRIu64 " %10" PRIu64 " %10" PRIu64 " %12" PRIu64
+               " %14" PRIu64 "\n",
+               label.c_str(), b.execute, b.icache, b.tcdm, b.link_bound,
+               b.barrier, b.dma_wait, b.event_wait, b.halted, b.total());
+  };
+  for (size_t i = 0; i < d.cores.size(); ++i) {
+    row(std::to_string(i), d.cores[i].buckets());
+  }
+  row("all", d.buckets());
+  return out;
+}
+
+namespace {
+
+void append_core_json(std::string& out, const CoreProfileData& c) {
+  const CycleBuckets b = c.buckets();
+  out += "{\"cycles\":" + std::to_string(c.perf.cycles);
+  out += ",\"instrs\":" + std::to_string(c.perf.instrs);
+  out += ",\"busy_remaining\":" + std::to_string(c.busy_remaining);
+  out += ",\"truncated_calls\":" + std::to_string(c.truncated_calls);
+  out += ",\"conserved\":";
+  out += c.conserved() ? "true" : "false";
+  out += ",\"buckets\":{\"execute\":" + std::to_string(b.execute);
+  out += ",\"icache\":" + std::to_string(b.icache);
+  out += ",\"tcdm\":" + std::to_string(b.tcdm);
+  out += ",\"link_bound\":" + std::to_string(b.link_bound);
+  out += ",\"barrier\":" + std::to_string(b.barrier);
+  out += ",\"dma_wait\":" + std::to_string(b.dma_wait);
+  out += ",\"event_wait\":" + std::to_string(b.event_wait);
+  out += ",\"halted\":" + std::to_string(b.halted) + "}";
+  out += ",\"pcs\":[";
+  bool first = true;
+  for (size_t pc = 0; pc < c.pcs.size(); ++pc) {
+    if (c.pcs[pc].instrs == 0 && c.pcs[pc].cycles == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "[" + std::to_string(pc) + "," + std::to_string(c.pcs[pc].instrs) +
+           "," + std::to_string(c.pcs[pc].cycles) + "]";
+  }
+  out += "],\"frames\":[";
+  for (size_t i = 0; i < c.frames.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "[" + std::to_string(c.frames[i].entry_pc) + "," +
+           std::to_string(c.frames[i].parent) + "," +
+           std::to_string(c.frames[i].cycles) + "]";
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string to_json(const DomainProfile& d) {
+  std::string out = "{\"name\":\"" + d.name + "\"";
+  out += ",\"code_size\":" + std::to_string(d.code.size());
+  out += ",\"conserved\":";
+  out += d.conserved() ? "true" : "false";
+  out += ",\"cores\":[";
+  for (size_t i = 0; i < d.cores.size(); ++i) {
+    if (i > 0) out += ",";
+    append_core_json(out, d.cores[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_json(const JobProfile& p) {
+  std::string out = "{\"collected\":";
+  out += p.collected ? "true" : "false";
+  out += ",\"cluster\":" + to_json(p.cluster);
+  if (p.has_host) out += ",\"host\":" + to_json(p.host);
+  out += "}";
+  return out;
+}
+
+}  // namespace ulp::profile

@@ -1,0 +1,33 @@
+// Render captured profiles: annotated disassembly, folded stacks for
+// flamegraph tools, a stall-bucket table, and a deterministic JSON form
+// (integer-only, index-ordered) that doubles as the byte-identity oracle
+// in the differential tests.
+#pragma once
+
+#include <string>
+
+#include "profile/profile.hpp"
+
+namespace ulp::profile {
+
+/// Per-instruction listing with cycle/instruction counts summed across the
+/// domain's cores. `max_lines` > 0 keeps only the hottest lines (by
+/// cycles), re-sorted back into pc order.
+[[nodiscard]] std::string annotated_disassembly(const DomainProfile& d,
+                                                size_t max_lines = 0);
+
+/// Brendan-Gregg folded-stack lines ("all;fn@4;fn@17 1234"), one per
+/// call-tree path with nonzero cycles, merged across cores and sorted by
+/// path. Pipe through flamegraph.pl unchanged.
+[[nodiscard]] std::string folded_stacks(const DomainProfile& d);
+
+/// Stall-attribution table: one row per core plus a total row; every
+/// cycle in exactly one column.
+[[nodiscard]] std::string bucket_table(const DomainProfile& d);
+
+/// Deterministic JSON (integers only; fixed key order; index-ordered
+/// arrays). Byte-identical across stepping modes and worker counts.
+[[nodiscard]] std::string to_json(const DomainProfile& d);
+[[nodiscard]] std::string to_json(const JobProfile& p);
+
+}  // namespace ulp::profile

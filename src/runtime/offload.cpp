@@ -166,6 +166,19 @@ OffloadOutcome OffloadSession::run(const OffloadRequest& request,
   if (sinks_ && trace_cluster_) {
     soc.cluster().attach_trace(sinks_, op.freq_hz, trace_name_ + ".accel");
   }
+  if (profiler_ != nullptr) profiler_->attach(soc.cluster());
+  // The SoC is scoped to this run; fold whatever it executed (possibly
+  // nothing, on pre-boot protocol failures) into the profiler on the way
+  // out and release the dangling attachment.
+  struct ProfileCapture {
+    profile::ClusterProfiler* p;
+    ~ProfileCapture() {
+      if (p != nullptr) {
+        p->capture();
+        p->detach();
+      }
+    }
+  } profile_capture{profiler_};
 
   OffloadOutcome out;
   const std::vector<u8> image = isa::serialize(*request.program);

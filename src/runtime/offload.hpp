@@ -24,6 +24,7 @@
 #include "link/fault_injector.hpp"
 #include "link/spi_link.hpp"
 #include "power/pulp_power.hpp"
+#include "profile/profile.hpp"
 #include "soc/pulp_soc.hpp"
 #include "trace/event_trace.hpp"
 
@@ -147,6 +148,14 @@ class OffloadSession {
                     std::string track_name = "offload",
                     bool trace_cluster = false);
 
+  /// Attach a cycle/energy attribution profiler (not owned; nullptr
+  /// detaches). Each run()'s cluster simulation is profiled and captured
+  /// into the profiler's accumulating DomainProfile — per-pc hotspots,
+  /// call tree and stall buckets, identical across stepping modes.
+  void attach_profile(profile::ClusterProfiler* profiler) {
+    profiler_ = profiler;
+  }
+
   /// Enable the robust offload protocol: every framed transfer carries a
   /// CRC-32 trailer (the link's per-transfer cost grows by 32 bits —
   /// satellite of Figure 5b's framing overhead), transfer attempts draw
@@ -200,6 +209,7 @@ class OffloadSession {
   link::FaultInjector* injector_ = nullptr;
   RetryPolicy retry_policy_;
   std::optional<bool> reference_stepping_;
+  profile::ClusterProfiler* profiler_ = nullptr;
 
   trace::Sinks sinks_;
   std::string trace_name_;

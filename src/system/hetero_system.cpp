@@ -128,10 +128,18 @@ void HeteroSystem::load_host_program(const isa::Program& program) {
   accel_started_ = false;
   ratio_.reset();
   host_cycles_ = 0;
+  host_link_bound_cycles_ = 0;
 }
 
 void HeteroSystem::step() {
-  host_core_->step();
+  // Sample the wire before the host acts: a cycle is link-bound when the
+  // host executes with a transfer already in flight (poll loops, drains),
+  // not when this very cycle kicks a transfer off.
+  const bool wire_was_busy = wire_->busy();
+  const core::StepState hs = host_core_->step();
+  if (hs == core::StepState::kActive && wire_was_busy) {
+    ++host_link_bound_cycles_;
+  }
   wire_->step();
   ++host_cycles_;
   if (sinks_) trace_sample();
@@ -225,6 +233,7 @@ HeteroStats HeteroSystem::stats() const {
   s.cluster_cycles = soc_->cluster().cycles();
   s.wire_bytes = wire_->bytes_moved();
   s.wire_busy_host_cycles = wire_->busy_cycles();
+  s.host_link_bound_cycles = host_link_bound_cycles_;
   s.accel_started = accel_started_;
   s.link_frames = wire_->frames();
   s.link_crc_errors = wire_->crc_errors();

@@ -59,6 +59,11 @@ struct HeteroStats {
   u64 cluster_cycles = 0;
   u64 wire_bytes = 0;
   u64 wire_busy_host_cycles = 0;
+  /// Host cycles spent executing while an SPI transfer was already in
+  /// flight — the profiler's "host link-bound" stall bucket (a subset of
+  /// the host core's active cycles; counted per real step in both
+  /// stepping modes, so profiles stay bit-identical).
+  u64 host_link_bound_cycles = 0;
   bool accel_started = false;
   u64 link_frames = 0;      ///< Completed wire transfers.
   u64 link_crc_errors = 0;  ///< Frames that failed their integrity check.
@@ -96,6 +101,10 @@ class HeteroSystem {
   void attach_trace(const trace::Sinks& sinks);
 
   [[nodiscard]] core::Core& host_core() { return *host_core_; }
+  /// The currently loaded bare-metal driver (for annotated disassembly).
+  [[nodiscard]] const isa::Program& host_program() const {
+    return host_program_;
+  }
   [[nodiscard]] mem::Sram& host_sram() { return *host_sram_; }
   [[nodiscard]] soc::PulpSoc& soc() { return *soc_; }
   [[nodiscard]] link::SpiWire& wire() { return *wire_; }
@@ -133,6 +142,7 @@ class HeteroSystem {
   bool accel_started_ = false;
   bool reference_stepping_ = false;  ///< Mirrors the cluster's mode.
   u64 host_cycles_ = 0;
+  u64 host_link_bound_cycles_ = 0;
 
   // Tracing state (inert unless attach_trace() was called).
   trace::Sinks sinks_;

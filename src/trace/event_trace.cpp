@@ -34,6 +34,7 @@ void EventTrace::begin(TrackId track, std::string_view name, u64 tick,
   open_[track].push_back(events_.size());
   events_.push_back(std::move(e));
   last_tick_[track] = std::max(last_tick_[track], tick);
+  maybe_compact();
 }
 
 void EventTrace::end(TrackId track, u64 tick) {
@@ -61,6 +62,7 @@ void EventTrace::complete(TrackId track, std::string_view name,
   e.args = std::move(args);
   events_.push_back(std::move(e));
   last_tick_[track] = std::max(last_tick_[track], begin_tick + duration_ticks);
+  maybe_compact();
 }
 
 void EventTrace::instant(TrackId track, std::string_view name, u64 tick,
@@ -75,6 +77,7 @@ void EventTrace::instant(TrackId track, std::string_view name, u64 tick,
   e.args = std::move(args);
   events_.push_back(std::move(e));
   last_tick_[track] = std::max(last_tick_[track], tick);
+  maybe_compact();
 }
 
 void EventTrace::counter(TrackId track, std::string_view name, u64 tick,
@@ -89,6 +92,44 @@ void EventTrace::counter(TrackId track, std::string_view name, u64 tick,
   e.value = value;
   events_.push_back(std::move(e));
   last_tick_[track] = std::max(last_tick_[track], tick);
+  maybe_compact();
+}
+
+void EventTrace::set_event_limit(size_t limit) {
+  ULP_CHECK(limit == 0 || limit >= 16,
+            "trace event limit must be 0 (unbounded) or at least 16");
+  limit_ = limit;
+  maybe_compact();
+}
+
+void EventTrace::maybe_compact() {
+  if (limit_ == 0 || events_.size() <= limit_) return;
+  // Evict down to 3/4 of the cap so eviction is amortised, oldest closed
+  // events first. Open spans must survive: their indices live in the
+  // per-track stacks and their ends are still to come.
+  const size_t keep_target = limit_ - limit_ / 4;
+  const size_t to_drop = events_.size() - keep_target;
+  std::vector<u8> is_open(events_.size(), 0);
+  for (const std::vector<size_t>& stack : open_) {
+    for (const size_t idx : stack) is_open[idx] = 1;
+  }
+  std::vector<Event> kept;
+  kept.reserve(events_.size() - to_drop);
+  std::vector<size_t> remap(events_.size(), 0);
+  size_t dropped = 0;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (is_open[i] == 0 && dropped < to_drop) {
+      ++dropped;
+      continue;
+    }
+    remap[i] = kept.size();
+    kept.push_back(std::move(events_[i]));
+  }
+  events_ = std::move(kept);
+  for (std::vector<size_t>& stack : open_) {
+    for (size_t& idx : stack) idx = remap[idx];
+  }
+  dropped_events_ += dropped;
 }
 
 void EventTrace::close_open_spans() {

@@ -80,6 +80,15 @@ class EventTrace {
   TrackId add_track(std::string name, double ticks_per_second = 1e9,
                     int sort_index = 0);
 
+  /// Bounds the trace to roughly `limit` events (0 = unbounded, the
+  /// default). When the cap trips, the oldest closed events are evicted —
+  /// open spans always survive — down to 3/4 of the cap, and
+  /// dropped_events() counts the evictions. Long fuzz/campaign runs keep a
+  /// sliding window of recent activity instead of growing without bound.
+  void set_event_limit(size_t limit);
+  [[nodiscard]] size_t event_limit() const { return limit_; }
+  [[nodiscard]] u64 dropped_events() const { return dropped_events_; }
+
   /// Opens a nested span on `track` at `tick`. Spans on one track must be
   /// closed in LIFO order.
   void begin(TrackId track, std::string_view name, u64 tick,
@@ -121,11 +130,15 @@ class EventTrace {
 
  private:
   void check_track(TrackId track) const;
+  /// Ring-buffer eviction once the event cap trips (see set_event_limit).
+  void maybe_compact();
 
   std::vector<Track> tracks_;
   std::vector<Event> events_;
   std::vector<std::vector<size_t>> open_;  ///< Per-track open-span stack.
   std::vector<u64> last_tick_;             ///< Per-track newest timestamp.
+  size_t limit_ = 0;                       ///< 0 = unbounded.
+  u64 dropped_events_ = 0;
 };
 
 }  // namespace ulp::trace

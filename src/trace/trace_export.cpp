@@ -1,19 +1,63 @@
 #include "trace/trace_export.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <map>
 #include <sstream>
 
+#include "common/ratio.hpp"
+
 namespace ulp::trace {
 
 namespace {
 
-/// Microseconds of simulated real time for `tick` on `track`.
-double ticks_to_us(const EventTrace::Track& track, u64 tick) {
-  return static_cast<double>(tick) / track.ticks_per_second * 1e6;
+/// Tick -> real-time conversion for one track. For the normal case of an
+/// integral tick rate (every clock frequency is), timestamps go through
+/// the exact integer picoseconds-per-tick ratio: multiply first in 128-bit,
+/// divide once. Converting each track's raw tick count through its own
+/// double expression instead rounds differently per track, which skews
+/// host spans against cluster spans on the shared export timeline.
+class TickScale {
+ public:
+  explicit TickScale(const EventTrace::Track& track) {
+    const double tps = track.ticks_per_second;
+    const double rounded = std::round(tps);
+    if (std::abs(tps - rounded) < 1e-3 && rounded >= 1.0 &&
+        rounded <= 1e12) {
+      const ClockRatio ps_per_tick = ClockRatio::from_fraction(
+          1'000'000'000'000ull, static_cast<u64>(rounded));
+      num_ = ps_per_tick.numerator();
+      den_ = ps_per_tick.denominator();
+      exact_ = true;
+    } else {
+      inv_us_ = 1e6 / tps;  // fractional rates: best-effort double path
+    }
+  }
+
+  /// Microseconds of simulated real time for `tick`.
+  [[nodiscard]] double us(u64 tick) const {
+    if (exact_) {
+      const auto ps = static_cast<unsigned __int128>(tick) * num_ / den_;
+      return static_cast<double>(ps) / 1e6;
+    }
+    return static_cast<double>(tick) * inv_us_;
+  }
+
+ private:
+  bool exact_ = false;
+  u64 num_ = 1;
+  u64 den_ = 1;
+  double inv_us_ = 0.0;
+};
+
+std::vector<TickScale> track_scales(const EventTrace& trace) {
+  std::vector<TickScale> scales;
+  scales.reserve(trace.tracks().size());
+  for (const EventTrace::Track& t : trace.tracks()) scales.emplace_back(t);
+  return scales;
 }
 
 void write_args(std::ostream& os, const std::vector<EventTrace::Arg>& args) {
@@ -78,14 +122,14 @@ Status write_chrome_trace(EventTrace& trace, std::ostream& out) {
        << tracks[t].sort_index << "}}";
   }
 
+  const std::vector<TickScale> scales = track_scales(trace);
   for (const EventTrace::Event& e : trace.events()) {
-    const EventTrace::Track& track = tracks[e.track];
-    const double ts = ticks_to_us(track, e.begin_tick);
+    const TickScale& scale = scales[e.track];
+    const double ts = scale.us(e.begin_tick);
     sep();
     switch (e.kind) {
       case EventTrace::EventKind::kSpan: {
-        const double dur =
-            ticks_to_us(track, e.end_tick) - ticks_to_us(track, e.begin_tick);
+        const double dur = scale.us(e.end_tick) - scale.us(e.begin_tick);
         os << R"({"ph":"X","pid":1,"tid":)" << e.track << ",\"name\":\""
            << json_escape(e.name) << "\",\"ts\":" << ts << ",\"dur\":" << dur
            << ",";
@@ -124,6 +168,70 @@ Status write_chrome_trace_file(EventTrace& trace, const std::string& path) {
   return write_chrome_trace(trace, out);
 }
 
+namespace {
+
+/// Shortest round-trippable double: %.17g recovers the exact bits, so the
+/// JSON is byte-stable across runs and worker counts.
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsRegistry& metrics) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : metrics.counters()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : metrics.gauges()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + json_double(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h->count());
+    out += ",\"sum\":" + std::to_string(h->sum());
+    out += ",\"min\":" + std::to_string(h->min());
+    out += ",\"max\":" + std::to_string(h->max());
+    out += ",\"mean\":" + json_double(h->mean());
+    out += ",\"p50\":" + std::to_string(h->approx_quantile(0.5));
+    out += ",\"p99\":" + std::to_string(h->approx_quantile(0.99));
+    out += ",\"buckets\":[";
+    const size_t n = h->significant_buckets();
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(h->bucket(i));
+    }
+    out += "]}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+Status write_metrics_json_file(const MetricsRegistry& metrics,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::Error("metrics export: cannot open " + path);
+  }
+  out << metrics_to_json(metrics);
+  out.flush();
+  if (!out.good()) return Status::Error("metrics export: stream write failed");
+  return {};
+}
+
 std::string profile_report(EventTrace& trace, const MetricsRegistry* metrics) {
   trace.close_open_spans();
   std::ostringstream os;
@@ -134,6 +242,7 @@ std::string profile_report(EventTrace& trace, const MetricsRegistry* metrics) {
     u64 count = 0;
   };
   const auto& tracks = trace.tracks();
+  const std::vector<TickScale> scales = track_scales(trace);
   for (size_t t = 0; t < tracks.size(); ++t) {
     std::map<std::string, Agg> by_name;
     u64 busy_ticks = 0;  // depth-0 only, so nesting is not double-counted
@@ -152,8 +261,8 @@ std::string profile_report(EventTrace& trace, const MetricsRegistry* metrics) {
       return a.second.ticks > b.second.ticks;
     });
 
-    os << tracks[t].name << " (busy "
-       << ticks_to_us(tracks[t], busy_ticks) / 1e3 << " ms):\n";
+    os << tracks[t].name << " (busy " << scales[t].us(busy_ticks) / 1e3
+       << " ms):\n";
     const size_t top = std::min<size_t>(rows.size(), 10);
     for (size_t i = 0; i < top; ++i) {
       const auto& [name, a] = rows[i];
@@ -164,7 +273,7 @@ std::string profile_report(EventTrace& trace, const MetricsRegistry* metrics) {
       char line[160];
       std::snprintf(line, sizeof line,
                     "  %-28s %12.3f us  x%-7llu %5.1f%%\n", name.c_str(),
-                    ticks_to_us(tracks[t], a.ticks),
+                    scales[t].us(a.ticks),
                     static_cast<unsigned long long>(a.count), share);
       os << line;
     }

@@ -36,4 +36,14 @@ Status write_chrome_trace_file(EventTrace& trace, const std::string& path);
 [[nodiscard]] std::string profile_report(EventTrace& trace,
                                          const MetricsRegistry* metrics);
 
+/// The registry as deterministic JSON: keys in map (name) order, doubles
+/// rendered %.17g, histograms with count/sum/min/max/mean/quantiles and
+/// their significant log2 buckets. Matches the CSV path's determinism
+/// contract — byte-identical for identical metric contents.
+[[nodiscard]] std::string metrics_to_json(const MetricsRegistry& metrics);
+
+/// Convenience: write metrics_to_json() to a file path.
+Status write_metrics_json_file(const MetricsRegistry& metrics,
+                               const std::string& path);
+
 }  // namespace ulp::trace

@@ -35,6 +35,9 @@ void expect_same_perf(const core::PerfCounters& ref,
   EXPECT_EQ(ref.cycles, ff.cycles) << what;
   EXPECT_EQ(ref.active_cycles, ff.active_cycles) << what;
   EXPECT_EQ(ref.sleep_cycles, ff.sleep_cycles) << what;
+  EXPECT_EQ(ref.sleep_barrier_cycles, ff.sleep_barrier_cycles) << what;
+  EXPECT_EQ(ref.sleep_dma_cycles, ff.sleep_dma_cycles) << what;
+  EXPECT_EQ(ref.sleep_event_cycles, ff.sleep_event_cycles) << what;
   EXPECT_EQ(ref.halted_cycles, ff.halted_cycles) << what;
   EXPECT_EQ(ref.stall_mem, ff.stall_mem) << what;
   EXPECT_EQ(ref.stall_icache, ff.stall_icache) << what;

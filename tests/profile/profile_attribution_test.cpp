@@ -1,0 +1,333 @@
+// Attribution correctness of the cycle profiler.
+//
+// Two properties anchor the whole subsystem and are asserted here over
+// every workload class:
+//
+//  * conservation — every cycle a core observes lands in exactly one stall
+//    bucket, and the per-pc cycle attribution (plus halted time, which is
+//    attributed to no pc) sums back to the core's cycle counter;
+//  * mode identity — the profile captured under the per-cycle reference
+//    scheduler is *bit-identical* (via the deterministic JSON form) to the
+//    one captured under quiescence fast-forward, for Table I kernels, DMA
+//    drain shapes, barrier storms and faulty-link retry runs.
+//
+// `ctest -L profile` runs this suite.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "codegen/builder.hpp"
+#include "kernels/kernel.hpp"
+#include "link/fault_injector.hpp"
+#include "profile/profile.hpp"
+#include "profile/report.hpp"
+#include "runtime/offload.hpp"
+#include "system/hetero_system.hpp"
+#include "system/host_driver.hpp"
+
+namespace ulp {
+namespace {
+
+using cluster::Cluster;
+using codegen::Builder;
+using isa::Opcode;
+using kernels::Target;
+
+/// Runs one cluster program under a profiler in the given stepping mode.
+profile::DomainProfile profile_program(const isa::Program& prog,
+                                       const std::vector<u8>& input,
+                                       Addr input_addr, bool reference,
+                                       u32 num_cores = 4) {
+  cluster::ClusterParams params;
+  params.num_cores = num_cores;
+  params.reference_stepping = reference;
+  Cluster cl(params);
+  profile::ClusterProfiler prof;
+  prof.attach(cl);
+  cl.load_program(prog);
+  for (size_t i = 0; i < input.size(); ++i) {
+    cl.bus().debug_store(input_addr + static_cast<Addr>(i), 1, input[i]);
+  }
+  cl.run();
+  prof.capture();
+  return prof.data();
+}
+
+profile::DomainProfile profile_case(const kernels::KernelCase& kc,
+                                    bool reference) {
+  return profile_program(kc.program, kc.input, kc.input_addr, reference);
+}
+
+void expect_conserved(const profile::DomainProfile& d,
+                      const std::string& what) {
+  EXPECT_TRUE(d.conserved()) << what;
+  for (size_t i = 0; i < d.cores.size(); ++i) {
+    const profile::CoreProfileData& c = d.cores[i];
+    EXPECT_EQ(c.buckets().total(), c.perf.cycles)
+        << what << " core " << i << ": bucket decomposition must cover "
+        << "every cycle exactly once";
+    u64 attributed = 0;
+    u64 retired = 0;
+    for (const profile::PcCount& p : c.pcs) {
+      attributed += p.cycles;
+      retired += p.instrs;
+    }
+    EXPECT_EQ(attributed + c.perf.halted_cycles,
+              c.perf.cycles + c.busy_remaining)
+        << what << " core " << i;
+    EXPECT_EQ(retired, c.perf.instrs) << what << " core " << i;
+    // Frame cycles shadow pc cycles: each attribution lands in one pc slot
+    // and one call-tree frame.
+    u64 frame_cycles = 0;
+    for (const profile::PcProfile::Frame& f : c.frames) {
+      frame_cycles += f.cycles;
+    }
+    EXPECT_EQ(frame_cycles, attributed) << what << " core " << i;
+  }
+}
+
+void expect_identical(const profile::DomainProfile& ref,
+                      const profile::DomainProfile& ff,
+                      const std::string& what) {
+  EXPECT_EQ(profile::to_json(ref), profile::to_json(ff)) << what;
+}
+
+// Every Table I kernel: conservation in both modes, bit-identical profiles
+// across modes, and a sane hotspot census (instructions actually landed).
+TEST(ProfileAttribution, TableOneKernelsConserveAndMatchAcrossModes) {
+  const auto cfg = core::or10n_config();
+  for (const kernels::KernelInfo& info : kernels::all_kernels()) {
+    const auto kc = info.factory(cfg.features, 4, Target::kCluster, 7);
+    const profile::DomainProfile ref = profile_case(kc, /*reference=*/true);
+    const profile::DomainProfile ff = profile_case(kc, /*reference=*/false);
+    expect_conserved(ref, info.name + " (ref)");
+    expect_conserved(ff, info.name + " (ff)");
+    expect_identical(ref, ff, info.name);
+    EXPECT_GT(ref.cores[0].perf.instrs, 0u) << info.name;
+    EXPECT_FALSE(ref.code.empty()) << info.name;
+  }
+}
+
+TEST(ProfileAttribution, ExtensionKernelsConserveAndMatchAcrossModes) {
+  const auto cfg = core::or10n_config();
+  for (const kernels::KernelInfo& info : kernels::extension_kernels()) {
+    const auto kc = info.factory(cfg.features, 4, Target::kCluster, 11);
+    const profile::DomainProfile ref = profile_case(kc, /*reference=*/true);
+    const profile::DomainProfile ff = profile_case(kc, /*reference=*/false);
+    expect_conserved(ref, info.name + " (ref)");
+    expect_conserved(ff, info.name + " (ff)");
+    expect_identical(ref, ff, info.name);
+  }
+}
+
+// WFE sleep on DMA completion — the fast-forward scheduler bulk-advances
+// these windows, and the profiler must attribute them to the sleeping pc
+// and the dma_wait bucket identically in both modes.
+TEST(ProfileAttribution, DmaWaitSleepAttributesIdentically) {
+  Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  const auto other = bld.make_label();
+  bld.branch(Opcode::kBne, 1, codegen::zero, other);
+  bld.li(20, cluster::kL2Base);
+  bld.li(21, cluster::kTcdmBase);
+  bld.li(22, 16384);
+  bld.dma_start(25, 20, 21, 22);
+  const auto wait = bld.make_label();
+  bld.bind(wait);
+  bld.emit(Opcode::kLw, 26, 25, 0, 0x10);  // STATUS
+  const auto done = bld.make_label();
+  bld.branch(Opcode::kBeq, 26, codegen::zero, done);
+  bld.emit(Opcode::kWfe);
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, wait);
+  bld.bind(done);
+  bld.eoc();
+  bld.bind(other);
+  bld.halt();
+  const auto prog = bld.finalize();
+
+  const auto ref = profile_program(prog, {}, 0, /*reference=*/true);
+  const auto ff = profile_program(prog, {}, 0, /*reference=*/false);
+  expect_conserved(ref, "dma wait (ref)");
+  expect_conserved(ff, "dma wait (ff)");
+  expect_identical(ref, ff, "dma wait");
+  // The WFE windows must land in the dma_wait bucket, not event_wait: the
+  // core sleeps with a DMA transfer outstanding.
+  EXPECT_GT(ref.cores[0].buckets().dma_wait, 1000u);
+  EXPECT_EQ(ref.cores[0].buckets().event_wait, 0u);
+}
+
+// Barrier storm: hundreds of park/wake rounds with skewed arrivals. The
+// sleep windows must all land in the barrier bucket, identically across
+// modes.
+TEST(ProfileAttribution, BarrierStormAttributesIdentically) {
+  Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  bld.li(2, 200);
+  const auto loop = bld.make_label();
+  bld.bind(loop);
+  // Skew arrival: core i burns i*3 add cycles before the barrier.
+  bld.li(3, 3);
+  bld.emit(Opcode::kMul, 4, 1, 3);
+  const auto spin = bld.make_label();
+  bld.bind(spin);
+  bld.emit(Opcode::kAddi, 4, 4, 0, -1);
+  bld.branch(Opcode::kBge, 4, codegen::zero, spin);
+  bld.barrier();
+  bld.emit(Opcode::kAddi, 2, 2, 0, -1);
+  bld.branch(Opcode::kBne, 2, codegen::zero, loop);
+  const auto fin = bld.make_label();
+  bld.branch(Opcode::kBne, 1, codegen::zero, fin);
+  bld.eoc();
+  bld.bind(fin);
+  bld.halt();
+  const auto prog = bld.finalize();
+
+  const auto ref = profile_program(prog, {}, 0, /*reference=*/true);
+  const auto ff = profile_program(prog, {}, 0, /*reference=*/false);
+  expect_conserved(ref, "barrier storm (ref)");
+  expect_conserved(ff, "barrier storm (ff)");
+  expect_identical(ref, ff, "barrier storm");
+  EXPECT_GT(ref.buckets().barrier, 0u);
+}
+
+// Faulty-link robust offload: watchdog expiries re-boot the cluster
+// mid-run, CRC rejects force retransmissions. The captured profile (the
+// final kernel execution) must still conserve and stay mode-identical.
+TEST(ProfileAttribution, FaultyLinkRetriesStayModeIdentical) {
+  const auto cfg = core::or10n_config();
+  const kernels::KernelInfo& info = kernels::all_kernels().front();
+  const auto kc = info.factory(cfg.features, 4, Target::kCluster, 3);
+
+  auto run = [&](bool reference) {
+    const host::McuSpec& mcu = host::stm32l476();
+    link::SpiLinkConfig lcfg;
+    lcfg.lanes = mcu.spi_lanes;
+    lcfg.max_freq_hz = mcu.spi_max_hz;
+    runtime::OffloadSession session(mcu, mhz(16), link::SpiLink(lcfg));
+    session.set_reference_stepping(reference);
+    link::FaultConfig fcfg;
+    const Status ps = link::FaultInjector::parse("seed=5,flip=2e-5", &fcfg);
+    EXPECT_TRUE(ps.ok()) << ps.message();
+    link::FaultInjector injector(fcfg);
+    session.attach_faults(&injector);
+    profile::ClusterProfiler prof;
+    session.attach_profile(&prof);
+    const power::OperatingPoint op{0.5, mhz(16)};
+    const runtime::OffloadOutcome out =
+        runtime::run_with_host_fallback(session, kc.offload_request(), op, 4);
+    EXPECT_EQ(out.output, kc.expected);
+    return profile::to_json(prof.data());
+  };
+
+  const std::string ref = run(true);
+  const std::string ff = run(false);
+  EXPECT_EQ(ref, ff);
+  EXPECT_NE(ref.find("\"conserved\":true"), std::string::npos);
+}
+
+// Co-simulated offload: the host MCU profile must conserve too, with the
+// link-bound bucket a subset of its active cycles, and both domains must
+// be mode-identical.
+TEST(ProfileAttribution, CosimHostProfileConservesAndMatchesAcrossModes) {
+  const auto cfg = core::or10n_config();
+  const kernels::KernelInfo& info = kernels::all_kernels().front();
+  const auto kc = info.factory(cfg.features, 4, Target::kCluster, 9);
+  const system::FullSystemPackage pkg = system::package_offload(kc);
+
+  auto run = [&](bool reference) {
+    system::HeteroSystemParams params;
+    params.mcu_freq_hz = mhz(16);
+    params.pulp_freq_hz = mhz(16);
+    params.cluster_params.reference_stepping = reference;
+    system::HeteroSystem sys(params);
+    profile::ClusterProfiler cluster_prof;
+    profile::CoreProfiler host_prof;
+    cluster_prof.attach(sys.soc().cluster());
+    host_prof.attach(sys.host_core());
+    const system::SystemOffloadResult res =
+        system::run_offload_with_fallback(sys, pkg);
+    EXPECT_EQ(res.output, kc.expected);
+    cluster_prof.capture();
+    host_prof.capture(sys.host_program(),
+                      sys.stats().host_link_bound_cycles);
+    profile::JobProfile jp;
+    jp.collected = true;
+    jp.cluster = cluster_prof.data();
+    jp.has_host = true;
+    jp.host = host_prof.data();
+    return jp;
+  };
+
+  const profile::JobProfile ref = run(true);
+  const profile::JobProfile ff = run(false);
+  expect_conserved(ref.cluster, "cosim cluster (ref)");
+  expect_conserved(ref.host, "cosim host (ref)");
+  EXPECT_EQ(profile::to_json(ref), profile::to_json(ff));
+  // The host driver polls/streams while the wire moves bytes: the run must
+  // observe link-bound execute cycles, and they stay within active time.
+  const profile::CycleBuckets hb = ref.host.buckets();
+  EXPECT_GT(hb.link_bound, 0u);
+  EXPECT_LE(hb.link_bound, ref.host.cores[0].perf.active_cycles);
+}
+
+// Call-tree frames: a jal/jalr subroutine pair must produce a child frame
+// keyed by the callee entry pc, and popping on return (the kernels with
+// subroutines — matmul_tiled, strassen, hog — also exercise this path in
+// the kernel sweep above).
+TEST(ProfileAttribution, JalJalrBuildsCallTree) {
+  Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  const auto other = bld.make_label();
+  bld.branch(Opcode::kBne, 1, codegen::zero, other);
+  const auto callee = bld.make_label();
+  bld.li(5, 10);
+  const auto loop = bld.make_label();
+  bld.bind(loop);
+  bld.jal(31, callee);  // call
+  bld.emit(Opcode::kAddi, 5, 5, 0, -1);
+  bld.branch(Opcode::kBne, 5, codegen::zero, loop);
+  bld.eoc();
+  bld.bind(callee);
+  bld.emit(Opcode::kAddi, 6, 6, 0, 1);
+  bld.emit(Opcode::kJalr, 0, 31, 0);  // return
+  bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, loop);  // unreached
+  bld.bind(other);
+  bld.halt();
+  const auto prog = bld.finalize();
+
+  const auto d = profile_program(prog, {}, 0, /*reference=*/false, 1);
+  expect_conserved(d, "call tree");
+  ASSERT_GE(d.cores[0].frames.size(), 2u);
+  // Exactly one non-root frame: the callee, child of root, entered 10x.
+  bool found_callee = false;
+  for (size_t i = 1; i < d.cores[0].frames.size(); ++i) {
+    const auto& f = d.cores[0].frames[i];
+    if (f.parent == 0 && f.cycles > 0) found_callee = true;
+  }
+  EXPECT_TRUE(found_callee);
+  EXPECT_EQ(d.cores[0].truncated_calls, 0u);
+}
+
+// An aborted run (cycle budget expires mid-kernel) must still conserve:
+// cycles attributed at issue but not yet consumed are reported as
+// busy_remaining.
+TEST(ProfileAttribution, AbortedRunConservesViaBusyRemaining) {
+  const auto cfg = core::or10n_config();
+  const kernels::KernelInfo& info = kernels::all_kernels().front();
+  const auto kc = info.factory(cfg.features, 4, Target::kCluster, 7);
+  cluster::ClusterParams params;
+  params.reference_stepping = true;
+  Cluster cl(params);
+  profile::ClusterProfiler prof;
+  prof.attach(cl);
+  cl.load_program(kc.program);
+  for (size_t i = 0; i < kc.input.size(); ++i) {
+    cl.bus().debug_store(kc.input_addr + static_cast<Addr>(i), 1,
+                         kc.input[i]);
+  }
+  for (int i = 0; i < 500; ++i) cl.step();  // abandon mid-run
+  prof.capture();
+  expect_conserved(prof.data(), "aborted run");
+}
+
+}  // namespace
+}  // namespace ulp

@@ -1,0 +1,134 @@
+// Campaign-level profile aggregation: the `profile = 1` campaign knob,
+// per-job conservation on both engines, and the determinism contract —
+// batch::profile_json byte-identical across worker counts and across
+// reference/fast-forward stepping. `ctest -L profile` runs this suite.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "batch/aggregate.hpp"
+#include "batch/campaign.hpp"
+#include "batch/engine.hpp"
+#include "profile/report.hpp"
+
+namespace ulp {
+namespace {
+
+batch::RunOptions with_workers(u32 n) {
+  batch::RunOptions options;
+  options.workers = n;
+  return options;
+}
+
+batch::CampaignSpec small_profiled_spec() {
+  batch::CampaignSpec spec;
+  spec.kernels = {"matmul"};
+  spec.num_cores = {1, 4};
+  spec.repeats = 2;
+  spec.base_seed = 9;
+  spec.collect_profile = true;
+  return spec;
+}
+
+TEST(ProfileCampaign, ParserAcceptsProfileKey) {
+  batch::CampaignSpec spec;
+  ASSERT_TRUE(
+      batch::parse_campaign_text("kernels = matmul\nprofile = 1\n", &spec)
+          .ok());
+  EXPECT_TRUE(spec.collect_profile);
+
+  batch::CampaignSpec off;
+  ASSERT_TRUE(
+      batch::parse_campaign_text("kernels = matmul\nprofile = 0\n", &off)
+          .ok());
+  EXPECT_FALSE(off.collect_profile);
+}
+
+TEST(ProfileCampaign, ExpandStampsCollectProfileOnEveryJob) {
+  const auto jobs = batch::expand(small_profiled_spec());
+  ASSERT_EQ(jobs.size(), 4u);
+  for (const auto& j : jobs) EXPECT_TRUE(j.collect_profile);
+}
+
+TEST(ProfileCampaign, AnalyticJobsCollectConservedProfiles) {
+  const batch::CampaignResult result =
+      batch::run_campaign(small_profiled_spec(), with_workers(0));
+  ASSERT_EQ(result.jobs.size(), 4u);
+  for (const auto& j : result.jobs) {
+    ASSERT_TRUE(j.status.ok()) << j.spec.label();
+    ASSERT_TRUE(j.profile.collected) << j.spec.label();
+    EXPECT_FALSE(j.profile.has_host) << "analytic engine has no host core";
+    EXPECT_TRUE(j.profile.cluster.conserved()) << j.spec.label();
+    // The profile saw real work, not an empty capture.
+    u64 instrs = 0;
+    for (const auto& c : j.profile.cluster.cores) instrs += c.perf.instrs;
+    EXPECT_GT(instrs, 0u) << j.spec.label();
+  }
+}
+
+TEST(ProfileCampaign, UnprofiledCampaignLeavesProfilesEmpty) {
+  batch::CampaignSpec spec = small_profiled_spec();
+  spec.collect_profile = false;
+  spec.num_cores = {4};
+  spec.repeats = 1;
+  const batch::CampaignResult result = batch::run_campaign(spec, {});
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_FALSE(result.jobs[0].profile.collected);
+  // profile_json still emits a (job-less) document.
+  const std::string json = batch::profile_json(result);
+  EXPECT_NE(json.find("\"jobs\""), std::string::npos);
+  EXPECT_EQ(json.find("\"collected\""), std::string::npos);
+}
+
+// The headline determinism contract: the aggregated profile document is
+// byte-identical whether the campaign ran inline, on one worker or four.
+TEST(ProfileCampaign, ProfileJsonByteIdenticalAcrossWorkerCounts) {
+  const batch::CampaignSpec spec = small_profiled_spec();
+  const std::string inline_json =
+      batch::profile_json(batch::run_campaign(spec, with_workers(0)));
+  const std::string one_worker =
+      batch::profile_json(batch::run_campaign(spec, with_workers(1)));
+  const std::string four_workers =
+      batch::profile_json(batch::run_campaign(spec, with_workers(4)));
+  EXPECT_EQ(inline_json, one_worker);
+  EXPECT_EQ(inline_json, four_workers);
+  EXPECT_NE(inline_json.find("\"groups\""), std::string::npos);
+  EXPECT_NE(inline_json.find("matmul/cores4"), std::string::npos);
+}
+
+// Attribution lumps whole instruction costs at their charge points, so the
+// fast-forward scheduler must reproduce the reference profile bit for bit
+// — campaign-wide, not just per session.
+TEST(ProfileCampaign, ProfileJsonByteIdenticalAcrossSteppingModes) {
+  batch::CampaignSpec ref = small_profiled_spec();
+  ref.reference_stepping = true;
+  batch::CampaignSpec ff = small_profiled_spec();
+  ff.reference_stepping = false;
+  const std::string ref_json =
+      batch::profile_json(batch::run_campaign(ref, {}));
+  const std::string ff_json = batch::profile_json(batch::run_campaign(ff, {}));
+  EXPECT_EQ(ref_json, ff_json);
+}
+
+TEST(ProfileCampaign, CosimJobsCollectHostAndClusterProfiles) {
+  batch::CampaignSpec spec;
+  spec.engine = batch::Engine::kCosim;
+  spec.kernels = {"matmul"};
+  spec.num_cores = {4};
+  spec.collect_profile = true;
+  const batch::CampaignResult result = batch::run_campaign(spec, {});
+  ASSERT_EQ(result.jobs.size(), 1u);
+  const auto& j = result.jobs[0];
+  ASSERT_TRUE(j.status.ok()) << j.status.message();
+  ASSERT_TRUE(j.profile.collected);
+  ASSERT_TRUE(j.profile.has_host);
+  EXPECT_TRUE(j.profile.cluster.conserved());
+  EXPECT_TRUE(j.profile.host.conserved());
+  // The host profile carries link-bound stall cycles from the offload.
+  EXPECT_GT(j.profile.host.buckets().link_bound, 0u);
+  const std::string json = profile::to_json(j.profile);
+  EXPECT_NE(json.find("\"host\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ulp

@@ -1,0 +1,234 @@
+// Report emitters, the cross-clock-domain export rebase, the event-trace
+// ring buffer, the metrics JSON emitter and the derived power timeline.
+// `ctest -L profile` runs this suite.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "kernels/kernel.hpp"
+#include "profile/energy_timeline.hpp"
+#include "profile/profile.hpp"
+#include "profile/report.hpp"
+#include "trace/event_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace_export.hpp"
+
+namespace ulp {
+namespace {
+
+using kernels::Target;
+
+profile::DomainProfile profile_first_kernel() {
+  const auto cfg = core::or10n_config();
+  const kernels::KernelInfo& info = kernels::all_kernels().front();
+  const auto kc = info.factory(cfg.features, 4, Target::kCluster, 7);
+  cluster::Cluster cl(cluster::ClusterParams{});
+  profile::ClusterProfiler prof;
+  prof.attach(cl);
+  cl.load_program(kc.program);
+  for (size_t i = 0; i < kc.input.size(); ++i) {
+    cl.bus().debug_store(kc.input_addr + static_cast<Addr>(i), 1,
+                         kc.input[i]);
+  }
+  cl.run();
+  prof.capture();
+  return prof.data();
+}
+
+TEST(ProfileReport, AnnotatedDisassemblyListsEveryExecutedLine) {
+  const profile::DomainProfile d = profile_first_kernel();
+  const std::string full = profile::annotated_disassembly(d);
+  // The unbounded listing annotates the whole program, one line per pc.
+  size_t lines = 0;
+  for (const char ch : full) lines += ch == '\n';
+  EXPECT_EQ(lines, d.code.size() + 1) << "header + one line per code word";
+
+  const std::string top = profile::annotated_disassembly(d, 5);
+  size_t top_lines = 0;
+  for (const char ch : top) top_lines += ch == '\n';
+  EXPECT_EQ(top_lines, 6u) << "header + the 5 hottest lines";
+  EXPECT_NE(full.find("cycles"), std::string::npos);
+}
+
+TEST(ProfileReport, FoldedStacksSumToAttributedCycles) {
+  const profile::DomainProfile d = profile_first_kernel();
+  const std::string folded = profile::folded_stacks(d);
+  ASSERT_FALSE(folded.empty());
+  u64 folded_sum = 0;
+  std::istringstream in(folded);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_EQ(line.compare(0, 3, "all"), 0) << line;
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    folded_sum += std::stoull(line.substr(sp + 1));
+  }
+  u64 attributed = 0;
+  for (const auto& c : d.cores) {
+    for (const auto& p : c.pcs) attributed += p.cycles;
+  }
+  EXPECT_EQ(folded_sum, attributed);
+}
+
+TEST(ProfileReport, BucketTableRowsConserve) {
+  const profile::DomainProfile d = profile_first_kernel();
+  const std::string table = profile::bucket_table(d);
+  EXPECT_NE(table.find("execute"), std::string::npos);
+  EXPECT_NE(table.find("barrier"), std::string::npos);
+  EXPECT_NE(table.find("all"), std::string::npos);
+  // The machine-checkable form of the same statement:
+  EXPECT_EQ(d.buckets().total(), [&] {
+    u64 total = 0;
+    for (const auto& c : d.cores) total += c.perf.cycles;
+    return total;
+  }());
+}
+
+TEST(ProfileReport, ToJsonIsDeterministic) {
+  const profile::DomainProfile a = profile_first_kernel();
+  const profile::DomainProfile b = profile_first_kernel();
+  EXPECT_EQ(profile::to_json(a), profile::to_json(b));
+  EXPECT_NE(profile::to_json(a).find("\"conserved\":true"),
+            std::string::npos);
+}
+
+// Two tracks at different clock rates stamping the *same* instant of real
+// time must export the exact same timestamp. 48 MHz is the interesting
+// rate: 1e12/48e6 is not an integer, so the old per-track double
+// conversion rounded host and cluster spans apart.
+TEST(ProfileReport, CrossClockTimestampsRebaseExactly) {
+  trace::EventTrace trace;
+  const auto a = trace.add_track("a", 16e6);
+  const auto b = trace.add_track("b", 48e6);
+  for (u64 k = 1; k <= 100; ++k) {
+    trace.instant(a, "tick", k * 16);      // k microseconds
+    trace.instant(b, "tick", k * 48);      // the same k microseconds
+  }
+  std::ostringstream os;
+  ASSERT_TRUE(trace::write_chrome_trace(trace, os).ok());
+  const std::string json = os.str();
+  // Collect "ts":... per tid in event order; they must match pairwise.
+  std::vector<std::string> ts_a;
+  std::vector<std::string> ts_b;
+  size_t pos = 0;
+  while ((pos = json.find("\"ph\":\"i\"", pos)) != std::string::npos) {
+    const size_t tid = json.find("\"tid\":", pos) + 6;
+    const size_t ts = json.find("\"ts\":", pos) + 5;
+    const size_t end = json.find_first_of(",}", ts);
+    (json[tid] == '0' ? ts_a : ts_b).push_back(json.substr(ts, end - ts));
+    pos = end;
+  }
+  ASSERT_EQ(ts_a.size(), 100u);
+  ASSERT_EQ(ts_b.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ts_a[i], ts_b[i]) << "microsecond " << i + 1;
+  }
+}
+
+TEST(ProfileReport, EventTraceRingBufferDropsOldestClosedOnly) {
+  trace::EventTrace trace;
+  trace.set_event_limit(32);
+  const auto t = trace.add_track("t");
+  trace.begin(t, "open-span", 0);  // stays open across every eviction
+  for (u64 i = 0; i < 200; ++i) trace.instant(t, "i", i + 1);
+  EXPECT_LE(trace.num_events(), 32u);
+  EXPECT_EQ(trace.dropped_events(), 201 - trace.num_events());
+  // The open span survived every compaction and its stack index still
+  // resolves: end() closes it, not some remapped victim.
+  bool open_found = false;
+  for (const auto& e : trace.events()) open_found |= e.open;
+  EXPECT_TRUE(open_found);
+  trace.end(t, 500);
+  for (const auto& e : trace.events()) EXPECT_FALSE(e.open);
+  // Survivors are the newest instants, in order.
+  u64 prev = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind != trace::EventTrace::EventKind::kInstant) continue;
+    EXPECT_GT(e.begin_tick, prev);
+    prev = e.begin_tick;
+  }
+  EXPECT_EQ(prev, 200u);
+}
+
+TEST(ProfileReport, MetricsJsonIsDeterministicAndSorted) {
+  auto build = [] {
+    trace::MetricsRegistry reg;
+    reg.counter("z.last").add(3);
+    reg.counter("a.first").add(7);
+    reg.gauge("g.v").set(0.25);
+    auto& h = reg.histogram("h.samples");
+    h.record(0);
+    h.record(5);
+    h.record(1000);
+    return trace::metrics_to_json(reg);
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());
+  EXPECT_LT(json.find("a.first"), json.find("z.last")) << "map order";
+  EXPECT_NE(json.find("\"g.v\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":1005"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+// The derived power timeline: run spans on core/host tracks become
+// piecewise-constant watt counters on power.* tracks.
+TEST(ProfileReport, PowerTracksFollowSpanActivity) {
+  trace::EventTrace trace;
+  const auto c0 = trace.add_track("cluster.core0", 16e6);
+  const auto c1 = trace.add_track("cluster.core1", 16e6);
+  const auto host = trace.add_track("host.mcu", 16e6);
+  trace.complete(c0, "run", 0, 100);
+  trace.complete(c1, "run", 50, 100);
+  trace.complete(host, "run", 0, 80);
+  trace.complete(host, "sleep", 80, 120);
+
+  profile::PowerTimelineSpec spec;
+  spec.op = {0.5, mhz(16)};
+  spec.num_cluster_cores = 2;
+  spec.host_active_w = 1e-3;
+  spec.host_sleep_w = 2e-6;
+  profile::add_power_tracks(trace, spec);
+
+  int cluster_track = -1;
+  int host_track = -1;
+  for (size_t t = 0; t < trace.tracks().size(); ++t) {
+    if (trace.tracks()[t].name == "power.cluster") {
+      cluster_track = static_cast<int>(t);
+    }
+    if (trace.tracks()[t].name == "power.host") {
+      host_track = static_cast<int>(t);
+    }
+  }
+  ASSERT_GE(cluster_track, 0);
+  ASSERT_GE(host_track, 0);
+
+  std::vector<double> cluster_w;
+  std::vector<double> host_w;
+  for (const auto& e : trace.events()) {
+    if (e.kind != trace::EventTrace::EventKind::kCounter) continue;
+    if (e.track == static_cast<u32>(cluster_track)) {
+      cluster_w.push_back(e.value);
+    }
+    if (e.track == static_cast<u32>(host_track)) host_w.push_back(e.value);
+  }
+  // Cluster activity steps 1 -> 2 -> 1 -> 0 running cores: power must rise
+  // with the overlap and fall back; all samples positive (idle cores leak).
+  ASSERT_GE(cluster_w.size(), 4u);
+  double w_min = cluster_w[0];
+  double w_max = cluster_w[0];
+  for (const double w : cluster_w) {
+    EXPECT_GT(w, 0.0);
+    w_min = std::min(w_min, w);
+    w_max = std::max(w_max, w);
+  }
+  EXPECT_GT(w_max, w_min);
+  // Host: active watts then the sleep floor.
+  ASSERT_GE(host_w.size(), 2u);
+  EXPECT_DOUBLE_EQ(host_w.front(), 1e-3);
+  EXPECT_DOUBLE_EQ(host_w.back(), 2e-6);
+}
+
+}  // namespace
+}  // namespace ulp
