@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "codegen/builder.hpp"
+#include "common/config.hpp"
 #include "system/hetero_system.hpp"
 #include "system/host_driver.hpp"
 
@@ -40,13 +41,17 @@ void BM_Cluster4Cores(benchmark::State& state) {
   const auto kc = kernels::make_matmul_char(cfg.features, 4,
                                             kernels::Target::kCluster, 1);
   u64 cycles = 0;
+  u64 instrs = 0;
   for (auto _ : state) {
     const auto out = kernels::run_on_cluster(kc, cfg, 4);
     cycles += out.cycles;
+    instrs += out.stats.total_instrs();
     benchmark::DoNotOptimize(out.cycles);
   }
   state.counters["sim_Mcycles"] = benchmark::Counter(
       static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["sim_MIPS"] = benchmark::Counter(
+      static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Cluster4Cores)->Unit(benchmark::kMillisecond);
 
@@ -90,13 +95,17 @@ isa::Program make_sleep_heavy_program() {
 void BM_ClusterSleepHeavy(benchmark::State& state) {
   const auto prog = make_sleep_heavy_program();
   u64 cycles = 0;
+  u64 instrs = 0;
   for (auto _ : state) {
     cluster::Cluster cl;
     cl.load_program(prog);
     cycles += cl.run();
+    instrs += cl.stats().total_instrs();
   }
   state.counters["sim_Mcycles"] = benchmark::Counter(
       static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["sim_MIPS"] = benchmark::Counter(
+      static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ClusterSleepHeavy)->Unit(benchmark::kMillisecond);
 
@@ -117,15 +126,59 @@ void BM_BarrierHeavy(benchmark::State& state) {
   bld.eoc();
   const auto prog = bld.finalize();
   u64 cycles = 0;
+  u64 instrs = 0;
   for (auto _ : state) {
     cluster::Cluster cl;
     cl.load_program(prog);
     cycles += cl.run();
+    instrs += cl.stats().total_instrs();
   }
   state.counters["sim_Mcycles"] = benchmark::Counter(
       static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["sim_MIPS"] = benchmark::Counter(
+      static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BarrierHeavy)->Unit(benchmark::kMillisecond);
+
+// Decode-pressure worst case for the basic-block translation cache: a
+// straight-line footprint larger than the cache's record budget, looped a
+// few times. Every pass overflows the cache, so the block-cached path pays
+// a wholesale flush plus a full re-decode per pass on top of execution —
+// this measures that decode overhead stays small rather than any speedup.
+void BM_DecodeHeavy(benchmark::State& state) {
+  codegen::Builder bld(core::or10n_config().features);
+  constexpr u32 kStraightLine = 40 * 1024;  // records budget is 32 Ki
+  bld.li(6, 4);  // passes
+  const auto top = bld.make_label();
+  bld.bind(top);
+  for (u32 i = 0; i < kStraightLine; ++i) {
+    bld.emit(isa::Opcode::kAddi, 5, 5, 0, 1);
+  }
+  bld.emit(isa::Opcode::kAddi, 6, 6, 0, -1);
+  // The back-edge spans more than a branch immediate can reach (15-bit);
+  // jal's 20-bit offset covers it.
+  const auto done = bld.make_label();
+  bld.branch(isa::Opcode::kBeq, 6, codegen::zero, done);
+  bld.jal(0, top);
+  bld.bind(done);
+  bld.eoc();
+  cluster::ClusterParams params;
+  params.num_cores = 1;
+  const auto prog = bld.finalize();
+  u64 cycles = 0;
+  u64 instrs = 0;
+  for (auto _ : state) {
+    cluster::Cluster cl(params);
+    cl.load_program(prog);
+    cycles += cl.run();
+    instrs += cl.stats().total_instrs();
+  }
+  state.counters["sim_Mcycles"] = benchmark::Counter(
+      static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["sim_MIPS"] = benchmark::Counter(
+      static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeHeavy)->Unit(benchmark::kMillisecond);
 
 // Offload guest for BM_FullSystemOffload: sensor-window streaming. Core 0
 // pulls the 4 KiB input window from L2 into TCDM thirty-two times (one pass
@@ -188,13 +241,17 @@ void BM_FullSystemOffload(benchmark::State& state) {
   params.mcu_freq_hz = mhz(80);
   params.pulp_freq_hz = mhz(8);
   u64 host_cycles = 0;
+  u64 instrs = 0;
   for (auto _ : state) {
     system::HeteroSystem sys(params);
     sys.load_host_program(pkg.host_program);
     host_cycles += sys.run_to_host_halt();
+    instrs += sys.soc().cluster().stats().total_instrs();
   }
   state.counters["sim_Mcycles"] = benchmark::Counter(
       static_cast<double>(host_cycles) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["sim_MIPS"] = benchmark::Counter(
+      static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullSystemOffload)->Unit(benchmark::kMillisecond);
 
@@ -238,14 +295,23 @@ int main(int argc, char** argv) {
 #else
   const char* asserts = "on";
 #endif
+  // The mode the environment selects for this process (ULP_BLOCK_CACHE /
+  // ULP_REFERENCE_STEPPING latches): reference stepping implies per-cycle
+  // dispatch, so the block cache is reported off under it.
+  const char* block_cache = (ulp::config::block_cache_default() &&
+                             !ulp::config::reference_stepping_default())
+                                ? "on"
+                                : "off";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ulp-build-info") == 0) {
-      std::printf("build_type=%s asserts=%s\n", ULP_BUILD_TYPE, asserts);
+      std::printf("build_type=%s asserts=%s block_cache=%s\n", ULP_BUILD_TYPE,
+                  asserts, block_cache);
       return 0;
     }
   }
   benchmark::AddCustomContext("ulp_build_type", ULP_BUILD_TYPE);
   benchmark::AddCustomContext("ulp_asserts", asserts);
+  benchmark::AddCustomContext("ulp_block_cache", block_cache);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -45,6 +45,7 @@ void print_usage(std::FILE* out) {
       "  --iterations N        offload amortisation count (analytic engine)\n"
       "  --double-buffered     overlap transfers with compute (analytic)\n"
       "  --reference-stepping B  0|1: override the cluster stepping default\n"
+      "  --block-cache B       0|1: override the ISS block-cache default\n"
       "\n"
       "execution:\n"
       "  --workers N           worker threads (default: 1; 0 = inline)\n"
@@ -124,6 +125,9 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(arg, "--reference-stepping") == 0) {
         const std::string v = need_value(argc, argv, &i);
         config::set_reference_stepping_default(v == "1" || v == "true");
+      } else if (std::strcmp(arg, "--block-cache") == 0) {
+        const std::string v = need_value(argc, argv, &i);
+        config::set_block_cache_default(v == "1" || v == "true");
       } else if (std::strcmp(arg, "--workers") == 0) {
         options.workers = static_cast<u32>(
             std::strtoul(need_value(argc, argv, &i), nullptr, 10));
@@ -148,7 +152,12 @@ int main(int argc, char** argv) {
 #else
         const char* asserts = "on";
 #endif
-        std::printf("build_type=%s asserts=%s\n", ULP_BUILD_TYPE, asserts);
+        const char* bc = (config::block_cache_default() &&
+                          !config::reference_stepping_default())
+                             ? "on"
+                             : "off";
+        std::printf("build_type=%s asserts=%s block_cache=%s\n",
+                    ULP_BUILD_TYPE, asserts, bc);
         return 0;
       } else if (std::strcmp(arg, "--help") == 0 ||
                  std::strcmp(arg, "-h") == 0) {

@@ -13,6 +13,8 @@
 //   ulp_fuzz --replay file.repro     re-run one saved repro (both modes)
 //   ulp_fuzz --emit-corpus DIR N     save N generated programs as .repro
 //   ulp_fuzz --shrink-out DIR        where to write shrunken failures
+//   ulp_fuzz --block-cache 0|1       pin the process-wide ISS block-cache
+//                                    default (same latch as ULP_BLOCK_CACHE)
 //
 // Exit codes: 0 = clean, 1 = differential failures (or coverage gap with
 // --coverage), 2 = usage / setup error.
@@ -20,6 +22,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/config.hpp"
 #include "common/status.hpp"
 #include "verif/differential.hpp"
 #include "verif/repro.hpp"
@@ -33,7 +36,7 @@ int usage() {
   std::cerr << "usage: ulp_fuzz [--programs N] [--stress M] [--seed S]\n"
                "                [--items K] [--no-dma] [--coverage]\n"
                "                [--shrink-out DIR] [--emit-corpus DIR N]\n"
-               "                [--replay FILE.repro]\n";
+               "                [--replay FILE.repro] [--block-cache 0|1]\n";
   return 2;
 }
 
@@ -110,6 +113,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--emit-corpus") {
       corpus_dir = value();
       corpus_count = static_cast<u32>(std::stoul(value()));
+    } else if (arg == "--block-cache") {
+      // check_program pins both block modes explicitly per run; this latch
+      // covers everything else (the fast-forward legs of replay/shrink).
+      config::set_block_cache_default(std::strcmp(value(), "0") != 0);
     } else {
       return usage();
     }

@@ -24,24 +24,30 @@ if [ ! -x "$BIN" ]; then
   exit 1
 fi
 
-echo "== replaying committed corpus =="
+echo "== replaying committed corpus (block cache on and off) =="
 CORPUS=$(dirname "$0")/../tests/verif/corpus
 FOUND=0
-for repro in "$CORPUS"/*.repro; do
-  [ -e "$repro" ] || break
-  FOUND=1
-  "$BIN" --replay "$repro" > /dev/null || {
-    echo "FAILED: corpus replay diverged: $repro" >&2
-    exit 1
-  }
+# The differential check pins both block modes internally; the process-wide
+# --block-cache latch additionally flips every other simulation the replay
+# leg touches (shrink oracles, stress reruns), so exercise both settings.
+for BC in 1 0; do
+  for repro in "$CORPUS"/*.repro; do
+    [ -e "$repro" ] || break
+    FOUND=1
+    "$BIN" --block-cache "$BC" --replay "$repro" > /dev/null || {
+      echo "FAILED: corpus replay diverged (block-cache $BC): $repro" >&2
+      exit 1
+    }
+  done
 done
-[ "$FOUND" = 1 ] && echo "-- OK: corpus replayed bit-exactly"
+[ "$FOUND" = 1 ] && echo "-- OK: corpus replayed bit-exactly in both modes"
 
 echo ""
 echo "== seeded differential campaign (coverage-gated) =="
 # ~60s of fuzzing on a development machine: the differential harness runs
-# each program three ways, so the program count is the budget knob.
-"$BIN" --programs 120000 --stress 25000 --items 64 --seed "$SEED" --coverage
+# each program four ways (golden, reference, fast-forward, block-cached),
+# so the program count is the budget knob.
+"$BIN" --programs 100000 --stress 20000 --items 64 --seed "$SEED" --coverage
 echo "-- OK: campaign clean, all implemented opcodes exercised"
 
 ASAN_BIN=build-asan/examples/ulp_fuzz

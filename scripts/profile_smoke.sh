@@ -88,6 +88,18 @@ smoke() {
     exit 1
   fi
   echo "-- OK: reference and fast-forward profiles byte-identical"
+
+  # Neither may the basic-block translation cache change a single
+  # attributed cycle: the default w4 profile above ran block-cached
+  # (process default), so pin the cache off and compare bytes.
+  echo "== profiled campaign ($TAG, block cache on vs off) =="
+  "$CAMPAIGN" --quiet --kernels "$KERNEL,cnn" --cores 1,4 --repeats 2 \
+    --workers 4 --block-cache 0 --profile-out "$TMP/$TAG-nobc.json"
+  if ! cmp -s "$TMP/$TAG-w4.json" "$TMP/$TAG-nobc.json"; then
+    echo "FAILED: profile differs with the block cache disabled" >&2
+    exit 1
+  fi
+  echo "-- OK: block-cached and per-instruction profiles byte-identical"
 }
 
 smoke "$BIN" "default"

@@ -22,8 +22,15 @@ export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1"
 echo "== test_batch under TSan =="
 "$DIR/tests/test_batch" --gtest_brief=1
 
-echo "== multi-worker campaign under TSan =="
-"$DIR/examples/ulp_campaign" --quiet --workers 4 \
+echo "== multi-worker campaign under TSan (block-cached) =="
+# Explicitly block-cached: every worker runs its jobs through the per-core
+# basic-block caches, so a shared mutable decode structure would be a race.
+"$DIR/examples/ulp_campaign" --quiet --workers 4 --block-cache 1 \
+  --kernels matmul,cnn --cores 1,4 --vdd 0.5,0.8 \
+  --faults "none;seed=7,flip=1e-4" --repeats 2
+
+echo "== multi-worker campaign under TSan (cache disabled control) =="
+"$DIR/examples/ulp_campaign" --quiet --workers 4 --block-cache 0 \
   --kernels matmul,cnn --cores 1,4 --vdd 0.5,0.8 \
   --faults "none;seed=7,flip=1e-4" --repeats 2
 

@@ -5,6 +5,7 @@
 
 #include "common/config.hpp"
 #include "common/status.hpp"
+#include "isa/encoding.hpp"
 #include "trace/metrics.hpp"
 
 namespace ulp::cluster {
@@ -46,10 +47,18 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
         i, params_.num_cores, params_.core_config, bus_.get(), icache_.get(),
         events_.get()));
     cores_raw_.push_back(cores_.back().get());
+    cores_raw_.back()->set_code_generation(&code_generation_);
   }
+  apply_block_cache_mode();
   // Cores come out of construction halted (until load_program).
   parked_.assign(params_.num_cores, kParkedHalt);
   halted_count_ = params_.num_cores;
+}
+
+void Cluster::apply_block_cache_mode() {
+  block_cache_ = !reference_stepping_ &&
+                 params_.block_cache.value_or(config::block_cache_default());
+  for (core::Core* c : cores_raw_) c->set_block_cache(block_cache_);
 }
 
 void Cluster::attach_trace(const trace::Sinks& sinks, double ticks_per_second,
@@ -135,12 +144,49 @@ void Cluster::trace_sample() {
   }
 }
 
+void Cluster::on_code_write(Addr addr, int size) {
+  // Re-decode every instruction word the store touched (sub-word stores
+  // patch part of a word; the containing word is re-read whole). The
+  // decoded program is patched in place, so the per-cycle paths see the new
+  // code naturally at their next fetch; cached blocks are invalidated
+  // through the generation bump.
+  const Addr base = params_.code_window_base;
+  const Addr lo = std::max(addr, base);
+  const Addr hi = std::min(addr + static_cast<Addr>(size),
+                           base + static_cast<Addr>(program_.code.size()) * 4);
+  for (Addr word = lo / 4 * 4; word < hi; word += 4) {
+    const size_t index = static_cast<size_t>((word - base) / 4);
+    const u32 encoded = bus_->debug_load(word, 4, /*sign_extend=*/false);
+    program_.code[index] = isa::decode(encoded);  // throws on invalid opcode
+  }
+  ++code_generation_;
+}
+
 void Cluster::load_program(const isa::Program& program) {
   program_ = program;
+  // Quiet the code-window watcher while (re)initialising memory; it is
+  // re-armed below once the mirror matches the program image.
+  bus_->set_write_watch(0, 0, {});
+  dma_->set_code_watch(0, 0);
   for (const isa::Segment& seg : program_.data) {
     for (size_t i = 0; i < seg.bytes.size(); ++i) {
       bus_->debug_store(seg.addr + static_cast<Addr>(i), 1, seg.bytes[i]);
     }
+  }
+  if (params_.code_window_base != 0 && !program_.code.empty()) {
+    // Executable-code window: mirror the encoded image so stores into it
+    // observe (and may patch) the very bytes the cores execute.
+    const Addr base = params_.code_window_base;
+    const std::vector<u32> image = isa::encode_all(program_.code);
+    const u32 window_bytes = static_cast<u32>(image.size()) * 4;
+    ULP_CHECK(bus_->plain_memory(base, static_cast<int>(window_bytes)),
+              "code window must lie entirely in TCDM or L2");
+    for (size_t i = 0; i < image.size(); ++i) {
+      bus_->debug_store(base + static_cast<Addr>(i) * 4, 4, image[i]);
+    }
+    bus_->set_write_watch(base, window_bytes,
+                          [this](Addr a, int s) { on_code_write(a, s); });
+    dma_->set_code_watch(base, window_bytes);
   }
   icache_->reset(program_.code.size());
   events_->clear_eoc();
@@ -297,17 +343,72 @@ u64 Cluster::do_quiescent_window(u64 max_cycles) {
   return consumed;
 }
 
-u64 Cluster::advance(u64 max_cycles) {
+u64 Cluster::solo_block_run(u64 budget) {
+  // Eligibility: the solo core must provably own the cluster for the whole
+  // window. No DMA beats (bus contention, events, code writes), no sibling
+  // that could wake (blocks contain no SEV/barrier and the DMA stays idle,
+  // so no new wake can appear mid-run either).
+  if (!dma_->idle()) return 0;
+  core::Core* solo = nullptr;
+  const u32 n = params_.num_cores;
+  for (u32 i = 0; i < n; ++i) {
+    const u8 p = parked_[i];
+    if (p == kParkedHalt) continue;
+    core::Core& c = *cores_raw_[i];
+    if (p == kParkedSleep) {
+      if (events_->wake_pending(i, c.sleep_kind())) return 0;
+      continue;
+    }
+    if (solo != nullptr) return 0;  // a second runnable core
+    solo = &c;
+  }
+  if (solo == nullptr) return 0;
+  if (solo->busy_remaining() > 0 || solo->mem_in_flight()) return 0;
+  const u64 done = solo->run_cached(budget);
+  if (done == 0) return 0;  // pc not block-eligible (sync op ahead, ...)
+  // Bulk accounting for everyone else, exactly as `done` step() calls
+  // would have charged them; their states provably cannot change.
+  for (u32 i = 0; i < n; ++i) {
+    core::Core& c = *cores_raw_[i];
+    if (&c == solo) continue;
+    if (parked_[i] == kParkedHalt) {
+      c.charge_halted_cycles(done);
+    } else {
+      c.charge_sleep_cycles(done);
+    }
+  }
+  dma_->skip_idle(done);
+  cycles_ += done;
+  rr_first_ = static_cast<u32>(cycles_ % n);
+  // Nothing observable changed mid-run (no parks, wakes, barriers, DMA or
+  // TCDM conflicts), so one sample here reproduces per-cycle sampling.
+  if (tracing_) trace_sample();
+  return done;
+}
+
+u64 Cluster::advance(u64 max_cycles, bool stop_at_eoc_rise) {
   const u64 start = cycles_;
   if (reference_stepping_) {
-    while (cycles_ - start < max_cycles && !all_halted()) step();
+    while (cycles_ - start < max_cycles && !all_halted()) {
+      const bool eoc0 = events_->eoc();
+      step();
+      if (stop_at_eoc_rise && !eoc0 && events_->eoc()) break;
+    }
     return cycles_ - start;
   }
   while (cycles_ - start < max_cycles &&
          halted_count_ != params_.num_cores) {
     const u64 horizon = quiescent_horizon();
     if (horizon == 0) {
+      // Only a step() can raise EOC: cached blocks and quiescent windows
+      // exclude the sync-class instructions by construction.
+      if (block_cache_ &&
+          solo_block_run(max_cycles - (cycles_ - start)) > 0) {
+        continue;
+      }
+      const bool eoc0 = events_->eoc();
       step();
+      if (stop_at_eoc_rise && !eoc0 && events_->eoc()) break;
       continue;
     }
     do_quiescent_window(std::min(horizon, max_cycles - (cycles_ - start)));

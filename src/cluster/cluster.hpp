@@ -49,6 +49,23 @@ struct ClusterParams {
   /// by construction (enforced by the differential perf tests); the
   /// reference loop survives as the escape hatch and testing oracle.
   std::optional<bool> reference_stepping;
+
+  /// Enable the per-core basic-block translation cache on the fast-forward
+  /// path (decode-once blocks with threaded dispatch, retired whole between
+  /// observable events). Unset: the process-wide default (ULP_BLOCK_CACHE,
+  /// default on — see common/config.hpp). Always off under reference
+  /// stepping, which is the per-cycle oracle. Bit- and cycle-identical to
+  /// both other modes by construction (enforced by the three-way
+  /// differential suites).
+  std::optional<bool> block_cache;
+
+  /// Base address of the executable-code window for the self-modifying-code
+  /// model, 0 = disabled (code is immutable, the seed behaviour). When set,
+  /// load_program() mirrors the encoded instruction image to this address
+  /// and any store landing in the window (core store, DMA beat, host debug
+  /// write through the cluster bus) patches the decoded program in place
+  /// and invalidates every cached block. The window must lie in TCDM or L2.
+  Addr code_window_base = 0;
 };
 
 /// Aggregated cluster activity, the input to the power model's chi factors.
@@ -95,10 +112,14 @@ class Cluster {
 
   /// Advance up to `max_cycles` cycles, fast-forwarding through quiescent
   /// stretches (every core sleeping/halted or mid-stall, DMA idle or with
-  /// analytic progress) and stepping cycle-by-cycle everywhere else.
-  /// Stops early once every core has halted. Returns cycles consumed.
-  /// Observably identical to calling step() the same number of times.
-  u64 advance(u64 max_cycles);
+  /// analytic progress), retiring whole cached blocks when a solo core has
+  /// the cluster to itself (block cache enabled), and stepping
+  /// cycle-by-cycle everywhere else. Stops early once every core has
+  /// halted; with `stop_at_eoc_rise`, also right after the step that raises
+  /// the EOC line (an outer clock domain watching the line resumes its own
+  /// stepping from there). Returns cycles consumed. Observably identical to
+  /// calling step() the same number of times.
+  u64 advance(u64 max_cycles, bool stop_at_eoc_rise = false);
 
   /// Run until every core has halted (EOC/HALT). Returns elapsed cycles
   /// since load_program. Throws if `max_cycles` is exceeded.
@@ -119,6 +140,16 @@ class Cluster {
   [[nodiscard]] bool reference_stepping() const { return reference_stepping_; }
   void set_reference_stepping(bool reference) {
     reference_stepping_ = reference;
+    apply_block_cache_mode();
+  }
+
+  /// Whether the block-cached fast path is active (never under reference
+  /// stepping). Changing it follows the same rule as the stepping mode:
+  /// only before load_program / between runs.
+  [[nodiscard]] bool block_cache_enabled() const { return block_cache_; }
+  void set_block_cache(bool on) {
+    params_.block_cache = on;
+    apply_block_cache_mode();
   }
 
   [[nodiscard]] const ClusterParams& params() const { return params_; }
@@ -148,6 +179,17 @@ class Cluster {
   void trace_sample();
   /// Bulk-advance up to `max_cycles` cycles in which only the DMA acts.
   u64 do_quiescent_window(u64 max_cycles);
+  /// When exactly one core is runnable (everyone else parked with no wake
+  /// pending, DMA idle), retire cached blocks on it for up to `budget`
+  /// cycles and bulk-charge the others. Returns cycles consumed (0 = the
+  /// window is not solo or the pc is not block-eligible).
+  u64 solo_block_run(u64 budget);
+  /// Re-derive the effective per-core block-cache flag from the stepping
+  /// mode and params/process default, and push it to the cores.
+  void apply_block_cache_mode();
+  /// Write watcher on the code window: re-decode the patched words into the
+  /// loaded program and invalidate every cached block.
+  void on_code_write(Addr addr, int size);
 
   ClusterParams params_;
   std::unique_ptr<mem::Tcdm> tcdm_;
@@ -162,6 +204,10 @@ class Cluster {
   isa::Program program_;
   u64 cycles_ = 0;
   bool reference_stepping_ = false;
+  bool block_cache_ = false;       ///< Effective mode (off under reference).
+  /// Bumped on every write into the code window; cores compare it against
+  /// their block cache's generation and flush on mismatch.
+  u64 code_generation_ = 0;
   bool tracing_ = false;           ///< sinks_ attached (hot-path cache).
   u32 rr_first_ = 0;               ///< == cycles_ % num_cores, kept inline.
   u32 halted_count_ = 0;           ///< Cores in kParkedHalt; all_halted O(1).

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdlib>
 
 #include "common/env.hpp"
 
@@ -52,6 +53,42 @@ inline std::atomic<int>& reference_stepping_state() {
 inline void set_reference_stepping_default(bool reference) {
   detail::reference_stepping_state().store(reference ? 1 : 0,
                                            std::memory_order_release);
+}
+
+namespace detail {
+inline std::atomic<int>& block_cache_state() {
+  static std::atomic<int> state{-1};
+  return state;
+}
+}  // namespace detail
+
+/// The process-wide default for the ISS basic-block translation cache:
+/// true = decode-once cached blocks with threaded dispatch on the
+/// fast-forward path, false = plain per-instruction dispatch. ON unless the
+/// ULP_BLOCK_CACHE environment variable is exactly "0" (mirroring the
+/// stepping latch: captured once at first use, immutable afterwards, so
+/// concurrent campaign workers all observe one mode). Reference stepping
+/// always executes through the per-cycle decode+switch oracle regardless of
+/// this default; ClusterParams::block_cache overrides it per instance.
+[[nodiscard]] inline bool block_cache_default() {
+  auto& state = detail::block_cache_state();
+  int v = state.load(std::memory_order_acquire);
+  if (v < 0) {
+    const char* e = std::getenv("ULP_BLOCK_CACHE");
+    const int captured = (e != nullptr && e[0] == '0' && e[1] == '\0') ? 0 : 1;
+    if (!state.compare_exchange_strong(v, captured,
+                                       std::memory_order_acq_rel)) {
+      return v == 1;
+    }
+    return captured == 1;
+  }
+  return v == 1;
+}
+
+/// Explicit injection of the block-cache default (CLI flags, tests). Must
+/// run before the simulations that should observe it are constructed.
+inline void set_block_cache_default(bool on) {
+  detail::block_cache_state().store(on ? 1 : 0, std::memory_order_release);
 }
 
 namespace detail {

@@ -1,0 +1,820 @@
+// Block decode, threaded dispatch, and Core::run_cached().
+//
+// Every handler here replays one per-cycle issue of its opcode exactly:
+// same bookkeeping order (instrs, retire hook, profile retire, charge), same
+// feature-gate messages, same arithmetic conventions. The per-cycle
+// execute() switch in core.cpp stays the oracle; any divergence between the
+// two is a bug the differential suites are built to catch.
+
+#include "core/block_cache.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/core.hpp"
+#include "isa/disasm.hpp"
+
+namespace ulp::core {
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace {
+
+i32 as_i32(u32 v) { return static_cast<i32>(v); }
+u32 as_u32(i32 v) { return static_cast<u32>(v); }
+
+i32 lane16(u32 v, int lane) {
+  return static_cast<i16>((v >> (16 * lane)) & 0xFFFF);
+}
+i32 lane8(u32 v, int lane) {
+  return static_cast<i8>((v >> (8 * lane)) & 0xFF);
+}
+
+/// Instructions the scheduler must observe per-cycle (sleep entry, events,
+/// end-of-computation): a block never contains them, so block runs can never
+/// park a core, wake a sibling, or raise EOC mid-run.
+bool is_sync(Opcode op) {
+  return op == Opcode::kBarrier || op == Opcode::kWfe || op == Opcode::kSev ||
+         op == Opcode::kEoc || op == Opcode::kHalt;
+}
+
+/// Instructions that end a block (included as its last record). Hardware
+/// loop back-edges need no terminator: the dispatch loop re-checks the pc
+/// against every record and re-looks-up on any wrap.
+bool is_terminator(Opcode op) {
+  return isa::is_branch(op) || op == Opcode::kJal || op == Opcode::kJalr ||
+         op == Opcode::kLpSetup;
+}
+
+// Per-opcode facts the mem handlers monomorphise on: each load/store opcode
+// fully determines its access size, direction, addressing and extension.
+constexpr bool mem_is_store(Opcode op) {
+  return op >= Opcode::kSw && op <= Opcode::kSbpi;
+}
+constexpr bool mem_is_postinc(Opcode op) {
+  return (op >= Opcode::kLwpi && op <= Opcode::kLbupi) ||
+         (op >= Opcode::kSwpi && op <= Opcode::kSbpi);
+}
+constexpr int mem_size(Opcode op) {
+  switch (op) {
+    case Opcode::kLw:
+    case Opcode::kLwpi:
+    case Opcode::kSw:
+    case Opcode::kSwpi:
+      return 4;
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kLhpi:
+    case Opcode::kLhupi:
+    case Opcode::kSh:
+    case Opcode::kShpi:
+      return 2;
+    default:
+      return 1;
+  }
+}
+constexpr bool mem_sign(Opcode op) {
+  // The signed sub-word loads finish_mem() extends (lhu/lbu stay zero-filled).
+  return op == Opcode::kLh || op == Opcode::kLhpi || op == Opcode::kLb ||
+         op == Opcode::kLbpi;
+}
+
+/// Decode-time price of a record under `c` (the cost execute() would pick;
+/// branches/jumps store their taken cost, the not-taken cost is 1; memory
+/// records carry their load/store extra cycles).
+u32 static_cost(const Instr& in, const CoreCosts& c) {
+  if (isa::is_load(in.op)) return c.load_extra;
+  if (isa::is_store(in.op)) return c.store_extra;
+  switch (in.op) {
+    case Opcode::kMul:
+    case Opcode::kMac:
+      return c.mul_cycles;
+    case Opcode::kMulhs:
+    case Opcode::kMulhu:
+      return c.mul64_cycles;
+    case Opcode::kDiv:
+    case Opcode::kDivu:
+    case Opcode::kRem:
+    case Opcode::kRemu:
+      return c.div_cycles;
+    case Opcode::kDotp2h:
+      return c.dotp2_cycles;
+    case Opcode::kDotp4b:
+      return c.dotp4_cycles;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      return 1 + c.branch_taken_penalty;
+    case Opcode::kJal:
+    case Opcode::kJalr:
+      return 1 + c.jump_penalty;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+/// The threaded-dispatch handlers. A friend of Core: handlers are the block
+/// path's counterpart of Core::execute()/start_mem() and need the same
+/// access to architectural and performance state.
+class BlockRunner {
+ public:
+  /// Picks the handler for one decoded instruction. Feature gates are
+  /// resolved here, at decode time: when the core's configuration (and,
+  /// for lp.setup/csrr, the instruction's own fields) guarantees a
+  /// handler's ULP_CHECKs can never fire, the kTrusted instantiation —
+  /// no runtime checks, single merged cycle add — is selected instead.
+  [[nodiscard]] static CachedOp::Handler handler_for(const Instr& in,
+                                                     const CoreFeatures& f);
+
+ private:
+  /// One non-memory instruction, exactly as execute() would run it.
+  /// kTrusted: every check in this handler was proven at decode time.
+  template <Opcode Op, bool kTrusted>
+  static bool exec(Core& c, const CachedOp& op, BlockRunCtx& ctx) {
+    // Opcodes whose handler body cannot throw (no feature gate, no CSR
+    // check — or kTrusted, where the gates were discharged at decode)
+    // defer the whole cycle charge to one add at the end; the rest count
+    // the issue cycle up front so a mid-handler SimError leaves the same
+    // cycle state one step() would have.
+    constexpr bool kSimple =
+        kTrusted ||
+        Op == Opcode::kAdd || Op == Opcode::kSub || Op == Opcode::kAnd ||
+        Op == Opcode::kOr || Op == Opcode::kXor || Op == Opcode::kSll ||
+        Op == Opcode::kSrl || Op == Opcode::kSra || Op == Opcode::kSlt ||
+        Op == Opcode::kSltu || Op == Opcode::kMul || Op == Opcode::kAddi ||
+        Op == Opcode::kAndi || Op == Opcode::kOri || Op == Opcode::kXori ||
+        Op == Opcode::kSlli || Op == Opcode::kSrli || Op == Opcode::kSrai ||
+        Op == Opcode::kSlti || Op == Opcode::kSltiu || Op == Opcode::kLui ||
+        Op == Opcode::kBeq || Op == Opcode::kBne || Op == Opcode::kBlt ||
+        Op == Opcode::kBge || Op == Opcode::kBltu || Op == Opcode::kBgeu ||
+        Op == Opcode::kJal || Op == Opcode::kJalr || Op == Opcode::kNop;
+    const Instr& in = op.instr;
+    // The issue cycle: step() bookkeeping folded into ctx, then execute()'s
+    // preamble in its order.
+    if constexpr (!kSimple) ctx.cycles += 1;
+    ++ctx.instrs;
+    if (c.retire_hook_) c.retire_hook_(op.pc, in);
+    const u32 pc0 = op.pc;
+    if (c.prof_ != nullptr) c.prof_->on_retire(pc0, in, c.regs_[in.ra]);
+    const u32 a = c.regs_[in.ra];
+    const u32 b = c.regs_[in.rb];
+    const u32 d = c.regs_[in.rd];
+    const CoreFeatures& f = c.cfg_.features;
+    const CoreCosts& cc = c.cfg_.costs;
+    u32 cost = 1;
+    bool sequential = true;
+    (void)b;
+    (void)d;
+    (void)f;
+    (void)cc;
+
+    if constexpr (Op == Opcode::kAdd) {
+      c.write_reg(in.rd, a + b);
+    } else if constexpr (Op == Opcode::kSub) {
+      c.write_reg(in.rd, a - b);
+    } else if constexpr (Op == Opcode::kAnd) {
+      c.write_reg(in.rd, a & b);
+    } else if constexpr (Op == Opcode::kOr) {
+      c.write_reg(in.rd, a | b);
+    } else if constexpr (Op == Opcode::kXor) {
+      c.write_reg(in.rd, a ^ b);
+    } else if constexpr (Op == Opcode::kSll) {
+      c.write_reg(in.rd, a << (b & 31));
+    } else if constexpr (Op == Opcode::kSrl) {
+      c.write_reg(in.rd, a >> (b & 31));
+    } else if constexpr (Op == Opcode::kSra) {
+      c.write_reg(in.rd, as_u32(as_i32(a) >> (b & 31)));
+    } else if constexpr (Op == Opcode::kSlt) {
+      c.write_reg(in.rd, as_i32(a) < as_i32(b) ? 1 : 0);
+    } else if constexpr (Op == Opcode::kSltu) {
+      c.write_reg(in.rd, a < b ? 1 : 0);
+    } else if constexpr (Op == Opcode::kMul) {
+      c.write_reg(in.rd, a * b);
+      cost = op.cost;
+      ++c.perf_.mults;
+    } else if constexpr (Op == Opcode::kMulhs) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_mul64, c.cfg_.name + " has no mulhs");
+      c.write_reg(in.rd, static_cast<u32>(
+                             (static_cast<i64>(as_i32(a)) * as_i32(b)) >> 32));
+      cost = op.cost;
+      ++c.perf_.mults;
+    } else if constexpr (Op == Opcode::kMulhu) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_mul64, c.cfg_.name + " has no mulhu");
+      c.write_reg(in.rd, static_cast<u32>(
+                             (static_cast<u64>(a) * static_cast<u64>(b)) >> 32));
+      cost = op.cost;
+      ++c.perf_.mults;
+    } else if constexpr (Op == Opcode::kDiv) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_div, c.cfg_.name + " has no divide");
+      if (b == 0) {
+        c.write_reg(in.rd, 0xFFFFFFFFu);
+      } else if (a == 0x80000000u && b == 0xFFFFFFFFu) {
+        c.write_reg(in.rd, 0x80000000u);  // INT_MIN / -1 overflow convention
+      } else {
+        c.write_reg(in.rd, as_u32(as_i32(a) / as_i32(b)));
+      }
+      cost = op.cost;
+      ++c.perf_.divs;
+    } else if constexpr (Op == Opcode::kDivu) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_div, c.cfg_.name + " has no divide");
+      c.write_reg(in.rd, b == 0 ? 0xFFFFFFFFu : a / b);
+      cost = op.cost;
+      ++c.perf_.divs;
+    } else if constexpr (Op == Opcode::kRem) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_div, c.cfg_.name + " has no divide");
+      if (b == 0) {
+        c.write_reg(in.rd, a);
+      } else if (a == 0x80000000u && b == 0xFFFFFFFFu) {
+        c.write_reg(in.rd, 0);  // INT_MIN % -1
+      } else {
+        c.write_reg(in.rd, as_u32(as_i32(a) % as_i32(b)));
+      }
+      cost = op.cost;
+      ++c.perf_.divs;
+    } else if constexpr (Op == Opcode::kRemu) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_div, c.cfg_.name + " has no divide");
+      c.write_reg(in.rd, b == 0 ? a : a % b);
+      cost = op.cost;
+      ++c.perf_.divs;
+    } else if constexpr (Op == Opcode::kMac) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_mac, c.cfg_.name + " has no MAC");
+      c.write_reg(in.rd, d + a * b);
+      cost = op.cost;
+      ++c.perf_.mults;
+    } else if constexpr (Op == Opcode::kDotp2h) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_simd, c.cfg_.name + " has no sub-word SIMD");
+      c.write_reg(in.rd, d + as_u32(lane16(a, 0) * lane16(b, 0) +
+                                    lane16(a, 1) * lane16(b, 1)));
+      cost = op.cost;
+      ++c.perf_.mults;
+    } else if constexpr (Op == Opcode::kDotp4b) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_simd, c.cfg_.name + " has no sub-word SIMD");
+      i32 acc = 0;
+      for (int l = 0; l < 4; ++l) acc += lane8(a, l) * lane8(b, l);
+      c.write_reg(in.rd, d + as_u32(acc));
+      cost = op.cost;
+      ++c.perf_.mults;
+    } else if constexpr (Op == Opcode::kAdd2h || Op == Opcode::kSub2h) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_simd, c.cfg_.name + " has no sub-word SIMD");
+      const int sign = Op == Opcode::kAdd2h ? 1 : -1;
+      u32 out = 0;
+      for (int l = 0; l < 2; ++l) {
+        const u32 r = static_cast<u32>(lane16(a, l) + sign * lane16(b, l));
+        out |= (r & 0xFFFF) << (16 * l);
+      }
+      c.write_reg(in.rd, out);
+    } else if constexpr (Op == Opcode::kAdd4b || Op == Opcode::kSub4b) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_simd, c.cfg_.name + " has no sub-word SIMD");
+      const int sign = Op == Opcode::kAdd4b ? 1 : -1;
+      u32 out = 0;
+      for (int l = 0; l < 4; ++l) {
+        const u32 r = static_cast<u32>(lane8(a, l) + sign * lane8(b, l));
+        out |= (r & 0xFF) << (8 * l);
+      }
+      c.write_reg(in.rd, out);
+    } else if constexpr (Op == Opcode::kAddi) {
+      c.write_reg(in.rd, a + as_u32(in.imm));
+    } else if constexpr (Op == Opcode::kAndi) {
+      c.write_reg(in.rd, a & as_u32(in.imm));
+    } else if constexpr (Op == Opcode::kOri) {
+      c.write_reg(in.rd, a | as_u32(in.imm));
+    } else if constexpr (Op == Opcode::kXori) {
+      c.write_reg(in.rd, a ^ as_u32(in.imm));
+    } else if constexpr (Op == Opcode::kSlli) {
+      c.write_reg(in.rd, a << (in.imm & 31));
+    } else if constexpr (Op == Opcode::kSrli) {
+      c.write_reg(in.rd, a >> (in.imm & 31));
+    } else if constexpr (Op == Opcode::kSrai) {
+      c.write_reg(in.rd, as_u32(as_i32(a) >> (in.imm & 31)));
+    } else if constexpr (Op == Opcode::kSlti) {
+      c.write_reg(in.rd, as_i32(a) < in.imm ? 1 : 0);
+    } else if constexpr (Op == Opcode::kSltiu) {
+      c.write_reg(in.rd, a < as_u32(in.imm) ? 1 : 0);
+    } else if constexpr (Op == Opcode::kLui) {
+      c.write_reg(in.rd, as_u32(in.imm) << 12);
+    } else if constexpr (Op == Opcode::kBeq || Op == Opcode::kBne ||
+                         Op == Opcode::kBlt || Op == Opcode::kBge ||
+                         Op == Opcode::kBltu || Op == Opcode::kBgeu) {
+      ++c.perf_.branches;
+      bool taken = false;
+      if constexpr (Op == Opcode::kBeq) taken = a == b;
+      if constexpr (Op == Opcode::kBne) taken = a != b;
+      if constexpr (Op == Opcode::kBlt) taken = as_i32(a) < as_i32(b);
+      if constexpr (Op == Opcode::kBge) taken = as_i32(a) >= as_i32(b);
+      if constexpr (Op == Opcode::kBltu) taken = a < b;
+      if constexpr (Op == Opcode::kBgeu) taken = a >= b;
+      if (taken) {
+        ++c.perf_.branches_taken;
+        c.pc_ = static_cast<u32>(static_cast<i64>(c.pc_) + in.imm);
+        cost = op.cost;  // 1 + branch_taken_penalty
+        sequential = false;
+      }
+    } else if constexpr (Op == Opcode::kJal) {
+      c.write_reg(in.rd, c.pc_ + 1);
+      c.pc_ = static_cast<u32>(static_cast<i64>(c.pc_) + in.imm);
+      cost = op.cost;  // 1 + jump_penalty
+      sequential = false;
+    } else if constexpr (Op == Opcode::kJalr) {
+      const u32 target = a;
+      c.write_reg(in.rd, c.pc_ + 1);
+      c.pc_ = target;
+      cost = op.cost;  // 1 + jump_penalty
+      sequential = false;
+    } else if constexpr (Op == Opcode::kLpSetup) {
+      if constexpr (!kTrusted) ULP_CHECK(f.has_hwloops, c.cfg_.name + " has no hardware loops");
+      if constexpr (!kTrusted) ULP_CHECK(in.rd < 2, "hardware loop id must be 0 or 1");
+      if constexpr (!kTrusted) ULP_CHECK(in.imm > 0, "hardware loop body must be non-empty");
+      Core::HwLoop& lp = c.loops_[in.rd];
+      lp.start = c.pc_ + 1;
+      lp.end = c.pc_ + 1 + static_cast<u32>(in.imm);
+      lp.count = a;
+      if (lp.count == 0) {
+        c.pc_ = lp.end;
+        sequential = false;
+      }
+    } else if constexpr (Op == Opcode::kCsrr) {
+      // kCycle below folds ctx.cycles into the CSR view assuming the issue
+      // cycle was counted up front — which only !kSimple does, so csrr may
+      // never be instantiated trusted.
+      static_assert(!kTrusted, "csrr depends on the up-front issue cycle");
+      u32 v = 0;
+      switch (static_cast<isa::Csr>(in.imm)) {
+        case isa::Csr::kCoreId:
+          v = c.id_;
+          break;
+        case isa::Csr::kNumCores:
+          v = c.num_cores_;
+          break;
+        case isa::Csr::kCycle:
+          // read_csr() sees perf_.cycles with the current cycle already
+          // counted; in a block run that cycle lives in ctx.cycles until
+          // the exit flush, so add the two views.
+          v = static_cast<u32>(c.perf_.cycles + ctx.cycles);
+          break;
+        default:
+          ULP_CHECK(false, "unknown CSR " + std::to_string(in.imm));
+      }
+      c.write_reg(in.rd, v);
+    } else if constexpr (Op == Opcode::kNop) {
+      // nothing
+    } else {
+      ULP_CHECK(false, "unhandled opcode: " + isa::disassemble(in));
+    }
+
+    if (sequential) {
+      if (op.no_loop_end) {
+        ++c.pc_;  // provably not a loop end: skip the loop-slot scan
+      } else {
+        c.advance_pc_sequential();
+      }
+    }
+    if constexpr (kSimple) {
+      ctx.cycles += cost;
+    } else {
+      ctx.cycles += cost - 1;
+    }
+    if (c.prof_ != nullptr) c.prof_->add_cycles(pc0, cost);
+    return true;
+  }
+
+  /// One load/store on the fast lane: a naturally aligned access inside a
+  /// direct span, with no armed write watch in the way, is replayed without
+  /// the bus call — data movement on the host pointer, the span's solo
+  /// grant latency plus the opcode's extra cycles, and the same counter,
+  /// hook and writeback sequence retry_mem()/finish_mem() would perform.
+  /// Everything else (unaligned, watched stores, peripherals) falls back to
+  /// exec_mem_slow(). Monomorphised per opcode: size, direction, post-
+  /// increment and sign extension are compile-time facts.
+  /// kTrusted: the post-increment feature gate was discharged at decode
+  /// (always true for the non-post-increment opcodes, which have no gate).
+  template <Opcode Op, bool kTrusted>
+  static bool exec_mem(Core& c, const CachedOp& op, BlockRunCtx& ctx) {
+    constexpr bool kStore = mem_is_store(Op);
+    constexpr bool kPostInc = mem_is_postinc(Op);
+    constexpr int kSize = mem_size(Op);
+    const Instr& in = op.instr;
+    const Addr addr = kPostInc ? c.regs_[in.ra]
+                               : c.regs_[in.ra] + static_cast<u32>(in.imm);
+    if constexpr (kSize > 1) {
+      if ((addr & static_cast<Addr>(kSize - 1)) != 0) {
+        return exec_mem_slow(c, op, ctx);
+      }
+    }
+    const mem::DirectMap& dm = c.dmap_;
+    for (u32 s = 0; s < dm.count; ++s) {
+      const mem::DirectSpan& sp = dm.spans[s];
+      if (addr < sp.base || addr - sp.base > sp.bytes - kSize) continue;
+      if constexpr (kStore) {
+        if (dm.watch_bytes != 0 && addr < dm.watch_base + dm.watch_bytes &&
+            addr + kSize > dm.watch_base) {
+          // Watched store: the bus path lands it so the watcher fires.
+          return exec_mem_slow(c, op, ctx);
+        }
+      }
+      const u32 charge = sp.latency + op.cost;  // cost = load/store extra
+      if constexpr (kPostInc && !kTrusted) {
+        // The issue cycle is counted before start_mem()'s feature check can
+        // throw, exactly as one step() would leave the cycle state.
+        ctx.cycles += 1;
+        ULP_CHECK(c.cfg_.features.has_postinc,
+                  c.cfg_.name + " has no post-increment addressing");
+        ctx.cycles += charge - 1;
+      } else {
+        ctx.cycles += charge;
+      }
+      u8* p = sp.data + (addr - sp.base);
+      if (sp.access_counter != nullptr) ++*sp.access_counter;
+      // Data movement first (the grant), then retirement — retry_mem/
+      // finish_mem order, byte-for-byte little-endian as load_le/store_le.
+      u32 loaded = 0;
+      if constexpr (kStore) {
+        const u32 v = c.regs_[in.rd];
+        for (int i = 0; i < kSize; ++i) {
+          p[i] = static_cast<u8>(v >> (8 * i));
+        }
+      } else {
+        for (int i = kSize - 1; i >= 0; --i) {
+          loaded = (loaded << 8) | p[i];
+        }
+      }
+      if (c.prof_ != nullptr) c.prof_->add_cycles(op.pc, charge);
+      ++ctx.instrs;
+      if (c.retire_hook_) c.retire_hook_(op.pc, in);
+      if (c.prof_ != nullptr) c.prof_->on_retire(op.pc, in, c.regs_[in.ra]);
+      if constexpr (kStore) {
+        ++ctx.stores;
+      } else {
+        ++ctx.loads;
+        if constexpr (mem_sign(Op) && kSize < 4) {
+          constexpr u32 kSignBit = 1u << (kSize * 8 - 1);
+          if (loaded & kSignBit) loaded |= ~((kSignBit << 1) - 1);
+        }
+        c.write_reg(in.rd, loaded);
+      }
+      if constexpr (kPostInc) {
+        c.write_reg(in.ra, c.regs_[in.ra] + static_cast<u32>(in.imm));
+      }
+      if (op.no_loop_end) {
+        ++c.pc_;
+      } else {
+        c.advance_pc_sequential();
+      }
+      return true;
+    }
+    return exec_mem_slow(c, op, ctx);
+  }
+
+  /// One load/store, replayed through the real start_mem/retry_mem/
+  /// finish_mem machinery so address split, writeback, post-increment and
+  /// profiling stay byte-for-byte the per-cycle code. The solo-window
+  /// precondition makes every grant succeed on its first fresh-cycle
+  /// attempt, so the cycle count is closed-form: grant cycle + queued
+  /// latency per part.
+  static bool exec_mem_slow(Core& c, const CachedOp& op, BlockRunCtx& ctx) {
+    const Instr& in = op.instr;
+    const Addr addr = isa::is_postinc(in.op)
+                          ? c.regs_[in.ra]
+                          : c.regs_[in.ra] + static_cast<u32>(in.imm);
+    if (!c.bus_->plain_memory(addr, isa::access_size(in.op))) {
+      return false;  // peripheral/unmapped: per-cycle path owns this access
+    }
+    ctx.cycles += 1;  // the issue cycle carries the first grant attempt
+    const u64 stall0 = c.perf_.stall_mem;
+    c.bus_->begin_cycle();
+    c.start_mem(in);
+    while (c.memop_.active) {
+      // The granted part queued latency-1+extra stall cycles; those plus
+      // the next part's own grant cycle elapse before the retry.
+      ctx.cycles += c.busy_ + 1;
+      c.busy_ = 0;
+      c.bus_->begin_cycle();
+      c.retry_mem();
+    }
+    ctx.cycles += c.busy_;
+    c.busy_ = 0;
+    ULP_CHECK(c.perf_.stall_mem == stall0,
+              "block-cached access denied on a plain-memory range");
+    return true;
+  }
+
+  friend class BlockCache;
+};
+
+CachedOp::Handler BlockRunner::handler_for(const Instr& in,
+                                           const CoreFeatures& f) {
+// Unchecked opcodes: the kTrusted flag changes nothing, one instantiation.
+#define ULP_BLOCK_HANDLER(name) \
+  case Opcode::name:            \
+    return &exec<Opcode::name, false>;
+// Feature-gated opcodes: discharge the gate at decode time when it holds.
+#define ULP_BLOCK_CHECKED_HANDLER(name, cond)                         \
+  case Opcode::name:                                                  \
+    return (cond) ? &exec<Opcode::name, true>                         \
+                  : &exec<Opcode::name, false>;
+#define ULP_BLOCK_MEM_HANDLER(name)                                   \
+  case Opcode::name:                                                  \
+    return f.has_postinc || !mem_is_postinc(Opcode::name)             \
+               ? &exec_mem<Opcode::name, true>                        \
+               : &exec_mem<Opcode::name, false>;
+  switch (in.op) {
+    ULP_BLOCK_MEM_HANDLER(kLw)
+    ULP_BLOCK_MEM_HANDLER(kLh)
+    ULP_BLOCK_MEM_HANDLER(kLhu)
+    ULP_BLOCK_MEM_HANDLER(kLb)
+    ULP_BLOCK_MEM_HANDLER(kLbu)
+    ULP_BLOCK_MEM_HANDLER(kLwpi)
+    ULP_BLOCK_MEM_HANDLER(kLhpi)
+    ULP_BLOCK_MEM_HANDLER(kLhupi)
+    ULP_BLOCK_MEM_HANDLER(kLbpi)
+    ULP_BLOCK_MEM_HANDLER(kLbupi)
+    ULP_BLOCK_MEM_HANDLER(kSw)
+    ULP_BLOCK_MEM_HANDLER(kSh)
+    ULP_BLOCK_MEM_HANDLER(kSb)
+    ULP_BLOCK_MEM_HANDLER(kSwpi)
+    ULP_BLOCK_MEM_HANDLER(kShpi)
+    ULP_BLOCK_MEM_HANDLER(kSbpi)
+    ULP_BLOCK_HANDLER(kAdd)
+    ULP_BLOCK_HANDLER(kSub)
+    ULP_BLOCK_HANDLER(kAnd)
+    ULP_BLOCK_HANDLER(kOr)
+    ULP_BLOCK_HANDLER(kXor)
+    ULP_BLOCK_HANDLER(kSll)
+    ULP_BLOCK_HANDLER(kSrl)
+    ULP_BLOCK_HANDLER(kSra)
+    ULP_BLOCK_HANDLER(kSlt)
+    ULP_BLOCK_HANDLER(kSltu)
+    ULP_BLOCK_HANDLER(kMul)
+    ULP_BLOCK_CHECKED_HANDLER(kMulhs, f.has_mul64)
+    ULP_BLOCK_CHECKED_HANDLER(kMulhu, f.has_mul64)
+    ULP_BLOCK_CHECKED_HANDLER(kDiv, f.has_div)
+    ULP_BLOCK_CHECKED_HANDLER(kDivu, f.has_div)
+    ULP_BLOCK_CHECKED_HANDLER(kRem, f.has_div)
+    ULP_BLOCK_CHECKED_HANDLER(kRemu, f.has_div)
+    ULP_BLOCK_CHECKED_HANDLER(kMac, f.has_mac)
+    ULP_BLOCK_CHECKED_HANDLER(kDotp2h, f.has_simd)
+    ULP_BLOCK_CHECKED_HANDLER(kDotp4b, f.has_simd)
+    ULP_BLOCK_CHECKED_HANDLER(kAdd2h, f.has_simd)
+    ULP_BLOCK_CHECKED_HANDLER(kSub2h, f.has_simd)
+    ULP_BLOCK_CHECKED_HANDLER(kAdd4b, f.has_simd)
+    ULP_BLOCK_CHECKED_HANDLER(kSub4b, f.has_simd)
+    ULP_BLOCK_HANDLER(kAddi)
+    ULP_BLOCK_HANDLER(kAndi)
+    ULP_BLOCK_HANDLER(kOri)
+    ULP_BLOCK_HANDLER(kXori)
+    ULP_BLOCK_HANDLER(kSlli)
+    ULP_BLOCK_HANDLER(kSrli)
+    ULP_BLOCK_HANDLER(kSrai)
+    ULP_BLOCK_HANDLER(kSlti)
+    ULP_BLOCK_HANDLER(kSltiu)
+    ULP_BLOCK_HANDLER(kLui)
+    ULP_BLOCK_HANDLER(kBeq)
+    ULP_BLOCK_HANDLER(kBne)
+    ULP_BLOCK_HANDLER(kBlt)
+    ULP_BLOCK_HANDLER(kBge)
+    ULP_BLOCK_HANDLER(kBltu)
+    ULP_BLOCK_HANDLER(kBgeu)
+    ULP_BLOCK_HANDLER(kJal)
+    ULP_BLOCK_HANDLER(kJalr)
+    ULP_BLOCK_CHECKED_HANDLER(kLpSetup, f.has_hwloops && in.rd < 2 && in.imm > 0)
+    ULP_BLOCK_HANDLER(kCsrr)
+    ULP_BLOCK_HANDLER(kNop)
+    default:
+      // Sync-class opcodes never decode into blocks; anything else lands in
+      // the per-cycle path's "unhandled opcode" check.
+      return nullptr;
+  }
+#undef ULP_BLOCK_HANDLER
+#undef ULP_BLOCK_CHECKED_HANDLER
+#undef ULP_BLOCK_MEM_HANDLER
+}
+
+const Block* BlockCache::lookup(u32 pc, const isa::Instr* code, u32 code_size,
+                                const CoreConfig& cfg,
+                                u32 icache_line_words) {
+  if (pc >= code_size) return nullptr;
+  if (blocks_.size() != code_size) {
+    blocks_.assign(code_size, Block{});
+    built_.assign(code_size, 0);
+    pool_.clear();
+    stats_.blocks = 0;
+    stats_.records = 0;
+    // A program change resets the hardware loops too (Core::reset), so the
+    // loop-end map can start from scratch.
+    loop_end_.assign(code_size + 1, 0);
+    loop_scan_valid_ = false;
+  }
+  if (!loop_scan_valid_) {
+    // Mark every pc some lp.setup could put a loop end at. After a
+    // self-modifying-code flush the old marks stay set: a loop armed by the
+    // previous code revision keeps its end address in the core's loop
+    // registers, so the map may only widen until the next program load.
+    for (u32 p = 0; p < code_size; ++p) {
+      if (code[p].op != Opcode::kLpSetup || code[p].imm < 0) continue;
+      const u64 end = u64{p} + 1 + static_cast<u64>(code[p].imm);
+      if (end <= code_size) loop_end_[end] = 1;
+    }
+    loop_scan_valid_ = true;
+  }
+  if (built_[pc] == 0) {
+    // Decode into a stack scratch first: the pool may flush (capacity) or
+    // reallocate (growth) before the records land, and the scratch keeps
+    // that invisible to the decode loop.
+    std::array<CachedOp, kMaxBlockOps> scratch;
+    u32 n = 0;
+    for (u32 p = pc; p < code_size && n < kMaxBlockOps; ++p) {
+      const isa::Instr& in = code[p];
+      if (is_sync(in.op)) break;
+      CachedOp rec;
+      rec.fn = BlockRunner::handler_for(in, cfg.features);
+      if (rec.fn == nullptr) break;  // defensive: undispatchable opcode
+      rec.instr = in;
+      rec.pc = p;
+      rec.cost = static_cost(in, cfg.costs);
+      rec.is_store = isa::is_store(in.op);
+      rec.line_start = icache_line_words == 0 || p == pc ||
+                       p % icache_line_words == 0;
+      rec.no_loop_end = loop_end_[p + 1] == 0;
+      scratch[n++] = rec;
+      if (is_terminator(in.op)) break;
+    }
+    if (pool_.size() + n > kMaxTotalOps) flush();
+    built_[pc] = 1;
+    Block blk;
+    blk.first = static_cast<u32>(pool_.size());
+    blk.count = n;
+    pool_.insert(pool_.end(), scratch.begin(), scratch.begin() + n);
+    stats_.records += n;
+    ++stats_.blocks;
+    ++stats_.decodes;
+    blocks_[pc] = blk;
+  }
+  const Block& b = blocks_[pc];
+  return b.count == 0 ? nullptr : &b;
+}
+
+void BlockCache::flush() {
+  // built_ gates every blocks_ entry, so only it and the pool need clearing.
+  std::fill(built_.begin(), built_.end(), u8{0});
+  pool_.clear();
+  stats_.blocks = 0;
+  stats_.records = 0;
+  loop_scan_valid_ = false;  // code may have changed: rescan lp.setup ends
+  ++stats_.flushes;
+}
+
+u32 Core::compute_worst_op_cycles() const {
+  const CoreCosts& c = cfg_.costs;
+  u32 w = 1;
+  for (const u32 v :
+       {c.mul_cycles, c.mul64_cycles, c.div_cycles, c.dotp2_cycles,
+        c.dotp4_cycles, 1 + c.branch_taken_penalty, 1 + c.jump_penalty}) {
+    w = std::max(w, v);
+  }
+  // Worst load/store: two parts, each a grant cycle plus queued stalls.
+  const u32 extra = std::max(c.load_extra, c.store_extra);
+  w = std::max(w, 2 * (bus_->worst_case_latency() + extra));
+  // A record may additionally pay one I$ refill up front.
+  if (icache_ != nullptr) w += icache_->miss_penalty() + 1;
+  return w;
+}
+
+u64 Core::run_cached(u64 max_cycles) {
+  if (halted_ || sleeping_ || busy_ > 0 || memop_.active) return 0;
+  if (bcache_ == nullptr) bcache_ = std::make_unique<BlockCache>();
+  if (code_gen_ != nullptr && *code_gen_ != bcache_->generation) {
+    bcache_->flush();  // someone wrote into the code window since last run
+    bcache_->generation = *code_gen_;
+  }
+  if (worst_op_cycles_ == 0) worst_op_cycles_ = compute_worst_op_cycles();
+  dmap_ = bus_->direct_map();
+  const u32 line_words = icache_ != nullptr ? icache_->instrs_per_line() : 0;
+  // Invariant members hoisted into locals: the indirect handler call is
+  // opaque to the compiler, which would otherwise reload them every record.
+  BlockCache* const bc = bcache_.get();
+  mem::SharedICache* const ic = icache_;
+  const u64* const code_gen = code_gen_;
+
+  BlockRunCtx ctx;
+  try {
+    bool stop = false;
+    while (!stop) {
+      const Block* blk = bc->lookup(pc_, code_, code_size_, cfg_, line_words);
+      if (blk == nullptr) break;  // sync op / past end: per-cycle territory
+      last_block_pc_ = pc_;
+      const CachedOp* ops = bc->ops(*blk);
+      const size_t n = blk->count;
+      const u32 start_pc = pc_;
+      const u64 lean_need = static_cast<u64>(worst_op_cycles_) * n;
+      if (max_cycles - ctx.cycles >= lean_need) {
+        // Lean lane: the whole block provably fits the budget, so no
+        // per-record budget checks; I$ probes only on line-start records
+        // (the rest are guaranteed hits, charged in bulk below).
+        last_block_ops_left_ = static_cast<u32>(n);
+        for (;;) {
+          u64 sure_hits = 0;
+          size_t i = 0;
+          for (; i < n; ++i) {
+            const CachedOp& rec = ops[i];
+            // A hardware loop wrapped the pc back mid-block (or a zero-trip
+            // lp.setup skipped ahead): chain into the block at the new pc.
+            if (rec.pc != pc_) break;
+            if (ic != nullptr) {
+              if (rec.line_start) {
+                const u32 penalty = ic->fetch(rec.pc);
+                if (penalty > 0) {
+                  perf_.stall_icache += penalty;
+                  ctx.cycles += penalty + 1;
+                  if (prof_ != nullptr) prof_->add_cycles(rec.pc, penalty + 1);
+                }
+              } else {
+                ++sure_hits;
+              }
+            }
+            if (!rec.fn(*this, rec, ctx)) {
+              stop = true;  // non-plain memory: hand back to step()
+              break;
+            }
+            if (rec.is_store && code_gen != nullptr &&
+                *code_gen != bc->generation) {
+              // Self-modifying code: the store (now fully retired, pc
+              // already past it) hit the code window. Drop every block
+              // before any possibly-stale record executes.
+              bc->flush();
+              bc->generation = *code_gen;
+              stop = true;
+              break;
+            }
+          }
+          if (sure_hits != 0) ic->charge_hits(sure_hits);
+          // A hardware-loop back-edge (or a taken branch to the block's own
+          // start) landed on this very block: re-enter it directly, no
+          // lookup. This is the hot loop of every hwloop kernel.
+          if (!stop && pc_ == start_pc && max_cycles - ctx.cycles >= lean_need) {
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      // Budget tail: per-record worst-case checks, I$ probe on every record.
+      for (size_t i = 0; i < n; ++i) {
+        const CachedOp& rec = ops[i];
+        last_block_ops_left_ = static_cast<u32>(n - i);
+        if (rec.pc != pc_) break;
+        if (max_cycles - ctx.cycles < worst_op_cycles_) {
+          stop = true;  // the next record could overshoot the budget
+          break;
+        }
+        if (ic != nullptr) {
+          const u32 penalty = ic->fetch(rec.pc);
+          if (penalty > 0) {
+            // Refill charged exactly as issue() would: the miss cycle plus
+            // the refill, attributed up front. The line bitmap is sticky,
+            // so a post-charge fallback to step() re-fetches as a hit.
+            perf_.stall_icache += penalty;
+            ctx.cycles += penalty + 1;
+            if (prof_ != nullptr) prof_->add_cycles(rec.pc, penalty + 1);
+          }
+        }
+        if (!rec.fn(*this, rec, ctx)) {
+          stop = true;
+          break;
+        }
+        if (rec.is_store && code_gen != nullptr &&
+            *code_gen != bc->generation) {
+          bc->flush();
+          bc->generation = *code_gen;
+          stop = true;
+          break;
+        }
+      }
+    }
+  } catch (...) {
+    // Keep the fault's counter state identical to per-cycle stepping: the
+    // faulting instruction's counted cycles/retires are in ctx, flush them.
+    flush_run_ctx(ctx);
+    throw;
+  }
+  flush_run_ctx(ctx);
+  return ctx.cycles;
+}
+
+void Core::flush_run_ctx(const BlockRunCtx& ctx) {
+  // Every cycle of a block run is an active cycle: the core never sleeps,
+  // halts, or idles inside one.
+  perf_.cycles += ctx.cycles;
+  perf_.active_cycles += ctx.cycles;
+  perf_.instrs += ctx.instrs;
+  perf_.loads += ctx.loads;
+  perf_.stores += ctx.stores;
+}
+
+}  // namespace ulp::core

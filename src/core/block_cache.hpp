@@ -1,0 +1,131 @@
+// Basic-block translation cache for the ISS.
+//
+// On first execution of a pc the cache decodes forward to the next control
+// transfer (branch, jal/jalr, lp.setup) or scheduler-visible instruction
+// (barrier/wfe/sev/eoc/halt) into an array of pre-resolved records: a
+// handler function pointer (one specialised function per opcode — threaded
+// dispatch, replacing the per-cycle decode+switch), the decoded operands,
+// and the instruction's static cycle cost under the core's cost model.
+// Core::run_cached() then retires whole cached blocks between observable
+// events with cycle-exact bulk accounting; the per-cycle step() path keeps
+// the original switch untouched as the differential oracle.
+//
+// Keying and invalidation: blocks are keyed by start pc (a dense array —
+// the pc is an instruction index). The cache snapshots the owner's code
+// generation counter; any write into the instruction-memory window (core
+// store, DMA beat, host debug write — see cluster::Cluster's write watch)
+// bumps the generation and the next lookup flushes every block. Capacity
+// overflow (decode-heavy footprints) also flushes wholesale: eviction
+// bookkeeping is not worth carrying on the hot path for programs that fit,
+// and a full re-decode is exactly what the flush counter makes visible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/features.hpp"
+#include "isa/isa.hpp"
+
+namespace ulp::core {
+
+class Core;
+
+/// Mutable state of one cached-block run, shared between the dispatch loop
+/// and the handlers. The counters every record touches (cycles, instrs,
+/// loads, stores) accumulate here instead of read-modify-writing
+/// PerfCounters per instruction; the run flushes them once at exit — and on
+/// a fault, so the architectural state a SimError leaves behind is
+/// bit-identical to per-cycle stepping (every cycle of a cached-block run
+/// is an active cycle by construction).
+struct BlockRunCtx {
+  u64 cycles = 0;
+  u64 instrs = 0;
+  u64 loads = 0;
+  u64 stores = 0;
+};
+
+struct CachedOp {
+  /// Executes the record exactly as one per-cycle issue would, charging
+  /// its cycles into `ctx`. Returns false — having changed *nothing* —
+  /// when the record must be handed back to the per-cycle path (memory
+  /// access outside plain RAM).
+  using Handler = bool (*)(Core& c, const CachedOp& op, BlockRunCtx& ctx);
+
+  Handler fn = nullptr;
+  isa::Instr instr;
+  u32 pc = 0;
+  /// Issue-to-retire cycles when statically known (ALU class, and the
+  /// not-taken/taken baselines for control flow). For memory records this
+  /// holds the load/store extra cycles instead (the grant latency is the
+  /// direct span's).
+  u32 cost = 1;
+  /// The record can bump the owner's code generation (stores).
+  bool is_store = false;
+  /// This record's fetch may touch a new I$ line (block entry or a
+  /// line-aligned pc). False means the line was provably fetched by an
+  /// earlier record of the same run: a guaranteed hit, charged in bulk.
+  bool line_start = true;
+  /// pc+1 can never be a hardware-loop end (no lp.setup anywhere in the
+  /// program targets it), so a sequential retirement from this record is a
+  /// bare pc increment — the loop-slot scan is provably a no-op.
+  bool no_loop_end = false;
+};
+
+/// A decoded block: a contiguous slice of the cache's record pool. Keeping
+/// every record in one arena makes dispatch cache-friendly and turns a
+/// wholesale flush into a pool clear instead of per-block deallocation.
+struct Block {
+  u32 first = 0;  ///< Index of the first record in the pool.
+  u32 count = 0;
+};
+
+struct BlockCacheStats {
+  u64 blocks = 0;   ///< Decoded blocks currently live.
+  u64 records = 0;  ///< Cached records currently live.
+  u64 decodes = 0;  ///< Blocks decoded over the cache's lifetime.
+  u64 flushes = 0;  ///< Wholesale invalidations (generation or capacity).
+};
+
+class BlockCache {
+ public:
+  /// Longest straight-line block; longer runs split at the cap and chain
+  /// through the dispatch loop's re-lookup.
+  static constexpr u32 kMaxBlockOps = 64;
+  /// Record budget across all blocks; exceeding it flushes wholesale.
+  static constexpr size_t kMaxTotalOps = size_t{1} << 15;
+
+  /// The block starting at `pc`, decoding it on first use. Returns null
+  /// when `pc` is out of range or sits directly on an instruction the
+  /// per-cycle path must execute (sync class). `cfg` prices the records;
+  /// `icache_line_words` (0 = no I$) marks line-start records.
+  const Block* lookup(u32 pc, const isa::Instr* code, u32 code_size,
+                      const CoreConfig& cfg, u32 icache_line_words);
+
+  /// The records of a block returned by lookup(). Valid until the next
+  /// lookup() that decodes (the pool may grow) or flush().
+  [[nodiscard]] const CachedOp* ops(const Block& b) const {
+    return pool_.data() + b.first;
+  }
+
+  /// Drop every block (code changed / capacity overflow / core reset).
+  void flush();
+
+  [[nodiscard]] const BlockCacheStats& stats() const { return stats_; }
+
+  /// Code generation this cache was built against (see Core::run_cached).
+  u64 generation = 0;
+
+ private:
+  std::vector<CachedOp> pool_;  ///< All live records, block-contiguous.
+  std::vector<Block> blocks_;   ///< Indexed by start pc.
+  std::vector<u8> built_;       ///< Distinguishes "not decoded" from empty.
+  /// loop_end_[p] != 0: some lp.setup in the program (current code, or —
+  /// after a self-modifying-code flush — any earlier revision whose armed
+  /// loop may still be live) puts a hardware-loop end at instruction p.
+  /// Rebuilt on program change, widened (never narrowed) on flush.
+  std::vector<u8> loop_end_;
+  bool loop_scan_valid_ = false;
+  BlockCacheStats stats_;
+};
+
+}  // namespace ulp::core

@@ -34,6 +34,10 @@ Core::Core(u32 core_id, u32 num_cores, CoreConfig config, mem::DataBus* bus,
       sync_(sync) {
   ULP_CHECK(bus != nullptr, "core needs a data bus");
   ULP_CHECK(core_id < num_cores, "core id out of range");
+  // Reference stepping is the per-cycle oracle: it always executes through
+  // the original decode+switch, so the block cache is forced off under it.
+  block_enabled_ =
+      config::block_cache_default() && !config::reference_stepping_default();
 }
 
 void Core::reset(const isa::Program* program) {
@@ -55,14 +59,17 @@ void Core::reset(const isa::Program* program) {
   // The profile always describes the currently loaded program: watchdog
   // retries and fallback re-boots reset the counters it must mirror.
   if (prof_ != nullptr) prof_->reset();
+  // A new program means every cached block decodes stale code: drop them.
+  if (bcache_ != nullptr) {
+    bcache_->flush();
+    bcache_->generation = code_gen_ != nullptr ? *code_gen_ : 0;
+  }
+  last_block_pc_ = 0;
+  last_block_ops_left_ = 0;
 }
 
 void Core::set_reg(u32 index, u32 value) {
   ULP_CHECK(index < isa::kNumRegs, "register index out of range");
-  if (index != 0) regs_[index] = value;
-}
-
-void Core::write_reg(u32 index, u32 value) {
   if (index != 0) regs_[index] = value;
 }
 
@@ -130,9 +137,27 @@ StepState Core::step() {
 }
 
 void Core::run_to_halt(u64 max_cycles) {
-  for (u64 i = 0; i < max_cycles; ++i) {
+  u64 used = 0;
+  while (used < max_cycles) {
     if (halted_) return;
+    if (block_enabled_) {
+      const u64 done = run_cached(max_cycles - used);
+      if (done > 0) {
+        used += done;
+        continue;
+      }
+    }
     step();
+    ++used;
+  }
+  if (halted_) return;
+  std::string block_state;
+  if (block_enabled_ && bcache_ != nullptr) {
+    block_state = ", block cache active (last block start pc " +
+                  std::to_string(last_block_pc_) + ", " +
+                  std::to_string(last_block_ops_left_) +
+                  " records remaining, " +
+                  std::to_string(bcache_->stats().flushes) + " flushes)";
   }
   ULP_CHECK(halted_,
             "program did not halt within cycle budget: core " +
@@ -142,7 +167,7 @@ void Core::run_to_halt(u64 max_cycles) {
                                                                  : "event"))
                            : " awake") +
                 ", busy " + std::to_string(busy_) +
-                (memop_.active ? ", memory op in flight" : ""));
+                (memop_.active ? ", memory op in flight" : "") + block_state);
 }
 
 void Core::issue() {
@@ -163,35 +188,6 @@ void Core::issue() {
     return;
   }
   execute(in);
-}
-
-void Core::advance_pc_sequential() {
-  // Fast path: no hardware loop armed — the next pc is simply pc+1.
-  if ((loops_[0].count | loops_[1].count) == 0) {
-    ++pc_;
-    return;
-  }
-  u32 next = pc_ + 1;
-  {
-    // Innermost loop (slot 1) is checked first so nesting works. When the
-    // inner loop expires we keep checking the outer slot: the two bodies may
-    // legally end on the same instruction.
-    // hwloop_bug_ raises the continue threshold by one, dropping the last
-    // iteration — the injected fault the differential fuzzer must catch.
-    const u32 last = hwloop_bug_ ? 2u : 1u;
-    for (int slot = 1; slot >= 0; --slot) {
-      HwLoop& lp = loops_[static_cast<size_t>(slot)];
-      if (lp.count > 0 && next == lp.end) {
-        if (lp.count > last) {
-          --lp.count;
-          next = lp.start;
-          break;
-        }
-        lp.count = 0;  // final iteration: fall through, deactivate
-      }
-    }
-  }
-  pc_ = next;
 }
 
 void Core::execute(const Instr& in) {

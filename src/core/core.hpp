@@ -9,8 +9,10 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 
 #include "common/status.hpp"
+#include "core/block_cache.hpp"
 #include "core/features.hpp"
 #include "core/perf.hpp"
 #include "isa/program.hpp"
@@ -68,8 +70,41 @@ class Core {
   StepState step();
 
   /// Convenience for single-core runs: steps until HALT/EOC. Throws if the
-  /// program does not finish within `max_cycles`.
+  /// program does not finish within `max_cycles`. Uses the block-cached fast
+  /// path when enabled; falls back to per-cycle stepping wherever a pc is
+  /// not block-eligible.
   void run_to_halt(u64 max_cycles = 2'000'000'000ull);
+
+  /// Retire whole decode-once cached blocks starting at the current pc,
+  /// charging cycles in bulk but bit-identically to per-cycle stepping.
+  /// Stops before any record whose remaining budget could not cover its
+  /// worst case, before sync-class instructions (barrier/wfe/sev/eoc/halt),
+  /// on non-plain-memory accesses, and after a store that invalidated the
+  /// code window. Never consumes more than `max_cycles`. Returns the cycles
+  /// consumed; 0 means the current pc is not block-eligible (or the core is
+  /// busy/sleeping/halted) and the caller must step() per-cycle instead.
+  /// Only valid when the core is provably alone on its bus for the whole
+  /// window (solo core awake, DMA idle) — the owner checks that.
+  u64 run_cached(u64 max_cycles);
+
+  /// Enables the block-cached fast path for this core. The constructor
+  /// latches config::block_cache_default() (forced off under the reference
+  /// stepping default); owners (cluster) override per instance.
+  void set_block_cache(bool on) { block_enabled_ = on; }
+  [[nodiscard]] bool block_cache_enabled() const { return block_enabled_; }
+
+  /// Points the core at its owner's code-generation counter. The owner
+  /// bumps it on any write into the instruction-memory window (core store,
+  /// DMA beat, host debug write); run_cached() flushes every cached block
+  /// when the generation moved. Null (default): code is immutable.
+  void set_code_generation(const u64* generation) { code_gen_ = generation; }
+
+  /// Block-cache statistics (null until the first run_cached() decode).
+  [[nodiscard]] const BlockCacheStats* block_stats() const {
+    return bcache_ != nullptr ? &bcache_->stats() : nullptr;
+  }
+
+  [[nodiscard]] bool mem_in_flight() const { return memop_.active; }
 
   [[nodiscard]] bool halted() const { return halted_; }
   [[nodiscard]] bool sleeping() const { return sleeping_; }
@@ -124,6 +159,8 @@ class Core {
   [[nodiscard]] profile::PcProfile* profile() const { return prof_; }
 
  private:
+  friend class BlockRunner;
+
   struct HwLoop {
     u32 start = 0;
     u32 end = 0;  ///< Index one past the last body instruction.
@@ -156,10 +193,51 @@ class Core {
   void start_mem(const isa::Instr& in);
   void retry_mem();
   void finish_mem();
-  void advance_pc_sequential();
-  void write_reg(u32 index, u32 value);
+  // Retirement helpers. Defined in the header: both run once per retired
+  // instruction on the block-cached path (block_cache.cpp), where an
+  // out-of-line call would dominate the handler body.
+  void advance_pc_sequential() {
+    // Fast path: no hardware loop armed — the next pc is simply pc+1.
+    if ((loops_[0].count | loops_[1].count) == 0) {
+      ++pc_;
+      return;
+    }
+    u32 next = pc_ + 1;
+    {
+      // Innermost loop (slot 1) is checked first so nesting works. When the
+      // inner loop expires we keep checking the outer slot: the two bodies
+      // may legally end on the same instruction.
+      // hwloop_bug_ raises the continue threshold by one, dropping the last
+      // iteration — the injected fault the differential fuzzer must catch.
+      const u32 last = hwloop_bug_ ? 2u : 1u;
+      for (int slot = 1; slot >= 0; --slot) {
+        HwLoop& lp = loops_[static_cast<size_t>(slot)];
+        if (lp.count > 0 && next == lp.end) {
+          if (lp.count > last) {
+            --lp.count;
+            next = lp.start;
+            break;
+          }
+          lp.count = 0;  // final iteration: fall through, deactivate
+        }
+      }
+    }
+    pc_ = next;
+  }
+  void write_reg(u32 index, u32 value) {
+    if (index != 0) regs_[index] = value;
+  }
   [[nodiscard]] u32 read_csr(i32 index) const;
   void go_to_sleep(WakeKind kind, u32 pc);
+
+  /// Ceiling on the cycles any one cached record can charge (op cost, two
+  /// worst-case memory parts, an I$ refill) — sizes run_cached()'s budget
+  /// check so it never overshoots. Computed lazily (0 = not yet).
+  [[nodiscard]] u32 compute_worst_op_cycles() const;
+
+  /// Folds a block run's accumulated counters into PerfCounters (run exit
+  /// and the fault path — see BlockRunCtx).
+  void flush_run_ctx(const BlockRunCtx& ctx);
 
   /// Adds `n` cycles to the sleep-cause counter latched at sleep entry.
   void bump_sleep_split(u64 n) {
@@ -207,6 +285,21 @@ class Core {
 
   PerfCounters perf_;
   RetireHook retire_hook_;
+
+  // Basic-block translation cache (see block_cache.hpp). Allocated lazily
+  // on the first run_cached(); strictly per-core, so campaign workers never
+  // share mutable cache state.
+  std::unique_ptr<BlockCache> bcache_;
+  bool block_enabled_ = false;
+  const u64* code_gen_ = nullptr;
+  u32 worst_op_cycles_ = 0;
+  /// Plain-memory geometry for the block-cached mem fast lane, refreshed
+  /// from the bus at every run_cached() entry (the watch window can move
+  /// between windows; the spans themselves are stable).
+  mem::DirectMap dmap_;
+  // Deadlock diagnostics: where the last cached-block run stood.
+  u32 last_block_pc_ = 0;
+  u32 last_block_ops_left_ = 0;
 
   static constexpr u32 kWakeLatency = 2;  ///< HW synchronizer wake cost.
 };

@@ -175,7 +175,8 @@ Dma::FastForwardResult Dma::fast_forward(u64 max_cycles) {
   // retry is granted immediately).
   if (pending_write_) {
     const bool dst_t = tcdm.contains(pending_dst_, pending_size_);
-    if (!dst_t && !l2.contains(pending_dst_, pending_size_)) {
+    if ((!dst_t && !l2.contains(pending_dst_, pending_size_)) ||
+        touches_code(pending_dst_, static_cast<u64>(pending_size_))) {
       return fast_forward_stepped(max_cycles);
     }
     if (max_cycles == 0) return r;
@@ -204,8 +205,11 @@ Dma::FastForwardResult Dma::fast_forward(u64 max_cycles) {
     const bool dst_t = tcdm.contains(t.dst, static_cast<int>(t.remaining));
     const bool src_l = l2.contains(t.src, static_cast<int>(t.remaining));
     const bool dst_l = l2.contains(t.dst, static_cast<int>(t.remaining));
-    if ((!src_t && !src_l) || (!dst_t && !dst_l)) {
-      // Peripheral or unmapped endpoint: replay per-cycle semantics.
+    if ((!src_t && !src_l) || (!dst_t && !dst_l) ||
+        touches_code(t.dst, t.remaining)) {
+      // Peripheral or unmapped endpoint — or a destination overlapping the
+      // executable-code window, whose write watcher only sees bus stores:
+      // replay per-cycle semantics.
       const FastForwardResult f =
           fast_forward_stepped(max_cycles - r.consumed);
       r.consumed += f.consumed;

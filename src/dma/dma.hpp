@@ -88,6 +88,16 @@ class Dma final : public mem::Peripheral {
   /// Must only be called when !idle(); requires set_cluster_bus().
   FastForwardResult fast_forward(u64 max_cycles);
 
+  /// Watch `[base, base+bytes)` as executable code (the cluster's
+  /// self-modifying-code window; bytes == 0 disarms). The analytic
+  /// fast_forward() paths write memory directly, bypassing the bus write
+  /// watcher — any transfer that could land in the window is demoted to the
+  /// per-cycle replay, whose bus stores fire the watcher beat by beat.
+  void set_code_watch(Addr base, u32 bytes) {
+    code_watch_base_ = base;
+    code_watch_bytes_ = bytes;
+  }
+
   /// Account `cycles` idle cycles in one jump (keeps the trace clock and
   /// any stepped-but-idle bookkeeping identical to per-cycle stepping).
   void skip_idle(u64 cycles) {
@@ -117,6 +127,12 @@ class Dma final : public mem::Peripheral {
   void trace_transfer_end();
   void complete_transfer();
   [[nodiscard]] FastForwardResult fast_forward_stepped(u64 max_cycles);
+  /// True when `[addr, addr+bytes)` overlaps the watched code window.
+  [[nodiscard]] bool touches_code(Addr addr, u64 bytes) const {
+    return code_watch_bytes_ != 0 &&
+           addr < code_watch_base_ + code_watch_bytes_ &&
+           addr + bytes > code_watch_base_;
+  }
 
   [[nodiscard]] static int beat_size(const Transfer& t);
 
@@ -132,6 +148,8 @@ class Dma final : public mem::Peripheral {
   u32 reg_len_ = 0;
 
   std::deque<Transfer> queue_;
+  Addr code_watch_base_ = 0;  ///< SMC window (see set_code_watch).
+  u32 code_watch_bytes_ = 0;
   bool pending_write_ = false;  ///< A beat was read but not yet written.
   bool pending_is_last_ = false;  ///< That beat completes its transfer.
   u32 pending_data_ = 0;

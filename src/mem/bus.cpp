@@ -36,6 +36,7 @@ BusResult ClusterBus::access(Addr addr, int size, bool is_store,
     BusResult r{.granted = true, .latency = 1, .data = 0};
     if (is_store) {
       tcdm_->store(addr, size, store_value);
+      notify_write(addr, size);
     } else {
       r.data = tcdm_->load(addr, size, sign_extend);
     }
@@ -47,6 +48,7 @@ BusResult ClusterBus::access(Addr addr, int size, bool is_store,
     BusResult r{.granted = true, .latency = l2_latency_, .data = 0};
     if (is_store) {
       l2_->store(addr, size, store_value);
+      notify_write(addr, size);
     } else {
       r.data = l2_->load(addr, size, sign_extend);
     }
@@ -67,6 +69,21 @@ BusResult ClusterBus::access(Addr addr, int size, bool is_store,
   ULP_CHECK(false, "bus access to unmapped address " + std::to_string(addr));
 }
 
+DirectMap ClusterBus::direct_map() {
+  DirectMap m;
+  // TCDM: banked but conflict-free for a solo master; every granted access
+  // bumps the same counter try_grant() would have.
+  m.spans[0] = {tcdm_->bytes().data(), tcdm_->base(),
+                static_cast<u32>(tcdm_->size()), 1,
+                tcdm_->access_counter_slot()};
+  m.spans[1] = {l2_->bytes().data(), l2_->base(),
+                static_cast<u32>(l2_->size()), l2_latency_, nullptr};
+  m.count = 2;
+  m.watch_base = watch_base_;
+  m.watch_bytes = watch_bytes_;
+  return m;
+}
+
 u32 ClusterBus::debug_load(Addr addr, int size, bool sign_extend) {
   if (tcdm_->contains(addr, size)) return tcdm_->load(addr, size, sign_extend);
   if (l2_->contains(addr, size)) return l2_->load(addr, size, sign_extend);
@@ -76,10 +93,12 @@ u32 ClusterBus::debug_load(Addr addr, int size, bool sign_extend) {
 void ClusterBus::debug_store(Addr addr, int size, u32 value) {
   if (tcdm_->contains(addr, size)) {
     tcdm_->store(addr, size, value);
+    notify_write(addr, size);
     return;
   }
   if (l2_->contains(addr, size)) {
     l2_->store(addr, size, value);
+    notify_write(addr, size);
     return;
   }
   ULP_CHECK(false, "debug_store to unmapped address");
@@ -112,6 +131,14 @@ BusResult SimpleBus::access(Addr addr, int size, bool is_store,
   }
   ULP_CHECK(false,
             "host bus access to unmapped address " + std::to_string(addr));
+}
+
+DirectMap SimpleBus::direct_map() {
+  DirectMap m;
+  m.spans[0] = {sram_->bytes().data(), sram_->base(),
+                static_cast<u32>(sram_->size()), latency_, nullptr};
+  m.count = 1;
+  return m;
 }
 
 u32 SimpleBus::debug_load(Addr addr, int size, bool sign_extend) {

@@ -9,6 +9,8 @@
 //    the single-master MCU host (and the "Cortex-M" baselines).
 #pragma once
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include "mem/mem.hpp"
@@ -20,6 +22,28 @@ struct BusResult {
   bool granted = false;
   u32 latency = 0;  ///< Total cycles for the access when granted (>= 1).
   u32 data = 0;     ///< Loaded value (loads only).
+};
+
+/// Zero-copy window onto one plain-memory range: everything the block-cached
+/// fast lane needs to replay a solo, aligned access without the bus call —
+/// the host pointer for the data movement, the deterministic grant latency,
+/// and the per-access statistics slot the arbiter would have bumped.
+struct DirectSpan {
+  u8* data = nullptr;  ///< Host byte at guest address `base`.
+  Addr base = 0;
+  u32 bytes = 0;
+  u32 latency = 1;  ///< Solo grant latency (>= 1), access() would charge it.
+  u64* access_counter = nullptr;  ///< Bump once per access (TCDM); may be null.
+};
+
+/// The bus's plain-memory geometry plus the write-watch window. Stores that
+/// overlap `[watch_base, watch_base + watch_bytes)` must take the bus path so
+/// the write watcher fires (self-modifying-code invalidation).
+struct DirectMap {
+  std::array<DirectSpan, 2> spans{};
+  u32 count = 0;
+  Addr watch_base = 0;
+  u32 watch_bytes = 0;
 };
 
 class DataBus {
@@ -36,6 +60,31 @@ class DataBus {
   [[nodiscard]] virtual u32 debug_load(Addr addr, int size,
                                        bool sign_extend) = 0;
   virtual void debug_store(Addr addr, int size, u32 value) = 0;
+
+  /// Reset per-cycle arbitration state (bank claims, port busy flags).
+  /// Called once per cycle by the owning scheduler; the block-cached fast
+  /// path calls it before each access it replays so a solo master sees the
+  /// same always-granted arbitration a fresh cycle would give it.
+  virtual void begin_cycle() {}
+
+  /// True when `[addr, addr+size)` is ordinary RAM: an access there has no
+  /// side effect beyond the data movement and, with this master alone on
+  /// the bus, is granted on the first attempt at a deterministic latency.
+  /// Peripheral and unmapped ranges return false; the block-cached fast
+  /// path must hand those accesses back to the per-cycle loop.
+  [[nodiscard]] virtual bool plain_memory(Addr addr, int size) const {
+    (void)addr;
+    (void)size;
+    return false;
+  }
+
+  /// Upper bound on the grant latency of any plain_memory() access — the
+  /// block-cached fast path sizes its per-instruction cycle budget with it.
+  [[nodiscard]] virtual u32 worst_case_latency() const { return 1; }
+
+  /// The plain-memory spans a solo master may access directly (see
+  /// DirectSpan). Default: none — every access takes the bus path.
+  [[nodiscard]] virtual DirectMap direct_map() { return {}; }
 };
 
 struct PeripheralMapping {
@@ -48,27 +97,58 @@ struct PeripheralMapping {
 /// peripheral region. Call begin_cycle() once per cluster cycle.
 class ClusterBus final : public DataBus {
  public:
+  /// Observer of writes into a watched byte range (the instruction-memory
+  /// window of the self-modifying-code model). Invoked *after* the store
+  /// has landed, with the store's address and size.
+  using WriteWatcher = std::function<void(Addr addr, int size)>;
+
   ClusterBus(Tcdm* tcdm, Sram* l2, u32 l2_latency);
 
   void add_peripheral(Addr base, u32 size, Peripheral* device);
-  void begin_cycle();
+  void begin_cycle() override;
 
   BusResult access(Addr addr, int size, bool is_store, u32 store_value,
                    bool sign_extend, u32 initiator) override;
   u32 debug_load(Addr addr, int size, bool sign_extend) override;
   void debug_store(Addr addr, int size, u32 value) override;
 
+  [[nodiscard]] bool plain_memory(Addr addr, int size) const override {
+    return tcdm_->contains(addr, size) || l2_->contains(addr, size);
+  }
+  [[nodiscard]] u32 worst_case_latency() const override {
+    return l2_latency_ > 1 ? l2_latency_ : 1;
+  }
+  [[nodiscard]] DirectMap direct_map() override;
+
+  /// Watch `[base, base+bytes)` for stores (core stores, DMA beats, host
+  /// debug writes through this bus) and call `watcher` after each one.
+  /// `bytes == 0` disarms. The disarmed hot-path cost is one compare.
+  void set_write_watch(Addr base, u32 bytes, WriteWatcher watcher) {
+    watch_base_ = base;
+    watch_bytes_ = bytes;
+    watcher_ = std::move(watcher);
+  }
+
   [[nodiscard]] Tcdm& tcdm() { return *tcdm_; }
   [[nodiscard]] Sram& l2() { return *l2_; }
 
  private:
   [[nodiscard]] Peripheral* find_peripheral(Addr addr, Addr* offset);
+  void notify_write(Addr addr, int size) {
+    if (watch_bytes_ != 0 && addr < watch_base_ + watch_bytes_ &&
+        addr + static_cast<Addr>(size) > watch_base_) {
+      watcher_(addr, size);
+    }
+  }
 
   Tcdm* tcdm_;
   Sram* l2_;
   u32 l2_latency_;
   bool l2_port_busy_ = false;
   std::vector<PeripheralMapping> peripherals_;
+  Addr watch_base_ = 0;
+  u32 watch_bytes_ = 0;
+  WriteWatcher watcher_;
 };
 
 /// Flat single-master memory (MCU host model), with optional memory-mapped
@@ -88,6 +168,12 @@ class SimpleBus final : public DataBus {
                    bool sign_extend, u32 initiator) override;
   u32 debug_load(Addr addr, int size, bool sign_extend) override;
   void debug_store(Addr addr, int size, u32 value) override;
+
+  [[nodiscard]] bool plain_memory(Addr addr, int size) const override {
+    return sram_->contains(addr, size);
+  }
+  [[nodiscard]] u32 worst_case_latency() const override { return latency_; }
+  [[nodiscard]] DirectMap direct_map() override;
 
  private:
   Sram* sram_;

@@ -43,8 +43,14 @@ class SharedICache {
     return miss_penalty_;
   }
 
+  /// Bulk-counts fetches the block-cached fast lane proved to be hits
+  /// without probing (same line as the previous record in the same run).
+  void charge_hits(u64 n) { hits_ += n; }
+
   [[nodiscard]] u64 misses() const { return misses_; }
   [[nodiscard]] u64 hits() const { return hits_; }
+  [[nodiscard]] u32 miss_penalty() const { return miss_penalty_; }
+  [[nodiscard]] u32 instrs_per_line() const { return instrs_per_line_; }
 
  private:
   u32 instrs_per_line_;

@@ -49,6 +49,10 @@ class Tcdm {
     conflicts_ += conflicts;
   }
 
+  /// Slot the block-cached fast lane bumps once per uncontended access it
+  /// replays without try_grant (see DataBus::direct_map).
+  [[nodiscard]] u64* access_counter_slot() { return &accesses_; }
+
   // Functional access (timing handled by the caller through try_grant).
   [[nodiscard]] u32 load(Addr addr, int size, bool sign_extend) const;
   void store(Addr addr, int size, u32 value);

@@ -188,16 +188,25 @@ u64 HeteroSystem::fast_forward_host_sleep(u64 max_host_cycles) {
     // reference loop runs the whole batch before the host's next wake
     // check too), so EOC rising inside it is observed one host step later
     // in both modes.
+    // With the cluster's block cache active a zero horizon need not mean
+    // tick-at-a-time: hand the cluster the whole remaining tick budget and
+    // let it retire cached blocks, stopping right after the step that
+    // raises EOC (blocks and quiescent windows cannot raise it), which the
+    // rewind below maps onto the same host wake cycle as tick-wise runs.
     const u64 horizon = cl.quiescent_horizon();
+    const u64 stride = (horizon == 0 && cl.block_cache_enabled())
+                           ? ticks_left
+                           : std::min(std::max<u64>(horizon, 1), ticks_left);
     const ClockRatio before = ratio_;
-    const ClockRatio::TickRun run =
-        ratio_.consume_ticks(std::min(std::max<u64>(horizon, 1), ticks_left));
-    const u64 done = cl.advance(run.ticks);
+    const ClockRatio::TickRun run = ratio_.consume_ticks(stride);
+    const u64 done = cl.advance(run.ticks, /*stop_at_eoc_rise=*/true);
     if (done < run.ticks) {
-      // The cluster halted (EOC) partway through the burst and its clock
-      // froze, exactly as the per-cycle loop freezes it. Rewind the tick
-      // schedule to the host cycle whose batch held the last executed
-      // tick: the host wakes on the step after it.
+      // The cluster halted or raised EOC partway through the burst and its
+      // clock froze (halt), exactly as the per-cycle loop freezes it.
+      // Rewind the tick schedule to the host cycle whose batch held the
+      // last executed tick: the host wakes on the step after it, and any
+      // remaining cluster ticks of that batch re-accrue through the
+      // accumulator at subsequent host steps.
       ratio_ = before;
       advanced += ratio_.consume_ticks(done).cycles;
     } else {

@@ -55,37 +55,39 @@ std::string diff_memory(const std::string& label, Addr base,
 }
 
 /// Everything two cluster runs of the same program must agree on — which is
-/// everything, including exact cycle counts.
-std::string diff_observations(const Observation& ref, const Observation& ff) {
+/// everything, including exact cycle counts. `label` names the pairing in
+/// the verdict ("ref-vs-ff", "ref-vs-bc", ...).
+std::string diff_observations(const std::string& label, const Observation& ref,
+                              const Observation& ff) {
   if (ref.cycles != ff.cycles) {
-    return "ref-vs-ff: cycles " + std::to_string(ref.cycles) + " vs " +
+    return label + ": cycles " + std::to_string(ref.cycles) + " vs " +
            std::to_string(ff.cycles);
   }
   if (ref.eoc != ff.eoc || ref.eoc_flag != ff.eoc_flag) {
-    return "ref-vs-ff: eoc " + std::to_string(ref.eoc) + "/" +
+    return label + ": eoc " + std::to_string(ref.eoc) + "/" +
            std::to_string(ref.eoc_flag) + " vs " + std::to_string(ff.eoc) +
            "/" + std::to_string(ff.eoc_flag);
   }
   if (ref.barriers_completed != ff.barriers_completed) {
-    return "ref-vs-ff: barriers " + std::to_string(ref.barriers_completed) +
+    return label + ": barriers " + std::to_string(ref.barriers_completed) +
            " vs " + std::to_string(ff.barriers_completed);
   }
   for (size_t c = 0; c < ref.regs.size(); ++c) {
     for (size_t r = 0; r < isa::kNumRegs; ++r) {
       if (ref.regs[c][r] != ff.regs[c][r]) {
-        return "ref-vs-ff: core " + std::to_string(c) + " r" +
+        return label + ": core " + std::to_string(c) + " r" +
                std::to_string(r) + " = " + hex(ref.regs[c][r]) + " vs " +
                hex(ff.regs[c][r]);
       }
     }
   }
-  std::string d = diff_memory("ref-vs-ff: tcdm", memmap::kTcdmBase, ref.tcdm,
+  std::string d = diff_memory(label + ": tcdm", memmap::kTcdmBase, ref.tcdm,
                               ff.tcdm);
   if (!d.empty()) return d;
-  d = diff_memory("ref-vs-ff: l2", memmap::kL2Base, ref.l2, ff.l2);
+  d = diff_memory(label + ": l2", memmap::kL2Base, ref.l2, ff.l2);
   if (!d.empty()) return d;
   for (size_t c = 0; c < ref.retires.size(); ++c) {
-    d = diff_retires("ref-vs-ff: core " + std::to_string(c), ref.retires[c],
+    d = diff_retires(label + ": core " + std::to_string(c), ref.retires[c],
                      ff.retires[c]);
     if (!d.empty()) return d;
   }
@@ -142,11 +144,13 @@ std::string check_dma_copies(const GenProgram& gp, const Observation& obs) {
 }  // namespace
 
 Observation run_on_cluster(const GenProgram& gp, bool reference_stepping,
-                           u64 max_cycles, Coverage* cov) {
+                           u64 max_cycles, Coverage* cov,
+                           std::optional<bool> block_cache) {
   cluster::ClusterParams params;
   params.num_cores = gp.num_cores;
   params.core_config = gp.config;
   params.reference_stepping = reference_stepping;
+  params.block_cache = block_cache;
   cluster::Cluster cluster(params);
 
   Observation obs;
@@ -186,19 +190,31 @@ DiffResult check_program(const GenProgram& gp, Coverage* cov,
     return result;
   };
 
+  // Three-way stepping matrix: the per-cycle oracle, plain fast-forward,
+  // and block-cached fast-forward must be indistinguishable.
   Observation ref;
   Observation ff;
+  Observation bc;
   try {
     ref = run_on_cluster(gp, /*reference_stepping=*/true, max_cycles, cov);
   } catch (const SimError& e) {
     return fail(std::string("cluster(ref): ") + e.what());
   }
   try {
-    ff = run_on_cluster(gp, /*reference_stepping=*/false, max_cycles);
+    ff = run_on_cluster(gp, /*reference_stepping=*/false, max_cycles,
+                        /*cov=*/nullptr, /*block_cache=*/false);
   } catch (const SimError& e) {
     return fail(std::string("cluster(ff): ") + e.what());
   }
-  std::string d = diff_observations(ref, ff);
+  try {
+    bc = run_on_cluster(gp, /*reference_stepping=*/false, max_cycles,
+                        /*cov=*/nullptr, /*block_cache=*/true);
+  } catch (const SimError& e) {
+    return fail(std::string("cluster(bc): ") + e.what());
+  }
+  std::string d = diff_observations("ref-vs-ff", ref, ff);
+  if (!d.empty()) return fail(std::move(d));
+  d = diff_observations("ref-vs-bc", ref, bc);
   if (!d.empty()) return fail(std::move(d));
 
   if (gp.num_cores == 1) {

@@ -1,19 +1,21 @@
 // Differential execution harness: generated program -> golden interpreter
-// and real cluster (both stepping modes) -> first-divergence verdict.
+// and real cluster (every stepping mode) -> first-divergence verdict.
 //
-// Three-way check for single-core programs:
-//   golden  vs  reference-stepped cluster   (architectural correctness)
-//   reference vs fast-forward cluster       (scheduler equivalence, incl.
-//                                            exact cycle counts)
-// Multi-core stress programs have no canonical golden interleaving, so they
-// are checked against invariants instead: the run converges (all barriers
-// complete, no lost wakeups, every core halts inside the cycle budget), the
-// two stepping modes agree bit-for-bit on final state, cycles and per-core
-// retire logs, and every generated DMA transfer left a byte-exact image of
-// its source at its destination.
+// Stepping matrix for every program: the reference per-cycle oracle vs
+// plain fast-forward vs block-cached fast-forward (decode-once basic
+// blocks with threaded dispatch), all of which must agree bit-for-bit on
+// final state, exact cycle counts and per-core retire logs. Single-core
+// programs additionally check golden vs the reference-stepped cluster
+// (architectural correctness). Multi-core stress programs have no
+// canonical golden interleaving, so they are checked against invariants
+// instead: the run converges (all barriers complete, no lost wakeups,
+// every core halts inside the cycle budget), the stepping modes agree, and
+// every generated DMA transfer left a byte-exact image of its source at
+// its destination.
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,10 +39,11 @@ struct Observation {
 /// Execute `gp` on a real cluster in the given stepping mode. Throws
 /// SimError on timeout/model faults (callers turn that into a failure).
 /// `cov`, when given, tallies every retired instruction on every core.
-[[nodiscard]] Observation run_on_cluster(const GenProgram& gp,
-                                         bool reference_stepping,
-                                         u64 max_cycles = 5'000'000,
-                                         Coverage* cov = nullptr);
+/// `block_cache` pins the ISS basic-block cache on/off for this run
+/// (ignored under reference stepping); unset uses the process default.
+[[nodiscard]] Observation run_on_cluster(
+    const GenProgram& gp, bool reference_stepping, u64 max_cycles = 5'000'000,
+    Coverage* cov = nullptr, std::optional<bool> block_cache = {});
 
 struct DiffResult {
   bool pass = true;

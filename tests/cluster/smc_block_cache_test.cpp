@@ -1,0 +1,217 @@
+// Self-modifying code through the executable-code window: stores into the
+// window (core stores, DMA beats, host debug writes) must patch the decoded
+// program in place and invalidate the basic-block translation cache, and
+// every stepping mode — per-cycle reference, plain fast-forward, block-cached
+// fast-forward — must agree on the patched execution bit for bit, including
+// exact cycle counts.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "codegen/builder.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulp {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterParams;
+using codegen::Builder;
+using isa::Opcode;
+
+constexpr Addr kWindow = cluster::kTcdmBase + 0x8000;  ///< SMC code window.
+constexpr Addr kResults = cluster::kTcdmBase + 0x100;  ///< Per-pass outputs.
+constexpr Addr kStaging = cluster::kL2Base + 0x4000;   ///< DMA patch source.
+
+u32 encoded_marker(i32 value) {
+  isa::Instr in;
+  in.op = Opcode::kAddi;
+  in.rd = 5;
+  in.imm = value;
+  return isa::encode(in);
+}
+
+/// Everything the three stepping modes must agree on for these programs.
+struct Outcome {
+  u64 cycles = 0;
+  u32 first = 0;   ///< Marker stored on the pre-patch pass.
+  u32 second = 0;  ///< Marker stored on the post-patch pass.
+  u64 flushes = 0;  ///< Block-cache invalidations (0 when cache off).
+  u64 decodes = 0;
+};
+
+enum class Mode { kReference, kFastForward, kBlockCached };
+
+Outcome run_mode(const isa::Program& program, Mode mode) {
+  ClusterParams params;
+  params.num_cores = 1;
+  params.code_window_base = kWindow;
+  params.reference_stepping = mode == Mode::kReference;
+  params.block_cache = mode == Mode::kBlockCached;
+  Cluster cl(params);
+  cl.load_program(program);
+  Outcome out;
+  out.cycles = cl.run(1'000'000);
+  out.first = cl.bus().debug_load(kResults, 4, false);
+  out.second = cl.bus().debug_load(kResults + 4, 4, false);
+  if (const auto* stats = cl.core(0).block_stats(); stats != nullptr) {
+    out.flushes = stats->flushes;
+    out.decodes = stats->decodes;
+  }
+  return out;
+}
+
+/// Runs the program in all three modes and checks they are indistinguishable
+/// (the block-cached outcome is returned for mode-specific assertions).
+Outcome check_three_way(const isa::Program& program) {
+  const Outcome ref = run_mode(program, Mode::kReference);
+  const Outcome ff = run_mode(program, Mode::kFastForward);
+  const Outcome bc = run_mode(program, Mode::kBlockCached);
+  EXPECT_EQ(ref.cycles, ff.cycles);
+  EXPECT_EQ(ref.cycles, bc.cycles);
+  EXPECT_EQ(ref.first, ff.first);
+  EXPECT_EQ(ref.first, bc.first);
+  EXPECT_EQ(ref.second, ff.second);
+  EXPECT_EQ(ref.second, bc.second);
+  EXPECT_EQ(ff.flushes, 0u) << "plain fast-forward must not run the cache";
+  return bc;
+}
+
+// A core store into the code window rewrites an instruction the core has
+// already executed from a cached block: the next pass around the loop must
+// re-decode and see the new instruction, in every mode, at the same cycle.
+TEST(SmcBlockCache, CoreStorePatchesExecutedBlock) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, kResults);
+  bld.li(6, 0);  // pass counter
+  const auto loop = bld.make_label();
+  const auto done = bld.make_label();
+  bld.bind(loop);
+  const u32 target = bld.here();
+  bld.emit(Opcode::kAddi, 5, 0, 0, 111);  // the patch target
+  bld.emit(Opcode::kSw, 5, 1, 0, 0);
+  bld.emit(Opcode::kAddi, 1, 1, 0, 4);
+  bld.branch(Opcode::kBne, 6, 0, done);
+  bld.emit(Opcode::kAddi, 6, 6, 0, 1);
+  bld.li(3, encoded_marker(222));
+  bld.li(2, kWindow + 4 * target);
+  bld.emit(Opcode::kSw, 3, 2, 0, 0);  // self-modifying store
+  bld.jal(0, loop);
+  bld.bind(done);
+  bld.halt();
+
+  const Outcome bc = check_three_way(bld.finalize());
+  EXPECT_EQ(bc.first, 111u);
+  EXPECT_EQ(bc.second, 222u);
+  EXPECT_GE(bc.flushes, 1u) << "the patch must invalidate cached blocks";
+  EXPECT_GE(bc.decodes, 2u) << "the patched block must be decoded again";
+}
+
+// A DMA transfer whose destination overlaps the code window must take the
+// per-cycle replay path (the analytic copy bypasses the bus watcher) and
+// patch the program beat by beat, identically in every mode.
+TEST(SmcBlockCache, DmaTransferPatchesCode) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, kResults);
+  bld.li(6, 0);  // pass counter
+  const auto loop = bld.make_label();
+  const auto done = bld.make_label();
+  bld.bind(loop);
+  const u32 target = bld.here();
+  bld.emit(Opcode::kAddi, 5, 0, 0, 111);  // the patch target
+  bld.emit(Opcode::kSw, 5, 1, 0, 0);
+  bld.emit(Opcode::kAddi, 1, 1, 0, 4);
+  bld.branch(Opcode::kBne, 6, 0, done);
+  bld.emit(Opcode::kAddi, 6, 6, 0, 1);
+  bld.li(9, kStaging);
+  bld.li(10, kWindow + 4 * target);
+  bld.li(11, 4);
+  bld.dma_start(8, 9, 10, 11);  // copy the staged patch onto the target
+  bld.dma_wait(8, 12);
+  bld.jal(0, loop);
+  bld.bind(done);
+  bld.halt();
+
+  isa::Program program = bld.finalize();
+  const u32 word = encoded_marker(222);
+  isa::Segment staged;
+  staged.addr = kStaging;
+  for (int i = 0; i < 4; ++i) {
+    staged.bytes.push_back(static_cast<u8>(word >> (8 * i)));
+  }
+  program.data.push_back(staged);
+
+  const Outcome bc = check_three_way(program);
+  EXPECT_EQ(bc.first, 111u);
+  EXPECT_EQ(bc.second, 222u);
+  EXPECT_GE(bc.flushes, 1u);
+}
+
+// A host debug write through the cluster bus lands before the first fetch
+// but after load_program armed the watcher: the executed program is the
+// patched one in every mode.
+TEST(SmcBlockCache, HostDebugWritePatchesCode) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, kResults);
+  const u32 target = bld.here();
+  bld.emit(Opcode::kAddi, 5, 0, 0, 111);
+  bld.emit(Opcode::kSw, 5, 1, 0, 0);
+  bld.emit(Opcode::kSw, 5, 1, 0, 4);
+  bld.halt();
+  const isa::Program program = bld.finalize();
+
+  u64 cycles[3];
+  int i = 0;
+  for (const Mode mode :
+       {Mode::kReference, Mode::kFastForward, Mode::kBlockCached}) {
+    ClusterParams params;
+    params.num_cores = 1;
+    params.code_window_base = kWindow;
+    params.reference_stepping = mode == Mode::kReference;
+    params.block_cache = mode == Mode::kBlockCached;
+    Cluster cl(params);
+    cl.load_program(program);
+    cl.bus().debug_store(kWindow + 4 * target, 4, encoded_marker(77));
+    cycles[i++] = cl.run(1'000'000);
+    EXPECT_EQ(cl.bus().debug_load(kResults, 4, false), 77u);
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+  EXPECT_EQ(cycles[0], cycles[2]);
+}
+
+// Without a code window the cache never invalidates and a "patch" store is
+// plain data traffic: the marker stays at its build-time value while the
+// stored word lands in memory untouched — the seed's immutable-code model.
+TEST(SmcBlockCache, NoWindowMeansImmutableCode) {
+  Builder bld(core::or10n_config().features);
+  bld.li(1, kResults);
+  bld.li(6, 0);
+  const auto loop = bld.make_label();
+  const auto done = bld.make_label();
+  bld.bind(loop);
+  const u32 target = bld.here();
+  bld.emit(Opcode::kAddi, 5, 0, 0, 111);
+  bld.emit(Opcode::kSw, 5, 1, 0, 0);
+  bld.emit(Opcode::kAddi, 1, 1, 0, 4);
+  bld.branch(Opcode::kBne, 6, 0, done);
+  bld.emit(Opcode::kAddi, 6, 6, 0, 1);
+  bld.li(3, encoded_marker(222));
+  bld.li(2, kWindow + 4 * target);
+  bld.emit(Opcode::kSw, 3, 2, 0, 0);
+  bld.jal(0, loop);
+  bld.bind(done);
+  bld.halt();
+
+  ClusterParams params;
+  params.num_cores = 1;
+  params.block_cache = true;  // window disabled: no invalidation machinery
+  Cluster cl(params);
+  cl.load_program(bld.finalize());
+  cl.run(1'000'000);
+  EXPECT_EQ(cl.bus().debug_load(kResults, 4, false), 111u);
+  EXPECT_EQ(cl.bus().debug_load(kResults + 4, 4, false), 111u);
+  EXPECT_EQ(cl.bus().debug_load(kWindow + 4 * target, 4, false),
+            encoded_marker(222));
+}
+
+}  // namespace
+}  // namespace ulp

@@ -1,6 +1,7 @@
 // Committed-corpus replay: every .repro under tests/verif/corpus/ must
 // parse, survive a format/parse round trip bit for bit, and pass the full
-// differential check (golden + both cluster stepping modes for single-core
+// differential check (golden + the whole cluster stepping matrix — per-cycle
+// reference, plain fast-forward, block-cached fast-forward — for single-core
 // entries, stress invariants for multi-core ones).
 #include <gtest/gtest.h>
 
@@ -64,6 +65,33 @@ TEST(Corpus, EveryEntryPassesDifferentially) {
   // The corpus must keep both harness halves exercised.
   EXPECT_GT(single, 0u);
   EXPECT_GT(stress, 0u);
+}
+
+// Every committed entry replayed with the block cache pinned off and pinned
+// on must land on identical cycle counts and final state — independent of
+// whatever check_program ran, and across the whole corpus rather than one
+// representative program.
+TEST(Corpus, ReplayAgreesAcrossBlockModes) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const GenProgram gp = load_repro(path);
+    const Observation off =
+        run_on_cluster(gp, /*reference_stepping=*/false,
+                       /*max_cycles=*/5'000'000, /*cov=*/nullptr,
+                       /*block_cache=*/false);
+    const Observation on =
+        run_on_cluster(gp, /*reference_stepping=*/false,
+                       /*max_cycles=*/5'000'000, /*cov=*/nullptr,
+                       /*block_cache=*/true);
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.eoc, on.eoc);
+    EXPECT_EQ(off.eoc_flag, on.eoc_flag);
+    EXPECT_EQ(off.barriers_completed, on.barriers_completed);
+    EXPECT_EQ(off.regs, on.regs);
+    EXPECT_EQ(off.tcdm, on.tcdm);
+    EXPECT_EQ(off.l2, on.l2);
+    EXPECT_EQ(off.retires, on.retires);
+  }
 }
 
 TEST(Corpus, ReplayIsDeterministic) {
