@@ -9,7 +9,13 @@
 //
 // Build & run:  ./build/examples/full_system [kernel] [--trace out.json]
 //               [--profile] [--profile-out prof.json] [--trace-limit N]
-//               [--metrics-json m.json] [--faults=<spec>]
+//               [--metrics-json m.json] [--faults=<spec>] [--clusters N]
+//
+// --clusters N co-simulates an N-cluster node: the host driver ships one
+// kernel instance (input shard) per cluster over the shared QSPI wire,
+// launches them concurrently and retires them in order through the wake
+// mask (not combinable with --faults: the multi-cluster dispatch driver
+// has no robust protocol).
 //
 // --trace dumps the co-simulation as a Chrome/Perfetto timeline (host MCU,
 // SPI wire, cluster cores/DMA on one real-time axis, plus derived
@@ -32,6 +38,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "host/mcu.hpp"
 #include "profile/energy_timeline.hpp"
 #include "profile/profile.hpp"
@@ -49,6 +57,7 @@ int main(int argc, char** argv) {
   std::string profile_out;
   std::string metrics_path;
   size_t trace_limit = 0;
+  u32 num_clusters = 1;
   bool robust = false;
   bool profile = false;
   for (int i = 1; i < argc; ++i) {
@@ -61,8 +70,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-limit") == 0 && i + 1 < argc) {
-      const unsigned long long v = std::strtoull(argv[++i], nullptr, 0);
+      u64 v = 0;
+      if (!cli::parse_u64(argv[++i], &v, ~0ull, 0)) {
+        std::fprintf(stderr,
+                     "full_system: --trace-limit: not a valid count: '%s'\n"
+                     "usage: full_system [kernel] [--trace out.json] "
+                     "[--trace-limit N] [--clusters N] [--faults=spec]\n",
+                     argv[i]);
+        return 2;
+      }
       trace_limit = v > 0 && v < 16 ? 16 : static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
+      if (!cli::parse_u32(argv[++i], &num_clusters, 32) ||
+          num_clusters == 0) {
+        std::fprintf(stderr,
+                     "full_system: --clusters: expected an integer in "
+                     "[1, 32], got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       fault_spec = argv[i] + 9;
       robust = true;
@@ -90,15 +116,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (robust && num_clusters > 1) {
+    std::fprintf(stderr,
+                 "full_system: --faults needs the robust driver, which "
+                 "dispatches to a single cluster (drop --clusters)\n");
+    return 2;
+  }
+
   const auto accel_cfg = core::or10n_config();
   const auto kc =
       info->factory(accel_cfg.features, 4, kernels::Target::kCluster, 99);
-  const system::FullSystemPackage pkg =
-      robust ? system::package_robust_offload(kc) : system::package_offload(kc);
 
   system::HeteroSystemParams params;
   params.mcu_freq_hz = mhz(16);
   params.pulp_freq_hz = mhz(16);  // the 0.5 V near-threshold point
+  params.num_clusters = num_clusters;
   if (robust) {
     params.crc_frames = true;
     params.faults = fault_cfg;
@@ -117,18 +149,61 @@ int main(int argc, char** argv) {
     host_prof.attach(sys.host_core());
   }
 
-  std::printf("offloading %s: image %u B, input %u B, output %u B%s\n",
-              kc.name.c_str(), pkg.spec.image_len, pkg.spec.input_len,
-              pkg.spec.output_len,
-              robust ? " (robust protocol, fault injection on)" : "");
-  const system::SystemOffloadResult res =
-      system::run_offload_with_fallback(sys, pkg);
-  const u64 host_cycles = res.host_cycles;
+  u64 host_cycles = 0;
+  bool ok = false;
+  unsigned driver_instrs = 0;
+  if (num_clusters == 1) {
+    const system::FullSystemPackage pkg = robust
+                                              ? system::package_robust_offload(kc)
+                                              : system::package_offload(kc);
+    std::printf("offloading %s: image %u B, input %u B, output %u B%s\n",
+                kc.name.c_str(), pkg.spec.image_len, pkg.spec.input_len,
+                pkg.spec.output_len,
+                robust ? " (robust protocol, fault injection on)" : "");
+    const system::SystemOffloadResult res =
+        system::run_offload_with_fallback(sys, pkg);
+    host_cycles = res.host_cycles;
+    ok = res.output == kc.expected;
+    driver_instrs = static_cast<unsigned>(pkg.host_program.code.size());
+    if (robust && !res.status.ok()) {
+      std::printf("offload:       FAILED (%s: %s)%s\n",
+                  status_code_name(res.status.code()),
+                  res.status.message().c_str(),
+                  res.used_host_fallback
+                      ? " -> degraded to host-reference output"
+                      : "");
+    }
+  } else {
+    // One kernel instance per cluster: cluster 0 reuses the single-cluster
+    // seed, siblings shard theirs off it.
+    std::vector<kernels::KernelCase> cases;
+    cases.push_back(kc);
+    for (u32 c = 1; c < num_clusters; ++c) {
+      cases.push_back(info->factory(accel_cfg.features, 4,
+                                    kernels::Target::kCluster,
+                                    derive_seed(99, c)));
+    }
+    const system::MultiSystemPackage mpkg =
+        system::package_multi_offload(cases);
+    std::printf("offloading %s to %u clusters: image %u B/cluster\n",
+                kc.name.c_str(), num_clusters, mpkg.specs[0].image_len);
+    const system::MultiOffloadResult res = system::run_multi_offload(sys, mpkg);
+    host_cycles = res.host_cycles;
+    driver_instrs = static_cast<unsigned>(mpkg.host_program.code.size());
+    ok = true;
+    for (u32 c = 0; c < num_clusters; ++c) {
+      const bool match = res.outputs[c] == cases[c].expected;
+      ok = ok && match;
+      std::printf("cluster %u:     %llu cycles, output %s\n", c,
+                  static_cast<unsigned long long>(
+                      res.stats.cluster_cycles_each[c]),
+                  match ? "ok" : "MISMATCH");
+    }
+  }
   const auto stats = sys.stats();
-  const bool ok = res.output == kc.expected;
 
   std::printf("\nhost driver:   %u instructions of bare-metal code\n",
-              static_cast<unsigned>(pkg.host_program.code.size()));
+              driver_instrs);
   std::printf("host cycles:   %llu  (%.2f ms @ 16 MHz)\n",
               static_cast<unsigned long long>(host_cycles),
               static_cast<double>(host_cycles) / mhz(16) * 1e3);
@@ -145,14 +220,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.link_crc_errors));
     std::printf("faults:        %llu injected\n",
                 static_cast<unsigned long long>(stats.fault_count));
-    if (!res.status.ok()) {
-      std::printf("offload:       FAILED (%s: %s)%s\n",
-                  status_code_name(res.status.code()),
-                  res.status.message().c_str(),
-                  res.used_host_fallback
-                      ? " -> degraded to host-reference output"
-                      : "");
-    } else if (stats.link_crc_errors > 0) {
+    if (ok && stats.link_crc_errors > 0) {
       std::printf("offload:       recovered by retry\n");
     }
   }

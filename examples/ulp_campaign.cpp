@@ -18,6 +18,7 @@
 #include "batch/aggregate.hpp"
 #include "batch/campaign.hpp"
 #include "batch/engine.hpp"
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace_export.hpp"
@@ -37,7 +38,9 @@ void print_usage(std::FILE* out) {
       "  --engine NAME         analytic (default) | cosim\n"
       "  --kernels A,B,...     kernel axis (default: matmul)\n"
       "  --cores N,N,...       core-count axis (default: 4)\n"
+      "  --clusters N,N,...    clusters-per-node axis (default: 1)\n"
       "  --mcu-mhz F,F,...     MCU clock axis in MHz (default: 16)\n"
+      "  --lanes N,N,...       SPI lane axis; 0 = engine default\n"
       "  --vdd F,F,...         PULP V_DD axis; cluster runs at fmax(V_DD)\n"
       "  --faults S;S;...      link fault specs, ';'-separated; 'none' = clean\n"
       "  --repeats N           statistical repeats per cell (default: 1)\n"
@@ -108,8 +111,12 @@ int main(int argc, char** argv) {
         override_key("kernels");
       } else if (std::strcmp(arg, "--cores") == 0) {
         override_key("cores");
+      } else if (std::strcmp(arg, "--clusters") == 0) {
+        override_key("clusters");
       } else if (std::strcmp(arg, "--mcu-mhz") == 0) {
         override_key("mcu_mhz");
+      } else if (std::strcmp(arg, "--lanes") == 0) {
+        override_key("lanes");
       } else if (std::strcmp(arg, "--vdd") == 0) {
         override_key("vdd");
       } else if (std::strcmp(arg, "--faults") == 0) {
@@ -129,8 +136,12 @@ int main(int argc, char** argv) {
         const std::string v = need_value(argc, argv, &i);
         config::set_block_cache_default(v == "1" || v == "true");
       } else if (std::strcmp(arg, "--workers") == 0) {
-        options.workers = static_cast<u32>(
-            std::strtoul(need_value(argc, argv, &i), nullptr, 10));
+        const char* v = need_value(argc, argv, &i);
+        if (!cli::parse_u32(v, &options.workers, 1024)) {
+          throw CliError{std::string("--workers: expected an integer in "
+                                     "[0, 1024], got '") +
+                         v + "'"};
+        }
       } else if (std::strcmp(arg, "--json") == 0) {
         json_path = need_value(argc, argv, &i);
       } else if (std::strcmp(arg, "--csv") == 0) {

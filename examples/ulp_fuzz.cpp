@@ -22,6 +22,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/status.hpp"
 #include "verif/differential.hpp"
@@ -94,14 +95,29 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Numeric arguments parse strictly: the whole argv token must be a
+    // number that fits, else one error line + usage, exit 2 (std::stoul
+    // here used to escape as an uncaught std::invalid_argument abort).
+    auto number_u32 = [&](u32* out) {
+      const char* v = value();
+      if (!ulp::cli::parse_u32(v, out)) {
+        std::cerr << "error: " << arg << ": not a valid count: '" << v
+                  << "'\n";
+        std::exit(usage());
+      }
+    };
     if (arg == "--programs") {
-      params.num_programs = static_cast<u32>(std::stoul(value()));
+      number_u32(&params.num_programs);
     } else if (arg == "--stress") {
-      params.num_stress = static_cast<u32>(std::stoul(value()));
+      number_u32(&params.num_stress);
     } else if (arg == "--seed") {
-      params.seed = std::stoull(value(), nullptr, 0);
+      const char* v = value();
+      if (!ulp::cli::parse_u64(v, &params.seed, ~0ull, 0)) {
+        std::cerr << "error: --seed: not a valid seed: '" << v << "'\n";
+        std::exit(usage());
+      }
     } else if (arg == "--items") {
-      params.body_items = static_cast<u32>(std::stoul(value()));
+      number_u32(&params.body_items);
     } else if (arg == "--no-dma") {
       params.allow_dma = false;
     } else if (arg == "--coverage") {
@@ -112,7 +128,7 @@ int main(int argc, char** argv) {
       replay_path = value();
     } else if (arg == "--emit-corpus") {
       corpus_dir = value();
-      corpus_count = static_cast<u32>(std::stoul(value()));
+      number_u32(&corpus_count);
     } else if (arg == "--block-cache") {
       // check_program pins both block modes explicitly per run; this latch
       // covers everything else (the fast-forward legs of replay/shrink).

@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# Scale-out smoke test: multi-cluster dispatch end to end.
+#
+#   scripts/scaleout_smoke.sh [build-dir]
+#
+# Against an existing build tree (default: build), this script checks the
+# two contracts the multi-cluster refactor must keep:
+#
+#   1. The {clusters: 1} degenerate path is byte-identical to the legacy
+#      single-cluster campaign: a sweep with an explicit size-1 clusters
+#      axis serialises to the same JSON as one without the axis at all,
+#      in both engines.
+#   2. A 2/4-cluster sweep completes with every job passing, in both
+#      engines and across worker counts (1 vs 4 must agree byte-for-byte).
+#
+# If an ASan tree exists at build-asan/ (or $ASAN_DIR), the 2-cluster
+# cosim sweep is repeated there to shake out lifetime bugs in the
+# N-cluster wiring.
+set -eu
+
+DIR=${1:-build}
+ASAN_DIR=${ASAN_DIR:-build-asan}
+CAMPAIGN="$DIR/examples/ulp_campaign"
+FULL="$DIR/examples/full_system"
+
+[ -x "$CAMPAIGN" ] || {
+  echo "error: $CAMPAIGN not built (run cmake --build $DIR first)" >&2
+  exit 1
+}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== N=1 degenerate byte-identity (analytic + cosim) =="
+for engine in analytic cosim; do
+  "$CAMPAIGN" --quiet --engine "$engine" --kernels matmul,cnn --cores 4 \
+    --vdd 0.5 --repeats 1 --json "$TMP/legacy-$engine.json"
+  "$CAMPAIGN" --quiet --engine "$engine" --kernels matmul,cnn --cores 4 \
+    --clusters 1 --lanes 0 --vdd 0.5 --repeats 1 \
+    --json "$TMP/degenerate-$engine.json"
+  cmp "$TMP/legacy-$engine.json" "$TMP/degenerate-$engine.json" || {
+    echo "FAIL: clusters=1 $engine campaign diverged from legacy" >&2
+    exit 1
+  }
+done
+
+echo "== multi-cluster sweep passes (analytic, clusters x lanes) =="
+"$CAMPAIGN" --quiet --engine analytic --kernels matmul,cnn --cores 1,4 \
+  --clusters 1,2,4 --lanes 0,4 --vdd 0.5,0.8 --repeats 1 \
+  --json "$TMP/scale-analytic.json"
+grep -q '"failed": 0' "$TMP/scale-analytic.json" || {
+  echo "FAIL: analytic scale-out sweep had failing jobs" >&2
+  exit 1
+}
+
+echo "== multi-cluster sweep passes (cosim, worker invariance) =="
+"$CAMPAIGN" --quiet --engine cosim --kernels matmul --cores 4 \
+  --clusters 1,2 --vdd 0.5 --repeats 1 --workers 1 \
+  --json "$TMP/scale-cosim-w1.json"
+"$CAMPAIGN" --quiet --engine cosim --kernels matmul --cores 4 \
+  --clusters 1,2 --vdd 0.5 --repeats 1 --workers 4 \
+  --json "$TMP/scale-cosim-w4.json"
+grep -q '"failed": 0' "$TMP/scale-cosim-w1.json" || {
+  echo "FAIL: cosim scale-out sweep had failing jobs" >&2
+  exit 1
+}
+cmp "$TMP/scale-cosim-w1.json" "$TMP/scale-cosim-w4.json" || {
+  echo "FAIL: cosim scale-out aggregate differs across worker counts" >&2
+  exit 1
+}
+
+if [ -x "$FULL" ]; then
+  echo "== 2-cluster full_system boots and matches =="
+  "$FULL" --clusters 2 | grep -q "FAILED" && {
+    echo "FAIL: full_system --clusters 2 reported a mismatch" >&2
+    exit 1
+  }
+fi
+
+if [ -x "$ASAN_DIR/examples/ulp_campaign" ]; then
+  echo "== 2-cluster cosim sweep under ASan ($ASAN_DIR) =="
+  "$ASAN_DIR/examples/ulp_campaign" --quiet --engine cosim \
+    --kernels matmul --cores 4 --clusters 2 --vdd 0.5 --repeats 1
+else
+  echo "== ASan tree $ASAN_DIR not present; skipping ASan pass =="
+fi
+
+echo "scale-out smoke: clean"

@@ -34,4 +34,14 @@ echo "== multi-worker campaign under TSan (cache disabled control) =="
   --kernels matmul,cnn --cores 1,4 --vdd 0.5,0.8 \
   --faults "none;seed=7,flip=1e-4" --repeats 2
 
+echo "== multi-cluster campaign under TSan =="
+# Scale-out cells: each worker simulates several clusters sharing one wire
+# inside its job, both engines — a race in the per-job HeteroSystem scale
+# path or the scale-out composition helpers fails here.
+"$DIR/examples/ulp_campaign" --quiet --workers 4 \
+  --kernels matmul,cnn --cores 4 --clusters 1,2,4 --lanes 0,4 \
+  --vdd 0.5 --repeats 2
+"$DIR/examples/ulp_campaign" --quiet --workers 4 --engine cosim \
+  --kernels matmul --cores 4 --clusters 1,2 --vdd 0.5 --repeats 1
+
 echo "TSan smoke: clean"

@@ -59,9 +59,17 @@ void emit_spec(std::ostringstream& os, const CampaignSpec& spec) {
   for (size_t i = 0; i < spec.num_cores.size(); ++i) {
     os << (i ? ", " : "") << spec.num_cores[i];
   }
+  os << "],\n    \"clusters\": [";
+  for (size_t i = 0; i < spec.clusters.size(); ++i) {
+    os << (i ? ", " : "") << spec.clusters[i];
+  }
   os << "],\n    \"mcu_mhz\": [";
   for (size_t i = 0; i < spec.mcu_mhz.size(); ++i) {
     os << (i ? ", " : "") << fmt_double(spec.mcu_mhz[i]);
+  }
+  os << "],\n    \"lanes\": [";
+  for (size_t i = 0; i < spec.lanes.size(); ++i) {
+    os << (i ? ", " : "") << spec.lanes[i];
   }
   os << "],\n    \"vdd\": [";
   for (size_t i = 0; i < spec.vdd.size(); ++i) {
@@ -85,7 +93,9 @@ void emit_job(std::ostringstream& os, const JobResult& r) {
   os << "    {\"index\": " << s.index;
   os << ", \"kernel\": \"" << json_escape(s.kernel) << '"';
   os << ", \"cores\": " << s.num_cores;
+  os << ", \"clusters\": " << s.clusters;
   os << ", \"mcu_mhz\": " << fmt_double(s.mcu_mhz);
+  os << ", \"lanes\": " << s.lanes;
   os << ", \"vdd\": " << fmt_double(s.vdd);
   os << ", \"faults\": \"" << json_escape(s.fault_spec) << '"';
   os << ", \"repeat\": " << s.repeat;
@@ -174,7 +184,8 @@ Status write_json(const std::string& path, const CampaignResult& result) {
 Status write_csv(const std::string& path, const CampaignResult& result) {
   trace::CsvWriter csv(
       path, {"index",           "kernel",        "cores",
-             "mcu_mhz",         "vdd",           "faults",
+             "clusters",        "mcu_mhz",       "lanes",
+             "vdd",             "faults",
              "repeat",          "seed",          "status",
              "pass",            "host_fallback", "accel_cycles",
              "instrs",          "t_compute_s",   "t_retry_s",
@@ -186,7 +197,8 @@ Status write_csv(const std::string& path, const CampaignResult& result) {
     const bool finished = r.status.ok() || r.used_host_fallback;
     const Status row = csv.row(std::vector<std::string>{
         fmt_u64(s.index), s.kernel, std::to_string(s.num_cores),
-        fmt_double(s.mcu_mhz), fmt_double(s.vdd), s.fault_spec,
+        std::to_string(s.clusters), fmt_double(s.mcu_mhz),
+        std::to_string(s.lanes), fmt_double(s.vdd), s.fault_spec,
         std::to_string(s.repeat), fmt_u64(s.seed),
         status_code_name(r.status.code()), r.pass ? "1" : "0",
         r.used_host_fallback ? "1" : "0", fmt_u64(r.accel_cycles),
@@ -255,8 +267,13 @@ std::string profile_json(const CampaignResult& result) {
        << json_escape(r.spec.label())
        << "\", \"profile\": " << profile::to_json(r.profile) << '}';
 
+    // Scale-out cells group separately (their profiles attribute cluster
+    // 0 of an N-cluster node); default cells keep the legacy key.
     Group& g = groups[r.spec.kernel + "/cores" +
-                      std::to_string(r.spec.num_cores)];
+                      std::to_string(r.spec.num_cores) +
+                      (r.spec.clusters > 1
+                           ? "x" + std::to_string(r.spec.clusters)
+                           : std::string())];
     ++g.jobs;
     g.merged.collected = true;
     g.merged.cluster.name = "cluster";

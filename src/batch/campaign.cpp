@@ -67,45 +67,68 @@ Status parse_u64(const std::string& key, std::string_view value, u64* out) {
 }  // namespace
 
 std::string JobSpec::label() const {
-  char buf[160];
-  std::snprintf(buf, sizeof buf, "%s/cores%u/mcu%g/vdd%.2f/%s/r%u",
-                kernel.c_str(), num_cores, mcu_mhz, vdd,
+  // Default cells (clusters == 1, lanes == 0) keep the legacy label
+  // byte-for-byte; scale-out cells widen the cores segment to
+  // "cores<cores>x<clusters>" and append "/l<lanes>" after the mcu one.
+  char cores_seg[48];
+  if (clusters > 1) {
+    std::snprintf(cores_seg, sizeof cores_seg, "cores%ux%u", num_cores,
+                  clusters);
+  } else {
+    std::snprintf(cores_seg, sizeof cores_seg, "cores%u", num_cores);
+  }
+  char lanes_seg[24] = "";
+  if (lanes != 0) std::snprintf(lanes_seg, sizeof lanes_seg, "/l%u", lanes);
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%s/%s/mcu%g%s/vdd%.2f/%s/r%u",
+                kernel.c_str(), cores_seg, mcu_mhz, lanes_seg, vdd,
                 fault_spec.empty() ? "clean" : fault_spec.c_str(), repeat);
   return buf;
 }
 
 std::vector<JobSpec> expand(const CampaignSpec& spec) {
   ULP_CHECK(!spec.kernels.empty() && !spec.num_cores.empty() &&
-                !spec.mcu_mhz.empty() && !spec.vdd.empty() &&
+                !spec.clusters.empty() && !spec.mcu_mhz.empty() &&
+                !spec.lanes.empty() && !spec.vdd.empty() &&
                 !spec.faults.empty() && spec.repeats >= 1,
             "campaign axes must be non-empty");
   std::vector<JobSpec> jobs;
   jobs.reserve(spec.job_count());
   u64 index = 0;
+  // Nesting order is part of the format: with the default size-1 clusters
+  // and lanes axes every job keeps the exact index — hence derived seed —
+  // it had before the scale-out axes existed.
   for (const std::string& kernel : spec.kernels) {
     for (const u32 cores : spec.num_cores) {
-      for (const double mcu : spec.mcu_mhz) {
-        for (const double vdd : spec.vdd) {
-          for (const std::string& faults : spec.faults) {
-            for (u32 r = 0; r < spec.repeats; ++r) {
-              JobSpec j;
-              j.index = index;
-              j.engine = spec.engine;
-              j.kernel = kernel;
-              j.num_cores = cores;
-              j.mcu_mhz = mcu;
-              j.vdd = vdd;
-              j.fault_spec = faults == "none" ? std::string() : faults;
-              j.repeat = r;
-              // The one source of per-job randomness: position in the
-              // matrix. Execution order and worker count cannot touch it.
-              j.seed = derive_seed(spec.base_seed, index);
-              j.iterations = spec.iterations;
-              j.double_buffered = spec.double_buffered;
-              j.reference_stepping = spec.reference_stepping;
-              j.collect_profile = spec.collect_profile;
-              jobs.push_back(std::move(j));
-              ++index;
+      for (const u32 ncl : spec.clusters) {
+        for (const double mcu : spec.mcu_mhz) {
+          for (const u32 lanes : spec.lanes) {
+            for (const double vdd : spec.vdd) {
+              for (const std::string& faults : spec.faults) {
+                for (u32 r = 0; r < spec.repeats; ++r) {
+                  JobSpec j;
+                  j.index = index;
+                  j.engine = spec.engine;
+                  j.kernel = kernel;
+                  j.num_cores = cores;
+                  j.clusters = ncl;
+                  j.mcu_mhz = mcu;
+                  j.lanes = lanes;
+                  j.vdd = vdd;
+                  j.fault_spec = faults == "none" ? std::string() : faults;
+                  j.repeat = r;
+                  // The one source of per-job randomness: position in the
+                  // matrix. Execution order and worker count cannot touch
+                  // it.
+                  j.seed = derive_seed(spec.base_seed, index);
+                  j.iterations = spec.iterations;
+                  j.double_buffered = spec.double_buffered;
+                  j.reference_stepping = spec.reference_stepping;
+                  j.collect_profile = spec.collect_profile;
+                  jobs.push_back(std::move(j));
+                  ++index;
+                }
+              }
             }
           }
         }
@@ -164,6 +187,34 @@ Status parse_campaign_text(std::string_view text, CampaignSpec* out) {
             break;
           }
           spec.num_cores.push_back(static_cast<u32>(d));
+        }
+      }
+    } else if (key == "clusters") {
+      std::vector<double> v;
+      s = parse_doubles(key, value, &v);
+      if (s.ok()) {
+        spec.clusters.clear();
+        for (const double d : v) {
+          if (d < 1 || d > 32 || d != static_cast<u32>(d)) {
+            s = Status::Error(StatusCode::kInvalidArgument,
+                              "clusters: expected integers in [1, 32]");
+            break;
+          }
+          spec.clusters.push_back(static_cast<u32>(d));
+        }
+      }
+    } else if (key == "lanes") {
+      std::vector<double> v;
+      s = parse_doubles(key, value, &v);
+      if (s.ok()) {
+        spec.lanes.clear();
+        for (const double d : v) {
+          if (d < 0 || d > 32 || d != static_cast<u32>(d)) {
+            s = Status::Error(StatusCode::kInvalidArgument,
+                              "lanes: expected integers in [0, 32]");
+            break;
+          }
+          spec.lanes.push_back(static_cast<u32>(d));
         }
       }
     } else if (key == "mcu_mhz") {

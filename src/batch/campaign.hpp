@@ -39,7 +39,16 @@ struct CampaignSpec {
   Engine engine = Engine::kAnalytic;
   std::vector<std::string> kernels = {"matmul"};
   std::vector<u32> num_cores = {4};
+  /// Accelerator clusters per node (scale-out axis). 1 = the classic
+  /// single-cluster node; N > 1 runs one kernel instance per cluster
+  /// behind the shared link (analytic: runtime/scaleout composition;
+  /// cosim: a multi-cluster HeteroSystem with the multi-dispatch driver).
+  std::vector<u32> clusters = {1};
   std::vector<double> mcu_mhz = {16.0};
+  /// SPI/QSPI lane counts; 0 = the engine default (the MCU spec's lane
+  /// count for analytic runs, 4 for co-sim). The link-bandwidth axis of
+  /// the scale-out frontier.
+  std::vector<u32> lanes = {0};
   /// PULP operating points: V_DD in [0.5, 1.0]; the cluster runs at
   /// fmax(V_DD) (and the co-sim clock ratio follows).
   std::vector<double> vdd = {0.5};
@@ -63,7 +72,8 @@ struct CampaignSpec {
 
   [[nodiscard]] u64 job_count() const {
     return static_cast<u64>(kernels.size()) * num_cores.size() *
-           mcu_mhz.size() * vdd.size() * faults.size() * repeats;
+           clusters.size() * mcu_mhz.size() * lanes.size() * vdd.size() *
+           faults.size() * repeats;
   }
 };
 
@@ -74,7 +84,9 @@ struct JobSpec {
   Engine engine = Engine::kAnalytic;
   std::string kernel;
   u32 num_cores = 4;
+  u32 clusters = 1;
   double mcu_mhz = 16.0;
+  u32 lanes = 0;  ///< 0 = engine default.
   double vdd = 0.5;
   std::string fault_spec;  ///< Normalised: "" = clean run.
   u32 repeat = 0;
@@ -85,7 +97,10 @@ struct JobSpec {
   bool collect_profile = false;
 
   /// Compact human-readable identity, e.g.
-  /// "matmul/cores4/mcu16/vdd0.50/clean/r0".
+  /// "matmul/cores4/mcu16/vdd0.50/clean/r0". Scale-out cells extend it:
+  /// clusters > 1 makes the cores segment "cores4x2" (cores x clusters)
+  /// and an explicit lane count appends "/l2" after the mcu segment —
+  /// default cells keep the legacy label byte-for-byte.
   [[nodiscard]] std::string label() const;
 };
 
@@ -102,7 +117,9 @@ struct JobSpec {
 ///   engine   = analytic          # or: cosim
 ///   kernels  = matmul, cnn
 ///   cores    = 4
+///   clusters = 1, 2, 4            # accelerator clusters per node
 ///   mcu_mhz  = 16, 48
+///   lanes    = 0, 1, 4            # SPI lanes; 0 = engine default
 ///   vdd      = 0.5, 0.8
 ///   faults   = none; seed=7,flip=1e-4
 ///   repeats  = 4

@@ -9,6 +9,7 @@
 #include "kernels/kernel.hpp"
 #include "link/fault_injector.hpp"
 #include "power/pulp_power.hpp"
+#include "runtime/scaleout.hpp"
 #include "system/hetero_system.hpp"
 #include "system/host_driver.hpp"
 
@@ -43,6 +44,15 @@ void fill_cluster_stats(const cluster::ClusterStats& stats, JobResult* r) {
   r->icache_misses = stats.icache_misses;
 }
 
+/// Per-cluster input shard seed: cluster 0 reuses the job seed (so an
+/// N=1 scale-out cell is the exact legacy job), siblings derive theirs
+/// from it. Distinct from the job-index seeds by construction — the
+/// cluster index space (< 32) sits far below any campaign's job indices
+/// only by luck, so tests/batch audits the combined space for collisions.
+u64 cluster_shard_seed(u64 job_seed, u32 cluster) {
+  return cluster == 0 ? job_seed : derive_seed(job_seed, cluster);
+}
+
 JobResult run_analytic(const JobSpec& spec, const kernels::KernelInfo& info,
                        const power::OperatingPoint& op) {
   JobResult r;
@@ -54,7 +64,7 @@ JobResult run_analytic(const JobSpec& spec, const kernels::KernelInfo& info,
 
   const host::McuSpec& mcu = host::stm32l476();
   link::SpiLinkConfig lcfg;
-  lcfg.lanes = mcu.spi_lanes;
+  lcfg.lanes = spec.lanes != 0 ? spec.lanes : mcu.spi_lanes;
   lcfg.max_freq_hz = mcu.spi_max_hz;
   runtime::OffloadSession session(mcu, mhz(spec.mcu_mhz),
                                   link::SpiLink(lcfg));
@@ -75,20 +85,61 @@ JobResult run_analytic(const JobSpec& spec, const kernels::KernelInfo& info,
     session.attach_faults(injector.get());
   }
 
-  const runtime::OffloadOutcome outcome = runtime::run_with_host_fallback(
-      session, kc.offload_request(), op, spec.num_cores);
+  if (spec.clusters == 1) {
+    // The classic single-cluster job, kept as the exact legacy arithmetic
+    // (the scale-out composition is algebraically identical for one
+    // cluster but sums in a different order; campaign results are pinned
+    // bit-for-bit).
+    const runtime::OffloadOutcome outcome = runtime::run_with_host_fallback(
+        session, kc.offload_request(), op, spec.num_cores);
 
-  r.status = outcome.status;
-  r.pass = outcome.output == kc.expected;
-  r.used_host_fallback = outcome.used_host_fallback;
-  r.timing = outcome.timing;
-  r.robust = outcome.robust;
-  r.accel_cycles = outcome.timing.accel_cycles;
-  fill_cluster_stats(outcome.stats, &r);
-  r.energy =
-      session.energy(outcome, op, spec.iterations, spec.double_buffered);
-  r.steady_power_w =
-      session.steady_power_w(outcome, op, spec.double_buffered);
+    r.status = outcome.status;
+    r.pass = outcome.output == kc.expected;
+    r.used_host_fallback = outcome.used_host_fallback;
+    r.timing = outcome.timing;
+    r.robust = outcome.robust;
+    r.accel_cycles = outcome.timing.accel_cycles;
+    fill_cluster_stats(outcome.stats, &r);
+    r.energy =
+        session.energy(outcome, op, spec.iterations, spec.double_buffered);
+    r.steady_power_w =
+        session.steady_power_w(outcome, op, spec.double_buffered);
+  } else {
+    // Scale-out job: one kernel instance per cluster (input shards keyed
+    // by cluster_shard_seed), each simulated through the shared session —
+    // the one injector draws fault outcomes in submission order, exactly
+    // the order the shared wire would serve the clusters.
+    std::vector<runtime::OffloadOutcome> outcomes;
+    r.pass = true;
+    for (u32 c = 0; c < spec.clusters; ++c) {
+      const kernels::KernelCase shard =
+          c == 0 ? kc
+                 : info.factory(cfg.features, spec.num_cores,
+                                kernels::Target::kCluster,
+                                cluster_shard_seed(spec.seed, c));
+      runtime::OffloadOutcome o = runtime::run_with_host_fallback(
+          session, shard.offload_request(), op, spec.num_cores);
+      r.pass = r.pass && o.output == shard.expected;
+      r.used_host_fallback = r.used_host_fallback || o.used_host_fallback;
+      if (!o.status.ok() && r.status.ok()) r.status = o.status;
+      r.accel_cycles += o.timing.accel_cycles;
+      r.total_instrs += o.stats.total_instrs();
+      r.tcdm_conflicts += o.stats.tcdm_conflicts;
+      r.icache_misses += o.stats.icache_misses;
+      r.robust.crc_errors += o.robust.crc_errors;
+      r.robust.naks += o.robust.naks;
+      r.robust.retransmissions += o.robust.retransmissions;
+      r.robust.watchdog_expiries += o.robust.watchdog_expiries;
+      r.robust.retry_link_j += o.robust.retry_link_j;
+      outcomes.push_back(std::move(o));
+    }
+    r.timing = runtime::compose_scaleout_timing(outcomes);
+    r.energy = runtime::scaleout_energy(session, outcomes, op,
+                                        spec.iterations,
+                                        spec.double_buffered);
+    r.steady_power_w = runtime::scaleout_steady_power_w(
+        session, outcomes, op, spec.double_buffered);
+  }
   if (injector != nullptr) {
     r.fault_count = injector->counters().total_faults();
   }
@@ -111,6 +162,8 @@ JobResult run_cosim(const JobSpec& spec, const kernels::KernelInfo& info,
   system::HeteroSystemParams params;
   params.mcu_freq_hz = mhz(spec.mcu_mhz);
   params.pulp_freq_hz = op.freq_hz;
+  if (spec.lanes != 0) params.spi_lanes = spec.lanes;
+  params.num_clusters = spec.clusters;
   params.cluster_params.num_cores = spec.num_cores;
   params.cluster_params.reference_stepping = spec.reference_stepping;
 
@@ -122,23 +175,60 @@ JobResult run_cosim(const JobSpec& spec, const kernels::KernelInfo& info,
       r.status = s;
       return r;
     }
-    params.crc_frames = true;
+    // The multi-cluster dispatch driver has no CRC-retry protocol (only
+    // the single-cluster robust driver does), so scale-out jobs run raw
+    // framing: flip/drop faults corrupt payloads deterministically and
+    // surface as pass=false; a stuck-EOC fault strands the sleeping
+    // driver and surfaces as an isolated budget-exceeded job failure.
+    params.crc_frames = spec.clusters == 1;
     params.faults = fcfg;
   }
-
-  const system::FullSystemPackage pkg =
-      robust ? system::package_robust_offload(kc) : system::package_offload(kc);
   system::HeteroSystem sys(params);
 
   profile::ClusterProfiler cluster_prof;
   profile::CoreProfiler host_prof;
   if (spec.collect_profile) {
+    // Profiles attribute cluster 0 (every cluster runs the same kernel
+    // shape, so its hotspots stand for the node) plus the host driver.
     cluster_prof.attach(sys.soc().cluster());
     host_prof.attach(sys.host_core());
   }
 
-  const system::SystemOffloadResult res =
-      system::run_offload_with_fallback(sys, pkg);
+  if (spec.clusters == 1) {
+    const system::FullSystemPackage pkg = robust
+                                              ? system::package_robust_offload(kc)
+                                              : system::package_offload(kc);
+    const system::SystemOffloadResult res =
+        system::run_offload_with_fallback(sys, pkg);
+    r.status = res.status;
+    r.pass = res.output == kc.expected;
+    r.used_host_fallback = res.used_host_fallback;
+    r.host_cycles = res.host_cycles;
+    r.accel_cycles = res.stats.cluster_cycles;
+    r.wire_bytes = res.stats.wire_bytes;
+    r.link_crc_errors = res.stats.link_crc_errors;
+    r.fault_count = res.stats.fault_count;
+  } else {
+    std::vector<kernels::KernelCase> cases;
+    cases.push_back(kc);
+    for (u32 c = 1; c < spec.clusters; ++c) {
+      cases.push_back(info.factory(cfg.features, spec.num_cores,
+                                   kernels::Target::kCluster,
+                                   cluster_shard_seed(spec.seed, c)));
+    }
+    const system::MultiSystemPackage pkg =
+        system::package_multi_offload(cases);
+    const system::MultiOffloadResult res = system::run_multi_offload(sys, pkg);
+    r.pass = true;
+    for (u32 c = 0; c < spec.clusters; ++c) {
+      r.pass = r.pass && res.outputs[c] == cases[c].expected;
+    }
+    r.host_cycles = res.host_cycles;
+    r.accel_cycles = res.stats.cluster_cycles;
+    r.wire_bytes = res.stats.wire_bytes;
+    r.link_crc_errors = res.stats.link_crc_errors;
+    r.fault_count = res.stats.fault_count;
+  }
 
   if (spec.collect_profile) {
     cluster_prof.capture();
@@ -149,15 +239,6 @@ JobResult run_cosim(const JobSpec& spec, const kernels::KernelInfo& info,
     r.profile.has_host = true;
     r.profile.host = host_prof.data();
   }
-
-  r.status = res.status;
-  r.pass = res.output == kc.expected;
-  r.used_host_fallback = res.used_host_fallback;
-  r.host_cycles = res.host_cycles;
-  r.accel_cycles = res.stats.cluster_cycles;
-  r.wire_bytes = res.stats.wire_bytes;
-  r.link_crc_errors = res.stats.link_crc_errors;
-  r.fault_count = res.stats.fault_count;
   return r;
 }
 

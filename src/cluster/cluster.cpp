@@ -416,9 +416,20 @@ u64 Cluster::advance(u64 max_cycles, bool stop_at_eoc_rise) {
   return cycles_ - start;
 }
 
+std::string Cluster::deadlock_report() const {
+  std::string out = "cluster " + std::to_string(params_.cluster_id) +
+                    " at cycle " + std::to_string(cycles_) + ":";
+  for (const core::Core* c : cores_raw_) {
+    out += "\n  " + c->state_brief();
+  }
+  if (!dma_->idle()) out += "\n  DMA transfer in flight";
+  return out;
+}
+
 u64 Cluster::run(u64 max_cycles) {
   while (!all_halted()) {
-    ULP_CHECK(cycles_ < max_cycles, "cluster run exceeded cycle budget");
+    ULP_CHECK(cycles_ < max_cycles,
+              "cluster run exceeded cycle budget; " + deadlock_report());
     if (reference_stepping_) {
       step();
     } else {
@@ -428,7 +439,8 @@ u64 Cluster::run(u64 max_cycles) {
   // Drain any DMA work still in flight (e.g. a final writeback started just
   // before EOC; well-formed kernels wait, but keep timing honest anyway).
   while (!dma_->idle()) {
-    ULP_CHECK(cycles_ < max_cycles, "cluster DMA drain exceeded cycle budget");
+    ULP_CHECK(cycles_ < max_cycles,
+              "cluster DMA drain exceeded cycle budget; " + deadlock_report());
     if (reference_stepping_) {
       step();
     } else {

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/event_unit.hpp"
@@ -32,6 +33,11 @@ inline constexpr Addr kL2Base = memmap::kL2Base;
 struct ClusterParams {
   u32 num_cores = 4;
   core::CoreConfig core_config = core::or10n_config();
+
+  /// Identity of this cluster inside a multi-cluster HeteroSystem; pure
+  /// diagnostics (deadlock reports name the stuck cluster). 0 for
+  /// standalone clusters and the first system cluster.
+  u32 cluster_id = 0;
 
   u32 tcdm_banks = 8;
   u32 tcdm_bank_bytes = 8 * 1024;  ///< 8 banks x 8 KiB = 64 KiB TCDM.
@@ -127,6 +133,13 @@ class Cluster {
 
   [[nodiscard]] bool all_halted() const;
   [[nodiscard]] u64 cycles() const { return cycles_; }
+
+  /// Multi-line diagnostic naming this cluster and the execution state of
+  /// every core (pc, sleep condition, stall, in-flight memory op, block
+  /// cache position) plus the DMA queue — what run()/run_to_host_halt
+  /// print when a budget expires, so an N-cluster deadlock identifies
+  /// *which* cluster (and, block-cached, which block) is stuck.
+  [[nodiscard]] std::string deadlock_report() const;
 
   /// Cycles until a non-parked core can issue or a parked sleeper wakes
   /// (0 = someone can act right now; only the DMA bounds longer windows).

@@ -1,0 +1,67 @@
+// Strict numeric parsing for command-line arguments.
+//
+// The bench/fuzz/campaign CLIs used to feed argv straight into std::stoul
+// (throws an uncaught std::invalid_argument on garbage) or strtoul (accepts
+// "12abc" and silently truncates out-of-range values through a cast). These
+// helpers accept a value only when the *entire* argument parses and the
+// result fits the destination type, so every binary can reject malformed
+// input with one error line + usage and exit code 2 instead of aborting on
+// an escaped exception.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ulp::cli {
+
+/// Parses a full string as an unsigned integer (base 10, or 0x-prefixed
+/// hex / 0-prefixed octal when base == 0). Returns false — leaving *out
+/// untouched — unless the whole string is a valid number within
+/// [0, max_value]. Leading whitespace and signs are rejected (strtoull
+/// would skip the former and wrap a '-' through 2^64).
+inline bool parse_u64(const char* s, u64* out, u64 max_value = ~0ull,
+                      int base = 10) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+' ||
+      std::isspace(static_cast<unsigned char>(*s)) != 0) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, base);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  if (v > max_value) return false;
+  *out = v;
+  return true;
+}
+
+/// parse_u64 narrowed to u32 (the common CLI case: counts, sizes, flags).
+inline bool parse_u32(const char* s, u32* out,
+                      u32 max_value = std::numeric_limits<u32>::max(),
+                      int base = 10) {
+  u64 v = 0;
+  if (!parse_u64(s, &v, max_value, base)) return false;
+  *out = static_cast<u32>(v);
+  return true;
+}
+
+/// Parses a full string as a finite double. Rejects partial parses
+/// ("1.5x"), empty strings, leading whitespace and over/underflow.
+inline bool parse_double(const char* s, double* out) {
+  if (s == nullptr || *s == '\0' ||
+      std::isspace(static_cast<unsigned char>(*s)) != 0) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace ulp::cli

@@ -18,4 +18,15 @@ inline constexpr Addr kL2Base = 0x1C000000;     ///< SoC L2 memory.
 inline constexpr Addr kL2Input = kL2Base + 0x8000;
 inline constexpr Addr kL2Output = kL2Base + 0x18000;
 
+/// Multi-cluster scale-out: on the shared host link, cluster i's L2 is
+/// aliased at kL2Base + i * kClusterL2Stride. The QSPI router strips the
+/// alias offset, so each cluster still sees its own L2 at kL2Base and
+/// single-cluster kernels/drivers run unchanged on any cluster. 16 MiB
+/// windows comfortably cover the 128 KiB L2s and keep the arithmetic to a
+/// shift.
+inline constexpr Addr kClusterL2Stride = 0x01000000;
+[[nodiscard]] constexpr Addr cluster_l2_base(u32 cluster) {
+  return kL2Base + static_cast<Addr>(cluster) * kClusterL2Stride;
+}
+
 }  // namespace ulp::memmap

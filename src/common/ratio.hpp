@@ -70,6 +70,19 @@ class ClockRatio {
     return (acc_ + num_ * source_cycles) / den_;
   }
 
+  /// The largest number of source cycles that delivers at most `ticks`
+  /// target ticks, without advancing the schedule. Can be 0 when the
+  /// target clock is faster than the source and the very next source
+  /// cycle's batch already exceeds `ticks`. Lets a multi-domain scheduler
+  /// cap a shared stride so no domain overruns its quiescent horizon.
+  [[nodiscard]] u64 cycles_for_at_most_ticks(u64 ticks) const {
+    ULP_CHECK(ticks < ~0ull / den_, "clock ratio query would overflow");
+    // max S with (acc_ + num_*S) / den_ <= ticks, i.e.
+    //            acc_ + num_*S < (ticks + 1) * den_.
+    const u64 bound = (ticks + 1) * den_ - acc_;  // > 0 since acc_ < den_
+    return (bound - 1) / num_;
+  }
+
   /// One fast-forward stride: `cycles` source cycles consumed, `ticks`
   /// target ticks they delivered.
   struct TickRun {

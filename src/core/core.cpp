@@ -151,6 +151,12 @@ void Core::run_to_halt(u64 max_cycles) {
     ++used;
   }
   if (halted_) return;
+  ULP_CHECK(halted_,
+            "program did not halt within cycle budget: " + state_brief());
+}
+
+std::string Core::state_brief() const {
+  if (halted_) return "core " + std::to_string(id_) + " halted";
   std::string block_state;
   if (block_enabled_ && bcache_ != nullptr) {
     block_state = ", block cache active (last block start pc " +
@@ -159,15 +165,13 @@ void Core::run_to_halt(u64 max_cycles) {
                   " records remaining, " +
                   std::to_string(bcache_->stats().flushes) + " flushes)";
   }
-  ULP_CHECK(halted_,
-            "program did not halt within cycle budget: core " +
-                std::to_string(id_) + " at pc " + std::to_string(pc_) +
-                (sleeping_ ? (std::string(" sleeping on ") +
-                              (sleep_kind_ == WakeKind::kBarrier ? "barrier"
-                                                                 : "event"))
-                           : " awake") +
-                ", busy " + std::to_string(busy_) +
-                (memop_.active ? ", memory op in flight" : "") + block_state);
+  return "core " + std::to_string(id_) + " at pc " + std::to_string(pc_) +
+         (sleeping_ ? (std::string(" sleeping on ") +
+                       (sleep_kind_ == WakeKind::kBarrier ? "barrier"
+                                                          : "event"))
+                    : " awake") +
+         ", busy " + std::to_string(busy_) +
+         (memop_.active ? ", memory op in flight" : "") + block_state;
 }
 
 void Core::issue() {

@@ -10,6 +10,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "common/status.hpp"
 #include "core/block_cache.hpp"
@@ -74,6 +75,12 @@ class Core {
   /// path when enabled; falls back to per-cycle stepping wherever a pc is
   /// not block-eligible.
   void run_to_halt(u64 max_cycles = 2'000'000'000ull);
+
+  /// One-line human-readable execution state — pc, sleep/wake condition,
+  /// remaining stall, in-flight memory op and block-cache position — used
+  /// by run_to_halt and the cluster/system deadlock reports to say exactly
+  /// where a stuck core stands.
+  [[nodiscard]] std::string state_brief() const;
 
   /// Retire whole decode-once cached blocks starting at the current pc,
   /// charging cycles in bulk but bit-identically to per-cycle stepping.

@@ -63,6 +63,22 @@ class HostWakeUnit final : public core::SyncUnit {
   std::function<bool()> eoc_level_;
 };
 
+/// Wake-source select register for multi-cluster systems: one u32 at
+/// offset 0x00 whose bit i arms cluster i's EOC line as a WFE wake source.
+/// Resets to 1 (cluster 0 armed) so the single-cluster driver — which
+/// never touches it — sleeps and wakes exactly as before the scale-out.
+class WakeMaskPeripheral final : public mem::Peripheral {
+ public:
+  u32 read32(Addr offset) override { return offset == 0 ? mask_ : 0; }
+  void write32(Addr offset, u32 value) override {
+    if (offset == 0) mask_ = value;
+  }
+  [[nodiscard]] u32 mask() const { return mask_; }
+
+ private:
+  u32 mask_ = 1;
+};
+
 class GpioPeripheral final : public mem::Peripheral {
  public:
   /// `eoc_level` samples the accelerator's EOC line; `on_fetch_enable`

@@ -1,0 +1,87 @@
+#include "runtime/scaleout.hpp"
+
+#include <algorithm>
+
+namespace ulp::runtime {
+
+OffloadTiming compose_scaleout_timing(
+    std::span<const OffloadOutcome> outcomes) {
+  ULP_CHECK(!outcomes.empty(), "scale-out composition needs >= 1 cluster");
+  OffloadTiming t;
+  for (const OffloadOutcome& o : outcomes) {
+    t.t_binary_s += o.timing.t_binary_s;
+    t.t_in_s += o.timing.t_in_s;
+    t.t_out_s += o.timing.t_out_s;
+    t.t_retry_s += o.timing.t_retry_s;
+    t.binary_bytes += o.timing.binary_bytes;
+    t.in_bytes += o.timing.in_bytes;
+    t.out_bytes += o.timing.out_bytes;
+    // Concurrent clock domains: the node computes as long as its slowest
+    // cluster. accel_cycles mirrors that critical path.
+    if (o.timing.t_compute_s > t.t_compute_s) {
+      t.t_compute_s = o.timing.t_compute_s;
+      t.accel_cycles = o.timing.accel_cycles;
+    }
+  }
+  return t;
+}
+
+EnergyBreakdown scaleout_energy(const OffloadSession& session,
+                                std::span<const OffloadOutcome> outcomes,
+                                const power::OperatingPoint& op,
+                                u32 iterations, bool double_buffered) {
+  const OffloadTiming composed = compose_scaleout_timing(outcomes);
+  const double n = iterations;
+  const double total = composed.total_s(iterations, double_buffered);
+  // Aggregated wire occupancy: the MCU is the SPI master for every
+  // cluster's transfers (retry overhead included, charged once like the
+  // binaries).
+  const double t_xfer = composed.t_binary_s + composed.t_retry_s +
+                        n * (composed.t_in_s + composed.t_out_s);
+
+  EnergyBreakdown e;
+  e.mcu_j = t_xfer * session.mcu().active_power_w(session.mcu_freq_hz()) +
+            std::max(0.0, total - t_xfer) * session.mcu().sleep_w;
+  // One shared link: per-byte energy for every cluster's payloads (and
+  // retransmissions), one idle floor over the composed schedule.
+  e.link_j = total * session.link().idle_power_w();
+  for (const OffloadOutcome& o : outcomes) {
+    e.pulp_j +=
+        n * session.power_model().energy_j(o.activity, op,
+                                           o.timing.accel_cycles) +
+        std::max(0.0, total - n * o.timing.t_compute_s) *
+            session.power_model().idle_w(op.vdd);
+    e.link_j += session.link().transfer_energy_j(o.timing.binary_bytes) +
+                o.robust.retry_link_j +
+                n * (session.link().transfer_energy_j(o.timing.in_bytes) +
+                     session.link().transfer_energy_j(o.timing.out_bytes));
+  }
+  return e;
+}
+
+double scaleout_steady_power_w(const OffloadSession& session,
+                               std::span<const OffloadOutcome> outcomes,
+                               const power::OperatingPoint& op,
+                               bool double_buffered) {
+  const OffloadTiming composed = compose_scaleout_timing(outcomes);
+  const double t_xfer = composed.t_in_s + composed.t_out_s;
+  const double period = double_buffered
+                            ? std::max(composed.t_compute_s, t_xfer)
+                            : composed.t_compute_s + t_xfer;
+  if (period <= 0) return 0;
+  double joules =
+      t_xfer * session.mcu().active_power_w(session.mcu_freq_hz()) +
+      std::max(0.0, period - t_xfer) * session.mcu().sleep_w +
+      period * session.link().idle_power_w();
+  for (const OffloadOutcome& o : outcomes) {
+    joules += session.power_model().energy_j(o.activity, op,
+                                             o.timing.accel_cycles) +
+              std::max(0.0, period - o.timing.t_compute_s) *
+                  session.power_model().idle_w(op.vdd) +
+              session.link().transfer_energy_j(o.timing.in_bytes) +
+              session.link().transfer_energy_j(o.timing.out_bytes);
+  }
+  return joules / period;
+}
+
+}  // namespace ulp::runtime

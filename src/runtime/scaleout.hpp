@@ -1,0 +1,53 @@
+// Analytic scale-out composition: N accelerator clusters behind ONE shared
+// host link. Each cluster's kernel run is simulated cycle-accurately once
+// (one OffloadOutcome per cluster, from a plain OffloadSession); this
+// module composes those per-cluster measurements into whole-node timing,
+// energy and steady-state power under the platform's dispatch model:
+//
+//   - every transfer (binary, map(to:), map(from:), retries) serialises on
+//     the shared SPI/QSPI wire — transfer terms are SUMS over clusters,
+//   - compute runs concurrently in per-cluster clock domains — the compute
+//     term is the MAX over clusters,
+//   - the wire's idle floor is paid once (one link), each cluster pays its
+//     own idle power while other clusters still compute.
+//
+// This is the analytic counterpart of the cycle-accurate multi-cluster
+// HeteroSystem (system/hetero_system.hpp); with one outcome the composed
+// figures reduce exactly to the single-cluster OffloadSession arithmetic.
+#pragma once
+
+#include <span>
+
+#include "runtime/offload.hpp"
+
+namespace ulp::runtime {
+
+/// Compose per-cluster outcomes into one node-level timing: transfer and
+/// retry terms sum (shared wire), compute is the slowest cluster
+/// (concurrent domains). The composed OffloadTiming plugs into the usual
+/// total_s()/efficiency() pipeline arithmetic — double-buffered steady
+/// state is then max(slowest compute, total wire time per iteration),
+/// i.e. the node is link-bound once the aggregated transfers outweigh the
+/// slowest cluster's kernel.
+[[nodiscard]] OffloadTiming compose_scaleout_timing(
+    std::span<const OffloadOutcome> outcomes);
+
+/// Node energy for `iterations` kernel executions per cluster per code
+/// offload: the MCU is active while driving the aggregated transfers and
+/// asleep the rest of the composed schedule; each cluster pays measured
+/// compute energy plus idle power while the node finishes elsewhere; the
+/// shared link pays per-byte energy for every cluster's payloads and ONE
+/// idle floor. All rates come from `session` (the session that produced
+/// the outcomes).
+[[nodiscard]] EnergyBreakdown scaleout_energy(
+    const OffloadSession& session, std::span<const OffloadOutcome> outcomes,
+    const power::OperatingPoint& op, u32 iterations, bool double_buffered);
+
+/// Steady-state node power while continuously iterating on all clusters
+/// (binary cost amortised away) — the scale-out point to check against the
+/// paper's 10 mW envelope.
+[[nodiscard]] double scaleout_steady_power_w(
+    const OffloadSession& session, std::span<const OffloadOutcome> outcomes,
+    const power::OperatingPoint& op, bool double_buffered);
+
+}  // namespace ulp::runtime

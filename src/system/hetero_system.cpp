@@ -1,6 +1,8 @@
 #include "system/hetero_system.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "common/status.hpp"
 #include "trace/metrics.hpp"
@@ -8,25 +10,49 @@
 namespace ulp::system {
 
 HeteroSystem::HeteroSystem(HeteroSystemParams params)
-    : params_(std::move(params)),
-      ratio_(params_.pulp_freq_hz, params_.mcu_freq_hz) {
+    : params_(std::move(params)) {
   ULP_CHECK(params_.mcu_freq_hz > 0 && params_.pulp_freq_hz > 0,
             "clock frequencies must be positive");
-  soc_ = std::make_unique<soc::PulpSoc>(params_.cluster_params);
-  // Host-side fast-forward is only exact when the cluster also honours the
-  // advance() contract, so both domains follow one mode switch.
-  reference_stepping_ = soc_->cluster().reference_stepping();
+  ULP_CHECK(params_.num_clusters >= 1 && params_.num_clusters <= 32,
+            "num_clusters must be in [1, 32] (the wake mask is one u32)");
+  ULP_CHECK(params_.cluster_freq_hz.empty() ||
+                params_.cluster_freq_hz.size() == params_.num_clusters,
+            "cluster_freq_hz must be empty or have num_clusters entries");
+  for (u32 c = 0; c < params_.num_clusters; ++c) {
+    cluster::ClusterParams cp = params_.cluster_params;
+    cp.cluster_id = c;
+    socs_.push_back(std::make_unique<soc::PulpSoc>(cp));
+    const double freq = params_.cluster_freq_hz.empty()
+                            ? params_.pulp_freq_hz
+                            : params_.cluster_freq_hz[c];
+    ULP_CHECK(freq > 0, "cluster clock frequencies must be positive");
+    ratios_.emplace_back(freq, params_.mcu_freq_hz);
+  }
+  started_.assign(params_.num_clusters, 0);
+  traced_eoc_.assign(params_.num_clusters, 0);
+  // Host-side fast-forward is only exact when the clusters also honour the
+  // advance() contract, so every domain follows one mode switch.
+  reference_stepping_ = socs_[0]->cluster().reference_stepping();
+  for (const auto& soc : socs_) {
+    ULP_CHECK(soc->cluster().reference_stepping() == reference_stepping_,
+              "all clusters must share one stepping mode");
+  }
   host_sram_ = std::make_unique<mem::Sram>(kHostSramBase,
                                            params_.host_sram_bytes);
   host_bus_ = std::make_unique<mem::SimpleBus>(host_sram_.get(), 1);
 
-  soc::PulpSoc* soc = soc_.get();
   wire_ = std::make_unique<link::SpiWire>(
       params_.spi_lanes,
-      [soc](Addr a, u8 b) { soc->qspi_write(a, std::span<const u8>(&b, 1)); },
-      [soc](Addr a) {
+      [this](Addr a, u8 b) {
+        Addr local = 0;
+        const u32 c = route_cluster(a, &local);
+        socs_[c]->qspi_write(local, std::span<const u8>(&b, 1));
+      },
+      [this](Addr a) {
+        Addr local = 0;
+        const u32 c = route_cluster(a, &local);
         u8 b = 0;
-        soc->qspi_read(a, std::span<u8>(&b, 1));
+        socs_[c]->qspi_read(local, std::span<u8>(&b, 1));
         return b;
       });
   if (params_.faults) {
@@ -36,39 +62,72 @@ HeteroSystem::HeteroSystem(HeteroSystemParams params)
   wire_->set_crc_frames(params_.crc_frames);
   spi_master_ = std::make_unique<host::SpiMasterPeripheral>(wire_.get(),
                                                             host_sram_.get());
-  gpio_ = std::make_unique<host::GpioPeripheral>(
-      [this]() { return eoc_line(); },
-      [this](u32 image_len) {
-        // A new fetch-enable edge opens a new EOC wait; the injector
-        // decides up front whether this one sees the line stuck (a pure
-        // function of seed + wait count, identical in both stepping
-        // modes regardless of how often the line is sampled).
-        if (injector_ != nullptr) injector_->begin_eoc_wait();
-        soc_->boot_from_l2(params_.l2_staging, image_len);
-        accel_started_ = true;
-        if (sinks_.events != nullptr) {
-          sinks_.events->instant(
-              host_track_, "fetch_enable", host_cycles_,
-              {{"image_len", static_cast<double>(image_len)}});
-        }
-      });
+  for (u32 c = 0; c < params_.num_clusters; ++c) {
+    gpios_.push_back(std::make_unique<host::GpioPeripheral>(
+        [this, c]() { return eoc_line(c); },
+        [this, c](u32 image_len) {
+          // A new fetch-enable edge opens a new EOC wait; the injector
+          // decides up front whether this one sees the line stuck (a pure
+          // function of seed + wait count, identical in both stepping
+          // modes regardless of how often the line is sampled).
+          if (injector_ != nullptr) injector_->begin_eoc_wait();
+          socs_[c]->boot_from_l2(params_.l2_staging, image_len);
+          started_[c] = 1;
+          if (sinks_.events != nullptr) {
+            std::vector<trace::EventTrace::Arg> args = {
+                {"image_len", static_cast<double>(image_len)}};
+            if (socs_.size() > 1) {
+              args.push_back({"cluster", static_cast<double>(c)});
+            }
+            sinks_.events->instant(host_track_, "fetch_enable", host_cycles_,
+                                   std::move(args));
+          }
+        }));
+    host_bus_->add_peripheral(kGpioBase + c * 0x100, 0x100, gpios_[c].get());
+  }
   host_bus_->add_peripheral(kSpiMasterBase, 0x100, spi_master_.get());
-  host_bus_->add_peripheral(kGpioBase, 0x100, gpio_.get());
+  wake_mask_ = std::make_unique<host::WakeMaskPeripheral>();
+  host_bus_->add_peripheral(kWakeMaskBase, 0x100, wake_mask_.get());
 
-  // WFE on the host core sleeps until the EOC GPIO rises (WFI + EXTI).
+  // WFE on the host core sleeps until an armed EOC GPIO rises (WFI + EXTI;
+  // the reset wake mask arms cluster 0, the legacy behaviour).
   wake_unit_ = std::make_unique<host::HostWakeUnit>(
-      [this]() { return eoc_line(); });
+      [this]() { return wake_pending(); });
   host_core_ = std::make_unique<core::Core>(0, 1, core::cortex_m4_config(),
                                             host_bus_.get(),
                                             /*icache=*/nullptr,
                                             wake_unit_.get());
 }
 
+u32 HeteroSystem::route_cluster(Addr addr, Addr* local) const {
+  // Addresses below the first alias window (TCDM debug pokes, cluster
+  // peripherals) stay on cluster 0 untouched — exactly the legacy map.
+  if (addr < memmap::kL2Base + memmap::kClusterL2Stride) {
+    *local = addr;
+    return 0;
+  }
+  const u64 idx = (addr - memmap::kL2Base) / memmap::kClusterL2Stride;
+  ULP_CHECK(idx < socs_.size(),
+            "QSPI address 0x" + std::to_string(addr) +
+                " routes to cluster " + std::to_string(idx) +
+                " but only " + std::to_string(socs_.size()) + " exist");
+  *local = addr - static_cast<Addr>(idx) * memmap::kClusterL2Stride;
+  return static_cast<u32>(idx);
+}
+
+bool HeteroSystem::wake_pending() const {
+  const u32 mask = wake_mask_->mask();
+  for (u32 c = 0; c < socs_.size(); ++c) {
+    if (((mask >> c) & 1u) != 0 && eoc_line(c)) return true;
+  }
+  return false;
+}
+
 void HeteroSystem::attach_trace(const trace::Sinks& sinks) {
   sinks_ = sinks;
   traced_host_state_ = 255;
   host_span_open_ = false;
-  traced_eoc_ = false;
+  traced_eoc_.assign(socs_.size(), 0);
   if (sinks_.events != nullptr) {
     host_track_ =
         sinks_.events->add_track("host.mcu", params_.mcu_freq_hz, 0);
@@ -77,7 +136,15 @@ void HeteroSystem::attach_trace(const trace::Sinks& sinks) {
   } else {
     wire_->attach_trace(sinks_, 0);
   }
-  soc_->cluster().attach_trace(sinks_, params_.pulp_freq_hz);
+  for (u32 c = 0; c < socs_.size(); ++c) {
+    const double freq = params_.cluster_freq_hz.empty()
+                            ? params_.pulp_freq_hz
+                            : params_.cluster_freq_hz[c];
+    // Cluster 0 keeps the legacy "cluster.*" names; siblings get a suffix.
+    socs_[c]->cluster().attach_trace(
+        sinks_, freq,
+        c == 0 ? std::string("cluster") : "cluster" + std::to_string(c));
+  }
 }
 
 void HeteroSystem::trace_sample() {
@@ -110,10 +177,17 @@ void HeteroSystem::trace_sample() {
     traced_host_state_ = s;
   }
 
-  const bool eoc = eoc_line();
-  if (eoc != traced_eoc_) {
-    if (eoc && ev != nullptr) ev->instant(host_track_, "eoc", host_cycles_);
-    traced_eoc_ = eoc;
+  for (u32 c = 0; c < socs_.size(); ++c) {
+    const bool eoc = eoc_line(c);
+    if (eoc != (traced_eoc_[c] != 0)) {
+      if (eoc && ev != nullptr) {
+        ev->instant(host_track_,
+                    c == 0 ? std::string("eoc")
+                           : "eoc" + std::to_string(c),
+                    host_cycles_);
+      }
+      traced_eoc_[c] = eoc ? 1 : 0;
+    }
   }
 }
 
@@ -125,8 +199,8 @@ void HeteroSystem::load_host_program(const isa::Program& program) {
     }
   }
   host_core_->reset(&host_program_);
-  accel_started_ = false;
-  ratio_.reset();
+  started_.assign(socs_.size(), 0);
+  for (ClockRatio& r : ratios_) r.reset();
   host_cycles_ = 0;
   host_link_bound_cycles_ = 0;
 }
@@ -143,11 +217,13 @@ void HeteroSystem::step() {
   wire_->step();
   ++host_cycles_;
   if (sinks_) trace_sample();
-  // The cluster runs in its own clock domain (exact rational coupling).
-  const u64 due = ratio_.tick();
-  for (u64 i = 0; i < due; ++i) {
-    if (accel_started_ && !soc_->cluster().all_halted()) {
-      soc_->cluster().step();
+  // Each cluster runs in its own clock domain (exact rational coupling).
+  for (u32 c = 0; c < socs_.size(); ++c) {
+    const u64 due = ratios_[c].tick();
+    for (u64 i = 0; i < due; ++i) {
+      if (started_[c] != 0 && !socs_[c]->cluster().all_halted()) {
+        socs_[c]->cluster().step();
+      }
     }
   }
 }
@@ -158,24 +234,29 @@ void HeteroSystem::step() {
 // end, re-check EOC. O(1) host-side work per *cluster* cycle even when the
 // MCU clock is many times the PULP clock (the near-threshold operating
 // points of interest), instead of O(mcu_freq / pulp_freq).
-u64 HeteroSystem::fast_forward_host_sleep(u64 max_host_cycles) {
-  cluster::Cluster& cl = soc_->cluster();
+//
+// This is the single-cluster fast path, byte-for-byte the pre-scale-out
+// scheduler (the N=1 bit-exactness contract); fast_forward_multi below
+// generalises it to N domains with a shared stride.
+u64 HeteroSystem::fast_forward_solo(u64 max_host_cycles) {
+  cluster::Cluster& cl = socs_[0]->cluster();
+  ClockRatio& ratio = ratios_[0];
   const u64 budget = max_host_cycles - host_cycles_;
   u64 advanced = 0;
   while (!eoc_line() && advanced < budget) {
-    if (!accel_started_ || cl.all_halted()) {
+    if (started_[0] == 0 || cl.all_halted()) {
       // Nothing left that can raise EOC: sleep out the whole budget (the
       // per-cycle loop would spin to the same cycle before its budget
       // check fires). The tick schedule still accrues, as it does there.
-      ratio_.tick_many(budget - advanced);
+      ratio.tick_many(budget - advanced);
       advanced = budget;
       break;
     }
-    const u64 ticks_left = ratio_.ticks_within(budget - advanced);
+    const u64 ticks_left = ratio.ticks_within(budget - advanced);
     if (ticks_left == 0) {
       // Budget ends before the next cluster tick: accrue the partial
       // remainder so the tick schedule stays aligned.
-      ratio_.tick_many(budget - advanced);
+      ratio.tick_many(budget - advanced);
       advanced = budget;
       break;
     }
@@ -197,8 +278,8 @@ u64 HeteroSystem::fast_forward_host_sleep(u64 max_host_cycles) {
     const u64 stride = (horizon == 0 && cl.block_cache_enabled())
                            ? ticks_left
                            : std::min(std::max<u64>(horizon, 1), ticks_left);
-    const ClockRatio before = ratio_;
-    const ClockRatio::TickRun run = ratio_.consume_ticks(stride);
+    const ClockRatio before = ratio;
+    const ClockRatio::TickRun run = ratio.consume_ticks(stride);
     const u64 done = cl.advance(run.ticks, /*stop_at_eoc_rise=*/true);
     if (done < run.ticks) {
       // The cluster halted or raised EOC partway through the burst and its
@@ -207,8 +288,8 @@ u64 HeteroSystem::fast_forward_host_sleep(u64 max_host_cycles) {
       // last executed tick: the host wakes on the step after it, and any
       // remaining cluster ticks of that batch re-accrue through the
       // accumulator at subsequent host steps.
-      ratio_ = before;
-      advanced += ratio_.consume_ticks(done).cycles;
+      ratio = before;
+      advanced += ratio.consume_ticks(done).cycles;
     } else {
       advanced += run.cycles;
     }
@@ -219,12 +300,83 @@ u64 HeteroSystem::fast_forward_host_sleep(u64 max_host_cycles) {
   return advanced;
 }
 
+// N-cluster generalisation: all domains share one host-cycle stride, capped
+// so that no cluster can act (issue an instruction or wake a sleeper —
+// hence raise EOC) strictly inside it. A cluster whose horizon is zero may
+// act on its very next tick, which pins the stride to one host cycle: its
+// tick batch for that cycle is indivisible, exactly as in step(), so a
+// wake raised inside the batch is observed at the host's next real step in
+// both modes.
+u64 HeteroSystem::fast_forward_multi(u64 max_host_cycles) {
+  const u64 budget = max_host_cycles - host_cycles_;
+  u64 advanced = 0;
+  while (advanced < budget && !wake_pending()) {
+    u64 stride = budget - advanced;
+    bool any_live = false;
+    for (u32 c = 0; c < socs_.size(); ++c) {
+      cluster::Cluster& cl = socs_[c]->cluster();
+      if (started_[c] == 0 || cl.all_halted()) continue;
+      any_live = true;
+      const u64 horizon = cl.quiescent_horizon();
+      const u64 limit =
+          horizon == 0
+              ? 1
+              : std::max<u64>(ratios_[c].cycles_for_at_most_ticks(horizon),
+                              1);
+      stride = std::min(stride, limit);
+    }
+    if (!any_live) {
+      // Nothing left that can raise an armed EOC: sleep out the budget;
+      // every tick schedule still accrues, as in the per-cycle loop.
+      for (ClockRatio& r : ratios_) r.tick_many(budget - advanced);
+      advanced = budget;
+      break;
+    }
+    for (u32 c = 0; c < socs_.size(); ++c) {
+      const u64 due = ratios_[c].tick_many(stride);
+      if (due == 0) continue;
+      cluster::Cluster& cl = socs_[c]->cluster();
+      if (started_[c] != 0 && !cl.all_halted()) {
+        // advance() stops early at all-halt, freezing the cluster clock
+        // exactly as the per-cycle loop's all_halted() guard does; the
+        // remaining due ticks of this stride are then no-ops there too.
+        cl.advance(due);
+      }
+    }
+    advanced += stride;
+  }
+  host_cycles_ += advanced;
+  host_core_->charge_sleep_cycles(advanced);
+  wire_->skip_idle(advanced);
+  return advanced;
+}
+
+u64 HeteroSystem::fast_forward_host_sleep(u64 max_host_cycles) {
+  return socs_.size() == 1 ? fast_forward_solo(max_host_cycles)
+                           : fast_forward_multi(max_host_cycles);
+}
+
+std::string HeteroSystem::stuck_report() const {
+  char mask[16];
+  std::snprintf(mask, sizeof(mask), "0x%x", wake_mask_->mask());
+  std::string out = "host " + host_core_->state_brief() + ", wake mask " +
+                    mask;
+  for (u32 c = 0; c < socs_.size(); ++c) {
+    out += "\ncluster " + std::to_string(c) + " ";
+    out += started_[c] != 0 ? "[started" : "[not started";
+    out += socs_[c]->eoc_gpio() ? ", eoc high] " : ", eoc low] ";
+    out += socs_[c]->cluster().deadlock_report();
+  }
+  return out;
+}
+
 u64 HeteroSystem::run_to_host_halt(u64 max_host_cycles) {
   while (!host_core_->halted()) {
     ULP_CHECK(host_cycles_ < max_host_cycles,
-              "full-system run exceeded host cycle budget");
+              "full-system run exceeded host cycle budget; " +
+                  stuck_report());
     if (!reference_stepping_ && host_core_->sleeping() && !wire_->busy() &&
-        !eoc_line()) {
+        !wake_pending()) {
       // EOC rises during a cluster batch; the host then wakes at its next
       // real step(), exactly one host cycle later — as with per-cycle
       // stepping, where the raising batch runs after the host's step.
@@ -239,11 +391,16 @@ u64 HeteroSystem::run_to_host_halt(u64 max_host_cycles) {
 HeteroStats HeteroSystem::stats() const {
   HeteroStats s;
   s.host_cycles = host_cycles_;
-  s.cluster_cycles = soc_->cluster().cycles();
+  for (u32 c = 0; c < socs_.size(); ++c) {
+    const u64 cycles = socs_[c]->cluster().cycles();
+    s.cluster_cycles += cycles;
+    s.cluster_cycles_each.push_back(cycles);
+    s.cluster_started_each.push_back(started_[c]);
+    s.accel_started = s.accel_started || started_[c] != 0;
+  }
   s.wire_bytes = wire_->bytes_moved();
   s.wire_busy_host_cycles = wire_->busy_cycles();
   s.host_link_bound_cycles = host_link_bound_cycles_;
-  s.accel_started = accel_started_;
   s.link_frames = wire_->frames();
   s.link_crc_errors = wire_->crc_errors();
   if (injector_ != nullptr) s.fault_count = injector_->counters().total_faults();

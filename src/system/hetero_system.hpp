@@ -13,10 +13,21 @@
 // while the PULP cluster executes its kernel cycle-by-cycle in its own
 // clock domain (the two clocks are co-simulated at their real frequency
 // ratio). This is the "bare-metal runtime port" of the original prototype.
+//
+// Scale-out: the system hosts N clusters (params.num_clusters), each a full
+// PulpSoc (own DMA, TCDM, event unit, L2) in its own clock domain, behind
+// ONE shared SPI wire. Cluster i's L2 is aliased on the host link at
+// memmap::cluster_l2_base(i) and its handshake GPIO pair sits at
+// kGpioBase + i * 0x100; a wake-mask register selects which EOC lines wake
+// a sleeping host. Transfers to different clusters serialise on the shared
+// wire — the offload/dispatch bottleneck the scale-out campaigns measure.
+// With num_clusters == 1 (the default) every path below reduces to the
+// original single-cluster model bit-exactly (asserted by tests/system).
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/ratio.hpp"
 #include "core/core.hpp"
@@ -30,10 +41,12 @@
 
 namespace ulp::system {
 
-/// Host memory map.
+/// Host memory map. Each cluster's GPIO block occupies a 0x100 window at
+/// kGpioBase + cluster * 0x100 (cluster 0's window is the legacy one).
 inline constexpr Addr kHostSramBase = 0x00000000;
 inline constexpr Addr kSpiMasterBase = 0x40000000;
 inline constexpr Addr kGpioBase = 0x40001000;
+inline constexpr Addr kWakeMaskBase = 0x40002000;
 
 struct HeteroSystemParams {
   double mcu_freq_hz = mhz(16);
@@ -41,7 +54,16 @@ struct HeteroSystemParams {
   u32 spi_lanes = 4;
   u32 host_sram_bytes = 512 * 1024;
   cluster::ClusterParams cluster_params = {};
-  /// Where the host driver stages the boot image in L2.
+  /// Accelerator clusters behind the shared link (1..32; the wake mask is
+  /// one u32). Every cluster is built from cluster_params (cluster_id is
+  /// stamped per instance).
+  u32 num_clusters = 1;
+  /// Per-cluster clock overrides; empty = every cluster at pulp_freq_hz,
+  /// otherwise exactly num_clusters entries.
+  std::vector<double> cluster_freq_hz;
+  /// Where the host driver stages the boot image in L2 (cluster-local
+  /// address; on the wire, cluster i stages at l2_staging +
+  /// i * memmap::kClusterL2Stride).
   Addr l2_staging = memmap::kL2Base;
   /// CRC-32 trailer framing on the SPI wire (the robust offload
   /// protocol). Off by default: the raw wire's byte counts are pinned by
@@ -50,13 +72,15 @@ struct HeteroSystemParams {
   /// Deterministic link fault injection (see link/fault_injector.hpp).
   /// The stuck-EOC budget gates the EOC line as the host sees it; pair
   /// with a robust driver (counted-polling watchdog) — a legacy sleeping
-  /// driver would never wake from a stuck line.
+  /// driver would never wake from a stuck line. One injector serves the
+  /// shared wire; every cluster's transfers draw from its schedule in
+  /// submission order.
   std::optional<link::FaultConfig> faults;
 };
 
 struct HeteroStats {
   u64 host_cycles = 0;
-  u64 cluster_cycles = 0;
+  u64 cluster_cycles = 0;  ///< Summed over clusters (== cluster 0 for N=1).
   u64 wire_bytes = 0;
   u64 wire_busy_host_cycles = 0;
   /// Host cycles spent executing while an SPI transfer was already in
@@ -64,10 +88,13 @@ struct HeteroStats {
   /// the host core's active cycles; counted per real step in both
   /// stepping modes, so profiles stay bit-identical).
   u64 host_link_bound_cycles = 0;
-  bool accel_started = false;
+  bool accel_started = false;  ///< Any cluster saw its fetch-enable edge.
   u64 link_frames = 0;      ///< Completed wire transfers.
   u64 link_crc_errors = 0;  ///< Frames that failed their integrity check.
   u64 fault_count = 0;      ///< Injected faults (all kinds), 0 without injector.
+  /// Per-cluster breakdown, num_clusters entries in cluster order.
+  std::vector<u64> cluster_cycles_each;
+  std::vector<u8> cluster_started_each;
 };
 
 class HeteroSystem {
@@ -81,8 +108,8 @@ class HeteroSystem {
   /// image bytes, input payload) into host SRAM.
   void load_host_program(const isa::Program& program);
 
-  /// Advance one host clock cycle (the cluster advances by the frequency
-  /// ratio; the wire moves bytes; GPIO edges boot the accelerator).
+  /// Advance one host clock cycle (each cluster advances by its frequency
+  /// ratio; the wire moves bytes; GPIO edges boot the accelerators).
   void step();
 
   /// Run until the host core halts. Returns host cycles elapsed.
@@ -95,9 +122,11 @@ class HeteroSystem {
 
   /// Record the whole node into `sinks`: host run/sleep spans (WFI on the
   /// EOC line), SPI wire transfers, fetch-enable / EOC handshake instants,
-  /// and the cluster's own tracks. Host-side tracks tick at the MCU clock
-  /// and cluster tracks at the PULP clock, so the exported timeline shows
-  /// both domains on one real-time axis. Call before load_host_program.
+  /// and each cluster's own tracks. Host-side tracks tick at the MCU clock
+  /// and cluster tracks at their PULP clocks, so the exported timeline
+  /// shows every domain on one real-time axis. Cluster 0 keeps the legacy
+  /// "cluster.*" track names; cluster i > 0 records as "cluster<i>.*".
+  /// Call before load_host_program.
   void attach_trace(const trace::Sinks& sinks);
 
   [[nodiscard]] core::Core& host_core() { return *host_core_; }
@@ -106,8 +135,14 @@ class HeteroSystem {
     return host_program_;
   }
   [[nodiscard]] mem::Sram& host_sram() { return *host_sram_; }
-  [[nodiscard]] soc::PulpSoc& soc() { return *soc_; }
+  /// Cluster `i`'s SoC; the argument-free legacy accessor is cluster 0.
+  [[nodiscard]] soc::PulpSoc& soc(u32 i = 0) { return *socs_[i]; }
+  [[nodiscard]] u32 num_clusters() const {
+    return static_cast<u32>(socs_.size());
+  }
   [[nodiscard]] link::SpiWire& wire() { return *wire_; }
+  /// The host-visible wake mask (bit i arms cluster i's EOC line).
+  [[nodiscard]] u32 wake_mask() const { return wake_mask_->mask(); }
   /// Null unless params.faults was set.
   [[nodiscard]] link::FaultInjector* fault_injector() {
     return injector_.get();
@@ -116,31 +151,45 @@ class HeteroSystem {
 
  private:
   void trace_sample();
-  /// The EOC line as the host observes it (the injector may hold it
-  /// stuck low for the current wait).
-  [[nodiscard]] bool eoc_line() const {
-    const bool level = soc_->eoc_gpio();
+  /// The EOC line of cluster `c` as the host observes it (the injector may
+  /// hold it stuck low for the current wait).
+  [[nodiscard]] bool eoc_line(u32 c = 0) const {
+    const bool level = socs_[c]->eoc_gpio();
     return injector_ != nullptr ? injector_->eoc_gate(level) : level;
   }
+  /// Whether any wake-mask-armed EOC line is high — the host core's WFE
+  /// wake condition. For one cluster with the reset mask this is exactly
+  /// the legacy eoc_line() sample.
+  [[nodiscard]] bool wake_pending() const;
+  /// Routes a host-link (QSPI) address to its cluster: strips the
+  /// kClusterL2Stride alias so each cluster sees its own local map.
+  [[nodiscard]] u32 route_cluster(Addr addr, Addr* local) const;
   /// Bulk-advance while the host sleeps on EOC and the wire is idle.
-  /// Returns host cycles consumed.
+  /// Returns host cycles consumed. Dispatches to the solo fast path
+  /// (bit-exact legacy behaviour) or the multi-cluster stride scheduler.
   u64 fast_forward_host_sleep(u64 max_host_cycles);
+  u64 fast_forward_solo(u64 max_host_cycles);
+  u64 fast_forward_multi(u64 max_host_cycles);
+  /// Budget-exhaustion diagnostic: host state plus every cluster's
+  /// deadlock report, so an N-cluster hang names the stuck cluster.
+  [[nodiscard]] std::string stuck_report() const;
 
   HeteroSystemParams params_;
-  ClockRatio ratio_;  ///< Cluster ticks per host cycle, exact.
-  std::unique_ptr<soc::PulpSoc> soc_;
+  std::vector<ClockRatio> ratios_;  ///< Cluster ticks per host cycle, exact.
+  std::vector<std::unique_ptr<soc::PulpSoc>> socs_;
   std::unique_ptr<link::FaultInjector> injector_;
   std::unique_ptr<mem::Sram> host_sram_;
   std::unique_ptr<mem::SimpleBus> host_bus_;
   std::unique_ptr<link::SpiWire> wire_;
   std::unique_ptr<host::SpiMasterPeripheral> spi_master_;
-  std::unique_ptr<host::GpioPeripheral> gpio_;
+  std::vector<std::unique_ptr<host::GpioPeripheral>> gpios_;
+  std::unique_ptr<host::WakeMaskPeripheral> wake_mask_;
   std::unique_ptr<host::HostWakeUnit> wake_unit_;
   std::unique_ptr<core::Core> host_core_;
 
   isa::Program host_program_;
-  bool accel_started_ = false;
-  bool reference_stepping_ = false;  ///< Mirrors the cluster's mode.
+  std::vector<u8> started_;  ///< Per cluster: fetch-enable edge seen.
+  bool reference_stepping_ = false;  ///< Mirrors the clusters' mode.
   u64 host_cycles_ = 0;
   u64 host_link_bound_cycles_ = 0;
 
@@ -150,7 +199,7 @@ class HeteroSystem {
   u8 traced_host_state_ = 255;  ///< 0 halted, 1 run, 2 sleep.
   bool host_span_open_ = false;
   u64 host_sleep_since_ = 0;
-  bool traced_eoc_ = false;
+  std::vector<u8> traced_eoc_;  ///< Per cluster.
 };
 
 }  // namespace ulp::system

@@ -220,6 +220,115 @@ FullSystemPackage package_robust_offload(const kernels::KernelCase& kc,
   return pkg;
 }
 
+MultiSystemPackage package_multi_offload(
+    std::span<const kernels::KernelCase> cases, Addr l2_staging) {
+  ULP_CHECK(!cases.empty(), "multi-offload needs at least one kernel case");
+  MultiSystemPackage pkg;
+
+  // Per-cluster specs: cluster i's wire-side (remote) addresses carry the
+  // alias offset; host SRAM regions run sequentially from 64 KiB.
+  Addr host_cursor = 0x10000;
+  std::vector<std::vector<u8>> images;
+  for (u32 c = 0; c < cases.size(); ++c) {
+    const kernels::KernelCase& kc = cases[c];
+    images.push_back(isa::serialize(kc.program));
+    const Addr alias = static_cast<Addr>(c) * memmap::kClusterL2Stride;
+
+    HostDriverSpec spec;
+    spec.l2_staging = l2_staging + alias;
+    spec.host_image_addr = host_cursor;
+    spec.image_len = static_cast<u32>(images.back().size());
+    spec.host_input_addr = (spec.host_image_addr + spec.image_len + 3) & ~3u;
+    spec.input_len = static_cast<u32>(kc.input.size());
+    spec.remote_input_addr = kc.input_addr + alias;
+    spec.host_output_addr = (spec.host_input_addr + spec.input_len + 3) & ~3u;
+    spec.output_len = static_cast<u32>(kc.output_bytes);
+    spec.remote_output_addr = kc.output_addr + alias;
+    host_cursor = (spec.host_output_addr + spec.output_len + 3) & ~3u;
+    pkg.specs.push_back(spec);
+  }
+
+  Builder bld(core::cortex_m4_config().features);
+  bld.li(1, kSpiMasterBase);
+
+  // 1. Dispatch: every cluster's image + input, back to back on the one
+  // shared wire (this serialisation is the scale-out bottleneck).
+  for (const HostDriverSpec& spec : pkg.specs) {
+    emit_transfer(bld, /*tx=*/true, spec.host_image_addr, spec.l2_staging,
+                  spec.image_len);
+    if (spec.input_len > 0) {
+      emit_transfer(bld, true, spec.host_input_addr, spec.remote_input_addr,
+                    spec.input_len);
+    }
+  }
+
+  // 2. Launch: raise every fetch-enable; all clusters compute concurrently.
+  for (u32 c = 0; c < pkg.specs.size(); ++c) {
+    bld.li(2, kGpioBase + c * 0x100);
+    bld.li(3, pkg.specs[c].image_len);
+    bld.emit(Opcode::kSw, 3, 2, 0, 0x08);
+    bld.li(3, 1);
+    bld.emit(Opcode::kSw, 3, 2, 0, 0x00);
+  }
+
+  // 3. Retire in order: arm cluster c's EOC line as the (sole) wake
+  // source, then sleep until it rises. EOC lines latch high until the
+  // next boot, so clusters finishing out of order just wake immediately
+  // when their turn comes.
+  for (u32 c = 0; c < pkg.specs.size(); ++c) {
+    bld.li(3, 1u << c);
+    bld.li(4, static_cast<u32>(kWakeMaskBase));
+    bld.emit(Opcode::kSw, 3, 4, 0, 0);
+    bld.li(2, kGpioBase + c * 0x100);
+    const auto wait_eoc = bld.make_label();
+    const auto eoc_seen = bld.make_label();
+    bld.bind(wait_eoc);
+    bld.emit(Opcode::kLw, 4, 2, 0, 0x04);
+    bld.branch(Opcode::kBne, 4, codegen::zero, eoc_seen);
+    bld.emit(Opcode::kWfe);  // clock-gated until the armed line rises
+    bld.branch(Opcode::kBeq, codegen::zero, codegen::zero, wait_eoc);
+    bld.bind(eoc_seen);
+  }
+
+  // 4. Readback: every cluster's results, again serialised on the wire.
+  for (const HostDriverSpec& spec : pkg.specs) {
+    if (spec.output_len > 0) {
+      emit_transfer(bld, /*tx=*/false, spec.host_output_addr,
+                    spec.remote_output_addr, spec.output_len);
+    }
+  }
+  bld.halt();
+
+  pkg.host_program = bld.finalize();
+  for (u32 c = 0; c < cases.size(); ++c) {
+    pkg.host_program.data.push_back(
+        {pkg.specs[c].host_image_addr, images[c]});
+    pkg.host_program.data.push_back(
+        {pkg.specs[c].host_input_addr, cases[c].input});
+  }
+  return pkg;
+}
+
+MultiOffloadResult run_multi_offload(HeteroSystem& sys,
+                                     const MultiSystemPackage& pkg,
+                                     u64 max_host_cycles) {
+  ULP_CHECK(pkg.specs.size() == sys.num_clusters(),
+            "package cluster count must match the system");
+  sys.load_host_program(pkg.host_program);
+  MultiOffloadResult r;
+  r.host_cycles = sys.run_to_host_halt(max_host_cycles);
+  r.stats = sys.stats();
+  mem::Sram& sram = sys.host_sram();
+  for (const HostDriverSpec& spec : pkg.specs) {
+    std::vector<u8>& out = r.outputs.emplace_back();
+    out.resize(spec.output_len);
+    for (u32 i = 0; i < spec.output_len; ++i) {
+      out[i] = static_cast<u8>(sram.load(spec.host_output_addr + i, 1, false));
+    }
+  }
+  return r;
+}
+
 SystemOffloadResult run_offload_with_fallback(HeteroSystem& sys,
                                               const FullSystemPackage& pkg,
                                               u64 max_host_cycles) {

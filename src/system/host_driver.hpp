@@ -16,6 +16,9 @@
 // HeteroSystem needs to run the offload end-to-end in simulation.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "codegen/builder.hpp"
 #include "isa/program.hpp"
 #include "kernels/kernel.hpp"
@@ -123,6 +126,43 @@ struct SystemOffloadResult {
   /// object after the result was returned.
   HeteroStats stats;
 };
+
+// ---- Multi-cluster scale-out dispatch ------------------------------
+
+/// A complete N-cluster offload package: one host driver program that
+/// dispatches a kernel to every cluster over the shared wire, plus the
+/// per-cluster specs (for result readout). The driver:
+///   1. ships every cluster's image + input back-to-back (the shared link
+///      serialises dispatch — the bottleneck scale-out campaigns measure),
+///   2. raises every fetch-enable, so all clusters compute concurrently,
+///   3. retires clusters in order: arms cluster i's EOC line in the wake
+///      mask, sleeps (WFE) until it rises, then moves to i+1,
+///   4. pulls every cluster's results back, halts.
+struct MultiSystemPackage {
+  isa::Program host_program;
+  std::vector<HostDriverSpec> specs;  ///< One per cluster, in order.
+};
+
+/// Package one KernelCase per cluster (cases.size() == the target system's
+/// num_clusters). Cluster i's wire-side addresses carry the
+/// memmap::kClusterL2Stride alias offset; host SRAM regions are laid out
+/// sequentially from 64 KiB.
+[[nodiscard]] MultiSystemPackage package_multi_offload(
+    std::span<const kernels::KernelCase> cases,
+    Addr l2_staging = memmap::kL2Base);
+
+/// Outcome of one N-cluster offload run.
+struct MultiOffloadResult {
+  std::vector<std::vector<u8>> outputs;  ///< Per cluster, in order.
+  u64 host_cycles = 0;
+  HeteroStats stats;
+};
+
+/// Load `pkg` into `sys`, run to host halt, read every cluster's output
+/// region back from host SRAM.
+[[nodiscard]] MultiOffloadResult run_multi_offload(
+    HeteroSystem& sys, const MultiSystemPackage& pkg,
+    u64 max_host_cycles = 1'000'000'000ull);
 
 /// Load `pkg` into `sys`, run to host halt, and read the driver's verdict:
 /// on success the output bytes come back from host SRAM; on a permanent

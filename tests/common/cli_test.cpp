@@ -1,0 +1,76 @@
+// Strict CLI numeric parsing: the whole token must be a number that fits,
+// or the parse fails without touching the output. These parsers back every
+// example binary's argv handling — an unguarded std::stoul here used to
+// escape as an uncaught std::invalid_argument abort on e.g. `--seed 3x`.
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulp::cli {
+namespace {
+
+TEST(CliParse, U64AcceptsPlainDecimals) {
+  u64 v = 99;
+  EXPECT_TRUE(parse_u64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", &v));
+  EXPECT_EQ(v, ~0ull);
+}
+
+TEST(CliParse, U64Base0TakesHexAndOctal) {
+  u64 v = 0;
+  EXPECT_TRUE(parse_u64("0x1f", &v, ~0ull, 0));
+  EXPECT_EQ(v, 0x1fu);
+  EXPECT_TRUE(parse_u64("010", &v, ~0ull, 0));
+  EXPECT_EQ(v, 8u);
+  // Base 10 rejects the hex form outright (trailing garbage).
+  EXPECT_FALSE(parse_u64("0x1f", &v));
+}
+
+TEST(CliParse, U64RejectsGarbageWithoutClobbering) {
+  u64 v = 42;
+  EXPECT_FALSE(parse_u64("", &v));
+  EXPECT_FALSE(parse_u64(nullptr, &v));
+  EXPECT_FALSE(parse_u64("12abc", &v));
+  EXPECT_FALSE(parse_u64("abc", &v));
+  EXPECT_FALSE(parse_u64(" 12", &v));
+  EXPECT_FALSE(parse_u64("-", &v));
+  EXPECT_FALSE(parse_u64("-4", &v));
+  EXPECT_FALSE(parse_u64("+4", &v));
+  EXPECT_FALSE(parse_u64("18446744073709551616", &v));  // 2^64: ERANGE
+  EXPECT_EQ(v, 42u) << "failed parse must not write the output";
+}
+
+TEST(CliParse, U64HonoursCallerMax) {
+  u64 v = 0;
+  EXPECT_TRUE(parse_u64("1024", &v, 1024));
+  EXPECT_FALSE(parse_u64("1025", &v, 1024));
+}
+
+TEST(CliParse, U32RangeChecks) {
+  u32 v = 7;
+  EXPECT_TRUE(parse_u32("4294967295", &v));
+  EXPECT_EQ(v, ~0u);
+  EXPECT_FALSE(parse_u32("4294967296", &v));
+  EXPECT_FALSE(parse_u32("3x", &v));
+  EXPECT_TRUE(parse_u32("32", &v, 32));
+  EXPECT_FALSE(parse_u32("33", &v, 32));
+}
+
+TEST(CliParse, DoubleAcceptsUsualFormsRejectsPartials) {
+  double d = 1.5;
+  EXPECT_TRUE(parse_double("0.25", &d));
+  EXPECT_EQ(d, 0.25);
+  EXPECT_TRUE(parse_double("1e-4", &d));
+  EXPECT_EQ(d, 1e-4);
+  EXPECT_TRUE(parse_double("-2", &d));
+  EXPECT_EQ(d, -2.0);
+  EXPECT_FALSE(parse_double("", &d));
+  EXPECT_FALSE(parse_double(nullptr, &d));
+  EXPECT_FALSE(parse_double("1.5volts", &d));
+  EXPECT_FALSE(parse_double("v1.5", &d));
+  EXPECT_FALSE(parse_double(" 1.5", &d));
+}
+
+}  // namespace
+}  // namespace ulp::cli
