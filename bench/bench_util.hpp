@@ -144,6 +144,17 @@ class Observability {
   }
   [[nodiscard]] trace::EventTrace& trace() { return trace_; }
   [[nodiscard]] trace::MetricsRegistry& metrics() { return metrics_; }
+  /// Fold a finished run's block-cache totals into the metrics registry
+  /// (pushed in bulk after the run, not sampled from the traced timeline:
+  /// the per-cycle reference oracle has no cache, so sampling would make
+  /// traced exports stepping-mode-dependent).
+  void add_block_cache(const core::BlockCacheStats& bc) {
+    metrics_.counter("blockcache.hits").add(bc.hits);
+    metrics_.counter("blockcache.decodes").add(bc.decodes);
+    metrics_.counter("blockcache.flushes").add(bc.flushes);
+    metrics_.counter("blockcache.chained").add(bc.chained);
+    metrics_.counter("blockcache.dmap_fallbacks").add(bc.dmap_fallbacks);
+  }
   /// Null unless --faults was given. One injector per process: faults
   /// accumulate deterministically across every session of the bench.
   [[nodiscard]] link::FaultInjector* fault_injector() {
@@ -244,6 +255,9 @@ inline KernelMeasurement measure_kernel(const kernels::KernelInfo& info) {
       m.input_bytes = kc.input.size();
       m.output_bytes = kc.output_bytes;
       m.binary_bytes = kc.binary_bytes();
+      if (Observability* obs = Observability::active()) {
+        obs->add_block_cache(run.stats.block_cache);
+      }
     }
   }
   return m;

@@ -36,7 +36,10 @@ void BM_SingleCoreIss(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleCoreIss)->Unit(benchmark::kMillisecond);
 
-void BM_Cluster4Cores(benchmark::State& state) {
+// Dense-compute half of the old BM_Cluster4Cores: the SPMD i8 matmul whose
+// inner loops run block-cached from barrier to barrier — the headline
+// workload for the multi-core block windows.
+void BM_Cluster4CoresDense(benchmark::State& state) {
   const auto cfg = core::or10n_config();
   const auto kc = kernels::make_matmul_char(cfg.features, 4,
                                             kernels::Target::kCluster, 1);
@@ -53,7 +56,78 @@ void BM_Cluster4Cores(benchmark::State& state) {
   state.counters["sim_MIPS"] = benchmark::Counter(
       static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Cluster4Cores)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cluster4CoresDense)->Unit(benchmark::kMillisecond);
+
+// Barrier-heavy half: the same four cores stream their own TCDM strips,
+// but the work is diced into 16-word loads with a cluster barrier after
+// every strip — windows stay short and the block-cached scheduler pays
+// entry/exit and re-sync cost per strip instead of amortising it.
+void BM_Cluster4CoresBarrierHeavy(benchmark::State& state) {
+  codegen::Builder bld(core::or10n_config().features);
+  bld.csr_coreid(1);
+  bld.li(3, 1024);
+  bld.emit(isa::Opcode::kMul, 3, 1, 3, 0);  // per-core TCDM strip
+  bld.li(4, cluster::kTcdmBase);
+  bld.emit(isa::Opcode::kAdd, 3, 3, 4, 0);
+  bld.li(4, 400);
+  bld.loop(4, 10, [&] {
+    bld.emit(isa::Opcode::kAddi, 6, 3, 0, 0);
+    bld.li(5, 16);
+    bld.loop(5, 11, [&] {
+      bld.emit(isa::Opcode::kLw, 7, 6, 0, 0);
+      bld.emit(isa::Opcode::kAdd, 8, 8, 7, 0);
+      bld.emit(isa::Opcode::kAddi, 6, 6, 0, 4);
+    });
+    bld.barrier();
+  });
+  bld.eoc();
+  const auto prog = bld.finalize();
+  u64 cycles = 0;
+  u64 instrs = 0;
+  for (auto _ : state) {
+    cluster::Cluster cl;
+    cl.load_program(prog);
+    cycles += cl.run();
+    instrs += cl.stats().total_instrs();
+  }
+  state.counters["sim_Mcycles"] = benchmark::Counter(
+      static_cast<double>(cycles) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["sim_MIPS"] = benchmark::Counter(
+      static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Cluster4CoresBarrierHeavy)->Unit(benchmark::kMillisecond);
+
+// Two-cluster co-simulation: one host dispatches the dense matmul to both
+// clusters over the shared wire and retires them in order. Measures the
+// scale-out scheduler with every cluster running multi-core block windows;
+// the counter is summed cluster megacycles per wall-second.
+void BM_TwoClusterCosim(benchmark::State& state) {
+  const auto cfg = core::or10n_config();
+  std::vector<kernels::KernelCase> cases;
+  for (u64 seed : {1, 2}) {
+    cases.push_back(kernels::make_matmul_char(cfg.features, 4,
+                                              kernels::Target::kCluster,
+                                              seed));
+  }
+  const system::MultiSystemPackage pkg = system::package_multi_offload(cases);
+  system::HeteroSystemParams params;
+  params.num_clusters = 2;
+  u64 cluster_cycles = 0;
+  u64 instrs = 0;
+  for (auto _ : state) {
+    system::HeteroSystem sys(params);
+    const auto res = system::run_multi_offload(sys, pkg);
+    cluster_cycles += res.stats.cluster_cycles;
+    for (u32 c = 0; c < 2; ++c) {
+      instrs += sys.soc(c).cluster().stats().total_instrs();
+    }
+  }
+  state.counters["sim_Mcycles"] = benchmark::Counter(
+      static_cast<double>(cluster_cycles) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["sim_MIPS"] = benchmark::Counter(
+      static_cast<double>(instrs) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TwoClusterCosim)->Unit(benchmark::kMillisecond);
 
 // Sleep-heavy cluster workload: core 0 streams eight 16 KiB L2->TCDM DMA
 // rounds sleeping on WFE between them, cores 1..3 sleep on a completion
@@ -298,20 +372,27 @@ int main(int argc, char** argv) {
   // The mode the environment selects for this process (ULP_BLOCK_CACHE /
   // ULP_REFERENCE_STEPPING latches): reference stepping implies per-cycle
   // dispatch, so the block cache is reported off under it.
-  const char* block_cache = (ulp::config::block_cache_default() &&
-                             !ulp::config::reference_stepping_default())
-                                ? "on"
-                                : "off";
+  const bool bc_on = ulp::config::block_cache_default() &&
+                     !ulp::config::reference_stepping_default();
+  const char* block_cache = bc_on ? "on" : "off";
+  // Multi-core windows ride on the block cache (ULP_MC_WINDOWS latch);
+  // dispatch is the compiled-in block-handler backend.
+  const char* mc_windows =
+      bc_on && ulp::config::multicore_windows_default() ? "on" : "off";
+  const char* dispatch = ulp::core::block_dispatch_backend();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ulp-build-info") == 0) {
-      std::printf("build_type=%s asserts=%s block_cache=%s\n", ULP_BUILD_TYPE,
-                  asserts, block_cache);
+      std::printf("build_type=%s asserts=%s block_cache=%s mc_windows=%s "
+                  "dispatch=%s\n",
+                  ULP_BUILD_TYPE, asserts, block_cache, mc_windows, dispatch);
       return 0;
     }
   }
   benchmark::AddCustomContext("ulp_build_type", ULP_BUILD_TYPE);
   benchmark::AddCustomContext("ulp_asserts", asserts);
   benchmark::AddCustomContext("ulp_block_cache", block_cache);
+  benchmark::AddCustomContext("ulp_mc_windows", mc_windows);
+  benchmark::AddCustomContext("ulp_dispatch", dispatch);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -283,6 +283,23 @@ int main(int argc, char** argv) {
     std::printf("\n%s", trace::profile_report(trace, &metrics).c_str());
   }
   if (!metrics_path.empty()) {
+    // Block-cache telemetry is folded in once at exit from the final
+    // cluster stats (not sampled mid-run: the per-cycle reference oracle
+    // has no cache, so traced exports would stop being mode-identical).
+    core::BlockCacheStats bc;
+    for (u32 c = 0; c < sys.num_clusters(); ++c) {
+      const cluster::ClusterStats cs = sys.soc(c).cluster().stats();
+      bc.hits += cs.block_cache.hits;
+      bc.decodes += cs.block_cache.decodes;
+      bc.flushes += cs.block_cache.flushes;
+      bc.chained += cs.block_cache.chained;
+      bc.dmap_fallbacks += cs.block_cache.dmap_fallbacks;
+    }
+    metrics.counter("blockcache.hits").add(bc.hits);
+    metrics.counter("blockcache.decodes").add(bc.decodes);
+    metrics.counter("blockcache.flushes").add(bc.flushes);
+    metrics.counter("blockcache.chained").add(bc.chained);
+    metrics.counter("blockcache.dmap_fallbacks").add(bc.dmap_fallbacks);
     const Status s = trace::write_metrics_json_file(metrics, metrics_path);
     if (s.ok()) {
       std::printf("metrics written to %s\n", metrics_path.c_str());

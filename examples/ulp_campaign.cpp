@@ -20,6 +20,7 @@
 #include "batch/engine.hpp"
 #include "common/cli.hpp"
 #include "common/config.hpp"
+#include "core/block_cache.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace_export.hpp"
 
@@ -49,6 +50,8 @@ void print_usage(std::FILE* out) {
       "  --double-buffered     overlap transfers with compute (analytic)\n"
       "  --reference-stepping B  0|1: override the cluster stepping default\n"
       "  --block-cache B       0|1: override the ISS block-cache default\n"
+      "  --mc-windows B        0|1: override the multi-core block-window "
+      "default\n"
       "\n"
       "execution:\n"
       "  --workers N           worker threads (default: 1; 0 = inline)\n"
@@ -135,6 +138,9 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(arg, "--block-cache") == 0) {
         const std::string v = need_value(argc, argv, &i);
         config::set_block_cache_default(v == "1" || v == "true");
+      } else if (std::strcmp(arg, "--mc-windows") == 0) {
+        const std::string v = need_value(argc, argv, &i);
+        config::set_multicore_windows_default(v == "1" || v == "true");
       } else if (std::strcmp(arg, "--workers") == 0) {
         const char* v = need_value(argc, argv, &i);
         if (!cli::parse_u32(v, &options.workers, 1024)) {
@@ -163,12 +169,15 @@ int main(int argc, char** argv) {
 #else
         const char* asserts = "on";
 #endif
-        const char* bc = (config::block_cache_default() &&
-                          !config::reference_stepping_default())
-                             ? "on"
-                             : "off";
-        std::printf("build_type=%s asserts=%s block_cache=%s\n",
-                    ULP_BUILD_TYPE, asserts, bc);
+        const bool bc_on = config::block_cache_default() &&
+                           !config::reference_stepping_default();
+        const char* bc = bc_on ? "on" : "off";
+        const char* mc =
+            bc_on && config::multicore_windows_default() ? "on" : "off";
+        std::printf("build_type=%s asserts=%s block_cache=%s mc_windows=%s "
+                    "dispatch=%s\n",
+                    ULP_BUILD_TYPE, asserts, bc, mc,
+                    core::block_dispatch_backend());
         return 0;
       } else if (std::strcmp(arg, "--help") == 0 ||
                  std::strcmp(arg, "-h") == 0) {
@@ -265,6 +274,12 @@ int main(int argc, char** argv) {
     reg.counter("campaign.retransmissions").add(t.retransmissions);
     reg.counter("campaign.watchdog_expiries").add(t.watchdog_expiries);
     reg.counter("campaign.fault_count").add(t.fault_count);
+    reg.counter("campaign.blockcache.hits").add(t.bc_hits);
+    reg.counter("campaign.blockcache.decodes").add(t.bc_decodes);
+    reg.counter("campaign.blockcache.flushes").add(t.bc_flushes);
+    reg.counter("campaign.blockcache.chained").add(t.bc_chained);
+    reg.counter("campaign.blockcache.dmap_fallbacks")
+        .add(t.bc_dmap_fallbacks);
     reg.gauge("campaign.compute_s").set(t.compute_s);
     reg.gauge("campaign.total_s").set(t.total_s);
     reg.gauge("campaign.energy_j").set(t.energy_j);

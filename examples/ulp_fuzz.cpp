@@ -1,20 +1,27 @@
 // ulp_fuzz: randomized differential verification driver.
 //
 // Default run: a campaign of constrained-random single-core programs
-// checked three ways (independent golden interpreter, reference-stepped
-// cluster, fast-forward cluster) plus multi-core stress schedules checked
-// for convergence, mode equality and DMA byte-exactness. Failures are
-// auto-shrunk to minimal repros.
+// checked against the independent golden interpreter and the full cluster
+// stepping matrix (reference per-cycle, plain fast-forward, block-cached),
+// plus multi-core stress schedules checked for convergence, DMA
+// byte-exactness, and equality across every stepping mode — including
+// block-cached multi-core windows, the fifth differential column. Failures
+// are auto-shrunk to minimal repros.
 //
 //   ulp_fuzz                         default campaign (500 + 100)
 //   ulp_fuzz --programs N --stress M --seed S --items K
 //   ulp_fuzz --coverage              print the opcode coverage matrix;
 //                                    exit 1 if any opcode went unexercised
-//   ulp_fuzz --replay file.repro     re-run one saved repro (both modes)
+//   ulp_fuzz --replay file.repro     re-run one saved repro (all modes)
 //   ulp_fuzz --emit-corpus DIR N     save N generated programs as .repro
 //   ulp_fuzz --shrink-out DIR        where to write shrunken failures
 //   ulp_fuzz --block-cache 0|1       pin the process-wide ISS block-cache
-//                                    default (same latch as ULP_BLOCK_CACHE)
+//                                    default (same latch as ULP_BLOCK_CACHE;
+//                                    check_program itself pins every leg's
+//                                    mode explicitly, so this only affects
+//                                    paths outside the differential matrix)
+//   ulp_fuzz --mc-windows 0|1        likewise for multi-core block windows
+//                                    (same latch as ULP_MC_WINDOWS)
 //
 // Exit codes: 0 = clean, 1 = differential failures (or coverage gap with
 // --coverage), 2 = usage / setup error.
@@ -37,7 +44,8 @@ int usage() {
   std::cerr << "usage: ulp_fuzz [--programs N] [--stress M] [--seed S]\n"
                "                [--items K] [--no-dma] [--coverage]\n"
                "                [--shrink-out DIR] [--emit-corpus DIR N]\n"
-               "                [--replay FILE.repro] [--block-cache 0|1]\n";
+               "                [--replay FILE.repro] [--block-cache 0|1]\n"
+               "                [--mc-windows 0|1]\n";
   return 2;
 }
 
@@ -130,9 +138,12 @@ int main(int argc, char** argv) {
       corpus_dir = value();
       number_u32(&corpus_count);
     } else if (arg == "--block-cache") {
-      // check_program pins both block modes explicitly per run; this latch
-      // covers everything else (the fast-forward legs of replay/shrink).
+      // check_program pins every leg's stepping mode explicitly per run;
+      // this latch covers everything else (paths that build clusters with
+      // the process default, e.g. outside the differential matrix).
       config::set_block_cache_default(std::strcmp(value(), "0") != 0);
+    } else if (arg == "--mc-windows") {
+      config::set_multicore_windows_default(std::strcmp(value(), "0") != 0);
     } else {
       return usage();
     }

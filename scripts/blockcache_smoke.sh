@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# Block-cache stepping-mode smoke: replays the committed differential
+# corpus and runs a seeded 4-core fuzz batch across every stepping mode
+# the ISS supports — per-cycle reference, plain fast-forward, solo
+# block-cached, and block-cached with multi-core windows — so a change to
+# the cache, the window replay or the dispatch backend that breaks
+# bit-exactness in any one mode fails fast.
+#
+#   scripts/blockcache_smoke.sh [ulp_fuzz-binary] [seed]
+#
+# The binary defaults to build/examples/ulp_fuzz, the seed to a fixed
+# constant — every run is deterministic. check_program already pins each
+# differential leg's mode internally; the process-wide latches flipped
+# here additionally cover every simulation outside the matrix (shrink
+# oracles, stress reruns), so the sweep exercises both layers.
+#
+# When an AddressSanitizer tree exists at build-asan/ (configure with
+#   cmake -B build-asan -S . -DCMAKE_CXX_FLAGS="-fsanitize=address"),
+# the multi-core-window batch is repeated under ASan: the window replay
+# walks direct host-pointer spans, exactly where an out-of-bounds access
+# would hide from the differential check.
+set -eu
+
+BIN=${1:-build/examples/ulp_fuzz}
+SEED=${2:-0xB10CCA9E}
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable (build first?)" >&2
+  exit 1
+fi
+
+CORPUS=$(dirname "$0")/../tests/verif/corpus
+
+echo "== corpus replay across stepping modes =="
+# Mode latches: ULP_REFERENCE_STEPPING beats ULP_BLOCK_CACHE beats
+# ULP_MC_WINDOWS (see DESIGN.md §7). The four rows below walk the whole
+# ladder; --block-cache/--mc-windows pin the same latches from the CLI.
+for MODE in reference ff bc bc-mc; do
+  case $MODE in
+    reference) ENV="ULP_REFERENCE_STEPPING=1" ;;
+    ff)        ENV="ULP_BLOCK_CACHE=0" ;;
+    bc)        ENV="ULP_MC_WINDOWS=0" ;;
+    bc-mc)     ENV="" ;;
+  esac
+  FOUND=0
+  for repro in "$CORPUS"/*.repro; do
+    [ -e "$repro" ] || break
+    FOUND=1
+    env $ENV "$BIN" --replay "$repro" > /dev/null || {
+      echo "FAILED: corpus replay diverged ($MODE): $repro" >&2
+      exit 1
+    }
+  done
+  [ "$FOUND" = 1 ] && echo "-- OK: corpus bit-exact in mode $MODE"
+done
+
+echo ""
+echo "== seeded 4-core fuzz batch across stepping modes =="
+# Stress schedules are multi-core (up to 4 cores), which is the only
+# place multi-core windows can form; --items is kept high so programs
+# have dense block-sized bodies between sync points.
+for MODE in reference ff bc bc-mc; do
+  case $MODE in
+    reference) ENV="ULP_REFERENCE_STEPPING=1" ;;
+    ff)        ENV="ULP_BLOCK_CACHE=0" ;;
+    bc)        ENV="ULP_MC_WINDOWS=0" ;;
+    bc-mc)     ENV="" ;;
+  esac
+  env $ENV "$BIN" --programs 200 --stress 200 --items 64 \
+    --seed "$SEED" > /dev/null || {
+    echo "FAILED: fuzz batch diverged in mode $MODE (seed $SEED)" >&2
+    exit 1
+  }
+  echo "-- OK: fuzz batch clean in mode $MODE"
+done
+
+ASAN_BIN=build-asan/examples/ulp_fuzz
+if [ -x "$ASAN_BIN" ]; then
+  echo ""
+  echo "== ASan multi-core-window batch (same seed) =="
+  "$ASAN_BIN" --programs 50 --stress 100 --items 64 --seed "$SEED"
+  echo "-- OK: ASan batch clean"
+else
+  echo ""
+  echo "(skipping ASan batch: $ASAN_BIN not built)"
+fi
+
+echo ""
+echo "block-cache smoke: all stepping modes agree"

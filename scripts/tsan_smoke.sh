@@ -29,6 +29,15 @@ echo "== multi-worker campaign under TSan (block-cached) =="
   --kernels matmul,cnn --cores 1,4 --vdd 0.5,0.8 \
   --faults "none;seed=7,flip=1e-4" --repeats 2
 
+echo "== multi-worker campaign under TSan (multi-core windows) =="
+# 4-core jobs with multi-core block windows pinned on: the window replay
+# shares nothing across workers (per-core caches, per-cluster arbiter
+# state), and a stray global in the cycle-walk or the bank replay would
+# race here.
+"$DIR/examples/ulp_campaign" --quiet --workers 4 --block-cache 1 \
+  --mc-windows 1 --kernels matmul,cnn --cores 4 --vdd 0.5,0.8 \
+  --faults "none;seed=7,flip=1e-4" --repeats 2
+
 echo "== multi-worker campaign under TSan (cache disabled control) =="
 "$DIR/examples/ulp_campaign" --quiet --workers 4 --block-cache 0 \
   --kernels matmul,cnn --cores 1,4 --vdd 0.5,0.8 \

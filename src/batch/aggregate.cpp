@@ -110,6 +110,11 @@ void emit_job(std::ostringstream& os, const JobResult& r) {
   os << ", \"instrs\": " << fmt_u64(r.total_instrs);
   os << ", \"tcdm_conflicts\": " << fmt_u64(r.tcdm_conflicts);
   os << ", \"icache_misses\": " << fmt_u64(r.icache_misses);
+  os << ", \"bc_hits\": " << fmt_u64(r.bc_hits);
+  os << ", \"bc_decodes\": " << fmt_u64(r.bc_decodes);
+  os << ", \"bc_flushes\": " << fmt_u64(r.bc_flushes);
+  os << ", \"bc_chained\": " << fmt_u64(r.bc_chained);
+  os << ", \"bc_dmap_fallbacks\": " << fmt_u64(r.bc_dmap_fallbacks);
   os << ", \"t_binary_s\": " << fmt_double(r.timing.t_binary_s);
   os << ", \"t_in_s\": " << fmt_double(r.timing.t_in_s);
   os << ", \"t_out_s\": " << fmt_double(r.timing.t_out_s);
@@ -144,6 +149,11 @@ void emit_totals(std::ostringstream& os, const CampaignTotals& t) {
   os << "    \"retransmissions\": " << t.retransmissions << ",\n";
   os << "    \"watchdog_expiries\": " << t.watchdog_expiries << ",\n";
   os << "    \"fault_count\": " << t.fault_count << ",\n";
+  os << "    \"bc_hits\": " << t.bc_hits << ",\n";
+  os << "    \"bc_decodes\": " << t.bc_decodes << ",\n";
+  os << "    \"bc_flushes\": " << t.bc_flushes << ",\n";
+  os << "    \"bc_chained\": " << t.bc_chained << ",\n";
+  os << "    \"bc_dmap_fallbacks\": " << t.bc_dmap_fallbacks << ",\n";
   os << "    \"compute_s\": " << fmt_double(t.compute_s) << ",\n";
   os << "    \"total_s\": " << fmt_double(t.total_s) << ",\n";
   os << "    \"energy_j\": " << fmt_double(t.energy_j) << "\n";

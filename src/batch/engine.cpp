@@ -22,6 +22,11 @@ CampaignTotals aggregate_totals(const std::vector<JobResult>& jobs) {
     t.retransmissions += r.robust.retransmissions;
     t.watchdog_expiries += r.robust.watchdog_expiries;
     t.fault_count += r.fault_count;
+    t.bc_hits += r.bc_hits;
+    t.bc_decodes += r.bc_decodes;
+    t.bc_flushes += r.bc_flushes;
+    t.bc_chained += r.bc_chained;
+    t.bc_dmap_fallbacks += r.bc_dmap_fallbacks;
     t.compute_s += r.timing.t_compute_s;
     if (r.status.ok() || r.used_host_fallback) {
       t.total_s +=

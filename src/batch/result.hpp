@@ -38,6 +38,15 @@ struct JobResult {
   u64 tcdm_conflicts = 0;
   u64 icache_misses = 0;
 
+  // Block-cache telemetry, summed over the job's clusters and cores
+  // (cosim engine with the block cache on; zero otherwise). Deterministic
+  // simulation output like the perf counters above.
+  u64 bc_hits = 0;
+  u64 bc_decodes = 0;  ///< Block decodes == lookup misses.
+  u64 bc_flushes = 0;
+  u64 bc_chained = 0;
+  u64 bc_dmap_fallbacks = 0;
+
   // Co-simulation extras (zero on the analytic engine).
   u64 host_cycles = 0;
   u64 wire_bytes = 0;
@@ -63,6 +72,11 @@ struct CampaignTotals {
   u64 retransmissions = 0;
   u64 watchdog_expiries = 0;
   u64 fault_count = 0;
+  u64 bc_hits = 0;
+  u64 bc_decodes = 0;
+  u64 bc_flushes = 0;
+  u64 bc_chained = 0;
+  u64 bc_dmap_fallbacks = 0;
   double compute_s = 0;  ///< Sum of per-iteration compute windows.
   double total_s = 0;    ///< Sum of end-to-end offload times.
   double energy_j = 0;

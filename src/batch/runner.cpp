@@ -42,6 +42,11 @@ void fill_cluster_stats(const cluster::ClusterStats& stats, JobResult* r) {
   r->total_instrs = stats.total_instrs();
   r->tcdm_conflicts = stats.tcdm_conflicts;
   r->icache_misses = stats.icache_misses;
+  r->bc_hits = stats.block_cache.hits;
+  r->bc_decodes = stats.block_cache.decodes;
+  r->bc_flushes = stats.block_cache.flushes;
+  r->bc_chained = stats.block_cache.chained;
+  r->bc_dmap_fallbacks = stats.block_cache.dmap_fallbacks;
 }
 
 /// Per-cluster input shard seed: cluster 0 reuses the job seed (so an
@@ -126,6 +131,11 @@ JobResult run_analytic(const JobSpec& spec, const kernels::KernelInfo& info,
       r.total_instrs += o.stats.total_instrs();
       r.tcdm_conflicts += o.stats.tcdm_conflicts;
       r.icache_misses += o.stats.icache_misses;
+      r.bc_hits += o.stats.block_cache.hits;
+      r.bc_decodes += o.stats.block_cache.decodes;
+      r.bc_flushes += o.stats.block_cache.flushes;
+      r.bc_chained += o.stats.block_cache.chained;
+      r.bc_dmap_fallbacks += o.stats.block_cache.dmap_fallbacks;
       r.robust.crc_errors += o.robust.crc_errors;
       r.robust.naks += o.robust.naks;
       r.robust.retransmissions += o.robust.retransmissions;

@@ -58,6 +58,9 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
 void Cluster::apply_block_cache_mode() {
   block_cache_ = !reference_stepping_ &&
                  params_.block_cache.value_or(config::block_cache_default());
+  multicore_windows_ =
+      block_cache_ &&
+      params_.multicore_windows.value_or(config::multicore_windows_default());
   for (core::Core* c : cores_raw_) c->set_block_cache(block_cache_);
 }
 
@@ -195,6 +198,7 @@ void Cluster::load_program(const isa::Program& program) {
   for (auto& c : cores_) c->reset(&program_);
   cycles_ = 0;
   rr_first_ = 0;
+  mc_stand_down_until_ = 0;
   parked_.assign(params_.num_cores, kNotParked);
   halted_count_ = 0;
   if (sinks_) {
@@ -343,13 +347,14 @@ u64 Cluster::do_quiescent_window(u64 max_cycles) {
   return consumed;
 }
 
-u64 Cluster::solo_block_run(u64 budget) {
-  // Eligibility: the solo core must provably own the cluster for the whole
-  // window. No DMA beats (bus contention, events, code writes), no sibling
-  // that could wake (blocks contain no SEV/barrier and the DMA stays idle,
-  // so no new wake can appear mid-run either).
+u64 Cluster::window_block_run(u64 budget) {
+  // Eligibility: the runnable cores must provably own the cluster for the
+  // whole window. No DMA beats (bus contention, events, code writes), no
+  // sibling that could wake (blocks contain no SEV/barrier and the DMA
+  // stays idle, so no new wake can appear mid-run either).
   if (!dma_->idle()) return 0;
   core::Core* solo = nullptr;
+  u32 runnable = 0;
   const u32 n = params_.num_cores;
   for (u32 i = 0; i < n; ++i) {
     const u8 p = parked_[i];
@@ -359,30 +364,70 @@ u64 Cluster::solo_block_run(u64 budget) {
       if (events_->wake_pending(i, c.sleep_kind())) return 0;
       continue;
     }
-    if (solo != nullptr) return 0;  // a second runnable core
+    ++runnable;
     solo = &c;
   }
-  if (solo == nullptr) return 0;
-  if (solo->busy_remaining() > 0 || solo->mem_in_flight()) return 0;
-  const u64 done = solo->run_cached(budget);
-  if (done == 0) return 0;  // pc not block-eligible (sync op ahead, ...)
-  // Bulk accounting for everyone else, exactly as `done` step() calls
-  // would have charged them; their states provably cannot change.
-  for (u32 i = 0; i < n; ++i) {
-    core::Core& c = *cores_raw_[i];
-    if (&c == solo) continue;
-    if (parked_[i] == kParkedHalt) {
-      c.charge_halted_cycles(done);
-    } else {
-      c.charge_sleep_cycles(done);
+  if (runnable == 0) return 0;
+  if (runnable == 1) {
+    // Solo fast lane: one core owns every bank, every grant succeeds.
+    if (solo->busy_remaining() > 0 || solo->mem_in_flight()) return 0;
+    const u64 done = solo->run_cached(budget);
+    if (done == 0) return 0;  // pc not block-eligible (sync op ahead, ...)
+    // Bulk accounting for everyone else, exactly as `done` step() calls
+    // would have charged them; their states provably cannot change.
+    for (u32 i = 0; i < n; ++i) {
+      core::Core& c = *cores_raw_[i];
+      if (&c == solo) continue;
+      if (parked_[i] == kParkedHalt) {
+        c.charge_halted_cycles(done);
+      } else {
+        c.charge_sleep_cycles(done);
+      }
     }
+    dma_->skip_idle(done);
+    cycles_ += done;
+    rr_first_ = static_cast<u32>(cycles_ % n);
+    // Nothing observable changed mid-run (no parks, wakes, barriers, DMA or
+    // TCDM conflicts), so one sample here reproduces per-cycle sampling.
+    if (tracing_) trace_sample();
+    return done;
   }
+  // Several runnable cores: the interleaved multi-core window. Stands down
+  // while tracing — multi-core windows do generate TCDM conflicts, and the
+  // per-cycle conflict counter stamps a trace expects cannot be reproduced
+  // by one end-of-window sample (solo windows generate none, so they stay
+  // trace-compatible above).
+  if (!multicore_windows_ || tracing_) return 0;
+  // Profitability guards (pure perf heuristics: any return-0 path falls
+  // back to per-cycle stepping, which is the bit-exactness oracle). A
+  // window costs O(cores) setup — per-core lookups, entry seeding, the
+  // exit flush — so it must not be attempted when it provably cannot
+  // amortise that: a tiny remaining budget (cosim tick strides hand the
+  // cluster a handful of cycles at a time), or a sync-dominated stretch
+  // where the last attempts died young (barrier storms would otherwise
+  // re-pay the failed-formation scan on every single step()).
+  constexpr u64 kMinMcBudget = 24;
+  if (budget < kMinMcBudget) return 0;
+  if (cycles_ < mc_stand_down_until_) return 0;
+  core::McWindowParams mp;
+  mp.cores = cores_raw_.data();
+  mp.park_state = parked_.data();
+  mp.num_cores = n;
+  mp.budget = budget;
+  mp.rot0 = rr_first_;
+  // On a SimError the runner has already charged every core to the fault
+  // cycle; the cluster-side counters stay put, exactly like the solo path.
+  const u64 done = core::run_multicore_window(mp);
+  if (done < kMinMcBudget) {
+    // Failed to form (a core sits at a sync op) or died young (a barrier a
+    // few instructions ahead): stand down long enough for the sync point
+    // to pass before paying the formation scan again.
+    mc_stand_down_until_ = cycles_ + kMinMcBudget;
+  }
+  if (done == 0) return 0;
   dma_->skip_idle(done);
   cycles_ += done;
   rr_first_ = static_cast<u32>(cycles_ % n);
-  // Nothing observable changed mid-run (no parks, wakes, barriers, DMA or
-  // TCDM conflicts), so one sample here reproduces per-cycle sampling.
-  if (tracing_) trace_sample();
   return done;
 }
 
@@ -403,7 +448,7 @@ u64 Cluster::advance(u64 max_cycles, bool stop_at_eoc_rise) {
       // Only a step() can raise EOC: cached blocks and quiescent windows
       // exclude the sync-class instructions by construction.
       if (block_cache_ &&
-          solo_block_run(max_cycles - (cycles_ - start)) > 0) {
+          window_block_run(max_cycles - (cycles_ - start)) > 0) {
         continue;
       }
       const bool eoc0 = events_->eoc();
@@ -451,6 +496,22 @@ u64 Cluster::run(u64 max_cycles) {
   return cycles_;
 }
 
+core::BlockCacheStats Cluster::block_cache_totals() const {
+  core::BlockCacheStats t;
+  for (const core::Core* c : cores_raw_) {
+    const core::BlockCacheStats* b = c->block_stats();
+    if (b == nullptr) continue;
+    t.blocks += b->blocks;
+    t.records += b->records;
+    t.decodes += b->decodes;
+    t.flushes += b->flushes;
+    t.hits += b->hits;
+    t.chained += b->chained;
+    t.dmap_fallbacks += b->dmap_fallbacks;
+  }
+  return t;
+}
+
 ClusterStats Cluster::stats() const {
   ClusterStats s;
   s.cycles = cycles_;
@@ -458,6 +519,7 @@ ClusterStats Cluster::stats() const {
   s.dma = dma_->stats();
   s.tcdm_conflicts = tcdm_->total_conflicts();
   s.icache_misses = icache_->misses();
+  s.block_cache = block_cache_totals();
   return s;
 }
 

@@ -65,6 +65,17 @@ struct ClusterParams {
   /// differential suites).
   std::optional<bool> block_cache;
 
+  /// Enable multi-core block windows: when the block cache is active and
+  /// several cores are runnable between synchronisation points, interleave
+  /// cached-block execution across all of them under the bank-conflict-exact
+  /// TCDM arbitration replay, instead of requiring a solo core. Unset: the
+  /// process-wide default (ULP_MC_WINDOWS, default on — see
+  /// common/config.hpp). No effect when the block cache is off; multi-core
+  /// windows also stand down while a trace is attached (solo windows
+  /// generate no TCDM conflicts and stay sample-compatible; multi-core
+  /// windows would need per-cycle conflict counter stamps).
+  std::optional<bool> multicore_windows;
+
   /// Base address of the executable-code window for the self-modifying-code
   /// model, 0 = disabled (code is immutable, the seed behaviour). When set,
   /// load_program() mirrors the encoded instruction image to this address
@@ -81,6 +92,9 @@ struct ClusterStats {
   dma::DmaStats dma;
   u64 tcdm_conflicts = 0;
   u64 icache_misses = 0;
+  /// Block-cache telemetry summed across the cores (all zero when the block
+  /// cache is off or no core has decoded yet).
+  core::BlockCacheStats block_cache;
 
   /// Total instructions retired across all cores.
   [[nodiscard]] u64 total_instrs() const {
@@ -165,6 +179,16 @@ class Cluster {
     apply_block_cache_mode();
   }
 
+  /// Whether multi-core block windows are active (requires the block cache;
+  /// see ClusterParams::multicore_windows). Same change rule as above.
+  [[nodiscard]] bool multicore_windows_enabled() const {
+    return block_cache_ && multicore_windows_;
+  }
+  void set_multicore_windows(bool on) {
+    params_.multicore_windows = on;
+    apply_block_cache_mode();
+  }
+
   [[nodiscard]] const ClusterParams& params() const { return params_; }
   [[nodiscard]] core::Core& core(u32 i) { return *cores_[i]; }
   [[nodiscard]] mem::ClusterBus& bus() { return *bus_; }
@@ -192,11 +216,14 @@ class Cluster {
   void trace_sample();
   /// Bulk-advance up to `max_cycles` cycles in which only the DMA acts.
   u64 do_quiescent_window(u64 max_cycles);
-  /// When exactly one core is runnable (everyone else parked with no wake
-  /// pending, DMA idle), retire cached blocks on it for up to `budget`
-  /// cycles and bulk-charge the others. Returns cycles consumed (0 = the
-  /// window is not solo or the pc is not block-eligible).
-  u64 solo_block_run(u64 budget);
+  /// Retire cached blocks for up to `budget` cycles while the cluster is
+  /// between observable events (DMA idle, no parked sleeper with a wake
+  /// pending). One runnable core: the solo fast lane (run_cached, others
+  /// bulk-charged). Several runnable cores and multi-core windows enabled
+  /// (and no trace attached): the bank-conflict-exact interleaved window
+  /// (core::run_multicore_window). Returns cycles consumed (0 = no window
+  /// could form or a core's pc is not block-eligible).
+  u64 window_block_run(u64 budget);
   /// Re-derive the effective per-core block-cache flag from the stepping
   /// mode and params/process default, and push it to the cores.
   void apply_block_cache_mode();
@@ -218,11 +245,16 @@ class Cluster {
   u64 cycles_ = 0;
   bool reference_stepping_ = false;
   bool block_cache_ = false;       ///< Effective mode (off under reference).
+  bool multicore_windows_ = false; ///< Effective mode (needs block_cache_).
   /// Bumped on every write into the code window; cores compare it against
   /// their block cache's generation and flush on mismatch.
   u64 code_generation_ = 0;
   bool tracing_ = false;           ///< sinks_ attached (hot-path cache).
   u32 rr_first_ = 0;               ///< == cycles_ % num_cores, kept inline.
+  /// Multi-core-window formation backoff: no attempt before this cycle
+  /// (set after an attempt that failed to form or died young — pure perf
+  /// heuristic, never observable). Reset by load_program().
+  u64 mc_stand_down_until_ = 0;
   u32 halted_count_ = 0;           ///< Cores in kParkedHalt; all_halted O(1).
   std::vector<u8> parked_;         ///< ParkState per core.
 
@@ -235,6 +267,9 @@ class Cluster {
   std::vector<u64> sleep_since_;   ///< Per core: wait-span start cycle.
   u64 traced_barriers_ = 0;
   u64 traced_conflicts_ = 0;
+
+  /// Per-core block-cache stats summed (see ClusterStats::block_cache).
+  [[nodiscard]] core::BlockCacheStats block_cache_totals() const;
 };
 
 }  // namespace ulp::cluster

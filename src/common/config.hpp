@@ -92,6 +92,43 @@ inline void set_block_cache_default(bool on) {
 }
 
 namespace detail {
+inline std::atomic<int>& multicore_windows_state() {
+  static std::atomic<int> state{-1};
+  return state;
+}
+}  // namespace detail
+
+/// The process-wide default for multi-core block windows: when the block
+/// cache is active and several cores are runnable between synchronisation
+/// points, interleave cached-block execution across them under the
+/// bank-conflict-exact TCDM replay instead of falling back to per-cycle
+/// stepping. ON unless the ULP_MC_WINDOWS environment variable is exactly
+/// "0" (same latch discipline as ULP_BLOCK_CACHE). Meaningless when the
+/// block cache itself is off; ClusterParams::multicore_windows overrides it
+/// per instance.
+[[nodiscard]] inline bool multicore_windows_default() {
+  auto& state = detail::multicore_windows_state();
+  int v = state.load(std::memory_order_acquire);
+  if (v < 0) {
+    const char* e = std::getenv("ULP_MC_WINDOWS");
+    const int captured = (e != nullptr && e[0] == '0' && e[1] == '\0') ? 0 : 1;
+    if (!state.compare_exchange_strong(v, captured,
+                                       std::memory_order_acq_rel)) {
+      return v == 1;
+    }
+    return captured == 1;
+  }
+  return v == 1;
+}
+
+/// Explicit injection of the multi-core-window default (CLI flags, tests).
+/// Must run before the simulations that should observe it are constructed.
+inline void set_multicore_windows_default(bool on) {
+  detail::multicore_windows_state().store(on ? 1 : 0,
+                                          std::memory_order_release);
+}
+
+namespace detail {
 inline std::atomic<int>& hwloop_bug_state() {
   static std::atomic<int> state{-1};
   return state;

@@ -119,20 +119,98 @@ u32 static_cost(const Instr& in, const CoreCosts& c) {
   }
 }
 
+// The dispatchable opcodes, grouped by which handler instantiations exist.
+// These lists drive both resolve() (dispatch-id assignment) and the
+// computed-goto label table in dispatch(); sharing them guarantees the two
+// stay index-aligned. Plain ops have no feature gate (one untrusted
+// instantiation — note csrr's handler statically forbids the trusted one);
+// gated and mem ops exist in both trust flavours.
+#define ULP_BC_PLAIN_OPS(X)                                                  \
+  X(kAdd) X(kSub) X(kAnd) X(kOr) X(kXor) X(kSll) X(kSrl) X(kSra) X(kSlt)     \
+  X(kSltu) X(kMul) X(kAddi) X(kAndi) X(kOri) X(kXori) X(kSlli) X(kSrli)      \
+  X(kSrai) X(kSlti) X(kSltiu) X(kLui) X(kBeq) X(kBne) X(kBlt) X(kBge)        \
+  X(kBltu) X(kBgeu) X(kJal) X(kJalr) X(kCsrr) X(kNop)
+#define ULP_BC_GATED_OPS(X)                                                  \
+  X(kMulhs) X(kMulhu) X(kDiv) X(kDivu) X(kRem) X(kRemu) X(kMac) X(kDotp2h)   \
+  X(kDotp4b) X(kAdd2h) X(kSub2h) X(kAdd4b) X(kSub4b) X(kLpSetup)
+#define ULP_BC_MEM_OPS(X)                                                    \
+  X(kLw) X(kLh) X(kLhu) X(kLb) X(kLbu) X(kLwpi) X(kLhpi) X(kLhupi) X(kLbpi)  \
+  X(kLbupi) X(kSw) X(kSh) X(kSb) X(kSwpi) X(kShpi) X(kSbpi)
+
+/// Dense dispatch ids (CachedOp::did): one per live handler instantiation,
+/// id 0 reserved for the call-through-fn fallback.
+enum DispatchId : u16 {
+  kDidFallback = 0,
+#define ULP_DID_PLAIN(name) kDid##name##U,
+#define ULP_DID_BOTH(name) kDid##name##U, kDid##name##T,
+  ULP_BC_PLAIN_OPS(ULP_DID_PLAIN) ULP_BC_GATED_OPS(ULP_DID_BOTH)
+      ULP_BC_MEM_OPS(ULP_DID_BOTH)
+#undef ULP_DID_PLAIN
+#undef ULP_DID_BOTH
+};
+
 }  // namespace
+
+// Computed-goto dispatch needs GNU labels-as-values (GCC and Clang); other
+// compilers fall back to the indirect call through CachedOp::fn.
+#if defined(__GNUC__) && !defined(ULP_FORCE_SWITCH_DISPATCH)
+#define ULP_COMPUTED_GOTO 1
+#else
+#define ULP_COMPUTED_GOTO 0
+#endif
+
+const char* block_dispatch_backend() {
+  return ULP_COMPUTED_GOTO ? "computed-goto" : "switch";
+}
 
 /// The threaded-dispatch handlers. A friend of Core: handlers are the block
 /// path's counterpart of Core::execute()/start_mem() and need the same
 /// access to architectural and performance state.
 class BlockRunner {
  public:
-  /// Picks the handler for one decoded instruction. Feature gates are
+  /// Resolves one decoded instruction into its handler (CachedOp::fn), its
+  /// dispatch id (CachedOp::did) and the mem-record flag. Feature gates are
   /// resolved here, at decode time: when the core's configuration (and,
   /// for lp.setup/csrr, the instruction's own fields) guarantees a
   /// handler's ULP_CHECKs can never fire, the kTrusted instantiation —
   /// no runtime checks, single merged cycle add — is selected instead.
-  [[nodiscard]] static CachedOp::Handler handler_for(const Instr& in,
-                                                     const CoreFeatures& f);
+  /// Undispatchable (sync-class) opcodes leave fn null.
+  /// Single call site (the decode loop): force-inlined so `*rec` never
+  /// escapes and the decode loop keeps the record in registers — the
+  /// out-of-line call measurably slows decode-bound (cache-thrashing)
+  /// workloads.
+#if defined(__GNUC__)
+  __attribute__((always_inline))
+#endif
+  static inline void resolve(const Instr& in, const CoreFeatures& f,
+                             CachedOp* rec);
+
+  /// Executes a block's records from ops[0] while the pc stays on-script,
+  /// with the lean lane's per-record bookkeeping (I$ line probes charged
+  /// inline, provable hits batched, the post-store generation check).
+  /// Returns true when the run must hand back to step() (non-plain memory
+  /// or a self-modifying store) — the pc-divert and block-complete ends
+  /// return false and leave the next pc in the core.
+  ///
+  /// When a span ends with the pc back on ops[0] (a hardware-loop wrap or
+  /// a taken branch to the block's own start) and `ctx.cycles <=
+  /// lean_limit`, the span restarts in place — the hot loop of every
+  /// hwloop kernel never leaves this function, so the per-iteration cost
+  /// is a compare and a jump rather than a call frame.
+  ///
+  /// This is where the computed-goto backend lives: each handler label
+  /// ends by jumping straight to the next record's label, so the hot loop
+  /// is one well-distributed indirect branch per record plus a direct
+  /// (inlinable) handler call — no per-record dispatch function. (A
+  /// function that takes label addresses can never be inlined, so a
+  /// per-record dispatch() call would cost a frame per instruction.) The
+  /// portable backend is the same loop through rec.fn.
+  static bool run_span(Core& c, const CachedOp* ops, size_t n,
+                       BlockRunCtx& ctx, mem::SharedICache* ic,
+                       const u64* code_gen, BlockCache* bc, u64 lean_limit);
+
+  /// One multi-core block window (see run_multicore_window in the header).
+  static u64 run_window(const McWindowParams& p);
 
  private:
   /// One non-memory instruction, exactly as execute() would run it.
@@ -486,6 +564,7 @@ class BlockRunner {
     if (!c.bus_->plain_memory(addr, isa::access_size(in.op))) {
       return false;  // peripheral/unmapped: per-cycle path owns this access
     }
+    if (c.bcache_ != nullptr) c.bcache_->note_dmap_fallback();
     ctx.cycles += 1;  // the issue cycle carries the first grant attempt
     const u64 stall0 = c.perf_.stall_mem;
     c.bus_->begin_cycle();
@@ -508,22 +587,36 @@ class BlockRunner {
   friend class BlockCache;
 };
 
-CachedOp::Handler BlockRunner::handler_for(const Instr& in,
-                                           const CoreFeatures& f) {
+void BlockRunner::resolve(const Instr& in, const CoreFeatures& f,
+                          CachedOp* rec) {
 // Unchecked opcodes: the kTrusted flag changes nothing, one instantiation.
-#define ULP_BLOCK_HANDLER(name) \
-  case Opcode::name:            \
-    return &exec<Opcode::name, false>;
+#define ULP_BLOCK_HANDLER(name)           \
+  case Opcode::name:                      \
+    rec->fn = &exec<Opcode::name, false>; \
+    rec->did = kDid##name##U;             \
+    return;
 // Feature-gated opcodes: discharge the gate at decode time when it holds.
-#define ULP_BLOCK_CHECKED_HANDLER(name, cond)                         \
-  case Opcode::name:                                                  \
-    return (cond) ? &exec<Opcode::name, true>                         \
-                  : &exec<Opcode::name, false>;
-#define ULP_BLOCK_MEM_HANDLER(name)                                   \
-  case Opcode::name:                                                  \
-    return f.has_postinc || !mem_is_postinc(Opcode::name)             \
-               ? &exec_mem<Opcode::name, true>                        \
-               : &exec_mem<Opcode::name, false>;
+#define ULP_BLOCK_CHECKED_HANDLER(name, cond) \
+  case Opcode::name:                          \
+    if (cond) {                               \
+      rec->fn = &exec<Opcode::name, true>;    \
+      rec->did = kDid##name##T;               \
+    } else {                                  \
+      rec->fn = &exec<Opcode::name, false>;   \
+      rec->did = kDid##name##U;               \
+    }                                         \
+    return;
+#define ULP_BLOCK_MEM_HANDLER(name)                       \
+  case Opcode::name:                                      \
+    rec->is_mem = true;                                   \
+    if (f.has_postinc || !mem_is_postinc(Opcode::name)) { \
+      rec->fn = &exec_mem<Opcode::name, true>;            \
+      rec->did = kDid##name##T;                           \
+    } else {                                              \
+      rec->fn = &exec_mem<Opcode::name, false>;           \
+      rec->did = kDid##name##U;                           \
+    }                                                     \
+    return;
   switch (in.op) {
     ULP_BLOCK_MEM_HANDLER(kLw)
     ULP_BLOCK_MEM_HANDLER(kLh)
@@ -589,11 +682,183 @@ CachedOp::Handler BlockRunner::handler_for(const Instr& in,
     default:
       // Sync-class opcodes never decode into blocks; anything else lands in
       // the per-cycle path's "unhandled opcode" check.
-      return nullptr;
+      rec->fn = nullptr;
+      rec->did = kDidFallback;
+      return;
   }
 #undef ULP_BLOCK_HANDLER
 #undef ULP_BLOCK_CHECKED_HANDLER
 #undef ULP_BLOCK_MEM_HANDLER
+}
+
+bool BlockRunner::run_span(Core& c, const CachedOp* ops, size_t n,
+                           BlockRunCtx& ctx, mem::SharedICache* ic,
+                           const u64* code_gen, BlockCache* bc,
+                           u64 lean_limit) {
+  size_t i = 0;
+  u64 sure_hits = 0;
+  bool stop = false;
+#if ULP_COMPUTED_GOTO
+  // Label table index-aligned with DispatchId by construction (same X-macro
+  // lists, same order).
+  static const void* const kTargets[] = {
+      &&lbl_fallback,
+#define ULP_BC_LBL_PLAIN(name) &&lbl_##name##_u,
+#define ULP_BC_LBL_BOTH(name) &&lbl_##name##_u, &&lbl_##name##_t,
+      ULP_BC_PLAIN_OPS(ULP_BC_LBL_PLAIN) ULP_BC_GATED_OPS(ULP_BC_LBL_BOTH)
+          ULP_BC_MEM_OPS(ULP_BC_LBL_BOTH)
+#undef ULP_BC_LBL_PLAIN
+#undef ULP_BC_LBL_BOTH
+  };
+  const CachedOp* rec;
+// I$ probe for *rec, charged exactly as the indirect-call loop does it:
+// line-start fetches pay their penalty inline, the rest are provable hits
+// batched into one charge at span end.
+#define ULP_BC_PRE()                                                       \
+  if (ic != nullptr) {                                                     \
+    if (rec->line_start) {                                                 \
+      const u32 penalty = ic->fetch(rec->pc);                              \
+      if (penalty > 0) {                                                   \
+        c.perf_.stall_icache += penalty;                                   \
+        ctx.cycles += penalty + 1;                                         \
+        if (c.prof_ != nullptr) c.prof_->add_cycles(rec->pc, penalty + 1); \
+      }                                                                    \
+    } else {                                                               \
+      ++sure_hits;                                                         \
+    }                                                                      \
+  }
+// Post-store self-modifying-code check — only store-capable labels pay it.
+#define ULP_BC_GEN()                                                        \
+  if (rec->is_store && code_gen != nullptr && *code_gen != bc->generation) { \
+    bc->flush();                                                            \
+    bc->generation = *code_gen;                                             \
+    stop = true;                                                            \
+    goto span_done;                                                         \
+  }
+// The threaded step: straight to the next record's handler label. The pc
+// check catches hardware-loop wraps and taken branches leaving the block.
+#define ULP_BC_NEXT()                   \
+  do {                                  \
+    if (++i >= n) goto span_done;       \
+    rec = &ops[i];                      \
+    if (rec->pc != c.pc_) goto span_done; \
+    goto* kTargets[rec->did];           \
+  } while (0)
+
+  if (n == 0) goto span_done;
+  rec = &ops[0];
+  if (rec->pc != c.pc_) goto span_done;
+  goto* kTargets[rec->did];
+
+lbl_fallback : {
+  ULP_BC_PRE();
+  if (!rec->fn(c, *rec, ctx)) {
+    stop = true;
+    goto span_done;
+  }
+  ULP_BC_GEN();
+  ULP_BC_NEXT();
+}
+#define ULP_BC_CASE_PLAIN(name)                        \
+  lbl_##name##_u : {                                   \
+    ULP_BC_PRE();                                      \
+    if (!exec<Opcode::name, false>(c, *rec, ctx)) {    \
+      stop = true;                                     \
+      goto span_done;                                  \
+    }                                                  \
+    ULP_BC_NEXT();                                     \
+  }
+#define ULP_BC_CASE_GATED(name)                        \
+  lbl_##name##_u : {                                   \
+    ULP_BC_PRE();                                      \
+    if (!exec<Opcode::name, false>(c, *rec, ctx)) {    \
+      stop = true;                                     \
+      goto span_done;                                  \
+    }                                                  \
+    ULP_BC_NEXT();                                     \
+  }                                                    \
+  lbl_##name##_t : {                                   \
+    ULP_BC_PRE();                                      \
+    if (!exec<Opcode::name, true>(c, *rec, ctx)) {     \
+      stop = true;                                     \
+      goto span_done;                                  \
+    }                                                  \
+    ULP_BC_NEXT();                                     \
+  }
+#define ULP_BC_CASE_MEM(name)                           \
+  lbl_##name##_u : {                                    \
+    ULP_BC_PRE();                                       \
+    if (!exec_mem<Opcode::name, false>(c, *rec, ctx)) { \
+      stop = true;                                      \
+      goto span_done;                                   \
+    }                                                   \
+    ULP_BC_GEN();                                       \
+    ULP_BC_NEXT();                                      \
+  }                                                     \
+  lbl_##name##_t : {                                    \
+    ULP_BC_PRE();                                       \
+    if (!exec_mem<Opcode::name, true>(c, *rec, ctx)) {  \
+      stop = true;                                      \
+      goto span_done;                                   \
+    }                                                   \
+    ULP_BC_GEN();                                       \
+    ULP_BC_NEXT();                                      \
+  }
+  ULP_BC_PLAIN_OPS(ULP_BC_CASE_PLAIN)
+  ULP_BC_GATED_OPS(ULP_BC_CASE_GATED)
+  ULP_BC_MEM_OPS(ULP_BC_CASE_MEM)
+#undef ULP_BC_CASE_PLAIN
+#undef ULP_BC_CASE_GATED
+#undef ULP_BC_CASE_MEM
+#undef ULP_BC_PRE
+#undef ULP_BC_GEN
+#undef ULP_BC_NEXT
+span_done:
+  // Hardware-loop back-edge (or a taken branch to the block's own start):
+  // restart the span in place while the lean budget holds. Every executed
+  // record charges at least one cycle, so a restart implies progress.
+  if (!stop && n != 0 && c.pc_ == ops[0].pc && ctx.cycles <= lean_limit) {
+    i = 0;
+    rec = &ops[0];
+    goto* kTargets[rec->did];
+  }
+#else
+  for (;;) {
+    for (i = 0; i < n; ++i) {
+      const CachedOp& rec = ops[i];
+      if (rec.pc != c.pc_) break;
+      if (ic != nullptr) {
+        if (rec.line_start) {
+          const u32 penalty = ic->fetch(rec.pc);
+          if (penalty > 0) {
+            c.perf_.stall_icache += penalty;
+            ctx.cycles += penalty + 1;
+            if (c.prof_ != nullptr) c.prof_->add_cycles(rec.pc, penalty + 1);
+          }
+        } else {
+          ++sure_hits;
+        }
+      }
+      if (!rec.fn(c, rec, ctx)) {
+        stop = true;
+        break;
+      }
+      if (rec.is_store && code_gen != nullptr &&
+          *code_gen != bc->generation) {
+        bc->flush();
+        bc->generation = *code_gen;
+        stop = true;
+        break;
+      }
+    }
+    // Same in-place span restart as the computed-goto backend's.
+    if (stop || n == 0 || c.pc_ != ops[0].pc || ctx.cycles > lean_limit) {
+      break;
+    }
+  }
+#endif
+  if (sure_hits != 0) ic->charge_hits(sure_hits);
+  return stop;
 }
 
 const Block* BlockCache::lookup(u32 pc, const isa::Instr* code, u32 code_size,
@@ -603,9 +868,11 @@ const Block* BlockCache::lookup(u32 pc, const isa::Instr* code, u32 code_size,
   if (blocks_.size() != code_size) {
     blocks_.assign(code_size, Block{});
     built_.assign(code_size, 0);
+    succ_.assign(code_size, SuccEdge{});
     pool_.clear();
     stats_.blocks = 0;
     stats_.records = 0;
+    ++epoch_;  // every recorded successor edge points into the old program
     // A program change resets the hardware loops too (Core::reset), so the
     // loop-end map can start from scratch.
     loop_end_.assign(code_size + 1, 0);
@@ -633,7 +900,7 @@ const Block* BlockCache::lookup(u32 pc, const isa::Instr* code, u32 code_size,
       const isa::Instr& in = code[p];
       if (is_sync(in.op)) break;
       CachedOp rec;
-      rec.fn = BlockRunner::handler_for(in, cfg.features);
+      BlockRunner::resolve(in, cfg.features, &rec);
       if (rec.fn == nullptr) break;  // defensive: undispatchable opcode
       rec.instr = in;
       rec.pc = p;
@@ -655,9 +922,41 @@ const Block* BlockCache::lookup(u32 pc, const isa::Instr* code, u32 code_size,
     ++stats_.blocks;
     ++stats_.decodes;
     blocks_[pc] = blk;
+  } else {
+    ++stats_.hits;
   }
   const Block& b = blocks_[pc];
   return b.count == 0 ? nullptr : &b;
+}
+
+const Block* BlockCache::chain(const Block* from, u32 pc,
+                               const isa::Instr* code, u32 code_size,
+                               const CoreConfig& cfg, u32 icache_line_words) {
+  // `from` lives in blocks_, which is indexed by start pc, so its edge slot
+  // is succ_[from - blocks_.data()]. blocks_ never reallocates mid-program
+  // (it is resized only on a program-size change), so the subtraction is
+  // stable across the whole run.
+  if (from != nullptr) {
+    const SuccEdge& e = succ_[static_cast<size_t>(from - blocks_.data())];
+    if (e.pc == pc && e.epoch == epoch_) {
+      // The recorded edge was stamped in the current epoch, so no flush or
+      // program change intervened: blocks_[pc] is exactly what lookup()
+      // would return (and non-empty — empty blocks are never recorded as
+      // successors).
+      ++stats_.chained;
+      return &blocks_[pc];
+    }
+  }
+  const Block* next = lookup(pc, code, code_size, cfg, icache_line_words);
+  if (from != nullptr && next != nullptr) {
+    // If the lookup above flushed for capacity, the epoch already moved
+    // past this stamp and the edge stays dead until it is re-stamped in
+    // the new epoch.
+    SuccEdge& e = succ_[static_cast<size_t>(from - blocks_.data())];
+    e.pc = pc;
+    e.epoch = epoch_;
+  }
+  return next;
 }
 
 void BlockCache::flush() {
@@ -666,6 +965,7 @@ void BlockCache::flush() {
   pool_.clear();
   stats_.blocks = 0;
   stats_.records = 0;
+  ++epoch_;  // recorded successor edges now point into the cleared pool
   loop_scan_valid_ = false;  // code may have changed: rescan lp.setup ends
   ++stats_.flushes;
 }
@@ -705,62 +1005,30 @@ u64 Core::run_cached(u64 max_cycles) {
   BlockRunCtx ctx;
   try {
     bool stop = false;
+    const Block* prev = nullptr;
     while (!stop) {
-      const Block* blk = bc->lookup(pc_, code_, code_size_, cfg_, line_words);
+      const Block* blk = bc->chain(prev, pc_, code_, code_size_, cfg_,
+                                   line_words);
       if (blk == nullptr) break;  // sync op / past end: per-cycle territory
+      prev = blk;
       last_block_pc_ = pc_;
       const CachedOp* ops = bc->ops(*blk);
       const size_t n = blk->count;
-      const u32 start_pc = pc_;
       const u64 lean_need = static_cast<u64>(worst_op_cycles_) * n;
       if (max_cycles - ctx.cycles >= lean_need) {
         // Lean lane: the whole block provably fits the budget, so no
-        // per-record budget checks; I$ probes only on line-start records
-        // (the rest are guaranteed hits, charged in bulk below).
+        // per-record budget checks. run_span() threads through the records
+        // (I$ probes on line starts, provable hits batched, generation
+        // check after stores) and reports whether to hand back to step()
+        // — a pc divert (hardware-loop wrap, taken branch) just ends the
+        // span with the new pc in the core. A back-edge landing on this
+        // very block restarts *inside* run_span while ctx.cycles stays at
+        // or under lean_limit (≥ one more whole worst-case span left) —
+        // the hot loop of every hwloop kernel, kept free of call frames.
         last_block_ops_left_ = static_cast<u32>(n);
-        for (;;) {
-          u64 sure_hits = 0;
-          size_t i = 0;
-          for (; i < n; ++i) {
-            const CachedOp& rec = ops[i];
-            // A hardware loop wrapped the pc back mid-block (or a zero-trip
-            // lp.setup skipped ahead): chain into the block at the new pc.
-            if (rec.pc != pc_) break;
-            if (ic != nullptr) {
-              if (rec.line_start) {
-                const u32 penalty = ic->fetch(rec.pc);
-                if (penalty > 0) {
-                  perf_.stall_icache += penalty;
-                  ctx.cycles += penalty + 1;
-                  if (prof_ != nullptr) prof_->add_cycles(rec.pc, penalty + 1);
-                }
-              } else {
-                ++sure_hits;
-              }
-            }
-            if (!rec.fn(*this, rec, ctx)) {
-              stop = true;  // non-plain memory: hand back to step()
-              break;
-            }
-            if (rec.is_store && code_gen != nullptr &&
-                *code_gen != bc->generation) {
-              // Self-modifying code: the store (now fully retired, pc
-              // already past it) hit the code window. Drop every block
-              // before any possibly-stale record executes.
-              bc->flush();
-              bc->generation = *code_gen;
-              stop = true;
-              break;
-            }
-          }
-          if (sure_hits != 0) ic->charge_hits(sure_hits);
-          // A hardware-loop back-edge (or a taken branch to the block's own
-          // start) landed on this very block: re-enter it directly, no
-          // lookup. This is the hot loop of every hwloop kernel.
-          if (!stop && pc_ == start_pc && max_cycles - ctx.cycles >= lean_need) {
-            continue;
-          }
-          break;
+        if (BlockRunner::run_span(*this, ops, n, ctx, ic, code_gen, bc,
+                                  max_cycles - lean_need)) {
+          stop = true;  // non-plain memory or self-modifying store
         }
         continue;
       }
@@ -815,6 +1083,432 @@ void Core::flush_run_ctx(const BlockRunCtx& ctx) {
   perf_.instrs += ctx.instrs;
   perf_.loads += ctx.loads;
   perf_.stores += ctx.stores;
+}
+
+namespace {
+
+/// Transient per-core state of one multi-core block window. ctx.cycles is
+/// the core's *local time*: the window-relative cycle its next action
+/// happens at. The runner always advances the core with the smallest
+/// (local time, rotation rank) pair, which makes the interleaving of
+/// arbitration attempts identical to the per-cycle scheduler's rotating
+/// core loop — the foundation of the bank-conflict-exact replay.
+struct WCore {
+  Core* c = nullptr;
+  u32 slot = 0;      ///< Cluster core index (rotation rank derives from it).
+  BlockRunCtx ctx;   ///< Bulk counters; ctx.cycles doubles as local time.
+  const Block* blk = nullptr;
+  const CachedOp* ops = nullptr;
+  u32 nops = 0;
+  u32 next = 0;      ///< Index of the next record to retire.
+  u64 sure_hits = 0; ///< Fetches provably hitting the I$, charged in bulk.
+  /// In-flight load/store replay lane. kFast: direct-span data movement
+  /// under try_grant_plain() arbitration. kMachinery: the real start_mem/
+  /// retry_mem path (unaligned, watched store, L2/TCDM splits), one grant
+  /// attempt per pick so contention interleaves exactly.
+  enum MemLane : u8 { kNoMem = 0, kFast, kMachinery };
+  MemLane lane = kNoMem;
+  bool started = false;  ///< kMachinery: start_mem() already issued.
+  Addr addr = 0;         ///< kFast: resolved effective address.
+  const mem::DirectSpan* span = nullptr;  ///< kFast: containing span.
+};
+
+}  // namespace
+
+u64 BlockRunner::run_window(const McWindowParams& p) {
+  constexpr u32 kMaxCores = 16;
+  const u32 n = p.num_cores;
+  if (n < 2 || n > kMaxCores) return 0;
+  std::array<WCore, kMaxCores> w;
+  u32 na = 0;
+
+  // Phase 1 — per-core entry, mirroring run_cached()'s preamble (cache
+  // construction, generation sync, budget constants, direct map) plus the
+  // block-eligibility pre-check. Nothing here mutates architectural state,
+  // so bailing out leaves the cluster exactly as per-cycle stepping expects.
+  for (u32 i = 0; i < n; ++i) {
+    if (p.park_state[i] != 0) continue;
+    Core& c = *p.cores[i];
+    if (c.bcache_ == nullptr) c.bcache_ = std::make_unique<BlockCache>();
+    BlockCache* const bc = c.bcache_.get();
+    if (c.code_gen_ != nullptr && *c.code_gen_ != bc->generation) {
+      bc->flush();  // someone wrote into the code window since last run
+      bc->generation = *c.code_gen_;
+    }
+    if (c.worst_op_cycles_ == 0) c.worst_op_cycles_ = c.compute_worst_op_cycles();
+    c.dmap_ = c.bus_->direct_map();
+    WCore& s = w[na];
+    s = WCore{};
+    s.c = &c;
+    s.slot = i;
+    if (c.busy_ == 0 && !c.memop_.active) {
+      const u32 lw = c.icache_ != nullptr ? c.icache_->instrs_per_line() : 0;
+      s.blk = bc->lookup(c.pc_, c.code_, c.code_size_, c.cfg_, lw);
+      if (s.blk == nullptr) return 0;  // sync op / past end: can't form
+      s.ops = bc->ops(*s.blk);
+      s.nops = s.blk->count;
+      c.last_block_pc_ = c.pc_;
+    }
+    ++na;
+  }
+  if (na < 2) return 0;
+
+  // Phase 2 — seed local times. A core mid-stall enters at its remaining
+  // busy cycles (its next action is the issue after the countdown); a core
+  // mid-memory-op re-attempts its next part then. busy_ moves into ctx and
+  // is reconstituted as the post-window residue at exit, so a bail-out
+  // after this point must always run the exit flush.
+  for (u32 k = 0; k < na; ++k) {
+    WCore& s = w[k];
+    s.ctx.cycles = s.c->busy_;
+    s.c->busy_ = 0;
+    if (s.c->memop_.active) {
+      s.lane = WCore::kMachinery;
+      s.started = true;  // start_mem() ran before the window formed
+    }
+  }
+
+  mem::DataBus* const bus = w[0].c->bus_;  // one shared cluster bus
+  const u64* const code_gen = w[0].c->code_gen_;
+  const u64 gen0 = code_gen != nullptr ? *code_gen : 0;
+
+  // The arbitration replay: begin_cycle() opens local cycle `t` exactly
+  // once, clearing bank/port claims; every grant attempt at the same t then
+  // contends against the claims its same-cycle predecessors (earlier in
+  // (time, rank) order — the per-cycle rotation order) already planted.
+  // Cycles with no attempts are skipped wholesale: their claims are never
+  // probed, so not clearing them is unobservable.
+  u64 arb_open = ~u64{0};
+  const auto ensure_arb = [&](u64 t) {
+    if (arb_open != t) {
+      bus->begin_cycle();
+      arb_open = t;
+    }
+  };
+  // Rotation rank of `slot` at local time t: 0 = the core the per-cycle
+  // scheduler would step first that cycle.
+  const auto rank = [&](u32 slot, u64 t) -> u32 {
+    const u32 first = static_cast<u32>((p.rot0 + t) % n);
+    return (slot + n - first) % n;
+  };
+
+  // One fast-lane attempt: arbitration via try_grant_plain (which claims
+  // the bank/port and counts the access exactly as the bus path would),
+  // data movement on the host pointer, and the retry_mem/finish_mem
+  // retirement sequence — exec_mem()'s granted path, under contention.
+  const auto fast_attempt = [&](WCore& s) {
+    Core& c = *s.c;
+    const CachedOp& rec = s.ops[s.next];
+    ensure_arb(s.ctx.cycles);
+    if (!c.bus_->try_grant_plain(s.addr)) {
+      // Denied: a lower-rank master claimed the bank this cycle. One stall
+      // cycle, then retry — retry_mem()'s denied path.
+      ++c.perf_.stall_mem;
+      if (c.prof_ != nullptr) c.prof_->add_cycles(rec.pc, 1);
+      s.ctx.cycles += 1;
+      return;
+    }
+    const Instr& in = rec.instr;
+    const int size = mem_size(in.op);
+    const u32 charge = s.span->latency + rec.cost;  // cost = load/store extra
+    s.ctx.cycles += charge;
+    u8* ptr = s.span->data + (s.addr - s.span->base);
+    u32 loaded = 0;
+    if (rec.is_store) {
+      const u32 v = c.regs_[in.rd];
+      for (int b = 0; b < size; ++b) ptr[b] = static_cast<u8>(v >> (8 * b));
+    } else {
+      for (int b = size - 1; b >= 0; --b) loaded = (loaded << 8) | ptr[b];
+    }
+    if (c.prof_ != nullptr) c.prof_->add_cycles(rec.pc, charge);
+    ++s.ctx.instrs;
+    if (c.retire_hook_) c.retire_hook_(rec.pc, in);
+    if (c.prof_ != nullptr) c.prof_->on_retire(rec.pc, in, c.regs_[in.ra]);
+    if (rec.is_store) {
+      ++s.ctx.stores;
+    } else {
+      ++s.ctx.loads;
+      if (mem_sign(in.op) && size < 4) {
+        const u32 sign_bit = 1u << (size * 8 - 1);
+        if (loaded & sign_bit) loaded |= ~((sign_bit << 1) - 1);
+      }
+      c.write_reg(in.rd, loaded);
+    }
+    if (mem_is_postinc(in.op)) {
+      c.write_reg(in.ra, c.regs_[in.ra] + static_cast<u32>(in.imm));
+    }
+    if (rec.no_loop_end) {
+      ++c.pc_;
+    } else {
+      c.advance_pc_sequential();
+    }
+    s.lane = WCore::kNoMem;
+    s.span = nullptr;
+    ++s.next;
+  };
+
+  // One machinery attempt: the attempt cycle plus whatever stall the
+  // start_mem/retry_mem call queued (grant latency + extra on success, the
+  // denied-stall bookkeeping on failure — both self-attributed to perf_ and
+  // the profile by the machinery itself).
+  const auto machinery_attempt = [&](WCore& s) {
+    Core& c = *s.c;
+    ensure_arb(s.ctx.cycles);
+    s.ctx.cycles += 1;
+    if (!s.started) {
+      c.start_mem(s.ops[s.next].instr);
+      s.started = true;
+    } else {
+      c.retry_mem();
+    }
+    s.ctx.cycles += c.busy_;
+    c.busy_ = 0;
+    if (!c.memop_.active) {
+      // finish_mem() retired it, writing instrs/loads/stores to perf_
+      // directly — they must not be double-counted through ctx.
+      s.lane = WCore::kNoMem;
+      s.started = false;
+      if (s.blk != nullptr) ++s.next;  // entry-pending ops have no record
+    }
+  };
+
+  // Classify a memory record on its issue cycle and run the first attempt.
+  // Returns false when the access leaves plain memory — peripheral space is
+  // per-cycle territory (which is also why no DMA program can ever start
+  // inside a window), so the core stops *before* issuing.
+  const auto begin_mem = [&](WCore& s, const CachedOp& rec) -> bool {
+    Core& c = *s.c;
+    const Instr& in = rec.instr;
+    const bool postinc = mem_is_postinc(in.op);
+    const Addr addr =
+        postinc ? c.regs_[in.ra] : c.regs_[in.ra] + static_cast<u32>(in.imm);
+    const int size = mem_size(in.op);
+    const mem::DirectMap& dm = c.dmap_;
+    const mem::DirectSpan* span = nullptr;
+    bool fast = (addr & static_cast<Addr>(size - 1)) == 0 &&
+                (!postinc || c.cfg_.features.has_postinc);
+    if (fast) {
+      for (u32 k = 0; k < dm.count; ++k) {
+        const mem::DirectSpan& sp = dm.spans[k];
+        if (addr >= sp.base &&
+            addr - sp.base <= sp.bytes - static_cast<u32>(size)) {
+          span = &sp;
+          break;
+        }
+      }
+      if (span == nullptr) {
+        fast = false;
+      } else if (rec.is_store && dm.watch_bytes != 0 &&
+                 addr < dm.watch_base + dm.watch_bytes &&
+                 addr + static_cast<Addr>(size) > dm.watch_base) {
+        fast = false;  // the write watcher must fire: bus path
+      }
+    }
+    if (fast) {
+      s.lane = WCore::kFast;
+      s.addr = addr;
+      s.span = span;
+      fast_attempt(s);
+      return true;
+    }
+    if (!c.bus_->plain_memory(addr, size)) return false;
+    c.bcache_->note_dmap_fallback();
+    s.lane = WCore::kMachinery;
+    s.started = false;
+    machinery_attempt(s);
+    return true;
+  };
+
+  // Advance one core by one action at its local time. Returns false when
+  // the core must stop the window (sync instruction or program end ahead,
+  // peripheral access).
+  const auto pick = [&](WCore& s) -> bool {
+    Core& c = *s.c;
+    if (s.lane == WCore::kMachinery) {
+      machinery_attempt(s);
+      return true;
+    }
+    if (s.lane == WCore::kFast) {
+      fast_attempt(s);
+      return true;
+    }
+    if (s.blk == nullptr || s.next >= s.nops || s.ops[s.next].pc != c.pc_) {
+      // Block boundary (terminator, hardware-loop wrap, or the entry of a
+      // core that joined mid-stall): chain to the block at the new pc.
+      BlockCache* const bc = c.bcache_.get();
+      const u32 lw = c.icache_ != nullptr ? c.icache_->instrs_per_line() : 0;
+      const Block* nxt =
+          bc->chain(s.blk, c.pc_, c.code_, c.code_size_, c.cfg_, lw);
+      if (nxt == nullptr) return false;
+      s.blk = nxt;
+      s.ops = bc->ops(*nxt);
+      s.nops = nxt->count;
+      s.next = 0;
+      c.last_block_pc_ = c.pc_;
+    }
+    const CachedOp& rec = s.ops[s.next];
+    if (c.icache_ != nullptr) {
+      if (rec.line_start) {
+        const u32 penalty = c.icache_->fetch(rec.pc);
+        if (penalty > 0) {
+          // Refill charged exactly as issue() would, without executing; the
+          // line bitmap is sticky, so the re-pick's probe is a sure hit.
+          c.perf_.stall_icache += penalty;
+          s.ctx.cycles += penalty + 1;
+          if (c.prof_ != nullptr) c.prof_->add_cycles(rec.pc, penalty + 1);
+          return true;
+        }
+      } else {
+        ++s.sure_hits;
+      }
+    }
+    if (!rec.is_mem) {
+      rec.fn(c, rec, s.ctx);
+      ++s.next;
+      return true;
+    }
+    return begin_mem(s, rec);
+  };
+
+  // The window proper: advance the globally earliest (time, rank) core.
+  // Every arbitration attempt therefore executes in exactly the order the
+  // per-cycle scheduler would have run it, every grant and denial lands
+  // identically, and the first core that cannot continue defines the
+  // window's end — later-time work on other cores becomes their residue.
+  //
+  // Realised as a cycle walk rather than a per-action min-scan: every
+  // action advances its core's local time by at least one cycle, so at any
+  // cycle T each core acts at most once, and visiting the slots in rotation
+  // order (rank 0 first) replays the (time, rank) total order exactly —
+  // with `first` maintained incrementally instead of paying the rank()
+  // modulos on every action.
+  std::array<WCore*, kMaxCores> by_slot{};
+  for (u32 k = 0; k < na; ++k) by_slot[w[k].slot] = &w[k];
+  u64 t_pick = 0;
+  WCore* cur = nullptr;
+  try {
+    u64 T = 0;
+    u32 first = p.rot0 % n;  // rank-0 slot at local cycle 0
+    for (bool stop = false; !stop;) {
+      bool any = false;
+      for (u32 j = 0; j < n; ++j) {
+        u32 slot = first + j;
+        if (slot >= n) slot -= n;
+        WCore* const s = by_slot[slot];
+        if (s == nullptr || s->ctx.cycles != T) continue;
+        cur = s;
+        t_pick = T;
+        // Budget guard on every pick (issues and retries alike): no action
+        // may start at or beyond budget - worst, so no in-window memory
+        // effect can land at a cycle the caller has not granted.
+        if (T >= p.budget || p.budget - T < s->c->worst_op_cycles_) {
+          stop = true;
+          break;
+        }
+        if (!pick(*s)) {
+          stop = true;
+          break;
+        }
+        if (code_gen != nullptr && *code_gen != gen0) {
+          // A machinery store hit some core's code window. The (time, rank)
+          // order guarantees no sibling has executed anything at a later
+          // time, so stopping here is exact; the next run's generation
+          // sync flushes every stale cache.
+          stop = true;
+          break;
+        }
+        any = true;
+      }
+      if (stop) break;
+      if (any) {
+        ++T;
+        first = first + 1 == n ? 0 : first + 1;
+      } else {
+        // Every core is mid-charge: jump to the earliest next action.
+        u64 tn = ~u64{0};
+        for (u32 k = 0; k < na; ++k) tn = std::min(tn, w[k].ctx.cycles);
+        T = tn;
+        first = static_cast<u32>((p.rot0 + T) % n);
+      }
+    }
+  } catch (...) {
+    // A record faulted mid-pick at local time t_pick. Leave every core
+    // exactly as per-cycle stepping would at the fault cycle: the faulting
+    // core flushes its full ctx (its counted cycles include the faulting
+    // issue); every other core is advanced to the fault cycle — plus one
+    // if its rotation rank that cycle comes first, because the per-cycle
+    // scheduler would have stepped it before the fault fired — with the
+    // overshoot reconstituted as busy residue.
+    const u32 rank_f = rank(cur->slot, t_pick);
+    for (u32 k = 0; k < na; ++k) {
+      WCore& s = w[k];
+      Core& c = *s.c;
+      if (&s == cur) {
+        c.flush_run_ctx(s.ctx);
+      } else {
+        const u64 cap = t_pick + (rank(s.slot, t_pick) < rank_f ? 1 : 0);
+        const u64 wj = std::min(s.ctx.cycles, cap);
+        c.perf_.cycles += wj;
+        c.perf_.active_cycles += wj;
+        c.perf_.instrs += s.ctx.instrs;
+        c.perf_.loads += s.ctx.loads;
+        c.perf_.stores += s.ctx.stores;
+        c.busy_ = static_cast<u32>(s.ctx.cycles - wj);
+      }
+      if (s.sure_hits != 0 && c.icache_ != nullptr) {
+        c.icache_->charge_hits(s.sure_hits);
+      }
+      c.last_block_ops_left_ = s.blk != nullptr ? s.nops - s.next : 0;
+    }
+    for (u32 i = 0; i < n; ++i) {
+      if (p.park_state[i] == 0) continue;
+      const u64 cap = t_pick + (rank(i, t_pick) < rank_f ? 1 : 0);
+      if (cap == 0) continue;
+      if (p.park_state[i] == 2) {  // cluster::kParkedHalt
+        p.cores[i]->charge_halted_cycles(cap);
+      } else {  // cluster::kParkedSleep
+        p.cores[i]->charge_sleep_cycles(cap);
+      }
+    }
+    throw;
+  }
+
+  // Normal exit: the window's span is the earliest per-core local time —
+  // the stopping core's. Later cores keep their overshoot (an in-flight
+  // multi-cycle record, exactly like one straddling a per-cycle advance
+  // boundary) as busy residue; retire counts flush in full, their cycles
+  // were all charged into ctx at issue time.
+  u64 wmin = w[0].ctx.cycles;
+  for (u32 k = 1; k < na; ++k) wmin = std::min(wmin, w[k].ctx.cycles);
+  for (u32 k = 0; k < na; ++k) {
+    WCore& s = w[k];
+    Core& c = *s.c;
+    c.perf_.cycles += wmin;
+    c.perf_.active_cycles += wmin;
+    c.perf_.instrs += s.ctx.instrs;
+    c.perf_.loads += s.ctx.loads;
+    c.perf_.stores += s.ctx.stores;
+    c.busy_ = static_cast<u32>(s.ctx.cycles - wmin);
+    if (s.sure_hits != 0 && c.icache_ != nullptr) {
+      c.icache_->charge_hits(s.sure_hits);
+    }
+    c.last_block_ops_left_ = s.blk != nullptr ? s.nops - s.next : 0;
+  }
+  if (wmin != 0) {
+    for (u32 i = 0; i < n; ++i) {
+      if (p.park_state[i] == 0) continue;
+      if (p.park_state[i] == 2) {  // cluster::kParkedHalt
+        p.cores[i]->charge_halted_cycles(wmin);
+      } else {  // cluster::kParkedSleep
+        p.cores[i]->charge_sleep_cycles(wmin);
+      }
+    }
+  }
+  return wmin;
+}
+
+u64 run_multicore_window(const McWindowParams& p) {
+  return BlockRunner::run_window(p);
 }
 
 }  // namespace ulp::core

@@ -54,6 +54,10 @@ struct CachedOp {
   Handler fn = nullptr;
   isa::Instr instr;
   u32 pc = 0;
+  /// Dense dispatch id for the computed-goto backend (index into its label
+  /// table); 0 routes through `fn` (the portable fallback and the slow-path
+  /// records the goto table does not specialise).
+  u16 did = 0;
   /// Issue-to-retire cycles when statically known (ALU class, and the
   /// not-taken/taken baselines for control flow). For memory records this
   /// holds the load/store extra cycles instead (the grant latency is the
@@ -61,6 +65,9 @@ struct CachedOp {
   u32 cost = 1;
   /// The record can bump the owner's code generation (stores).
   bool is_store = false;
+  /// Load/store record: the multi-core window routes it through the
+  /// per-attempt arbitration replay instead of the handler's solo lane.
+  bool is_mem = false;
   /// This record's fetch may touch a new I$ line (block entry or a
   /// line-aligned pc). False means the line was provably fetched by an
   /// earlier record of the same run: a guaranteed hit, charged in bulk.
@@ -82,8 +89,13 @@ struct Block {
 struct BlockCacheStats {
   u64 blocks = 0;   ///< Decoded blocks currently live.
   u64 records = 0;  ///< Cached records currently live.
-  u64 decodes = 0;  ///< Blocks decoded over the cache's lifetime.
+  u64 decodes = 0;  ///< Blocks decoded over the cache's lifetime (misses).
   u64 flushes = 0;  ///< Wholesale invalidations (generation or capacity).
+  u64 hits = 0;     ///< lookup() served an already-decoded block.
+  u64 chained = 0;  ///< Block-to-block transfers resolved by chain().
+  /// Cached loads/stores that left the direct-map fast lane (unaligned,
+  /// watched store, peripheral hand-back, or a multi-core machinery replay).
+  u64 dmap_fallbacks = 0;
 };
 
 class BlockCache {
@@ -107,10 +119,24 @@ class BlockCache {
     return pool_.data() + b.first;
   }
 
+  /// Block-to-block transfer: the block starting at `pc`, reached from
+  /// `from` (null on the first block of a run). When `from` recorded `pc`
+  /// as its successor in the current epoch the answer is a table read —
+  /// no bounds/built checks, no decode; otherwise this is lookup() plus
+  /// recording the edge for next time. Chained or not, the result is
+  /// identical to lookup(pc, ...).
+  const Block* chain(const Block* from, u32 pc, const isa::Instr* code,
+                     u32 code_size, const CoreConfig& cfg,
+                     u32 icache_line_words);
+
   /// Drop every block (code changed / capacity overflow / core reset).
   void flush();
 
   [[nodiscard]] const BlockCacheStats& stats() const { return stats_; }
+
+  /// A cached load/store left the direct-map fast lane (see
+  /// BlockCacheStats::dmap_fallbacks; bumped by the slow-lane replays).
+  void note_dmap_fallback() { ++stats_.dmap_fallbacks; }
 
   /// Code generation this cache was built against (see Core::run_cached).
   u64 generation = 0;
@@ -119,6 +145,19 @@ class BlockCache {
   std::vector<CachedOp> pool_;  ///< All live records, block-contiguous.
   std::vector<Block> blocks_;   ///< Indexed by start pc.
   std::vector<u8> built_;       ///< Distinguishes "not decoded" from empty.
+  /// Cross-block chaining edge of the block starting at each pc: the start
+  /// pc its last run transferred to, trusted while `epoch` matches the
+  /// cache's epoch. Kept out of Block on purpose: the decode loop streams
+  /// blocks_/built_, and widening those entries with edge state measurably
+  /// slows decode-bound workloads — chain() alone touches this array.
+  struct SuccEdge {
+    u64 epoch = 0;  ///< Never matches: epoch_ starts at 1.
+    u32 pc = 0;
+  };
+  std::vector<SuccEdge> succ_;
+  /// Bumped whenever recorded successor edges die (flush, program change);
+  /// chain() only trusts an edge stamped with the current epoch.
+  u64 epoch_ = 1;
   /// loop_end_[p] != 0: some lp.setup in the program (current code, or —
   /// after a self-modifying-code flush — any earlier revision whose armed
   /// loop may still be live) puts a hardware-loop end at instruction p.
@@ -127,5 +166,37 @@ class BlockCache {
   bool loop_scan_valid_ = false;
   BlockCacheStats stats_;
 };
+
+/// The dispatch backend compiled into the block handlers: "computed-goto"
+/// (GNU labels-as-values — each handler label in BlockRunner::run_span
+/// jumps straight to the next record's label, one distributed indirect
+/// branch per record) or "switch" (portable per-record indirect call
+/// through CachedOp::fn). Build provenance for recorded benchmarks
+/// (--ulp-build-info).
+[[nodiscard]] const char* block_dispatch_backend();
+
+/// One multi-core block window (see cluster::Cluster::window_block_run).
+/// `cores[i]` participates when `park_state[i] == 0` (the cluster's
+/// kNotParked); parked cores are bulk-charged for the window. `rot0` is the
+/// cluster's rotation slot at entry (cycles % num_cores) — the window
+/// replays the per-cycle round-robin arbitration order from it.
+struct McWindowParams {
+  core::Core* const* cores = nullptr;
+  const u8* park_state = nullptr;
+  u32 num_cores = 0;
+  u64 budget = 0;
+  u32 rot0 = 0;
+};
+
+/// Interleaves cached-block execution across every runnable core under the
+/// bank-conflict-exact arbitration replay, until the first core stops
+/// (sync instruction ahead, peripheral access, budget, code-window write).
+/// Returns the cycles the *cluster* consumed (the earliest per-core local
+/// time at exit; later cores keep the difference as their stall residue).
+/// 0 = the window could not start (a runnable core's pc is not
+/// block-eligible) and nothing was charged. On a SimError every core —
+/// active or parked — is left exactly as per-cycle stepping would leave it
+/// at the fault cycle before the error propagates.
+u64 run_multicore_window(const McWindowParams& p);
 
 }  // namespace ulp::core

@@ -82,6 +82,18 @@ class DataBus {
   /// block-cached fast path sizes its per-instruction cycle budget with it.
   [[nodiscard]] virtual u32 worst_case_latency() const { return 1; }
 
+  /// Arbitration-only grant attempt for a plain-memory access: claims the
+  /// same per-cycle resource access() would (TCDM bank, L2 port) and counts
+  /// it in the same statistics, but performs no data movement — the caller
+  /// replays the data through the direct_map() span. The multi-core block
+  /// window uses this to keep bank-conflict timing exact while staying on
+  /// the host-pointer fast lane. Only meaningful for addresses where
+  /// plain_memory() is true; the default (uncontended bus) always grants.
+  [[nodiscard]] virtual bool try_grant_plain(Addr addr) {
+    (void)addr;
+    return true;
+  }
+
   /// The plain-memory spans a solo master may access directly (see
   /// DirectSpan). Default: none — every access takes the bus path.
   [[nodiscard]] virtual DirectMap direct_map() { return {}; }
@@ -117,6 +129,12 @@ class ClusterBus final : public DataBus {
   }
   [[nodiscard]] u32 worst_case_latency() const override {
     return l2_latency_ > 1 ? l2_latency_ : 1;
+  }
+  [[nodiscard]] bool try_grant_plain(Addr addr) override {
+    if (tcdm_->contains(addr, 1)) return tcdm_->try_grant(addr);
+    if (l2_port_busy_) return false;
+    l2_port_busy_ = true;
+    return true;
   }
   [[nodiscard]] DirectMap direct_map() override;
 

@@ -145,12 +145,14 @@ std::string check_dma_copies(const GenProgram& gp, const Observation& obs) {
 
 Observation run_on_cluster(const GenProgram& gp, bool reference_stepping,
                            u64 max_cycles, Coverage* cov,
-                           std::optional<bool> block_cache) {
+                           std::optional<bool> block_cache,
+                           std::optional<bool> multicore_windows) {
   cluster::ClusterParams params;
   params.num_cores = gp.num_cores;
   params.core_config = gp.config;
   params.reference_stepping = reference_stepping;
   params.block_cache = block_cache;
+  params.multicore_windows = multicore_windows;
   cluster::Cluster cluster(params);
 
   Observation obs;
@@ -190,8 +192,9 @@ DiffResult check_program(const GenProgram& gp, Coverage* cov,
     return result;
   };
 
-  // Three-way stepping matrix: the per-cycle oracle, plain fast-forward,
-  // and block-cached fast-forward must be indistinguishable.
+  // Stepping matrix: the per-cycle oracle, plain fast-forward, solo
+  // block-cached fast-forward and — for multi-core programs — block-cached
+  // fast-forward with multi-core windows must be indistinguishable.
   Observation ref;
   Observation ff;
   Observation bc;
@@ -208,7 +211,8 @@ DiffResult check_program(const GenProgram& gp, Coverage* cov,
   }
   try {
     bc = run_on_cluster(gp, /*reference_stepping=*/false, max_cycles,
-                        /*cov=*/nullptr, /*block_cache=*/true);
+                        /*cov=*/nullptr, /*block_cache=*/true,
+                        /*multicore_windows=*/false);
   } catch (const SimError& e) {
     return fail(std::string("cluster(bc): ") + e.what());
   }
@@ -216,6 +220,18 @@ DiffResult check_program(const GenProgram& gp, Coverage* cov,
   if (!d.empty()) return fail(std::move(d));
   d = diff_observations("ref-vs-bc", ref, bc);
   if (!d.empty()) return fail(std::move(d));
+  if (gp.num_cores > 1) {
+    Observation bm;
+    try {
+      bm = run_on_cluster(gp, /*reference_stepping=*/false, max_cycles,
+                          /*cov=*/nullptr, /*block_cache=*/true,
+                          /*multicore_windows=*/true);
+    } catch (const SimError& e) {
+      return fail(std::string("cluster(bc-mc): ") + e.what());
+    }
+    d = diff_observations("ref-vs-bc-mc", ref, bm);
+    if (!d.empty()) return fail(std::move(d));
+  }
 
   if (gp.num_cores == 1) {
     Golden golden;

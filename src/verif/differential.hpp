@@ -41,9 +41,12 @@ struct Observation {
 /// `cov`, when given, tallies every retired instruction on every core.
 /// `block_cache` pins the ISS basic-block cache on/off for this run
 /// (ignored under reference stepping); unset uses the process default.
+/// `multicore_windows` likewise pins multi-core block windows (meaningful
+/// only with the block cache on and gp.num_cores > 1).
 [[nodiscard]] Observation run_on_cluster(
     const GenProgram& gp, bool reference_stepping, u64 max_cycles = 5'000'000,
-    Coverage* cov = nullptr, std::optional<bool> block_cache = {});
+    Coverage* cov = nullptr, std::optional<bool> block_cache = {},
+    std::optional<bool> multicore_windows = {});
 
 struct DiffResult {
   bool pass = true;

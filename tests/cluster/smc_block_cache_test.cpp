@@ -2,8 +2,8 @@
 // window (core stores, DMA beats, host debug writes) must patch the decoded
 // program in place and invalidate the basic-block translation cache, and
 // every stepping mode — per-cycle reference, plain fast-forward, block-cached
-// fast-forward — must agree on the patched execution bit for bit, including
-// exact cycle counts.
+// fast-forward, and block-cached multi-core windows — must agree on the
+// patched execution bit for bit, including exact cycle counts.
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hpp"
@@ -211,6 +211,154 @@ TEST(SmcBlockCache, NoWindowMeansImmutableCode) {
   EXPECT_EQ(cl.bus().debug_load(kResults + 4, 4, false), 111u);
   EXPECT_EQ(cl.bus().debug_load(kWindow + 4 * target, 4, false),
             encoded_marker(222));
+}
+
+// ---- Concurrent writers vs multi-core block windows -------------------
+//
+// Four cores share the code window: three workers loop through a cached
+// marker instruction while a fourth (or the DMA engine) rewrites that very
+// instruction mid-run. The generation bump must stop any multi-core block
+// window in flight, flush every core's cache, and leave all four stepping
+// modes — per-cycle reference, plain fast-forward, solo block-cached, and
+// block-cached with multi-core windows — bit-identical in cycle counts and
+// every stored word.
+
+constexpr u32 kMcPasses = 24;
+constexpr u32 kMcWorkers = 3;
+
+enum class McMode { kReference, kFastForward, kBlockCached, kMcWindows };
+
+struct McOutcome {
+  u64 cycles = 0;
+  std::vector<u32> words;  ///< kMcWorkers * kMcPasses, worker-major.
+  u64 flushes = 0;         ///< Summed over cores (0 when cache off).
+  u64 cached_runs = 0;     ///< hits + chained, summed over cores.
+
+  bool operator==(const McOutcome& o) const {
+    return cycles == o.cycles && words == o.words;
+  }
+};
+
+McOutcome run_mc_mode(const isa::Program& program, McMode mode) {
+  ClusterParams params;
+  params.num_cores = 4;
+  params.code_window_base = kWindow;
+  params.reference_stepping = mode == McMode::kReference;
+  params.block_cache =
+      mode == McMode::kBlockCached || mode == McMode::kMcWindows;
+  params.multicore_windows = mode == McMode::kMcWindows;
+  Cluster cl(params);
+  cl.load_program(program);
+  McOutcome out;
+  out.cycles = cl.run(1'000'000);
+  for (u32 c = 0; c < kMcWorkers; ++c) {
+    for (u32 p = 0; p < kMcPasses; ++p) {
+      out.words.push_back(
+          cl.bus().debug_load(kResults + (c << 7) + 4 * p, 4, false));
+    }
+  }
+  for (u32 c = 0; c < 4; ++c) {
+    if (const auto* stats = cl.core(c).block_stats(); stats != nullptr) {
+      out.flushes += stats->flushes;
+      out.cached_runs += stats->hits + stats->chained;
+    }
+  }
+  return out;
+}
+
+/// Builds the worker side: cores 0..2 store the marker instruction's value
+/// once per pass into their own result strip; core 3 branches to `writer`.
+/// Returns the patch target (instruction index of the marker addi).
+u32 build_workers(Builder* bld, Builder::Label writer) {
+  bld->csr_coreid(1);
+  bld->li(2, 3);
+  bld->branch(Opcode::kBeq, 1, 2, writer);
+  bld->emit(Opcode::kSlli, 3, 1, 0, 7);  // result strip = kResults + id*128
+  bld->li(4, kResults);
+  bld->emit(Opcode::kAdd, 3, 3, 4, 0);
+  bld->li(6, kMcPasses);
+  u32 target = 0;
+  bld->loop(6, 10, [&] {
+    target = bld->here();
+    bld->emit(Opcode::kAddi, 5, 0, 0, 111);  // the patch target
+    bld->emit(Opcode::kSw, 5, 3, 0, 0);
+    bld->emit(Opcode::kAddi, 3, 3, 0, 4);
+  });
+  bld->halt();
+  return target;
+}
+
+void check_four_way(const isa::Program& program) {
+  const McOutcome ref = run_mc_mode(program, McMode::kReference);
+  const McOutcome ff = run_mc_mode(program, McMode::kFastForward);
+  const McOutcome bc = run_mc_mode(program, McMode::kBlockCached);
+  const McOutcome mc = run_mc_mode(program, McMode::kMcWindows);
+  EXPECT_EQ(ref.cycles, ff.cycles);
+  EXPECT_EQ(ref.cycles, bc.cycles);
+  EXPECT_EQ(ref.cycles, mc.cycles);
+  EXPECT_TRUE(ref == ff) << "fast-forward diverged";
+  EXPECT_TRUE(ref == bc) << "solo block cache diverged";
+  EXPECT_TRUE(ref == mc) << "multi-core windows diverged";
+  // The patch must land mid-run: every worker sees the original marker on
+  // its first pass and the patched one on its last.
+  for (u32 c = 0; c < kMcWorkers; ++c) {
+    EXPECT_EQ(ref.words[c * kMcPasses], 111u) << "worker " << c;
+    EXPECT_EQ(ref.words[c * kMcPasses + kMcPasses - 1], 222u)
+        << "worker " << c;
+  }
+  // And the multi-core leg must actually have exercised the machinery:
+  // cached execution happened, and the generation bump flushed it.
+  EXPECT_GT(mc.cached_runs, 0u);
+  EXPECT_GE(mc.flushes, 1u);
+}
+
+// A core storing into a *sibling's* (shared) code window mid-multi-core
+// window: the generation bump must end the window on the spot, with the
+// partial window's accounting bit-identical to per-cycle stepping.
+TEST(SmcBlockCache, SiblingStorePatchesCodeMidMcWindow) {
+  Builder bld(core::or10n_config().features);
+  const auto writer = bld.make_label();
+  const u32 target = build_workers(&bld, writer);
+
+  bld.bind(writer);  // core 3: let the workers get going, then patch
+  bld.li(4, 30);
+  bld.loop(4, 10, [&] { bld.nop(); });
+  bld.li(3, encoded_marker(222));
+  bld.li(2, kWindow + 4 * target);
+  bld.emit(Opcode::kSw, 3, 2, 0, 0);
+  bld.halt();
+
+  check_four_way(bld.finalize());
+}
+
+// The DMA engine writing a worker's code mid-run: transfers overlapping
+// the code window patch beat by beat through the bus watcher, and every
+// beat's generation bump must keep cached execution off the stale code.
+TEST(SmcBlockCache, DmaPatchesCodeMidMcWindow) {
+  Builder bld(core::or10n_config().features);
+  const auto writer = bld.make_label();
+  const u32 target = build_workers(&bld, writer);
+
+  bld.bind(writer);  // core 3: delay, then DMA the staged patch in
+  bld.li(4, 30);
+  bld.loop(4, 10, [&] { bld.nop(); });
+  bld.li(9, kStaging);
+  bld.li(10, kWindow + 4 * target);
+  bld.li(11, 4);
+  bld.dma_start(8, 9, 10, 11);
+  bld.dma_wait(8, 12);
+  bld.halt();
+
+  isa::Program program = bld.finalize();
+  const u32 word = encoded_marker(222);
+  isa::Segment staged;
+  staged.addr = kStaging;
+  for (int i = 0; i < 4; ++i) {
+    staged.bytes.push_back(static_cast<u8>(word >> (8 * i)));
+  }
+  program.data.push_back(staged);
+
+  check_four_way(program);
 }
 
 }  // namespace
