@@ -10,6 +10,17 @@
 // Build & run:  ./build/examples/full_system [kernel] [--trace out.json]
 //               [--profile] [--profile-out prof.json] [--trace-limit N]
 //               [--metrics-json m.json] [--faults=<spec>] [--clusters N]
+//               [--snapshot-out state.ulps] [--restore state.ulps]
+//
+// --snapshot-out saves the complete simulator state (both processors, all
+// memories, the wire mid-frame, fault-injector RNG, clock-ratio phase)
+// after the offload finishes; --restore loads such a file into the
+// freshly built system before the offload runs. The restored system is
+// bit-identical to the one that was saved — a run after --restore
+// produces exactly the output a continuous run would have. Geometry must
+// match (--clusters, --faults imply wire/injector layout); a mismatched
+// or corrupted file is rejected with a typed error and the system is left
+// untouched.
 //
 // --clusters N co-simulates an N-cluster node: the host driver ships one
 // kernel instance (input shard) per cluster over the shared QSPI wire,
@@ -39,6 +50,7 @@
 #include <fstream>
 
 #include "common/cli.hpp"
+#include "snapshot/snapshot.hpp"
 #include "common/rng.hpp"
 #include "host/mcu.hpp"
 #include "profile/energy_timeline.hpp"
@@ -56,6 +68,8 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::string profile_out;
   std::string metrics_path;
+  std::string snapshot_out;
+  std::string restore_path;
   size_t trace_limit = 0;
   u32 num_clusters = 1;
   bool robust = false;
@@ -63,6 +77,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
+      snapshot_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--restore") == 0 && i + 1 < argc) {
+      restore_path = argv[++i];
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
     } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
@@ -149,6 +167,23 @@ int main(int argc, char** argv) {
     host_prof.attach(sys.host_core());
   }
 
+  if (!restore_path.empty()) {
+    std::vector<u8> image;
+    Status s = snapshot::read_file(restore_path, &image);
+    snapshot::Reader reader;
+    if (s.ok()) s = reader.open(image);
+    if (s.ok()) s = sys.restore(reader);
+    if (!s.ok()) {
+      std::fprintf(stderr, "snapshot restore failed (%s): %s\n",
+                   status_code_name(s.code()), s.message().c_str());
+      return 2;
+    }
+    std::printf("restored %s: host at cycle %llu, %u cluster(s)\n",
+                restore_path.c_str(),
+                static_cast<unsigned long long>(sys.stats().host_cycles),
+                sys.num_clusters());
+  }
+
   u64 host_cycles = 0;
   bool ok = false;
   unsigned driver_instrs = 0;
@@ -227,6 +262,25 @@ int main(int argc, char** argv) {
   std::printf("result:        %s\n",
               ok ? "bit-exact match with the golden reference"
                  : "MISMATCH");
+
+  if (!snapshot_out.empty()) {
+    snapshot::Writer writer;
+    const Status s = sys.save(writer);
+    if (!s.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   s.message().c_str());
+      return 2;
+    }
+    const std::vector<u8> image = writer.finish();
+    const Status ws = snapshot::write_file(snapshot_out, image);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "cannot write snapshot file: %s\n",
+                   ws.message().c_str());
+      return 2;
+    }
+    std::printf("snapshot:      %zu bytes -> %s\n", image.size(),
+                snapshot_out.c_str());
+  }
 
   if (!profile_out.empty()) {
     cluster_prof.capture();

@@ -55,6 +55,9 @@ void print_usage(std::FILE* out) {
       "\n"
       "execution:\n"
       "  --workers N           worker threads (default: 1; 0 = inline)\n"
+      "  --warm-start B        0|1: reuse cached accelerator boot snapshots\n"
+      "                        across jobs (wall-clock only; results are\n"
+      "                        byte-identical to cold boots)\n"
       "  --quiet               no stderr progress feed\n"
       "\n"
       "output:\n"
@@ -132,6 +135,8 @@ int main(int argc, char** argv) {
         override_key("iterations");
       } else if (std::strcmp(arg, "--double-buffered") == 0) {
         overrides += "double_buffered = 1\n";
+      } else if (std::strcmp(arg, "--warm-start") == 0) {
+        override_key("warm_start");
       } else if (std::strcmp(arg, "--reference-stepping") == 0) {
         const std::string v = need_value(argc, argv, &i);
         config::set_reference_stepping_default(v == "1" || v == "true");

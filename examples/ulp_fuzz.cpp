@@ -22,6 +22,11 @@
 //                                    paths outside the differential matrix)
 //   ulp_fuzz --mc-windows 0|1        likewise for multi-core block windows
 //                                    (same latch as ULP_MC_WINDOWS)
+//   ulp_fuzz --snapshot-every K      run the snapshot differential column
+//                                    (mid-run save/restore into a fresh
+//                                    cluster, stitched run must be
+//                                    bit-identical) on every Kth program;
+//                                    1 = every program (default), 0 = off
 //
 // Exit codes: 0 = clean, 1 = differential failures (or coverage gap with
 // --coverage), 2 = usage / setup error.
@@ -45,7 +50,7 @@ int usage() {
                "                [--items K] [--no-dma] [--coverage]\n"
                "                [--shrink-out DIR] [--emit-corpus DIR N]\n"
                "                [--replay FILE.repro] [--block-cache 0|1]\n"
-               "                [--mc-windows 0|1]\n";
+               "                [--mc-windows 0|1] [--snapshot-every K]\n";
   return 2;
 }
 
@@ -144,6 +149,8 @@ int main(int argc, char** argv) {
       config::set_block_cache_default(std::strcmp(value(), "0") != 0);
     } else if (arg == "--mc-windows") {
       config::set_multicore_windows_default(std::strcmp(value(), "0") != 0);
+    } else if (arg == "--snapshot-every") {
+      number_u32(&params.snapshot_every);
     } else {
       return usage();
     }

@@ -30,6 +30,9 @@ FOUND=0
 # The differential check pins both block modes internally; the process-wide
 # --block-cache latch additionally flips every other simulation the replay
 # leg touches (shrink oracles, stress reruns), so exercise both settings.
+# Replay also runs the snapshot column on every entry: each cluster-backed
+# mode is re-run through a seed-derived mid-run save/restore into a fresh
+# cluster and diffed bit-for-bit against the continuous run.
 for BC in 1 0; do
   for repro in "$CORPUS"/*.repro; do
     [ -e "$repro" ] || break
@@ -46,8 +49,13 @@ echo ""
 echo "== seeded differential campaign (coverage-gated) =="
 # ~60s of fuzzing on a development machine: the differential harness runs
 # each program four ways (golden, reference, fast-forward, block-cached),
-# so the program count is the budget knob.
-"$BIN" --programs 100000 --stress 20000 --items 64 --seed "$SEED" --coverage
+# so the program count is the budget knob. The snapshot column costs about
+# 16 ms per program (it re-runs every cluster mode through a mid-run
+# save/restore), so at this scale it runs on every 32nd program — still
+# thousands of randomized round trips per smoke run; unit campaigns and
+# the corpus replay above keep it on for every program.
+"$BIN" --programs 100000 --stress 20000 --items 64 --seed "$SEED" \
+  --snapshot-every 32 --coverage
 echo "-- OK: campaign clean, all implemented opcodes exercised"
 
 ASAN_BIN=build-asan/examples/ulp_fuzz

@@ -1,0 +1,106 @@
+#!/usr/bin/env sh
+# Snapshot/restore smoke run: exercises the full save/restore surface end
+# to end in under a minute.
+#
+#   scripts/snapshot_smoke.sh [build-dir]
+#
+# Legs:
+#   1. full_system round trip — save mid-run state with --snapshot-out,
+#      restore it with --restore, and demand the restored continuation
+#      prints the same result block as the continuous run.
+#   2. corpus replay — every committed .repro runs through the
+#      differential snapshot column (each cluster stepping mode re-run
+#      through a seed-derived mid-run save/restore, diffed bit-for-bit).
+#   3. seeded snapshot fuzz batch — fresh randomized programs, snapshot
+#      column on every program.
+#   4. warm-start campaign — the same campaign cold and warm; the
+#      deterministic JSON aggregates must be byte-identical (warm start
+#      is a wall-clock optimisation only).
+#   5. optional ASan leg — when build-asan/ exists (configure with
+#      cmake -B build-asan -S . -DCMAKE_CXX_FLAGS="-fsanitize=address"),
+#      the fuzz batch repeats under ASan to catch memory errors in the
+#      serializer that bit-identity checks cannot see.
+set -eu
+
+DIR=${1:-build}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for bin in "$DIR/examples/full_system" "$DIR/examples/ulp_fuzz" \
+           "$DIR/examples/ulp_campaign"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable (build first?)" >&2
+    exit 1
+  fi
+done
+
+echo "== full_system save/restore round trip =="
+# The continuous run both produces the reference output and writes the
+# snapshot; the restored run must reproduce the result block exactly.
+"$DIR/examples/full_system" matmul --snapshot-out "$TMP/state.ulps" \
+  > "$TMP/cold.txt"
+"$DIR/examples/full_system" matmul --restore "$TMP/state.ulps" \
+  > "$TMP/warm.txt"
+grep "result:" "$TMP/cold.txt" > "$TMP/cold_result.txt"
+grep "result:" "$TMP/warm.txt" > "$TMP/warm_result.txt"
+cmp "$TMP/cold_result.txt" "$TMP/warm_result.txt" || {
+  echo "FAILED: restored full_system run diverged from continuous run" >&2
+  exit 1
+}
+# A wrong-geometry restore must be rejected cleanly (all-or-nothing).
+if "$DIR/examples/full_system" matmul --clusters 2 \
+     --restore "$TMP/state.ulps" > /dev/null 2>&1; then
+  echo "FAILED: wrong-geometry snapshot was accepted" >&2
+  exit 1
+fi
+echo "-- OK: round trip bit-exact, wrong geometry rejected"
+
+echo ""
+echo "== corpus replay through the snapshot column =="
+CORPUS=$(dirname "$0")/../tests/verif/corpus
+FOUND=0
+for repro in "$CORPUS"/*.repro; do
+  [ -e "$repro" ] || break
+  FOUND=1
+  "$DIR/examples/ulp_fuzz" --replay "$repro" > /dev/null || {
+    echo "FAILED: snapshot column diverged on corpus entry: $repro" >&2
+    exit 1
+  }
+done
+[ "$FOUND" = 1 ] && echo "-- OK: every corpus entry round-trips bit-exactly"
+
+echo ""
+echo "== seeded snapshot fuzz batch (column on every program) =="
+"$DIR/examples/ulp_fuzz" --programs 400 --stress 80 --items 64 \
+  --seed 0x5EED5AFE --snapshot-every 1
+echo "-- OK: randomized snapshot round trips clean"
+
+echo ""
+echo "== warm-start campaign byte-identity =="
+# Same campaign, cold then warm, multi-worker; the deterministic JSON
+# aggregate must not change by a single byte.
+CAMPAIGN_ARGS="--quiet --workers 4 --kernels matmul,cnn --cores 1,4 \
+  --vdd 0.5,0.8 --repeats 2"
+"$DIR/examples/ulp_campaign" $CAMPAIGN_ARGS --warm-start 0 \
+  --json "$TMP/campaign_cold.json" > /dev/null
+"$DIR/examples/ulp_campaign" $CAMPAIGN_ARGS --warm-start 1 \
+  --json "$TMP/campaign_warm.json" > /dev/null
+cmp "$TMP/campaign_cold.json" "$TMP/campaign_warm.json" || {
+  echo "FAILED: warm-start campaign aggregate differs from cold start" >&2
+  exit 1
+}
+echo "-- OK: warm-start aggregates byte-identical to cold start"
+
+ASAN_BIN=build-asan/examples/ulp_fuzz
+if [ -x "$ASAN_BIN" ]; then
+  echo ""
+  echo "== ASan snapshot batch =="
+  "$ASAN_BIN" --programs 60 --stress 12 --seed 0x5EED5AFE --snapshot-every 1
+  echo "-- OK: ASan snapshot batch clean"
+else
+  echo ""
+  echo "(skipping ASan batch: $ASAN_BIN not built)"
+fi
+
+echo ""
+echo "snapshot smoke: all checks passed"

@@ -15,12 +15,19 @@ SRC=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 cmake -B "$DIR" -S "$SRC" -DULP_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$DIR" --target test_batch ulp_campaign -j >/dev/null
+cmake --build "$DIR" --target test_batch test_snapshot ulp_campaign -j \
+  >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 abort_on_error=1"
 
 echo "== test_batch under TSan =="
 "$DIR/tests/test_batch" --gtest_brief=1
+
+echo "== test_snapshot under TSan =="
+# Covers the differential snapshot fuzzer (save/restore on clusters with
+# threaded block dispatch) and the warm-start boot-snapshot cache, whose
+# process-wide mutex-guarded map is shared by every worker.
+"$DIR/tests/test_snapshot" --gtest_brief=1
 
 echo "== multi-worker campaign under TSan (block-cached) =="
 # Explicitly block-cached: every worker runs its jobs through the per-core
@@ -42,6 +49,13 @@ echo "== multi-worker campaign under TSan (cache disabled control) =="
 "$DIR/examples/ulp_campaign" --quiet --workers 4 --block-cache 0 \
   --kernels matmul,cnn --cores 1,4 --vdd 0.5,0.8 \
   --faults "none;seed=7,flip=1e-4" --repeats 2
+
+echo "== warm-start campaign under TSan =="
+# All four workers race to populate and then hit the shared boot-snapshot
+# cache (same kernel images, same geometries) — the cache lookup, insert
+# and eviction paths all run concurrently here.
+"$DIR/examples/ulp_campaign" --quiet --workers 4 --warm-start 1 \
+  --kernels matmul,cnn --cores 1,4 --vdd 0.5,0.8 --repeats 2
 
 echo "== multi-cluster campaign under TSan =="
 # Scale-out cells: each worker simulates several clusters sharing one wire

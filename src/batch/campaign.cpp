@@ -125,6 +125,7 @@ std::vector<JobSpec> expand(const CampaignSpec& spec) {
                   j.double_buffered = spec.double_buffered;
                   j.reference_stepping = spec.reference_stepping;
                   j.collect_profile = spec.collect_profile;
+                  j.warm_start = spec.warm_start;
                   jobs.push_back(std::move(j));
                   ++index;
                 }
@@ -248,6 +249,8 @@ Status parse_campaign_text(std::string_view text, CampaignSpec* out) {
       spec.collect_profile = value == "1" || value == "true";
     } else if (key == "reference_stepping") {
       spec.reference_stepping = value == "1" || value == "true";
+    } else if (key == "warm_start") {
+      spec.warm_start = value == "1" || value == "true";
     } else {
       s = Status::Error(StatusCode::kInvalidArgument,
                         "unknown campaign key '" + key + "'");

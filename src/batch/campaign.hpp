@@ -69,6 +69,11 @@ struct CampaignSpec {
   /// stall buckets, call frames). Deterministic like every other result
   /// field: the aggregated profile is byte-identical across worker counts.
   bool collect_profile = false;
+  /// Warm-start the accelerator boot from the process-wide post-boot
+  /// snapshot cache (analytic engine only; see
+  /// OffloadSession::set_warm_start). Byte-identical results by
+  /// construction, so neither a result axis nor echoed in aggregates.
+  bool warm_start = false;
 
   [[nodiscard]] u64 job_count() const {
     return static_cast<u64>(kernels.size()) * num_cores.size() *
@@ -95,6 +100,7 @@ struct JobSpec {
   bool double_buffered = false;
   std::optional<bool> reference_stepping;
   bool collect_profile = false;
+  bool warm_start = false;
 
   /// Compact human-readable identity, e.g.
   /// "matmul/cores4/mcu16/vdd0.50/clean/r0". Scale-out cells extend it:

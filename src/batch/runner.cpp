@@ -74,6 +74,7 @@ JobResult run_analytic(const JobSpec& spec, const kernels::KernelInfo& info,
   runtime::OffloadSession session(mcu, mhz(spec.mcu_mhz),
                                   link::SpiLink(lcfg));
   session.set_reference_stepping(spec.reference_stepping);
+  session.set_warm_start(spec.warm_start);
 
   profile::ClusterProfiler profiler;
   if (spec.collect_profile) session.attach_profile(&profiler);

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include <cstring>
+
 #include "common/config.hpp"
 #include "common/status.hpp"
 #include "isa/encoding.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/metrics.hpp"
 
 namespace ulp::cluster {
@@ -521,6 +524,238 @@ ClusterStats Cluster::stats() const {
   s.icache_misses = icache_->misses();
   s.block_cache = block_cache_totals();
   return s;
+}
+
+Status Cluster::save(snapshot::Writer& w) const {
+  namespace sec = snapshot::section;
+  w.begin_section(sec::kClusterMeta);
+  w.put_u32(params_.num_cores);
+  w.put_u32(params_.tcdm_banks);
+  w.put_u32(params_.tcdm_bank_bytes);
+  w.put_u32(params_.l2_bytes);
+  w.put_u32(params_.icache_line_instrs);
+  w.put_u32(params_.icache_miss_penalty);
+  w.put_u32(params_.code_window_base);
+  w.end_section();
+
+  // The program is serialized post-SMC-patches (on_code_write re-decodes
+  // into program_ in place), so it is consistent with the memory images —
+  // restore never has to replay the code mirror.
+  w.begin_section(sec::kClusterProgram);
+  w.put_blob(isa::serialize(program_));
+  w.end_section();
+
+  w.begin_section(sec::kClusterState);
+  w.put_u64(cycles_);
+  w.put_u64(code_generation_);
+  w.put_u32(halted_count_);
+  w.put_bytes(parked_);
+  w.end_section();
+
+  w.begin_section(sec::kClusterTcdm);
+  w.put_blob(tcdm_->bytes());
+  w.put_u64(tcdm_->total_accesses());
+  w.put_u64(tcdm_->total_conflicts());
+  w.end_section();
+
+  w.begin_section(sec::kClusterL2);
+  w.put_blob(l2_->bytes());
+  w.end_section();
+
+  w.begin_section(sec::kClusterIcache);
+  w.put_u64(icache_->misses());
+  w.put_u64(icache_->hits());
+  const std::vector<bool>& lines = icache_->lines_present();
+  w.put_u64(lines.size());
+  for (const bool present : lines) w.put_bool(present);
+  w.end_section();
+
+  w.begin_section(sec::kClusterEvents);
+  if (Status s = events_->save(w); !s.ok()) return s;
+  w.end_section();
+
+  w.begin_section(sec::kClusterDma);
+  if (Status s = dma_->save(w); !s.ok()) return s;
+  w.end_section();
+
+  for (u32 i = 0; i < params_.num_cores; ++i) {
+    w.begin_section(sec::kClusterCoreBase + i);
+    if (Status s = cores_[i]->save(w); !s.ok()) return s;
+    w.end_section();
+  }
+  return Status{};
+}
+
+Status Cluster::restore(snapshot::Reader& r) {
+  if (Status s = restore_pass(r, /*apply=*/false); !s.ok()) return s;
+  return restore_pass(r, /*apply=*/true);
+}
+
+Status Cluster::restore_pass(snapshot::Reader& r, bool apply) {
+  namespace sec = snapshot::section;
+
+  if (Status s = r.enter(sec::kClusterMeta); !s.ok()) return s;
+  const u32 num_cores = r.get_u32();
+  const u32 tcdm_banks = r.get_u32();
+  const u32 tcdm_bank_bytes = r.get_u32();
+  const u32 l2_bytes = r.get_u32();
+  const u32 icache_line = r.get_u32();
+  const u32 icache_penalty = r.get_u32();
+  const Addr code_window_base = r.get_u32();
+  if (r.status().ok() &&
+      (num_cores != params_.num_cores || tcdm_banks != params_.tcdm_banks ||
+       tcdm_bank_bytes != params_.tcdm_bank_bytes ||
+       l2_bytes != params_.l2_bytes ||
+       icache_line != params_.icache_line_instrs ||
+       icache_penalty != params_.icache_miss_penalty ||
+       code_window_base != params_.code_window_base)) {
+    return Status::Error(
+        StatusCode::kInvalidArgument,
+        "snapshot cluster geometry mismatch (snapshot has " +
+            std::to_string(num_cores) + " cores, " +
+            std::to_string(tcdm_banks) + "x" +
+            std::to_string(tcdm_bank_bytes) + " TCDM, " +
+            std::to_string(l2_bytes) + " L2; target has " +
+            std::to_string(params_.num_cores) + " cores)");
+  }
+
+  if (Status s = r.enter(sec::kClusterProgram); !s.ok()) return s;
+  const std::vector<u8> image = r.get_blob();
+  isa::Program prog;
+  if (r.status().ok()) {
+    try {
+      prog = isa::deserialize(image);
+    } catch (const std::exception& e) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           std::string("snapshot program invalid: ") +
+                               e.what());
+    }
+  }
+  const size_t code_words = prog.code.size();
+  if (apply) {
+    // Quiet the code-window watcher while state is replaced wholesale; it
+    // is re-armed below. The memory images already hold the code mirror
+    // (including any SMC patches), so it is not rewritten here.
+    bus_->set_write_watch(0, 0, {});
+    dma_->set_code_watch(0, 0);
+    program_ = std::move(prog);
+  }
+
+  if (Status s = r.enter(sec::kClusterState); !s.ok()) return s;
+  const u64 cycles = r.get_u64();
+  const u64 code_generation = r.get_u64();
+  const u32 halted_count = r.get_u32();
+  std::vector<u8> parked(params_.num_cores);
+  r.get_bytes(parked);
+  if (r.status().ok()) {
+    u32 halted_in_park = 0;
+    bool park_ok = true;
+    for (const u8 p : parked) {
+      if (p > kParkedHalt) park_ok = false;
+      if (p == kParkedHalt) ++halted_in_park;
+    }
+    if (!park_ok || halted_in_park != halted_count) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "snapshot park state malformed");
+    }
+  }
+  if (apply) {
+    cycles_ = cycles;
+    // Set before the cores reset below: reset() syncs each block cache's
+    // generation from this counter, so rebuilt caches start coherent with
+    // the restored code image.
+    code_generation_ = code_generation;
+    halted_count_ = halted_count;
+    parked_ = std::move(parked);
+    // Derived scheduler state: the arbiter rank is a pure function of the
+    // cycle count; the multi-core-window backoff is a perf heuristic with
+    // no observable effect, so it simply restarts.
+    rr_first_ = static_cast<u32>(cycles_ % params_.num_cores);
+    mc_stand_down_until_ = 0;
+  }
+
+  if (Status s = r.enter(sec::kClusterTcdm); !s.ok()) return s;
+  const std::vector<u8> tcdm_image = r.get_blob();
+  const u64 tcdm_accesses = r.get_u64();
+  const u64 tcdm_conflicts = r.get_u64();
+  if (r.status().ok() && tcdm_image.size() != tcdm_->size()) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "snapshot TCDM image size mismatch");
+  }
+  if (apply) {
+    std::memcpy(tcdm_->bytes().data(), tcdm_image.data(), tcdm_image.size());
+    tcdm_->reset_stats();
+    tcdm_->charge_uncontended(tcdm_accesses, tcdm_conflicts);
+  }
+
+  if (Status s = r.enter(sec::kClusterL2); !s.ok()) return s;
+  const std::vector<u8> l2_image = r.get_blob();
+  if (r.status().ok() && l2_image.size() != l2_->bytes().size()) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "snapshot L2 image size mismatch");
+  }
+  if (apply) {
+    std::memcpy(l2_->bytes().data(), l2_image.data(), l2_image.size());
+  }
+
+  if (Status s = r.enter(sec::kClusterIcache); !s.ok()) return s;
+  const u64 icache_misses = r.get_u64();
+  const u64 icache_hits = r.get_u64();
+  const u64 num_lines = r.get_u64();
+  // A never-loaded cluster (pre-boot snapshot) has an unsized bitmap;
+  // anything else must match the snapshot program's line count exactly
+  // (fetch() indexes the bitmap, so a short one would trip ULP_CHECKs).
+  if (r.status().ok() &&
+      num_lines != code_words / params_.icache_line_instrs + 1 &&
+      !(num_lines == 0 && code_words == 0)) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "snapshot icache bitmap size mismatch");
+  }
+  std::vector<bool> lines(static_cast<size_t>(num_lines), false);
+  for (u64 i = 0; i < num_lines && r.status().ok(); ++i) {
+    lines[static_cast<size_t>(i)] = r.get_bool();
+  }
+  if (apply) {
+    icache_->restore_state(std::move(lines), icache_misses, icache_hits);
+  }
+
+  if (Status s = r.enter(sec::kClusterEvents); !s.ok()) return s;
+  if (Status s = events_->restore(r, apply); !s.ok()) return s;
+
+  if (Status s = r.enter(sec::kClusterDma); !s.ok()) return s;
+  if (Status s = dma_->restore(r, apply); !s.ok()) return s;
+
+  for (u32 i = 0; i < params_.num_cores; ++i) {
+    if (Status s = r.enter(sec::kClusterCoreBase + i); !s.ok()) return s;
+    // Reset rebuilds the derived state (code pointers, block cache synced
+    // to the restored generation, cleared profile); the core's restore
+    // then overwrites the architectural fields.
+    if (apply) cores_[i]->reset(&program_);
+    if (Status s = cores_[i]->restore(r, apply); !s.ok()) return s;
+  }
+
+  if (apply) {
+    if (params_.code_window_base != 0 && !program_.code.empty()) {
+      const u32 window_bytes = static_cast<u32>(program_.code.size()) * 4;
+      bus_->set_write_watch(params_.code_window_base, window_bytes,
+                            [this](Addr a, int s) { on_code_write(a, s); });
+      dma_->set_code_watch(params_.code_window_base, window_bytes);
+    }
+    if (sinks_) {
+      // Same trace restart as load_program: cycle stamps jump with the
+      // restored clock, so open spans close at their last honest tick.
+      if (sinks_.events != nullptr) {
+        for (trace::EventTrace::TrackId t : core_tracks_) {
+          sinks_.events->close_open_spans(t);
+        }
+      }
+      traced_state_.assign(params_.num_cores, 255);
+      span_open_.assign(params_.num_cores, false);
+      traced_barriers_ = events_->barriers_completed();
+      traced_conflicts_ = tcdm_->total_conflicts();
+    }
+  }
+  return r.status();
 }
 
 }  // namespace ulp::cluster

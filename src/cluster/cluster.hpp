@@ -204,6 +204,28 @@ class Cluster {
   /// The profiler renders annotated disassembly against this image.
   [[nodiscard]] const isa::Program& program() const { return program_; }
 
+  /// Serializes the complete architectural + timing state — program,
+  /// memories, I$/event/DMA state, every core — as a section sequence
+  /// (see snapshot::section). Derived state is excluded by design: the
+  /// block cache is rebuilt on demand after restore (and provably changes
+  /// nothing), the rotating-arbiter rank is recomputed from the cycle
+  /// count, and the SMC write watches are re-armed from the geometry.
+  [[nodiscard]] Status save(snapshot::Writer& w) const;
+
+  /// All-or-nothing restore of a save() image into this cluster. The
+  /// snapshot is fully validated first (header sections, geometry,
+  /// program decode, every field) with zero mutation; only a snapshot
+  /// that passes is applied. The stepping/block-cache mode of *this*
+  /// cluster is kept — restoring a reference-mode snapshot into a
+  /// fast-forward cluster (or any other combination) is bit-identical.
+  [[nodiscard]] Status restore(snapshot::Reader& r);
+
+  /// One phase of restore(): apply=false validates and consumes the field
+  /// sequence without mutating anything, apply=true applies it. Exposed
+  /// so a composite owner (HeteroSystem) can fold this cluster's
+  /// validate pass into its own all-or-nothing boundary.
+  [[nodiscard]] Status restore_pass(snapshot::Reader& r, bool apply);
+
  private:
   /// Scheduler view of a core between step() calls.
   enum ParkState : u8 {

@@ -13,6 +13,7 @@
 
 #include "common/status.hpp"
 #include "core/core.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace ulp::cluster {
 
@@ -85,6 +86,50 @@ class EventUnit final : public core::SyncUnit {
   }
   [[nodiscard]] bool dma_outstanding() const override {
     return dma_probe_ && dma_probe_();
+  }
+
+  /// Serializes the barrier/event/EOC state into the writer's current
+  /// section. The DMA probe is wiring, not state, and is untouched.
+  [[nodiscard]] Status save(snapshot::Writer& w) const {
+    w.put_u32(arrival_count_);
+    for (u32 i = 0; i < num_cores_; ++i) {
+      w.put_u8(arrived_[i]);
+      w.put_u8(barrier_release_[i]);
+      w.put_u8(event_pending_[i]);
+    }
+    w.put_bool(eoc_);
+    w.put_u32(eoc_flag_);
+    w.put_u64(barriers_completed_);
+    return Status{};
+  }
+
+  /// Reads (and with apply=true applies) the field sequence save() wrote.
+  [[nodiscard]] Status restore(snapshot::Reader& r, bool apply) {
+    const u32 arrival_count = r.get_u32();
+    if (arrival_count >= num_cores_) {
+      r.fail(StatusCode::kInvalidArgument,
+             "snapshot barrier arrival count out of range");
+    }
+    std::vector<u8> arrived(num_cores_), release(num_cores_),
+        pending(num_cores_);
+    for (u32 i = 0; i < num_cores_; ++i) {
+      arrived[i] = r.get_u8();
+      release[i] = r.get_u8();
+      pending[i] = r.get_u8();
+    }
+    const bool eoc = r.get_bool();
+    const u32 eoc_flag = r.get_u32();
+    const u64 barriers = r.get_u64();
+    if (Status s = r.status(); !s.ok()) return s;
+    if (!apply) return Status{};
+    arrival_count_ = arrival_count;
+    arrived_ = std::move(arrived);
+    barrier_release_ = std::move(release);
+    event_pending_ = std::move(pending);
+    eoc_ = eoc;
+    eoc_flag_ = eoc_flag;
+    barriers_completed_ = barriers;
+    return Status{};
   }
 
  private:

@@ -161,4 +161,38 @@ inline void set_inject_hwloop_bug(bool inject) {
   detail::hwloop_bug_state().store(inject ? 1 : 0, std::memory_order_release);
 }
 
+namespace detail {
+inline std::atomic<int>& snapshot_bug_state() {
+  static std::atomic<int> state{-1};
+  return state;
+}
+}  // namespace detail
+
+/// Verification self-test fault for the snapshot layer: when set, Core
+/// restore deliberately drops one hardware-loop field (a simulated
+/// "forgot to serialize it" bug). The differential snapshot fuzzer must
+/// detect and shrink the resulting divergence between the continuous and
+/// the save/restore run. Captured once from ULP_INJECT_SNAPSHOT_BUG.
+/// Never set this outside the fuzzer's self-tests.
+[[nodiscard]] inline bool inject_snapshot_bug() {
+  auto& state = detail::snapshot_bug_state();
+  int v = state.load(std::memory_order_acquire);
+  if (v < 0) {
+    int captured = env_flag("ULP_INJECT_SNAPSHOT_BUG") ? 1 : 0;
+    if (!state.compare_exchange_strong(v, captured,
+                                       std::memory_order_acq_rel)) {
+      return v == 1;
+    }
+    return captured == 1;
+  }
+  return v == 1;
+}
+
+/// Test hook: toggles the injected snapshot-restore fault. Restores
+/// performed afterwards observe the new value; restore to false when done.
+inline void set_inject_snapshot_bug(bool inject) {
+  detail::snapshot_bug_state().store(inject ? 1 : 0,
+                                     std::memory_order_release);
+}
+
 }  // namespace ulp::config

@@ -111,6 +111,13 @@ class ClockRatio {
   [[nodiscard]] u64 denominator() const { return den_; }
   [[nodiscard]] u64 accumulator() const { return acc_; }
 
+  /// Restore a saved accumulator. The acc < den invariant is enforced —
+  /// snapshot restore validates before calling this.
+  void set_accumulator(u64 acc) {
+    ULP_CHECK(acc < den_, "clock ratio accumulator out of range");
+    acc_ = acc;
+  }
+
  private:
   ClockRatio(u64 num, u64 den, int /*tag*/) : num_(num), den_(den) {
     const u64 g = std::gcd(num_, den_);

@@ -38,6 +38,11 @@ class Rng {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
   }
 
+  // Raw generator state, for exact snapshot/restore of components that
+  // own an Rng mid-stream (e.g. the link fault injector).
+  [[nodiscard]] constexpr u64 state() const { return state_; }
+  constexpr void set_state(u64 state) { state_ = state == 0 ? 1 : state; }
+
  private:
   u64 state_;
 };

@@ -21,6 +21,11 @@
 #include "mem/icache.hpp"
 #include "profile/pc_profile.hpp"
 
+namespace ulp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ulp::snapshot
+
 namespace ulp::core {
 
 /// What a sleeping core is waiting for. Barrier releases and software/DMA
@@ -164,6 +169,20 @@ class Core {
   /// currently loaded program.
   void set_profile(profile::PcProfile* prof) { prof_ = prof; }
   [[nodiscard]] profile::PcProfile* profile() const { return prof_; }
+
+  /// Serializes all architectural + timing state (registers, pc, hardware
+  /// loops, sleep/halt/busy state, the in-flight memory op, perf counters
+  /// and — when a profile is attached — its capture state) as a flat field
+  /// sequence into the writer's current section. Derived state (program
+  /// pointers, block cache) is not written; it is rebuilt on restore.
+  [[nodiscard]] Status save(snapshot::Writer& w) const;
+
+  /// Reads the field sequence save() wrote. With apply=false the fields
+  /// are validated and consumed but nothing is mutated (the first half of
+  /// an all-or-nothing composite restore). The owner must reset() the
+  /// core against the restored program before the apply pass so derived
+  /// state is rebuilt; restore then overwrites the architectural fields.
+  [[nodiscard]] Status restore(snapshot::Reader& r, bool apply);
 
  private:
   friend class BlockRunner;

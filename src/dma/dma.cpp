@@ -5,6 +5,7 @@
 
 #include "cluster/event_unit.hpp"
 #include "common/status.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/metrics.hpp"
 
 namespace ulp::dma {
@@ -331,6 +332,84 @@ Dma::FastForwardResult Dma::fast_forward(u64 max_cycles) {
   }
   now_ += r.consumed;
   return r;
+}
+
+Status Dma::save(snapshot::Writer& w) const {
+  w.put_u32(reg_src_);
+  w.put_u32(reg_dst_);
+  w.put_u32(reg_len_);
+  w.put_u64(queue_.size());
+  for (const Transfer& t : queue_) {
+    w.put_u32(t.src);
+    w.put_u32(t.dst);
+    w.put_u32(t.remaining);
+    w.put_u32(t.total);
+    w.put_bool(t.started);
+  }
+  w.put_bool(pending_write_);
+  w.put_bool(pending_is_last_);
+  w.put_u32(pending_data_);
+  w.put_i32(pending_size_);
+  w.put_u32(pending_dst_);
+  w.put_u64(stats_.busy_cycles);
+  w.put_u64(stats_.bytes_moved);
+  w.put_u64(stats_.transfers_completed);
+  w.put_u64(stats_.stall_cycles);
+  w.put_u64(now_);
+  return Status{};
+}
+
+Status Dma::restore(snapshot::Reader& r, bool apply) {
+  const u32 reg_src = r.get_u32();
+  const u32 reg_dst = r.get_u32();
+  const u32 reg_len = r.get_u32();
+  const u64 depth = r.get_u64();
+  if (depth > max_channels_) {
+    r.fail(StatusCode::kInvalidArgument,
+           "snapshot DMA queue exceeds channel count");
+  }
+  std::deque<Transfer> queue;
+  for (u64 i = 0; i < depth && r.status().ok(); ++i) {
+    Transfer t;
+    t.src = r.get_u32();
+    t.dst = r.get_u32();
+    t.remaining = r.get_u32();
+    t.total = r.get_u32();
+    t.started = r.get_bool();
+    if (t.remaining > t.total) {
+      r.fail(StatusCode::kInvalidArgument, "snapshot DMA transfer malformed");
+    }
+    queue.push_back(t);
+  }
+  const bool pending_write = r.get_bool();
+  const bool pending_is_last = r.get_bool();
+  const u32 pending_data = r.get_u32();
+  const int pending_size = r.get_i32();
+  const Addr pending_dst = r.get_u32();
+  if (pending_size < 0 || pending_size > 4) {
+    r.fail(StatusCode::kInvalidArgument, "snapshot DMA beat size malformed");
+  }
+  DmaStats stats;
+  stats.busy_cycles = r.get_u64();
+  stats.bytes_moved = r.get_u64();
+  stats.transfers_completed = r.get_u64();
+  stats.stall_cycles = r.get_u64();
+  const u64 now = r.get_u64();
+  if (Status s = r.status(); !s.ok()) return s;
+  if (!apply) return Status{};
+
+  reg_src_ = reg_src;
+  reg_dst_ = reg_dst;
+  reg_len_ = reg_len;
+  queue_ = std::move(queue);
+  pending_write_ = pending_write;
+  pending_is_last_ = pending_is_last;
+  pending_data_ = pending_data;
+  pending_size_ = pending_size;
+  pending_dst_ = pending_dst;
+  stats_ = stats;
+  now_ = now;
+  return Status{};
 }
 
 }  // namespace ulp::dma

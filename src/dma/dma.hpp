@@ -24,6 +24,11 @@ namespace ulp::cluster {
 class EventUnit;
 }  // namespace ulp::cluster
 
+namespace ulp::snapshot {
+class Writer;
+class Reader;
+}  // namespace ulp::snapshot
+
 namespace ulp::dma {
 
 inline constexpr Addr kRegSrc = 0x00;
@@ -113,6 +118,13 @@ class Dma final : public mem::Peripheral {
   }
   [[nodiscard]] const DmaStats& stats() const { return stats_; }
   void reset_stats() { stats_ = DmaStats{}; }
+
+  /// Serializes registers, the transfer queue, the half-completed beat,
+  /// statistics and the trace clock into the writer's current section.
+  /// The code watch is not serialized — the owner re-arms it on restore.
+  [[nodiscard]] Status save(snapshot::Writer& w) const;
+  /// Reads (and with apply=true applies) the field sequence save() wrote.
+  [[nodiscard]] Status restore(snapshot::Reader& r, bool apply);
 
  private:
   struct Transfer {

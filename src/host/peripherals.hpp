@@ -34,6 +34,17 @@ class SpiMasterPeripheral final : public mem::Peripheral {
   u32 read32(Addr offset) override;
   void write32(Addr offset, u32 value) override;
 
+  /// Staged transfer registers, for snapshot save/restore (the system
+  /// owns the serialization so the peripheral stays snapshot-agnostic).
+  [[nodiscard]] u32 remote_addr_reg() const { return remote_addr_; }
+  [[nodiscard]] u32 local_addr_reg() const { return local_addr_; }
+  [[nodiscard]] u32 len_reg() const { return len_; }
+  void restore_regs(u32 remote_addr, u32 local_addr, u32 len) {
+    remote_addr_ = remote_addr;
+    local_addr_ = local_addr;
+    len_ = len;
+  }
+
  private:
   link::SpiWire* wire_;
   mem::Sram* local_;
@@ -90,6 +101,15 @@ class GpioPeripheral final : public mem::Peripheral {
 
   u32 read32(Addr offset) override;
   void write32(Addr offset, u32 value) override;
+
+  /// Output latches, for snapshot save/restore. restore_regs sets them
+  /// without edge side effects (a restored OUT level is not a new edge).
+  [[nodiscard]] u32 out_reg() const { return out_; }
+  [[nodiscard]] u32 img_len_reg() const { return img_len_; }
+  void restore_regs(u32 out, u32 img_len) {
+    out_ = out;
+    img_len_ = img_len;
+  }
 
  private:
   std::function<bool()> eoc_level_;

@@ -28,6 +28,11 @@ class Crc32 {
 
   void reset() { crc_ = 0xFFFFFFFFu; }
 
+  // Raw (pre-inversion) accumulator, so a mid-frame checksum can be
+  // snapshotted and resumed exactly.
+  [[nodiscard]] u32 raw() const { return crc_; }
+  void set_raw(u32 raw) { crc_ = raw; }
+
  private:
   u32 crc_ = 0xFFFFFFFFu;
 };

@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace ulp::link {
 
@@ -110,6 +111,61 @@ class FaultInjector {
   /// seed, flip, drop, dup, nak (rates apply to both directions), burst,
   /// stuck. Example: "seed=7,flip=1e-4,nak=0.01,stuck=1,burst=4".
   static Status parse(std::string_view spec, FaultConfig* out);
+
+  /// Serializes the RNG position, fault counters, burst stretch state and
+  /// stuck-EOC progress into the writer's current section. The config is
+  /// construction wiring, not state: the owner re-creates the injector
+  /// from the same spec before restoring into it.
+  [[nodiscard]] Status save(snapshot::Writer& w) const {
+    w.put_u64(rng_.state());
+    w.put_u64(counters_.beats);
+    w.put_u64(counters_.frames);
+    w.put_u64(counters_.flips);
+    w.put_u64(counters_.drops);
+    w.put_u64(counters_.dups);
+    w.put_u64(counters_.naks);
+    w.put_u64(counters_.stuck_waits);
+    w.put_u8(static_cast<u8>(burst_tx_.kind));
+    w.put_u32(burst_tx_.remaining);
+    w.put_u8(static_cast<u8>(burst_rx_.kind));
+    w.put_u32(burst_rx_.remaining);
+    w.put_u32(waits_seen_);
+    w.put_bool(wait_stuck_);
+    return Status{};
+  }
+
+  /// Reads (and with apply=true applies) the field sequence save() wrote.
+  [[nodiscard]] Status restore(snapshot::Reader& r, bool apply) {
+    const u64 rng_state = r.get_u64();
+    Counters c;
+    c.beats = r.get_u64();
+    c.frames = r.get_u64();
+    c.flips = r.get_u64();
+    c.drops = r.get_u64();
+    c.dups = r.get_u64();
+    c.naks = r.get_u64();
+    c.stuck_waits = r.get_u64();
+    const u8 tx_kind = r.get_u8();
+    const u32 tx_remaining = r.get_u32();
+    const u8 rx_kind = r.get_u8();
+    const u32 rx_remaining = r.get_u32();
+    const u32 waits_seen = r.get_u32();
+    const bool wait_stuck = r.get_bool();
+    if (tx_kind > static_cast<u8>(BeatFault::kDup) ||
+        rx_kind > static_cast<u8>(BeatFault::kDup)) {
+      r.fail(StatusCode::kInvalidArgument,
+             "snapshot fault burst kind out of range");
+    }
+    if (Status s = r.status(); !s.ok()) return s;
+    if (!apply) return Status{};
+    rng_.set_state(rng_state);
+    counters_ = c;
+    burst_tx_ = {static_cast<BeatFault>(tx_kind), tx_remaining};
+    burst_rx_ = {static_cast<BeatFault>(rx_kind), rx_remaining};
+    waits_seen_ = waits_seen;
+    wait_stuck_ = wait_stuck;
+    return Status{};
+  }
 
  private:
   struct BurstState {

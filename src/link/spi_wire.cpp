@@ -132,4 +132,81 @@ void SpiWire::finish_frame() {
   if (sinks_.events != nullptr) sinks_.events->end(track_, now_);
 }
 
+Status SpiWire::save(snapshot::Writer& w) const {
+  w.put_u32(lanes_);
+  w.put_u32(frame_overhead_bits_);
+  w.put_bool(crc_frames_);
+  w.put_bool(tx_);
+  w.put_u32(local_);
+  w.put_u32(remote_);
+  w.put_u32(remaining_);
+  w.put_u32(cooldown_);
+  w.put_u32(tx_crc_.raw());
+  w.put_u32(rx_crc_.raw());
+  w.put_u32(trailer_remaining_);
+  w.put_u32(trailer_received_);
+  w.put_bool(frame_damaged_);
+  w.put_bool(last_frame_ok_);
+  w.put_u64(frames_);
+  w.put_u64(crc_errors_);
+  w.put_u64(bytes_moved_);
+  w.put_u64(busy_cycles_);
+  w.put_u64(now_);
+  return Status{};
+}
+
+Status SpiWire::restore(snapshot::Reader& r, bool apply) {
+  const u32 lanes = r.get_u32();
+  const u32 overhead = r.get_u32();
+  const bool crc_frames = r.get_bool();
+  const bool tx = r.get_bool();
+  const Addr local = r.get_u32();
+  const Addr remote = r.get_u32();
+  const u32 remaining = r.get_u32();
+  const u32 cooldown = r.get_u32();
+  const u32 tx_crc = r.get_u32();
+  const u32 rx_crc = r.get_u32();
+  const u32 trailer_remaining = r.get_u32();
+  const u32 trailer_received = r.get_u32();
+  const bool frame_damaged = r.get_bool();
+  const bool last_frame_ok = r.get_bool();
+  const u64 frames = r.get_u64();
+  const u64 crc_errors = r.get_u64();
+  const u64 bytes_moved = r.get_u64();
+  const u64 busy_cycles = r.get_u64();
+  const u64 now = r.get_u64();
+  if (lanes != lanes_ || overhead != frame_overhead_bits_) {
+    r.fail(StatusCode::kInvalidArgument,
+           "snapshot SPI wire geometry mismatch");
+  }
+  if (trailer_remaining > 4) {
+    r.fail(StatusCode::kInvalidArgument,
+           "snapshot SPI trailer position out of range");
+  }
+  if (Status s = r.status(); !s.ok()) return s;
+  if (!apply) return Status{};
+  crc_frames_ = crc_frames;
+  tx_ = tx;
+  local_ = local;
+  remote_ = remote;
+  remaining_ = remaining;
+  cooldown_ = cooldown;
+  tx_crc_.set_raw(tx_crc);
+  rx_crc_.set_raw(rx_crc);
+  trailer_remaining_ = trailer_remaining;
+  trailer_received_ = trailer_received;
+  frame_damaged_ = frame_damaged;
+  last_frame_ok_ = last_frame_ok;
+  frames_ = frames;
+  crc_errors_ = crc_errors;
+  bytes_moved_ = bytes_moved;
+  busy_cycles_ = busy_cycles;
+  now_ = now;
+  // Callbacks are not serializable; mid-frame the owner must rearm_local()
+  // before the next step(), idle they stay detached like after a frame.
+  local_read_ = nullptr;
+  local_write_ = nullptr;
+  return Status{};
+}
+
 }  // namespace ulp::link

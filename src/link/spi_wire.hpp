@@ -28,6 +28,7 @@
 #include "common/types.hpp"
 #include "link/crc32.hpp"
 #include "link/fault_injector.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/event_trace.hpp"
 
 namespace ulp::link {
@@ -100,6 +101,28 @@ class SpiWire {
   [[nodiscard]] u64 busy_cycles() const { return busy_cycles_; }
   /// Host cycles since construction (the wire's trace clock).
   [[nodiscard]] u64 now() const { return now_; }
+
+  /// Serializes the full wire state — including a mid-frame position with
+  /// its CRC accumulators and cooldown — into the writer's current
+  /// section. The local buffer callbacks cannot be serialized; after a
+  /// restore that lands mid-frame, the owner re-provides them through
+  /// rearm_local() (the SPI master peripheral knows the buffer).
+  [[nodiscard]] Status save(snapshot::Writer& w) const;
+
+  /// Reads (and with apply=true applies) the field sequence save() wrote.
+  /// Lane count and frame overhead are validated against this wire's
+  /// construction parameters. After an apply that leaves the wire busy(),
+  /// the local callbacks are null until rearm_local() is called.
+  [[nodiscard]] Status restore(snapshot::Reader& r, bool apply);
+
+  /// Re-install the local-side buffer callbacks after a mid-frame
+  /// restore. Only legal while a transfer is in flight.
+  void rearm_local(std::function<u8(Addr)> local_read,
+                   std::function<void(Addr, u8)> local_write) {
+    ULP_CHECK(busy(), "SPI wire rearm_local while idle");
+    local_read_ = std::move(local_read);
+    local_write_ = std::move(local_write);
+  }
 
  private:
   void finish_frame();

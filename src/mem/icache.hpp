@@ -52,6 +52,21 @@ class SharedICache {
   [[nodiscard]] u32 miss_penalty() const { return miss_penalty_; }
   [[nodiscard]] u32 instrs_per_line() const { return instrs_per_line_; }
 
+  // Presence bitmap access for snapshot save/restore; the cluster owns
+  // the serialization (and validates the bitmap against the snapshot's
+  // program geometry) so this class stays snapshot-agnostic. The saved
+  // bitmap is authoritative: its size replaces the current one, which is
+  // how a pre-boot snapshot (never reset, empty bitmap) restores into a
+  // cluster that already ran something.
+  [[nodiscard]] const std::vector<bool>& lines_present() const {
+    return present_;
+  }
+  void restore_state(std::vector<bool> present, u64 misses, u64 hits) {
+    present_ = std::move(present);
+    misses_ = misses;
+    hits_ = hits;
+  }
+
  private:
   u32 instrs_per_line_;
   u32 miss_penalty_;

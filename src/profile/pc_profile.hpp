@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "isa/isa.hpp"
 
@@ -105,6 +106,47 @@ class PcProfile {
     u64 n = 0;
     for (const PcCount& p : pcs_) n += p.instrs;
     return n;
+  }
+
+  /// Complete serializable state. children_ is excluded on purpose: it is
+  /// a pure index of frames_ (child i sits at key {parent, entry_pc}) and
+  /// set_raw_state rebuilds it, so the snapshot format never depends on
+  /// std::map iteration details.
+  struct RawState {
+    std::vector<PcCount> pcs;
+    std::vector<Frame> frames;
+    std::vector<std::pair<u32, u32>> stack;  ///< (ret_pc, caller) pairs.
+    u32 current = 0;
+    u64 truncated_calls = 0;
+  };
+
+  [[nodiscard]] RawState raw_state() const {
+    RawState s;
+    s.pcs = pcs_;
+    s.frames = frames_;
+    s.stack.reserve(stack_.size());
+    for (const CallRec& c : stack_) s.stack.emplace_back(c.ret_pc, c.caller);
+    s.current = current_;
+    s.truncated_calls = truncated_calls_;
+    return s;
+  }
+
+  void set_raw_state(const RawState& s) {
+    ULP_CHECK(!s.frames.empty() && s.current < s.frames.size(),
+              "profile raw state malformed");
+    pcs_ = s.pcs;
+    frames_ = s.frames;
+    children_.clear();
+    for (u32 i = 1; i < frames_.size(); ++i) {
+      children_[{frames_[i].parent, frames_[i].entry_pc}] = i;
+    }
+    stack_.clear();
+    stack_.reserve(s.stack.size());
+    for (const auto& [ret_pc, caller] : s.stack) {
+      stack_.push_back({ret_pc, caller});
+    }
+    current_ = s.current;
+    truncated_calls_ = s.truncated_calls;
   }
 
  private:

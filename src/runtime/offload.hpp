@@ -174,6 +174,15 @@ class OffloadSession {
     reference_stepping_ = mode;
   }
 
+  /// Warm-start the accelerator boot: the post-boot SoC state (program
+  /// decoded, images resident, cores at the entry point — zero cycles
+  /// executed) is snapshotted once per (image, geometry) into a
+  /// process-wide cache, and subsequent runs restore it instead of
+  /// re-running the boot ROM's deserialise-and-load path. Bit-identical
+  /// to a cold boot by construction (asserted by tests/batch), across
+  /// stepping modes and worker counts.
+  void set_warm_start(bool on) { warm_start_ = on; }
+
   /// Energy for `iterations` kernel executions per code offload, using the
   /// measured timing/activity of `outcome`.
   [[nodiscard]] EnergyBreakdown energy(const OffloadOutcome& outcome,
@@ -209,6 +218,7 @@ class OffloadSession {
   link::FaultInjector* injector_ = nullptr;
   RetryPolicy retry_policy_;
   std::optional<bool> reference_stepping_;
+  bool warm_start_ = false;
   profile::ClusterProfiler* profiler_ = nullptr;
 
   trace::Sinks sinks_;

@@ -1,0 +1,176 @@
+#include "snapshot/snapshot.hpp"
+
+#include <fstream>
+
+#include "link/crc32.hpp"
+
+namespace ulp::snapshot {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;
+
+void append_u32(std::vector<u8>* out, u32 v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void append_u64(std::vector<u8>* out, u64 v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+u32 read_u32(const u8* p) {
+  return static_cast<u32>(p[0]) | static_cast<u32>(p[1]) << 8 |
+         static_cast<u32>(p[2]) << 16 | static_cast<u32>(p[3]) << 24;
+}
+
+u64 read_u64(const u8* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<u8> Writer::finish() const {
+  ULP_CHECK(open_.empty(), "finish with an unterminated section");
+  std::vector<u8> out;
+  out.reserve(kHeaderBytes + payload_.size());
+  append_u32(&out, kMagic);
+  append_u32(&out, kVersion);
+  append_u64(&out, payload_.size());
+  append_u32(&out, link::crc32(payload_));
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  return out;
+}
+
+Status Reader::open(std::span<const u8> bytes) {
+  sections_.clear();
+  cursor_ = limit_ = 0;
+  status_ = Status::Error(StatusCode::kInvalidArgument,
+                          "snapshot reader not opened");
+  if (bytes.size() < kHeaderBytes) {
+    return Status::Error(StatusCode::kIoError,
+                         "snapshot truncated: no room for header (" +
+                             std::to_string(bytes.size()) + " bytes)");
+  }
+  const u32 magic = read_u32(bytes.data());
+  if (magic != kMagic) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "not a snapshot: bad magic");
+  }
+  const u32 version = read_u32(bytes.data() + 4);
+  if (version != kVersion) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "unsupported snapshot version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kVersion) + ")");
+  }
+  const u64 payload_len = read_u64(bytes.data() + 8);
+  if (payload_len != bytes.size() - kHeaderBytes) {
+    return Status::Error(StatusCode::kIoError,
+                         "snapshot truncated: header claims " +
+                             std::to_string(payload_len) + " payload bytes, " +
+                             std::to_string(bytes.size() - kHeaderBytes) +
+                             " present");
+  }
+  const u32 crc = read_u32(bytes.data() + 16);
+  bytes_ = bytes.subspan(kHeaderBytes);
+  if (link::crc32(bytes_) != crc) {
+    return Status::Error(StatusCode::kCrcError,
+                         "snapshot payload CRC mismatch");
+  }
+  // Index the top-level sections. Every {id, len} pair must fit exactly.
+  size_t at = 0;
+  while (at < bytes_.size()) {
+    if (bytes_.size() - at < 12) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "snapshot malformed: dangling section header");
+    }
+    const u32 id = read_u32(bytes_.data() + at);
+    const u64 len = read_u64(bytes_.data() + at + 4);
+    at += 12;
+    if (len > bytes_.size() - at) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "snapshot malformed: section 0x" +
+                               std::to_string(id) + " overruns payload");
+    }
+    sections_.push_back({id, at, at + static_cast<size_t>(len)});
+    at += static_cast<size_t>(len);
+  }
+  status_ = Status{};
+  return status_;
+}
+
+Status Reader::enter(u32 id) {
+  if (!status_.ok()) return status_;
+  for (const Section& s : sections_) {
+    if (s.id == id) {
+      cursor_ = s.begin;
+      limit_ = s.end;
+      return Status{};
+    }
+  }
+  fail(StatusCode::kInvalidArgument,
+       "snapshot missing section id " + std::to_string(id));
+  return status_;
+}
+
+void Reader::take(u8* out, size_t n) {
+  if (!status_.ok()) {
+    std::memset(out, 0, n);
+    return;
+  }
+  if (limit_ - cursor_ < n) {
+    std::memset(out, 0, n);
+    fail(StatusCode::kIoError, "snapshot section underrun");
+    return;
+  }
+  std::memcpy(out, bytes_.data() + cursor_, n);
+  cursor_ += n;
+}
+
+std::vector<u8> Reader::get_blob() {
+  const u64 len = get_u64();
+  if (!status_.ok()) return {};
+  if (limit_ - cursor_ < len) {
+    fail(StatusCode::kIoError, "snapshot blob overruns its section");
+    return {};
+  }
+  std::vector<u8> out(bytes_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                      bytes_.begin() + static_cast<std::ptrdiff_t>(cursor_ + len));
+  cursor_ += static_cast<size_t>(len);
+  return out;
+}
+
+Status write_file(const std::string& path, std::span<const u8> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::Error(StatusCode::kIoError,
+                         "cannot open snapshot file for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::Error(StatusCode::kIoError,
+                         "short write to snapshot file: " + path);
+  }
+  return {};
+}
+
+Status read_file(const std::string& path, std::vector<u8>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Status::Error(StatusCode::kIoError,
+                         "cannot open snapshot file: " + path);
+  }
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Error(StatusCode::kIoError,
+                         "error reading snapshot file: " + path);
+  }
+  return {};
+}
+
+}  // namespace ulp::snapshot

@@ -1,0 +1,208 @@
+// Versioned, stable-byte-format save/restore of simulator state.
+//
+// A snapshot is a header followed by a flat sequence of sections:
+//
+//   magic u32 ("ULPS")  version u32  payload_len u64  payload_crc u32
+//   { section id u32, section len u64, section bytes }*
+//
+// All integers are little-endian. Sections are forward-skippable: the
+// Reader indexes them by id at open() time, so a restore only has to
+// enter() the sections it understands and unknown ids are ignored. The
+// header CRC-32 covers the whole payload, which turns truncation and
+// byte flips into a clean Status error before any component state is
+// touched.
+//
+// Writer cannot fail (it only appends to a byte vector); Reader uses a
+// sticky failure latch: every get_* primitive bounds-checks against the
+// current section, and the first underrun or malformed field poisons the
+// stream. Component restore code reads a fixed field sequence and
+// returns reader.status() — no per-field error plumbing, no UB on bad
+// input.
+//
+// Restore is all-or-nothing by convention: composite components
+// (Cluster, HeteroSystem) run the full read sequence twice, first with
+// apply=false (validate every field, every geometry check, every nested
+// blob — zero mutation), then with apply=true. A snapshot that fails
+// validation leaves the target exactly as it was.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace ulp::snapshot {
+
+inline constexpr u32 kMagic = 0x53504C55u;  ///< "ULPS" read little-endian.
+inline constexpr u32 kVersion = 1;
+
+/// Section ids. Centralised so every component sharing one top-level
+/// stream stays collision-free; per-index sections add their index to a
+/// base id.
+namespace section {
+// Cluster snapshots (also the entire payload of a PulpSoc snapshot).
+inline constexpr u32 kClusterMeta = 0x10;  ///< Geometry guard.
+inline constexpr u32 kClusterProgram = 0x11;
+inline constexpr u32 kClusterState = 0x12;
+inline constexpr u32 kClusterTcdm = 0x13;
+inline constexpr u32 kClusterL2 = 0x14;
+inline constexpr u32 kClusterIcache = 0x15;
+inline constexpr u32 kClusterEvents = 0x16;
+inline constexpr u32 kClusterDma = 0x17;
+inline constexpr u32 kClusterCoreBase = 0x40;  ///< + core id (< 0x40 cores).
+
+// HeteroSystem snapshots.
+inline constexpr u32 kSysMeta = 0x80;
+inline constexpr u32 kSysHostProgram = 0x81;
+inline constexpr u32 kSysHostState = 0x82;
+inline constexpr u32 kSysHostSram = 0x83;
+inline constexpr u32 kSysWire = 0x84;
+inline constexpr u32 kSysInjector = 0x85;
+inline constexpr u32 kSysClusterBase = 0xA0;  ///< + cluster index (< 32).
+}  // namespace section
+
+/// Append-only snapshot builder. Sections nest syntactically (a
+/// begin/end pair patches its length back in), but the Reader only
+/// indexes the top level — nested component snapshots are stored as
+/// complete standalone blobs instead (see put_blob + sub-Reader).
+class Writer {
+ public:
+  void begin_section(u32 id) {
+    put_u32(id);
+    open_.push_back(payload_.size());
+    put_u64(0);  // patched by end_section
+  }
+
+  void end_section() {
+    ULP_CHECK(!open_.empty(), "end_section without begin_section");
+    const size_t at = open_.back();
+    open_.pop_back();
+    const u64 len = payload_.size() - (at + 8);
+    for (int i = 0; i < 8; ++i) {
+      payload_[at + i] = static_cast<u8>(len >> (8 * i));
+    }
+  }
+
+  void put_u8(u8 v) { payload_.push_back(v); }
+  void put_u32(u32 v) {
+    for (int i = 0; i < 4; ++i) payload_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void put_u64(u64 v) {
+    for (int i = 0; i < 8; ++i) payload_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void put_i32(i32 v) { put_u32(static_cast<u32>(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_f64(double v) {
+    u64 bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(bits);
+  }
+  /// Raw bytes, no length prefix (fixed-size images).
+  void put_bytes(std::span<const u8> bytes) {
+    payload_.insert(payload_.end(), bytes.begin(), bytes.end());
+  }
+  /// Length-prefixed byte string (variable-size payloads).
+  void put_blob(std::span<const u8> bytes) {
+    put_u64(bytes.size());
+    put_bytes(bytes);
+  }
+
+  /// Final on-disk/in-memory form: header + payload. The Writer stays
+  /// usable (finish() is a pure function of the bytes so far).
+  [[nodiscard]] std::vector<u8> finish() const;
+
+ private:
+  std::vector<u8> payload_;
+  std::vector<size_t> open_;  ///< Offsets of unpatched length fields.
+};
+
+/// Bounds-checked snapshot parser with a sticky failure latch.
+class Reader {
+ public:
+  /// Validates magic/version/length/CRC and indexes the top-level
+  /// sections. Nothing else is legal on a Reader whose open() failed.
+  /// The span must stay alive while the Reader is used.
+  [[nodiscard]] Status open(std::span<const u8> bytes);
+
+  /// Positions the cursor at the start of section `id`; subsequent get_*
+  /// calls are bounded by that section's end. A missing section latches
+  /// (and returns) an error. Re-entering a section rewinds it, which is
+  /// what makes the two-pass validate/apply restore possible.
+  [[nodiscard]] Status enter(u32 id);
+
+  [[nodiscard]] bool has_section(u32 id) const {
+    for (const Section& s : sections_) {
+      if (s.id == id) return true;
+    }
+    return false;
+  }
+
+  u8 get_u8() {
+    u8 v = 0;
+    take(&v, 1);
+    return v;
+  }
+  u32 get_u32() {
+    u8 b[4] = {};
+    take(b, 4);
+    return static_cast<u32>(b[0]) | static_cast<u32>(b[1]) << 8 |
+           static_cast<u32>(b[2]) << 16 | static_cast<u32>(b[3]) << 24;
+  }
+  u64 get_u64() {
+    u64 v = 0;
+    u8 b[8] = {};
+    take(b, 8);
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(b[i]) << (8 * i);
+    return v;
+  }
+  i32 get_i32() { return static_cast<i32>(get_u32()); }
+  bool get_bool() { return get_u8() != 0; }
+  double get_f64() {
+    const u64 bits = get_u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  /// Fixed-size read; on underrun the output is zero-filled and the
+  /// stream latches failure.
+  void get_bytes(std::span<u8> out) { take(out.data(), out.size()); }
+  /// Length-prefixed read (pairs with put_blob).
+  [[nodiscard]] std::vector<u8> get_blob();
+
+  /// Latch a caller-detected semantic error (geometry mismatch, ...).
+  void fail(StatusCode code, std::string message) {
+    if (status_.ok()) status_ = Status::Error(code, std::move(message));
+  }
+
+  /// Sticky stream status: ok until the first bad field.
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  struct Section {
+    u32 id = 0;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  void take(u8* out, size_t n);
+
+  std::span<const u8> bytes_;
+  std::vector<Section> sections_;
+  size_t cursor_ = 0;
+  size_t limit_ = 0;
+  Status status_ = Status::Error(StatusCode::kInvalidArgument,
+                                 "snapshot reader not opened");
+};
+
+/// Write `bytes` to `path` atomically enough for our purposes (single
+/// write, error-checked).
+[[nodiscard]] Status write_file(const std::string& path,
+                                std::span<const u8> bytes);
+
+/// Read a whole snapshot file into `out`.
+[[nodiscard]] Status read_file(const std::string& path, std::vector<u8>* out);
+
+}  // namespace ulp::snapshot

@@ -45,6 +45,19 @@ class PulpSoc {
   [[nodiscard]] bool eoc_gpio() const;
 
   [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const { return cluster_; }
+
+  /// A PulpSoc snapshot is exactly its cluster's snapshot: the QSPI slave
+  /// and boot ROM are stateless adapters over L2.
+  [[nodiscard]] Status save(snapshot::Writer& w) const {
+    return cluster_.save(w);
+  }
+  [[nodiscard]] Status restore(snapshot::Reader& r) {
+    return cluster_.restore(r);
+  }
+  [[nodiscard]] Status restore_pass(snapshot::Reader& r, bool apply) {
+    return cluster_.restore_pass(r, apply);
+  }
 
  private:
   cluster::Cluster cluster_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/status.hpp"
@@ -386,6 +387,220 @@ u64 HeteroSystem::run_to_host_halt(u64 max_host_cycles) {
     step();
   }
   return host_cycles_;
+}
+
+Status HeteroSystem::save(snapshot::Writer& w) const {
+  namespace sec = snapshot::section;
+  w.begin_section(sec::kSysMeta);
+  w.put_u32(static_cast<u32>(socs_.size()));
+  w.put_u32(params_.spi_lanes);
+  w.put_u32(params_.host_sram_bytes);
+  w.put_bool(params_.crc_frames);
+  w.put_bool(injector_ != nullptr);
+  for (const ClockRatio& ratio : ratios_) {
+    w.put_u64(ratio.numerator());
+    w.put_u64(ratio.denominator());
+  }
+  w.end_section();
+
+  w.begin_section(sec::kSysHostProgram);
+  w.put_blob(isa::serialize(host_program_));
+  w.end_section();
+
+  w.begin_section(sec::kSysHostState);
+  w.put_u64(host_cycles_);
+  w.put_u64(host_link_bound_cycles_);
+  w.put_bytes(started_);
+  for (const ClockRatio& ratio : ratios_) w.put_u64(ratio.accumulator());
+  w.put_u32(wake_mask_->mask());
+  w.put_u32(spi_master_->remote_addr_reg());
+  w.put_u32(spi_master_->local_addr_reg());
+  w.put_u32(spi_master_->len_reg());
+  for (const auto& gpio : gpios_) {
+    w.put_u32(gpio->out_reg());
+    w.put_u32(gpio->img_len_reg());
+  }
+  if (Status s = host_core_->save(w); !s.ok()) return s;
+  w.end_section();
+
+  w.begin_section(sec::kSysHostSram);
+  w.put_blob(host_sram_->bytes());
+  w.end_section();
+
+  w.begin_section(sec::kSysWire);
+  if (Status s = wire_->save(w); !s.ok()) return s;
+  w.end_section();
+
+  if (injector_ != nullptr) {
+    w.begin_section(sec::kSysInjector);
+    if (Status s = injector_->save(w); !s.ok()) return s;
+    w.end_section();
+  }
+
+  // Each cluster is a complete standalone snapshot (own header + CRC) in
+  // one section, so the cluster format can evolve independently and a
+  // cluster-only tool can open the blob directly.
+  for (u32 c = 0; c < socs_.size(); ++c) {
+    snapshot::Writer cw;
+    if (Status s = socs_[c]->save(cw); !s.ok()) return s;
+    w.begin_section(sec::kSysClusterBase + c);
+    w.put_blob(cw.finish());
+    w.end_section();
+  }
+  return Status{};
+}
+
+Status HeteroSystem::restore(snapshot::Reader& r) {
+  if (Status s = restore_pass(r, /*apply=*/false); !s.ok()) return s;
+  return restore_pass(r, /*apply=*/true);
+}
+
+Status HeteroSystem::restore_pass(snapshot::Reader& r, bool apply) {
+  namespace sec = snapshot::section;
+
+  if (Status s = r.enter(sec::kSysMeta); !s.ok()) return s;
+  const u32 num_clusters = r.get_u32();
+  const u32 lanes = r.get_u32();
+  const u32 sram_bytes = r.get_u32();
+  const bool crc_frames = r.get_bool();
+  const bool has_injector = r.get_bool();
+  bool ratios_match = true;
+  if (num_clusters == socs_.size()) {
+    for (const ClockRatio& ratio : ratios_) {
+      const u64 num = r.get_u64();
+      const u64 den = r.get_u64();
+      if (num != ratio.numerator() || den != ratio.denominator()) {
+        ratios_match = false;
+      }
+    }
+  }
+  if (r.status().ok() &&
+      (num_clusters != socs_.size() || lanes != params_.spi_lanes ||
+       sram_bytes != params_.host_sram_bytes ||
+       crc_frames != params_.crc_frames ||
+       has_injector != (injector_ != nullptr) || !ratios_match)) {
+    return Status::Error(
+        StatusCode::kInvalidArgument,
+        "snapshot system geometry mismatch (snapshot has " +
+            std::to_string(num_clusters) + " clusters; target has " +
+            std::to_string(socs_.size()) + ")");
+  }
+
+  if (Status s = r.enter(sec::kSysHostProgram); !s.ok()) return s;
+  const std::vector<u8> prog_image = r.get_blob();
+  isa::Program host_prog;
+  if (r.status().ok()) {
+    try {
+      host_prog = isa::deserialize(prog_image);
+    } catch (const std::exception& e) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           std::string("snapshot host program invalid: ") +
+                               e.what());
+    }
+  }
+  if (apply) host_program_ = std::move(host_prog);
+
+  if (Status s = r.enter(sec::kSysHostState); !s.ok()) return s;
+  const u64 host_cycles = r.get_u64();
+  const u64 host_link_bound = r.get_u64();
+  std::vector<u8> started(socs_.size());
+  r.get_bytes(started);
+  std::vector<u64> accumulators(socs_.size());
+  for (u64& acc : accumulators) acc = r.get_u64();
+  const u32 wake_mask = r.get_u32();
+  const u32 spi_remote = r.get_u32();
+  const u32 spi_local = r.get_u32();
+  const u32 spi_len = r.get_u32();
+  std::vector<std::pair<u32, u32>> gpio_regs(socs_.size());
+  for (auto& [out, img_len] : gpio_regs) {
+    out = r.get_u32();
+    img_len = r.get_u32();
+  }
+  if (r.status().ok()) {
+    for (const u8 flag : started) {
+      if (flag > 1) {
+        return Status::Error(StatusCode::kInvalidArgument,
+                             "snapshot cluster-started flag malformed");
+      }
+    }
+    for (u32 c = 0; c < socs_.size(); ++c) {
+      if (accumulators[c] >= ratios_[c].denominator()) {
+        return Status::Error(StatusCode::kInvalidArgument,
+                             "snapshot clock accumulator out of range");
+      }
+    }
+  }
+  if (apply) {
+    host_cycles_ = host_cycles;
+    host_link_bound_cycles_ = host_link_bound;
+    started_ = std::move(started);
+    for (u32 c = 0; c < socs_.size(); ++c) {
+      ratios_[c].set_accumulator(accumulators[c]);
+    }
+    wake_mask_->write32(0, wake_mask);
+    spi_master_->restore_regs(spi_remote, spi_local, spi_len);
+    for (u32 c = 0; c < socs_.size(); ++c) {
+      gpios_[c]->restore_regs(gpio_regs[c].first, gpio_regs[c].second);
+    }
+    // Reset against the restored driver before the core's own restore
+    // overwrites the architectural fields (same contract as the cluster).
+    host_core_->reset(&host_program_);
+  }
+  if (Status s = host_core_->restore(r, apply); !s.ok()) return s;
+
+  if (Status s = r.enter(sec::kSysHostSram); !s.ok()) return s;
+  const std::vector<u8> sram_image = r.get_blob();
+  if (r.status().ok() && sram_image.size() != host_sram_->bytes().size()) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "snapshot host SRAM image size mismatch");
+  }
+  if (apply) {
+    std::memcpy(host_sram_->bytes().data(), sram_image.data(),
+                sram_image.size());
+  }
+
+  if (Status s = r.enter(sec::kSysWire); !s.ok()) return s;
+  if (Status s = wire_->restore(r, apply); !s.ok()) return s;
+
+  if (injector_ != nullptr) {
+    if (Status s = r.enter(sec::kSysInjector); !s.ok()) return s;
+    if (Status s = injector_->restore(r, apply); !s.ok()) return s;
+  }
+
+  for (u32 c = 0; c < socs_.size(); ++c) {
+    if (Status s = r.enter(sec::kSysClusterBase + c); !s.ok()) return s;
+    const std::vector<u8> blob = r.get_blob();
+    if (Status s = r.status(); !s.ok()) return s;
+    snapshot::Reader sub;
+    if (Status s = sub.open(blob); !s.ok()) return s;
+    if (Status s = socs_[c]->restore_pass(sub, apply); !s.ok()) return s;
+  }
+
+  if (apply) {
+    if (wire_->busy()) {
+      // The in-flight frame's local side is always the host SRAM (the SPI
+      // master peripheral provides exactly these buffer accessors at
+      // start(); see SpiMasterPeripheral::write32, CMD).
+      mem::Sram* local = host_sram_.get();
+      wire_->rearm_local(
+          [local](Addr a) {
+            return static_cast<u8>(local->load(a, 1, false));
+          },
+          [local](Addr a, u8 b) { local->store(a, 1, b); });
+    }
+    if (sinks_) {
+      // Host-cycle stamps jump with the restored clock; restart the trace
+      // bookkeeping as attach_trace does (cluster tracks were already
+      // tidied by each cluster's own restore).
+      if (sinks_.events != nullptr) {
+        sinks_.events->close_open_spans(host_track_);
+      }
+      traced_host_state_ = 255;
+      host_span_open_ = false;
+      traced_eoc_.assign(socs_.size(), 0);
+    }
+  }
+  return r.status();
 }
 
 HeteroStats HeteroSystem::stats() const {

@@ -149,7 +149,23 @@ class HeteroSystem {
   }
   [[nodiscard]] HeteroStats stats() const;
 
+  /// Serializes the complete node: host core / SRAM / peripheral
+  /// registers, the SPI wire (mid-frame positions included), the fault
+  /// injector's RNG schedule, the exact clock-coupling accumulators, and
+  /// every cluster as a nested standalone snapshot blob.
+  [[nodiscard]] Status save(snapshot::Writer& w) const;
+
+  /// All-or-nothing restore of a save() image into this system: the
+  /// whole stream — including every nested cluster snapshot — is
+  /// validated with zero mutation before anything is applied. Geometry
+  /// (cluster count, clock ratios, SRAM size, lane count, injector
+  /// presence, CRC framing) must match this system's construction
+  /// parameters. A restore that lands mid-frame re-installs the SPI
+  /// master's local buffer callbacks.
+  [[nodiscard]] Status restore(snapshot::Reader& r);
+
  private:
+  [[nodiscard]] Status restore_pass(snapshot::Reader& r, bool apply);
   void trace_sample();
   /// The EOC line of cluster `c` as the host observes it (the injector may
   /// hold it stuck low for the current wait).

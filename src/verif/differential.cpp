@@ -1,10 +1,12 @@
 #include "verif/differential.hpp"
 
+#include <memory>
 #include <sstream>
 
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "isa/disasm.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace ulp::verif {
 
@@ -54,6 +56,68 @@ std::string diff_memory(const std::string& label, Addr base,
   return {};
 }
 
+/// First divergence between two per-core attribution captures; empty if
+/// equal. The attribution stream is charged at mode-independent points, so
+/// stepping modes — and a run stitched across a snapshot seam — must agree
+/// on every counter, call-tree node and live stack entry.
+std::string diff_profiles(
+    const std::string& label,
+    const std::vector<profile::PcProfile::RawState>& a,
+    const std::vector<profile::PcProfile::RawState>& b) {
+  if (a.size() != b.size()) {
+    return label + ": profile core count " + std::to_string(a.size()) +
+           " vs " + std::to_string(b.size());
+  }
+  for (size_t c = 0; c < a.size(); ++c) {
+    const std::string at = label + ": core " + std::to_string(c);
+    const auto& pa = a[c];
+    const auto& pb = b[c];
+    if (pa.pcs != pb.pcs) {
+      const size_t n = std::min(pa.pcs.size(), pb.pcs.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (!(pa.pcs[i] == pb.pcs[i])) {
+          return at + " profile pc " + std::to_string(i) + ": " +
+                 std::to_string(pa.pcs[i].instrs) + "i/" +
+                 std::to_string(pa.pcs[i].cycles) + "c vs " +
+                 std::to_string(pb.pcs[i].instrs) + "i/" +
+                 std::to_string(pb.pcs[i].cycles) + "c";
+        }
+      }
+      return at + " profile pc count " + std::to_string(pa.pcs.size()) +
+             " vs " + std::to_string(pb.pcs.size());
+    }
+    if (pa.frames.size() != pb.frames.size()) {
+      return at + " profile frame count " + std::to_string(pa.frames.size()) +
+             " vs " + std::to_string(pb.frames.size());
+    }
+    for (size_t i = 0; i < pa.frames.size(); ++i) {
+      const auto& fa = pa.frames[i];
+      const auto& fb = pb.frames[i];
+      if (fa.entry_pc != fb.entry_pc || fa.parent != fb.parent ||
+          fa.cycles != fb.cycles) {
+        return at + " profile frame " + std::to_string(i) + ": entry " +
+               std::to_string(fa.entry_pc) + " parent " +
+               std::to_string(fa.parent) + " cycles " +
+               std::to_string(fa.cycles) + " vs entry " +
+               std::to_string(fb.entry_pc) + " parent " +
+               std::to_string(fb.parent) + " cycles " +
+               std::to_string(fb.cycles);
+      }
+    }
+    if (pa.stack != pb.stack || pa.current != pb.current ||
+        pa.truncated_calls != pb.truncated_calls) {
+      return at + " profile call stack: depth " +
+             std::to_string(pa.stack.size()) + " current " +
+             std::to_string(pa.current) + " truncated " +
+             std::to_string(pa.truncated_calls) + " vs depth " +
+             std::to_string(pb.stack.size()) + " current " +
+             std::to_string(pb.current) + " truncated " +
+             std::to_string(pb.truncated_calls);
+    }
+  }
+  return {};
+}
+
 /// Everything two cluster runs of the same program must agree on — which is
 /// everything, including exact cycle counts. `label` names the pairing in
 /// the verdict ("ref-vs-ff", "ref-vs-bc", ...).
@@ -91,6 +155,8 @@ std::string diff_observations(const std::string& label, const Observation& ref,
                      ff.retires[c]);
     if (!d.empty()) return d;
   }
+  d = diff_profiles(label, ref.profiles, ff.profiles);
+  if (!d.empty()) return d;
   return {};
 }
 
@@ -141,50 +207,123 @@ std::string check_dma_copies(const GenProgram& gp, const Observation& obs) {
   return {};
 }
 
+cluster::ClusterParams cluster_params_for(const GenProgram& gp,
+                                          bool reference_stepping,
+                                          std::optional<bool> block_cache,
+                                          std::optional<bool> mc_windows) {
+  cluster::ClusterParams params;
+  params.num_cores = gp.num_cores;
+  params.core_config = gp.config;
+  params.reference_stepping = reference_stepping;
+  params.block_cache = block_cache;
+  params.multicore_windows = mc_windows;
+  return params;
+}
+
+/// Retire hooks appending into `obs` plus one attribution profile per core.
+/// Hooks and profiles survive the reset() inside a restore, so the same
+/// wiring covers both a plain run and the restored half of a snapshot leg.
+void attach_observers(cluster::Cluster& cluster, const GenProgram& gp,
+                      Observation* obs, Coverage* cov,
+                      std::vector<std::unique_ptr<profile::PcProfile>>* profs) {
+  obs->retires.resize(gp.num_cores);
+  profs->clear();
+  for (u32 c = 0; c < gp.num_cores; ++c) {
+    auto* log = &obs->retires[c];
+    cluster.core(c).set_retire_hook(
+        [log, cov](u32 pc, const isa::Instr& in) {
+          log->push_back({pc, in});
+          if (cov != nullptr) cov->record(in);
+        });
+    profs->push_back(std::make_unique<profile::PcProfile>());
+    cluster.core(c).set_profile(profs->back().get());
+  }
+}
+
+void capture_final(cluster::Cluster& cluster, const GenProgram& gp,
+                   Observation* obs,
+                   const std::vector<std::unique_ptr<profile::PcProfile>>&
+                       profs) {
+  obs->eoc = cluster.events().eoc();
+  obs->eoc_flag = cluster.events().eoc_flag();
+  obs->barriers_completed = cluster.events().barriers_completed();
+  obs->regs.resize(gp.num_cores);
+  for (u32 c = 0; c < gp.num_cores; ++c) {
+    for (u32 r = 0; r < isa::kNumRegs; ++r) {
+      obs->regs[c][r] = cluster.core(c).reg(r);
+    }
+  }
+  const auto tcdm = cluster.tcdm().bytes();
+  obs->tcdm.assign(tcdm.begin(), tcdm.end());
+  const auto l2 = cluster.l2().bytes();
+  obs->l2.assign(l2.begin(), l2.end());
+  obs->profiles.clear();
+  for (const auto& p : profs) obs->profiles.push_back(p->raw_state());
+}
+
+/// The snapshot leg of one stepping mode: advance a cluster `snap_cycles`
+/// cycles, snapshot it, restore the image into a *freshly constructed*
+/// cluster and run that one to completion. Retire logs and profiles are
+/// stitched across the seam (the restored half keeps appending to the same
+/// logs; profile capture state rides inside the snapshot), so the returned
+/// Observation is comparable 1:1 against the continuous run's.
+Observation run_snapshot_on_cluster(const GenProgram& gp,
+                                    bool reference_stepping, u64 snap_cycles,
+                                    u64 max_cycles,
+                                    std::optional<bool> block_cache,
+                                    std::optional<bool> mc_windows) {
+  const cluster::ClusterParams params =
+      cluster_params_for(gp, reference_stepping, block_cache, mc_windows);
+
+  Observation obs;
+  std::vector<u8> image;
+  {
+    cluster::Cluster donor(params);
+    std::vector<std::unique_ptr<profile::PcProfile>> profs;
+    attach_observers(donor, gp, &obs, /*cov=*/nullptr, &profs);
+    donor.load_program(gp.program);
+    donor.advance(snap_cycles);
+    snapshot::Writer w;
+    donor.save(w).or_throw();
+    image = w.finish();
+  }
+
+  cluster::Cluster resumed(params);
+  std::vector<std::unique_ptr<profile::PcProfile>> profs;
+  // Observers go on before restore: the profiles must be attached when the
+  // restore applies their serialized capture state.
+  attach_observers(resumed, gp, &obs, /*cov=*/nullptr, &profs);
+  // attach_observers resized the retire logs but must not clear them — the
+  // donor's prefix is the first half of the stitched log.
+  snapshot::Reader r;
+  r.open(image).or_throw();
+  resumed.restore(r).or_throw();
+  obs.cycles = resumed.run(max_cycles);
+  capture_final(resumed, gp, &obs, profs);
+  return obs;
+}
+
 }  // namespace
 
 Observation run_on_cluster(const GenProgram& gp, bool reference_stepping,
                            u64 max_cycles, Coverage* cov,
                            std::optional<bool> block_cache,
                            std::optional<bool> multicore_windows) {
-  cluster::ClusterParams params;
-  params.num_cores = gp.num_cores;
-  params.core_config = gp.config;
-  params.reference_stepping = reference_stepping;
-  params.block_cache = block_cache;
-  params.multicore_windows = multicore_windows;
-  cluster::Cluster cluster(params);
+  cluster::Cluster cluster(cluster_params_for(gp, reference_stepping,
+                                              block_cache,
+                                              multicore_windows));
 
   Observation obs;
-  obs.retires.resize(gp.num_cores);
-  for (u32 c = 0; c < gp.num_cores; ++c) {
-    auto* log = &obs.retires[c];
-    cluster.core(c).set_retire_hook(
-        [log, cov](u32 pc, const isa::Instr& in) {
-          log->push_back({pc, in});
-          if (cov != nullptr) cov->record(in);
-        });
-  }
+  std::vector<std::unique_ptr<profile::PcProfile>> profs;
+  attach_observers(cluster, gp, &obs, cov, &profs);
   cluster.load_program(gp.program);
   obs.cycles = cluster.run(max_cycles);
-  obs.eoc = cluster.events().eoc();
-  obs.eoc_flag = cluster.events().eoc_flag();
-  obs.barriers_completed = cluster.events().barriers_completed();
-  obs.regs.resize(gp.num_cores);
-  for (u32 c = 0; c < gp.num_cores; ++c) {
-    for (u32 r = 0; r < isa::kNumRegs; ++r) {
-      obs.regs[c][r] = cluster.core(c).reg(r);
-    }
-  }
-  const auto tcdm = cluster.tcdm().bytes();
-  obs.tcdm.assign(tcdm.begin(), tcdm.end());
-  const auto l2 = cluster.l2().bytes();
-  obs.l2.assign(l2.begin(), l2.end());
+  capture_final(cluster, gp, &obs, profs);
   return obs;
 }
 
 DiffResult check_program(const GenProgram& gp, Coverage* cov,
-                         u64 max_cycles) {
+                         u64 max_cycles, bool snapshot_column) {
   DiffResult result;
   auto fail = [&](std::string detail) {
     result.pass = false;
@@ -220,8 +359,8 @@ DiffResult check_program(const GenProgram& gp, Coverage* cov,
   if (!d.empty()) return fail(std::move(d));
   d = diff_observations("ref-vs-bc", ref, bc);
   if (!d.empty()) return fail(std::move(d));
+  Observation bm;
   if (gp.num_cores > 1) {
-    Observation bm;
     try {
       bm = run_on_cluster(gp, /*reference_stepping=*/false, max_cycles,
                           /*cov=*/nullptr, /*block_cache=*/true,
@@ -231,6 +370,42 @@ DiffResult check_program(const GenProgram& gp, Coverage* cov,
     }
     d = diff_observations("ref-vs-bc-mc", ref, bm);
     if (!d.empty()) return fail(std::move(d));
+  }
+
+  if (snapshot_column) {
+    // Snapshot column: every cluster-backed mode replayed through a mid-run
+    // save/restore into a fresh cluster. The split point is a pure function
+    // of the program seed over 0..cycles inclusive, so save-at-boot and
+    // save-after-halt (DMA drain included) both come up across a campaign.
+    const u64 snap_cycles =
+        derive_seed(gp.seed, 0x534E4150 /* "SNAP" */) % (ref.cycles + 1);
+    struct SnapMode {
+      const char* name;
+      bool reference;
+      std::optional<bool> block_cache;
+      std::optional<bool> mc_windows;
+      const Observation* continuous;
+    };
+    const SnapMode modes[] = {
+        {"ref", true, {}, {}, &ref},
+        {"ff", false, false, {}, &ff},
+        {"bc", false, true, false, &bc},
+        {"bc-mc", false, true, true, gp.num_cores > 1 ? &bm : nullptr},
+    };
+    for (const SnapMode& m : modes) {
+      if (m.continuous == nullptr) continue;
+      Observation snap;
+      try {
+        snap = run_snapshot_on_cluster(gp, m.reference, snap_cycles,
+                                       max_cycles, m.block_cache,
+                                       m.mc_windows);
+      } catch (const SimError& e) {
+        return fail(std::string("cluster(snap-") + m.name + "): " + e.what());
+      }
+      d = diff_observations(std::string(m.name) + "-vs-snap", *m.continuous,
+                            snap);
+      if (!d.empty()) return fail(std::move(d));
+    }
   }
 
   if (gp.num_cores == 1) {
@@ -281,17 +456,22 @@ CampaignResult run_campaign(const CampaignParams& params) {
     }
   };
 
+  const auto snapshot_member = [&](u32 i) {
+    return params.snapshot_every != 0 && i % params.snapshot_every == 0;
+  };
   for (u32 i = 0; i < params.num_programs; ++i) {
     const GenParams gen = campaign_member(params, i, /*stress=*/false);
     const GenProgram gp = generate(gen);
-    DiffResult r = check_program(gp, &result.coverage);
+    DiffResult r = check_program(gp, &result.coverage, 5'000'000,
+                                 snapshot_member(i));
     ++result.programs_run;
     if (!r.pass) record_failure(gen, std::move(r.detail));
   }
   for (u32 i = 0; i < params.num_stress; ++i) {
     const GenParams gen = campaign_member(params, i, /*stress=*/true);
     const GenProgram gp = generate(gen);
-    DiffResult r = check_program(gp, &result.coverage);
+    DiffResult r = check_program(gp, &result.coverage, 5'000'000,
+                                 snapshot_member(i));
     ++result.stress_run;
     if (!r.pass) record_failure(gen, std::move(r.detail));
   }

@@ -12,6 +12,16 @@
 // every core halts inside the cycle budget), the stepping modes agree, and
 // every generated DMA transfer left a byte-exact image of its source at
 // its destination.
+//
+// Every cluster-backed mode additionally gets a *snapshot column*: the
+// same program is advanced K cycles (K a pure function of the program
+// seed, spanning 0..run-length so save-at-boot and save-after-halt are
+// both exercised), snapshot::save'd, restored into a freshly constructed
+// cluster and run to completion there — and the stitched run must be
+// bit-identical to the continuous one in cycles, registers, memories,
+// retire logs and per-core attribution profiles. Any piece of
+// architectural or timing state the snapshot layer forgets to carry shows
+// up here as a first-divergence verdict.
 #pragma once
 
 #include <array>
@@ -19,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "profile/pc_profile.hpp"
 #include "verif/generator.hpp"
 #include "verif/golden.hpp"
 
@@ -34,6 +45,10 @@ struct Observation {
   std::vector<u8> tcdm;
   std::vector<u8> l2;
   std::vector<std::vector<Retire>> retires;  ///< Per core.
+  /// Per-core cycle/instruction attribution capture (pc counts, call tree,
+  /// live call stack). Part of the equality contract like everything else:
+  /// identical across stepping modes and across a snapshot/restore seam.
+  std::vector<profile::PcProfile::RawState> profiles;
 };
 
 /// Execute `gp` on a real cluster in the given stepping mode. Throws
@@ -56,9 +71,13 @@ struct DiffResult {
 
 /// Full differential check of one generated program; dispatches on
 /// gp.num_cores (1 = golden three-way, >1 = stress invariants).
+/// `snapshot_column` additionally replays every cluster-backed mode
+/// through a mid-run save/restore into a fresh cluster and requires the
+/// stitched run to match the continuous one bit-for-bit.
 [[nodiscard]] DiffResult check_program(const GenProgram& gp,
                                        Coverage* cov = nullptr,
-                                       u64 max_cycles = 5'000'000);
+                                       u64 max_cycles = 5'000'000,
+                                       bool snapshot_column = true);
 
 // ---- campaign driver --------------------------------------------------
 
@@ -68,6 +87,10 @@ struct CampaignParams {
   u32 num_stress = 100;    ///< Multi-core stress schedules.
   u32 body_items = 32;
   bool allow_dma = true;
+  /// Snapshot-column cadence: program i gets the save/restore differential
+  /// leg when i % snapshot_every == 0. 1 = every program (the default, and
+  /// what the tier-1 campaigns run); 0 disables the column.
+  u32 snapshot_every = 1;
 };
 
 /// Generation parameters of program `index` within a campaign: seeds are

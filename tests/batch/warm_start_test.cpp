@@ -1,0 +1,102 @@
+// Warm-start byte-identity: a campaign whose jobs restore the accelerator
+// boot state from the process-wide post-boot snapshot cache must produce
+// aggregates byte-identical to the cold-booting campaign — the snapshot
+// layer is a pure wall-clock optimisation, invisible in every result
+// field, at any worker count.
+#include <gtest/gtest.h>
+
+#include "batch/aggregate.hpp"
+#include "batch/engine.hpp"
+#include "batch/runner.hpp"
+
+namespace ulp::batch {
+namespace {
+
+CampaignSpec warm_start_spec() {
+  // 8 jobs sharing a handful of (image, geometry) cache keys, with both
+  // result-relevant axes and a profile collection pass in the mix.
+  CampaignSpec spec;
+  spec.kernels = {"matmul", "cnn"};
+  spec.num_cores = {1, 4};
+  spec.vdd = {0.5};
+  spec.repeats = 2;
+  spec.base_seed = 29;
+  spec.collect_profile = true;
+  return spec;
+}
+
+TEST(WarmStart, CampaignAggregatesAreByteIdenticalToColdStart) {
+  CampaignSpec cold = warm_start_spec();
+  CampaignSpec warm = warm_start_spec();
+  warm.warm_start = true;
+  ASSERT_EQ(cold.job_count(), 8u);
+
+  for (const u32 workers : {0u, 1u, 4u}) {
+    RunOptions options;
+    options.workers = workers;
+    const CampaignResult a = run_campaign(cold, options);
+    const CampaignResult b = run_campaign(warm, options);
+    EXPECT_EQ(to_json(a), to_json(b)) << "workers=" << workers;
+    for (size_t i = 0; i < a.jobs.size(); ++i) {
+      EXPECT_EQ(a.jobs[i].pass, b.jobs[i].pass) << "job " << i;
+      EXPECT_EQ(a.jobs[i].accel_cycles, b.jobs[i].accel_cycles)
+          << "job " << i;
+      EXPECT_EQ(a.jobs[i].total_instrs, b.jobs[i].total_instrs)
+          << "job " << i;
+    }
+  }
+}
+
+TEST(WarmStart, NotAnAxisAndNotEchoedInAggregates) {
+  // warm_start changes no result bytes, so it must not appear in the
+  // serialised aggregate either — otherwise warm and cold runs of the
+  // same campaign would stop being byte-comparable.
+  CampaignSpec warm = warm_start_spec();
+  warm.warm_start = true;
+  RunOptions options;
+  options.workers = 0;
+  const CampaignResult result = run_campaign(warm, options);
+  EXPECT_EQ(to_json(result).find("warm_start"), std::string::npos);
+}
+
+TEST(WarmStart, ParsesFromCampaignText) {
+  CampaignSpec spec;
+  ASSERT_TRUE(parse_campaign_text("warm_start = 1", &spec).ok());
+  EXPECT_TRUE(spec.warm_start);
+  ASSERT_TRUE(parse_campaign_text("warm_start = 0", &spec).ok());
+  EXPECT_FALSE(spec.warm_start);
+  const std::vector<JobSpec> jobs = expand([] {
+    CampaignSpec s;
+    s.warm_start = true;
+    return s;
+  }());
+  ASSERT_FALSE(jobs.empty());
+  EXPECT_TRUE(jobs[0].warm_start);
+}
+
+TEST(WarmStart, SingleJobMatchesColdJobExactly) {
+  CampaignSpec spec = warm_start_spec();
+  const std::vector<JobSpec> jobs = expand(spec);
+  JobSpec cold = jobs[0];
+  JobSpec warm = cold;
+  warm.warm_start = true;
+  // Run the warm job twice: the first run populates the process-wide
+  // boot-snapshot cache, the second hits it. All three must agree with
+  // the cold run on every result field that reaches the aggregate.
+  const JobResult rc = run_job(cold);
+  const JobResult rw1 = run_job(warm);
+  const JobResult rw2 = run_job(warm);
+  for (const JobResult* r : {&rw1, &rw2}) {
+    EXPECT_EQ(rc.pass, r->pass);
+    EXPECT_EQ(rc.accel_cycles, r->accel_cycles);
+    EXPECT_EQ(rc.total_instrs, r->total_instrs);
+    EXPECT_EQ(rc.tcdm_conflicts, r->tcdm_conflicts);
+    EXPECT_EQ(rc.icache_misses, r->icache_misses);
+    EXPECT_EQ(rc.energy.total_j(), r->energy.total_j());
+    EXPECT_EQ(rc.timing.accel_cycles, r->timing.accel_cycles);
+    EXPECT_EQ(rc.timing.t_compute_s, r->timing.t_compute_s);
+  }
+}
+
+}  // namespace
+}  // namespace ulp::batch

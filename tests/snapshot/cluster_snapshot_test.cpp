@@ -1,0 +1,188 @@
+// Cluster-level snapshot tests: mid-run save/restore bit-exactness on a
+// real generated program, and the all-or-nothing restore contract — a
+// snapshot that fails validation (wrong geometry, truncation, corruption)
+// must leave the target cluster exactly as it was, able to keep running.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "snapshot/snapshot.hpp"
+#include "verif/differential.hpp"
+#include "verif/generator.hpp"
+
+namespace ulp {
+namespace {
+
+verif::GenProgram test_program(u64 seed, u32 num_cores = 1) {
+  verif::GenParams p;
+  p.seed = seed;
+  p.num_cores = num_cores;
+  if (num_cores > 1) p.profile = "full";
+  return verif::generate(p);
+}
+
+cluster::ClusterParams params_for(const verif::GenProgram& gp) {
+  cluster::ClusterParams params;
+  params.num_cores = gp.num_cores;
+  params.core_config = gp.config;
+  params.reference_stepping = true;
+  return params;
+}
+
+/// Everything a failed restore must not touch, captured cheaply.
+struct Fingerprint {
+  u64 cycles = 0;
+  std::vector<std::array<u32, isa::kNumRegs>> regs;
+  std::vector<u8> tcdm;
+  std::vector<u8> l2;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(cluster::Cluster& c, u32 num_cores) {
+  Fingerprint f;
+  f.cycles = c.cycles();
+  f.regs.resize(num_cores);
+  for (u32 i = 0; i < num_cores; ++i) {
+    for (u32 r = 0; r < isa::kNumRegs; ++r) f.regs[i][r] = c.core(i).reg(r);
+  }
+  const auto tcdm = c.tcdm().bytes();
+  f.tcdm.assign(tcdm.begin(), tcdm.end());
+  const auto l2 = c.l2().bytes();
+  f.l2.assign(l2.begin(), l2.end());
+  return f;
+}
+
+std::vector<u8> snapshot_mid_run(const verif::GenProgram& gp, u64 cycles) {
+  cluster::Cluster donor(params_for(gp));
+  donor.load_program(gp.program);
+  donor.advance(cycles);
+  snapshot::Writer w;
+  EXPECT_TRUE(donor.save(w).ok());
+  return w.finish();
+}
+
+TEST(ClusterSnapshot, MidRunRoundTripIsBitExact) {
+  const verif::GenProgram gp = test_program(0xC1A5);
+
+  cluster::Cluster continuous(params_for(gp));
+  continuous.load_program(gp.program);
+  const u64 total = continuous.run(5'000'000);
+  const Fingerprint want = fingerprint(continuous, gp.num_cores);
+
+  const std::vector<u8> image = snapshot_mid_run(gp, total / 2);
+  cluster::Cluster resumed(params_for(gp));
+  snapshot::Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  ASSERT_TRUE(resumed.restore(r).ok());
+  EXPECT_EQ(resumed.run(5'000'000), total);
+  EXPECT_EQ(fingerprint(resumed, gp.num_cores), want);
+}
+
+TEST(ClusterSnapshot, RestoreIntoDirtyClusterOverwritesEverything) {
+  // The target isn't fresh: it ran a different program for a while. The
+  // restore must still land on the exact continuous-run trajectory.
+  const verif::GenProgram gp = test_program(0xC1A5);
+  const verif::GenProgram other = test_program(0x07E4);
+
+  cluster::Cluster continuous(params_for(gp));
+  continuous.load_program(gp.program);
+  const u64 total = continuous.run(5'000'000);
+  const Fingerprint want = fingerprint(continuous, gp.num_cores);
+
+  const std::vector<u8> image = snapshot_mid_run(gp, total / 3);
+  cluster::Cluster target(params_for(gp));
+  target.load_program(other.program);
+  target.advance(123);
+  snapshot::Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  ASSERT_TRUE(target.restore(r).ok());
+  EXPECT_EQ(target.run(5'000'000), total);
+  EXPECT_EQ(fingerprint(target, gp.num_cores), want);
+}
+
+TEST(ClusterSnapshot, GeometryMismatchIsRejectedWithoutMutation) {
+  const verif::GenProgram gp = test_program(0xBEEF, /*num_cores=*/2);
+  const std::vector<u8> image = snapshot_mid_run(gp, 200);
+
+  // Same program shape, different core count: the restore must refuse.
+  cluster::ClusterParams params = params_for(gp);
+  params.num_cores = 4;
+  cluster::Cluster target(params);
+  target.load_program(gp.program);
+  target.advance(50);
+  const Fingerprint before = fingerprint(target, params.num_cores);
+
+  snapshot::Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  const Status s = target.restore(r);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("geometry"), std::string::npos) << s.message();
+  EXPECT_EQ(fingerprint(target, params.num_cores), before);
+}
+
+TEST(ClusterSnapshot, CorruptionSweepNeverMutatesTheTarget) {
+  const verif::GenProgram gp = test_program(0xF1B5);
+  const std::vector<u8> image = snapshot_mid_run(gp, 150);
+
+  cluster::Cluster target(params_for(gp));
+  target.load_program(gp.program);
+  target.advance(75);
+  const Fingerprint before = fingerprint(target, gp.num_cores);
+
+  // Flip one byte at a stride of offsets across the whole image (header
+  // included) and at every truncation length across a stride: every
+  // attempt must fail cleanly and leave the target untouched.
+  for (size_t at = 0; at < image.size(); at += 37) {
+    std::vector<u8> bad = image;
+    bad[at] ^= 0x40;
+    snapshot::Reader r;
+    Status s = r.open(bad);
+    if (s.ok()) s = target.restore(r);
+    EXPECT_FALSE(s.ok()) << "byte flip at " << at;
+    ASSERT_EQ(fingerprint(target, gp.num_cores), before)
+        << "byte flip at " << at << " mutated the target";
+  }
+  for (size_t len = 0; len < image.size(); len += 101) {
+    const std::vector<u8> cut(image.begin(),
+                              image.begin() + static_cast<long>(len));
+    snapshot::Reader r;
+    Status s = r.open(cut);
+    if (s.ok()) s = target.restore(r);
+    EXPECT_FALSE(s.ok()) << "truncated to " << len;
+    ASSERT_EQ(fingerprint(target, gp.num_cores), before)
+        << "truncation to " << len << " mutated the target";
+  }
+
+  // And the untouched target still finishes exactly like a continuous run.
+  cluster::Cluster continuous(params_for(gp));
+  continuous.load_program(gp.program);
+  const u64 total = continuous.run(5'000'000);
+  EXPECT_EQ(target.run(5'000'000), total);
+  EXPECT_EQ(fingerprint(target, gp.num_cores),
+            fingerprint(continuous, gp.num_cores));
+}
+
+TEST(ClusterSnapshot, SaveAtBootAndAfterHaltBothRoundTrip) {
+  const verif::GenProgram gp = test_program(0x0DDB);
+  cluster::Cluster continuous(params_for(gp));
+  continuous.load_program(gp.program);
+  const u64 total = continuous.run(5'000'000);
+  const Fingerprint want = fingerprint(continuous, gp.num_cores);
+
+  for (const u64 at : {u64{0}, total}) {
+    const std::vector<u8> image = snapshot_mid_run(gp, at);
+    cluster::Cluster resumed(params_for(gp));
+    snapshot::Reader r;
+    ASSERT_TRUE(r.open(image).ok()) << "snapshot at cycle " << at;
+    ASSERT_TRUE(resumed.restore(r).ok()) << "snapshot at cycle " << at;
+    EXPECT_EQ(resumed.run(5'000'000), total) << "snapshot at cycle " << at;
+    EXPECT_EQ(fingerprint(resumed, gp.num_cores), want)
+        << "snapshot at cycle " << at;
+  }
+}
+
+}  // namespace
+}  // namespace ulp

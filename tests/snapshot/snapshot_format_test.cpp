@@ -1,0 +1,169 @@
+// Wire-format tests for the snapshot layer: header validation (magic,
+// version, length, CRC), section indexing and forward-skip, the sticky
+// failure latch, two-pass rewind, and the file I/O helpers. Every
+// malformed input must come back as a typed Status — never UB, never a
+// partial read that goes unnoticed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "snapshot/snapshot.hpp"
+
+namespace ulp::snapshot {
+namespace {
+
+std::vector<u8> tiny_image() {
+  Writer w;
+  w.begin_section(0x10);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_bool(true);
+  w.end_section();
+  w.begin_section(0x11);
+  const std::vector<u8> blob = {1, 2, 3, 4, 5};
+  w.put_blob(blob);
+  w.end_section();
+  return w.finish();
+}
+
+TEST(SnapshotFormat, RoundTripsEveryPrimitive) {
+  Writer w;
+  w.begin_section(7);
+  w.put_u8(0xAB);
+  w.put_u32(0x12345678);
+  w.put_u64(~0ull);
+  w.put_i32(-42);
+  w.put_bool(false);
+  w.put_f64(3.25);
+  const std::vector<u8> blob = {9, 8, 7};
+  w.put_blob(blob);
+  w.end_section();
+  const std::vector<u8> image = w.finish();
+
+  Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  ASSERT_TRUE(r.enter(7).ok());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u32(), 0x12345678u);
+  EXPECT_EQ(r.get_u64(), ~0ull);
+  EXPECT_EQ(r.get_i32(), -42);
+  EXPECT_FALSE(r.get_bool());
+  EXPECT_EQ(r.get_f64(), 3.25);
+  EXPECT_EQ(r.get_blob(), blob);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(SnapshotFormat, UnknownSectionsAreForwardSkippable) {
+  const std::vector<u8> image = tiny_image();
+  Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  // A reader that only understands 0x11 never has to look at 0x10.
+  ASSERT_TRUE(r.enter(0x11).ok());
+  EXPECT_EQ(r.get_blob().size(), 5u);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_TRUE(r.has_section(0x10));
+  EXPECT_FALSE(r.has_section(0x77));
+}
+
+TEST(SnapshotFormat, ReenteringASectionRewindsIt) {
+  const std::vector<u8> image = tiny_image();
+  Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_TRUE(r.enter(0x10).ok()) << "pass " << pass;
+    EXPECT_EQ(r.get_u32(), 0xDEADBEEFu) << "pass " << pass;
+  }
+}
+
+TEST(SnapshotFormat, MissingSectionLatchesError) {
+  const std::vector<u8> image = tiny_image();
+  Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  EXPECT_FALSE(r.enter(0x55).ok());
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(SnapshotFormat, SectionUnderrunZeroFillsAndLatches) {
+  const std::vector<u8> image = tiny_image();
+  Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  ASSERT_TRUE(r.enter(0x10).ok());
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.get_bool());
+  // Section exhausted: the next read underruns, zero-fills, and poisons
+  // the stream for good.
+  EXPECT_EQ(r.get_u64(), 0u);
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  ASSERT_FALSE(r.enter(0x11).ok()) << "sticky latch must survive enter()";
+}
+
+TEST(SnapshotFormat, BadMagicIsInvalidArgument) {
+  std::vector<u8> image = tiny_image();
+  image[0] ^= 0xFF;
+  Reader r;
+  const Status s = r.open(image);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotFormat, FutureVersionIsInvalidArgument) {
+  std::vector<u8> image = tiny_image();
+  image[4] = static_cast<u8>(kVersion + 1);
+  Reader r;
+  const Status s = r.open(image);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotFormat, EveryTruncationIsACleanError) {
+  const std::vector<u8> image = tiny_image();
+  for (size_t len = 0; len < image.size(); ++len) {
+    const std::vector<u8> cut(image.begin(),
+                              image.begin() + static_cast<long>(len));
+    Reader r;
+    const Status s = r.open(cut);
+    EXPECT_FALSE(s.ok()) << "truncated to " << len << " bytes";
+  }
+}
+
+TEST(SnapshotFormat, EveryPayloadByteFlipFailsTheCrc) {
+  const std::vector<u8> image = tiny_image();
+  const size_t header = 4 + 4 + 8 + 4;
+  ASSERT_GT(image.size(), header);
+  for (size_t at = header; at < image.size(); ++at) {
+    std::vector<u8> bad = image;
+    bad[at] ^= 0x01;
+    Reader r;
+    const Status s = r.open(bad);
+    EXPECT_EQ(s.code(), StatusCode::kCrcError) << "flip at byte " << at;
+  }
+}
+
+TEST(SnapshotFormat, CallerDetectedErrorsLatchViaFail) {
+  const std::vector<u8> image = tiny_image();
+  Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  r.fail(StatusCode::kInvalidArgument, "geometry mismatch");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // First error wins; later failures don't overwrite the message.
+  r.fail(StatusCode::kIoError, "other");
+  EXPECT_EQ(r.status().message(), "geometry mismatch");
+}
+
+TEST(SnapshotFormat, FileRoundTrip) {
+  const std::vector<u8> image = tiny_image();
+  const std::string path =
+      testing::TempDir() + "/snapshot_format_roundtrip.ulps";
+  ASSERT_TRUE(write_file(path, image).ok());
+  std::vector<u8> back;
+  ASSERT_TRUE(read_file(path, &back).ok());
+  EXPECT_EQ(back, image);
+  std::remove(path.c_str());
+
+  std::vector<u8> missing;
+  EXPECT_EQ(read_file(path + ".does-not-exist", &missing).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ulp::snapshot

@@ -1,0 +1,82 @@
+// Differential snapshot fuzzing self-tests.
+//
+// The snapshot column of verif::check_program replays every cluster-backed
+// stepping mode through a mid-run save/restore into a fresh cluster and
+// demands bit identity with the continuous run. These tests pin the two
+// properties that make that oracle trustworthy: a seeded mini-campaign
+// with the column on comes back clean, and a deliberately planted
+// serialization bug (Core::restore dropping a hardware-loop count, the
+// classic "forgot one field") is caught and attributed to the snapshot
+// column — proving the fuzzer can actually see this class of bug.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "verif/differential.hpp"
+#include "verif/generator.hpp"
+
+namespace ulp::verif {
+namespace {
+
+TEST(SnapshotFuzz, MiniCampaignWithSnapshotColumnIsClean) {
+  CampaignParams params;
+  params.seed = 0x51AB;
+  params.num_programs = 25;
+  params.num_stress = 8;
+  params.snapshot_every = 1;
+  const CampaignResult result = run_campaign(params);
+  EXPECT_EQ(result.failure_count, 0u)
+      << (result.failures.empty() ? "" : result.failures[0].detail);
+}
+
+TEST(SnapshotFuzz, SnapshotEveryZeroDisablesTheColumn) {
+  // With the column off, a planted restore bug is invisible to the
+  // campaign — the control for the detection test below.
+  config::set_inject_snapshot_bug(true);
+  CampaignParams params;
+  params.seed = 0x51AB;
+  params.num_programs = 10;
+  params.num_stress = 0;
+  params.snapshot_every = 0;
+  const CampaignResult result = run_campaign(params);
+  config::set_inject_snapshot_bug(false);
+  EXPECT_EQ(result.failure_count, 0u)
+      << (result.failures.empty() ? "" : result.failures[0].detail);
+}
+
+TEST(SnapshotFuzz, PlantedUnserializedHwloopFieldIsCaught) {
+  // The planted bug zeroes loops_[0].count on every Core restore; it only
+  // shows when a snapshot lands inside an active hardware loop, so the
+  // detector is a campaign, not a single program. It must (a) find at
+  // least one divergence and (b) attribute every divergence to a snapshot
+  // column ("-vs-snap"), since the continuous legs never restore.
+  config::set_inject_snapshot_bug(true);
+  CampaignParams params;
+  params.seed = 0xB16B;
+  params.num_programs = 60;
+  params.num_stress = 0;
+  params.snapshot_every = 1;
+  const CampaignResult result = run_campaign(params);
+  config::set_inject_snapshot_bug(false);
+
+  EXPECT_GT(result.failure_count, 0u)
+      << "the planted snapshot bug went undetected";
+  for (const CampaignFailure& f : result.failures) {
+    EXPECT_NE(f.detail.find("-vs-snap"), std::string::npos) << f.detail;
+  }
+}
+
+TEST(SnapshotFuzz, SplitPointIsAPureFunctionOfTheSeed) {
+  // Same program, same verdict, twice in a row: the snapshot column must
+  // not introduce any run-to-run nondeterminism into check_program.
+  GenParams gen;
+  gen.seed = 0xD06F00D;
+  const GenProgram gp = generate(gen);
+  const DiffResult a = check_program(gp);
+  const DiffResult b = check_program(gp);
+  EXPECT_EQ(a.pass, b.pass);
+  EXPECT_EQ(a.detail, b.detail);
+}
+
+}  // namespace
+}  // namespace ulp::verif

@@ -1,0 +1,215 @@
+// Full-system snapshot tests: the complete co-simulated node — host core,
+// host SRAM, byte-timed SPI wire (mid-frame included), fault-injector RNG,
+// clock-ratio phase and every cluster — saved mid-offload and restored
+// into a freshly constructed system, which must then finish the offload
+// bit-identically to the continuous run. Plus the rejection contract:
+// wrong geometry or a missing injector is a typed error with zero
+// mutation.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "link/fault_injector.hpp"
+#include "snapshot/snapshot.hpp"
+#include "system/hetero_system.hpp"
+#include "system/host_driver.hpp"
+
+namespace ulp::system {
+namespace {
+
+using kernels::Target;
+
+kernels::KernelCase test_case(u64 seed = 77) {
+  const auto accel_cfg = core::or10n_config();
+  return kernels::make_matmul_char(accel_cfg.features, 4, Target::kCluster,
+                                   seed);
+}
+
+/// Everything observable about a finished (or paused) system run.
+struct Fingerprint {
+  u64 host_cycles = 0;
+  u64 cluster_cycles = 0;
+  u64 wire_bytes = 0;
+  u64 wire_busy_host_cycles = 0;
+  u64 host_link_bound_cycles = 0;
+  bool accel_started = false;
+  u64 link_frames = 0;
+  u64 link_crc_errors = 0;
+  u64 fault_count = 0;
+  std::vector<u64> cluster_cycles_each;
+  std::array<u32, isa::kNumRegs> host_regs{};
+  std::vector<u8> host_sram;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(HeteroSystem& sys) {
+  const HeteroStats stats = sys.stats();
+  Fingerprint f;
+  f.host_cycles = stats.host_cycles;
+  f.cluster_cycles = stats.cluster_cycles;
+  f.wire_bytes = stats.wire_bytes;
+  f.wire_busy_host_cycles = stats.wire_busy_host_cycles;
+  f.host_link_bound_cycles = stats.host_link_bound_cycles;
+  f.accel_started = stats.accel_started;
+  f.link_frames = stats.link_frames;
+  f.link_crc_errors = stats.link_crc_errors;
+  f.fault_count = stats.fault_count;
+  f.cluster_cycles_each = stats.cluster_cycles_each;
+  for (u32 r = 0; r < isa::kNumRegs; ++r) {
+    f.host_regs[r] = sys.host_core().reg(r);
+  }
+  const auto sram = sys.host_sram().bytes();
+  f.host_sram.assign(sram.begin(), sram.end());
+  return f;
+}
+
+Fingerprint continuous_run(const HeteroSystemParams& params,
+                           const isa::Program& host_program) {
+  HeteroSystem sys(params);
+  sys.load_host_program(host_program);
+  sys.run_to_host_halt();
+  return fingerprint(sys);
+}
+
+/// Step `at` host cycles into the offload, snapshot, restore into a fresh
+/// system, finish there, and return the stitched run's fingerprint.
+Fingerprint stitched_run(const HeteroSystemParams& params,
+                         const isa::Program& host_program, u64 at) {
+  std::vector<u8> image;
+  {
+    HeteroSystem donor(params);
+    donor.load_host_program(host_program);
+    for (u64 i = 0; i < at; ++i) donor.step();
+    snapshot::Writer w;
+    EXPECT_TRUE(donor.save(w).ok());
+    image = w.finish();
+  }
+  HeteroSystem resumed(params);
+  snapshot::Reader r;
+  EXPECT_TRUE(r.open(image).ok());
+  const Status s = resumed.restore(r);
+  EXPECT_TRUE(s.ok()) << s.message();
+  // No load_host_program: the snapshot carries the driver and all state.
+  resumed.run_to_host_halt();
+  return fingerprint(resumed);
+}
+
+TEST(SystemSnapshot, MidOffloadRoundTripIsBitExact) {
+  const auto kc = test_case();
+  const FullSystemPackage pkg = package_offload(kc);
+  const HeteroSystemParams params;
+  const Fingerprint want = continuous_run(params, pkg.host_program);
+  EXPECT_TRUE(want.accel_started);
+
+  // Split points chosen to land in every offload phase: before anything
+  // moved, mid image transfer (wire busy, SPI frame in flight), around
+  // fetch-enable, and while the cluster crunches / host polls EOC.
+  for (const u64 at : {u64{1}, u64{777}, static_cast<u64>(pkg.spec.image_len),
+                       static_cast<u64>(pkg.spec.image_len) * 4 + 37,
+                       want.host_cycles / 2}) {
+    EXPECT_EQ(stitched_run(params, pkg.host_program, at), want)
+        << "snapshot at host cycle " << at;
+  }
+}
+
+TEST(SystemSnapshot, RobustOffloadWithFaultsRoundTrips) {
+  // The injector's RNG, the CRC accumulators of a frame in flight and the
+  // retry driver's progress all live in the snapshot: a mid-run split of
+  // a faulty robust offload must replay the exact same fault schedule.
+  const auto kc = test_case(5);
+  const FullSystemPackage pkg = package_robust_offload(kc);
+  HeteroSystemParams params;
+  params.crc_frames = true;
+  link::FaultConfig fcfg;
+  ASSERT_TRUE(
+      link::FaultInjector::parse("seed=9,flip=2e-4,nak=1e-3", &fcfg).ok());
+  params.faults = fcfg;
+
+  const Fingerprint want = continuous_run(params, pkg.host_program);
+  EXPECT_GT(want.fault_count, 0u) << "fault schedule never fired; the "
+                                     "round trip would prove nothing";
+  for (const u64 at : {u64{900}, want.host_cycles / 2}) {
+    EXPECT_EQ(stitched_run(params, pkg.host_program, at), want)
+        << "snapshot at host cycle " << at;
+  }
+}
+
+TEST(SystemSnapshot, MultiClusterRoundTrips) {
+  std::vector<kernels::KernelCase> cases;
+  cases.push_back(test_case(77));
+  cases.push_back(test_case(78));
+  const MultiSystemPackage mpkg = package_multi_offload(cases);
+  HeteroSystemParams params;
+  params.num_clusters = 2;
+
+  const Fingerprint want = continuous_run(params, mpkg.host_program);
+  EXPECT_TRUE(want.accel_started);
+  EXPECT_EQ(stitched_run(params, mpkg.host_program, want.host_cycles / 2),
+            want);
+}
+
+TEST(SystemSnapshot, ClusterCountMismatchIsRejectedWithoutMutation) {
+  const auto kc = test_case();
+  const FullSystemPackage pkg = package_offload(kc);
+  std::vector<u8> image;
+  {
+    HeteroSystemParams params;
+    HeteroSystem donor(params);
+    donor.load_host_program(pkg.host_program);
+    for (int i = 0; i < 500; ++i) donor.step();
+    snapshot::Writer w;
+    ASSERT_TRUE(donor.save(w).ok());
+    image = w.finish();
+  }
+
+  HeteroSystemParams params;
+  params.num_clusters = 2;
+  HeteroSystem target(params);
+  target.load_host_program(pkg.host_program);
+  for (int i = 0; i < 100; ++i) target.step();
+  const Fingerprint before = fingerprint(target);
+
+  snapshot::Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  const Status s = target.restore(r);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("geometry"), std::string::npos) << s.message();
+  EXPECT_EQ(fingerprint(target), before);
+}
+
+TEST(SystemSnapshot, InjectorPresenceMismatchIsRejectedWithoutMutation) {
+  // A snapshot of a fault-injecting system cannot restore into a clean
+  // one: the injector RNG state would have nowhere to go.
+  const auto kc = test_case();
+  const FullSystemPackage pkg = package_robust_offload(kc);
+  std::vector<u8> image;
+  {
+    HeteroSystemParams params;
+    params.crc_frames = true;
+    link::FaultConfig fcfg;
+    ASSERT_TRUE(link::FaultInjector::parse("seed=3,flip=1e-4", &fcfg).ok());
+    params.faults = fcfg;
+    HeteroSystem donor(params);
+    donor.load_host_program(pkg.host_program);
+    for (int i = 0; i < 400; ++i) donor.step();
+    snapshot::Writer w;
+    ASSERT_TRUE(donor.save(w).ok());
+    image = w.finish();
+  }
+
+  HeteroSystemParams params;  // no injector
+  HeteroSystem target(params);
+  target.load_host_program(pkg.host_program);
+  for (int i = 0; i < 100; ++i) target.step();
+  const Fingerprint before = fingerprint(target);
+
+  snapshot::Reader r;
+  ASSERT_TRUE(r.open(image).ok());
+  EXPECT_FALSE(target.restore(r).ok());
+  EXPECT_EQ(fingerprint(target), before);
+}
+
+}  // namespace
+}  // namespace ulp::system
